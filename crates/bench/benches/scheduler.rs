@@ -1,0 +1,131 @@
+//! Criterion benchmarks: throughput of each pipeline stage and the
+//! end-to-end figure reproductions.
+//!
+//! One group per paper artefact:
+//!
+//! * `analysis`   — CFG/PDG construction costs (the compile-time side of
+//!   Figure 7);
+//! * `schedule`   — base vs useful vs speculative compilation of each
+//!   workload (Figure 7's BASE/CTO split);
+//! * `simulate`   — the timing simulator (the measurement harness of
+//!   Figure 8);
+//! * `figures`    — the complete Figure 5/6 reproduction path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gis_cfg::{Cfg, DomTree, LoopForest, RegionGraph, RegionKind, RegionTree};
+use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_machine::MachineDescription;
+use gis_pdg::{Cspdg, DataDeps, Liveness};
+use gis_sim::{execute, ExecConfig, TimingSim};
+use gis_workloads::{minmax, spec};
+use std::hint::black_box;
+
+fn analysis(c: &mut Criterion) {
+    let f = minmax::figure2_function(9999);
+    let machine = MachineDescription::rs6k();
+    let mut g = c.benchmark_group("analysis");
+
+    g.bench_function("cfg+dominators", |b| {
+        b.iter(|| {
+            let cfg = Cfg::new(black_box(&f));
+            let dom = DomTree::dominators(&cfg);
+            black_box((cfg, dom))
+        })
+    });
+
+    g.bench_function("loops+regions", |b| {
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        b.iter(|| {
+            let loops = LoopForest::new(black_box(&cfg), &dom);
+            black_box(RegionTree::new(&cfg, &loops))
+        })
+    });
+
+    let cfg = Cfg::new(&f);
+    let dom = DomTree::dominators(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    let tree = RegionTree::new(&cfg, &loops);
+    let rid = tree
+        .regions()
+        .find(|(_, r)| matches!(r.kind, RegionKind::Loop(_)))
+        .map(|(id, _)| id)
+        .expect("loop region");
+
+    g.bench_function("cspdg", |b| {
+        let rg = RegionGraph::new(&cfg, &tree, rid).expect("reducible");
+        b.iter(|| black_box(Cspdg::new(black_box(&rg))))
+    });
+
+    g.bench_function("data-deps+reduce", |b| {
+        let blocks: Vec<gis_ir::BlockId> = tree.region(rid).blocks.clone();
+        b.iter(|| {
+            let mut deps = DataDeps::build(black_box(&f), &machine, &blocks, |x, y| x < y);
+            deps.reduce();
+            black_box(deps)
+        })
+    });
+
+    g.bench_function("liveness", |b| {
+        b.iter(|| black_box(Liveness::compute(black_box(&f), &cfg)))
+    });
+    g.finish();
+}
+
+fn schedule(c: &mut Criterion) {
+    let machine = MachineDescription::rs6k();
+    let mut g = c.benchmark_group("schedule");
+    for w in spec::all(64) {
+        for (label, config) in [
+            ("base", SchedConfig::base()),
+            ("useful", SchedConfig::useful()),
+            ("speculative", SchedConfig::speculative()),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, w.name), &w, |b, w| {
+                b.iter(|| {
+                    let mut f = w.program.function.clone();
+                    compile(&mut f, &machine, &config).expect("compiles");
+                    black_box(f)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn simulate(c: &mut Criterion) {
+    let machine = MachineDescription::rs6k();
+    let mut g = c.benchmark_group("simulate");
+    let w = spec::eqntott(256);
+    let f = &w.program.function;
+    g.bench_function("execute", |b| {
+        b.iter(|| black_box(execute(f, &w.memory, &ExecConfig::default()).expect("runs")))
+    });
+    let out = execute(f, &w.memory, &ExecConfig::default()).expect("runs");
+    g.bench_function("timing", |b| {
+        let sim = TimingSim::new(f, &machine);
+        b.iter(|| black_box(sim.run(black_box(&out.block_trace))))
+    });
+    g.finish();
+}
+
+fn figures(c: &mut Criterion) {
+    let machine = MachineDescription::rs6k();
+    let mut g = c.benchmark_group("figures");
+    for (label, level) in [
+        ("figure5-useful", SchedLevel::Useful),
+        ("figure6-speculative", SchedLevel::Speculative),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut f = minmax::figure2_function(9999);
+                compile(&mut f, &machine, &SchedConfig::paper_example(level)).expect("compiles");
+                black_box(f)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, analysis, schedule, simulate, figures);
+criterion_main!(benches);

@@ -1,0 +1,245 @@
+//! Dominator and postdominator trees (Definitions 1 and 2 of the paper).
+//!
+//! Implemented with the Cooper–Harvey–Kennedy iterative algorithm over
+//! reverse postorder, plus Euler-interval numbering of the resulting tree
+//! so that `dominates` queries are O(1).
+
+use crate::graph::{reverse_postorder_from, Cfg, NodeId};
+
+/// A dominator tree over the nodes of a graph.
+///
+/// The same structure serves as a *post*dominator tree when built over the
+/// reversed graph rooted at `EXIT` ([`DomTree::postdominators`]).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    root: NodeId,
+    idom: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    /// Euler tour entry/exit times on the dominator tree.
+    pre: Vec<u32>,
+    post: Vec<u32>,
+    reachable: Vec<bool>,
+}
+
+impl DomTree {
+    /// Dominators of `cfg`, rooted at `ENTRY`.
+    pub fn dominators(cfg: &Cfg) -> Self {
+        let succs: Vec<Vec<NodeId>> = cfg
+            .nodes()
+            .map(|n| cfg.succs(n).iter().map(|e| e.to).collect())
+            .collect();
+        Self::from_succs(&succs, NodeId::ENTRY)
+    }
+
+    /// Postdominators of `cfg`: dominators of the reversed graph rooted at
+    /// `EXIT`.
+    pub fn postdominators(cfg: &Cfg) -> Self {
+        let succs: Vec<Vec<NodeId>> = cfg
+            .nodes()
+            .map(|n| cfg.preds(n).iter().map(|e| e.to).collect())
+            .collect();
+        Self::from_succs(&succs, NodeId::EXIT)
+    }
+
+    /// Builds the dominator tree of an arbitrary graph given as successor
+    /// lists indexed by [`NodeId::index`], rooted at `root`.
+    pub fn from_succs(succs: &[Vec<NodeId>], root: NodeId) -> Self {
+        let n = succs.len();
+        let rpo = reverse_postorder_from(n, root, |x| succs[x.index()].clone());
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, node) in rpo.iter().enumerate() {
+            rpo_index[node.index()] = i;
+        }
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (from, ss) in succs.iter().enumerate() {
+            for &to in ss {
+                preds[to.index()].push(NodeId::from_index(from));
+            }
+        }
+
+        let mut idom: Vec<Option<NodeId>> = vec![None; n];
+        idom[root.index()] = Some(root);
+
+        let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Children lists (root excluded from its own children).
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(p) = idom[i] {
+                if p.index() != i {
+                    children[p.index()].push(NodeId::from_index(i));
+                }
+            }
+        }
+
+        // Euler intervals for O(1) ancestor queries.
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        pre[root.index()] = clock;
+        clock += 1;
+        while let Some(&(node, i)) = stack.last() {
+            if i < children[node.index()].len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let c = children[node.index()][i];
+                pre[c.index()] = clock;
+                clock += 1;
+                stack.push((c, 0));
+            } else {
+                post[node.index()] = clock;
+                clock += 1;
+                stack.pop();
+            }
+        }
+
+        let reachable = idom.iter().map(Option::is_some).collect();
+        DomTree { root, idom, children, pre, post, reachable }
+    }
+
+    /// The tree's root (`ENTRY` for dominators, `EXIT` for postdominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The immediate dominator of `n` (`None` for the root and for nodes
+    /// unreachable from the root).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        match self.idom[n.index()] {
+            Some(p) if p != n => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether `n` is reachable from the root.
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        self.reachable[n.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexively). Unreachable nodes dominate
+    /// only themselves.
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.reachable[a.index()] || !self.reachable[b.index()] {
+            return false;
+        }
+        self.pre[a.index()] < self.pre[b.index()] && self.post[b.index()] < self.post[a.index()]
+    }
+
+    /// Whether `a` dominates `b` and `a != b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The children of `n` in the dominator tree.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::{parse_function, BlockId};
+
+    fn node(i: u32) -> NodeId {
+        NodeId::block(BlockId::new(i))
+    }
+
+    /// A(0) -> B(1)/C(2) -> D(3); B -> D, C -> D.
+    fn diamond_cfg() -> Cfg {
+        let f = parse_function(
+            "func d\nA:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\nB:\n LI r3=5\n B D\nC:\n LI r3=3\nD:\n RET\n",
+        )
+        .expect("parses");
+        Cfg::new(&f)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let dom = DomTree::dominators(&diamond_cfg());
+        assert_eq!(dom.idom(node(0)), Some(NodeId::ENTRY));
+        assert_eq!(dom.idom(node(1)), Some(node(0)));
+        assert_eq!(dom.idom(node(2)), Some(node(0)));
+        assert_eq!(dom.idom(node(3)), Some(node(0)), "join is dominated by the fork only");
+        assert!(dom.dominates(node(0), node(3)));
+        assert!(!dom.dominates(node(1), node(3)));
+        assert!(dom.dominates(node(3), node(3)), "dominance is reflexive");
+        assert!(!dom.strictly_dominates(node(3), node(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let pdom = DomTree::postdominators(&diamond_cfg());
+        assert_eq!(pdom.root(), NodeId::EXIT);
+        assert_eq!(pdom.idom(node(0)), Some(node(3)), "the join postdominates the fork");
+        assert!(pdom.dominates(node(3), node(0)));
+        assert!(!pdom.dominates(node(1), node(0)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // A -> B; B -> B (latch) or C.
+        let f = parse_function(
+            "func l\nA:\n LI r1=0\nB:\n AI r1=r1,1\n C cr0=r1,r2\n BT B,cr0,0x1/lt\nC:\n RET\n",
+        )
+        .expect("parses");
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom(node(1)), Some(node(0)));
+        assert_eq!(dom.idom(node(2)), Some(node(1)));
+        assert!(dom.dominates(node(1), node(2)));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        // B is unreachable (A jumps straight to C).
+        let f = parse_function("func u\nA:\n B C\nB:\n LI r1=1\nC:\n RET\n").expect("parses");
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert!(!dom.is_reachable(node(1)));
+        assert_eq!(dom.idom(node(1)), None);
+        assert!(!dom.dominates(node(0), node(1)));
+        assert!(dom.dominates(node(1), node(1)));
+    }
+
+    #[test]
+    fn children_partition_the_tree() {
+        let dom = DomTree::dominators(&diamond_cfg());
+        let kids = dom.children(node(0));
+        assert_eq!(kids.len(), 3, "B, C, D are all children of A: {kids:?}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Graphviz DOT rendering of control flow graphs (paper Figure 3).
+
+use crate::graph::{Cfg, EdgeLabel, NodeId};
+use gis_ir::Function;
+use std::fmt::Write as _;
+
+/// Renders the CFG of `f` in Graphviz DOT syntax, one node per basic block
+/// plus `ENTRY` and `EXIT`, with branch edges labelled `T`/`F` — the shape
+/// of the paper's Figure 3.
+pub fn cfg_to_dot(f: &Function, cfg: &Cfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", f.name());
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  ENTRY [shape=box]; EXIT [shape=box];");
+    let name = |n: NodeId| match n.as_block() {
+        Some(b) => format!("\"{} ({})\"", b, f.block(b).label()),
+        None if n == NodeId::ENTRY => "ENTRY".to_owned(),
+        None => "EXIT".to_owned(),
+    };
+    for n in cfg.nodes() {
+        for e in cfg.succs(n) {
+            match e.label {
+                EdgeLabel::Always => {
+                    let _ = writeln!(out, "  {} -> {};", name(n), name(e.to));
+                }
+                l => {
+                    let _ = writeln!(out, "  {} -> {} [label=\"{l}\"];", name(n), name(e.to));
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let f = parse_function(
+            "func d\nA:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n",
+        )
+        .expect("parses");
+        let cfg = Cfg::new(&f);
+        let dot = cfg_to_dot(&f, &cfg);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("ENTRY -> \"BL0 (A)\""), "{dot}");
+        assert!(dot.contains("\"BL0 (A)\" -> \"BL2 (C)\" [label=\"T\"]"), "{dot}");
+        assert!(dot.contains("\"BL0 (A)\" -> \"BL1 (B)\" [label=\"F\"]"), "{dot}");
+        assert!(dot.contains("\"BL3 (D)\" -> EXIT"), "{dot}");
+    }
+}

@@ -1,0 +1,305 @@
+//! The control flow graph with `ENTRY`/`EXIT` augmentation.
+
+use gis_ir::{BlockId, Function, Op};
+use std::fmt;
+
+/// A node of a [`Cfg`] (or of a region's forward graph): the synthetic
+/// `ENTRY`, the synthetic `EXIT`, or a basic block.
+///
+/// Nodes are dense indices: `ENTRY` is 0, `EXIT` is 1, block `i` is `i+2`,
+/// so analyses can use plain vectors as node-indexed tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The synthetic entry node.
+    pub const ENTRY: NodeId = NodeId(0);
+    /// The synthetic exit node.
+    pub const EXIT: NodeId = NodeId(1);
+
+    /// The node for a basic block.
+    pub fn block(b: BlockId) -> NodeId {
+        NodeId(b.index() as u32 + 2)
+    }
+
+    /// Constructs a node from its raw dense index.
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The basic block this node stands for, unless it is `ENTRY`/`EXIT`.
+    pub fn as_block(self) -> Option<BlockId> {
+        if self.0 >= 2 {
+            Some(BlockId::new(self.0 - 2))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_block() {
+            Some(b) => write!(f, "{b}"),
+            None if *self == NodeId::ENTRY => write!(f, "ENTRY"),
+            None => write!(f, "EXIT"),
+        }
+    }
+}
+
+/// The condition under which a control flow edge is taken.
+///
+/// Labels are what turn the bare flow graph of Figure 3 into the annotated
+/// edges the control dependence computation needs ("B executes when the
+/// condition at the end of A is TRUE").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeLabel {
+    /// The block ends in a conditional branch and the branch is taken.
+    Taken,
+    /// The block ends in a conditional branch and control falls through.
+    NotTaken,
+    /// Unconditional control transfer (fall-through, `B`, or synthetic).
+    Always,
+    /// The `k`-th distinct exit of a multi-exit supernode (an enclosed
+    /// region): which exit fires is decided *inside* the supernode, so
+    /// each target needs its own condition label — otherwise two targets
+    /// of the same supernode would look "identically control dependent"
+    /// without being equivalent.
+    Exit(u32),
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeLabel::Taken => f.write_str("T"),
+            EdgeLabel::NotTaken => f.write_str("F"),
+            EdgeLabel::Always => Ok(()),
+            EdgeLabel::Exit(k) => write!(f, "x{k}"),
+        }
+    }
+}
+
+/// A labelled directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Target node.
+    pub to: NodeId,
+    /// Condition label.
+    pub label: EdgeLabel,
+}
+
+/// The control flow graph of a function, augmented with unique `ENTRY` and
+/// `EXIT` nodes (paper Figure 3). `ENTRY` has a single edge to the entry
+/// block; every block that leaves the function feeds `EXIT`.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<Edge>>,
+    preds: Vec<Vec<Edge>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.num_blocks() + 2;
+        let mut succs: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut add = |from: NodeId, to: NodeId, label: EdgeLabel| {
+            succs[from.index()].push(Edge { to, label });
+            preds[to.index()].push(Edge { to: from, label });
+        };
+
+        add(NodeId::ENTRY, NodeId::block(f.entry()), EdgeLabel::Always);
+
+        for (bid, block) in f.blocks() {
+            let node = NodeId::block(bid);
+            let last = block.last().map(|i| &i.op);
+            match last {
+                Some(Op::BranchCond { target, .. }) => {
+                    add(node, NodeId::block(*target), EdgeLabel::Taken);
+                    let next = bid.index() + 1;
+                    if next < f.num_blocks() {
+                        let ft = BlockId::new(next as u32);
+                        if ft != *target {
+                            add(node, NodeId::block(ft), EdgeLabel::NotTaken);
+                        }
+                    } else {
+                        add(node, NodeId::EXIT, EdgeLabel::NotTaken);
+                    }
+                }
+                Some(Op::Branch { target }) => {
+                    add(node, NodeId::block(*target), EdgeLabel::Always);
+                }
+                Some(Op::Ret) => add(node, NodeId::EXIT, EdgeLabel::Always),
+                _ => {
+                    // Plain fall-through (verify guarantees this is not the
+                    // last block).
+                    let next = bid.index() + 1;
+                    if next < f.num_blocks() {
+                        add(node, NodeId::block(BlockId::new(next as u32)), EdgeLabel::Always);
+                    } else {
+                        add(node, NodeId::EXIT, EdgeLabel::Always);
+                    }
+                }
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of nodes including `ENTRY` and `EXIT`.
+    pub fn num_nodes(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_nodes() - 2
+    }
+
+    /// Successor edges of a node.
+    pub fn succs(&self, n: NodeId) -> &[Edge] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessor edges of a node (`Edge::to` is the predecessor).
+    pub fn preds(&self, n: NodeId) -> &[Edge] {
+        &self.preds[n.index()]
+    }
+
+    /// All nodes in dense order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + use<> {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Whether `to` is reachable from `from` along control flow edges.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            for e in self.succs(n) {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    }
+
+    /// Reverse postorder starting at `ENTRY`.
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        reverse_postorder_from(self.num_nodes(), NodeId::ENTRY, |n| {
+            self.succs(n).iter().map(|e| e.to).collect()
+        })
+    }
+}
+
+/// Reverse postorder of an arbitrary graph given by a successor closure.
+pub(crate) fn reverse_postorder_from(
+    num_nodes: usize,
+    start: NodeId,
+    succs: impl Fn(NodeId) -> Vec<NodeId>,
+) -> Vec<NodeId> {
+    let mut visited = vec![false; num_nodes];
+    let mut post = Vec::with_capacity(num_nodes);
+    // Iterative DFS with an explicit stack of (node, next-child-index).
+    let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+    visited[start.index()] = true;
+    while let Some(&(n, i)) = stack.last() {
+        let children = succs(n);
+        if i < children.len() {
+            stack.last_mut().expect("nonempty").1 += 1;
+            let c = children[i];
+            if !visited[c.index()] {
+                visited[c.index()] = true;
+                stack.push((c, 0));
+            }
+        } else {
+            post.push(n);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    /// The diamond of §5.3: A branches to C or falls into B; both join D.
+    pub(crate) fn diamond() -> Function {
+        parse_function(
+            "func diamond\n\
+             A:\n  C cr0=r1,r2\n  BT C,cr0,0x1/lt\n\
+             B:\n  LI r3=5\n  B D\n\
+             C:\n  LI r3=3\n\
+             D:\n  PRINT r3\n  RET\n",
+        )
+        .expect("parses")
+    }
+
+    fn node(i: u32) -> NodeId {
+        NodeId::block(BlockId::new(i))
+    }
+
+    #[test]
+    fn entry_and_exit_wiring() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.num_blocks(), 4);
+        assert_eq!(cfg.succs(NodeId::ENTRY), &[Edge { to: node(0), label: EdgeLabel::Always }]);
+        // A -> C (taken), A -> B (fall-through).
+        let a_succs = cfg.succs(node(0));
+        assert_eq!(a_succs.len(), 2);
+        assert_eq!(a_succs[0], Edge { to: node(2), label: EdgeLabel::Taken });
+        assert_eq!(a_succs[1], Edge { to: node(1), label: EdgeLabel::NotTaken });
+        // D -> EXIT.
+        assert_eq!(cfg.succs(node(3)), &[Edge { to: NodeId::EXIT, label: EdgeLabel::Always }]);
+        // Preds of D are B and C.
+        let d_preds: Vec<NodeId> = cfg.preds(node(3)).iter().map(|e| e.to).collect();
+        assert_eq!(d_preds, vec![node(1), node(2)]);
+    }
+
+    #[test]
+    fn reachability() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.reachable(node(0), NodeId::EXIT));
+        assert!(cfg.reachable(node(1), node(3)));
+        assert!(!cfg.reachable(node(1), node(2)), "siblings of the diamond");
+        assert!(!cfg.reachable(node(3), node(0)), "no back edges here");
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_ends_at_exit() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.first(), Some(&NodeId::ENTRY));
+        assert_eq!(rpo.last(), Some(&NodeId::EXIT));
+        assert_eq!(rpo.len(), cfg.num_nodes());
+        // A precedes B and C, which precede D.
+        let pos = |n: NodeId| rpo.iter().position(|x| *x == n).unwrap();
+        assert!(pos(node(0)) < pos(node(1)));
+        assert!(pos(node(0)) < pos(node(2)));
+        assert!(pos(node(1)) < pos(node(3)));
+        assert!(pos(node(2)) < pos(node(3)));
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId::ENTRY.to_string(), "ENTRY");
+        assert_eq!(NodeId::EXIT.to_string(), "EXIT");
+        assert_eq!(node(0).to_string(), "BL0");
+    }
+}

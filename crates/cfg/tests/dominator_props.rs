@@ -1,0 +1,200 @@
+//! Properties of the dominator machinery, checked against brute force on
+//! random control flow graphs.
+//!
+//! Oracle: `a` dominates `b` iff removing `a` disconnects `b` from the
+//! entry (for `a != b`); postdominance is the dual with the exit.
+
+use gis_cfg::{Cfg, DomTree, LoopForest, NodeId};
+use gis_ir::{parse_function, BlockId, Function};
+use proptest::prelude::*;
+
+/// A random function: `n` blocks; each non-final block optionally ends
+/// with a conditional branch to an arbitrary block (possibly backwards).
+fn arb_cfg_function() -> impl Strategy<Value = Function> {
+    (2usize..10)
+        .prop_flat_map(|n| {
+            (Just(n), prop::collection::vec((any::<bool>(), 0usize..n), n - 1))
+        })
+        .prop_map(|(n, edges)| {
+            let mut text = String::from("func random\n");
+            for (i, &(cond, target)) in edges.iter().enumerate() {
+                text.push_str(&format!("B{i}:\n"));
+                if cond {
+                    text.push_str(&format!("    BT B{target},cr0,0x1/lt\n"));
+                }
+            }
+            text.push_str(&format!("B{}:\n    RET\n", n - 1));
+            parse_function(&text).expect("well formed")
+        })
+}
+
+/// Brute-force dominance: `a` dominates `b` iff every entry→b path passes
+/// through `a` — i.e. `b` is unreachable from the entry when `a`'s edges
+/// are erased.
+fn dominates_brute(cfg: &Cfg, a: NodeId, b: NodeId) -> bool {
+    if a == b {
+        return true;
+    }
+    // Reachability from ENTRY avoiding `a`.
+    let mut seen = vec![false; cfg.num_nodes()];
+    let mut stack = vec![NodeId::ENTRY];
+    if NodeId::ENTRY == a {
+        return cfg.reachable(NodeId::ENTRY, b);
+    }
+    seen[NodeId::ENTRY.index()] = true;
+    while let Some(x) = stack.pop() {
+        for e in cfg.succs(x) {
+            if e.to == a || seen[e.to.index()] {
+                continue;
+            }
+            seen[e.to.index()] = true;
+            stack.push(e.to);
+        }
+    }
+    cfg.reachable(NodeId::ENTRY, b) && !seen[b.index()]
+}
+
+fn postdominates_brute(cfg: &Cfg, a: NodeId, b: NodeId) -> bool {
+    if a == b {
+        return true;
+    }
+    if NodeId::EXIT == a {
+        return cfg.reachable(b, NodeId::EXIT);
+    }
+    // Can b reach EXIT avoiding a?
+    let mut seen = vec![false; cfg.num_nodes()];
+    let mut stack = vec![b];
+    seen[b.index()] = true;
+    let mut escapes = false;
+    while let Some(x) = stack.pop() {
+        if x == NodeId::EXIT {
+            escapes = true;
+            break;
+        }
+        for e in cfg.succs(x) {
+            if e.to == a || seen[e.to.index()] {
+                continue;
+            }
+            seen[e.to.index()] = true;
+            stack.push(e.to);
+        }
+    }
+    cfg.reachable(b, NodeId::EXIT) && !escapes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dominators_match_brute_force(f in arb_cfg_function()) {
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        for a in cfg.nodes() {
+            for b in cfg.nodes() {
+                // Brute force is only meaningful for entry-reachable b.
+                if !cfg.reachable(NodeId::ENTRY, b) || !cfg.reachable(NodeId::ENTRY, a) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    dominates_brute(&cfg, a, b),
+                    "dominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_match_brute_force(f in arb_cfg_function()) {
+        let cfg = Cfg::new(&f);
+        let pdom = DomTree::postdominators(&cfg);
+        for a in cfg.nodes() {
+            for b in cfg.nodes() {
+                if !cfg.reachable(b, NodeId::EXIT) || !cfg.reachable(a, NodeId::EXIT) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    pdom.dominates(a, b),
+                    postdominates_brute(&cfg, a, b),
+                    "postdominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_the_closest_strict_dominator(f in arb_cfg_function()) {
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        for n in cfg.nodes() {
+            if !dom.is_reachable(n) || n == NodeId::ENTRY {
+                continue;
+            }
+            let idom = dom.idom(n).expect("reachable non-root has an idom");
+            prop_assert!(dom.strictly_dominates(idom, n));
+            // Every other strict dominator of n dominates idom(n).
+            for d in cfg.nodes() {
+                if d != n && d != idom && dom.strictly_dominates(d, n) {
+                    prop_assert!(
+                        dom.dominates(d, idom),
+                        "{} strictly dominates {} but not its idom {}", d, n, idom
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric_and_transitive(f in arb_cfg_function()) {
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let nodes: Vec<NodeId> = cfg.nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b && dom.dominates(a, b) {
+                    prop_assert!(!dom.dominates(b, a), "antisymmetry: {} vs {}", a, b);
+                }
+                for &c in &nodes {
+                    if dom.dominates(a, b) && dom.dominates(b, c) {
+                        prop_assert!(dom.dominates(a, c), "transitivity {} {} {}", a, b, c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn natural_loop_headers_dominate_their_bodies(f in arb_cfg_function()) {
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        for (_, l) in loops.loops() {
+            for &b in &l.blocks {
+                prop_assert!(
+                    dom.dominates(NodeId::block(l.header), NodeId::block(b)),
+                    "header BL{} does not dominate member BL{}",
+                    l.header.index(),
+                    b.index()
+                );
+            }
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch), "latches live inside the loop");
+            }
+        }
+    }
+}
+
+#[test]
+fn brute_force_oracle_sanity() {
+    // The diamond: A dominates everything; neither arm dominates the join.
+    let f = parse_function(
+        "func d\nA:\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n",
+    )
+    .expect("parses");
+    let cfg = Cfg::new(&f);
+    let n = |i: u32| NodeId::block(BlockId::new(i));
+    assert!(dominates_brute(&cfg, n(0), n(3)));
+    assert!(!dominates_brute(&cfg, n(1), n(3)));
+    assert!(postdominates_brute(&cfg, n(3), n(0)));
+    assert!(!postdominates_brute(&cfg, n(1), n(0)));
+}

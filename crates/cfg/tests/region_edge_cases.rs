@@ -1,0 +1,145 @@
+//! Region machinery edge cases: returns inside loops, multiple exits,
+//! three-deep nesting, grandchild lifting, and irreducible regions.
+
+use gis_cfg::{
+    Cfg, DomTree, LoopForest, NodeId, RegionGraph, RegionKind, RegionNode, RegionTree,
+};
+use gis_ir::{parse_function, BlockId};
+
+fn analyses(text: &str) -> (Cfg, RegionTree) {
+    let f = parse_function(text).expect("parses");
+    let cfg = Cfg::new(&f);
+    let dom = DomTree::dominators(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    let tree = RegionTree::new(&cfg, &loops);
+    (cfg, tree)
+}
+
+#[test]
+fn loop_with_a_return_inside() {
+    // The loop can exit via RET (B) as well as via the bottom test.
+    let (cfg, tree) = analyses(
+        "func r\n\
+         init:\n LI r1=0\n\
+         H:\n AI r1=r1,1\n C cr0=r1,r9\n BT X,cr0,0x4/eq\n\
+         B:\n RET\n\
+         X:\n C cr1=r1,r8\n BT H,cr1,0x1/lt\n\
+         out:\n PRINT r1\n RET\n",
+    );
+    let rid = tree.innermost(BlockId::new(1));
+    assert!(matches!(tree.region(rid).kind, RegionKind::Loop(_)));
+    // B ends in RET and cannot reach the latch, so it is *not* part of
+    // the natural loop — it belongs to the enclosing body region.
+    assert_eq!(tree.innermost(BlockId::new(2)), tree.root());
+    assert_eq!(tree.region(rid).blocks, vec![BlockId::new(1), BlockId::new(3)]);
+
+    let g = RegionGraph::new(&cfg, &tree, rid).expect("reducible");
+    // H's fall-through leaves the region (towards B): edge to EXIT, plus
+    // the in-loop edge to X.
+    let h = g.node_of_block(BlockId::new(1)).expect("header");
+    let x = g.node_of_block(BlockId::new(3)).expect("latch");
+    let h_targets: Vec<NodeId> = g.succs(h).iter().map(|&(t, _)| t).collect();
+    assert!(h_targets.contains(&x) && h_targets.contains(&NodeId::EXIT));
+    // The latch exits via fall-through after back-edge removal.
+    assert!(g.succs(x).iter().all(|&(t, _)| t == NodeId::EXIT));
+    // Postdominators still root at EXIT and cover every node.
+    let pdom = g.postdominators();
+    assert!(pdom.dominates(NodeId::EXIT, h));
+}
+
+#[test]
+fn three_deep_nesting_heights_and_order() {
+    let (_, tree) = analyses(
+        "func n3\n\
+         A:\n LI r1=0\n\
+         B:\n LI r2=0\n\
+         C:\n LI r3=0\n\
+         D:\n AI r3=r3,1\n C cr0=r3,r9\n BT D,cr0,0x1/lt\n\
+         E:\n AI r2=r2,1\n C cr1=r2,r9\n BT C,cr1,0x1/lt\n\
+         F:\n AI r1=r1,1\n C cr2=r1,r9\n BT B,cr2,0x1/lt\n\
+         G:\n RET\n",
+    );
+    let heights: Vec<usize> = tree
+        .schedule_order()
+        .iter()
+        .map(|&r| tree.region(r).height)
+        .collect();
+    assert_eq!(heights, vec![0, 1, 2, 3], "innermost first, body last");
+    assert_eq!(tree.region(tree.root()).kind, RegionKind::Body);
+    // D's innermost loop nests inside E's inside F's.
+    let d = tree.innermost(BlockId::new(3));
+    let c = tree.innermost(BlockId::new(2));
+    let b = tree.innermost(BlockId::new(1));
+    assert_eq!(tree.region(d).parent, Some(c));
+    assert_eq!(tree.region(c).parent, Some(b));
+    assert!(tree.contains(b, BlockId::new(3)), "grandchild containment");
+}
+
+#[test]
+fn grandchild_blocks_lift_to_the_direct_child_supernode() {
+    let (cfg, tree) = analyses(
+        "func g\n\
+         A:\n LI r1=0\n\
+         B:\n LI r2=0\n\
+         C:\n AI r2=r2,1\n C cr0=r2,r9\n BT C,cr0,0x1/lt\n\
+         D:\n AI r1=r1,1\n C cr1=r1,r9\n BT B,cr1,0x1/lt\n\
+         E:\n RET\n",
+    );
+    // The body region sees one supernode for the outer loop; the inner
+    // loop's block C is inside that same supernode (not its own node).
+    let g = RegionGraph::new(&cfg, &tree, tree.root()).expect("reducible");
+    let supers: Vec<NodeId> = (0..g.num_nodes())
+        .map(NodeId::from_index)
+        .filter(|&n| matches!(g.node(n), RegionNode::Inner(_)))
+        .collect();
+    assert_eq!(supers.len(), 1, "exactly one direct child of the body");
+    assert!(g.node_of_block(BlockId::new(1)).is_none(), "B is inside the supernode");
+    assert!(g.node_of_block(BlockId::new(2)).is_none(), "C (grandchild) too");
+    // A -> supernode -> E.
+    let a = g.node_of_block(BlockId::new(0)).unwrap();
+    assert_eq!(g.succs(a)[0].0, supers[0]);
+    let e = g.node_of_block(BlockId::new(4)).unwrap();
+    assert!(g.succs(supers[0]).iter().any(|&(t, _)| t == e));
+}
+
+#[test]
+fn irreducible_body_region_is_an_error() {
+    // Two-entry cycle between B and C.
+    let (cfg, tree) = analyses(
+        "func i\n\
+         A:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\n\
+         B:\n C cr1=r1,r3\n BT C,cr1,0x2/gt\n\
+         Bx:\n B E\n\
+         C:\n C cr2=r1,r4\n BT B,cr2,0x2/gt\n\
+         Cx:\n B E\n\
+         E:\n RET\n",
+    );
+    let err = RegionGraph::new(&cfg, &tree, tree.root()).unwrap_err();
+    assert_eq!(err.region, tree.root());
+    assert!(err.to_string().contains("irreducible"));
+}
+
+#[test]
+fn multiple_loop_exits_reach_region_exit() {
+    let (cfg, tree) = analyses(
+        "func m\n\
+         init:\n LI r1=0\n\
+         H:\n AI r1=r1,1\n C cr0=r1,r8\n BT done,cr0,0x4/eq\n\
+         M:\n C cr1=r1,r7\n BT done,cr1,0x2/gt\n\
+         L:\n C cr2=r1,r9\n BT H,cr2,0x1/lt\n\
+         done:\n PRINT r1\n RET\n",
+    );
+    let rid = tree.innermost(BlockId::new(1));
+    let g = RegionGraph::new(&cfg, &tree, rid).expect("reducible");
+    // All three loop blocks have an edge to EXIT (two early exits plus the
+    // latch fall-through).
+    for b in 1..=3 {
+        let n = g.node_of_block(BlockId::new(b)).expect("in loop");
+        assert!(
+            g.succs(n).iter().any(|&(t, _)| t == NodeId::EXIT),
+            "BL{b} exits the region"
+        );
+    }
+    // The topological order still covers every node exactly once.
+    assert_eq!(g.topo_order().len(), g.num_nodes());
+}

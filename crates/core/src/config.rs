@@ -1,0 +1,132 @@
+//! Scheduling configuration.
+
+/// How far instructions may move (§5.1's "levels of scheduling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedLevel {
+    /// No inter-block motion: only the final basic block scheduler runs.
+    /// This is the paper's BASE compiler configuration.
+    BasicBlockOnly,
+    /// Useful instructions only: candidates come from `EQUIV(A)`.
+    Useful,
+    /// Useful plus 1-branch speculative instructions: candidates also come
+    /// from the immediate CSPDG successors of `A` and of `EQUIV(A)`.
+    Speculative,
+}
+
+/// Configuration of the whole scheduling pipeline.
+///
+/// The presets ([`SchedConfig::base`], [`SchedConfig::useful`],
+/// [`SchedConfig::speculative`]) reproduce the three compiler
+/// configurations compared in §6; [`SchedConfig::paper_example`] disables
+/// the unroll/rotate preparation steps so Figures 5 and 6 come out
+/// exactly as printed.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Inter-block motion level.
+    pub level: SchedLevel,
+    /// Run register-web renaming before scheduling (§4.2's SSA-like
+    /// renaming; required for Figure 6's `cr6`→`cr5` motion).
+    pub rename: bool,
+    /// Unroll inner loops of at most [`SchedConfig::small_loop_blocks`]
+    /// blocks once before scheduling (§6).
+    pub unroll: bool,
+    /// How many doubling rounds of unrolling to run (the paper's §6 uses
+    /// one; each extra round doubles again any loop still under the
+    /// [`SchedConfig::small_loop_blocks`] limit).
+    pub unroll_times: usize,
+    /// Rotate small inner loops between the two global passes (§6's
+    /// partial software pipelining).
+    pub rotate: bool,
+    /// Loops up to this many blocks are "small" for unroll/rotate (§6: 4).
+    pub small_loop_blocks: usize,
+    /// Regions larger than this many blocks are not scheduled (§6: 64).
+    pub max_region_blocks: usize,
+    /// Regions larger than this many instructions are not scheduled
+    /// (§6: 256).
+    pub max_region_insts: usize,
+    /// Only regions of height at most this are scheduled (§6 schedules
+    /// "two inner levels": heights 0 and 1).
+    pub max_region_height: usize,
+    /// Whether loads may be moved speculatively (they cannot fault in the
+    /// machine model, so the default is true).
+    pub speculative_loads: bool,
+    /// Rename the target of a speculative candidate that clobbers a
+    /// live-on-exit register (single-definition webs only) instead of
+    /// rejecting the motion.
+    pub speculative_renaming: bool,
+    /// Run the final per-block list scheduling pass (§5.1's "basic block
+    /// scheduler is applied ... after the global scheduling is completed").
+    pub final_bb_pass: bool,
+    /// Branch probabilities for profile-guided speculation (§1: "global
+    /// scheduling is capable of taking advantage of the branch
+    /// probabilities, whenever available").
+    pub profile: Option<crate::BranchProfile>,
+    /// Speculative candidates from blocks that execute with probability
+    /// below this (per the profile) are skipped. 0.0 disables the gate;
+    /// only meaningful when a profile is supplied.
+    pub min_speculation_probability: f64,
+    /// How many conditional branches an instruction may cross (Definition
+    /// 7). The paper's prototype supports 1; higher values implement its
+    /// announced "more aggressive speculative scheduling" extension.
+    pub max_speculation_branches: usize,
+}
+
+impl SchedConfig {
+    /// The paper's BASE compiler: basic block scheduling only.
+    pub fn base() -> Self {
+        SchedConfig { level: SchedLevel::BasicBlockOnly, ..Self::speculative() }
+    }
+
+    /// Global scheduling restricted to useful motion.
+    pub fn useful() -> Self {
+        SchedConfig { level: SchedLevel::Useful, ..Self::speculative() }
+    }
+
+    /// The full configuration: useful plus 1-branch speculative motion.
+    pub fn speculative() -> Self {
+        SchedConfig {
+            level: SchedLevel::Speculative,
+            rename: true,
+            unroll: true,
+            unroll_times: 1,
+            rotate: true,
+            small_loop_blocks: 4,
+            max_region_blocks: 64,
+            max_region_insts: 256,
+            max_region_height: 1,
+            speculative_loads: true,
+            speculative_renaming: true,
+            final_bb_pass: true,
+            profile: None,
+            min_speculation_probability: 0.0,
+            max_speculation_branches: 1,
+        }
+    }
+
+    /// The §5.4 demonstration setup: global scheduling without the
+    /// unroll/rotate preparation steps and without the final basic block
+    /// pass, so the result is exactly Figure 5 (useful) / Figure 6
+    /// (speculative).
+    ///
+    /// Upfront web renaming is also off: the paper's Figure 2 listing
+    /// shares `cr6`/`cr7` between independent webs, and Figure 6 relies on
+    /// the *on-demand* rename during speculation (`cr6`→`cr5`). With
+    /// upfront renaming the scheduler finds strictly more motion (see the
+    /// renaming ablation experiment).
+    pub fn paper_example(level: SchedLevel) -> Self {
+        SchedConfig {
+            level,
+            rename: false,
+            unroll: false,
+            rotate: false,
+            final_bb_pass: false,
+            ..Self::speculative()
+        }
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self::speculative()
+    }
+}

@@ -1,0 +1,136 @@
+//! The delay (`D`) and critical path (`CP`) heuristics of §5.2.
+//!
+//! Both are computed *locally*, within a basic block, from the data
+//! dependence edges whose endpoints currently sit in that block:
+//!
+//! * `D(I)` — how many delay slots may occur on a path from `I` to the end
+//!   of its block: `max over successors J of D(J) + d(I, J)`, starting
+//!   from 0;
+//! * `CP(I)` — how long the instructions depending on `I` (including `I`)
+//!   take on an unbounded machine:
+//!   `max over successors J of (CP(J) + d(I, J)) + E(I)`, starting from
+//!   `E(I)`.
+
+use gis_ir::{BlockId, Function, InstId};
+use gis_machine::MachineDescription;
+use gis_pdg::DataDeps;
+use std::collections::HashMap;
+
+/// `D` and `CP` values for the instructions of one block.
+#[derive(Debug, Clone, Default)]
+pub struct Heuristics {
+    d: HashMap<InstId, u32>,
+    cp: HashMap<InstId, u32>,
+}
+
+impl Heuristics {
+    /// Computes `D` and `CP` for the current contents of `block`.
+    ///
+    /// `deps` may cover a whole region; only edges with both endpoints in
+    /// `block` participate (the heuristics are local by design).
+    pub fn for_block(
+        f: &Function,
+        machine: &MachineDescription,
+        deps: &DataDeps,
+        block: BlockId,
+    ) -> Self {
+        let insts = f.block(block).insts();
+        let member: HashMap<InstId, usize> =
+            insts.iter().enumerate().map(|(pos, i)| (i.id, pos)).collect();
+        let mut h = Heuristics::default();
+        for inst in insts.iter().rev() {
+            let exec = machine.exec_time(inst.op.class());
+            let mut d = 0u32;
+            let mut cp_tail = 0u32;
+            for e in deps.succs(inst.id) {
+                if !member.contains_key(&e.to) {
+                    continue;
+                }
+                let dj = h.d.get(&e.to).copied().unwrap_or(0);
+                let cpj = h.cp.get(&e.to).copied().unwrap_or(0);
+                d = d.max(dj + e.delay);
+                cp_tail = cp_tail.max(cpj + e.delay);
+            }
+            h.d.insert(inst.id, d);
+            h.cp.insert(inst.id, cp_tail + exec);
+        }
+        h
+    }
+
+    /// The delay heuristic for `i` (0 when unknown).
+    pub fn d(&self, i: InstId) -> u32 {
+        self.d.get(&i).copied().unwrap_or(0)
+    }
+
+    /// The critical path heuristic for `i` (0 when unknown).
+    pub fn cp(&self, i: InstId) -> u32 {
+        self.cp.get(&i).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    #[test]
+    fn figure2_bl1_heuristics() {
+        // BL1 of the paper: L, LU, C, BF with delays 1 (delayed load) and
+        // 3 (compare→branch).
+        let f = parse_function(
+            "func b\nCL.0:\n\
+             (I1) L  r12=a(r31,4)\n\
+             (I2) LU r0,r31=a(r31,8)\n\
+             (I3) C  cr7=r12,r0\n\
+             (I4) BF CL.0,cr7,0x2/gt\nE:\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        let deps = DataDeps::build(&f, &m, &blocks, |x, y| x < y);
+        let h = Heuristics::for_block(&f, &m, &deps, BlockId::new(0));
+
+        // D: branch has no successors (0); compare feeds the branch with
+        // delay 3; the loads feed the compare with delay 1 (so D(load) =
+        // D(C) + 1 = 4).
+        assert_eq!(h.d(InstId::new(4)), 0);
+        assert_eq!(h.d(InstId::new(3)), 3);
+        assert_eq!(h.d(InstId::new(2)), 4);
+        assert_eq!(h.d(InstId::new(1)), 4);
+
+        // CP: branch = 1; compare = CP(br) + 3 + 1 = 5; LU = CP(C) + 1
+        // + 1 = 7; L additionally sees its anti edge to LU:
+        // max(CP(LU) + 0, CP(C) + 1) + 1 = 8.
+        assert_eq!(h.cp(InstId::new(4)), 1);
+        assert_eq!(h.cp(InstId::new(3)), 5);
+        assert_eq!(h.cp(InstId::new(2)), 7);
+        assert_eq!(h.cp(InstId::new(1)), 8);
+    }
+
+    #[test]
+    fn independent_instructions_have_zero_d() {
+        let f = parse_function(
+            "func i\nA:\n (I0) LI r1=1\n (I1) LI r2=2\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        let deps = DataDeps::build(&f, &m, &blocks, |x, y| x < y);
+        let h = Heuristics::for_block(&f, &m, &deps, BlockId::new(0));
+        assert_eq!(h.d(InstId::new(0)), 0);
+        assert_eq!(h.cp(InstId::new(0)), 1);
+    }
+
+    #[test]
+    fn edges_outside_the_block_are_ignored() {
+        let f = parse_function(
+            "func o\nA:\n (I0) L r1=a(r9,0)\nB:\n (I1) AI r2=r1,1\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        let deps = DataDeps::build(&f, &m, &blocks, |x, y| x < y);
+        let h = Heuristics::for_block(&f, &m, &deps, BlockId::new(0));
+        assert_eq!(h.d(InstId::new(0)), 0, "cross-block edge ignored");
+    }
+}

@@ -1,0 +1,509 @@
+//! The global (inter-block) scheduler — §5.1–§5.3 of the paper.
+//!
+//! One region at a time, blocks in topological order. For each block `A`
+//! the candidate blocks are `EQUIV(A)` (useful motion) plus, at the
+//! speculative level, the immediate CSPDG successors of `A` and of
+//! `EQUIV(A)` that `A` dominates (no duplication, Definition 6; 1-branch
+//! speculation only, Definition 7). Candidate instructions are scheduled
+//! cycle by cycle against the parametric machine description; when a
+//! candidate from another block is picked it physically moves into `A`
+//! (always upward). The heuristic ladder of §5.2 breaks ties: useful
+//! before speculative, then the delay heuristic `D`, then the critical
+//! path heuristic `CP`, then original program order.
+//!
+//! Speculative motions obey §5.3: an instruction defining a register that
+//! is live on exit from `A` is rejected — or, when the definition's
+//! du-chain is local to its home block, renamed to a fresh register (the
+//! paper's `cr6`→`cr5` motion in Figure 6). Liveness is recomputed after
+//! every motion ("this type of information has to be updated
+//! dynamically").
+
+use crate::config::{SchedConfig, SchedLevel};
+use crate::dcp::Heuristics;
+use crate::stats::SchedStats;
+use gis_cfg::{Cfg, NodeId, RegionGraph, RegionNode, RegionTree};
+use gis_ir::{BlockId, Function, InstId, Reg};
+use gis_machine::MachineDescription;
+use gis_pdg::{Cspdg, DataDeps, Liveness};
+use std::collections::{HashMap, HashSet};
+
+/// Schedules one region of `f`. Returns `false` when the region was
+/// skipped (irreducible or over the §6 size limits); statistics accumulate
+/// into `stats` either way.
+pub fn schedule_region(
+    f: &mut Function,
+    machine: &MachineDescription,
+    cfg: &Cfg,
+    tree: &RegionTree,
+    rid: gis_cfg::RegionId,
+    config: &SchedConfig,
+    stats: &mut SchedStats,
+) -> bool {
+    if config.level == SchedLevel::BasicBlockOnly {
+        return false;
+    }
+    // §6 size limits: at most 64 blocks / 256 instructions per region.
+    let scope_blocks = subtree_blocks(tree, rid);
+    if scope_blocks.len() > config.max_region_blocks {
+        stats.regions_skipped += 1;
+        return false;
+    }
+    let scope_insts: usize = scope_blocks.iter().map(|b| f.block(*b).len()).sum();
+    if scope_insts > config.max_region_insts {
+        stats.regions_skipped += 1;
+        return false;
+    }
+    let Ok(g) = RegionGraph::new(cfg, tree, rid) else {
+        stats.regions_skipped += 1;
+        return false;
+    };
+    let cspdg = Cspdg::new(&g);
+
+    // Node-level forward reachability (small graphs; dense matrix).
+    let reach = reachability(&g);
+
+    // Map every scope block to its node: direct blocks to their own node,
+    // blocks of enclosed regions to the supernode of the enclosing child.
+    let node_of: HashMap<BlockId, NodeId> = scope_blocks
+        .iter()
+        .map(|&b| (b, lift_block(&g, tree, rid, b)))
+        .collect();
+
+    let mut deps = DataDeps::build(f, machine, &scope_blocks, |x, y| {
+        let (nx, ny) = (node_of[&x], node_of[&y]);
+        nx != ny && reach[nx.index()][ny.index()]
+    });
+    deps.reduce();
+
+    // Original program order for the final tie-break.
+    let order_index: HashMap<InstId, usize> =
+        deps.scope_order().iter().enumerate().map(|(i, id)| (*id, i)).collect();
+
+    let mut pass = RegionPass {
+        machine,
+        cfg,
+        config,
+        deps: &deps,
+        reach: &reach,
+        order_index: &order_index,
+        placed: HashSet::new(),
+        inst_node: HashMap::new(),
+        liveness: Liveness::compute(f, cfg),
+        stats,
+    };
+    for &b in &scope_blocks {
+        for inst in f.block(b).insts() {
+            pass.inst_node.insert(inst.id, node_of[&b]);
+        }
+    }
+
+    for &node in g.topo_order() {
+        if let RegionNode::Block(a) = g.node(node) {
+            pass.schedule_block(f, &g, &cspdg, node, a);
+        }
+    }
+    pass.stats.regions_scheduled += 1;
+    true
+}
+
+/// All blocks of a region's subtree (direct blocks plus nested regions').
+fn subtree_blocks(tree: &RegionTree, rid: gis_cfg::RegionId) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    let mut stack = vec![rid];
+    while let Some(r) = stack.pop() {
+        let reg = tree.region(r);
+        out.extend(reg.blocks.iter().copied());
+        stack.extend(reg.children.iter().copied());
+    }
+    out.sort();
+    out
+}
+
+/// Dense forward reachability over a region graph (reflexive).
+fn reachability(g: &RegionGraph) -> Vec<Vec<bool>> {
+    let n = g.num_nodes();
+    let mut reach = vec![vec![false; n]; n];
+    for start in 0..n {
+        let mut stack = vec![NodeId::from_index(start)];
+        reach[start][start] = true;
+        while let Some(x) = stack.pop() {
+            for &(to, _) in g.succs(x) {
+                if !reach[start][to.index()] {
+                    reach[start][to.index()] = true;
+                    stack.push(to);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// The node a block maps to in this region's graph: itself when direct,
+/// otherwise the supernode of the direct child that encloses it.
+fn lift_block(
+    g: &RegionGraph,
+    tree: &RegionTree,
+    rid: gis_cfg::RegionId,
+    b: BlockId,
+) -> NodeId {
+    if let Some(n) = g.node_of_block(b) {
+        return n;
+    }
+    // Walk up the region tree to the direct child of `rid`.
+    let mut cur = tree.innermost(b);
+    loop {
+        let parent = tree.region(cur).parent.expect("b is inside rid's subtree");
+        if parent == rid {
+            break;
+        }
+        cur = parent;
+    }
+    for i in 0..g.num_nodes() {
+        if g.node(NodeId::from_index(i)) == RegionNode::Inner(cur) {
+            return NodeId::from_index(i);
+        }
+    }
+    unreachable!("supernode for child region exists");
+}
+
+struct RegionPass<'a> {
+    machine: &'a MachineDescription,
+    cfg: &'a Cfg,
+    config: &'a SchedConfig,
+    deps: &'a DataDeps,
+    reach: &'a [Vec<bool>],
+    order_index: &'a HashMap<InstId, usize>,
+    /// Instructions placed by this region pass (any block).
+    placed: HashSet<InstId>,
+    /// Current region-graph node of every scope instruction.
+    inst_node: HashMap<InstId, NodeId>,
+    liveness: Liveness,
+    stats: &'a mut SchedStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    id: InstId,
+    home: BlockId,
+    useful: bool,
+    /// Execution probability given the target block executes (1.0 for
+    /// useful candidates and when no profile is supplied).
+    prob: f64,
+}
+
+impl RegionPass<'_> {
+    fn schedule_block(
+        &mut self,
+        f: &mut Function,
+        g: &RegionGraph,
+        cspdg: &Cspdg,
+        node_a: NodeId,
+        a: BlockId,
+    ) {
+        // ---- Candidate blocks. ----------------------------------------
+        let equiv: Vec<NodeId> = cspdg.equiv_dominated(node_a);
+        let mut useful_blocks: Vec<NodeId> = equiv.clone();
+        let mut spec_blocks: Vec<(NodeId, f64)> = Vec::new();
+        if self.config.level == SchedLevel::Speculative {
+            // Probability that the child of a CD edge executes, from the
+            // branch profile when one is supplied (§1's profile-guided
+            // speculation); 1.0 when unknown.
+            let prob_of = |parent: NodeId, label: gis_cfg::EdgeLabel| -> f64 {
+                let Some(profile) = &self.config.profile else { return 1.0 };
+                let RegionNode::Block(pb) = g.node(parent) else { return 1.0 };
+                let Some(last) = f.block(pb).last() else { return 1.0 };
+                match (profile.taken_probability(last.id), label) {
+                    (Some(p), gis_cfg::EdgeLabel::Taken) => p,
+                    (Some(p), gis_cfg::EdgeLabel::NotTaken) => 1.0 - p,
+                    _ => 1.0,
+                }
+            };
+            let push = |n: NodeId, prob: f64, spec: &mut Vec<(NodeId, f64)>| -> bool {
+                if cspdg.is_block(n)
+                    && n != node_a
+                    && !useful_blocks.contains(&n)
+                    && !spec.iter().any(|&(b, _)| b == n)
+                    && prob >= self.config.min_speculation_probability
+                    // No duplication (Definition 6): A must dominate B.
+                    && cspdg.dom().strictly_dominates(node_a, n)
+                {
+                    spec.push((n, prob));
+                    true
+                } else {
+                    false
+                }
+            };
+            // Breadth-first over CSPDG children: depth 1 reproduces the
+            // paper's prototype; larger `max_speculation_branches` crosses
+            // more branches, with path probabilities multiplying.
+            let mut frontier: Vec<(NodeId, f64)> =
+                std::iter::once((node_a, 1.0)).chain(equiv.iter().map(|&e| (e, 1.0))).collect();
+            for _ in 0..self.config.max_speculation_branches {
+                let mut next = Vec::new();
+                for &(n, p) in &frontier {
+                    for &(c, l) in cspdg.cd_children(n) {
+                        let prob = p * prob_of(n, l);
+                        if push(c, prob, &mut spec_blocks) {
+                            next.push((c, prob));
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                frontier = next;
+            }
+        }
+        useful_blocks.insert(0, node_a);
+
+        // ---- Candidate instructions. ----------------------------------
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut a_remaining = 0usize;
+        let mut a_branch: Option<InstId> = None;
+        for inst in f.block(a).insts() {
+            if inst.op.is_branch() {
+                a_branch = Some(inst.id);
+            }
+            a_remaining += 1;
+            cands.push(Candidate { id: inst.id, home: a, useful: true, prob: 1.0 });
+        }
+        for &n in useful_blocks.iter().skip(1) {
+            let RegionNode::Block(b) = g.node(n) else { continue };
+            for inst in f.block(b).insts() {
+                if inst.op.may_cross_block() {
+                    cands.push(Candidate { id: inst.id, home: b, useful: true, prob: 1.0 });
+                }
+            }
+        }
+        for &(n, prob) in &spec_blocks {
+            let RegionNode::Block(b) = g.node(n) else { continue };
+            for inst in f.block(b).insts() {
+                let class = inst.op.class();
+                if inst.op.may_speculate()
+                    && (self.config.speculative_loads || class != gis_ir::OpClass::Load)
+                {
+                    cands.push(Candidate { id: inst.id, home: b, useful: false, prob });
+                }
+            }
+        }
+        let in_s: HashSet<InstId> = cands.iter().map(|c| c.id).collect();
+
+        // Per-block D/CP heuristics over current block contents.
+        let mut heur: HashMap<BlockId, Heuristics> = HashMap::new();
+        for c in &cands {
+            heur.entry(c.home)
+                .or_insert_with(|| Heuristics::for_block(f, self.machine, self.deps, c.home));
+        }
+
+        // ---- Cycle-by-cycle list scheduling. --------------------------
+        let mut place_time: HashMap<InstId, u64> = HashMap::new();
+        let mut new_order: Vec<InstId> = Vec::new();
+        let mut rejected: HashSet<InstId> = HashSet::new();
+        let mut units: Vec<Vec<u64>> = self
+            .machine
+            .unit_kinds()
+            .map(|k| vec![0u64; self.machine.unit_count(k) as usize])
+            .collect();
+        let width = self.machine.dispatch_width();
+        let mut t: u64 = 0;
+
+        'cycles: while a_remaining > 0 {
+            let mut issued = 0u32;
+            'picks: loop {
+                let mut best: Option<(
+                    Candidate,
+                    (bool, u32, u32, u32, std::cmp::Reverse<usize>),
+                )> = None;
+                for c in &cands {
+                    if place_time.contains_key(&c.id) || rejected.contains(&c.id) {
+                        continue;
+                    }
+                    // The block's own branch waits for the rest of the
+                    // block (branch order preserved; blocks keep their
+                    // terminator last).
+                    if Some(c.id) == a_branch && a_remaining > 1 {
+                        continue;
+                    }
+                    if !self.ready(node_a, c.id, &in_s, &place_time, t) {
+                        continue;
+                    }
+                    let (bid, pos) = f.find_inst(c.id).expect("candidate exists");
+                    debug_assert_eq!(bid, c.home);
+                    let op = &f.block(bid).insts()[pos].op;
+                    let kind = self.machine.unit_of(op.class());
+                    if !units[kind.index()].iter().any(|&busy| busy <= t) {
+                        continue;
+                    }
+                    let h = &heur[&c.home];
+                    let key = (
+                        c.useful,
+                        (c.prob * 1000.0) as u32, // likelier gambles first
+                        h.d(c.id),
+                        h.cp(c.id),
+                        std::cmp::Reverse(self.order_index[&c.id]),
+                    );
+                    if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
+                        best = Some((*c, key));
+                    }
+                }
+                let Some((cand, _)) = best else { break 'picks };
+
+                // §5.3: speculative motion may not clobber a register live
+                // on exit from A — unless a local rename fixes it.
+                if cand.home != a && !cand.useful && !self.speculation_allowed(f, a, &cand) {
+                    rejected.insert(cand.id);
+                    continue;
+                }
+
+                // Issue.
+                let (_, pos) = f.find_inst(cand.id).expect("exists");
+                let class = f.block(cand.home).insts()[pos].op.class();
+                let kind = self.machine.unit_of(class);
+                let exec = self.machine.exec_time(class) as u64;
+                let slot = units[kind.index()]
+                    .iter()
+                    .position(|&busy| busy <= t)
+                    .expect("free unit checked");
+                units[kind.index()][slot] = t + exec;
+                place_time.insert(cand.id, t);
+                self.placed.insert(cand.id);
+                new_order.push(cand.id);
+
+                if cand.home == a {
+                    a_remaining -= 1;
+                    if a_remaining == 0 {
+                        break 'cycles;
+                    }
+                } else {
+                    // Physical upward motion into A (kept before A's
+                    // branch; final order applied at end of pass).
+                    let moved =
+                        f.block_mut(cand.home).remove(cand.id).expect("present in home");
+                    let block_a = f.block_mut(a);
+                    let at = block_a.len()
+                        - usize::from(block_a.last().is_some_and(|i| i.op.is_branch()));
+                    block_a.insts_mut().insert(at, moved);
+                    self.inst_node.insert(cand.id, node_a);
+                    if cand.useful {
+                        self.stats.moved_useful += 1;
+                    } else {
+                        self.stats.moved_speculative += 1;
+                    }
+                    // §5.3: liveness must be updated after each motion.
+                    self.liveness = Liveness::compute(f, self.cfg);
+                }
+
+                issued += 1;
+                if issued >= width {
+                    break 'picks;
+                }
+            }
+            t += 1;
+        }
+
+        // ---- Apply A's final order. ------------------------------------
+        let mut by_id: HashMap<InstId, gis_ir::Inst> =
+            f.block_mut(a).insts_mut().drain(..).map(|i| (i.id, i)).collect();
+        let rebuilt: Vec<gis_ir::Inst> = new_order
+            .iter()
+            .map(|id| by_id.remove(id).expect("scheduled instructions live in A"))
+            .collect();
+        debug_assert!(by_id.is_empty(), "every instruction of A was scheduled");
+        *f.block_mut(a).insts_mut() = rebuilt;
+    }
+
+    /// Whether all data dependences into `id` are fulfilled at cycle `t`.
+    fn ready(
+        &self,
+        node_a: NodeId,
+        id: InstId,
+        in_s: &HashSet<InstId>,
+        place_time: &HashMap<InstId, u64>,
+        t: u64,
+    ) -> bool {
+        for e in self.deps.preds(id) {
+            if let Some(&tp) = place_time.get(&e.from) {
+                // Placed in this very block pass: timing applies.
+                if tp + e.sep() as u64 > t {
+                    return false;
+                }
+            } else if self.placed.contains(&e.from) {
+                // Placed in an earlier block of this region: the paper's
+                // per-block restart; interlocks cover residual delays.
+            } else if in_s.contains(&e.from) {
+                return false; // will be scheduled in this pass, wait for it
+            } else {
+                // Outside the candidate set: blocked when it could still
+                // execute between A and the candidate's home block.
+                let pn = self.inst_node[&e.from];
+                if self.reach[node_a.index()][pn.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// §5.3 gate for a speculative candidate, with the renaming escape.
+    fn speculation_allowed(&mut self, f: &mut Function, a: BlockId, cand: &Candidate) -> bool {
+        let (bid, pos) = f.find_inst(cand.id).expect("exists");
+        let op = &f.block(bid).insts()[pos].op;
+        let clobbered: Vec<Reg> = op
+            .defs()
+            .into_iter()
+            .filter(|r| self.liveness.live_out(a).contains(r))
+            .collect();
+        if clobbered.is_empty() {
+            return true;
+        }
+        if !self.config.speculative_renaming || op.has_tied_base() {
+            self.stats.rejected_live_out += 1;
+            return false;
+        }
+        // Rename each clobbered definition when its du-chain is local to
+        // the home block: the uses between the definition and the next
+        // redefinition (or block end, provided the register is dead on
+        // exit from the home block) see exactly this definition.
+        for r in &clobbered {
+            if !self.chain_is_local(f, bid, pos, *r) {
+                self.stats.rejected_live_out += 1;
+                return false;
+            }
+        }
+        for r in clobbered {
+            let fresh = f.fresh_reg(r.class());
+            let block = f.block_mut(bid);
+            let len = block.len();
+            for p in pos..len {
+                let op = &mut block.insts_mut()[p].op;
+                if p > pos {
+                    op.map_uses(|x| if x == r { fresh } else { x });
+                    if op.defs().contains(&r) {
+                        break;
+                    }
+                } else {
+                    op.map_defs(|x| if x == r { fresh } else { x });
+                }
+            }
+            self.stats.renamed_speculative += 1;
+        }
+        true
+    }
+
+    /// Whether the du-chain of the definition of `r` at `(bid, pos)` is
+    /// contained in `bid` (see [`RegionPass::speculation_allowed`]).
+    fn chain_is_local(&self, f: &Function, bid: BlockId, pos: usize, r: Reg) -> bool {
+        let insts = f.block(bid).insts();
+        for inst in &insts[pos + 1..] {
+            // An update-form base both uses and defines `r` in one field;
+            // the chain cannot be renamed apart from its successor.
+            if inst.op.has_tied_base() && inst.op.uses().contains(&r) {
+                return false;
+            }
+            if inst.op.defs().contains(&r) {
+                return true; // redefined before block end: chain is local
+            }
+        }
+        !self.liveness.live_out(bid).contains(&r)
+    }
+}

@@ -1,0 +1,269 @@
+//! The full scheduling pipeline — the §6 "general flow":
+//!
+//! 1. register-web renaming (§4.2);
+//! 2. certain inner loops are unrolled;
+//! 3. global scheduling of the inner regions;
+//! 4. certain inner loops are rotated;
+//! 5. global scheduling a second time (rotated inner loops and the outer
+//!    regions — we re-schedule every region up to the height limit, which
+//!    subsumes both);
+//! 6. the basic block scheduler runs over every block.
+
+use crate::bb::schedule_block;
+use crate::config::{SchedConfig, SchedLevel};
+use crate::global::schedule_region;
+use crate::rotate::rotate_loop;
+use crate::stats::SchedStats;
+use crate::unroll::unroll_loop;
+use gis_cfg::{Cfg, DomTree, LoopForest, RegionTree};
+use gis_ir::{BlockId, Function, VerifyFunctionError};
+use gis_machine::MachineDescription;
+use gis_pdg::webs::rename_webs;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// The pipeline produced (or was handed) a malformed function. Seeing
+/// this after a successful parse/build indicates a bug in a
+/// transformation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(pub VerifyFunctionError);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduling produced a malformed function: {}", self.0)
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+struct Analyses {
+    cfg: Cfg,
+    loops: LoopForest,
+    tree: RegionTree,
+}
+
+fn analyze(f: &Function) -> Analyses {
+    let cfg = Cfg::new(f);
+    let dom = DomTree::dominators(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    let tree = RegionTree::new(&cfg, &loops);
+    Analyses { cfg, loops, tree }
+}
+
+/// A small inner loop eligible for unroll/rotate: `(header label,
+/// lo, hi)`, layout-contiguous with the header first.
+fn small_inner_loops(
+    f: &Function,
+    an: &Analyses,
+    max_blocks: usize,
+    done: &HashSet<String>,
+) -> Option<(String, BlockId, BlockId)> {
+    for (_, l) in an.loops.loops() {
+        if !l.children.is_empty() || l.blocks.len() > max_blocks {
+            continue;
+        }
+        let lo = *l.blocks.first().expect("loops are nonempty");
+        let hi = *l.blocks.last().expect("loops are nonempty");
+        let contiguous = hi.index() - lo.index() + 1 == l.blocks.len();
+        if !contiguous || l.header != lo {
+            continue;
+        }
+        let label = f.block(lo).label().to_owned();
+        if done.contains(&label) {
+            continue;
+        }
+        return Some((label, lo, hi));
+    }
+    None
+}
+
+/// Runs the complete scheduling pipeline on `f` for `machine`, in place.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when `f` is malformed on entry or a pass
+/// breaks an invariant (a bug — every pass is supposed to preserve
+/// [`Function::verify`]).
+pub fn compile(
+    f: &mut Function,
+    machine: &MachineDescription,
+    config: &SchedConfig,
+) -> Result<SchedStats, CompileError> {
+    f.verify().map_err(CompileError)?;
+    let mut stats = SchedStats::default();
+
+    // 1. Register-web renaming.
+    if config.rename {
+        let cfg = Cfg::new(f);
+        stats.webs_renamed = rename_webs(f, &cfg).renamed;
+    }
+
+    // 2. Unroll small inner loops (once per §6; extra rounds double
+    //    again while loops stay under the size limit).
+    if config.unroll {
+        for _ in 0..config.unroll_times {
+            let mut done: HashSet<String> = HashSet::new();
+            let mut any = false;
+            loop {
+                let an = analyze(f);
+                let Some((label, lo, hi)) =
+                    small_inner_loops(f, &an, config.small_loop_blocks, &done)
+                else {
+                    break;
+                };
+                done.insert(label);
+                if unroll_loop(f, lo, hi) {
+                    stats.loops_unrolled += 1;
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    // 3. First global pass: inner regions (height 0).
+    if config.level != SchedLevel::BasicBlockOnly {
+        let an = analyze(f);
+        for rid in an.tree.schedule_order() {
+            if an.tree.region(rid).height == 0 {
+                schedule_region(f, machine, &an.cfg, &an.tree, rid, config, &mut stats);
+            }
+        }
+
+        // 4. Rotate small inner loops (once each: after rotation the loop
+        //    re-forms with the next block as its header, which must not be
+        //    treated as a fresh rotation candidate).
+        if config.rotate {
+            let mut done: HashSet<String> = HashSet::new();
+            loop {
+                let an = analyze(f);
+                let Some((label, lo, hi)) =
+                    small_inner_loops(f, &an, config.small_loop_blocks, &done)
+                else {
+                    break;
+                };
+                done.insert(label);
+                if lo.index() + 1 < f.num_blocks() {
+                    done.insert(f.block(gis_ir::BlockId::new(lo.index() as u32 + 1)).label().to_owned());
+                }
+                if rotate_loop(f, lo, hi) {
+                    stats.loops_rotated += 1;
+                }
+            }
+        }
+
+        // 5. Second global pass: rotated inner loops and outer regions
+        //    (every region up to the height limit).
+        let an = analyze(f);
+        for rid in an.tree.schedule_order() {
+            if an.tree.region(rid).height <= config.max_region_height {
+                schedule_region(f, machine, &an.cfg, &an.tree, rid, config, &mut stats);
+            }
+        }
+    }
+
+    // 6. Final basic block pass.
+    if config.final_bb_pass {
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if schedule_block(f, machine, b) {
+                stats.blocks_bb_scheduled += 1;
+            }
+        }
+    }
+
+    f.verify().map_err(CompileError)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_sim::{execute, ExecConfig, TimingSim};
+    use gis_workloads::minmax;
+
+    fn run_minmax(
+        config: &SchedConfig,
+        a: &[i64],
+    ) -> (gis_ir::Function, SchedStats, gis_sim::ExecOutcome) {
+        let mut f = minmax::figure2_function(a.len() as i64);
+        let machine = MachineDescription::rs6k();
+        let stats = compile(&mut f, &machine, config).expect("compiles");
+        let out = execute(&f, &minmax::memory_image(a), &ExecConfig::default()).expect("runs");
+        (f, stats, out)
+    }
+
+    #[test]
+    fn all_levels_preserve_minmax_semantics() {
+        let a: Vec<i64> = vec![4, 8, 2, 6, 9, 1, 5, 7, 3];
+        let (min, max) = minmax::reference_minmax(&a);
+        for config in [
+            SchedConfig::base(),
+            SchedConfig::useful(),
+            SchedConfig::speculative(),
+            SchedConfig::paper_example(SchedLevel::Useful),
+            SchedConfig::paper_example(SchedLevel::Speculative),
+        ] {
+            let (_, _, out) = run_minmax(&config, &a);
+            assert_eq!(out.printed(), vec![min, max], "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn scheduling_ladder_improves_cycles() {
+        let a: Vec<i64> = (0..201).map(|i| (i * 37) % 101).collect();
+        let machine = MachineDescription::rs6k();
+        let mut cycles = Vec::new();
+        for config in [SchedConfig::base(), SchedConfig::useful(), SchedConfig::speculative()] {
+            let mut f = minmax::figure2_function(a.len() as i64);
+            compile(&mut f, &machine, &config).expect("compiles");
+            let out =
+                execute(&f, &minmax::memory_image(&a), &ExecConfig::default()).expect("runs");
+            cycles.push(TimingSim::new(&f, &machine).run(&out.block_trace).cycles);
+        }
+        assert!(
+            cycles[1] < cycles[0],
+            "useful global scheduling beats base: {cycles:?}"
+        );
+        assert!(
+            cycles[2] <= cycles[1],
+            "speculation does not regress useful: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn base_level_moves_nothing() {
+        let a: Vec<i64> = vec![3, 9, 1];
+        let (_, stats, _) = run_minmax(&SchedConfig::base(), &a);
+        assert_eq!(stats.moved_useful, 0);
+        assert_eq!(stats.moved_speculative, 0);
+        assert_eq!(stats.regions_scheduled, 0);
+    }
+
+    #[test]
+    fn useful_level_never_speculates() {
+        let a: Vec<i64> = vec![3, 9, 1];
+        let (_, stats, _) = run_minmax(&SchedConfig::useful(), &a);
+        assert!(stats.moved_useful > 0);
+        assert_eq!(stats.moved_speculative, 0);
+    }
+
+    #[test]
+    fn oversized_regions_are_skipped() {
+        let a: Vec<i64> = vec![3, 9, 1];
+        let mut config = SchedConfig::speculative();
+        config.max_region_insts = 4; // the loop has 20
+        config.unroll = false;
+        config.rotate = false;
+        let (_, stats, out) = run_minmax(&config, &a);
+        assert_eq!(stats.moved_useful + stats.moved_speculative, 0);
+        assert!(stats.regions_skipped > 0);
+        assert_eq!(out.printed(), vec![1, 9]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Branch probabilities for profile-guided speculation.
+//!
+//! §1 of the paper: "global scheduling is capable of taking advantage of
+//! the branch probabilities, whenever available (e.g. computed by
+//! profiling)". A [`BranchProfile`] carries per-branch taken
+//! probabilities (typically from `gis-sim`'s execution counts); the
+//! global scheduler uses them two ways:
+//!
+//! * speculative candidates whose blocks execute with probability below
+//!   [`SchedConfig::min_speculation_probability`](crate::SchedConfig)
+//!   are skipped — gambles that would mostly lose;
+//! * among speculative candidates, likelier blocks win ties ahead of the
+//!   `D`/`CP` heuristics.
+
+use gis_ir::InstId;
+use std::collections::HashMap;
+
+/// Taken-probabilities for conditional branches, keyed by the branch
+/// instruction's id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BranchProfile {
+    taken: HashMap<InstId, f64>,
+}
+
+impl BranchProfile {
+    /// An empty profile (every lookup returns `None`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the probability (clamped to `[0, 1]`) that branch `inst` is
+    /// taken.
+    pub fn set(&mut self, inst: InstId, probability: f64) {
+        self.taken.insert(inst, probability.clamp(0.0, 1.0));
+    }
+
+    /// Builds a profile from `(branch, taken count, not-taken count)`
+    /// triples, as collected by an execution. Branches that never
+    /// executed stay unknown.
+    pub fn from_counts(counts: impl IntoIterator<Item = (InstId, u64, u64)>) -> Self {
+        let mut p = Self::new();
+        for (inst, taken, not_taken) in counts {
+            let total = taken + not_taken;
+            if total > 0 {
+                p.set(inst, taken as f64 / total as f64);
+            }
+        }
+        p
+    }
+
+    /// The probability that `inst` is taken, if known.
+    pub fn taken_probability(&self, inst: InstId) -> Option<f64> {
+        self.taken.get(&inst).copied()
+    }
+
+    /// Number of branches with known probabilities.
+    pub fn len(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.taken.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_and_clamping() {
+        let p = BranchProfile::from_counts([
+            (InstId::new(1), 9, 1),
+            (InstId::new(2), 0, 0), // never executed: unknown
+        ]);
+        assert_eq!(p.taken_probability(InstId::new(1)), Some(0.9));
+        assert_eq!(p.taken_probability(InstId::new(2)), None);
+        assert_eq!(p.len(), 1);
+
+        let mut q = BranchProfile::new();
+        q.set(InstId::new(3), 7.5);
+        assert_eq!(q.taken_probability(InstId::new(3)), Some(1.0));
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Scheduling statistics.
+
+use std::fmt;
+
+/// What the pipeline did — used by the experiments to report motion counts
+/// and by tests to pin down specific motions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Regions that went through global scheduling.
+    pub regions_scheduled: usize,
+    /// Regions skipped (irreducible, too large, or too high).
+    pub regions_skipped: usize,
+    /// Instructions moved between equivalent blocks (useful motion).
+    pub moved_useful: usize,
+    /// Instructions moved speculatively (1-branch).
+    pub moved_speculative: usize,
+    /// Speculative motions enabled by renaming a clobbered target.
+    pub renamed_speculative: usize,
+    /// Speculative motions rejected by the live-on-exit rule.
+    pub rejected_live_out: usize,
+    /// Register webs renamed by the §4.2 prepass.
+    pub webs_renamed: usize,
+    /// Loops unrolled once.
+    pub loops_unrolled: usize,
+    /// Loops rotated.
+    pub loops_rotated: usize,
+    /// Blocks reordered by the final basic block pass.
+    pub blocks_bb_scheduled: usize,
+}
+
+impl SchedStats {
+    /// Accumulates another run's statistics into this one.
+    pub fn absorb(&mut self, other: SchedStats) {
+        self.regions_scheduled += other.regions_scheduled;
+        self.regions_skipped += other.regions_skipped;
+        self.moved_useful += other.moved_useful;
+        self.moved_speculative += other.moved_speculative;
+        self.renamed_speculative += other.renamed_speculative;
+        self.rejected_live_out += other.rejected_live_out;
+        self.webs_renamed += other.webs_renamed;
+        self.loops_unrolled += other.loops_unrolled;
+        self.loops_rotated += other.loops_rotated;
+        self.blocks_bb_scheduled += other.blocks_bb_scheduled;
+    }
+}
+
+impl fmt::Display for SchedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regions {}(+{} skipped), moved {} useful / {} speculative \
+             ({} renamed, {} rejected), {} webs renamed, {} unrolled, {} rotated, {} bb-scheduled",
+            self.regions_scheduled,
+            self.regions_skipped,
+            self.moved_useful,
+            self.moved_speculative,
+            self.renamed_speculative,
+            self.rejected_live_out,
+            self.webs_renamed,
+            self.loops_unrolled,
+            self.loops_rotated,
+            self.blocks_bb_scheduled,
+        )
+    }
+}

@@ -1,0 +1,134 @@
+//! The tinyc abstract syntax tree.
+
+/// Binary operators (arithmetic and comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (total: `x / 0 == 0` on the target machine)
+    Div,
+    /// `%` (lowered to `a - (a/b)*b`)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// Short-circuit logical and (conditions only).
+    LogAnd,
+    /// Short-circuit logical or (conditions only).
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether this operator yields a truth value (usable only where a
+    /// condition is expected).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether this operator combines truth values.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (conditions only).
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read: `a[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `a[i] = e;`
+    Store(String, Expr, Expr),
+    /// `print(e);`
+    Print(Expr),
+    /// `if (c) { ... } else { ... }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { ... }`
+    While(Expr, Vec<Stmt>),
+    /// `f();` — an opaque external call.
+    Call(String),
+    /// `int x;` / `int x = n;` — a local declaration.
+    Local(String, Option<Expr>),
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Global {
+    /// `int x;` / `int x = n;`
+    Scalar(String, i64),
+    /// `int a[len];`
+    Array(String, usize),
+}
+
+impl Global {
+    /// A scalar global with an initial value.
+    pub fn scalar(name: impl Into<String>, init: i64) -> Self {
+        Global::Scalar(name.into(), init)
+    }
+
+    /// An array global of the given length.
+    pub fn array(name: impl Into<String>, len: usize) -> Self {
+        Global::Array(name.into(), len)
+    }
+}
+
+/// A whole tinyc program: globals plus a single entry function body
+/// (`void main() { ... }` or `int main() { ... }`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global scalars and arrays, in declaration order.
+    pub globals: Vec<Global>,
+    /// The entry function's name.
+    pub name: String,
+    /// The entry function's body.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,546 @@
+//! Code generation: tinyc AST → `gis-ir`, in the XL compiler's style.
+//!
+//! The generator emits the textual assembly form and assembles it with
+//! [`gis_ir::parse_function`], which doubles as a structural check. Shape
+//! choices mirror what the paper's Figure 2 shows the XL C compiler
+//! doing:
+//!
+//! * conditions compile to `C`/`CI` followed by a *branch-false* around
+//!   the guarded code;
+//! * `while` loops are bottom-tested with an entry guard (evaluating the
+//!   condition once before the loop and once at the bottom);
+//! * array walks use plain loads with the array symbol attached for
+//!   memory disambiguation;
+//! * every scalar lives in its own symbolic register (register allocation
+//!   happens after scheduling, outside this reproduction's scope).
+//!
+//! Comparisons are only valid in conditions (`if`/`while`), matching the
+//! era's code shape; `%` lowers to `a - (a/b)*b` under the machine's
+//! total division (`x/0 = 0`).
+
+use crate::ast::{BinOp, Expr, Global, Program, Stmt, UnOp};
+use crate::parser::parse_program;
+use crate::FrontendError;
+use gis_ir::{parse_function, Function};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Where a global array was placed in simulated memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySlot {
+    /// The array's name.
+    pub name: String,
+    /// Base byte address.
+    pub base: i64,
+    /// Element count (4-byte words).
+    pub len: usize,
+}
+
+/// A compiled tinyc program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The entry function in IR form.
+    pub function: Function,
+    /// Array placement, in declaration order.
+    pub arrays: Vec<ArraySlot>,
+    /// The generated assembly text (useful for debugging and examples).
+    pub text: String,
+}
+
+impl CompiledProgram {
+    /// The slot of a named array.
+    pub fn array(&self, name: &str) -> Option<&ArraySlot> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Builds an initial memory image with the given array contents
+    /// (unmentioned arrays stay zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a name is unknown or a value list is longer
+    /// than its array.
+    pub fn initial_memory(&self, values: &[(&str, &[i64])]) -> Result<Vec<(i64, i64)>, String> {
+        let mut out = Vec::new();
+        for (name, vals) in values {
+            let slot = self
+                .array(name)
+                .ok_or_else(|| format!("unknown array {name:?}"))?;
+            if vals.len() > slot.len {
+                return Err(format!(
+                    "{name:?} holds {} elements, {} supplied",
+                    slot.len,
+                    vals.len()
+                ));
+            }
+            out.extend(vals.iter().enumerate().map(|(i, v)| (slot.base + 4 * i as i64, *v)));
+        }
+        Ok(out)
+    }
+}
+
+/// First array base address (past the paper example's region).
+const ARRAY_BASE: i64 = 0x1000;
+
+struct Gen {
+    text: String,
+    vars: HashMap<String, u32>,
+    array_regs: HashMap<String, u32>,
+    arrays: Vec<ArraySlot>,
+    next_gpr: u32,
+    next_cr: u32,
+    next_label: u32,
+}
+
+type GResult<T> = Result<T, FrontendError>;
+
+fn err<T>(msg: impl Into<String>) -> GResult<T> {
+    Err(FrontendError::Codegen(msg.into()))
+}
+
+impl Gen {
+    fn gpr(&mut self) -> u32 {
+        let r = self.next_gpr;
+        self.next_gpr += 1;
+        r
+    }
+
+    fn cr(&mut self) -> u32 {
+        let r = self.next_cr;
+        self.next_cr += 1;
+        r
+    }
+
+    fn label(&mut self, tag: &str) -> String {
+        let l = format!("L{}.{tag}", self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn line(&mut self, s: &str) {
+        let _ = writeln!(self.text, "    {s}");
+    }
+
+    /// Emits a branch and opens a fresh fall-through block (the parser
+    /// requires branches to terminate their block).
+    fn branch_line(&mut self, s: &str) {
+        self.line(s);
+        let l = self.label("ft");
+        let _ = writeln!(self.text, "{l}:");
+    }
+
+    fn start_block(&mut self, label: &str) {
+        let _ = writeln!(self.text, "{label}:");
+    }
+
+    fn var(&self, name: &str) -> GResult<u32> {
+        match self.vars.get(name) {
+            Some(&r) => Ok(r),
+            None => err(format!("unknown variable {name:?}")),
+        }
+    }
+
+    // ---- Expressions. ---------------------------------------------------
+
+    fn gen_expr(&mut self, e: &Expr) -> GResult<u32> {
+        match e {
+            Expr::Int(v) => {
+                let r = self.gpr();
+                self.line(&format!("LI r{r}={v}"));
+                Ok(r)
+            }
+            Expr::Var(name) => self.var(name),
+            Expr::Index(name, idx) => {
+                let Some(&base) = self.array_regs.get(name) else {
+                    return err(format!("unknown array {name:?}"));
+                };
+                let r = self.gpr();
+                match idx.as_ref() {
+                    Expr::Int(k) => {
+                        self.line(&format!("L r{r}={name}(r{base},{})", 4 * k));
+                    }
+                    _ => {
+                        let addr = self.gen_address(name, base, idx)?;
+                        self.line(&format!("L r{r}={name}(r{addr},0)"));
+                    }
+                }
+                Ok(r)
+            }
+            Expr::Unary(UnOp::Neg, inner) => {
+                let v = self.gen_expr(inner)?;
+                let z = self.gpr();
+                self.line(&format!("LI r{z}=0"));
+                let r = self.gpr();
+                self.line(&format!("S r{r}=r{z},r{v}"));
+                Ok(r)
+            }
+            Expr::Unary(UnOp::Not, _) => err("'!' is only supported in conditions"),
+            Expr::Binary(op, lhs, rhs) => {
+                if op.is_comparison() || op.is_logical() {
+                    return err("comparisons are only supported in conditions");
+                }
+                if *op == BinOp::Rem {
+                    // a % b == a - (a/b)*b under total division.
+                    let a = self.gen_expr(lhs)?;
+                    let b = self.gen_expr(rhs)?;
+                    let q = self.gpr();
+                    self.line(&format!("DIV r{q}=r{a},r{b}"));
+                    let m = self.gpr();
+                    self.line(&format!("MUL r{m}=r{q},r{b}"));
+                    let r = self.gpr();
+                    self.line(&format!("S r{r}=r{a},r{m}"));
+                    return Ok(r);
+                }
+                let mn = |op: BinOp| match op {
+                    BinOp::Add => "A",
+                    BinOp::Sub => "S",
+                    BinOp::Mul => "MUL",
+                    BinOp::Div => "DIV",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Xor => "XOR",
+                    BinOp::Shl => "SLL",
+                    BinOp::Shr => "SRA",
+                    _ => unreachable!("handled above"),
+                };
+                let commutes =
+                    matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor);
+                // Immediate forms where the shape allows.
+                let (l, r_imm) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (_, Expr::Int(k)) => (lhs.as_ref(), Some(*k)),
+                    (Expr::Int(k), _) if commutes => (rhs.as_ref(), Some(*k)),
+                    _ => (lhs.as_ref(), None),
+                };
+                let t = self.gpr();
+                match r_imm {
+                    Some(k) => {
+                        let a = self.gen_expr(l)?;
+                        self.line(&format!("{}I r{t}=r{a},{k}", mn(*op)));
+                    }
+                    None => {
+                        let a = self.gen_expr(lhs)?;
+                        let b = self.gen_expr(rhs)?;
+                        self.line(&format!("{} r{t}=r{a},r{b}", mn(*op)));
+                    }
+                }
+                Ok(t)
+            }
+        }
+    }
+
+    /// Address register for `name[idx]` (dynamic index).
+    fn gen_address(&mut self, _name: &str, base: u32, idx: &Expr) -> GResult<u32> {
+        let i = self.gen_expr(idx)?;
+        let scaled = self.gpr();
+        self.line(&format!("SLLI r{scaled}=r{i},2"));
+        let addr = self.gpr();
+        self.line(&format!("A r{addr}=r{base},r{scaled}"));
+        Ok(addr)
+    }
+
+    // ---- Conditions. ----------------------------------------------------
+
+    /// Emits code that jumps to `target` when `cond` is FALSE.
+    fn jump_if_false(&mut self, cond: &Expr, target: &str) -> GResult<()> {
+        self.jump_cond(cond, target, false)
+    }
+
+    /// Emits code that jumps to `target` when `cond` is TRUE.
+    fn jump_if_true(&mut self, cond: &Expr, target: &str) -> GResult<()> {
+        self.jump_cond(cond, target, true)
+    }
+
+    fn jump_cond(&mut self, cond: &Expr, target: &str, when_true: bool) -> GResult<()> {
+        match cond {
+            Expr::Unary(UnOp::Not, inner) => self.jump_cond(inner, target, !when_true),
+            Expr::Binary(BinOp::LogAnd, l, r) => {
+                if when_true {
+                    // Jump when both hold: fail fast past the jump.
+                    let skip = self.label("and");
+                    self.jump_cond(l, &skip, false)?;
+                    self.jump_cond(r, target, true)?;
+                    self.start_block(&skip);
+                } else {
+                    self.jump_cond(l, target, false)?;
+                    self.jump_cond(r, target, false)?;
+                }
+                Ok(())
+            }
+            Expr::Binary(BinOp::LogOr, l, r) => {
+                if when_true {
+                    self.jump_cond(l, target, true)?;
+                    self.jump_cond(r, target, true)?;
+                } else {
+                    let skip = self.label("or");
+                    self.jump_cond(l, &skip, true)?;
+                    self.jump_cond(r, target, false)?;
+                    self.start_block(&skip);
+                }
+                Ok(())
+            }
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let cr = self.cr();
+                match r.as_ref() {
+                    Expr::Int(k) => {
+                        let a = self.gen_expr(l)?;
+                        self.line(&format!("CI cr{cr}=r{a},{k}"));
+                    }
+                    _ => {
+                        let a = self.gen_expr(l)?;
+                        let b = self.gen_expr(r)?;
+                        self.line(&format!("C cr{cr}=r{a},r{b}"));
+                    }
+                }
+                // Each comparison maps to (bit, sense-when-true); e.g.
+                // `<` is true when the lt bit is set, `>=` when clear.
+                let (bit, set_means_true) = match op {
+                    BinOp::Lt => ("0x1/lt", true),
+                    BinOp::Gt => ("0x2/gt", true),
+                    BinOp::Eq => ("0x4/eq", true),
+                    BinOp::Ge => ("0x1/lt", false),
+                    BinOp::Le => ("0x2/gt", false),
+                    BinOp::Ne => ("0x4/eq", false),
+                    _ => unreachable!(),
+                };
+                let mnemonic = if when_true == set_means_true { "BT" } else { "BF" };
+                self.branch_line(&format!("{mnemonic} {target},cr{cr},{bit}"));
+                Ok(())
+            }
+            // Any other expression: non-zero is true.
+            other => {
+                let v = self.gen_expr(other)?;
+                let cr = self.cr();
+                self.line(&format!("CI cr{cr}=r{v},0"));
+                let mnemonic = if when_true { "BF" } else { "BT" };
+                self.branch_line(&format!("{mnemonic} {target},cr{cr},0x4/eq"));
+                Ok(())
+            }
+        }
+    }
+
+    // ---- Statements. ------------------------------------------------------
+
+    fn gen_stmts(&mut self, stmts: &[Stmt]) -> GResult<()> {
+        for s in stmts {
+            self.gen_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) -> GResult<()> {
+        match s {
+            Stmt::Local(name, init) => {
+                if self.vars.contains_key(name) || self.array_regs.contains_key(name) {
+                    return err(format!("{name:?} is already declared"));
+                }
+                let v = match init {
+                    Some(e) => self.gen_expr(e)?,
+                    None => {
+                        let r = self.gpr();
+                        self.line(&format!("LI r{r}=0"));
+                        r
+                    }
+                };
+                let r = self.gpr();
+                self.line(&format!("LR r{r}=r{v}"));
+                self.vars.insert(name.clone(), r);
+                Ok(())
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.gen_expr(e)?;
+                let r = self.var(name)?;
+                self.line(&format!("LR r{r}=r{v}"));
+                Ok(())
+            }
+            Stmt::Store(name, idx, value) => {
+                let Some(&base) = self.array_regs.get(name) else {
+                    return err(format!("unknown array {name:?}"));
+                };
+                let v = self.gen_expr(value)?;
+                match idx {
+                    Expr::Int(k) => {
+                        self.line(&format!("ST r{v}=>{name}(r{base},{})", 4 * k));
+                    }
+                    _ => {
+                        let addr = self.gen_address(name, base, idx)?;
+                        self.line(&format!("ST r{v}=>{name}(r{addr},0)"));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Print(e) => {
+                let v = self.gen_expr(e)?;
+                self.line(&format!("PRINT r{v}"));
+                Ok(())
+            }
+            Stmt::Call(name) => {
+                self.line(&format!("CALL {name}()->()"));
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                if els.is_empty() {
+                    let end = self.label("endif");
+                    self.jump_if_false(cond, &end)?;
+                    self.gen_stmts(then)?;
+                    self.start_block(&end);
+                } else {
+                    let else_l = self.label("else");
+                    let end = self.label("endif");
+                    self.jump_if_false(cond, &else_l)?;
+                    self.gen_stmts(then)?;
+                    self.branch_line(&format!("B {end}"));
+                    self.start_block(&else_l);
+                    self.gen_stmts(els)?;
+                    self.start_block(&end);
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                // XL shape: entry guard, bottom test (see Figure 2).
+                let exit = self.label("wexit");
+                let head = self.label("wloop");
+                self.jump_if_false(cond, &exit)?;
+                self.start_block(&head);
+                self.gen_stmts(body)?;
+                self.jump_if_true(cond, &head)?;
+                self.start_block(&exit);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Compiles tinyc source into IR (see the crate docs for the language).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] for lexical, syntactic, or semantic problems
+/// (unknown names, redeclarations, comparisons used as values).
+pub fn compile_program(src: &str) -> Result<CompiledProgram, FrontendError> {
+    let program: Program = parse_program(src)?;
+    compile_ast(&program)
+}
+
+/// Compiles an already-parsed program.
+///
+/// # Errors
+///
+/// See [`compile_program`].
+pub fn compile_ast(program: &Program) -> Result<CompiledProgram, FrontendError> {
+    let mut g = Gen {
+        text: String::new(),
+        vars: HashMap::new(),
+        array_regs: HashMap::new(),
+        arrays: Vec::new(),
+        next_gpr: 0,
+        next_cr: 0,
+        next_label: 0,
+    };
+    let _ = writeln!(g.text, "func {}", program.name);
+    g.start_block("entry");
+
+    // Globals: arrays get a base-address register; scalars a register
+    // with their initial value.
+    let mut next_base = ARRAY_BASE;
+    for global in &program.globals {
+        match global {
+            Global::Array(name, len) => {
+                if g.array_regs.contains_key(name) || g.vars.contains_key(name) {
+                    return err(format!("{name:?} is already declared"));
+                }
+                let r = g.gpr();
+                g.line(&format!("LI r{r}={next_base}"));
+                g.array_regs.insert(name.clone(), r);
+                g.arrays.push(ArraySlot { name: name.clone(), base: next_base, len: *len });
+                // 16-byte align the next array.
+                next_base += ((*len as i64 * 4) + 15) / 16 * 16;
+            }
+            Global::Scalar(name, init) => {
+                if g.array_regs.contains_key(name) || g.vars.contains_key(name) {
+                    return err(format!("{name:?} is already declared"));
+                }
+                let r = g.gpr();
+                g.line(&format!("LI r{r}={init}"));
+                g.vars.insert(name.clone(), r);
+            }
+        }
+    }
+
+    g.gen_stmts(&program.body)?;
+    g.line("RET");
+
+    let text = g.text.clone();
+    let function = parse_function(&text)
+        .map_err(|e| FrontendError::Codegen(format!("internal: generated bad IR: {e}\n{text}")))?;
+    Ok(CompiledProgram { function, arrays: g.arrays, text })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> CompiledProgram {
+        compile_program(src).expect("compiles")
+    }
+
+    #[test]
+    fn straight_line_program() {
+        let p = compile("void f() { int x = 6; int y = x * 7; print(y); }");
+        assert!(p.text.contains("MULI"), "{}", p.text);
+        assert!(p.function.num_blocks() >= 1);
+    }
+
+    #[test]
+    fn while_loops_are_bottom_tested() {
+        let p = compile(
+            "int n = 5; void f() { int i = 0; while (i < n) { i = i + 1; } print(i); }",
+        );
+        // Guard (BF) before the loop, BT at the bottom — the Figure 2 shape.
+        let bf = p.text.find("BF ").expect("guard branch");
+        let bt = p.text.find("BT ").expect("bottom test");
+        assert!(bf < bt, "{}", p.text);
+    }
+
+    #[test]
+    fn arrays_get_bases_and_symbols() {
+        let p = compile(
+            "int a[8]; int b[4];
+             void f() { a[0] = 5; b[1] = a[0] + 1; print(b[1]); }",
+        );
+        let a = p.array("a").expect("a placed");
+        let b = p.array("b").expect("b placed");
+        assert_eq!(a.base, 0x1000);
+        assert_eq!(b.base, 0x1000 + 32);
+        assert!(p.text.contains("ST r"), "{}", p.text);
+        assert!(p.text.contains("=a(r"), "array symbol used: {}", p.text);
+    }
+
+    #[test]
+    fn initial_memory_builder() {
+        let p = compile("int a[4]; void f() { print(a[0]); }");
+        let mem = p.initial_memory(&[("a", &[7, 8])]).expect("fits");
+        assert_eq!(mem, vec![(0x1000, 7), (0x1004, 8)]);
+        assert!(p.initial_memory(&[("zzz", &[1])]).is_err());
+        assert!(p.initial_memory(&[("a", &[1, 2, 3, 4, 5])]).is_err());
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let e = compile_program("void f() { x = 1; }").unwrap_err();
+        assert!(e.to_string().contains("unknown variable"), "{e}");
+        let e = compile_program("void f() { int x = (1 < 2); }").unwrap_err();
+        assert!(e.to_string().contains("conditions"), "{e}");
+        let e = compile_program("int x; void f() { int x = 1; }").unwrap_err();
+        assert!(e.to_string().contains("already declared"), "{e}");
+    }
+
+    #[test]
+    fn logical_conditions_lower_to_branch_chains() {
+        let p = compile(
+            "int a = 1; int b = 2;
+             void f() { if (a < b && b < 3 || a == 0) { print(a); } }",
+        );
+        let branches = p.text.matches("\n    B").count();
+        assert!(branches >= 3, "short-circuit chains: {}", p.text);
+    }
+}

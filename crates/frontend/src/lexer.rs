@@ -1,0 +1,349 @@
+//! Tokenizer for tinyc.
+
+use std::error::Error;
+use std::fmt;
+
+/// A token kind (with payload for literals and identifiers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `while`
+    KwWhile,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `print`
+    KwPrint,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            other => {
+                let s = match other {
+                    TokenKind::KwInt => "int",
+                    TokenKind::KwVoid => "void",
+                    TokenKind::KwWhile => "while",
+                    TokenKind::KwIf => "if",
+                    TokenKind::KwElse => "else",
+                    TokenKind::KwPrint => "print",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Assign => "=",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::Lt => "<",
+                    TokenKind::Gt => ">",
+                    TokenKind::Le => "<=",
+                    TokenKind::Ge => ">=",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    TokenKind::Bang => "!",
+                    TokenKind::Int(_) | TokenKind::Ident(_) => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A tokenization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Tokenizes tinyc source. `//` and `/* */` comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters, malformed numbers, or an
+/// unterminated block comment.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+
+    let two = |i: usize, a: u8, b: u8| i + 1 < n && bytes[i] == a && bytes[i + 1] == b;
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if two(i, b'/', b'/') => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if two(i, b'/', b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(LexError {
+                            line: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("integer literal {text:?} out of range"),
+                })?;
+                out.push(Token { kind: TokenKind::Int(v), line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let kind = match &src[start..i] {
+                    "int" => TokenKind::KwInt,
+                    "void" => TokenKind::KwVoid,
+                    "while" => TokenKind::KwWhile,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "print" => TokenKind::KwPrint,
+                    name => TokenKind::Ident(name.to_owned()),
+                };
+                out.push(Token { kind, line });
+            }
+            _ => {
+                let (kind, len) = if two(i, b'<', b'=') {
+                    (TokenKind::Le, 2)
+                } else if two(i, b'>', b'=') {
+                    (TokenKind::Ge, 2)
+                } else if two(i, b'=', b'=') {
+                    (TokenKind::EqEq, 2)
+                } else if two(i, b'!', b'=') {
+                    (TokenKind::NotEq, 2)
+                } else if two(i, b'&', b'&') {
+                    (TokenKind::AndAnd, 2)
+                } else if two(i, b'|', b'|') {
+                    (TokenKind::OrOr, 2)
+                } else if two(i, b'<', b'<') {
+                    (TokenKind::Shl, 2)
+                } else if two(i, b'>', b'>') {
+                    (TokenKind::Shr, 2)
+                } else {
+                    let single = match c {
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b'[' => TokenKind::LBracket,
+                        b']' => TokenKind::RBracket,
+                        b';' => TokenKind::Semi,
+                        b',' => TokenKind::Comma,
+                        b'=' => TokenKind::Assign,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'%' => TokenKind::Percent,
+                        b'&' => TokenKind::Amp,
+                        b'|' => TokenKind::Pipe,
+                        b'^' => TokenKind::Caret,
+                        b'<' => TokenKind::Lt,
+                        b'>' => TokenKind::Gt,
+                        b'!' => TokenKind::Bang,
+                        other => {
+                            return Err(LexError {
+                                line,
+                                message: format!("unexpected character {:?}", other as char),
+                            })
+                        }
+                    };
+                    (single, 1)
+                };
+                out.push(Token { kind, line });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_idents_and_numbers() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            kinds("a <= b << 2 != c && d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Shl,
+                TokenKind::Int(2),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("x; // one\n/* two\nlines */ y;").expect("lexes");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 3, "y is on line 3");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let e = lex("x @ y").unwrap_err();
+        assert!(e.message.contains('@'));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end tinyc tests: compile and execute on the simulator, checking
+//! printed results against hand-computed answers.
+
+use gis_sim::{execute, ExecConfig};
+use gis_tinyc::compile_program;
+
+fn run(src: &str, arrays: &[(&str, &[i64])]) -> Vec<i64> {
+    let program = compile_program(src).expect("compiles");
+    let memory = program.initial_memory(arrays).expect("fits");
+    execute(&program.function, &memory, &ExecConfig::default())
+        .expect("runs")
+        .printed()
+}
+
+#[test]
+fn factorial() {
+    let out = run(
+        "int n = 10;
+         void fact() {
+             int acc = 1;
+             while (n > 1) { acc = acc * n; n = n - 1; }
+             print(acc);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![3_628_800]);
+}
+
+#[test]
+fn fibonacci() {
+    let out = run(
+        "void fib() {
+             int a = 0; int b = 1; int i = 0;
+             while (i < 20) {
+                 int t = a + b;
+                 a = b; b = t; i = i + 1;
+             }
+             print(a);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![6765]);
+}
+
+#[test]
+fn gcd_via_remainder() {
+    let out = run(
+        "int a = 1071; int b = 462;
+         void gcd() {
+             while (b != 0) {
+                 int t = a % b;
+                 a = b; b = t;
+             }
+             print(a);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![21]);
+}
+
+#[test]
+fn nested_loops_multiplication_table() {
+    let out = run(
+        "void table() {
+             int i = 1; int total = 0;
+             while (i <= 9) {
+                 int j = 1;
+                 while (j <= 9) { total = total + i * j; j = j + 1; }
+                 i = i + 1;
+             }
+             print(total);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![2025], "(1+...+9)^2");
+}
+
+#[test]
+fn array_reverse_and_sum() {
+    let out = run(
+        "int a[8]; int b[8]; int n = 8;
+         void rev() {
+             int i = 0;
+             while (i < n) { b[n - 1 - i] = a[i]; i = i + 1; }
+             int s = 0;
+             i = 0;
+             while (i < n) { s = s + b[i] * (i + 1); i = i + 1; }
+             print(s);
+         }",
+        &[("a", &[1, 2, 3, 4, 5, 6, 7, 8])],
+    );
+    // b = reversed a = [8..1]; weighted sum: sum (9-i)*i for i in 1..=8.
+    let expected: i64 = (1..=8).map(|i| (9 - i) * i).sum();
+    assert_eq!(out, vec![expected]);
+}
+
+#[test]
+fn division_and_modulo_semantics() {
+    // Total division: x/0 = 0, and % follows a - (a/b)*b.
+    let out = run(
+        "int x = 17; int z = 0;
+         void d() {
+             print(x / 5);
+             print(x % 5);
+             print(x / z);
+             print(x % z);
+             print((0 - x) / 5);
+             print((0 - x) % 5);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![3, 2, 0, 17, -3, -2], "C-style truncating semantics");
+}
+
+#[test]
+fn shifts_and_bitwise() {
+    let out = run(
+        "int x = 6;
+         void b() {
+             print(x << 3);
+             print(x >> 1);
+             print(x & 3);
+             print(x | 9);
+             print(x ^ 5);
+             print(0 - 8 >> 1);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![48, 3, 2, 15, 3, -4], "arithmetic right shift");
+}
+
+#[test]
+fn short_circuit_evaluation_order() {
+    // && and || compile to branch chains; verify truth-table behaviour.
+    let out = run(
+        "int a = 5; int b = 0;
+         void sc() {
+             if (a > 0 && b > 0) { print(1); } else { print(0); }
+             if (a > 0 || b > 0) { print(1); } else { print(0); }
+             if (!(a > 0) || a == 5) { print(1); } else { print(0); }
+             if (a > 0 && (b == 0 && a < 10)) { print(1); } else { print(0); }
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![0, 1, 1, 1]);
+}
+
+#[test]
+fn dangling_else_binds_tight() {
+    let out = run(
+        "int x = 1; int y = 0;
+         void d() {
+             if (x > 0)
+                 if (y > 0) print(1);
+                 else print(2);
+         }",
+        &[],
+    );
+    assert_eq!(out, vec![2], "else binds to the inner if");
+}
+
+#[test]
+fn figure1_minmax_through_the_frontend() {
+    // The actual Figure 1 program, compiled by tinyc rather than
+    // hand-transcribed, agrees with the reference.
+    let a: Vec<i64> = vec![4, 8, 2, 6, 9, 1, 5, 7, 3];
+    let (min, max) = gis_workloads_reference(&a);
+    let out = run(
+        &format!(
+            "int a[9]; int n = {};
+             void minmax() {{
+                 int min = a[0]; int max = min; int i = 1;
+                 while (i < n) {{
+                     int u = a[i]; int v = a[i+1];
+                     if (u > v) {{
+                         if (u > max) max = u;
+                         if (v < min) min = v;
+                     }} else {{
+                         if (v > max) max = v;
+                         if (u < min) min = u;
+                     }}
+                     i = i + 2;
+                 }}
+                 print(min); print(max);
+             }}",
+            a.len()
+        ),
+        &[("a", &a)],
+    );
+    assert_eq!(out, vec![min, max]);
+}
+
+/// Local reference (keeps this crate's dev-deps free of gis-workloads).
+fn gis_workloads_reference(a: &[i64]) -> (i64, i64) {
+    let mut min = a[0];
+    let mut max = min;
+    let mut i = 1;
+    while i < a.len() {
+        let (u, v) = (a[i], a[i + 1]);
+        if u > v {
+            if u > max {
+                max = u;
+            }
+            if v < min {
+                min = v;
+            }
+        } else {
+            if v > max {
+                max = v;
+            }
+            if u < min {
+                min = u;
+            }
+        }
+        i += 2;
+    }
+    (min, max)
+}

@@ -1,0 +1,356 @@
+//! Functions: layout-ordered blocks plus symbol and id allocation.
+
+use crate::block::{Block, BlockId, Inst, InstId};
+use crate::op::Op;
+use crate::reg::{Reg, RegClass};
+use std::fmt;
+
+/// Identifies a memory symbol (array / global) within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(u32);
+
+impl SymId {
+    /// Creates a symbol id from a raw index.
+    pub fn new(index: u32) -> Self {
+        SymId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A function: a name, a layout-ordered list of basic blocks (the entry is
+/// the first block), and the allocation state for fresh instruction ids and
+/// symbolic registers.
+///
+/// Construct functions with [`FunctionBuilder`](crate::FunctionBuilder) or
+/// [`parse_function`](crate::parse_function); transformation passes mutate
+/// them in place and re-check [`Function::verify`].
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    blocks: Vec<Block>,
+    symbols: Vec<String>,
+    next_inst: u32,
+    next_reg: [u32; 3],
+}
+
+impl Function {
+    /// Creates an empty function (no blocks yet).
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            blocks: Vec::new(),
+            symbols: Vec::new(),
+            next_inst: 0,
+            next_reg: [0; 3],
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block (always the first block in layout order).
+    pub fn entry(&self) -> BlockId {
+        BlockId::new(0)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of instructions across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// An exclusive upper bound on instruction id indices, usable to size
+    /// dense side tables.
+    pub fn inst_id_bound(&self) -> usize {
+        self.next_inst as usize
+    }
+
+    /// The blocks in layout order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i as u32), b))
+    }
+
+    /// All block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + use<> {
+        (0..self.blocks.len() as u32).map(BlockId::new)
+    }
+
+    /// A block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push(Block::new(label));
+        id
+    }
+
+    /// Inserts a new empty block at `at` in layout order, shifting later
+    /// blocks. All existing branch targets are remapped to follow the
+    /// shift, so the control flow graph is unchanged (apart from any
+    /// fall-through path that now passes through the new, empty block).
+    pub fn insert_block_at(&mut self, at: usize, label: impl Into<String>) -> BlockId {
+        assert!(at <= self.blocks.len(), "insert position out of range");
+        self.blocks.insert(at, Block::new(label));
+        let shift = |t: BlockId| {
+            if t.index() >= at {
+                BlockId::new(t.index() as u32 + 1)
+            } else {
+                t
+            }
+        };
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            if i == at {
+                continue;
+            }
+            for inst in b.insts_mut() {
+                inst.op.map_targets(shift);
+            }
+        }
+        BlockId::new(at as u32)
+    }
+
+    /// The control-flow successors of a block: the explicit branch target
+    /// (if any) followed by the fall-through block.
+    pub fn succs(&self, id: BlockId) -> Vec<BlockId> {
+        let block = self.block(id);
+        let mut out = Vec::with_capacity(2);
+        if let Some(last) = block.last() {
+            if let Some(t) = last.op.branch_target() {
+                out.push(t);
+            }
+        }
+        if block.falls_through() {
+            let next = id.index() + 1;
+            if next < self.blocks.len() {
+                let next = BlockId::new(next as u32);
+                if !out.contains(&next) {
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Registers a memory symbol (or returns the existing id for `name`).
+    pub fn add_symbol(&mut self, name: impl Into<String>) -> SymId {
+        let name = name.into();
+        if let Some(i) = self.symbols.iter().position(|s| *s == name) {
+            return SymId::new(i as u32);
+        }
+        let id = SymId::new(self.symbols.len() as u32);
+        self.symbols.push(name);
+        id
+    }
+
+    /// The name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn symbol_name(&self, id: SymId) -> &str {
+        &self.symbols[id.index()]
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<SymId> {
+        self.symbols.iter().position(|s| s == name).map(|i| SymId::new(i as u32))
+    }
+
+    /// All symbols.
+    pub fn symbols(&self) -> impl Iterator<Item = (SymId, &str)> {
+        self.symbols.iter().enumerate().map(|(i, s)| (SymId::new(i as u32), s.as_str()))
+    }
+
+    /// Allocates a fresh instruction id.
+    pub fn fresh_inst_id(&mut self) -> InstId {
+        let id = InstId::new(self.next_inst);
+        self.next_inst += 1;
+        id
+    }
+
+    /// Allocates a fresh symbolic register of `class`.
+    pub fn fresh_reg(&mut self, class: RegClass) -> Reg {
+        let slot = match class {
+            RegClass::Gpr => 0,
+            RegClass::Fpr => 1,
+            RegClass::Cr => 2,
+        };
+        let r = Reg::new(class, self.next_reg[slot]);
+        self.next_reg[slot] += 1;
+        r
+    }
+
+    /// Ensures future [`Function::fresh_reg`] / [`Function::fresh_inst_id`]
+    /// calls do not collide with ids already present. Used after parsing
+    /// and after pasting instructions in by hand.
+    pub fn recompute_allocators(&mut self) {
+        let mut next_inst = 0u32;
+        let mut next_reg = [0u32; 3];
+        for b in &self.blocks {
+            for inst in b.insts() {
+                next_inst = next_inst.max(inst.id.index() as u32 + 1);
+                for r in inst.op.defs().into_iter().chain(inst.op.uses()) {
+                    let slot = match r.class() {
+                        RegClass::Gpr => 0,
+                        RegClass::Fpr => 1,
+                        RegClass::Cr => 2,
+                    };
+                    next_reg[slot] = next_reg[slot].max(r.index() + 1);
+                }
+            }
+        }
+        self.next_inst = self.next_inst.max(next_inst);
+        for i in 0..3 {
+            self.next_reg[i] = self.next_reg[i].max(next_reg[i]);
+        }
+    }
+
+    /// Iterates over every instruction with its containing block.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> {
+        self.blocks().flat_map(|(id, b)| b.insts().iter().map(move |i| (id, i)))
+    }
+
+    /// Finds an instruction by id, returning its block and position.
+    pub fn find_inst(&self, id: InstId) -> Option<(BlockId, usize)> {
+        for (bid, b) in self.blocks() {
+            if let Some(pos) = b.position(id) {
+                return Some((bid, pos));
+            }
+        }
+        None
+    }
+
+    /// Appends a clone of block `src`'s instructions (with fresh ids) into
+    /// block `dst`, returning the mapping from original ids to clones.
+    /// Branch targets are copied verbatim; callers performing unrolling or
+    /// rotation remap them afterwards via [`Op::map_targets`].
+    pub fn clone_insts_into(&mut self, src: BlockId, dst: BlockId) -> Vec<(InstId, InstId)> {
+        let cloned: Vec<Op> = self.block(src).insts().iter().map(|i| i.op.clone()).collect();
+        let src_ids: Vec<InstId> = self.block(src).insts().iter().map(|i| i.id).collect();
+        let mut map = Vec::with_capacity(cloned.len());
+        for (orig, op) in src_ids.into_iter().zip(cloned) {
+            let id = self.fresh_inst_id();
+            self.block_mut(dst).push(Inst::new(id, op));
+            map.push((orig, id));
+        }
+        map
+    }
+
+    /// All registers mentioned anywhere in the function.
+    pub fn all_regs(&self) -> Vec<Reg> {
+        let mut regs: Vec<Reg> = self
+            .insts()
+            .flat_map(|(_, i)| i.op.defs().into_iter().chain(i.op.uses()))
+            .collect();
+        regs.sort();
+        regs.dedup();
+        regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{CondBit, Op};
+
+    fn two_block_function() -> Function {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("CL.0");
+        let b1 = f.add_block("CL.1");
+        let id0 = f.fresh_inst_id();
+        f.block_mut(b0).push(Inst::new(
+            id0,
+            Op::BranchCond { target: b1, cr: Reg::cr(0), bit: CondBit::Lt, when: true },
+        ));
+        let id1 = f.fresh_inst_id();
+        f.block_mut(b1).push(Inst::new(id1, Op::Ret));
+        f
+    }
+
+    #[test]
+    fn succs_branch_and_fallthrough() {
+        let f = two_block_function();
+        // Conditional branch to BL1, fall-through also BL1: deduplicated.
+        assert_eq!(f.succs(BlockId::new(0)), vec![BlockId::new(1)]);
+        assert!(f.succs(BlockId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn symbols_are_interned() {
+        let mut f = Function::new("t");
+        let a = f.add_symbol("a");
+        let b = f.add_symbol("b");
+        let a2 = f.add_symbol("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(f.symbol_name(a), "a");
+        assert_eq!(f.symbol("b"), Some(b));
+        assert_eq!(f.symbol("c"), None);
+    }
+
+    #[test]
+    fn recompute_allocators_avoids_collisions() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block("e");
+        f.block_mut(b0).push(Inst::new(InstId::new(7), Op::LoadImm { rt: Reg::gpr(12), imm: 0 }));
+        f.recompute_allocators();
+        assert_eq!(f.fresh_inst_id(), InstId::new(8));
+        assert_eq!(f.fresh_reg(RegClass::Gpr), Reg::gpr(13));
+        assert_eq!(f.fresh_reg(RegClass::Cr), Reg::cr(0));
+    }
+
+    #[test]
+    fn insert_block_remaps_targets() {
+        let mut f = two_block_function();
+        let inserted = f.insert_block_at(1, "CL.mid");
+        assert_eq!(inserted, BlockId::new(1));
+        // The branch in block 0 originally targeted BL1 (now BL2).
+        let tgt = f.block(BlockId::new(0)).insts()[0].op.branch_target().unwrap();
+        assert_eq!(tgt, BlockId::new(2));
+        // Fall-through now passes through the empty inserted block.
+        assert_eq!(f.succs(BlockId::new(1)), vec![BlockId::new(2)]);
+    }
+
+    #[test]
+    fn find_inst_and_clone() {
+        let mut f = two_block_function();
+        assert_eq!(f.find_inst(InstId::new(1)), Some((BlockId::new(1), 0)));
+        let fresh = f.add_block("copy");
+        let map = f.clone_insts_into(BlockId::new(1), fresh);
+        assert_eq!(map.len(), 1);
+        assert_ne!(map[0].0, map[0].1);
+        assert_eq!(f.block(fresh).len(), 1);
+    }
+}

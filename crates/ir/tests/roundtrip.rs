@@ -1,0 +1,179 @@
+//! Property: the textual form round-trips — `parse(print(f)) == f` for
+//! arbitrary well-formed functions.
+
+use gis_ir::{
+    parse_function, CondBit, FpBinOp, Function, FxBinOp, Inst, MemRef, Op, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_gpr() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(Reg::gpr)
+}
+
+fn arb_fpr() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(Reg::fpr)
+}
+
+fn arb_cr() -> impl Strategy<Value = Reg> {
+    (0u32..8).prop_map(Reg::cr)
+}
+
+fn arb_bit() -> impl Strategy<Value = CondBit> {
+    prop_oneof![Just(CondBit::Lt), Just(CondBit::Gt), Just(CondBit::Eq)]
+}
+
+fn arb_fx() -> impl Strategy<Value = FxBinOp> {
+    prop_oneof![
+        Just(FxBinOp::Add),
+        Just(FxBinOp::Sub),
+        Just(FxBinOp::Mul),
+        Just(FxBinOp::Div),
+        Just(FxBinOp::And),
+        Just(FxBinOp::Or),
+        Just(FxBinOp::Xor),
+        Just(FxBinOp::Sll),
+        Just(FxBinOp::Srl),
+        Just(FxBinOp::Sra),
+    ]
+}
+
+fn arb_fp() -> impl Strategy<Value = FpBinOp> {
+    prop_oneof![
+        Just(FpBinOp::Add),
+        Just(FpBinOp::Sub),
+        Just(FpBinOp::Mul),
+        Just(FpBinOp::Div),
+    ]
+}
+
+/// Non-branch operations (branches are appended per block with valid
+/// targets).
+fn arb_body_op() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (arb_gpr(), arb_gpr(), -64i64..64, any::<bool>(), any::<bool>())
+            .prop_map(|(rt, base, disp, update, sym)| OpSpec::Mem {
+                rt,
+                base,
+                disp: disp * 4,
+                update,
+                store: false,
+                sym,
+            }),
+        (arb_gpr(), arb_gpr(), -64i64..64, any::<bool>(), any::<bool>())
+            .prop_map(|(rt, base, disp, update, sym)| OpSpec::Mem {
+                rt,
+                base,
+                disp: disp * 4,
+                update,
+                store: true,
+                sym,
+            }),
+        (arb_gpr(), any::<i32>()).prop_map(|(rt, imm)| OpSpec::Plain(Op::LoadImm {
+            rt,
+            imm: i64::from(imm),
+        })),
+        (arb_gpr(), arb_gpr()).prop_map(|(rt, rs)| OpSpec::Plain(Op::Move { rt, rs })),
+        (arb_fx(), arb_gpr(), arb_gpr(), arb_gpr())
+            .prop_map(|(op, rt, ra, rb)| OpSpec::Plain(Op::Fx { op, rt, ra, rb })),
+        (arb_fx(), arb_gpr(), arb_gpr(), -100i64..100)
+            .prop_map(|(op, rt, ra, imm)| OpSpec::Plain(Op::FxImm { op, rt, ra, imm })),
+        (arb_fp(), arb_fpr(), arb_fpr(), arb_fpr())
+            .prop_map(|(op, rt, ra, rb)| OpSpec::Plain(Op::Fp { op, rt, ra, rb })),
+        (arb_cr(), arb_gpr(), arb_gpr())
+            .prop_map(|(crt, ra, rb)| OpSpec::Plain(Op::Compare { crt, ra, rb })),
+        (arb_cr(), arb_gpr(), -100i64..100)
+            .prop_map(|(crt, ra, imm)| OpSpec::Plain(Op::CompareImm { crt, ra, imm })),
+        (arb_cr(), arb_fpr(), arb_fpr())
+            .prop_map(|(crt, ra, rb)| OpSpec::Plain(Op::FpCompare { crt, ra, rb })),
+        arb_gpr().prop_map(|rs| OpSpec::Plain(Op::Print { rs })),
+        (arb_gpr(), arb_gpr()).prop_map(|(u, d)| OpSpec::Plain(Op::Call {
+            name: "helper".into(),
+            uses: vec![u],
+            defs: vec![d],
+        })),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Plain(Op),
+    Mem { rt: Reg, base: Reg, disp: i64, update: bool, store: bool, sym: bool },
+}
+
+prop_compose! {
+    fn arb_function()(
+        blocks in prop::collection::vec(
+            (prop::collection::vec(arb_body_op(), 0..6), any::<bool>(), arb_cr(), arb_bit()),
+            1..6,
+        ),
+    ) -> Function {
+        let mut f = Function::new("roundtrip");
+        let sym = f.add_symbol("mem");
+        let n = blocks.len();
+        let ids: Vec<gis_ir::BlockId> =
+            (0..n).map(|i| f.add_block(format!("B{i}"))).collect();
+        for (i, (ops, cond, cr, bit)) in blocks.into_iter().enumerate() {
+            let bid = ids[i];
+            for spec in ops {
+                let op = match spec {
+                    OpSpec::Plain(op) => op,
+                    OpSpec::Mem { rt, base, disp, update, store, sym: with_sym } => {
+                        let mem = MemRef {
+                            sym: with_sym.then_some(sym),
+                            base,
+                            disp,
+                        };
+                        match (store, update) {
+                            (false, false) => Op::Load { rt, mem },
+                            (false, true) => Op::LoadUpdate { rt, mem },
+                            (true, false) => Op::Store { rs: rt, mem },
+                            (true, true) => Op::StoreUpdate { rs: rt, mem },
+                        }
+                    }
+                };
+                let id = f.fresh_inst_id();
+                f.block_mut(bid).push(Inst::new(id, op));
+            }
+            // Terminate: last block returns; earlier blocks either fall
+            // through via a conditional branch or continue implicitly.
+            let id = f.fresh_inst_id();
+            if i + 1 == n {
+                f.block_mut(bid).push(Inst::new(id, Op::Ret));
+            } else if cond {
+                // Branch anywhere later (or to self — a back edge).
+                let target = ids[(i + 1 + cr.index() as usize) % n];
+                f.block_mut(bid).push(Inst::new(
+                    id,
+                    Op::BranchCond { target, cr, bit, when: bit == CondBit::Lt },
+                ));
+            }
+        }
+        f.recompute_allocators();
+        f
+    }
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(f in arb_function()) {
+        prop_assume!(f.verify().is_ok());
+        let text = f.to_string();
+        let parsed = parse_function(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        // Same name, same blocks, same instructions (ids and ops).
+        prop_assert_eq!(parsed.name(), f.name());
+        prop_assert_eq!(parsed.num_blocks(), f.num_blocks());
+        let a: Vec<_> = f.insts().map(|(b, i)| (b, i.id, i.op.clone())).collect();
+        let b: Vec<_> = parsed.insts().map(|(b, i)| (b, i.id, i.op.clone())).collect();
+        prop_assert_eq!(a, b);
+        // And printing again is a fixpoint.
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn verify_is_stable_under_roundtrip(f in arb_function()) {
+        prop_assume!(f.verify().is_ok());
+        let parsed = parse_function(&f.to_string()).expect("parses");
+        prop_assert_eq!(parsed.verify(), Ok(()));
+    }
+}

@@ -1,0 +1,470 @@
+//! Parametric superscalar machine descriptions (§2 of the paper).
+//!
+//! A machine is a collection of functional units of `m` kinds with
+//! `n_1 ... n_m` units of each kind. Every [`OpClass`] is executed by one
+//! unit kind in an integral number of cycles, and pipeline constraints are
+//! modelled as integer *delays* attached to data dependence edges: if a
+//! producer of class `P` feeds a consumer of class `C` and a delay rule
+//! `(P, C, d)` applies, the consumer should start no earlier than
+//! `finish(P) + d`. Starting earlier is *legal* (hardware interlocks stall
+//! at run time, §2) — the delays exist so the scheduler and the timing
+//! simulator agree on cost.
+//!
+//! The RS/6000 preset ([`MachineDescription::rs6k`]) encodes §2.1: one
+//! fixed point, one floating point and one branch unit; a 1-cycle delayed
+//! load, a 3-cycle fixed compare→branch delay, a 1-cycle floating point
+//! result delay and a 5-cycle float compare→branch delay.
+//!
+//! # Example
+//!
+//! ```
+//! use gis_machine::MachineDescription;
+//! use gis_ir::OpClass;
+//!
+//! let m = MachineDescription::rs6k();
+//! assert_eq!(m.exec_time(OpClass::Fx), 1);
+//! assert_eq!(m.delay(OpClass::FxCompare, OpClass::Branch), 3);
+//! assert_eq!(m.delay(OpClass::Fx, OpClass::Fx), 0);
+//! ```
+
+use gis_ir::OpClass;
+use std::fmt;
+
+/// Identifies a functional unit kind within a [`MachineDescription`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitKind(u32);
+
+impl UnitKind {
+    /// The raw index (dense; suitable for per-kind arrays).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unit{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Unit {
+    name: String,
+    count: u32,
+}
+
+/// Matches producer/consumer classes in a delay rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassMatcher {
+    /// Matches every class.
+    Any,
+    /// Matches exactly one class.
+    One(OpClass),
+    /// Matches any class in the list.
+    AnyOf(Vec<OpClass>),
+}
+
+impl ClassMatcher {
+    /// Whether `class` satisfies this matcher.
+    pub fn matches(&self, class: OpClass) -> bool {
+        match self {
+            ClassMatcher::Any => true,
+            ClassMatcher::One(c) => *c == class,
+            ClassMatcher::AnyOf(cs) => cs.contains(&class),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DelayRule {
+    producer: ClassMatcher,
+    consumer: ClassMatcher,
+    cycles: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClassInfo {
+    unit: UnitKind,
+    exec_time: u32,
+}
+
+/// A parametric description of a superscalar machine.
+///
+/// Build custom machines with [`MachineBuilder`]; the presets
+/// ([`MachineDescription::rs6k`] and friends) cover the configurations the
+/// paper discusses.
+#[derive(Debug, Clone)]
+pub struct MachineDescription {
+    name: String,
+    units: Vec<Unit>,
+    classes: Vec<Option<ClassInfo>>,
+    delays: Vec<DelayRule>,
+    dispatch_width: Option<u32>,
+}
+
+const ALL_CLASSES: [OpClass; 12] = [
+    OpClass::Fx,
+    OpClass::FxMul,
+    OpClass::FxDiv,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::FxCompare,
+    OpClass::Fp,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::FpCompare,
+    OpClass::Branch,
+    OpClass::Call,
+];
+
+fn class_index(c: OpClass) -> usize {
+    ALL_CLASSES.iter().position(|x| *x == c).expect("class covered")
+}
+
+impl MachineDescription {
+    /// The machine's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of unit kinds (`m` in the paper).
+    pub fn num_unit_kinds(&self) -> usize {
+        self.units.len()
+    }
+
+    /// All unit kinds.
+    pub fn unit_kinds(&self) -> impl Iterator<Item = UnitKind> + use<> {
+        (0..self.units.len() as u32).map(UnitKind)
+    }
+
+    /// Number of units of the given kind (`n_i`).
+    pub fn unit_count(&self, kind: UnitKind) -> u32 {
+        self.units[kind.index()].count
+    }
+
+    /// Display name of a unit kind.
+    pub fn unit_name(&self, kind: UnitKind) -> &str {
+        &self.units[kind.index()].name
+    }
+
+    /// The unit kind that executes `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not implement `class` (builders reject
+    /// such machines up front, so this only fires on hand-rolled ones).
+    pub fn unit_of(&self, class: OpClass) -> UnitKind {
+        self.classes[class_index(class)]
+            .unwrap_or_else(|| panic!("machine {:?} does not implement {class}", self.name))
+            .unit
+    }
+
+    /// Execution time of `class` in cycles (`t >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not implement `class`.
+    pub fn exec_time(&self, class: OpClass) -> u32 {
+        self.classes[class_index(class)]
+            .unwrap_or_else(|| panic!("machine {:?} does not implement {class}", self.name))
+            .exec_time
+    }
+
+    /// The pipeline delay `d >= 0` between a producer and a consumer class:
+    /// the maximum over all matching delay rules, 0 if none match.
+    pub fn delay(&self, producer: OpClass, consumer: OpClass) -> u32 {
+        self.delays
+            .iter()
+            .filter(|r| r.producer.matches(producer) && r.consumer.matches(consumer))
+            .map(|r| r.cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum instructions dispatched per cycle across all units;
+    /// defaults to the total unit count.
+    pub fn dispatch_width(&self) -> u32 {
+        self.dispatch_width
+            .unwrap_or_else(|| self.units.iter().map(|u| u.count).sum())
+    }
+
+    /// The IBM RISC System/6000 model of §2.1: single fixed point, floating
+    /// point and branch units; 1-cycle delayed load; 3-cycle fixed
+    /// compare→branch; 1-cycle float result; 5-cycle float compare→branch.
+    pub fn rs6k() -> Self {
+        Self::superscalar("rs6k", 1, 1, 1)
+    }
+
+    /// A generalization of the RS/6000 with `fx` fixed point units, `fp`
+    /// floating point units and `br` branch units (the paper's "machines
+    /// with a larger number of computational units").
+    pub fn superscalar(name: impl Into<String>, fx: u32, fp: u32, br: u32) -> Self {
+        let mut b = MachineBuilder::new(name);
+        let fxu = b.unit("fixed", fx);
+        let fpu = b.unit("float", fp);
+        let bru = b.unit("branch", br);
+        b.class(OpClass::Fx, fxu, 1);
+        b.class(OpClass::FxMul, fxu, 5);
+        b.class(OpClass::FxDiv, fxu, 19);
+        b.class(OpClass::Load, fxu, 1);
+        b.class(OpClass::Store, fxu, 1);
+        b.class(OpClass::FxCompare, fxu, 1);
+        b.class(OpClass::Fp, fpu, 1);
+        b.class(OpClass::FpMul, fpu, 2);
+        b.class(OpClass::FpDiv, fpu, 17);
+        b.class(OpClass::FpCompare, fpu, 1);
+        b.class(OpClass::Branch, bru, 1);
+        b.class(OpClass::Call, fxu, 10);
+        b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 1);
+        b.delay(ClassMatcher::One(OpClass::FxCompare), ClassMatcher::One(OpClass::Branch), 3);
+        b.delay(
+            ClassMatcher::AnyOf(vec![OpClass::Fp, OpClass::FpMul, OpClass::FpDiv]),
+            ClassMatcher::Any,
+            1,
+        );
+        b.delay(ClassMatcher::One(OpClass::FpCompare), ClassMatcher::One(OpClass::Branch), 5);
+        b.finish().expect("preset is complete")
+    }
+
+    /// An `n`-wide machine: `n` fixed point and `n` floating point units
+    /// plus one branch unit, RS/6000 latencies. Used by the width-sweep
+    /// experiment.
+    pub fn wide(n: u32) -> Self {
+        Self::superscalar(format!("wide{n}"), n, n, 1)
+    }
+
+    /// A single-issue pipelined RISC: one unit executes everything, with
+    /// the delayed-load and compare→branch delays of the RS/6000. This is
+    /// the machine for which classic basic-block-only schedulers were
+    /// designed; useful as a contrast configuration.
+    pub fn scalar_pipeline() -> Self {
+        let mut b = MachineBuilder::new("scalar");
+        let u = b.unit("pipe", 1);
+        for c in ALL_CLASSES {
+            let t = match c {
+                OpClass::FxMul => 5,
+                OpClass::FxDiv => 19,
+                OpClass::FpMul => 2,
+                OpClass::FpDiv => 17,
+                OpClass::Call => 10,
+                _ => 1,
+            };
+            b.class(c, u, t);
+        }
+        b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 1);
+        b.delay(ClassMatcher::One(OpClass::FxCompare), ClassMatcher::One(OpClass::Branch), 3);
+        b.delay(ClassMatcher::One(OpClass::FpCompare), ClassMatcher::One(OpClass::Branch), 5);
+        b.finish().expect("preset is complete")
+    }
+}
+
+/// An error from [`MachineBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildMachineError {
+    /// No unit kinds were declared.
+    NoUnits,
+    /// An [`OpClass`] has no unit assignment.
+    UnassignedClass(OpClass),
+    /// An execution time of zero was supplied (the paper requires `t >= 1`).
+    ZeroExecTime(OpClass),
+    /// A unit kind was declared with zero units.
+    ZeroCount(String),
+}
+
+impl fmt::Display for BuildMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildMachineError::NoUnits => write!(f, "machine declares no functional units"),
+            BuildMachineError::UnassignedClass(c) => {
+                write!(f, "op class {c} has no functional unit assignment")
+            }
+            BuildMachineError::ZeroExecTime(c) => {
+                write!(f, "op class {c} has a zero execution time")
+            }
+            BuildMachineError::ZeroCount(u) => write!(f, "unit kind {u:?} has zero units"),
+        }
+    }
+}
+
+impl std::error::Error for BuildMachineError {}
+
+/// Incrementally builds a [`MachineDescription`].
+///
+/// ```
+/// use gis_machine::{MachineBuilder, ClassMatcher};
+/// use gis_ir::OpClass;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = MachineBuilder::new("toy");
+/// let u = b.unit("alu", 2);
+/// for c in [OpClass::Fx, OpClass::Load, OpClass::Store, OpClass::FxCompare,
+///           OpClass::FxMul, OpClass::FxDiv, OpClass::Fp, OpClass::FpMul,
+///           OpClass::FpDiv, OpClass::FpCompare, OpClass::Branch, OpClass::Call] {
+///     b.class(c, u, 1);
+/// }
+/// b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 2);
+/// let m = b.finish()?;
+/// assert_eq!(m.delay(OpClass::Load, OpClass::Fx), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MachineBuilder {
+    m: MachineDescription,
+}
+
+impl MachineBuilder {
+    /// Starts a machine description with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            m: MachineDescription {
+                name: name.into(),
+                units: Vec::new(),
+                classes: vec![None; ALL_CLASSES.len()],
+                delays: Vec::new(),
+                dispatch_width: None,
+            },
+        }
+    }
+
+    /// Declares a unit kind with `count` identical units.
+    pub fn unit(&mut self, name: impl Into<String>, count: u32) -> UnitKind {
+        let kind = UnitKind(self.m.units.len() as u32);
+        self.m.units.push(Unit { name: name.into(), count });
+        kind
+    }
+
+    /// Assigns `class` to `unit` with the given execution time.
+    pub fn class(&mut self, class: OpClass, unit: UnitKind, exec_time: u32) -> &mut Self {
+        self.m.classes[class_index(class)] = Some(ClassInfo { unit, exec_time });
+        self
+    }
+
+    /// Adds a delay rule; overlapping rules combine by maximum.
+    pub fn delay(
+        &mut self,
+        producer: ClassMatcher,
+        consumer: ClassMatcher,
+        cycles: u32,
+    ) -> &mut Self {
+        self.m.delays.push(DelayRule { producer, consumer, cycles });
+        self
+    }
+
+    /// Caps total dispatch per cycle below the unit count sum.
+    pub fn dispatch_width(&mut self, width: u32) -> &mut Self {
+        self.m.dispatch_width = Some(width);
+        self
+    }
+
+    /// Validates and returns the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildMachineError`] when a class is unassigned, an
+    /// execution time is zero, a unit count is zero, or no units exist.
+    pub fn finish(self) -> Result<MachineDescription, BuildMachineError> {
+        if self.m.units.is_empty() {
+            return Err(BuildMachineError::NoUnits);
+        }
+        for u in &self.m.units {
+            if u.count == 0 {
+                return Err(BuildMachineError::ZeroCount(u.name.clone()));
+            }
+        }
+        for (i, info) in self.m.classes.iter().enumerate() {
+            match info {
+                None => return Err(BuildMachineError::UnassignedClass(ALL_CLASSES[i])),
+                Some(ci) if ci.exec_time == 0 => {
+                    return Err(BuildMachineError::ZeroExecTime(ALL_CLASSES[i]))
+                }
+                _ => {}
+            }
+        }
+        Ok(self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs6k_matches_section_2_1() {
+        let m = MachineDescription::rs6k();
+        assert_eq!(m.num_unit_kinds(), 3);
+        for k in m.unit_kinds() {
+            assert_eq!(m.unit_count(k), 1);
+        }
+        // The four delay kinds from §2.1.
+        assert_eq!(m.delay(OpClass::Load, OpClass::Fx), 1);
+        assert_eq!(m.delay(OpClass::FxCompare, OpClass::Branch), 3);
+        assert_eq!(m.delay(OpClass::Fp, OpClass::Fp), 1);
+        assert_eq!(m.delay(OpClass::FpCompare, OpClass::Branch), 5);
+        // Compare feeding a non-branch carries no special delay.
+        assert_eq!(m.delay(OpClass::FxCompare, OpClass::Fx), 0);
+        // Fixed and branch units are distinct: they can run in parallel.
+        assert_ne!(m.unit_of(OpClass::Fx), m.unit_of(OpClass::Branch));
+        assert_eq!(m.unit_of(OpClass::Load), m.unit_of(OpClass::FxCompare));
+        assert_eq!(m.dispatch_width(), 3);
+    }
+
+    #[test]
+    fn wide_machines_scale_unit_counts() {
+        let m = MachineDescription::wide(4);
+        let fx = m.unit_of(OpClass::Fx);
+        assert_eq!(m.unit_count(fx), 4);
+        assert_eq!(m.dispatch_width(), 9);
+    }
+
+    #[test]
+    fn delay_rules_combine_by_max() {
+        let mut b = MachineBuilder::new("t");
+        let u = b.unit("u", 1);
+        for c in super::ALL_CLASSES {
+            b.class(c, u, 1);
+        }
+        b.delay(ClassMatcher::Any, ClassMatcher::Any, 1);
+        b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 3);
+        let m = b.finish().expect("complete");
+        assert_eq!(m.delay(OpClass::Load, OpClass::Fx), 3);
+        assert_eq!(m.delay(OpClass::Fx, OpClass::Fx), 1);
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_machines() {
+        let b = MachineBuilder::new("t");
+        assert_eq!(b.finish().unwrap_err(), BuildMachineError::NoUnits);
+
+        let mut b = MachineBuilder::new("t");
+        b.unit("u", 1);
+        assert!(matches!(b.finish().unwrap_err(), BuildMachineError::UnassignedClass(_)));
+
+        let mut b = MachineBuilder::new("t");
+        let u = b.unit("u", 0);
+        for c in super::ALL_CLASSES {
+            b.class(c, u, 1);
+        }
+        assert!(matches!(b.finish().unwrap_err(), BuildMachineError::ZeroCount(_)));
+    }
+
+    #[test]
+    fn explicit_dispatch_width_caps_total() {
+        let mut b = MachineBuilder::new("t");
+        let u = b.unit("u", 4);
+        for c in super::ALL_CLASSES {
+            b.class(c, u, 1);
+        }
+        b.dispatch_width(2);
+        let m = b.finish().expect("complete");
+        assert_eq!(m.dispatch_width(), 2);
+    }
+
+    #[test]
+    fn scalar_pipeline_single_unit() {
+        let m = MachineDescription::scalar_pipeline();
+        assert_eq!(m.num_unit_kinds(), 1);
+        assert_eq!(m.unit_of(OpClass::Fx), m.unit_of(OpClass::Branch));
+        assert_eq!(m.delay(OpClass::FxCompare, OpClass::Branch), 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Block-local copy propagation.
+
+use gis_ir::{BlockId, Function, Op, Reg};
+use std::collections::HashMap;
+
+/// Replaces uses of copy targets with their sources within each block
+/// (`LR rt=rs; ... use rt ...` becomes `... use rs ...` while neither
+/// register is redefined). Returns the number of uses rewritten.
+///
+/// Update-form instructions (`LU`/`STU`) are skipped entirely: their base
+/// register field is simultaneously a use and a definition, so rewriting
+/// the use would silently retarget the definition.
+pub fn propagate_copies(f: &mut Function) -> usize {
+    let mut changed = 0;
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    for bid in blocks {
+        // rt -> canonical source.
+        let mut copy: HashMap<Reg, Reg> = HashMap::new();
+        let len = f.block(bid).len();
+        for pos in 0..len {
+            let inst = &mut f.block_mut(bid).insts_mut()[pos];
+            if !inst.op.has_tied_base() {
+                let before = inst.op.uses();
+                inst.op.map_uses(|r| copy.get(&r).copied().unwrap_or(r));
+                let after = inst.op.uses();
+                changed += before.iter().zip(&after).filter(|(b, a)| b != a).count();
+            }
+
+            // Kill mappings touching any register this instruction defines.
+            let defs = inst.op.defs();
+            copy.retain(|k, v| !defs.contains(k) && !defs.contains(v));
+
+            // Record fresh copies (after the kill, so `LR r1=r1`-style
+            // degenerate moves never map).
+            if let Op::Move { rt, rs } = inst.op {
+                if rt != rs {
+                    copy.insert(rt, rs);
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::{parse_function, InstId};
+
+    fn prop(text: &str) -> Function {
+        let mut f = parse_function(text).expect("parses");
+        while propagate_copies(&mut f) > 0 {}
+        f.verify().expect("still valid");
+        f
+    }
+
+    fn uses_at(f: &Function, n: u32) -> Vec<Reg> {
+        let (b, p) = f.find_inst(InstId::new(n)).expect("exists");
+        f.block(b).insts()[p].op.uses()
+    }
+
+    #[test]
+    fn uses_follow_the_copy_source() {
+        let f = prop(
+            "func t\nE:\n (I0) AI r1=r9,1\n (I1) LR r2=r1\n (I2) A r3=r2,r2\n\
+             (I3) PRINT r3\n RET\n",
+        );
+        assert_eq!(uses_at(&f, 2), vec![Reg::gpr(1), Reg::gpr(1)]);
+    }
+
+    #[test]
+    fn chains_collapse_to_the_origin() {
+        let f = prop(
+            "func t\nE:\n (I0) AI r1=r9,1\n (I1) LR r2=r1\n (I2) LR r3=r2\n\
+             (I3) PRINT r3\n RET\n",
+        );
+        assert_eq!(uses_at(&f, 2), vec![Reg::gpr(1)], "LR r3=r2 reads r1 now");
+        assert_eq!(uses_at(&f, 3), vec![Reg::gpr(1)]);
+    }
+
+    #[test]
+    fn redefinition_kills_the_mapping() {
+        let f = prop(
+            "func t\nE:\n (I0) LR r2=r1\n (I1) AI r1=r9,1\n (I2) PRINT r2\n\
+             (I3) AI r2=r9,2\n (I4) PRINT r2\n RET\n",
+        );
+        // I2 still reads r2: r1 was clobbered between the copy and the use.
+        assert_eq!(uses_at(&f, 2), vec![Reg::gpr(2)]);
+        // And after r2 itself is redefined, nothing maps.
+        assert_eq!(uses_at(&f, 4), vec![Reg::gpr(2)]);
+    }
+
+    #[test]
+    fn update_forms_are_left_alone() {
+        let f = prop(
+            "func t\nE:\n (I0) LR r2=r1\n (I1) LU r3,r2=a(r2,8)\n (I2) PRINT r3\n RET\n",
+        );
+        // Rewriting LU's base to r1 would change which register receives
+        // the post-increment.
+        assert_eq!(uses_at(&f, 1), vec![Reg::gpr(2)]);
+    }
+
+    #[test]
+    fn stores_propagate_both_value_and_base() {
+        let f = prop(
+            "func t\nE:\n (I0) LR r2=r1\n (I1) LR r4=r3\n (I2) ST r2=>a(r4,0)\n RET\n",
+        );
+        assert_eq!(uses_at(&f, 2), vec![Reg::gpr(1), Reg::gpr(3)]);
+    }
+}

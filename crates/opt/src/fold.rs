@@ -1,0 +1,179 @@
+//! Block-local constant folding and propagation.
+
+use gis_ir::{BlockId, Function, FxBinOp, Op, Reg};
+use std::collections::HashMap;
+
+/// Folds constants within each block: operations whose inputs are known
+/// become `LI`, register-register operations with one known operand
+/// become immediate forms, compares against known values become `CI`, and
+/// moves of known values become `LI`. Returns how many instructions were
+/// rewritten.
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut changed = 0;
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    for bid in blocks {
+        let mut known: HashMap<Reg, i64> = HashMap::new();
+        let len = f.block(bid).len();
+        for pos in 0..len {
+            let op = f.block(bid).insts()[pos].op.clone();
+            let rewritten: Option<Op> = match &op {
+                Op::Move { rt, rs } => known.get(rs).map(|&v| Op::LoadImm { rt: *rt, imm: v }),
+                Op::FxImm { op, rt, ra, imm } => {
+                    known.get(ra).map(|&a| Op::LoadImm { rt: *rt, imm: op.eval(a, *imm) })
+                }
+                Op::Fx { op, rt, ra, rb } => match (known.get(ra), known.get(rb)) {
+                    (Some(&a), Some(&b)) => Some(Op::LoadImm { rt: *rt, imm: op.eval(a, b) }),
+                    (None, Some(&b)) => Some(Op::FxImm { op: *op, rt: *rt, ra: *ra, imm: b }),
+                    (Some(&a), None) if op.commutes() => {
+                        Some(Op::FxImm { op: *op, rt: *rt, ra: *rb, imm: a })
+                    }
+                    // `a - rb` and friends have no immediate form; leave.
+                    _ => None,
+                },
+                Op::Compare { crt, ra, rb } => known
+                    .get(rb)
+                    .map(|&b| Op::CompareImm { crt: *crt, ra: *ra, imm: b }),
+                // Known bases could fold into displacements, but the
+                // displacement field is also the update amount for LU/STU;
+                // leave memory operations untouched.
+                _ => None,
+            };
+            if let Some(new_op) = rewritten {
+                if new_op != op {
+                    f.block_mut(bid).insts_mut()[pos].op = new_op;
+                    changed += 1;
+                }
+            }
+
+            // Update knowledge from the (possibly rewritten) instruction.
+            let op = &f.block(bid).insts()[pos].op;
+            match op {
+                Op::LoadImm { rt, imm } => {
+                    known.insert(*rt, *imm);
+                }
+                other => {
+                    for d in other.defs() {
+                        known.remove(&d);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Peephole strength reduction on immediate forms: `x+0`, `x*1`, `x|0`,
+/// `x^0`, shifts by 0 become moves; `x*0` and `x&0` become `LI 0`.
+/// Returns how many instructions were rewritten.
+pub fn strength_reduce(f: &mut Function) -> usize {
+    let mut changed = 0;
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    for bid in blocks {
+        for inst in f.block_mut(bid).insts_mut() {
+            let new_op = match inst.op {
+                Op::FxImm { op, rt, ra, imm: 0 }
+                    if matches!(
+                        op,
+                        FxBinOp::Add
+                            | FxBinOp::Sub
+                            | FxBinOp::Or
+                            | FxBinOp::Xor
+                            | FxBinOp::Sll
+                            | FxBinOp::Srl
+                            | FxBinOp::Sra
+                    ) =>
+                {
+                    Some(Op::Move { rt, rs: ra })
+                }
+                Op::FxImm { op: FxBinOp::Mul | FxBinOp::Div, rt, ra, imm: 1 } => {
+                    Some(Op::Move { rt, rs: ra })
+                }
+                Op::FxImm { op: FxBinOp::Mul | FxBinOp::And, rt, imm: 0, .. } => {
+                    Some(Op::LoadImm { rt, imm: 0 })
+                }
+                _ => None,
+            };
+            if let Some(op) = new_op {
+                inst.op = op;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    fn fold(text: &str) -> Function {
+        let mut f = parse_function(text).expect("parses");
+        while fold_constants(&mut f) > 0 {}
+        f.verify().expect("still valid");
+        f
+    }
+
+    fn op_at(f: &Function, n: u32) -> &Op {
+        let (b, p) = f.find_inst(gis_ir::InstId::new(n)).expect("exists");
+        &f.block(b).insts()[p].op
+    }
+
+    #[test]
+    fn folds_chains_to_immediates() {
+        let f = fold(
+            "func t\nE:\n (I0) LI r1=6\n (I1) LI r2=7\n (I2) MUL r3=r1,r2\n\
+             (I3) AI r4=r3,-2\n PRINT r4\n RET\n",
+        );
+        assert_eq!(*op_at(&f, 2), Op::LoadImm { rt: Reg::gpr(3), imm: 42 });
+        assert_eq!(*op_at(&f, 3), Op::LoadImm { rt: Reg::gpr(4), imm: 40 });
+    }
+
+    #[test]
+    fn partial_knowledge_makes_immediate_forms() {
+        let f = fold(
+            "func t\nE:\n (I0) LI r2=5\n (I1) A r3=r9,r2\n (I2) S r4=r9,r2\n\
+             (I3) S r5=r2,r9\n (I4) C cr0=r9,r2\n PRINT r3\n RET\n",
+        );
+        assert!(matches!(*op_at(&f, 1), Op::FxImm { op: FxBinOp::Add, imm: 5, .. }));
+        assert!(matches!(*op_at(&f, 2), Op::FxImm { op: FxBinOp::Sub, imm: 5, .. }));
+        // 5 - r9 does not commute: untouched.
+        assert!(matches!(*op_at(&f, 3), Op::Fx { op: FxBinOp::Sub, .. }));
+        assert!(matches!(*op_at(&f, 4), Op::CompareImm { imm: 5, .. }));
+    }
+
+    #[test]
+    fn knowledge_is_killed_by_redefinition_and_blocks() {
+        let f = fold(
+            "func t\nE:\n (I0) LI r1=1\n (I1) AI r1=r9,1\n (I2) A r3=r1,r1\nB:\n\
+             (I3) LI r2=2\nC:\n (I4) A r4=r2,r2\n PRINT r4\n RET\n",
+        );
+        // r1 was clobbered by an unknown value before I2.
+        assert!(matches!(*op_at(&f, 2), Op::Fx { .. }));
+        // Constants never flow across block boundaries (local pass).
+        assert!(matches!(*op_at(&f, 4), Op::Fx { .. }));
+    }
+
+    #[test]
+    fn total_semantics_match_the_simulator() {
+        // Folding x/0 must produce the simulator's 0, not a panic.
+        let f = fold(
+            "func t\nE:\n (I0) LI r1=17\n (I1) LI r2=0\n (I2) DIV r3=r1,r2\n PRINT r3\n RET\n",
+        );
+        assert_eq!(*op_at(&f, 2), Op::LoadImm { rt: Reg::gpr(3), imm: 0 });
+    }
+
+    #[test]
+    fn strength_reduction() {
+        let mut f = parse_function(
+            "func t\nE:\n (I0) AI r1=r9,0\n (I1) MULI r2=r9,1\n (I2) ANDI r3=r9,0\n\
+             (I3) MULI r4=r9,0\n PRINT r1\n RET\n",
+        )
+        .expect("parses");
+        assert_eq!(strength_reduce(&mut f), 4);
+        assert!(matches!(*op_at(&f, 0), Op::Move { .. }));
+        assert!(matches!(*op_at(&f, 1), Op::Move { .. }));
+        assert_eq!(*op_at(&f, 2), Op::LoadImm { rt: Reg::gpr(3), imm: 0 });
+        assert_eq!(*op_at(&f, 3), Op::LoadImm { rt: Reg::gpr(4), imm: 0 });
+    }
+}

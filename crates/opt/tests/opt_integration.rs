@@ -1,0 +1,84 @@
+//! Whole-program optimizer tests: tinyc output shrinks and behaves
+//! identically.
+
+use gis_opt::{optimize, OptConfig};
+use gis_sim::{execute, ExecConfig};
+use gis_tinyc::compile_program;
+
+fn check(src: &str, arrays: &[(&str, &[i64])]) -> (usize, usize) {
+    let program = compile_program(src).expect("compiles");
+    let memory = program.initial_memory(arrays).expect("fits");
+    let before = execute(&program.function, &memory, &ExecConfig::default()).expect("runs");
+
+    let mut optimized = program.function.clone();
+    let stats = optimize(&mut optimized, &OptConfig::default());
+    optimized.verify().expect("still well formed");
+    let after = execute(&optimized, &memory, &ExecConfig::default()).expect("runs");
+    assert!(before.equivalent(&after), "optimizer preserved behaviour\n{optimized}");
+    assert!(stats.rounds >= 1);
+    (program.function.num_insts(), optimized.num_insts())
+}
+
+#[test]
+fn frontend_copies_and_dead_code_shrink() {
+    // The naive frontend produces LR chains for every assignment; the
+    // optimizer should strip a good fraction.
+    let (before, after) = check(
+        "int a[16]; int n = 16;
+         void f() {
+             int i = 0; int s = 0;
+             while (i < n) {
+                 int x = a[i];
+                 int y = x * 2;
+                 s = s + y;
+                 i = i + 1;
+             }
+             print(s);
+         }",
+        &[("a", &(0..16).collect::<Vec<i64>>())],
+    );
+    assert!(
+        after < before,
+        "optimizer shrinks the kernel: {after} < {before}"
+    );
+}
+
+#[test]
+fn constant_program_folds_heavily() {
+    let (before, after) = check(
+        "void f() {
+             int a = 6;
+             int b = 7;
+             int c = a * b;
+             int d = c + 8;
+             print(d);
+         }",
+        &[],
+    );
+    // Everything folds to a couple of LIs plus the print.
+    assert!(after <= before / 2, "{after} vs {before}");
+}
+
+#[test]
+fn unused_globals_disappear() {
+    let (before, after) = check(
+        "int x = 5; int y = 9; int z = 13;
+         void f() { print(x); }",
+        &[],
+    );
+    assert!(after < before, "dead global initializers removed: {after} < {before}");
+}
+
+#[test]
+fn optimizer_is_idempotent() {
+    let program = compile_program(
+        "int a[8]; void f() { int i = 0; while (i < 8) { a[i] = i * i; i = i + 1; } print(a[3]); }",
+    )
+    .expect("compiles");
+    let mut once = program.function.clone();
+    optimize(&mut once, &OptConfig::default());
+    let mut twice = once.clone();
+    let stats = optimize(&mut twice, &OptConfig::default());
+    assert_eq!(once.to_string(), twice.to_string(), "fixpoint reached");
+    assert_eq!(stats.folded + stats.copies_propagated + stats.removed, 0);
+}

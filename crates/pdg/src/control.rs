@@ -1,0 +1,393 @@
+//! The control subgraph of the PDG (CSPDG, §4.1 and paper Figure 4).
+//!
+//! Control dependences are computed per region over the region's forward
+//! control flow graph using the Ferrante–Ottenstein–Warren construction:
+//! `B` is control dependent on `A` under label `l` when `A` has an
+//! `l`-successor `S` such that `B` postdominates `S` but `B` does not
+//! postdominate `A`. The graph is augmented with the usual `ENTRY → EXIT`
+//! edge so that unconditionally executed blocks come out control dependent
+//! on `ENTRY`.
+
+use gis_cfg::{DomTree, EdgeLabel, NodeId, RegionGraph, RegionNode};
+use std::fmt::Write as _;
+
+/// The control dependence subgraph of one region, with the dominance
+/// machinery needed for Definitions 1–7 of the paper.
+#[derive(Debug, Clone)]
+pub struct Cspdg {
+    parents: Vec<Vec<(NodeId, EdgeLabel)>>,
+    children: Vec<Vec<(NodeId, EdgeLabel)>>,
+    dom: DomTree,
+    pdom: DomTree,
+    /// Which nodes are real basic blocks (not `ENTRY`/`EXIT`/supernodes).
+    is_block: Vec<bool>,
+}
+
+impl Cspdg {
+    /// Computes the CSPDG of a region's forward graph.
+    ///
+    /// ```
+    /// use gis_cfg::{Cfg, DomTree, LoopForest, RegionTree, RegionGraph};
+    /// use gis_pdg::Cspdg;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let f = gis_ir::parse_function(
+    ///     "func t\nA:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\nB:\n LI r3=1\nC:\n RET\n",
+    /// )?;
+    /// let cfg = Cfg::new(&f);
+    /// let dom = DomTree::dominators(&cfg);
+    /// let loops = LoopForest::new(&cfg, &dom);
+    /// let tree = RegionTree::new(&cfg, &loops);
+    /// let g = RegionGraph::new(&cfg, &tree, tree.root())?;
+    /// let cspdg = Cspdg::new(&g);
+    /// // B executes only when A's branch falls through: one CD parent.
+    /// let b = g.node_of_block(gis_ir::BlockId::new(1)).unwrap();
+    /// assert_eq!(cspdg.cd_parents(b).len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(g: &RegionGraph) -> Self {
+        let n = g.num_nodes();
+
+        // Augment with ENTRY -> EXIT for the FOW construction.
+        let mut succs = g.succ_lists();
+        if !succs[NodeId::ENTRY.index()].contains(&NodeId::EXIT) {
+            succs[NodeId::ENTRY.index()].push(NodeId::EXIT);
+        }
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, list) in succs.iter().enumerate() {
+            for &t in list {
+                rev[t.index()].push(NodeId::from_index(i));
+            }
+        }
+        let pdom = DomTree::from_succs(&rev, NodeId::EXIT);
+        let dom = g.dominators();
+
+        let mut parents: Vec<Vec<(NodeId, EdgeLabel)>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<(NodeId, EdgeLabel)>> = vec![Vec::new(); n];
+
+        // Labelled edges: the region graph's edges plus the augmentation
+        // edge (whose dependents are the "always executed" blocks).
+        let mut edges: Vec<(NodeId, NodeId, EdgeLabel)> = Vec::new();
+        for i in 0..n {
+            let a = NodeId::from_index(i);
+            for &(s, l) in g.succs(a) {
+                edges.push((a, s, l));
+            }
+        }
+        edges.push((NodeId::ENTRY, NodeId::EXIT, EdgeLabel::Always));
+
+        for (a, s, l) in edges {
+            if pdom.dominates(s, a) {
+                continue; // not a control dependence source
+            }
+            // Walk the postdominator tree from S up to (excluding)
+            // ipdom(A); every node on the way is control dependent on A.
+            let stop = pdom.idom(a);
+            let mut cur = Some(s);
+            while let Some(b) = cur {
+                if Some(b) == stop {
+                    break;
+                }
+                if !parents[b.index()].iter().any(|&(p, pl)| p == a && pl == l) {
+                    parents[b.index()].push((a, l));
+                    children[a.index()].push((b, l));
+                }
+                cur = pdom.idom(b);
+            }
+        }
+
+        let is_block = (0..n)
+            .map(|i| matches!(g.node(NodeId::from_index(i)), RegionNode::Block(_)))
+            .collect();
+        Cspdg { parents, children, dom, pdom, is_block }
+    }
+
+    /// Number of nodes (same numbering as the region graph).
+    pub fn num_nodes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The nodes `n` is control dependent on, with the branch label.
+    pub fn cd_parents(&self, n: NodeId) -> &[(NodeId, EdgeLabel)] {
+        &self.parents[n.index()]
+    }
+
+    /// The nodes control dependent on `n` — the "immediate successors of
+    /// `n` in CSPDG" that 1-branch speculative scheduling draws from.
+    pub fn cd_children(&self, n: NodeId) -> &[(NodeId, EdgeLabel)] {
+        &self.children[n.index()]
+    }
+
+    /// The region's dominator tree (Definition 1).
+    pub fn dom(&self) -> &DomTree {
+        &self.dom
+    }
+
+    /// The region's postdominator tree (Definition 2).
+    pub fn pdom(&self) -> &DomTree {
+        &self.pdom
+    }
+
+    /// Definition 3: `a` and `b` are equivalent when one dominates the
+    /// other and is postdominated by it (in either orientation; reflexive).
+    pub fn equivalent(&self, a: NodeId, b: NodeId) -> bool {
+        a == b
+            || (self.dom.dominates(a, b) && self.pdom.dominates(b, a))
+            || (self.dom.dominates(b, a) && self.pdom.dominates(a, b))
+    }
+
+    /// Whether `a` and `b` have identical control dependences (same
+    /// parents under the same conditions) — the paper's practical way of
+    /// finding equivalent nodes in the CSPDG. Agrees with
+    /// [`Cspdg::equivalent`] on the graphs we schedule (a property the
+    /// test suite checks on random programs).
+    pub fn identically_control_dependent(&self, a: NodeId, b: NodeId) -> bool {
+        let mut pa = self.parents[a.index()].clone();
+        let mut pb = self.parents[b.index()].clone();
+        pa.sort();
+        pb.sort();
+        pa == pb
+    }
+
+    /// Whether node `n` is a real basic block of the region (as opposed to
+    /// `ENTRY`, `EXIT`, or an enclosed-region supernode).
+    pub fn is_block(&self, n: NodeId) -> bool {
+        self.is_block[n.index()]
+    }
+
+    /// `EQUIV(A)` as the scheduler uses it: *blocks* equivalent to `a` and
+    /// dominated by `a` (excluding `a` itself), in dominance order.
+    /// Synthetic nodes and supernodes are never members — they cannot
+    /// contribute or receive instructions.
+    pub fn equiv_dominated(&self, a: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = (0..self.num_nodes())
+            .map(NodeId::from_index)
+            .filter(|&b| {
+                self.is_block[b.index()]
+                    && b != a
+                    && self.dom.strictly_dominates(a, b)
+                    && self.equivalent(a, b)
+            })
+            .collect();
+        // Dominance is total on an equivalence class; sort outermost first.
+        out.sort_by(|&x, &y| {
+            if self.dom.strictly_dominates(x, y) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        out
+    }
+
+    /// Definition 7: the minimum number of CSPDG edges crossed to get from
+    /// `a` to `b` — the number of branches speculated on when moving an
+    /// instruction from `b` up to `a`. Returns `Some(0)` when the blocks
+    /// are equivalent and `None` when no CSPDG path exists.
+    pub fn speculation_degree(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if self.equivalent(a, b) {
+            return Some(0);
+        }
+        // BFS over CD children, starting from a and everything equivalent
+        // to it (crossing into an equivalent block gambles on nothing).
+        let n = self.num_nodes();
+        let mut dist: Vec<Option<usize>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if self.equivalent(a, node) {
+                dist[i] = Some(0);
+                queue.push_back(node);
+            }
+        }
+        while let Some(x) = queue.pop_front() {
+            let d = dist[x.index()].expect("enqueued with distance");
+            for &(c, _) in self.cd_children(x) {
+                if dist[c.index()].is_none() {
+                    let nd = d + 1;
+                    if c == b || self.equivalent(c, b) {
+                        return Some(nd);
+                    }
+                    dist[c.index()] = Some(nd);
+                    queue.push_back(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Renders the CSPDG in Graphviz DOT syntax: solid labelled control
+/// dependence edges plus dashed equivalence edges in dominance direction —
+/// the shape of the paper's Figure 4.
+pub fn cspdg_to_dot(g: &RegionGraph, cspdg: &Cspdg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cspdg {{");
+    let name = |n: NodeId| format!("\"{}\"", g.node(n));
+    for i in 0..cspdg.num_nodes() {
+        let b = NodeId::from_index(i);
+        for &(a, l) in cspdg.cd_parents(b) {
+            match l {
+                EdgeLabel::Always => {
+                    let _ = writeln!(out, "  {} -> {};", name(a), name(b));
+                }
+                l => {
+                    let _ = writeln!(out, "  {} -> {} [label=\"{l}\"];", name(a), name(b));
+                }
+            }
+        }
+    }
+    // Dashed equivalence edges from each node to the equivalent nodes it
+    // dominates directly (skip transitive members).
+    for i in 0..cspdg.num_nodes() {
+        let a = NodeId::from_index(i);
+        if matches!(g.node(a), RegionNode::Entry | RegionNode::Exit) {
+            continue;
+        }
+        if let Some(first) = cspdg.equiv_dominated(a).first() {
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", name(a), name(*first));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_cfg::{Cfg, LoopForest, RegionKind, RegionTree};
+    use gis_ir::BlockId;
+    use gis_workloads::minmax;
+
+    /// Builds the CSPDG of the minmax loop region (paper Figure 4).
+    fn minmax_cspdg() -> (RegionGraph, Cspdg, Vec<NodeId>) {
+        let f = minmax::figure2_function(9);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let tree = RegionTree::new(&cfg, &loops);
+        let (rid, _) = tree
+            .regions()
+            .find(|(_, r)| matches!(r.kind, RegionKind::Loop(_)))
+            .expect("the loop region exists");
+        let g = RegionGraph::new(&cfg, &tree, rid).expect("reducible");
+        let cspdg = Cspdg::new(&g);
+        // Paper block BLi (1-based) is function block i (init block is 0).
+        let nodes: Vec<NodeId> = (0..=10)
+            .map(|i| {
+                if i == 0 {
+                    NodeId::ENTRY
+                } else {
+                    g.node_of_block(BlockId::new(i)).expect("loop block")
+                }
+            })
+            .collect();
+        (g, cspdg, nodes)
+    }
+
+    #[test]
+    fn figure4_control_dependences() {
+        let (_, cspdg, bl) = minmax_cspdg();
+        let parents = |i: usize| -> Vec<NodeId> {
+            cspdg.cd_parents(bl[i]).iter().map(|&(p, _)| p).collect()
+        };
+        // BL1 and BL10 depend on nothing but ENTRY.
+        assert_eq!(parents(1), vec![NodeId::ENTRY]);
+        assert_eq!(parents(10), vec![NodeId::ENTRY]);
+        // BL2 and BL4 depend on BL1 (under the same condition); BL6, BL8
+        // depend on BL1 under the opposite condition.
+        assert_eq!(parents(2), vec![bl[1]]);
+        assert_eq!(parents(4), vec![bl[1]]);
+        assert_eq!(parents(6), vec![bl[1]]);
+        assert_eq!(parents(8), vec![bl[1]]);
+        let label = |i: usize| cspdg.cd_parents(bl[i])[0].1;
+        assert_eq!(label(2), label(4));
+        assert_eq!(label(6), label(8));
+        assert_ne!(label(2), label(6));
+        // The update blocks depend on their guarding compares.
+        assert_eq!(parents(3), vec![bl[2]]);
+        assert_eq!(parents(5), vec![bl[4]]);
+        assert_eq!(parents(7), vec![bl[6]]);
+        assert_eq!(parents(9), vec![bl[8]]);
+    }
+
+    #[test]
+    fn figure4_equivalences() {
+        let (_, cspdg, bl) = minmax_cspdg();
+        // The three dashed edges of Figure 4.
+        assert!(cspdg.equivalent(bl[1], bl[10]));
+        assert!(cspdg.equivalent(bl[2], bl[4]));
+        assert!(cspdg.equivalent(bl[6], bl[8]));
+        // Direction: the dominator comes first.
+        assert_eq!(cspdg.equiv_dominated(bl[1]), vec![bl[10]]);
+        assert_eq!(cspdg.equiv_dominated(bl[2]), vec![bl[4]]);
+        assert_eq!(cspdg.equiv_dominated(bl[10]), vec![]);
+        // Non-equivalences.
+        assert!(!cspdg.equivalent(bl[2], bl[6]), "opposite arms");
+        assert!(!cspdg.equivalent(bl[1], bl[2]), "conditional vs always");
+        assert!(!cspdg.equivalent(bl[3], bl[5]), "different guards");
+        // Identical control dependence agrees with Definition 3 here.
+        for i in 1..=10 {
+            for j in 1..=10 {
+                assert_eq!(
+                    cspdg.identically_control_dependent(bl[i], bl[j]),
+                    cspdg.equivalent(bl[i], bl[j]),
+                    "BL{i} vs BL{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_speculation_degrees() {
+        let (_, cspdg, bl) = minmax_cspdg();
+        // §4.1: moving from BL8 to BL1 gambles on one branch...
+        assert_eq!(cspdg.speculation_degree(bl[1], bl[8]), Some(1));
+        // ...and from BL5 to BL1 on two.
+        assert_eq!(cspdg.speculation_degree(bl[1], bl[5]), Some(2));
+        // Useful motion is 0-branch speculative.
+        assert_eq!(cspdg.speculation_degree(bl[1], bl[10]), Some(0));
+        assert_eq!(cspdg.speculation_degree(bl[2], bl[4]), Some(0));
+        // BL2's own children are one branch away.
+        assert_eq!(cspdg.speculation_degree(bl[2], bl[3]), Some(1));
+        // Equivalence extends the start set: BL5 hangs off BL4 ∈ EQUIV(BL2).
+        assert_eq!(cspdg.speculation_degree(bl[2], bl[5]), Some(1));
+    }
+
+    #[test]
+    fn cd_children_are_the_speculative_sources() {
+        let (_, cspdg, bl) = minmax_cspdg();
+        let mut kids: Vec<NodeId> =
+            cspdg.cd_children(bl[1]).iter().map(|&(c, _)| c).collect();
+        kids.sort();
+        let mut want = vec![bl[2], bl[4], bl[6], bl[8]];
+        want.sort();
+        assert_eq!(kids, want);
+    }
+
+    #[test]
+    fn dot_output_has_solid_and_dashed_edges() {
+        let (g, cspdg, _) = minmax_cspdg();
+        let dot = cspdg_to_dot(&g, &cspdg);
+        assert!(dot.contains("style=dashed"), "{dot}");
+        assert!(dot.contains("label="), "{dot}");
+    }
+
+    #[test]
+    fn straight_line_region_all_on_entry() {
+        let f = gis_ir::parse_function("func s\nA:\n LI r1=1\nB:\n RET\n").expect("parses");
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let tree = RegionTree::new(&cfg, &loops);
+        let g = RegionGraph::new(&cfg, &tree, tree.root()).expect("reducible");
+        let cspdg = Cspdg::new(&g);
+        let a = g.node_of_block(BlockId::new(0)).unwrap();
+        let b = g.node_of_block(BlockId::new(1)).unwrap();
+        assert_eq!(cspdg.cd_parents(a), &[(NodeId::ENTRY, EdgeLabel::Always)]);
+        assert_eq!(cspdg.cd_parents(b), &[(NodeId::ENTRY, EdgeLabel::Always)]);
+        assert!(cspdg.equivalent(a, b));
+        assert_eq!(cspdg.equiv_dominated(a), vec![b]);
+    }
+}

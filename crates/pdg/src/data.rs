@@ -1,0 +1,508 @@
+//! Data dependences (§4.2 of the paper).
+//!
+//! Dependences are computed instruction by instruction within a scope (a
+//! region's blocks): *flow* (def→use), *anti* (use→def), *output*
+//! (def→def) and *memory* dependences between instructions that touch
+//! memory and cannot be proven independent. Only flow edges carry the
+//! machine's pipeline delay; everything else constrains order only.
+//!
+//! Inter-block pairs are considered when the second block is reachable
+//! from the first along forward control flow (the caller supplies the
+//! reachability predicate, derived from the region's forward graph).
+//!
+//! [`DataDeps::reduce`] removes latency-redundant edges: an edge is
+//! dropped when some other path already enforces at least as large a
+//! separation — the practical effect of the paper's "no need to compute
+//! the edge from a to c" transitive-closure observation.
+
+use gis_ir::{BlockId, Function, InstId, MemRef, Op};
+use gis_machine::MachineDescription;
+use std::fmt;
+
+/// The kind of a data dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// A register defined by `from` is used by `to`; carries a delay.
+    Flow,
+    /// A register used by `from` is defined by `to`.
+    Anti,
+    /// Both instructions define the same register.
+    Output,
+    /// Possibly-overlapping memory accesses (or calls), order-only.
+    Memory,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A data dependence edge: `to` must not be reordered above `from`, and
+/// for timing purposes should start no earlier than
+/// `start(from) + sep()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataDep {
+    /// The earlier instruction.
+    pub from: InstId,
+    /// The later instruction.
+    pub to: InstId,
+    /// Why they are ordered.
+    pub kind: DepKind,
+    /// Extra pipeline delay beyond `from`'s execution time (flow edges
+    /// only; zero otherwise).
+    pub delay: u32,
+    /// Execution time of `from` (cached so separation needs no machine).
+    pub exec_from: u32,
+}
+
+impl DataDep {
+    /// The timing separation this edge requires between the start of
+    /// `from` and the start of `to`: `exec + delay` for flow edges, pure
+    /// ordering (0) otherwise.
+    pub fn sep(&self) -> u32 {
+        match self.kind {
+            DepKind::Flow => self.exec_from + self.delay,
+            _ => 0,
+        }
+    }
+}
+
+/// The data dependence graph of a scope's instructions.
+#[derive(Debug, Clone)]
+pub struct DataDeps {
+    preds: Vec<Vec<DataDep>>,
+    succs: Vec<Vec<DataDep>>,
+    /// Instructions of the scope in a topological-compatible order
+    /// (block order as supplied, positions within blocks).
+    order: Vec<InstId>,
+    num_edges: usize,
+}
+
+fn may_alias(f: &Function, a: &Op, b: &Op, between_defs_base: bool) -> bool {
+    // Calls (and PRINT) conflict with every memory toucher.
+    let (Some((ma, _)), Some((mb, _))) = (a.mem_access(), b.mem_access()) else {
+        return true;
+    };
+    // Distinct symbols never alias (arrays are disjoint objects).
+    if let (Some(sa), Some(sb)) = (ma.sym, mb.sym) {
+        if sa != sb {
+            return false;
+        }
+    }
+    // Same base register with no intervening redefinition: differing
+    // displacements address different words.
+    let _ = f;
+    if ma.base == mb.base && !between_defs_base && disjoint_displacements(&ma, &mb) {
+        return false;
+    }
+    true
+}
+
+fn disjoint_displacements(a: &MemRef, b: &MemRef) -> bool {
+    // 4-byte words.
+    let (lo_a, hi_a) = (a.disp, a.disp + 3);
+    let (lo_b, hi_b) = (b.disp, b.disp + 3);
+    hi_a < lo_b || hi_b < lo_a
+}
+
+impl DataDeps {
+    /// Builds the dependence graph for the instructions of `blocks`
+    /// (in the order given, which must be compatible with forward control
+    /// flow). `may_follow(x, y)` must say whether block `y` can execute
+    /// after block `x` within the scope along forward edges; same-block
+    /// pairs use program order.
+    pub fn build(
+        f: &Function,
+        machine: &MachineDescription,
+        blocks: &[BlockId],
+        may_follow: impl Fn(BlockId, BlockId) -> bool,
+    ) -> Self {
+        let bound = f.inst_id_bound();
+        let mut preds: Vec<Vec<DataDep>> = vec![Vec::new(); bound];
+        let mut succs: Vec<Vec<DataDep>> = vec![Vec::new(); bound];
+        let mut num_edges = 0usize;
+
+        // Flattened scope with (block, position) for each instruction.
+        let mut order: Vec<InstId> = Vec::new();
+        let mut items: Vec<(BlockId, usize, InstId)> = Vec::new();
+        for &b in blocks {
+            for (pos, inst) in f.block(b).insts().iter().enumerate() {
+                order.push(inst.id);
+                items.push((b, pos, inst.id));
+            }
+        }
+
+        for (pi, &item_a) in items.iter().enumerate() {
+            for &item_b in items.iter().skip(pi + 1) {
+                // Orient the pair: earlier instruction first. Same-block
+                // pairs use program order; cross-block pairs use the
+                // forward reachability predicate (at most one direction
+                // holds — the scope's forward graph is acyclic).
+                let (a, b) = (item_a, item_b);
+                let (pb, pp, pid, ib, ip, iid) = if a.0 == b.0 {
+                    (a.0, a.1, a.2, b.0, b.1, b.2)
+                } else if may_follow(a.0, b.0) {
+                    (a.0, a.1, a.2, b.0, b.1, b.2)
+                } else if may_follow(b.0, a.0) {
+                    (b.0, b.1, b.2, a.0, a.1, a.2)
+                } else {
+                    continue;
+                };
+                let pop = &f.block(pb).insts()[pp].op;
+                let p_defs = pop.defs();
+                let p_uses = pop.uses();
+                let iop = &f.block(ib).insts()[ip].op;
+                let i_defs = iop.defs();
+                let i_uses = iop.uses();
+
+                let flow = p_defs.iter().any(|d| i_uses.contains(d));
+                let anti = p_uses.iter().any(|u| i_defs.contains(u));
+                let output = p_defs.iter().any(|d| i_defs.contains(d));
+                let memory = pop.touches_memory()
+                    && iop.touches_memory()
+                    && (pop.writes_memory() || iop.writes_memory())
+                    && {
+                        let between_defs_base = base_redefined_between(f, pb, pp, ib, ip);
+                        may_alias(f, pop, iop, between_defs_base)
+                    };
+
+                let kind = if flow {
+                    DepKind::Flow
+                } else if memory {
+                    DepKind::Memory
+                } else if output {
+                    DepKind::Output
+                } else if anti {
+                    DepKind::Anti
+                } else {
+                    continue;
+                };
+                let delay = if flow { machine.delay(pop.class(), iop.class()) } else { 0 };
+                let dep = DataDep {
+                    from: pid,
+                    to: iid,
+                    kind,
+                    delay,
+                    exec_from: machine.exec_time(pop.class()),
+                };
+                preds[iid.index()].push(dep);
+                succs[pid.index()].push(dep);
+                num_edges += 1;
+            }
+        }
+
+        DataDeps { preds, succs, order, num_edges }
+    }
+
+    /// Dependence edges into `i` (instructions `i` must wait for).
+    pub fn preds(&self, i: InstId) -> &[DataDep] {
+        &self.preds[i.index()]
+    }
+
+    /// Dependence edges out of `i`.
+    pub fn succs(&self, i: InstId) -> &[DataDep] {
+        &self.succs[i.index()]
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The scope's instructions in dependence-compatible order.
+    pub fn scope_order(&self) -> &[InstId] {
+        &self.order
+    }
+
+    /// Removes latency-redundant edges: an edge `(a, c)` is dropped when a
+    /// path of other edges from `a` to `c` already enforces a separation
+    /// of at least `sep(a, c)`. The surviving graph admits exactly the
+    /// same schedules.
+    pub fn reduce(&mut self) {
+        let n = self.order.len();
+        // Topologically sort the scope instructions by dependence edges
+        // (the scope block list need not have been supplied in execution
+        // order). Kahn's algorithm; the edge set is acyclic by
+        // construction.
+        let mut local: std::collections::HashMap<InstId, usize> = std::collections::HashMap::new();
+        for (i, id) in self.order.iter().enumerate() {
+            local.insert(*id, i);
+        }
+        let mut indeg = vec![0usize; n];
+        for id in &self.order {
+            for e in &self.succs[id.index()] {
+                if let Some(&j) = local.get(&e.to) {
+                    indeg[j] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo: Vec<InstId> = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(self.order[i]);
+            for e in &self.succs[self.order[i].index()] {
+                if let Some(&j) = local.get(&e.to) {
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(topo.len(), n, "dependence graph must be acyclic");
+        // NOTE: `self.order` keeps the *program* order (the scheduler's
+        // original-order tie-break depends on it); `topo` only drives the
+        // longest-path DP below.
+        let topo_index: std::collections::HashMap<InstId, usize> =
+            topo.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        // Longest separation between scope instructions, -inf = unreachable,
+        // indexed by topological position.
+        const NEG: i64 = i64::MIN / 4;
+        let mut longest = vec![vec![NEG; n]; n];
+        for i in (0..n).rev() {
+            let a = topo[i];
+            longest[i][i] = 0;
+            for dep in &self.succs[a.index()] {
+                let Some(&j) = topo_index.get(&dep.to) else { continue };
+                let w = dep.sep() as i64;
+                for k in 0..n {
+                    if longest[j][k] > NEG {
+                        let cand = w + longest[j][k];
+                        if cand > longest[i][k] {
+                            longest[i][k] = cand;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut removed = 0usize;
+        for i in 0..n {
+            let a = topo[i];
+            let out = self.succs[a.index()].clone();
+            let keep: Vec<DataDep> = out
+                .iter()
+                .filter(|e| {
+                    let Some(&c) = topo_index.get(&e.to) else { return true };
+                    // Redundant when some first hop b != c already reaches
+                    // c with at least sep(e).
+                    let redundant = self.succs[a.index()].iter().any(|first| {
+                        if first.to == e.to {
+                            return false;
+                        }
+                        let Some(&b) = topo_index.get(&first.to) else { return false };
+                        longest[b][c] > NEG
+                            && first.sep() as i64 + longest[b][c] >= e.sep() as i64
+                    });
+                    !redundant
+                })
+                .copied()
+                .collect();
+            removed += out.len() - keep.len();
+            for e in &out {
+                if !keep.contains(e) {
+                    self.preds[e.to.index()].retain(|p| p != e);
+                }
+            }
+            self.succs[a.index()] = keep;
+        }
+        self.num_edges -= removed;
+    }
+}
+
+/// Whether the shared base register of two memory ops could be redefined
+/// between them. Only same-block pairs with no intervening definition are
+/// declared safe; everything else is conservatively "maybe redefined".
+fn base_redefined_between(
+    f: &Function,
+    pb: BlockId,
+    pp: usize,
+    ib: BlockId,
+    ip: usize,
+) -> bool {
+    if pb != ib {
+        return true; // conservatively assume redefinition across blocks
+    }
+    let insts = f.block(pb).insts();
+    let Some((mem_p, _)) = insts[pp].op.mem_access() else {
+        return true;
+    };
+    let base = mem_p.base;
+    // The earlier instruction itself may update the base (LU/STU).
+    if insts[pp].op.has_tied_base() {
+        return true;
+    }
+    insts[pp + 1..ip].iter().any(|x| x.op.defs().contains(&base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    fn deps_for(text: &str) -> (Function, DataDeps) {
+        let f = parse_function(text).expect("parses");
+        let m = MachineDescription::rs6k();
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        // Straight-line tests: layout order is execution order.
+        let d = DataDeps::build(&f, &m, &blocks, |x, y| x < y);
+        (f, d)
+    }
+
+    fn edge(d: &DataDeps, from: u32, to: u32) -> Option<DataDep> {
+        d.succs(InstId::new(from)).iter().copied().find(|e| e.to == InstId::new(to))
+    }
+
+    #[test]
+    fn figure2_bl1_dependences() {
+        // §4.2 works through BL1: anti (I1,I2); flow (I2,I3) with delay 1
+        // (delayed load); flow (I3,I4) with delay 3 (compare→branch);
+        // (I1,I3) is transitive... but with delays it is NOT redundant
+        // before reduction — the paper drops it because its required
+        // separation is implied. Check both phases.
+        let (_, mut d) = deps_for(
+            "func bl1\nCL.0:\n\
+             (I1) L  r12=a(r31,4)\n\
+             (I2) LU r0,r31=a(r31,8)\n\
+             (I3) C  cr7=r12,r0\n\
+             (I4) BF CL.0,cr7,0x2/gt\n\
+             E:\n RET\n",
+        );
+        let a12 = edge(&d, 1, 2).expect("anti I1->I2");
+        assert_eq!(a12.kind, DepKind::Anti);
+        assert_eq!(a12.sep(), 0);
+
+        let f23 = edge(&d, 2, 3).expect("flow I2->I3");
+        assert_eq!(f23.kind, DepKind::Flow);
+        assert_eq!(f23.delay, 1, "delayed load");
+        assert_eq!(f23.sep(), 2);
+
+        let f34 = edge(&d, 3, 4).expect("flow I3->I4");
+        assert_eq!(f34.delay, 3, "compare→branch");
+
+        // I1 -> I3 exists (flow through r12) before reduction...
+        let f13 = edge(&d, 1, 3).expect("flow I1->I3");
+        assert_eq!(f13.delay, 1, "I1 is also a delayed load");
+        // ...but is implied by I1->I2->I3? sep(I1,I2)=0 (anti), so the
+        // path enforces only 2 while the edge needs 2: 0 + sep(I2->I3)=2
+        // >= 2, so reduction drops it.
+        d.reduce();
+        assert!(edge(&d, 1, 3).is_none(), "transitive edge eliminated");
+        assert!(edge(&d, 2, 3).is_some(), "direct edges survive");
+        assert!(edge(&d, 3, 4).is_some());
+    }
+
+    #[test]
+    fn reduction_keeps_longer_direct_edges() {
+        // a: load feeds c (sep 2); path a->b->c has sep 0+0: must keep a->c.
+        let (_, mut d) = deps_for(
+            "func k\nA:\n\
+             (I0) L  r1=a(r9,0)\n\
+             (I1) AI r9=r9,4\n\
+             (I2) AI r1=r1,1\n\
+             RET\n",
+        );
+        // I0->I1: anti on r9 (I0 uses r9, I1 defines r9). I0->I2 flow on r1
+        // (sep 2). I1->I2: nothing (r9 vs r1)... so no path; edge kept.
+        d.reduce();
+        let f02 = edge(&d, 0, 2).expect("flow survives");
+        assert_eq!(f02.sep(), 2);
+    }
+
+    #[test]
+    fn memory_dependences_and_disambiguation() {
+        let (_, d) = deps_for(
+            "func m\nA:\n\
+             (I0) ST r1=>a(r9,0)\n\
+             (I1) L  r2=a(r9,4)\n\
+             (I2) L  r3=a(r9,0)\n\
+             (I3) ST r4=>b(r8,0)\n\
+             (I4) LI r9=0\n\
+             (I5) L  r5=a(r9,0)\n\
+             RET\n",
+        );
+        // Same base, different disp: no dep store->load.
+        assert!(edge(&d, 0, 1).is_none(), "disjoint words proved independent");
+        // Same base, same disp: memory dep.
+        assert_eq!(edge(&d, 0, 2).expect("overlap").kind, DepKind::Memory);
+        // Different symbols never alias.
+        assert!(edge(&d, 0, 3).is_none());
+        // After r9 is redefined the displacement argument no longer holds:
+        // I0 (a(r9,0) with old r9) vs I5 (a(r9,0) with new r9) — same
+        // symbol, same disp, conservative dep.
+        assert_eq!(edge(&d, 0, 5).map(|e| e.kind), Some(DepKind::Memory));
+        // Loads never depend on loads.
+        assert!(edge(&d, 1, 2).is_none());
+    }
+
+    #[test]
+    fn update_form_base_blocks_disambiguation() {
+        let (_, d) = deps_for(
+            "func u\nA:\n\
+             (I0) STU r1=>a(r9,4)\n\
+             (I1) L  r2=a(r9,8)\n\
+             RET\n",
+        );
+        // After STU, r9 has moved: cannot compare displacements; the pair
+        // stays dependent — and there is also a flow dep via r9 itself.
+        let e = edge(&d, 0, 1).expect("dependent");
+        assert_eq!(e.kind, DepKind::Flow, "register flow via the updated base");
+    }
+
+    #[test]
+    fn calls_are_memory_barriers() {
+        let (_, d) = deps_for(
+            "func c\nA:\n\
+             (I0) ST r1=>a(r9,0)\n\
+             (I1) CALL f()->()\n\
+             (I2) L  r2=a(r9,0)\n\
+             RET\n",
+        );
+        assert_eq!(edge(&d, 0, 1).expect("store vs call").kind, DepKind::Memory);
+        assert_eq!(edge(&d, 1, 2).expect("call vs load").kind, DepKind::Memory);
+    }
+
+    #[test]
+    fn interblock_dependences_follow_reachability() {
+        let f = parse_function(
+            "func ib\n\
+             A:\n (I0) LI r1=1\n C cr0=r1,r2\n BT C,cr0,0x1/lt\n\
+             B:\n (I3) AI r3=r1,1\n B D\n\
+             C:\n (I5) AI r4=r1,2\n\
+             D:\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        // B and C are mutually unreachable (diamond arms).
+        let reach = |x: BlockId, y: BlockId| {
+            !(x.index() == 1 && y.index() == 2) && x < y
+        };
+        let d = DataDeps::build(&f, &m, &blocks, reach);
+        assert!(edge(&d, 0, 3).is_some(), "A's def reaches B's use");
+        assert!(edge(&d, 0, 5).is_some(), "A's def reaches C's use");
+        // r3 and r4 don't interact across the arms; nothing else links them.
+        assert!(edge(&d, 3, 5).is_none());
+    }
+
+    #[test]
+    fn output_and_anti_edges() {
+        let (_, d) = deps_for(
+            "func oa\nA:\n\
+             (I0) LI r1=1\n\
+             (I1) PRINT r1\n\
+             (I2) LI r1=2\n\
+             RET\n",
+        );
+        assert_eq!(edge(&d, 0, 2).expect("def-def").kind, DepKind::Output);
+        assert_eq!(edge(&d, 1, 2).expect("use-def").kind, DepKind::Anti);
+        assert_eq!(edge(&d, 0, 1).expect("def-use").kind, DepKind::Flow);
+    }
+}

@@ -1,0 +1,164 @@
+//! Block-level register liveness.
+//!
+//! Speculative scheduling (§5.3) must know which symbolic registers are
+//! *live on exit* from a block: an instruction may not be moved
+//! speculatively into block `A` if it writes a register live on exit from
+//! `A`. Liveness is computed over the full CFG (back edges included, so
+//! loop-carried uses keep registers alive) and recomputed by the scheduler
+//! after each motion, which is the paper's "this type of information has to
+//! be updated dynamically".
+
+use gis_cfg::{Cfg, NodeId};
+use gis_ir::{BlockId, Function, Reg};
+use std::collections::HashSet;
+
+/// Live-in / live-out register sets per basic block.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<Reg>>,
+    live_out: Vec<HashSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` (with `cfg` built from the same function).
+    ///
+    /// ```
+    /// use gis_cfg::Cfg;
+    /// use gis_pdg::Liveness;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let f = gis_ir::parse_function(
+    ///     "func t\nA:\n LI r1=1\nB:\n PRINT r1\n RET\n",
+    /// )?;
+    /// let live = Liveness::compute(&f, &Cfg::new(&f));
+    /// assert!(live.live_out(gis_ir::BlockId::new(0)).contains(&gis_ir::Reg::gpr(1)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.num_blocks();
+        // Per block: `uses` = read before any write in the block,
+        // `defs` = written anywhere in the block.
+        let mut uses: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut defs: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        for (bid, block) in f.blocks() {
+            let i = bid.index();
+            for inst in block.insts() {
+                for u in inst.op.uses() {
+                    if !defs[i].contains(&u) {
+                        uses[i].insert(u);
+                    }
+                }
+                for d in inst.op.defs() {
+                    defs[i].insert(d);
+                }
+            }
+        }
+
+        let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let bid = BlockId::new(i as u32);
+                let mut out: HashSet<Reg> = HashSet::new();
+                for e in cfg.succs(NodeId::block(bid)) {
+                    if let Some(s) = e.to.as_block() {
+                        out.extend(live_in[s.index()].iter().copied());
+                    }
+                }
+                let mut inn: HashSet<Reg> = uses[i].clone();
+                for r in out.difference(&defs[i]) {
+                    inn.insert(*r);
+                }
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b` (§5.3's gate for speculation).
+    pub fn live_out(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_out[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    fn liveness(text: &str) -> (Function, Liveness) {
+        let f = parse_function(text).expect("parses");
+        let cfg = Cfg::new(&f);
+        let l = Liveness::compute(&f, &cfg);
+        (f, l)
+    }
+
+    #[test]
+    fn straight_line() {
+        let (_, l) = liveness("func s\nA:\n LI r1=1\n AI r2=r1,1\nB:\n PRINT r2\n RET\n");
+        let a = BlockId::new(0);
+        let b = BlockId::new(1);
+        assert!(l.live_out(a).contains(&Reg::gpr(2)));
+        assert!(!l.live_out(a).contains(&Reg::gpr(1)), "r1 is consumed inside A");
+        assert!(l.live_in(b).contains(&Reg::gpr(2)));
+        assert!(l.live_out(b).is_empty());
+    }
+
+    #[test]
+    fn section_5_3_diamond() {
+        // The x=5 / x=3 example: x (r3) is live on exit from the join's
+        // predecessors but NOT defined before the branch.
+        let (_, l) = liveness(
+            "func d\n\
+             A:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\n\
+             B:\n LI r3=5\n B D\n\
+             C:\n LI r3=3\n\
+             D:\n PRINT r3\n RET\n",
+        );
+        let a = BlockId::new(0);
+        assert!(
+            !l.live_out(a).contains(&Reg::gpr(3)),
+            "x is dead on exit from A before any motion"
+        );
+        assert!(l.live_out(BlockId::new(1)).contains(&Reg::gpr(3)));
+        assert!(l.live_out(BlockId::new(2)).contains(&Reg::gpr(3)));
+        // The branch condition is consumed by A itself.
+        assert!(l.live_in(a).contains(&Reg::gpr(1)));
+        assert!(!l.live_out(a).contains(&Reg::cr(0)));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // r1 is incremented each iteration: live around the back edge.
+        let (_, l) = liveness(
+            "func l\nA:\n LI r1=0\nB:\n AI r1=r1,1\n C cr0=r1,r9\n BT B,cr0,0x1/lt\nC:\n PRINT r1\n RET\n",
+        );
+        let b = BlockId::new(1);
+        assert!(l.live_out(b).contains(&Reg::gpr(1)), "live on the back edge and exit");
+        assert!(l.live_in(b).contains(&Reg::gpr(1)));
+        assert!(l.live_out(b).contains(&Reg::gpr(9)), "n stays live around the loop");
+    }
+
+    #[test]
+    fn update_form_keeps_base_alive() {
+        let (_, l) = liveness(
+            "func u\nA:\n LU r1,r2=a(r2,8)\nB:\n PRINT r2\n RET\n",
+        );
+        let a = BlockId::new(0);
+        assert!(l.live_in(a).contains(&Reg::gpr(2)), "base is read");
+        assert!(l.live_out(a).contains(&Reg::gpr(2)), "updated base flows out");
+        assert!(!l.live_out(a).contains(&Reg::gpr(1)), "loaded value unused");
+    }
+}

@@ -1,0 +1,347 @@
+//! Du-chain webs and register renaming.
+//!
+//! §4.2: "to minimize the number of anti and output data dependences ...
+//! the XL compiler does certain renaming of registers, which is similar to
+//! the effect of the static single assignment form". This module
+//! implements the classic web-based version of that renaming: definitions
+//! that reach a common use are unioned into a *web*, and each web gets its
+//! own fresh symbolic register. Distinct webs that happened to share a
+//! register (like the two `cr6` webs of Figure 2, `I5`/`I6` vs
+//! `I12`/`I13`) stop conflicting, which is what lets Figure 6 schedule
+//! `I12` speculatively into BL1 (the paper shows it renamed to `cr5`).
+//!
+//! Constraints honoured:
+//!
+//! * update-form instructions (`LU`/`STU`) tie their base register's def
+//!   to its use — both stay in one web;
+//! * registers live on entry to the function (inputs set up by code
+//!   outside the scope) anchor their webs to the original register, and
+//!   such webs are not renamed.
+
+use gis_cfg::{Cfg, NodeId};
+use gis_ir::{BlockId, Function, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics from a [`rename_webs`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenameStats {
+    /// Webs discovered (including unrenamed input webs).
+    pub webs: usize,
+    /// Webs renamed to fresh registers.
+    pub renamed: usize,
+}
+
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// A definition site: either a real instruction position or the virtual
+/// "defined before the function" site for a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Site {
+    Inst { block: BlockId, pos: usize },
+    EntryDef,
+}
+
+/// Renames register webs to fresh symbolic registers, in place.
+///
+/// Returns how many webs were found and renamed. The function is left
+/// verified-equivalent: every use still sees exactly the definitions it
+/// saw before (a property the test suite checks by differential
+/// simulation at the workspace level).
+pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
+    // --- 1. Enumerate definition sites per register. ------------------
+    // site ids: for each (block, pos, reg-def) one id; plus one entry-def
+    // id per register (allocated lazily below, but we pre-allocate for
+    // simplicity: regs is small).
+    let regs: Vec<Reg> = f.all_regs();
+    let reg_ix: HashMap<Reg, usize> = regs.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+
+    let mut sites: Vec<(Site, Reg)> = Vec::new();
+    let mut site_of: HashMap<(BlockId, usize, Reg), usize> = HashMap::new();
+    for (bid, block) in f.blocks() {
+        for (pos, inst) in block.insts().iter().enumerate() {
+            for d in inst.op.defs() {
+                let id = sites.len();
+                sites.push((Site::Inst { block: bid, pos }, d));
+                site_of.insert((bid, pos, d), id);
+            }
+        }
+    }
+    let entry_site_base = sites.len();
+    for &r in &regs {
+        sites.push((Site::EntryDef, r));
+    }
+    let entry_site = |r: Reg| entry_site_base + reg_ix[&r];
+
+    // --- 2. Reaching definitions at block boundaries. -----------------
+    // in/out: per block, per register, set of site ids.
+    type RD = Vec<HashMap<Reg, HashSet<usize>>>;
+    let n = f.num_blocks();
+    let mut rd_in: RD = vec![HashMap::new(); n];
+    let mut rd_out: RD = vec![HashMap::new(); n];
+
+    // Entry block starts with the virtual entry defs.
+    let mut entry_env: HashMap<Reg, HashSet<usize>> = HashMap::new();
+    for &r in &regs {
+        entry_env.insert(r, HashSet::from([entry_site(r)]));
+    }
+
+    // Per block transfer: last def per register, else pass-through.
+    let transfer = |f: &Function, bid: BlockId, inn: &HashMap<Reg, HashSet<usize>>| {
+        let mut env = inn.clone();
+        for (pos, inst) in f.block(bid).insts().iter().enumerate() {
+            for d in inst.op.defs() {
+                env.insert(d, HashSet::from([site_of[&(bid, pos, d)]]));
+            }
+        }
+        env
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let bid = BlockId::new(i as u32);
+            let mut inn: HashMap<Reg, HashSet<usize>> =
+                if i == 0 { entry_env.clone() } else { HashMap::new() };
+            for e in cfg.preds(NodeId::block(bid)) {
+                if let Some(p) = e.to.as_block() {
+                    for (r, ss) in &rd_out[p.index()] {
+                        inn.entry(*r).or_default().extend(ss.iter().copied());
+                    }
+                }
+            }
+            let out = transfer(f, bid, &inn);
+            if inn != rd_in[i] || out != rd_out[i] {
+                rd_in[i] = inn;
+                rd_out[i] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // --- 3. Union defs that share a use (and tied def/use pairs). -----
+    let mut uf = UnionFind::new(sites.len());
+    for (bid, block) in f.blocks() {
+        let mut env = rd_in[bid.index()].clone();
+        for (pos, inst) in block.insts().iter().enumerate() {
+            for u in inst.op.uses() {
+                let reaching = env.entry(u).or_insert_with(|| HashSet::from([entry_site(u)]));
+                let mut iter = reaching.iter().copied();
+                let first = iter.next().expect("nonempty");
+                for s in iter {
+                    uf.union(first, s);
+                }
+                // Tied base: the def this instruction makes of `u` joins
+                // the web of the value it consumed.
+                if inst.op.has_tied_base() && inst.op.defs().contains(&u) {
+                    uf.union(first, site_of[&(bid, pos, u)]);
+                }
+            }
+            for d in inst.op.defs() {
+                env.insert(d, HashSet::from([site_of[&(bid, pos, d)]]));
+            }
+        }
+    }
+
+    // --- 4. Pick a register per web. -----------------------------------
+    // Webs containing an entry def keep their original register.
+    let mut web_reg: HashMap<usize, Reg> = HashMap::new();
+    for &r in &regs {
+        let root = uf.find(entry_site(r));
+        web_reg.insert(root, r);
+    }
+    let mut stats = RenameStats::default();
+    let mut roots_seen: HashSet<usize> = HashSet::new();
+    for id in 0..sites.len() {
+        let root = uf.find(id);
+        if roots_seen.insert(root) {
+            stats.webs += 1;
+        }
+        if !web_reg.contains_key(&root) {
+            let fresh = f.fresh_reg(sites[id].1.class());
+            web_reg.insert(root, fresh);
+            stats.renamed += 1;
+        }
+    }
+
+    // --- 5. Rewrite instructions. --------------------------------------
+    // For each instruction: defs map via their own site's web; uses map
+    // via the web of (any of) their reaching defs — all in one web by
+    // construction.
+    let block_ids: Vec<BlockId> = f.block_ids().collect();
+    for bid in block_ids {
+        let mut env = rd_in[bid.index()].clone();
+        for pos in 0..f.block(bid).len() {
+            let op = &f.block(bid).insts()[pos].op;
+            let uses = op.uses();
+            let defs = op.defs();
+            let mut use_map: HashMap<Reg, Reg> = HashMap::new();
+            for u in &uses {
+                let site = env
+                    .get(u)
+                    .and_then(|s| s.iter().next().copied())
+                    .unwrap_or_else(|| entry_site(*u));
+                use_map.insert(*u, web_reg[&uf.find(site)]);
+            }
+            let mut def_map: HashMap<Reg, Reg> = HashMap::new();
+            for d in &defs {
+                let site = site_of[&(bid, pos, *d)];
+                def_map.insert(*d, web_reg[&uf.find(site)]);
+            }
+            let op = &mut f.block_mut(bid).insts_mut()[pos].op;
+            op.map_uses(|r| use_map.get(&r).copied().unwrap_or(r));
+            op.map_defs(|r| def_map.get(&r).copied().unwrap_or(r));
+            for d in defs {
+                env.insert(d, HashSet::from([site_of[&(bid, pos, d)]]));
+            }
+        }
+    }
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::{parse_function, Op};
+
+    fn renamed(text: &str) -> (Function, RenameStats) {
+        let mut f = parse_function(text).expect("parses");
+        let cfg = Cfg::new(&f);
+        let stats = rename_webs(&mut f, &cfg);
+        f.verify().expect("still verifies");
+        (f, stats)
+    }
+
+    fn def_of(f: &Function, id: u32) -> Reg {
+        let (bid, pos) = f.find_inst(gis_ir::InstId::new(id)).expect("exists");
+        f.block(bid).insts()[pos].op.defs()[0]
+    }
+
+    #[test]
+    fn disjoint_webs_get_distinct_registers() {
+        // Two independent uses of r1.
+        let (f, stats) = renamed(
+            "func w\nA:\n\
+             (I0) LI r1=1\n\
+             (I1) PRINT r1\n\
+             (I2) LI r1=2\n\
+             (I3) PRINT r1\n\
+             RET\n",
+        );
+        assert_eq!(stats.renamed, 2);
+        let d0 = def_of(&f, 0);
+        let d2 = def_of(&f, 2);
+        assert_ne!(d0, d2, "separate webs renamed apart");
+        // Uses follow their defs.
+        let use_at = |id: u32| {
+            let (bid, pos) = f.find_inst(gis_ir::InstId::new(id)).unwrap();
+            f.block(bid).insts()[pos].op.uses()[0]
+        };
+        assert_eq!(use_at(1), d0);
+        assert_eq!(use_at(3), d2);
+    }
+
+    #[test]
+    fn diamond_defs_sharing_a_use_stay_together() {
+        // §5.3 shape: both defs of r3 reach the print; one web.
+        let (f, _) = renamed(
+            "func d\n\
+             A:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\n\
+             B:\n (I10) LI r3=5\n B D\n\
+             C:\n (I12) LI r3=3\n\
+             D:\n (I13) PRINT r3\n RET\n",
+        );
+        let d10 = def_of(&f, 10);
+        let d12 = def_of(&f, 12);
+        assert_eq!(d10, d12, "defs joining at a use share a web");
+    }
+
+    #[test]
+    fn figure2_cr6_webs_split() {
+        // The two cr6 webs (I5/I6 and I12/I13) of the paper get distinct
+        // condition registers, enabling Figure 6's speculative motion.
+        let f = gis_workloads::minmax::figure2_function(9);
+        let mut f2 = f.clone();
+        let cfg = Cfg::new(&f2);
+        let stats = rename_webs(&mut f2, &cfg);
+        assert!(stats.renamed > 0);
+        let cr_of = |f: &Function, id: u32| def_of(f, id);
+        assert_eq!(cr_of(&f, 5), cr_of(&f, 12), "same register before");
+        assert_ne!(cr_of(&f2, 5), cr_of(&f2, 12), "distinct webs after");
+        // The branch using each compare follows its own web.
+        let branch_use = |f: &Function, id: u32| {
+            let (bid, pos) = f.find_inst(gis_ir::InstId::new(id)).unwrap();
+            match &f.block(bid).insts()[pos].op {
+                Op::BranchCond { cr, .. } => *cr,
+                other => panic!("expected branch, got {other:?}"),
+            }
+        };
+        assert_eq!(branch_use(&f2, 6), cr_of(&f2, 5));
+        assert_eq!(branch_use(&f2, 13), cr_of(&f2, 12));
+    }
+
+    #[test]
+    fn function_inputs_keep_their_register() {
+        // r9 is live on entry (no def): its web must not be renamed.
+        let (f, _) = renamed("func i\nA:\n (I0) AI r1=r9,1\n PRINT r1\n RET\n");
+        let (bid, pos) = f.find_inst(gis_ir::InstId::new(0)).unwrap();
+        assert_eq!(f.block(bid).insts()[pos].op.uses()[0], Reg::gpr(9));
+    }
+
+    #[test]
+    fn loop_carried_web_stays_whole() {
+        // r1 := 0; loop { r1 := r1 + 1 } — the def in the loop reaches its
+        // own use around the back edge; with the init def they form one web.
+        let (f, _) = renamed(
+            "func l\n\
+             A:\n (I0) LI r1=0\n\
+             B:\n (I1) AI r1=r1,1\n C cr0=r1,r9\n BT B,cr0,0x1/lt\n\
+             C:\n PRINT r1\n RET\n",
+        );
+        let d0 = def_of(&f, 0);
+        let d1 = def_of(&f, 1);
+        assert_eq!(d0, d1, "init and loop increment share the web");
+    }
+
+    #[test]
+    fn tied_base_webs_union() {
+        // LU defines r2 as a function of old r2: one web spanning both,
+        // even though the pointer init would otherwise be a separate def.
+        let (f, _) = renamed(
+            "func t\nA:\n\
+             (I0) LI r2=4096\n\
+             (I1) LU r1,r2=a(r2,8)\n\
+             (I2) L  r3=a(r2,4)\n\
+             PRINT r3\n RET\n",
+        );
+        let d0 = def_of(&f, 0);
+        let (bid, pos) = f.find_inst(gis_ir::InstId::new(1)).unwrap();
+        let lu_defs = f.block(bid).insts()[pos].op.defs();
+        assert_eq!(lu_defs[1], d0, "base def tied into the base web");
+        let (bid2, pos2) = f.find_inst(gis_ir::InstId::new(2)).unwrap();
+        assert_eq!(f.block(bid2).insts()[pos2].op.uses()[0], d0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Architectural and timing simulation of the parametric machine.
+//!
+//! The paper evaluates on real RS/6000 hardware; this crate is the
+//! substitution (see DESIGN.md). It has two halves:
+//!
+//! * [`execute`] interprets a `gis-ir` function with architectural state
+//!   (registers, word-addressed memory, an observable output trace). It is
+//!   the *oracle* for semantic preservation: a scheduled program must
+//!   produce the same output trace and final memory as the original.
+//!
+//! * [`TimingSim`] replays the dynamic block trace of an execution against
+//!   a [`MachineDescription`](gis_machine::MachineDescription) and reports cycle counts. The model is
+//!   calibrated against §3 of the paper: per-unit-kind in-order issue,
+//!   hardware interlocks realizing the pairwise delays, units running in
+//!   parallel, and branches acting as dispatch points (no instruction
+//!   issues earlier than the cycle in which the last preceding branch
+//!   issued). Under this model the Figure 2 loop costs exactly 20, 21 or
+//!   22 cycles per iteration for 0/1/2 min/max updates — the paper's own
+//!   numbers — and the test suite pins that down.
+//!
+//! # Example
+//!
+//! ```
+//! use gis_sim::{execute, ExecConfig};
+//! use gis_workloads::minmax;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = [3, 9, 1];
+//! let f = minmax::figure2_function(a.len() as i64);
+//! let out = execute(&f, &minmax::memory_image(&a), &ExecConfig::default())?;
+//! assert_eq!(out.printed(), vec![1, 9]); // min, max
+//! # Ok(())
+//! # }
+//! ```
+
+mod exec;
+mod timing;
+
+pub use exec::{execute, ExecConfig, ExecError, ExecOutcome, OutputEvent};
+pub use timing::{DynIssue, TimingReport, TimingSim};

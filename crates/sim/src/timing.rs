@@ -1,0 +1,319 @@
+//! Cycle-level timing of a dynamic instruction stream.
+//!
+//! The model (calibrated against §3 of the paper — see the crate docs):
+//!
+//! * every instruction issues to a free unit of its kind; a unit stays
+//!   busy for the instruction's execution time;
+//! * operands become usable `exec + delay(producer, consumer)` cycles
+//!   after the producer issues (hardware interlocks);
+//! * unit kinds run in parallel, but no instruction issues *earlier* than
+//!   the cycle in which the last preceding branch issued — branches are
+//!   the machine's dispatch points;
+//! * at most `dispatch_width` instructions issue per cycle.
+//!
+//! Under this model one iteration of the paper's Figure 2 loop costs
+//! exactly 20/21/22 cycles for 0/1/2 updates, Figure 5's schedule ~13 and
+//! Figure 6's ~12 — the relative shape the paper reports.
+
+use gis_ir::{BlockId, Function, InstId, OpClass, Reg};
+use gis_machine::MachineDescription;
+use std::collections::HashMap;
+
+/// One dynamically issued instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynIssue {
+    /// Which instruction.
+    pub inst: InstId,
+    /// The block instance it came from.
+    pub block: BlockId,
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Execution time on its unit.
+    pub exec: u32,
+    /// The functional unit kind it ran on.
+    pub unit: gis_machine::UnitKind,
+}
+
+/// Aggregate results of a timed replay.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Total cycles: completion time of the last instruction.
+    pub cycles: u64,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Every issue, in dispatch order.
+    pub issues: Vec<DynIssue>,
+}
+
+impl TimingReport {
+    /// Issue cycles of every dynamic occurrence of `inst`.
+    pub fn issue_cycles_of(&self, inst: InstId) -> Vec<u64> {
+        self.issues.iter().filter(|d| d.inst == inst).map(|d| d.cycle).collect()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Busy fraction of each unit kind: `(kind name, utilization)` where
+    /// utilization is busy-cycles divided by `total cycles × unit count`.
+    pub fn utilization(&self, machine: &MachineDescription) -> Vec<(String, f64)> {
+        let mut busy: Vec<u64> = vec![0; machine.num_unit_kinds()];
+        for d in &self.issues {
+            busy[d.unit.index()] += u64::from(d.exec);
+        }
+        machine
+            .unit_kinds()
+            .map(|k| {
+                let capacity = self.cycles * u64::from(machine.unit_count(k));
+                let frac = if capacity == 0 {
+                    0.0
+                } else {
+                    busy[k.index()] as f64 / capacity as f64
+                };
+                (machine.unit_name(k).to_owned(), frac)
+            })
+            .collect()
+    }
+}
+
+/// Replays dynamic block traces against a machine description.
+#[derive(Debug)]
+pub struct TimingSim<'a> {
+    f: &'a Function,
+    machine: &'a MachineDescription,
+}
+
+impl<'a> TimingSim<'a> {
+    /// Creates a simulator for `f` on `machine`.
+    pub fn new(f: &'a Function, machine: &'a MachineDescription) -> Self {
+        TimingSim { f, machine }
+    }
+
+    /// Times the given dynamic block trace (as produced by
+    /// [`execute`](crate::execute)).
+    pub fn run(&self, block_trace: &[BlockId]) -> TimingReport {
+        // Per unit kind: next-free time of each unit instance.
+        let mut units: Vec<Vec<u64>> = self
+            .machine
+            .unit_kinds()
+            .map(|k| vec![0u64; self.machine.unit_count(k) as usize])
+            .collect();
+        // Producer bookkeeping per register: (producer class, issue cycle).
+        let mut producer: HashMap<Reg, (OpClass, u64)> = HashMap::new();
+        let mut issued_in_cycle: HashMap<u64, u32> = HashMap::new();
+        let width = self.machine.dispatch_width();
+
+        let mut last_branch_issue = 0u64;
+        let mut issues: Vec<DynIssue> = Vec::new();
+        let mut total_end = 0u64;
+
+        for &bid in block_trace {
+            for inst in self.f.block(bid).insts() {
+                let class = inst.op.class();
+                let exec = self.machine.exec_time(class);
+                let kind = self.machine.unit_of(class);
+
+                // Operand readiness via interlocks.
+                let mut t = last_branch_issue;
+                for u in inst.op.uses() {
+                    if let Some(&(pclass, pissue)) = producer.get(&u) {
+                        let ready = pissue
+                            + self.machine.exec_time(pclass) as u64
+                            + self.machine.delay(pclass, class) as u64;
+                        t = t.max(ready);
+                    }
+                }
+                // Unit availability: the earliest-free unit of the kind.
+                let pool = &mut units[kind.index()];
+                let (slot, &free) = pool
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &f)| f)
+                    .expect("unit kinds have at least one unit");
+                t = t.max(free);
+                // Dispatch width.
+                while issued_in_cycle.get(&t).copied().unwrap_or(0) >= width {
+                    t += 1;
+                }
+
+                pool[slot] = t + exec as u64;
+                *issued_in_cycle.entry(t).or_insert(0) += 1;
+                producer.extend(inst.op.defs().into_iter().map(|d| (d, (class, t))));
+                if inst.op.is_branch() {
+                    last_branch_issue = last_branch_issue.max(t);
+                }
+                total_end = total_end.max(t + exec as u64);
+                issues.push(DynIssue { inst: inst.id, block: bid, cycle: t, exec, unit: kind });
+            }
+        }
+
+        TimingReport { cycles: total_end, instructions: issues.len() as u64, issues }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig};
+    use gis_ir::parse_function;
+    use gis_workloads::minmax;
+
+    /// Cycles for one iteration of the Figure 2 loop on the given array
+    /// (one iteration == array length 3): issue(I20) − issue(I1).
+    fn figure2_iteration_cycles(a: &[i64]) -> u64 {
+        assert_eq!(a.len(), 3);
+        let f = minmax::figure2_function(3);
+        let m = MachineDescription::rs6k();
+        let out = execute(&f, &minmax::memory_image(a), &ExecConfig::default()).expect("runs");
+        let report = TimingSim::new(&f, &m).run(&out.block_trace);
+        let i1 = report.issue_cycles_of(InstId::new(1));
+        let i20 = report.issue_cycles_of(InstId::new(20));
+        assert_eq!(i1.len(), 1, "exactly one iteration");
+        i20[0] - i1[0]
+    }
+
+    #[test]
+    fn figure2_costs_20_cycles_with_no_updates() {
+        // §3: "the code executes in 20, 21 or 22 cycles, depending on if
+        // 0, 1 or 2 updates of max and min variables are done".
+        assert_eq!(figure2_iteration_cycles(&[5, 5, 5]), 20);
+    }
+
+    #[test]
+    fn figure2_costs_21_cycles_with_one_update() {
+        assert_eq!(figure2_iteration_cycles(&[9, 7, 3]), 21);
+    }
+
+    #[test]
+    fn figure2_costs_22_cycles_with_two_updates() {
+        assert_eq!(figure2_iteration_cycles(&[3, 9, 1]), 22);
+    }
+
+    #[test]
+    fn delayed_load_stalls_one_cycle() {
+        let f = parse_function(
+            "func d\nE:\n (I0) L r1=a(r9,0)\n (I1) AI r2=r1,1\n (I2) RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        assert_eq!(report.issue_cycles_of(InstId::new(0)), vec![0]);
+        // Load at 0, result interlocked until 0+1+1: one empty slot.
+        assert_eq!(report.issue_cycles_of(InstId::new(1)), vec![2]);
+    }
+
+    #[test]
+    fn compare_branch_delay_is_three_cycles() {
+        let f = parse_function(
+            "func c\nE:\n (I0) C cr0=r1,r2\n (I1) BT E,cr0,0x1/lt\nX:\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0), BlockId::new(1)]);
+        assert_eq!(report.issue_cycles_of(InstId::new(1)), vec![4], "compare at 0, branch at 0+1+3");
+    }
+
+    #[test]
+    fn independent_fx_and_branch_dual_issue() {
+        // An unrelated fx instruction can share a cycle with a branch.
+        let f = parse_function(
+            "func p\nE:\n (I0) C cr0=r1,r2\n (I1) BT X,cr0,0x1/lt\nY:\n (I2) LI r3=1\nX:\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report =
+            TimingSim::new(&f, &m).run(&[BlockId::new(0), BlockId::new(1), BlockId::new(2)]);
+        // Branch at 4 (dispatch point); the LI issues the same cycle.
+        assert_eq!(report.issue_cycles_of(InstId::new(2)), vec![4]);
+    }
+
+    #[test]
+    fn single_fx_unit_serializes() {
+        let f = parse_function(
+            "func s\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        let cycles: Vec<u64> = (0..3)
+            .map(|i| report.issue_cycles_of(InstId::new(i))[0])
+            .collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+        // A 2-wide machine issues two per cycle.
+        let wide = MachineDescription::superscalar("w", 2, 1, 1);
+        let report = TimingSim::new(&f, &wide).run(&[BlockId::new(0)]);
+        let cycles: Vec<u64> = (0..3)
+            .map(|i| report.issue_cycles_of(InstId::new(i))[0])
+            .collect();
+        assert_eq!(cycles, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn multicycle_ops_hold_their_unit() {
+        let f = parse_function(
+            "func m\nE:\n (I0) MUL r1=r2,r3\n (I1) LI r4=1\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        // MUL holds the fixed point unit for 5 cycles.
+        assert_eq!(report.issue_cycles_of(InstId::new(1)), vec![5]);
+    }
+
+    #[test]
+    fn ipc_reporting() {
+        let f = parse_function("func i\nE:\n LI r1=1\n LI r2=2\n RET\n").expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        assert_eq!(report.instructions, 3);
+        assert!(report.ipc() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig};
+    use gis_ir::parse_function;
+
+    #[test]
+    fn utilization_accounts_for_busy_cycles() {
+        let f = parse_function(
+            "func u\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n (I3) RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        let util = report.utilization(&m);
+        let fixed = util.iter().find(|(n, _)| n == "fixed").expect("fixed unit");
+        // Three single-cycle fx ops back to back saturate the unit (the
+        // RET runs on the branch unit, in parallel).
+        assert!((fixed.1 - 1.0).abs() < 1e-9, "got {}", fixed.1);
+        assert_eq!(report.cycles, 3);
+        let float = util.iter().find(|(n, _)| n == "float").expect("float unit");
+        assert_eq!(float.1, 0.0, "no floating point work");
+    }
+
+    #[test]
+    fn floating_point_work_lands_on_the_float_unit() {
+        let f = parse_function(
+            "func fp\nE:\n (I0) FA f1=f2,f3\n (I1) FM f4=f1,f1\n (I2) RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let out = execute(&f, &[], &ExecConfig::default()).expect("runs");
+        let report = TimingSim::new(&f, &m).run(&out.block_trace);
+        let util = report.utilization(&m);
+        let float = util.iter().find(|(n, _)| n == "float").expect("float unit");
+        assert!(float.1 > 0.0);
+        // FA at 0; FM waits for the 1-cycle float result delay (ready at
+        // 0+1+1) and multiplies for 2 cycles.
+        assert_eq!(report.issue_cycles_of(InstId::new(1)), vec![2]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Workloads: the paper's running example and SPEC-analog benchmarks.
+//!
+//! [`minmax`] is the program of Figures 1/2 of the paper, transcribed
+//! instruction for instruction (same registers, same instruction numbering
+//! via the `(In)` id annotations). The [`spec`] module holds the four
+//! synthetic stand-ins for the SPEC benchmarks of §6 (LI, EQNTOTT,
+//! ESPRESSO, GCC) — see DESIGN.md for the substitution rationale.
+
+pub mod minmax;
+pub mod spec;

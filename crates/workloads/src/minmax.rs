@@ -1,0 +1,177 @@
+//! The paper's running example: `minmax` (Figures 1 and 2).
+//!
+//! Figure 1 is a C program that scans an array two elements at a time,
+//! tracking the minimum and maximum. Figure 2 is the RS/6000 pseudo-code
+//! the XL C compiler produces for the loop; [`FIGURE2_LOOP`] transcribes it
+//! with the paper's registers and instruction numbers, and
+//! [`figure2_function`] wraps it in the surrounding code ("more
+//! instructions here" in the paper) so it can be executed.
+//!
+//! Register conventions (from Figure 2):
+//!
+//! | register | holds                |
+//! |----------|----------------------|
+//! | `r30`    | `max`                |
+//! | `r28`    | `min`                |
+//! | `r29`    | `i`                  |
+//! | `r27`    | `n`                  |
+//! | `r31`    | address of `a[i-1]`  |
+
+use gis_ir::{parse_function, Function};
+
+/// Byte address where the array `a` is placed for simulation.
+pub const ARRAY_BASE: i64 = 0x1000;
+
+/// The loop of Figure 2, block for block and instruction for instruction.
+///
+/// Instruction ids match the paper's `I1`–`I20`; block labels match the
+/// paper's `CL.x` labels (blocks without a label in the paper are named
+/// `BL<n>` after the paper's basic block numbering).
+pub const FIGURE2_LOOP: &str = "\
+CL.0:
+    (I1)  L      r12=a(r31,4)        ; load u
+    (I2)  LU     r0,r31=a(r31,8)     ; load v and increment index
+    (I3)  C      cr7=r12,r0          ; u > v
+    (I4)  BF     CL.4,cr7,0x2/gt
+BL2:
+    (I5)  C      cr6=r12,r30         ; u > max
+    (I6)  BF     CL.6,cr6,0x2/gt
+BL3:
+    (I7)  LR     r30=r12             ; max = u
+CL.6:
+    (I8)  C      cr7=r0,r28          ; v < min
+    (I9)  BF     CL.9,cr7,0x1/lt
+BL5:
+    (I10) LR     r28=r0              ; min = v
+    (I11) B      CL.9
+CL.4:
+    (I12) C      cr6=r0,r30          ; v > max
+    (I13) BF     CL.11,cr6,0x2/gt
+BL7:
+    (I14) LR     r30=r0              ; max = v
+CL.11:
+    (I15) C      cr7=r12,r28         ; u < min
+    (I16) BF     CL.9,cr7,0x1/lt
+BL9:
+    (I17) LR     r28=r12             ; min = u
+CL.9:
+    (I18) AI     r29=r29,2           ; i = i+2
+    (I19) C      cr4=r29,r27         ; i < n
+    (I20) BT     CL.0,cr4,0x1/lt
+";
+
+/// The complete, runnable `minmax` function: initialization ("more
+/// instructions here" before the loop in the paper), the Figure 2 loop,
+/// and the epilogue that prints `min` and `max`.
+///
+/// `n` is the element count of the array placed at [`ARRAY_BASE`]; the
+/// initial guard skips the loop when `n < 2`, mirroring the `while` test
+/// of Figure 1 (the loop body consumes two elements per iteration).
+///
+/// # Panics
+///
+/// Panics if `n` cannot be represented (negative); the embedded listing
+/// itself always parses.
+pub fn figure2_function(n: i64) -> Function {
+    assert!(n >= 0, "array length must be non-negative");
+    let text = format!(
+        "func minmax\n\
+         init:\n\
+         \x20   (I21) LI     r31={base}\n\
+         \x20   (I22) L      r30=a(r31,0)        ; min = a[0]\n\
+         \x20   (I23) LR     r28=r30             ; max = min\n\
+         \x20   (I24) LI     r29=1               ; i = 1\n\
+         \x20   (I25) LI     r27={n}\n\
+         \x20   (I26) C      cr4=r29,r27         ; i < n\n\
+         \x20   (I27) BF     done,cr4,0x1/lt\n\
+         {loop_body}\
+         done:\n\
+         \x20   (I28) PRINT  r28                 ; min\n\
+         \x20   (I29) PRINT  r30                 ; max\n\
+         \x20   (I30) RET\n",
+        base = ARRAY_BASE,
+        n = n,
+        loop_body = FIGURE2_LOOP,
+    );
+    parse_function(&text).expect("the Figure 2 listing is well formed")
+}
+
+/// The reference answer: `(min, max)` computed the way Figure 1 does.
+///
+/// The C program reads elements pairwise (`a[i]`, `a[i+1]` for
+/// `i = 1, 3, 5, ...` while `i < n`), so for *even* `n` it would read one
+/// element past the array — a latent quirk of the paper's Figure 1. All
+/// experiments therefore use odd-length arrays.
+///
+/// # Panics
+///
+/// Panics if `a` is empty or has even length (see above).
+pub fn reference_minmax(a: &[i64]) -> (i64, i64) {
+    assert!(!a.is_empty(), "figure 1 reads a[0] unconditionally");
+    assert!(a.len() % 2 == 1, "the pairwise loop needs an odd element count");
+    let mut min = a[0];
+    let mut max = min;
+    let mut i = 1;
+    while i < a.len() {
+        let (u, v) = (a[i], a[i + 1]);
+        if u > v {
+            if u > max {
+                max = u;
+            }
+            if v < min {
+                min = v;
+            }
+        } else {
+            if v > max {
+                max = v;
+            }
+            if u < min {
+                min = u;
+            }
+        }
+        i += 2;
+    }
+    (min, max)
+}
+
+/// The memory image for running [`figure2_function`]: `(byte address,
+/// value)` pairs placing `a` at [`ARRAY_BASE`] with 4-byte elements.
+pub fn memory_image(a: &[i64]) -> Vec<(i64, i64)> {
+    a.iter().enumerate().map(|(i, &v)| (ARRAY_BASE + 4 * i as i64, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::{BlockId, InstId};
+
+    #[test]
+    fn loop_listing_matches_paper_shape() {
+        let f = figure2_function(9);
+        // init + ten loop blocks + done.
+        assert_eq!(f.num_blocks(), 12);
+        // The paper's instruction numbering survives: I18 is the AI in BL10.
+        let (bid, _) = f
+            .insts()
+            .find(|(_, i)| i.id == InstId::new(18))
+            .expect("I18 exists");
+        assert_eq!(f.block(bid).label(), "CL.9");
+        // BL1 of the paper is our block index 1 (after init) labelled CL.0.
+        assert_eq!(f.block(BlockId::new(1)).label(), "CL.0");
+        assert_eq!(f.block(BlockId::new(1)).len(), 4);
+    }
+
+    #[test]
+    fn reference_results() {
+        assert_eq!(reference_minmax(&[5]), (5, 5));
+        assert_eq!(reference_minmax(&[3, 9, 1]), (1, 9));
+        assert_eq!(reference_minmax(&[3, 9, 1, 7, 2]), (1, 9));
+        assert_eq!(reference_minmax(&[4, 8, 2, 6, 9, 1, 5, 7, 3]), (1, 9));
+    }
+
+    #[test]
+    fn memory_image_layout() {
+        let img = memory_image(&[10, 20, 30]);
+        assert_eq!(img, vec![(0x1000, 10), (0x1004, 20), (0x1008, 30)]);
+    }
+}

@@ -1,0 +1,14 @@
+/* Guarded accumulation: sum products where both inputs are non-zero. */
+int a[32];
+int b[32];
+int n = 32;
+void dot() {
+    int i = 0; int s = 0;
+    while (i < n) {
+        int x = a[i];
+        int y = b[i];
+        if (x != 0 && y != 0) { s = s + x * y; }
+        i = i + 1;
+    }
+    print(s);
+}

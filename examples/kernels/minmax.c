@@ -1,0 +1,19 @@
+/* Figure 1 of the paper: find the largest and the smallest number in a
+   given array (pairwise scan). */
+int a[9];
+int n = 9;
+void minmax() {
+    int min = a[0]; int max = min; int i = 1;
+    while (i < n) {
+        int u = a[i]; int v = a[i+1];
+        if (u > v) {
+            if (u > max) max = u;
+            if (v < min) min = v;
+        } else {
+            if (v > max) max = v;
+            if (u < min) min = u;
+        }
+        i = i + 2;
+    }
+    print(min); print(max);
+}

@@ -1,0 +1,207 @@
+//! `gisc` — the command-line driver: compile tinyc source or assemble IR
+//! text, schedule it for a chosen machine, and optionally run it.
+//!
+//! ```text
+//! gisc [OPTIONS] <file>
+//!   --tinyc | --asm      input language (default: by extension, .c/.gis)
+//!   --level <base|useful|speculative>   scheduling level (default speculative)
+//!   --machine <rs6k|wideN|scalar>       machine model (default rs6k)
+//!   --no-unroll --no-rotate --no-rename --paper
+//!   --branches <N>       max speculation depth (default 1)
+//!   --opt                run the machine-independent optimizer first
+//!   --run                execute after scheduling and report cycles
+//!   --stats              print scheduler statistics
+//!   --dot-cfg            print the CFG in DOT instead of code
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! gisc --tinyc --run examples/kernels/minmax.c
+//! echo 'CL.0: ... ' | gisc --asm --level useful -
+//! ```
+
+use gis_cfg::{cfg_to_dot, Cfg};
+use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_ir::{parse_function, Function};
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig, TimingSim};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    tinyc: Option<bool>,
+    level: SchedLevel,
+    machine: MachineDescription,
+    config_tweaks: Vec<fn(&mut SchedConfig)>,
+    branches: usize,
+    run: bool,
+    stats: bool,
+    dot_cfg: bool,
+    opt: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
+         [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
+         [--paper] [--branches N] [--opt] [--run] [--stats] [--dot-cfg] <file|->"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: String::new(),
+        tinyc: None,
+        level: SchedLevel::Speculative,
+        machine: MachineDescription::rs6k(),
+        config_tweaks: Vec::new(),
+        branches: 1,
+        run: false,
+        stats: false,
+        dot_cfg: false,
+        opt: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tinyc" => opts.tinyc = Some(true),
+            "--asm" => opts.tinyc = Some(false),
+            "--level" => {
+                opts.level = match args.next().as_deref() {
+                    Some("base") => SchedLevel::BasicBlockOnly,
+                    Some("useful") => SchedLevel::Useful,
+                    Some("speculative") => SchedLevel::Speculative,
+                    _ => usage(),
+                }
+            }
+            "--machine" => {
+                let m = args.next().unwrap_or_else(|| usage());
+                opts.machine = if m == "rs6k" {
+                    MachineDescription::rs6k()
+                } else if m == "scalar" {
+                    MachineDescription::scalar_pipeline()
+                } else if let Some(n) = m.strip_prefix("wide") {
+                    MachineDescription::wide(n.parse().unwrap_or_else(|_| usage()))
+                } else {
+                    usage()
+                };
+            }
+            "--no-unroll" => opts.config_tweaks.push(|c| c.unroll = false),
+            "--no-rotate" => opts.config_tweaks.push(|c| c.rotate = false),
+            "--no-rename" => opts.config_tweaks.push(|c| c.rename = false),
+            "--paper" => opts.config_tweaks.push(|c| {
+                c.rename = false;
+                c.unroll = false;
+                c.rotate = false;
+                c.final_bb_pass = false;
+            }),
+            "--branches" => {
+                opts.branches = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--opt" => opts.opt = true,
+            "--run" => opts.run = true,
+            "--stats" => opts.stats = true,
+            "--dot-cfg" => opts.dot_cfg = true,
+            "-h" | "--help" => usage(),
+            other if opts.file.is_empty() => opts.file = other.to_owned(),
+            _ => usage(),
+        }
+    }
+    if opts.file.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn read_input(file: &str) -> Result<String, String> {
+    if file == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    match drive(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gisc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn drive(opts: &Options) -> Result<(), String> {
+    let text = read_input(&opts.file)?;
+    let is_tinyc = opts
+        .tinyc
+        .unwrap_or_else(|| opts.file.ends_with(".c") || opts.file.ends_with(".tc"));
+
+    let (mut function, memory): (Function, Vec<(i64, i64)>) = if is_tinyc {
+        let program = gis_tinyc::compile_program(&text).map_err(|e| e.to_string())?;
+        (program.function, Vec::new())
+    } else {
+        (parse_function(&text).map_err(|e| e.to_string())?, Vec::new())
+    };
+
+    let mut config = SchedConfig::speculative();
+    config.level = opts.level;
+    config.max_speculation_branches = opts.branches;
+    for tweak in &opts.config_tweaks {
+        tweak(&mut config);
+    }
+
+    let original = function.clone();
+    if opts.opt {
+        let ostats = gis_opt::optimize(&mut function, &gis_opt::OptConfig::default());
+        if opts.stats {
+            eprintln!("optimizer: {ostats}");
+        }
+    }
+    let stats = compile(&mut function, &opts.machine, &config).map_err(|e| e.to_string())?;
+
+    if opts.dot_cfg {
+        let cfg = Cfg::new(&function);
+        print!("{}", cfg_to_dot(&function, &cfg));
+    } else {
+        print!("{function}");
+    }
+    if opts.stats {
+        eprintln!("{stats}");
+    }
+
+    if opts.run {
+        let before = execute(&original, &memory, &ExecConfig::default())
+            .map_err(|e| format!("original program: {e}"))?;
+        let after = execute(&function, &memory, &ExecConfig::default())
+            .map_err(|e| format!("scheduled program: {e}"))?;
+        if !before.equivalent(&after) {
+            return Err("scheduling changed observable behaviour (bug!)".into());
+        }
+        let base = TimingSim::new(&original, &opts.machine).run(&before.block_trace);
+        let opt = TimingSim::new(&function, &opts.machine).run(&after.block_trace);
+        eprintln!(
+            "printed: {:?}",
+            after.printed()
+        );
+        eprintln!(
+            "cycles on {}: {} -> {} ({:+.1}%)",
+            opts.machine.name(),
+            base.cycles,
+            opt.cycles,
+            100.0 * (opt.cycles as f64 - base.cycles as f64) / base.cycles as f64
+        );
+    }
+    Ok(())
+}

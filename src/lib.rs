@@ -1,0 +1,40 @@
+//! **gis** — Global Instruction Scheduling for Superscalar Machines.
+//!
+//! A reproduction of Bernstein & Rodeh (PLDI 1991), re-exporting every
+//! workspace crate under one roof:
+//!
+//! * [`ir`] — the RS/6000-flavoured intermediate representation;
+//! * [`mod@cfg`] — control-flow analyses (dominators, loops, regions);
+//! * [`pdg`] — the program dependence graph (control + data dependences,
+//!   liveness, register webs, register pressure);
+//! * [`machine`] — parametric machine descriptions;
+//! * [`sched`] — the global scheduler and its pipeline (the paper's
+//!   contribution), plus profile-guided and n-branch extensions;
+//! * [`sim`] — the architectural and timing simulator;
+//! * [`tinyc`] — the mini-C frontend;
+//! * [`opt`] — machine-independent optimizations;
+//! * [`workloads`] — the paper's running example and SPEC-analog kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use gis::machine::MachineDescription;
+//! use gis::sched::{compile, SchedConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut f = gis::workloads::minmax::figure2_function(99);
+//! let stats = compile(&mut f, &MachineDescription::rs6k(), &SchedConfig::speculative())?;
+//! assert!(stats.moved_useful > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gis_cfg as cfg;
+pub use gis_core as sched;
+pub use gis_ir as ir;
+pub use gis_machine as machine;
+pub use gis_opt as opt;
+pub use gis_pdg as pdg;
+pub use gis_sim as sim;
+pub use gis_tinyc as tinyc;
+pub use gis_workloads as workloads;

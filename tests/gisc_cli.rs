@@ -1,0 +1,68 @@
+//! Smoke tests for the `gisc` command-line driver.
+
+use std::process::Command;
+
+fn gisc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gisc"))
+}
+
+#[test]
+fn schedules_a_tinyc_kernel_end_to_end() {
+    let out = gisc()
+        .args(["--opt", "--run", "--stats", "examples/kernels/minmax.c"])
+        .output()
+        .expect("gisc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("func minmax"), "{stdout}");
+    assert!(stderr.contains("cycles on rs6k"), "{stderr}");
+    assert!(stderr.contains("->"), "reports a before/after: {stderr}");
+}
+
+#[test]
+fn assembles_ir_from_stdin() {
+    use std::io::Write as _;
+    let mut child = gisc()
+        .args(["--asm", "--level", "useful", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"func t\nA:\n LI r1=5\n PRINT r1\n RET\n")
+        .expect("writes");
+    let out = child.wait_with_output().expect("finishes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PRINT"), "{stdout}");
+}
+
+#[test]
+fn rejects_bad_input_with_a_message() {
+    use std::io::Write as _;
+    let mut child = gisc()
+        .args(["--asm", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child.stdin.take().expect("stdin").write_all(b"garbage !!\n").expect("writes");
+    let out = child.wait_with_output().expect("finishes");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gisc:"));
+}
+
+#[test]
+fn dot_output_mode() {
+    let out = gisc()
+        .args(["--dot-cfg", "examples/kernels/dotproduct.c"])
+        .output()
+        .expect("gisc runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+}

@@ -1,0 +1,142 @@
+//! Structural invariants of the global scheduler (§5.1), checked on
+//! random programs:
+//!
+//! * no duplication or loss: the instruction id multiset is unchanged;
+//! * branches never move: same block, still terminating it, original
+//!   branch order preserved;
+//! * all motion is upward: the destination block dominates the source;
+//! * motion never crosses a region boundary: source and destination are
+//!   direct members of the same region;
+//! * speculation is bounded by one branch (Definition 7), and stores only
+//!   ever move usefully; calls and prints never move at all.
+
+mod common;
+
+use common::arb_program;
+use gis_cfg::{Cfg, DomTree, LoopForest, NodeId, RegionGraph, RegionTree};
+use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_ir::{BlockId, Function, InstId};
+use gis_machine::MachineDescription;
+use gis_pdg::Cspdg;
+use gis_tinyc::compile_ast;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Block of every instruction, plus per-block branch lists.
+fn placement(f: &Function) -> HashMap<InstId, BlockId> {
+    f.insts().map(|(b, i)| (i.id, b)).collect()
+}
+
+fn branch_ids(f: &Function) -> Vec<InstId> {
+    f.insts().filter(|(_, i)| i.op.is_branch()).map(|(_, i)| i.id).collect()
+}
+
+fn check_invariants(original: &Function, scheduled: &Function, level: SchedLevel) {
+    let before = placement(original);
+    let after = placement(scheduled);
+
+    // Same instruction set (ids are stable through scheduling).
+    let mut b: Vec<InstId> = before.keys().copied().collect();
+    let mut a: Vec<InstId> = after.keys().copied().collect();
+    b.sort();
+    a.sort();
+    assert_eq!(b, a, "no instruction duplicated or dropped");
+
+    // Branches stay put, stay terminal, and keep their order.
+    assert_eq!(branch_ids(original), branch_ids(scheduled), "branch order preserved");
+    for (bid, block) in scheduled.blocks() {
+        for (pos, inst) in block.insts().iter().enumerate() {
+            if inst.op.is_branch() {
+                assert_eq!(pos + 1, block.len(), "branch last in {bid}");
+                assert_eq!(before[&inst.id], bid, "branch did not move");
+            }
+        }
+    }
+
+    // Analyses over the ORIGINAL function; pure scheduling leaves the
+    // CFG unchanged, so they are valid for the scheduled one too.
+    let cfg = Cfg::new(original);
+    let dom = DomTree::dominators(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    let tree = RegionTree::new(&cfg, &loops);
+    let mut cspdg_cache: HashMap<gis_cfg::RegionId, (RegionGraph, Cspdg)> = HashMap::new();
+
+    for (&id, &new_block) in &after {
+        let old_block = before[&id];
+        if new_block == old_block {
+            continue;
+        }
+        let (_, pos) = scheduled.find_inst(id).expect("present");
+        let op = &scheduled.block(new_block).insts()[pos].op;
+
+        assert!(
+            level != SchedLevel::BasicBlockOnly,
+            "{id} moved blocks at the basic-block-only level"
+        );
+        assert!(op.may_cross_block(), "{id} ({op:?}) may never cross blocks");
+
+        // Upward motion: destination dominates source.
+        assert!(
+            dom.strictly_dominates(NodeId::block(new_block), NodeId::block(old_block)),
+            "{id}: {new_block} must dominate {old_block}"
+        );
+
+        // Region discipline: both blocks directly in the same region.
+        let r_new = tree.innermost(new_block);
+        let r_old = tree.innermost(old_block);
+        assert_eq!(r_new, r_old, "{id} crossed a region boundary");
+
+        // Speculation bound (and store policy) via the region's CSPDG.
+        let (g, cspdg) = cspdg_cache.entry(r_new).or_insert_with(|| {
+            let g = RegionGraph::new(&cfg, &tree, r_new).expect("scheduled regions are reducible");
+            let c = Cspdg::new(&g);
+            (g, c)
+        });
+        let nn = g.node_of_block(new_block).expect("direct member");
+        let no = g.node_of_block(old_block).expect("direct member");
+        let degree = cspdg.speculation_degree(nn, no);
+        assert!(
+            matches!(degree, Some(0) | Some(1)),
+            "{id}: speculation degree {degree:?} exceeds one branch"
+        );
+        if op.writes_memory() {
+            assert_eq!(degree, Some(0), "{id}: stores move usefully only");
+        }
+        if level == SchedLevel::Useful {
+            assert_eq!(degree, Some(0), "{id}: useful level never speculates");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scheduler_respects_structural_invariants(
+        (program, _a0, _a1) in arb_program()
+    ) {
+        let compiled = compile_ast(&program).expect("generated programs compile");
+        let machine = MachineDescription::rs6k();
+        for level in [SchedLevel::BasicBlockOnly, SchedLevel::Useful, SchedLevel::Speculative] {
+            // paper_example: no unroll/rotate, so the instruction set and
+            // CFG are stable and the invariants are directly checkable.
+            let mut config = SchedConfig::paper_example(level);
+            config.final_bb_pass = true;
+            let mut f = compiled.function.clone();
+            compile(&mut f, &machine, &config)
+                .unwrap_or_else(|e| panic!("{level:?}: {e}"));
+            check_invariants(&compiled.function, &f, level);
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_on_the_paper_example() {
+    let original = gis_workloads::minmax::figure2_function(99);
+    let machine = MachineDescription::rs6k();
+    for level in [SchedLevel::Useful, SchedLevel::Speculative] {
+        let mut f = original.clone();
+        compile(&mut f, &machine, &SchedConfig::paper_example(level)).expect("compiles");
+        check_invariants(&original, &f, level);
+    }
+}

@@ -1,0 +1,120 @@
+//! N-branch speculation — the paper's announced extension ("we are going
+//! to extend our work by supporting more aggressive speculative
+//! scheduling"). `max_speculation_branches = 1` reproduces the prototype;
+//! larger values cross more branches, guarded by the same live-on-exit
+//! and no-duplication rules.
+
+use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_ir::{BlockId, Function, InstId};
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig};
+use std::collections::HashMap;
+
+/// Two nested ifs: the innermost compare is two branches away from the
+/// top block.
+fn nested() -> gis_tinyc::CompiledProgram {
+    gis_tinyc::compile_program(
+        "int a[16]; int n = 16;
+         void nested() {
+             int i = 0; int s = 0;
+             while (i < n) {
+                 int x = a[i];
+                 if (x > 10) {
+                     if (x > 100) {
+                         s = s + x;
+                     }
+                 }
+                 i = i + 1;
+             }
+             print(s);
+         }",
+    )
+    .expect("compiles")
+}
+
+fn placement(f: &Function) -> HashMap<InstId, BlockId> {
+    f.insts().map(|(b, i)| (i.id, b)).collect()
+}
+
+/// The accumulate add (`s + x`) in the doubly-guarded innermost arm: the
+/// register-register add that lives in the latest layout block (the
+/// other add is the address computation in the loop header).
+fn inner_add(f: &Function) -> InstId {
+    f.insts()
+        .filter(|(_, i)| matches!(i.op, gis_ir::Op::Fx { op: gis_ir::FxBinOp::Add, .. }))
+        .max_by_key(|(b, _)| *b)
+        .map(|(_, i)| i.id)
+        .expect("inner add exists")
+}
+
+#[test]
+fn depth_two_hoists_what_depth_one_cannot() {
+    let program = nested();
+    let machine = MachineDescription::rs6k();
+    let inner = inner_add(&program.function);
+    let before = placement(&program.function);
+
+    let schedule = |depth: usize| -> Function {
+        let mut config = SchedConfig::paper_example(SchedLevel::Speculative);
+        config.rename = true; // webs split so the inner compare is mobile
+        config.max_speculation_branches = depth;
+        let mut f = program.function.clone();
+        compile(&mut f, &machine, &config).expect("compiles");
+        f
+    };
+
+    let one = schedule(1);
+    let two = schedule(2);
+
+    // At depth 1 the innermost add cannot reach the loop header (it is
+    // two branches deep); at depth 2 it can, filling the header's
+    // compare→branch delay slots.
+    let header = before[&InstId::new(
+        program
+            .function
+            .insts()
+            .find(|(_, i)| matches!(i.op.class(), gis_ir::OpClass::Load))
+            .map(|(_, i)| i.id.index() as u32)
+            .expect("the header loads a[i]"),
+    )];
+    assert_ne!(
+        placement(&one)[&inner],
+        header,
+        "depth 1 cannot cross two branches\n{one}"
+    );
+    assert_eq!(
+        placement(&two)[&inner],
+        header,
+        "depth 2 hoists the innermost add to the header\n{two}"
+    );
+
+    // Semantics preserved at both depths.
+    let data: Vec<i64> = (0..16).map(|k| k * 13).collect();
+    let memory = program.initial_memory(&[("a", &data)]).expect("fits");
+    let reference = execute(&program.function, &memory, &ExecConfig::default()).expect("runs");
+    for f in [&one, &two] {
+        let got = execute(f, &memory, &ExecConfig::default()).expect("runs");
+        assert!(reference.equivalent(&got));
+    }
+}
+
+#[test]
+fn deep_speculation_stays_correct_on_the_paper_example() {
+    // Cranking the depth on minmax must not change behaviour.
+    let machine = MachineDescription::rs6k();
+    let a: Vec<i64> = (0..33).map(|k| (k * 41) % 97 - 50).collect();
+    let reference = {
+        let f = gis_workloads::minmax::figure2_function(a.len() as i64);
+        execute(&f, &gis_workloads::minmax::memory_image(&a), &ExecConfig::default())
+            .expect("runs")
+    };
+    for depth in [1, 2, 3, 8] {
+        let mut config = SchedConfig::speculative();
+        config.max_speculation_branches = depth;
+        let mut f = gis_workloads::minmax::figure2_function(a.len() as i64);
+        compile(&mut f, &machine, &config).expect("compiles");
+        let got = execute(&f, &gis_workloads::minmax::memory_image(&a), &ExecConfig::default())
+            .expect("runs");
+        assert!(reference.equivalent(&got), "depth {depth}");
+    }
+}

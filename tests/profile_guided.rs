@@ -1,0 +1,133 @@
+//! Profile-guided speculation (§1: "global scheduling is capable of
+//! taking advantage of the branch probabilities, whenever available").
+//!
+//! A loop with a heavily biased branch: the cold arm contains a
+//! multi-cycle multiply. Blind speculation hoists it into the hot path
+//! where it occupies the fixed point unit almost always for nothing;
+//! with a profile and a probability floor the scheduler skips the cold
+//! gamble and keeps (or prefers) the hot one.
+
+use gis_core::{compile, BranchProfile, SchedConfig};
+use gis_ir::{Function, InstId};
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig, TimingSim};
+use std::collections::HashMap;
+
+fn biased_workload() -> (gis_tinyc::CompiledProgram, Vec<(i64, i64)>) {
+    let program = gis_tinyc::compile_program(
+        "int a[128]; int n = 128;
+         void kernel() {
+             int i = 0; int s = 0; int t = 0;
+             while (i < n) {
+                 int x = a[i];
+                 if (x > 900) { t = t + x * 3; }
+                 else { s = s + x; }
+                 i = i + 1;
+             }
+             print(s); print(t);
+         }",
+    )
+    .expect("compiles");
+    // ~5% of elements exceed 900.
+    let data: Vec<i64> = (0..128).map(|k| if k % 20 == 0 { 950 } else { k % 100 }).collect();
+    let memory = program.initial_memory(&[("a", &data)]).expect("fits");
+    (program, memory)
+}
+
+fn placement(f: &Function) -> HashMap<InstId, gis_ir::BlockId> {
+    f.insts().map(|(b, i)| (i.id, b)).collect()
+}
+
+/// Ids of instructions that changed blocks, mapped to their original
+/// block's label.
+fn moved_from(original: &Function, scheduled: &Function) -> Vec<(InstId, String)> {
+    let before = placement(original);
+    let after = placement(scheduled);
+    let mut out: Vec<(InstId, String)> = after
+        .iter()
+        .filter(|(id, b)| before[id] != **b)
+        .map(|(id, _)| (*id, original.block(before[id]).label().to_owned()))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn profile_gates_cold_speculation() {
+    let (program, memory) = biased_workload();
+    let machine = MachineDescription::rs6k();
+
+    // Training run on the unscheduled code.
+    let training = execute(&program.function, &memory, &ExecConfig::default()).expect("runs");
+    let profile = BranchProfile::from_counts(training.branch_count_triples());
+    assert!(!profile.is_empty(), "the run exercised branches");
+
+    // The cold arm (x > 900 taken path) is the `if`'s then-block; in the
+    // generated code it is the fall-through block right after the
+    // condition branch. Identify it by its multiply.
+    let cold_mul: Vec<InstId> = program
+        .function
+        .insts()
+        .filter(|(_, i)| matches!(i.op.class(), gis_ir::OpClass::FxMul))
+        .map(|(_, i)| i.id)
+        .collect();
+    assert_eq!(cold_mul.len(), 1, "one multiply, in the cold arm");
+
+    // Blind speculation hoists the cold multiply.
+    let mut blind_cfg = SchedConfig::speculative();
+    blind_cfg.unroll = false;
+    blind_cfg.rotate = false;
+    let mut blind = program.function.clone();
+    compile(&mut blind, &machine, &blind_cfg).expect("compiles");
+    let blind_moved = moved_from(&program.function, &blind);
+    assert!(
+        blind_moved.iter().any(|(id, _)| *id == cold_mul[0]),
+        "without a profile the cold multiply is hoisted: {blind_moved:?}\n{blind}"
+    );
+
+    // Profile-guided speculation skips it.
+    let mut guided_cfg = blind_cfg.clone();
+    guided_cfg.profile = Some(profile);
+    guided_cfg.min_speculation_probability = 0.5;
+    let mut guided = program.function.clone();
+    compile(&mut guided, &machine, &guided_cfg).expect("compiles");
+    let guided_moved = moved_from(&program.function, &guided);
+    assert!(
+        !guided_moved.iter().any(|(id, _)| *id == cold_mul[0]),
+        "with a profile the cold multiply stays home: {guided_moved:?}\n{guided}"
+    );
+    // The hot arm still gets its speculation.
+    assert!(
+        guided_moved.iter().any(|(_, from)| from.contains("else")),
+        "guided still speculates on the hot (else) side: {guided_moved:?}"
+    );
+
+    // Behaviour preserved, and the guided schedule is no slower.
+    let out_blind = execute(&blind, &memory, &ExecConfig::default()).expect("runs");
+    let out_guided = execute(&guided, &memory, &ExecConfig::default()).expect("runs");
+    assert!(training.equivalent(&out_blind));
+    assert!(training.equivalent(&out_guided));
+    let cycles_blind = TimingSim::new(&blind, &machine).run(&out_blind.block_trace).cycles;
+    let cycles_guided = TimingSim::new(&guided, &machine).run(&out_guided.block_trace).cycles;
+    assert!(
+        cycles_guided <= cycles_blind,
+        "profile guidance does not lose cycles: {cycles_guided} vs {cycles_blind}"
+    );
+}
+
+#[test]
+fn neutral_profile_changes_nothing() {
+    // With no profile (or an empty one) the paper-example schedules are
+    // bit-identical — the probability hook is inert by default.
+    let (program, _) = biased_workload();
+    let machine = MachineDescription::rs6k();
+    let cfg_plain = SchedConfig::paper_example(gis_core::SchedLevel::Speculative);
+    let mut cfg_empty_profile = cfg_plain.clone();
+    cfg_empty_profile.profile = Some(BranchProfile::new());
+
+    let mut a = program.function.clone();
+    compile(&mut a, &machine, &cfg_plain).expect("compiles");
+    let mut b = program.function.clone();
+    compile(&mut b, &machine, &cfg_empty_profile).expect("compiles");
+    assert_eq!(a.to_string(), b.to_string());
+}
