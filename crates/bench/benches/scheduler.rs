@@ -1,5 +1,8 @@
-//! Criterion benchmarks: throughput of each pipeline stage and the
-//! end-to-end figure reproductions.
+//! Throughput benchmarks for each pipeline stage and the end-to-end
+//! figure reproductions. Hand-rolled harness (`harness = false`): the
+//! sandbox builds offline, so criterion is unavailable; this measures
+//! median-of-runs wall time with `std::time::Instant`, which is plenty
+//! for the coarse regression tracking we need.
 //!
 //! One group per paper artefact:
 //!
@@ -9,38 +12,67 @@
 //!   workload (Figure 7's BASE/CTO split);
 //! * `simulate`   — the timing simulator (the measurement harness of
 //!   Figure 8);
-//! * `figures`    — the complete Figure 5/6 reproduction path.
+//! * `figures`    — the complete Figure 5/6 reproduction path;
+//! * `tracing`    — observer overhead: plain compile vs `compile_observed`
+//!   with the no-op observer (must be free) vs a recording sink.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gis_cfg::{Cfg, DomTree, LoopForest, RegionGraph, RegionKind, RegionTree};
-use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_core::{compile, compile_observed, SchedConfig, SchedLevel};
 use gis_machine::MachineDescription;
 use gis_pdg::{Cspdg, DataDeps, Liveness};
 use gis_sim::{execute, ExecConfig, TimingSim};
+use gis_trace::{NopObserver, Recorder};
 use gis_workloads::{minmax, spec};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn analysis(c: &mut Criterion) {
+/// Times `f` over `iters` iterations, repeated `RUNS` times; reports the
+/// best run (least noise) in nanoseconds per iteration.
+fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    const RUNS: usize = 5;
+    // Warm-up.
+    for _ in 0..iters.div_ceil(4).max(1) {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    let (value, unit) = if best >= 1_000_000.0 {
+        (best / 1_000_000.0, "ms")
+    } else if best >= 1_000.0 {
+        (best / 1_000.0, "µs")
+    } else {
+        (best, "ns")
+    };
+    println!("{group}/{name:<32} {value:>10.2} {unit}/iter");
+}
+
+fn analysis() {
     let f = minmax::figure2_function(9999);
     let machine = MachineDescription::rs6k();
-    let mut g = c.benchmark_group("analysis");
 
-    g.bench_function("cfg+dominators", |b| {
-        b.iter(|| {
-            let cfg = Cfg::new(black_box(&f));
-            let dom = DomTree::dominators(&cfg);
-            black_box((cfg, dom))
-        })
+    bench("analysis", "cfg+dominators", 2000, || {
+        let cfg = Cfg::new(black_box(&f));
+        let dom = DomTree::dominators(&cfg);
+        (cfg, dom)
     });
 
-    g.bench_function("loops+regions", |b| {
+    {
         let cfg = Cfg::new(&f);
         let dom = DomTree::dominators(&cfg);
-        b.iter(|| {
+        bench("analysis", "loops+regions", 2000, || {
             let loops = LoopForest::new(black_box(&cfg), &dom);
-            black_box(RegionTree::new(&cfg, &loops))
-        })
-    });
+            RegionTree::new(&cfg, &loops)
+        });
+    }
 
     let cfg = Cfg::new(&f);
     let dom = DomTree::dominators(&cfg);
@@ -52,80 +84,96 @@ fn analysis(c: &mut Criterion) {
         .map(|(id, _)| id)
         .expect("loop region");
 
-    g.bench_function("cspdg", |b| {
+    {
         let rg = RegionGraph::new(&cfg, &tree, rid).expect("reducible");
-        b.iter(|| black_box(Cspdg::new(black_box(&rg))))
-    });
+        bench("analysis", "cspdg", 2000, || Cspdg::new(black_box(&rg)));
+    }
 
-    g.bench_function("data-deps+reduce", |b| {
+    {
         let blocks: Vec<gis_ir::BlockId> = tree.region(rid).blocks.clone();
-        b.iter(|| {
+        bench("analysis", "data-deps+reduce", 2000, || {
             let mut deps = DataDeps::build(black_box(&f), &machine, &blocks, |x, y| x < y);
             deps.reduce();
-            black_box(deps)
-        })
-    });
+            deps
+        });
+    }
 
-    g.bench_function("liveness", |b| {
-        b.iter(|| black_box(Liveness::compute(black_box(&f), &cfg)))
+    bench("analysis", "liveness", 2000, || {
+        Liveness::compute(black_box(&f), &cfg)
     });
-    g.finish();
 }
 
-fn schedule(c: &mut Criterion) {
+fn schedule() {
     let machine = MachineDescription::rs6k();
-    let mut g = c.benchmark_group("schedule");
     for w in spec::all(64) {
         for (label, config) in [
             ("base", SchedConfig::base()),
             ("useful", SchedConfig::useful()),
             ("speculative", SchedConfig::speculative()),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, w.name), &w, |b, w| {
-                b.iter(|| {
-                    let mut f = w.program.function.clone();
-                    compile(&mut f, &machine, &config).expect("compiles");
-                    black_box(f)
-                })
+            bench("schedule", &format!("{label}/{}", w.name), 50, || {
+                let mut f = w.program.function.clone();
+                compile(&mut f, &machine, &config).expect("compiles");
+                f
             });
         }
     }
-    g.finish();
 }
 
-fn simulate(c: &mut Criterion) {
+fn simulate() {
     let machine = MachineDescription::rs6k();
-    let mut g = c.benchmark_group("simulate");
     let w = spec::eqntott(256);
     let f = &w.program.function;
-    g.bench_function("execute", |b| {
-        b.iter(|| black_box(execute(f, &w.memory, &ExecConfig::default()).expect("runs")))
+    bench("simulate", "execute", 20, || {
+        execute(f, &w.memory, &ExecConfig::default()).expect("runs")
     });
     let out = execute(f, &w.memory, &ExecConfig::default()).expect("runs");
-    g.bench_function("timing", |b| {
-        let sim = TimingSim::new(f, &machine);
-        b.iter(|| black_box(sim.run(black_box(&out.block_trace))))
+    let sim = TimingSim::new(f, &machine);
+    bench("simulate", "timing", 20, || {
+        sim.run(black_box(&out.block_trace))
     });
-    g.finish();
 }
 
-fn figures(c: &mut Criterion) {
+fn figures() {
     let machine = MachineDescription::rs6k();
-    let mut g = c.benchmark_group("figures");
     for (label, level) in [
         ("figure5-useful", SchedLevel::Useful),
         ("figure6-speculative", SchedLevel::Speculative),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut f = minmax::figure2_function(9999);
-                compile(&mut f, &machine, &SchedConfig::paper_example(level)).expect("compiles");
-                black_box(f)
-            })
+        bench("figures", label, 200, || {
+            let mut f = minmax::figure2_function(9999);
+            compile(&mut f, &machine, &SchedConfig::paper_example(level)).expect("compiles");
+            f
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, analysis, schedule, simulate, figures);
-criterion_main!(benches);
+fn tracing() {
+    let machine = MachineDescription::rs6k();
+    let config = SchedConfig::speculative();
+    let w = spec::espresso(64);
+    bench("tracing", "compile/plain", 50, || {
+        let mut f = w.program.function.clone();
+        compile(&mut f, &machine, &config).expect("compiles");
+        f
+    });
+    bench("tracing", "compile/nop-observer", 50, || {
+        let mut f = w.program.function.clone();
+        compile_observed(&mut f, &machine, &config, &mut NopObserver).expect("compiles");
+        f
+    });
+    bench("tracing", "compile/recorder", 50, || {
+        let mut f = w.program.function.clone();
+        let mut rec = Recorder::new();
+        compile_observed(&mut f, &machine, &config, &mut rec).expect("compiles");
+        (f, rec)
+    });
+}
+
+fn main() {
+    analysis();
+    schedule();
+    simulate();
+    figures();
+    tracing();
+}

@@ -8,11 +8,12 @@
 
 use gis_bench::{ablation_table, figure7, figure8, measure, width_sweep};
 use gis_cfg::{cfg_to_dot, Cfg, DomTree, LoopForest, RegionGraph, RegionKind, RegionTree};
-use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_core::{compile, compile_observed, SchedConfig, SchedLevel};
 use gis_ir::{Function, InstId};
 use gis_machine::MachineDescription;
 use gis_pdg::{cspdg_to_dot, Cspdg};
 use gis_sim::{execute, ExecConfig, TimingSim};
+use gis_trace::{render_report, Pass, Recorder, TraceEvent};
 use gis_workloads::{minmax, spec};
 
 const FIGURE1: &str = r#"/* find the largest and the smallest number in a given array */
@@ -83,7 +84,10 @@ fn figure_2() {
 fn figure_3() {
     let f = minmax::figure2_function(9999);
     let cfg = Cfg::new(&f);
-    println!("=== Figure 3: control flow graph (DOT) ===\n{}", cfg_to_dot(&f, &cfg));
+    println!(
+        "=== Figure 3: control flow graph (DOT) ===\n{}",
+        cfg_to_dot(&f, &cfg)
+    );
 }
 
 fn figure_4() {
@@ -97,37 +101,79 @@ fn figure_4() {
     );
 }
 
-fn scheduled(level: SchedLevel) -> Function {
+fn scheduled(level: SchedLevel) -> (Function, Recorder) {
     let mut f = minmax::figure2_function(9999);
     let machine = MachineDescription::rs6k();
-    compile(&mut f, &machine, &SchedConfig::paper_example(level)).expect("compiles");
-    f
+    let mut rec = Recorder::new();
+    compile_observed(
+        &mut f,
+        &machine,
+        &SchedConfig::paper_example(level),
+        &mut rec,
+    )
+    .expect("compiles");
+    (f, rec)
+}
+
+/// The motion/rename/rejection events of a trace, as report lines —
+/// what the paper's figures annotate.
+fn motion_trace(rec: &Recorder) -> String {
+    render_report(rec.events().filter(|e| {
+        matches!(
+            e,
+            TraceEvent::Moved { .. } | TraceEvent::Renamed { .. } | TraceEvent::Rejected { .. }
+        )
+    }))
 }
 
 fn figure_5() {
-    let f = scheduled(SchedLevel::Useful);
+    let (f, rec) = scheduled(SchedLevel::Useful);
     println!("=== Figure 5: useful scheduling applied to Figure 2 ===\n{f}");
+    println!("Motions performed (paper: I18, I19 into BL1; I8 into BL2; I15 into BL6):");
+    print!("{}", motion_trace(&rec));
     show_cycles(&f, "paper: 12-13");
 }
 
 fn figure_6() {
-    let f = scheduled(SchedLevel::Speculative);
+    let (f, rec) = scheduled(SchedLevel::Speculative);
     println!("=== Figure 6: useful + 1-branch speculative scheduling ===\n{f}");
+    println!(
+        "Motions performed (paper: Figure 5's useful motions, plus I5 and I12 \
+         speculatively into BL1, I12's cr6 renamed to cr5):"
+    );
+    print!("{}", motion_trace(&rec));
     show_cycles(&f, "paper: 11-12");
 }
 
 fn figure_7(size: usize) {
     println!("=== Figure 7: compile-time overhead (size {size}) ===");
     println!("{:<10} {:>11} {:>8}", "PROGRAM", "BASE", "CTO");
-    for row in figure7(&spec::all(size), &MachineDescription::rs6k(), 5) {
+    let rows = figure7(&spec::all(size), &MachineDescription::rs6k(), 5);
+    for row in &rows {
         println!("{row}");
+    }
+    println!("\nPer-pass wall time under the full configuration (ms):");
+    print!("{:<10}", "PROGRAM");
+    for pass in Pass::ALL {
+        print!(" {:>9}", pass.name());
+    }
+    println!();
+    for row in &rows {
+        print!("{:<10}", row.name);
+        for nanos in row.pass_nanos {
+            print!(" {:>9.3}", nanos as f64 / 1e6);
+        }
+        println!();
     }
     println!("(paper: LI 13%, EQNTOTT 17%, ESPRESSO 12%, GCC 13%)");
 }
 
 fn figure_8(size: usize) {
     println!("=== Figure 8: run-time improvements (size {size}) ===");
-    println!("{:<10} {:>12} {:>10} {:>13}", "PROGRAM", "BASE(cyc)", "USEFUL", "SPECULATIVE");
+    println!(
+        "{:<10} {:>12} {:>10} {:>13}",
+        "PROGRAM", "BASE(cyc)", "USEFUL", "SPECULATIVE"
+    );
     let machine = MachineDescription::rs6k();
     let mut workloads = spec::all(size);
     workloads.push(spec::minmax_workload(size));
@@ -160,7 +206,10 @@ fn ablation(size: usize) {
         .iter()
         .map(|w| measure(w, &machine, &SchedConfig::base()).cycles)
         .collect();
-    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "base", base[0], base[1], base[2], base[3]);
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "base", base[0], base[1], base[2], base[3]
+    );
     let rows = ablation_table(&workloads, &machine);
     for label in [
         "full",
@@ -172,8 +221,11 @@ fn ablation(size: usize) {
         "no-spec-loads",
         "no-final-bb",
     ] {
-        let cells: Vec<u64> =
-            rows.iter().filter(|(l, _, _)| *l == label).map(|(_, _, c)| *c).collect();
+        let cells: Vec<u64> = rows
+            .iter()
+            .filter(|(l, _, _)| *l == label)
+            .map(|(_, _, c)| *c)
+            .collect();
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>10}",
             label, cells[0], cells[1], cells[2], cells[3]
@@ -183,7 +235,10 @@ fn ablation(size: usize) {
 
 fn opt_effect(size: usize) {
     println!("=== Optimizer effect: gis-opt before full scheduling (size {size}) ===");
-    println!("{:<10} {:>12} {:>12} {:>8}", "PROGRAM", "SCHED", "OPT+SCHED", "DELTA");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "PROGRAM", "SCHED", "OPT+SCHED", "DELTA"
+    );
     for (name, plain, opt) in
         gis_bench::optimizer_effect(&spec::all(size), &MachineDescription::rs6k())
     {
@@ -199,7 +254,10 @@ fn opt_effect(size: usize) {
 
 fn pressure(size: usize) {
     println!("=== Register pressure before/after scheduling (size {size}) ===");
-    println!("{:<10} {:>14} {:>14}", "PROGRAM", "BASE(g/f/c)", "SCHED(g/f/c)");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "PROGRAM", "BASE(g/f/c)", "SCHED(g/f/c)"
+    );
     let machine = MachineDescription::rs6k();
     for w in spec::all(size) {
         let show = |f: &Function| {

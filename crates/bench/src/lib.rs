@@ -74,8 +74,7 @@ impl Figure8Row {
 
     /// Run-time improvement of speculative scheduling, in percent.
     pub fn rti_speculative(&self) -> f64 {
-        100.0 * (self.base_cycles as f64 - self.speculative_cycles as f64)
-            / self.base_cycles as f64
+        100.0 * (self.base_cycles as f64 - self.speculative_cycles as f64) / self.base_cycles as f64
     }
 }
 
@@ -137,11 +136,18 @@ pub struct Figure7Row {
     pub base_seconds: f64,
     /// Compile-time overhead of full global scheduling, in percent.
     pub cto_percent: f64,
+    /// Wall time of each pipeline pass under the full configuration, in
+    /// nanoseconds, indexed by [`gis_trace::Pass`] order.
+    pub pass_nanos: [u64; 6],
 }
 
 impl fmt::Display for Figure7Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<10} {:>10.4}s {:>7.0}%", self.name, self.base_seconds, self.cto_percent)
+        write!(
+            f,
+            "{:<10} {:>10.4}s {:>7.0}%",
+            self.name, self.base_seconds, self.cto_percent
+        )
     }
 }
 
@@ -155,8 +161,9 @@ pub fn figure7(
     workloads
         .iter()
         .map(|w| {
-            let time = |config: &SchedConfig| {
+            let time = |config: &SchedConfig| -> (f64, SchedStats) {
                 let t0 = Instant::now();
+                let mut stats = SchedStats::default();
                 for _ in 0..repeats {
                     // Whole-compiler time, as in the paper's Figure 7: the
                     // frontend runs too, not just the scheduling pipeline.
@@ -167,16 +174,21 @@ pub fn figure7(
                             .expect("workload compiles")
                             .function
                     };
-                    compile(&mut f, machine, config).expect("compiles");
+                    stats.absorb(compile(&mut f, machine, config).expect("compiles"));
                 }
-                t0.elapsed().as_secs_f64() / f64::from(repeats)
+                (t0.elapsed().as_secs_f64() / f64::from(repeats), stats)
             };
-            let base = time(&SchedConfig::base());
-            let full = time(&SchedConfig::speculative());
+            let (base, _) = time(&SchedConfig::base());
+            let (full, stats) = time(&SchedConfig::speculative());
+            let mut pass_nanos = stats.pass_nanos;
+            for n in &mut pass_nanos {
+                *n /= u64::from(repeats.max(1));
+            }
             Figure7Row {
                 name: w.name,
                 base_seconds: base,
                 cto_percent: 100.0 * (full - base) / base,
+                pass_nanos,
             }
         })
         .collect()
@@ -200,9 +212,12 @@ pub fn width_sweep(workloads: &[Workload], max_width: u32) -> Vec<WidthPoint> {
         .map(|w| {
             let machine = MachineDescription::superscalar(format!("w{w}"), w, w, 1);
             let rows = figure8(workloads, &machine);
-            let mean = rows.iter().map(Figure8Row::rti_speculative).sum::<f64>()
-                / rows.len() as f64;
-            WidthPoint { width: w, mean_rti: mean }
+            let mean =
+                rows.iter().map(Figure8Row::rti_speculative).sum::<f64>() / rows.len() as f64;
+            WidthPoint {
+                width: w,
+                mean_rti: mean,
+            }
         })
         .collect()
 }
@@ -275,8 +290,10 @@ pub fn ablation_table(
     machine: &MachineDescription,
 ) -> Vec<(&'static str, &'static str, u64)> {
     let mut out = Vec::new();
-    let base: Vec<Measurement> =
-        workloads.iter().map(|w| measure(w, machine, &SchedConfig::base())).collect();
+    let base: Vec<Measurement> = workloads
+        .iter()
+        .map(|w| measure(w, machine, &SchedConfig::base()))
+        .collect();
     for (label, config) in ablation_configs() {
         for (w, b) in workloads.iter().zip(&base) {
             let m = measure(w, machine, &config);
@@ -319,7 +336,11 @@ mod tests {
         assert!(li.rti_speculative() > 2.0, "LI gains from speculation");
 
         // EQNTOTT: useful scheduling captures most of the win.
-        assert!(eqntott.rti_useful() > 2.0, "EQNTOTT gains usefully: {:.1}%", eqntott.rti_useful());
+        assert!(
+            eqntott.rti_useful() > 2.0,
+            "EQNTOTT gains usefully: {:.1}%",
+            eqntott.rti_useful()
+        );
         assert!(
             eqntott.rti_speculative() >= eqntott.rti_useful() - 1.0,
             "speculation does not lose what useful won"
@@ -354,7 +375,11 @@ mod tests {
         let rows = figure7(&spec::all(64), &machine, 3);
         for r in rows {
             assert!(r.base_seconds > 0.0);
-            assert!(r.cto_percent > 0.0, "{}: global scheduling costs time", r.name);
+            assert!(
+                r.cto_percent > 0.0,
+                "{}: global scheduling costs time",
+                r.name
+            );
         }
     }
 }

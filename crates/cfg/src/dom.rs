@@ -95,8 +95,8 @@ impl DomTree {
 
         // Children lists (root excluded from its own children).
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(p) = idom[i] {
+        for (i, p) in idom.iter().enumerate() {
+            if let Some(p) = p {
                 if p.index() != i {
                     children[p.index()].push(NodeId::from_index(i));
                 }
@@ -125,7 +125,14 @@ impl DomTree {
         }
 
         let reachable = idom.iter().map(Option::is_some).collect();
-        DomTree { root, idom, children, pre, post, reachable }
+        DomTree {
+            root,
+            idom,
+            children,
+            pre,
+            post,
+            reachable,
+        }
     }
 
     /// The tree's root (`ENTRY` for dominators, `EXIT` for postdominators).
@@ -194,7 +201,11 @@ mod tests {
         assert_eq!(dom.idom(node(0)), Some(NodeId::ENTRY));
         assert_eq!(dom.idom(node(1)), Some(node(0)));
         assert_eq!(dom.idom(node(2)), Some(node(0)));
-        assert_eq!(dom.idom(node(3)), Some(node(0)), "join is dominated by the fork only");
+        assert_eq!(
+            dom.idom(node(3)),
+            Some(node(0)),
+            "join is dominated by the fork only"
+        );
         assert!(dom.dominates(node(0), node(3)));
         assert!(!dom.dominates(node(1), node(3)));
         assert!(dom.dominates(node(3), node(3)), "dominance is reflexive");
@@ -205,7 +216,11 @@ mod tests {
     fn diamond_postdominators() {
         let pdom = DomTree::postdominators(&diamond_cfg());
         assert_eq!(pdom.root(), NodeId::EXIT);
-        assert_eq!(pdom.idom(node(0)), Some(node(3)), "the join postdominates the fork");
+        assert_eq!(
+            pdom.idom(node(0)),
+            Some(node(3)),
+            "the join postdominates the fork"
+        );
         assert!(pdom.dominates(node(3), node(0)));
         assert!(!pdom.dominates(node(1), node(0)));
     }

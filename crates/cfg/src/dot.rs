@@ -40,16 +40,21 @@ mod tests {
 
     #[test]
     fn dot_contains_all_edges() {
-        let f = parse_function(
-            "func d\nA:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n",
-        )
-        .expect("parses");
+        let f =
+            parse_function("func d\nA:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n")
+                .expect("parses");
         let cfg = Cfg::new(&f);
         let dot = cfg_to_dot(&f, &cfg);
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("ENTRY -> \"BL0 (A)\""), "{dot}");
-        assert!(dot.contains("\"BL0 (A)\" -> \"BL2 (C)\" [label=\"T\"]"), "{dot}");
-        assert!(dot.contains("\"BL0 (A)\" -> \"BL1 (B)\" [label=\"F\"]"), "{dot}");
+        assert!(
+            dot.contains("\"BL0 (A)\" -> \"BL2 (C)\" [label=\"T\"]"),
+            "{dot}"
+        );
+        assert!(
+            dot.contains("\"BL0 (A)\" -> \"BL1 (B)\" [label=\"F\"]"),
+            "{dot}"
+        );
         assert!(dot.contains("\"BL3 (D)\" -> EXIT"), "{dot}");
     }
 }

@@ -140,7 +140,11 @@ impl Cfg {
                     // last block).
                     let next = bid.index() + 1;
                     if next < f.num_blocks() {
-                        add(node, NodeId::block(BlockId::new(next as u32)), EdgeLabel::Always);
+                        add(
+                            node,
+                            NodeId::block(BlockId::new(next as u32)),
+                            EdgeLabel::Always,
+                        );
                     } else {
                         add(node, NodeId::EXIT, EdgeLabel::Always);
                     }
@@ -257,14 +261,38 @@ mod tests {
         let f = diamond();
         let cfg = Cfg::new(&f);
         assert_eq!(cfg.num_blocks(), 4);
-        assert_eq!(cfg.succs(NodeId::ENTRY), &[Edge { to: node(0), label: EdgeLabel::Always }]);
+        assert_eq!(
+            cfg.succs(NodeId::ENTRY),
+            &[Edge {
+                to: node(0),
+                label: EdgeLabel::Always
+            }]
+        );
         // A -> C (taken), A -> B (fall-through).
         let a_succs = cfg.succs(node(0));
         assert_eq!(a_succs.len(), 2);
-        assert_eq!(a_succs[0], Edge { to: node(2), label: EdgeLabel::Taken });
-        assert_eq!(a_succs[1], Edge { to: node(1), label: EdgeLabel::NotTaken });
+        assert_eq!(
+            a_succs[0],
+            Edge {
+                to: node(2),
+                label: EdgeLabel::Taken
+            }
+        );
+        assert_eq!(
+            a_succs[1],
+            Edge {
+                to: node(1),
+                label: EdgeLabel::NotTaken
+            }
+        );
         // D -> EXIT.
-        assert_eq!(cfg.succs(node(3)), &[Edge { to: NodeId::EXIT, label: EdgeLabel::Always }]);
+        assert_eq!(
+            cfg.succs(node(3)),
+            &[Edge {
+                to: NodeId::EXIT,
+                label: EdgeLabel::Always
+            }]
+        );
         // Preds of D are B and C.
         let d_preds: Vec<NodeId> = cfg.preds(node(3)).iter().map(|e| e.to).collect();
         assert_eq!(d_preds, vec![node(1), node(2)]);

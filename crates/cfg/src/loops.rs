@@ -110,8 +110,7 @@ impl LoopForest {
         order.sort_by_key(|&i| loops[i].blocks.len());
         for (oi, &i) in order.iter().enumerate() {
             for &j in &order[oi + 1..] {
-                let contains_all =
-                    loops[i].blocks.iter().all(|b| loops[j].contains(*b));
+                let contains_all = loops[i].blocks.iter().all(|b| loops[j].contains(*b));
                 if contains_all && loops[j].blocks.len() > loops[i].blocks.len() {
                     loops[i].parent = Some(LoopId(j as u32));
                     loops[j].children.push(LoopId(i as u32));
@@ -155,8 +154,7 @@ impl LoopForest {
                     indeg[e.to.index()] += 1;
                 }
             }
-            let mut queue: Vec<NodeId> =
-                cfg.nodes().filter(|x| indeg[x.index()] == 0).collect();
+            let mut queue: Vec<NodeId> = cfg.nodes().filter(|x| indeg[x.index()] == 0).collect();
             let mut seen = 0;
             while let Some(x) = queue.pop() {
                 seen += 1;
@@ -170,12 +168,19 @@ impl LoopForest {
             seen == n
         };
 
-        LoopForest { loops, innermost, reducible }
+        LoopForest {
+            loops,
+            innermost,
+            reducible,
+        }
     }
 
     /// All loops.
     pub fn loops(&self) -> impl Iterator<Item = (LoopId, &NaturalLoop)> {
-        self.loops.iter().enumerate().map(|(i, l)| (LoopId(i as u32), l))
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId(i as u32), l))
     }
 
     /// Number of loops.

@@ -98,7 +98,11 @@ impl RegionTree {
             .map(|(id, l)| Region {
                 kind: RegionKind::Loop(id),
                 blocks: Vec::new(),
-                children: l.children.iter().map(|c| RegionId(c.index() as u32)).collect(),
+                children: l
+                    .children
+                    .iter()
+                    .map(|c| RegionId(c.index() as u32))
+                    .collect(),
                 parent: Some(l.parent.map_or(root, |p| RegionId(p.index() as u32))),
                 header: Some(l.header),
                 height: 0,
@@ -119,10 +123,12 @@ impl RegionTree {
 
         // Assign each block to its innermost region.
         let mut region_of = vec![root; cfg.num_blocks()];
-        for i in 0..cfg.num_blocks() {
+        for (i, slot) in region_of.iter_mut().enumerate() {
             let b = BlockId::new(i as u32);
-            let r = loops.innermost(b).map_or(root, |l| RegionId(l.index() as u32));
-            region_of[i] = r;
+            let r = loops
+                .innermost(b)
+                .map_or(root, |l| RegionId(l.index() as u32));
+            *slot = r;
             regions[r.index()].blocks.push(b);
         }
         for r in &mut regions {
@@ -149,7 +155,11 @@ impl RegionTree {
             }
         }
 
-        RegionTree { regions, root, region_of }
+        RegionTree {
+            regions,
+            root,
+            region_of,
+        }
     }
 
     /// The root (routine body) region.
@@ -168,7 +178,10 @@ impl RegionTree {
 
     /// All regions.
     pub fn regions(&self) -> impl Iterator<Item = (RegionId, &Region)> {
-        self.regions.iter().enumerate().map(|(i, r)| (RegionId(i as u32), r))
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RegionId(i as u32), r))
     }
 
     /// The innermost region containing `b`.
@@ -233,7 +246,11 @@ pub struct IrreducibleRegionError {
 
 impl fmt::Display for IrreducibleRegionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "region {} is irreducible (cyclic after back-edge removal)", self.region)
+        write!(
+            f,
+            "region {} is irreducible (cyclic after back-edge removal)",
+            self.region
+        )
     }
 }
 
@@ -307,9 +324,9 @@ impl RegionGraph {
 
         let mut succs: Vec<Vec<(NodeId, EdgeLabel)>> = vec![Vec::new(); nodes.len()];
         let add = |succs: &mut Vec<Vec<(NodeId, EdgeLabel)>>,
-                       from: NodeId,
-                       to: NodeId,
-                       label: EdgeLabel| {
+                   from: NodeId,
+                   to: NodeId,
+                   label: EdgeLabel| {
             let list = &mut succs[from.index()];
             if !list.iter().any(|(t, _)| *t == to) {
                 list.push((to, label));
@@ -323,7 +340,11 @@ impl RegionGraph {
                 match e.to.as_block() {
                     Some(t) if is_back_edge(t) => continue,
                     Some(t) => {
-                        let to = if tree.contains(rid, t) { map_block(t) } else { NodeId::EXIT };
+                        let to = if tree.contains(rid, t) {
+                            map_block(t)
+                        } else {
+                            NodeId::EXIT
+                        };
                         add(&mut succs, from, to, e.label);
                     }
                     None => add(&mut succs, from, NodeId::EXIT, e.label),
@@ -370,9 +391,9 @@ impl RegionGraph {
 
         // Nodes left without successors (e.g. a latch whose only edge was
         // the removed back edge) flow to EXIT: the end of the iteration.
-        for i in 2..nodes.len() {
-            if succs[i].is_empty() {
-                succs[i].push((NodeId::EXIT, EdgeLabel::Always));
+        for s in succs.iter_mut().skip(2) {
+            if s.is_empty() {
+                s.push((NodeId::EXIT, EdgeLabel::Always));
             }
         }
 
@@ -394,8 +415,7 @@ impl RegionGraph {
             }
         }
         let mut topo = Vec::with_capacity(n);
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         while !ready.is_empty() {
             ready.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest index
             let i = ready.pop().expect("nonempty");
@@ -411,7 +431,14 @@ impl RegionGraph {
             return Err(IrreducibleRegionError { region: rid });
         }
 
-        Ok(RegionGraph { region: rid, nodes, succs, preds, node_of_block, topo })
+        Ok(RegionGraph {
+            region: rid,
+            nodes,
+            succs,
+            preds,
+            node_of_block,
+            topo,
+        })
     }
 
     /// The region this graph describes.
@@ -508,11 +535,13 @@ mod tests {
         assert_eq!(tree.region(root).kind, RegionKind::Body);
         assert_eq!(tree.region(root).height, 2);
         // Body directly owns A and E.
-        assert_eq!(tree.region(root).blocks, vec![BlockId::new(0), BlockId::new(4)]);
+        assert_eq!(
+            tree.region(root).blocks,
+            vec![BlockId::new(0), BlockId::new(4)]
+        );
         // Scheduling order: innermost loop, outer loop, body.
         let order = tree.schedule_order();
-        let heights: Vec<usize> =
-            order.iter().map(|r| tree.region(*r).height).collect();
+        let heights: Vec<usize> = order.iter().map(|r| tree.region(*r).height).collect();
         assert_eq!(heights, vec![0, 1, 2]);
         assert_eq!(tree.region(root).total_blocks(&tree), 5);
     }
@@ -540,7 +569,10 @@ mod tests {
         // Nodes: ENTRY, EXIT, B, D, [inner].
         assert_eq!(g.num_nodes(), 5);
         let bn = g.node_of_block(b).expect("B is direct");
-        assert!(g.node_of_block(BlockId::new(2)).is_none(), "C is inside the supernode");
+        assert!(
+            g.node_of_block(BlockId::new(2)).is_none(),
+            "C is inside the supernode"
+        );
         // B -> supernode -> D -> EXIT (back edge D->B removed).
         let b_succs = g.succs(bn);
         assert_eq!(b_succs.len(), 1);

@@ -6,26 +6,30 @@
 
 use gis_cfg::{Cfg, DomTree, LoopForest, NodeId};
 use gis_ir::{parse_function, BlockId, Function};
-use proptest::prelude::*;
+use gis_workloads::rng::XorShift64Star;
 
 /// A random function: `n` blocks; each non-final block optionally ends
 /// with a conditional branch to an arbitrary block (possibly backwards).
-fn arb_cfg_function() -> impl Strategy<Value = Function> {
-    (2usize..10)
-        .prop_flat_map(|n| {
-            (Just(n), prop::collection::vec((any::<bool>(), 0usize..n), n - 1))
-        })
-        .prop_map(|(n, edges)| {
-            let mut text = String::from("func random\n");
-            for (i, &(cond, target)) in edges.iter().enumerate() {
-                text.push_str(&format!("B{i}:\n"));
-                if cond {
-                    text.push_str(&format!("    BT B{target},cr0,0x1/lt\n"));
-                }
-            }
-            text.push_str(&format!("B{}:\n    RET\n", n - 1));
-            parse_function(&text).expect("well formed")
-        })
+fn arb_cfg_function(r: &mut XorShift64Star) -> Function {
+    let n = 2 + r.below(8);
+    let mut text = String::from("func random\n");
+    for i in 0..n - 1 {
+        text.push_str(&format!("B{i}:\n"));
+        if r.chance(1, 2) {
+            let target = r.below(n);
+            text.push_str(&format!("    BT B{target},cr0,0x1/lt\n"));
+        }
+    }
+    text.push_str(&format!("B{}:\n    RET\n", n - 1));
+    parse_function(&text).expect("well formed")
+}
+
+/// Runs `check` on 128 random CFGs (the replacement for the previous
+/// proptest harness; seeds are stable so failures reproduce exactly).
+fn for_random_cfgs(check: impl Fn(&Function)) {
+    for seed in 0..128u64 {
+        check(&arb_cfg_function(&mut XorShift64Star::new(seed)));
+    }
 }
 
 /// Brute-force dominance: `a` dominates `b` iff every entry→b path passes
@@ -82,12 +86,10 @@ fn postdominates_brute(cfg: &Cfg, a: NodeId, b: NodeId) -> bool {
     cfg.reachable(b, NodeId::EXIT) && !escapes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn dominators_match_brute_force(f in arb_cfg_function()) {
-        let cfg = Cfg::new(&f);
+#[test]
+fn dominators_match_brute_force() {
+    for_random_cfgs(|f| {
+        let cfg = Cfg::new(f);
         let dom = DomTree::dominators(&cfg);
         for a in cfg.nodes() {
             for b in cfg.nodes() {
@@ -95,82 +97,90 @@ proptest! {
                 if !cfg.reachable(NodeId::ENTRY, b) || !cfg.reachable(NodeId::ENTRY, a) {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     dom.dominates(a, b),
                     dominates_brute(&cfg, a, b),
-                    "dominates({}, {})", a, b
+                    "dominates({a}, {b})\n{f}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn postdominators_match_brute_force(f in arb_cfg_function()) {
-        let cfg = Cfg::new(&f);
+#[test]
+fn postdominators_match_brute_force() {
+    for_random_cfgs(|f| {
+        let cfg = Cfg::new(f);
         let pdom = DomTree::postdominators(&cfg);
         for a in cfg.nodes() {
             for b in cfg.nodes() {
                 if !cfg.reachable(b, NodeId::EXIT) || !cfg.reachable(a, NodeId::EXIT) {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     pdom.dominates(a, b),
                     postdominates_brute(&cfg, a, b),
-                    "postdominates({}, {})", a, b
+                    "postdominates({a}, {b})\n{f}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn idom_is_the_closest_strict_dominator(f in arb_cfg_function()) {
-        let cfg = Cfg::new(&f);
+#[test]
+fn idom_is_the_closest_strict_dominator() {
+    for_random_cfgs(|f| {
+        let cfg = Cfg::new(f);
         let dom = DomTree::dominators(&cfg);
         for n in cfg.nodes() {
             if !dom.is_reachable(n) || n == NodeId::ENTRY {
                 continue;
             }
             let idom = dom.idom(n).expect("reachable non-root has an idom");
-            prop_assert!(dom.strictly_dominates(idom, n));
+            assert!(dom.strictly_dominates(idom, n));
             // Every other strict dominator of n dominates idom(n).
             for d in cfg.nodes() {
                 if d != n && d != idom && dom.strictly_dominates(d, n) {
-                    prop_assert!(
+                    assert!(
                         dom.dominates(d, idom),
-                        "{} strictly dominates {} but not its idom {}", d, n, idom
+                        "{d} strictly dominates {n} but not its idom {idom}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dominance_is_antisymmetric_and_transitive(f in arb_cfg_function()) {
-        let cfg = Cfg::new(&f);
+#[test]
+fn dominance_is_antisymmetric_and_transitive() {
+    for_random_cfgs(|f| {
+        let cfg = Cfg::new(f);
         let dom = DomTree::dominators(&cfg);
         let nodes: Vec<NodeId> = cfg.nodes().collect();
         for &a in &nodes {
             for &b in &nodes {
                 if a != b && dom.dominates(a, b) {
-                    prop_assert!(!dom.dominates(b, a), "antisymmetry: {} vs {}", a, b);
+                    assert!(!dom.dominates(b, a), "antisymmetry: {a} vs {b}");
                 }
                 for &c in &nodes {
                     if dom.dominates(a, b) && dom.dominates(b, c) {
-                        prop_assert!(dom.dominates(a, c), "transitivity {} {} {}", a, b, c);
+                        assert!(dom.dominates(a, c), "transitivity {a} {b} {c}");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn natural_loop_headers_dominate_their_bodies(f in arb_cfg_function()) {
-        let cfg = Cfg::new(&f);
+#[test]
+fn natural_loop_headers_dominate_their_bodies() {
+    for_random_cfgs(|f| {
+        let cfg = Cfg::new(f);
         let dom = DomTree::dominators(&cfg);
         let loops = LoopForest::new(&cfg, &dom);
         for (_, l) in loops.loops() {
             for &b in &l.blocks {
-                prop_assert!(
+                assert!(
                     dom.dominates(NodeId::block(l.header), NodeId::block(b)),
                     "header BL{} does not dominate member BL{}",
                     l.header.index(),
@@ -178,19 +188,17 @@ proptest! {
                 );
             }
             for &latch in &l.latches {
-                prop_assert!(l.contains(latch), "latches live inside the loop");
+                assert!(l.contains(latch), "latches live inside the loop");
             }
         }
-    }
+    });
 }
 
 #[test]
 fn brute_force_oracle_sanity() {
     // The diamond: A dominates everything; neither arm dominates the join.
-    let f = parse_function(
-        "func d\nA:\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n",
-    )
-    .expect("parses");
+    let f =
+        parse_function("func d\nA:\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n").expect("parses");
     let cfg = Cfg::new(&f);
     let n = |i: u32| NodeId::block(BlockId::new(i));
     assert!(dominates_brute(&cfg, n(0), n(3)));

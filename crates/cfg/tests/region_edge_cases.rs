@@ -1,9 +1,7 @@
 //! Region machinery edge cases: returns inside loops, multiple exits,
 //! three-deep nesting, grandchild lifting, and irreducible regions.
 
-use gis_cfg::{
-    Cfg, DomTree, LoopForest, NodeId, RegionGraph, RegionKind, RegionNode, RegionTree,
-};
+use gis_cfg::{Cfg, DomTree, LoopForest, NodeId, RegionGraph, RegionKind, RegionNode, RegionTree};
 use gis_ir::{parse_function, BlockId};
 
 fn analyses(text: &str) -> (Cfg, RegionTree) {
@@ -31,7 +29,10 @@ fn loop_with_a_return_inside() {
     // B ends in RET and cannot reach the latch, so it is *not* part of
     // the natural loop — it belongs to the enclosing body region.
     assert_eq!(tree.innermost(BlockId::new(2)), tree.root());
-    assert_eq!(tree.region(rid).blocks, vec![BlockId::new(1), BlockId::new(3)]);
+    assert_eq!(
+        tree.region(rid).blocks,
+        vec![BlockId::new(1), BlockId::new(3)]
+    );
 
     let g = RegionGraph::new(&cfg, &tree, rid).expect("reducible");
     // H's fall-through leaves the region (towards B): edge to EXIT, plus
@@ -93,8 +94,14 @@ fn grandchild_blocks_lift_to_the_direct_child_supernode() {
         .filter(|&n| matches!(g.node(n), RegionNode::Inner(_)))
         .collect();
     assert_eq!(supers.len(), 1, "exactly one direct child of the body");
-    assert!(g.node_of_block(BlockId::new(1)).is_none(), "B is inside the supernode");
-    assert!(g.node_of_block(BlockId::new(2)).is_none(), "C (grandchild) too");
+    assert!(
+        g.node_of_block(BlockId::new(1)).is_none(),
+        "B is inside the supernode"
+    );
+    assert!(
+        g.node_of_block(BlockId::new(2)).is_none(),
+        "C (grandchild) too"
+    );
     // A -> supernode -> E.
     let a = g.node_of_block(BlockId::new(0)).unwrap();
     assert_eq!(g.succs(a)[0].0, supers[0]);

@@ -12,7 +12,25 @@ use crate::dcp::Heuristics;
 use gis_ir::{BlockId, Function, Inst, InstId};
 use gis_machine::MachineDescription;
 use gis_pdg::DataDeps;
+use gis_trace::{SchedObserver, TraceEvent};
 use std::collections::HashMap;
+
+/// [`schedule_block`], reporting the visit to `obs`.
+pub fn schedule_block_observed<O: SchedObserver>(
+    f: &mut Function,
+    machine: &MachineDescription,
+    block: BlockId,
+    obs: &mut O,
+) -> bool {
+    let changed = schedule_block(f, machine, block);
+    if obs.enabled() {
+        obs.event(TraceEvent::BlockScheduled {
+            block: f.block(block).label().to_owned(),
+            changed,
+        });
+    }
+    changed
+}
 
 /// Reorders the instructions of `block` to minimize stalls on `machine`.
 /// The terminating branch (if any) keeps its place at the end. Returns
@@ -43,8 +61,7 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
         return false;
     }
 
-    let pos: HashMap<InstId, usize> =
-        insts.iter().enumerate().map(|(p, i)| (i.id, p)).collect();
+    let pos: HashMap<InstId, usize> = insts.iter().enumerate().map(|(p, i)| (i.id, p)).collect();
     let body: Vec<InstId> = insts[..body_len].iter().map(|i| i.id).collect();
     let branch: Option<InstId> = insts.last().filter(|i| i.op.is_branch()).map(|i| i.id);
 
@@ -84,7 +101,7 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
                 }
                 // Priority: larger D, then larger CP, then original order.
                 let key = (h.d(id), h.cp(id), usize::MAX - p, id);
-                if best.map_or(true, |(bd, bcp, bp, _)| (key.0, key.1, key.2) > (bd, bcp, bp)) {
+                if best.is_none_or(|(bd, bcp, bp, _)| (key.0, key.1, key.2) > (bd, bcp, bp)) {
                     best = Some((key.0, key.1, key.2, id));
                 }
             }
@@ -115,8 +132,12 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
     if old == order {
         return false;
     }
-    let mut by_id: HashMap<InstId, Inst> =
-        f.block_mut(block).insts_mut().drain(..).map(|i| (i.id, i)).collect();
+    let mut by_id: HashMap<InstId, Inst> = f
+        .block_mut(block)
+        .insts_mut()
+        .drain(..)
+        .map(|i| (i.id, i))
+        .collect();
     let rebuilt: Vec<Inst> = order
         .iter()
         .map(|id| by_id.remove(id).expect("every id accounted for"))
@@ -132,7 +153,11 @@ mod tests {
     use gis_sim::{execute, ExecConfig, TimingSim};
 
     fn ids(f: &Function, b: u32) -> Vec<u32> {
-        f.block(BlockId::new(b)).insts().iter().map(|i| i.id.index() as u32).collect()
+        f.block(BlockId::new(b))
+            .insts()
+            .iter()
+            .map(|i| i.id.index() as u32)
+            .collect()
     }
 
     #[test]
@@ -175,10 +200,8 @@ mod tests {
 
     #[test]
     fn already_optimal_blocks_unchanged() {
-        let mut f = parse_function(
-            "func o\nA:\n (I0) LI r1=1\n (I1) AI r2=r1,1\n RET\n",
-        )
-        .expect("parses");
+        let mut f =
+            parse_function("func o\nA:\n (I0) LI r1=1\n (I1) AI r2=r1,1\n RET\n").expect("parses");
         let m = MachineDescription::rs6k();
         assert!(!schedule_block(&mut f, &m, BlockId::new(0)));
     }

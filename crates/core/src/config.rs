@@ -74,12 +74,18 @@ pub struct SchedConfig {
 impl SchedConfig {
     /// The paper's BASE compiler: basic block scheduling only.
     pub fn base() -> Self {
-        SchedConfig { level: SchedLevel::BasicBlockOnly, ..Self::speculative() }
+        SchedConfig {
+            level: SchedLevel::BasicBlockOnly,
+            ..Self::speculative()
+        }
     }
 
     /// Global scheduling restricted to useful motion.
     pub fn useful() -> Self {
-        SchedConfig { level: SchedLevel::Useful, ..Self::speculative() }
+        SchedConfig {
+            level: SchedLevel::Useful,
+            ..Self::speculative()
+        }
     }
 
     /// The full configuration: useful plus 1-branch speculative motion.

@@ -35,8 +35,11 @@ impl Heuristics {
         block: BlockId,
     ) -> Self {
         let insts = f.block(block).insts();
-        let member: HashMap<InstId, usize> =
-            insts.iter().enumerate().map(|(pos, i)| (i.id, pos)).collect();
+        let member: HashMap<InstId, usize> = insts
+            .iter()
+            .enumerate()
+            .map(|(pos, i)| (i.id, pos))
+            .collect();
         let mut h = Heuristics::default();
         for inst in insts.iter().rev() {
             let exec = machine.exec_time(inst.op.class());
@@ -109,10 +112,7 @@ mod tests {
 
     #[test]
     fn independent_instructions_have_zero_d() {
-        let f = parse_function(
-            "func i\nA:\n (I0) LI r1=1\n (I1) LI r2=2\n RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func i\nA:\n (I0) LI r1=1\n (I1) LI r2=2\n RET\n").expect("parses");
         let m = MachineDescription::rs6k();
         let blocks: Vec<BlockId> = f.block_ids().collect();
         let deps = DataDeps::build(&f, &m, &blocks, |x, y| x < y);
@@ -123,10 +123,8 @@ mod tests {
 
     #[test]
     fn edges_outside_the_block_are_ignored() {
-        let f = parse_function(
-            "func o\nA:\n (I0) L r1=a(r9,0)\nB:\n (I1) AI r2=r1,1\n RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func o\nA:\n (I0) L r1=a(r9,0)\nB:\n (I1) AI r2=r1,1\n RET\n")
+            .expect("parses");
         let m = MachineDescription::rs6k();
         let blocks: Vec<BlockId> = f.block_ids().collect();
         let deps = DataDeps::build(&f, &m, &blocks, |x, y| x < y);

@@ -25,6 +25,7 @@ use gis_cfg::{Cfg, NodeId, RegionGraph, RegionNode, RegionTree};
 use gis_ir::{BlockId, Function, InstId, Reg};
 use gis_machine::MachineDescription;
 use gis_pdg::{Cspdg, DataDeps, Liveness};
+use gis_trace::{MotionKind, NopObserver, RejectReason, SchedObserver, TieBreak, TraceEvent};
 use std::collections::{HashMap, HashSet};
 
 /// Schedules one region of `f`. Returns `false` when the region was
@@ -39,24 +40,56 @@ pub fn schedule_region(
     config: &SchedConfig,
     stats: &mut SchedStats,
 ) -> bool {
+    schedule_region_observed(f, machine, cfg, tree, rid, config, stats, &mut NopObserver)
+}
+
+/// [`schedule_region`], reporting every decision — candidate blocks,
+/// motions with their winning tie-break, §5.3 rejections, renames — to
+/// `obs`. With the no-op observer the schedule is bit-identical to
+/// `schedule_region`.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_region_observed<O: SchedObserver>(
+    f: &mut Function,
+    machine: &MachineDescription,
+    cfg: &Cfg,
+    tree: &RegionTree,
+    rid: gis_cfg::RegionId,
+    config: &SchedConfig,
+    stats: &mut SchedStats,
+    obs: &mut O,
+) -> bool {
     if config.level == SchedLevel::BasicBlockOnly {
         return false;
     }
+    let region = rid.index() as u32;
+    let skip = |stats: &mut SchedStats, obs: &mut O, reason: RejectReason| -> bool {
+        stats.regions_skipped += 1;
+        if obs.enabled() {
+            obs.event(TraceEvent::RegionSkipped { region, reason });
+        }
+        false
+    };
     // §6 size limits: at most 64 blocks / 256 instructions per region.
     let scope_blocks = subtree_blocks(tree, rid);
     if scope_blocks.len() > config.max_region_blocks {
-        stats.regions_skipped += 1;
-        return false;
+        return skip(stats, obs, RejectReason::RegionTooManyBlocks);
     }
     let scope_insts: usize = scope_blocks.iter().map(|b| f.block(*b).len()).sum();
     if scope_insts > config.max_region_insts {
-        stats.regions_skipped += 1;
-        return false;
+        return skip(stats, obs, RejectReason::RegionTooManyInsts);
     }
     let Ok(g) = RegionGraph::new(cfg, tree, rid) else {
-        stats.regions_skipped += 1;
-        return false;
+        return skip(stats, obs, RejectReason::Irreducible);
     };
+    if obs.enabled() {
+        obs.event(TraceEvent::RegionBegin {
+            region,
+            blocks: scope_blocks
+                .iter()
+                .map(|&b| f.block(b).label().to_owned())
+                .collect(),
+        });
+    }
     let cspdg = Cspdg::new(&g);
 
     // Node-level forward reachability (small graphs; dense matrix).
@@ -76,8 +109,12 @@ pub fn schedule_region(
     deps.reduce();
 
     // Original program order for the final tie-break.
-    let order_index: HashMap<InstId, usize> =
-        deps.scope_order().iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let order_index: HashMap<InstId, usize> = deps
+        .scope_order()
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (*id, i))
+        .collect();
 
     let mut pass = RegionPass {
         machine,
@@ -90,6 +127,7 @@ pub fn schedule_region(
         inst_node: HashMap::new(),
         liveness: Liveness::compute(f, cfg),
         stats,
+        obs,
     };
     for &b in &scope_blocks {
         for inst in f.block(b).insts() {
@@ -123,13 +161,13 @@ fn subtree_blocks(tree: &RegionTree, rid: gis_cfg::RegionId) -> Vec<BlockId> {
 fn reachability(g: &RegionGraph) -> Vec<Vec<bool>> {
     let n = g.num_nodes();
     let mut reach = vec![vec![false; n]; n];
-    for start in 0..n {
+    for (start, row) in reach.iter_mut().enumerate() {
         let mut stack = vec![NodeId::from_index(start)];
-        reach[start][start] = true;
+        row[start] = true;
         while let Some(x) = stack.pop() {
             for &(to, _) in g.succs(x) {
-                if !reach[start][to.index()] {
-                    reach[start][to.index()] = true;
+                if !row[to.index()] {
+                    row[to.index()] = true;
                     stack.push(to);
                 }
             }
@@ -140,12 +178,7 @@ fn reachability(g: &RegionGraph) -> Vec<Vec<bool>> {
 
 /// The node a block maps to in this region's graph: itself when direct,
 /// otherwise the supernode of the direct child that encloses it.
-fn lift_block(
-    g: &RegionGraph,
-    tree: &RegionTree,
-    rid: gis_cfg::RegionId,
-    b: BlockId,
-) -> NodeId {
+fn lift_block(g: &RegionGraph, tree: &RegionTree, rid: gis_cfg::RegionId, b: BlockId) -> NodeId {
     if let Some(n) = g.node_of_block(b) {
         return n;
     }
@@ -166,7 +199,7 @@ fn lift_block(
     unreachable!("supernode for child region exists");
 }
 
-struct RegionPass<'a> {
+struct RegionPass<'a, O: SchedObserver> {
     machine: &'a MachineDescription,
     cfg: &'a Cfg,
     config: &'a SchedConfig,
@@ -179,6 +212,7 @@ struct RegionPass<'a> {
     inst_node: HashMap<InstId, NodeId>,
     liveness: Liveness,
     stats: &'a mut SchedStats,
+    obs: &'a mut O,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -191,7 +225,40 @@ struct Candidate {
     prob: f64,
 }
 
-impl RegionPass<'_> {
+/// The scheduler's priority key for a candidate: useful-before-
+/// speculative, probability, `D`, `CP`, original order (§5.2 ladder).
+type PriorityKey = (bool, u32, u32, u32, std::cmp::Reverse<usize>);
+
+/// Which rung of the §5.2 ladder separated the winner from the runner-up.
+fn tie_break(best: PriorityKey, second: Option<PriorityKey>) -> TieBreak {
+    let Some(s) = second else {
+        return TieBreak::Sole;
+    };
+    if best.0 != s.0 {
+        TieBreak::Usefulness
+    } else if best.1 != s.1 {
+        TieBreak::Probability
+    } else if best.2 != s.2 {
+        TieBreak::DelayHeuristic
+    } else if best.3 != s.3 {
+        TieBreak::CriticalPath
+    } else {
+        TieBreak::OriginalOrder
+    }
+}
+
+/// How a CSPDG node fares as a speculative candidate block for `A`.
+#[derive(PartialEq)]
+enum SpecClass {
+    /// Passes every gate: schedule from it.
+    Eligible,
+    /// Structurally fine but below the probability threshold.
+    ProbGate,
+    /// Not a block, already a candidate, or would duplicate (Definition 6).
+    Ineligible,
+}
+
+impl<O: SchedObserver> RegionPass<'_, O> {
     fn schedule_block(
         &mut self,
         f: &mut Function,
@@ -200,6 +267,7 @@ impl RegionPass<'_> {
         node_a: NodeId,
         a: BlockId,
     ) {
+        let enabled = self.obs.enabled();
         // ---- Candidate blocks. ----------------------------------------
         let equiv: Vec<NodeId> = cspdg.equiv_dominated(node_a);
         let mut useful_blocks: Vec<NodeId> = equiv.clone();
@@ -209,42 +277,65 @@ impl RegionPass<'_> {
             // branch profile when one is supplied (§1's profile-guided
             // speculation); 1.0 when unknown.
             let prob_of = |parent: NodeId, label: gis_cfg::EdgeLabel| -> f64 {
-                let Some(profile) = &self.config.profile else { return 1.0 };
-                let RegionNode::Block(pb) = g.node(parent) else { return 1.0 };
-                let Some(last) = f.block(pb).last() else { return 1.0 };
+                let Some(profile) = &self.config.profile else {
+                    return 1.0;
+                };
+                let RegionNode::Block(pb) = g.node(parent) else {
+                    return 1.0;
+                };
+                let Some(last) = f.block(pb).last() else {
+                    return 1.0;
+                };
                 match (profile.taken_probability(last.id), label) {
                     (Some(p), gis_cfg::EdgeLabel::Taken) => p,
                     (Some(p), gis_cfg::EdgeLabel::NotTaken) => 1.0 - p,
                     _ => 1.0,
                 }
             };
-            let push = |n: NodeId, prob: f64, spec: &mut Vec<(NodeId, f64)>| -> bool {
-                if cspdg.is_block(n)
+            let classify = |n: NodeId, prob: f64, spec: &Vec<(NodeId, f64)>| -> SpecClass {
+                let structural = cspdg.is_block(n)
                     && n != node_a
                     && !useful_blocks.contains(&n)
                     && !spec.iter().any(|&(b, _)| b == n)
-                    && prob >= self.config.min_speculation_probability
                     // No duplication (Definition 6): A must dominate B.
-                    && cspdg.dom().strictly_dominates(node_a, n)
-                {
-                    spec.push((n, prob));
-                    true
+                    && cspdg.dom().strictly_dominates(node_a, n);
+                if !structural {
+                    SpecClass::Ineligible
+                } else if prob < self.config.min_speculation_probability {
+                    SpecClass::ProbGate
                 } else {
-                    false
+                    SpecClass::Eligible
                 }
             };
             // Breadth-first over CSPDG children: depth 1 reproduces the
             // paper's prototype; larger `max_speculation_branches` crosses
             // more branches, with path probabilities multiplying.
-            let mut frontier: Vec<(NodeId, f64)> =
-                std::iter::once((node_a, 1.0)).chain(equiv.iter().map(|&e| (e, 1.0))).collect();
+            let mut frontier: Vec<(NodeId, f64)> = std::iter::once((node_a, 1.0))
+                .chain(equiv.iter().map(|&e| (e, 1.0)))
+                .collect();
             for _ in 0..self.config.max_speculation_branches {
                 let mut next = Vec::new();
                 for &(n, p) in &frontier {
                     for &(c, l) in cspdg.cd_children(n) {
                         let prob = p * prob_of(n, l);
-                        if push(c, prob, &mut spec_blocks) {
-                            next.push((c, prob));
+                        match classify(c, prob, &spec_blocks) {
+                            SpecClass::Eligible => {
+                                spec_blocks.push((c, prob));
+                                next.push((c, prob));
+                            }
+                            SpecClass::ProbGate => {
+                                if enabled {
+                                    if let RegionNode::Block(cb) = g.node(c) {
+                                        self.obs.event(TraceEvent::SpecBlockRejected {
+                                            target: f.block(a).label().to_owned(),
+                                            block: f.block(cb).label().to_owned(),
+                                            prob,
+                                            reason: RejectReason::ProbabilityGate,
+                                        });
+                                    }
+                                }
+                            }
+                            SpecClass::Ineligible => {}
                         }
                     }
                 }
@@ -253,8 +344,41 @@ impl RegionPass<'_> {
                 }
                 frontier = next;
             }
+            // Purely for the trace: blocks one branch past the speculation
+            // bound that would otherwise have been candidates.
+            if enabled {
+                for &(n, p) in &frontier {
+                    for &(c, l) in cspdg.cd_children(n) {
+                        let prob = p * prob_of(n, l);
+                        if classify(c, prob, &spec_blocks) == SpecClass::Eligible {
+                            if let RegionNode::Block(cb) = g.node(c) {
+                                self.obs.event(TraceEvent::SpecBlockRejected {
+                                    target: f.block(a).label().to_owned(),
+                                    block: f.block(cb).label().to_owned(),
+                                    prob,
+                                    reason: RejectReason::SpeculationDepth,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
         }
         useful_blocks.insert(0, node_a);
+        if enabled {
+            let label = |n: &NodeId| match g.node(*n) {
+                RegionNode::Block(b) => Some(f.block(b).label().to_owned()),
+                _ => None,
+            };
+            self.obs.event(TraceEvent::CandidateBlocks {
+                target: f.block(a).label().to_owned(),
+                equivalent: equiv.iter().filter_map(&label).collect(),
+                speculative: spec_blocks
+                    .iter()
+                    .filter_map(|(n, p)| label(n).map(|l| (l, *p)))
+                    .collect(),
+            });
+        }
 
         // ---- Candidate instructions. ----------------------------------
         let mut cands: Vec<Candidate> = Vec::new();
@@ -265,24 +389,54 @@ impl RegionPass<'_> {
                 a_branch = Some(inst.id);
             }
             a_remaining += 1;
-            cands.push(Candidate { id: inst.id, home: a, useful: true, prob: 1.0 });
+            cands.push(Candidate {
+                id: inst.id,
+                home: a,
+                useful: true,
+                prob: 1.0,
+            });
         }
         for &n in useful_blocks.iter().skip(1) {
-            let RegionNode::Block(b) = g.node(n) else { continue };
+            let RegionNode::Block(b) = g.node(n) else {
+                continue;
+            };
             for inst in f.block(b).insts() {
                 if inst.op.may_cross_block() {
-                    cands.push(Candidate { id: inst.id, home: b, useful: true, prob: 1.0 });
+                    cands.push(Candidate {
+                        id: inst.id,
+                        home: b,
+                        useful: true,
+                        prob: 1.0,
+                    });
                 }
             }
         }
         for &(n, prob) in &spec_blocks {
-            let RegionNode::Block(b) = g.node(n) else { continue };
+            let RegionNode::Block(b) = g.node(n) else {
+                continue;
+            };
             for inst in f.block(b).insts() {
                 let class = inst.op.class();
                 if inst.op.may_speculate()
                     && (self.config.speculative_loads || class != gis_ir::OpClass::Load)
                 {
-                    cands.push(Candidate { id: inst.id, home: b, useful: false, prob });
+                    cands.push(Candidate {
+                        id: inst.id,
+                        home: b,
+                        useful: false,
+                        prob,
+                    });
+                } else if enabled && !inst.op.is_branch() {
+                    self.obs.event(TraceEvent::CandidateRejected {
+                        inst: inst.id.index() as u32,
+                        home: f.block(b).label().to_owned(),
+                        target: f.block(a).label().to_owned(),
+                        reason: if inst.op.may_speculate() {
+                            RejectReason::LoadSpeculationDisabled
+                        } else {
+                            RejectReason::MayNotSpeculate
+                        },
+                    });
                 }
             }
         }
@@ -310,10 +464,10 @@ impl RegionPass<'_> {
         'cycles: while a_remaining > 0 {
             let mut issued = 0u32;
             'picks: loop {
-                let mut best: Option<(
-                    Candidate,
-                    (bool, u32, u32, u32, std::cmp::Reverse<usize>),
-                )> = None;
+                let mut best: Option<(Candidate, PriorityKey)> = None;
+                // The runner-up's key, tracked only for the trace's
+                // tie-break attribution.
+                let mut second: Option<PriorityKey> = None;
                 for c in &cands {
                     if place_time.contains_key(&c.id) || rejected.contains(&c.id) {
                         continue;
@@ -343,15 +497,30 @@ impl RegionPass<'_> {
                         std::cmp::Reverse(self.order_index[&c.id]),
                     );
                     if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
+                        if enabled {
+                            second = best.map(|(_, bk)| bk);
+                        }
                         best = Some((*c, key));
+                    } else if enabled && second.is_none_or(|sk| key > sk) {
+                        second = Some(key);
                     }
                 }
-                let Some((cand, _)) = best else { break 'picks };
+                let Some((cand, best_key)) = best else {
+                    break 'picks;
+                };
 
                 // §5.3: speculative motion may not clobber a register live
                 // on exit from A — unless a local rename fixes it.
                 if cand.home != a && !cand.useful && !self.speculation_allowed(f, a, &cand) {
                     rejected.insert(cand.id);
+                    if enabled {
+                        self.obs.event(TraceEvent::Rejected {
+                            inst: cand.id.index() as u32,
+                            home: f.block(cand.home).label().to_owned(),
+                            target: f.block(a).label().to_owned(),
+                            reason: RejectReason::LiveOnExit,
+                        });
+                    }
                     continue;
                 }
 
@@ -370,15 +539,39 @@ impl RegionPass<'_> {
                 new_order.push(cand.id);
 
                 if cand.home == a {
+                    if enabled {
+                        self.obs.event(TraceEvent::Placed {
+                            inst: cand.id.index() as u32,
+                            block: f.block(a).label().to_owned(),
+                            cycle: t,
+                            tie: tie_break(best_key, second),
+                        });
+                    }
                     a_remaining -= 1;
                     if a_remaining == 0 {
                         break 'cycles;
                     }
                 } else {
+                    if enabled {
+                        self.obs.event(TraceEvent::Moved {
+                            inst: cand.id.index() as u32,
+                            from: f.block(cand.home).label().to_owned(),
+                            into: f.block(a).label().to_owned(),
+                            cycle: t,
+                            kind: if cand.useful {
+                                MotionKind::Useful
+                            } else {
+                                MotionKind::Speculative
+                            },
+                            tie: tie_break(best_key, second),
+                        });
+                    }
                     // Physical upward motion into A (kept before A's
                     // branch; final order applied at end of pass).
-                    let moved =
-                        f.block_mut(cand.home).remove(cand.id).expect("present in home");
+                    let moved = f
+                        .block_mut(cand.home)
+                        .remove(cand.id)
+                        .expect("present in home");
                     let block_a = f.block_mut(a);
                     let at = block_a.len()
                         - usize::from(block_a.last().is_some_and(|i| i.op.is_branch()));
@@ -402,8 +595,12 @@ impl RegionPass<'_> {
         }
 
         // ---- Apply A's final order. ------------------------------------
-        let mut by_id: HashMap<InstId, gis_ir::Inst> =
-            f.block_mut(a).insts_mut().drain(..).map(|i| (i.id, i)).collect();
+        let mut by_id: HashMap<InstId, gis_ir::Inst> = f
+            .block_mut(a)
+            .insts_mut()
+            .drain(..)
+            .map(|i| (i.id, i))
+            .collect();
         let rebuilt: Vec<gis_ir::Inst> = new_order
             .iter()
             .map(|id| by_id.remove(id).expect("scheduled instructions live in A"))
@@ -486,6 +683,14 @@ impl RegionPass<'_> {
                 }
             }
             self.stats.renamed_speculative += 1;
+            if self.obs.enabled() {
+                self.obs.event(TraceEvent::Renamed {
+                    inst: cand.id.index() as u32,
+                    home: f.block(bid).label().to_owned(),
+                    old: r.to_string(),
+                    new: fresh.to_string(),
+                });
+            }
         }
         true
     }

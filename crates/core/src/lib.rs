@@ -46,11 +46,11 @@ mod rotate;
 mod stats;
 mod unroll;
 
-pub use bb::schedule_block;
+pub use bb::{schedule_block, schedule_block_observed};
 pub use config::{SchedConfig, SchedLevel};
-pub use global::schedule_region;
-pub use pipeline::{compile, CompileError};
+pub use global::{schedule_region, schedule_region_observed};
+pub use pipeline::{compile, compile_observed, CompileError};
 pub use profile::BranchProfile;
-pub use rotate::rotate_loop;
+pub use rotate::{rotate_loop, rotate_loop_observed};
 pub use stats::SchedStats;
-pub use unroll::unroll_loop;
+pub use unroll::{unroll_loop, unroll_loop_observed};

@@ -9,19 +9,21 @@
 //!    subsumes both);
 //! 6. the basic block scheduler runs over every block.
 
-use crate::bb::schedule_block;
+use crate::bb::schedule_block_observed;
 use crate::config::{SchedConfig, SchedLevel};
-use crate::global::schedule_region;
-use crate::rotate::rotate_loop;
+use crate::global::schedule_region_observed;
+use crate::rotate::rotate_loop_observed;
 use crate::stats::SchedStats;
-use crate::unroll::unroll_loop;
+use crate::unroll::unroll_loop_observed;
 use gis_cfg::{Cfg, DomTree, LoopForest, RegionTree};
 use gis_ir::{BlockId, Function, VerifyFunctionError};
 use gis_machine::MachineDescription;
 use gis_pdg::webs::rename_webs;
+use gis_trace::{NopObserver, Pass, SchedObserver, TraceEvent};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// The pipeline produced (or was handed) a malformed function. Seeing
 /// this after a successful parse/build indicates a bug in a
@@ -94,18 +96,61 @@ pub fn compile(
     machine: &MachineDescription,
     config: &SchedConfig,
 ) -> Result<SchedStats, CompileError> {
+    compile_observed(f, machine, config, &mut NopObserver)
+}
+
+/// Marks a pass begin for the observer and starts its wall clock.
+fn pass_begin<O: SchedObserver>(obs: &mut O, pass: Pass) -> Instant {
+    if obs.enabled() {
+        obs.event(TraceEvent::PassBegin { pass });
+    }
+    Instant::now()
+}
+
+/// Records a pass's wall time and emits its end event.
+fn pass_end<O: SchedObserver>(obs: &mut O, pass: Pass, t0: Instant, stats: &mut SchedStats) {
+    let nanos = t0.elapsed().as_nanos() as u64;
+    stats.pass_nanos[pass.index()] += nanos;
+    if obs.enabled() {
+        obs.event(TraceEvent::PassEnd { pass, nanos });
+    }
+}
+
+/// [`compile`], reporting every scheduling decision to `obs`.
+///
+/// With the no-op observer this is exactly `compile`: every emission site
+/// is gated on [`SchedObserver::enabled`], so the schedule produced is
+/// bit-identical whether or not anyone is listening.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_observed<O: SchedObserver>(
+    f: &mut Function,
+    machine: &MachineDescription,
+    config: &SchedConfig,
+    obs: &mut O,
+) -> Result<SchedStats, CompileError> {
     f.verify().map_err(CompileError)?;
     let mut stats = SchedStats::default();
 
     // 1. Register-web renaming.
     if config.rename {
+        let t0 = pass_begin(obs, Pass::Rename);
         let cfg = Cfg::new(f);
         stats.webs_renamed = rename_webs(f, &cfg).renamed;
+        if obs.enabled() {
+            obs.event(TraceEvent::WebsRenamed {
+                count: stats.webs_renamed as u64,
+            });
+        }
+        pass_end(obs, Pass::Rename, t0, &mut stats);
     }
 
     // 2. Unroll small inner loops (once per §6; extra rounds double
     //    again while loops stay under the size limit).
     if config.unroll {
+        let t0 = pass_begin(obs, Pass::Unroll);
         for _ in 0..config.unroll_times {
             let mut done: HashSet<String> = HashSet::new();
             let mut any = false;
@@ -117,7 +162,7 @@ pub fn compile(
                     break;
                 };
                 done.insert(label);
-                if unroll_loop(f, lo, hi) {
+                if unroll_loop_observed(f, lo, hi, obs) {
                     stats.loops_unrolled += 1;
                     any = true;
                 }
@@ -126,21 +171,26 @@ pub fn compile(
                 break;
             }
         }
+        pass_end(obs, Pass::Unroll, t0, &mut stats);
     }
 
     // 3. First global pass: inner regions (height 0).
     if config.level != SchedLevel::BasicBlockOnly {
+        let t0 = pass_begin(obs, Pass::Global1);
         let an = analyze(f);
         for rid in an.tree.schedule_order() {
             if an.tree.region(rid).height == 0 {
-                schedule_region(f, machine, &an.cfg, &an.tree, rid, config, &mut stats);
+                schedule_region_observed(
+                    f, machine, &an.cfg, &an.tree, rid, config, &mut stats, obs,
+                );
             }
         }
+        pass_end(obs, Pass::Global1, t0, &mut stats);
 
         // 4. Rotate small inner loops (once each: after rotation the loop
-        //    re-forms with the next block as its header, which must not be
-        //    treated as a fresh rotation candidate).
+        //    re-forms and must not be treated as a fresh candidate).
         if config.rotate {
+            let t0 = pass_begin(obs, Pass::Rotate);
             let mut done: HashSet<String> = HashSet::new();
             loop {
                 let an = analyze(f);
@@ -150,32 +200,51 @@ pub fn compile(
                     break;
                 };
                 done.insert(label);
-                if lo.index() + 1 < f.num_blocks() {
-                    done.insert(f.block(gis_ir::BlockId::new(lo.index() as u32 + 1)).label().to_owned());
-                }
-                if rotate_loop(f, lo, hi) {
+                if rotate_loop_observed(f, lo, hi, obs) {
                     stats.loops_rotated += 1;
+                    // A rotated multi-block loop re-forms with its old
+                    // second block as the new header; mark that label so
+                    // the re-formed loop is not rotated again. (A rotated
+                    // single-block loop keeps its original header label,
+                    // which is already in `done`.) The label must be
+                    // derived from the loop structure, not from whatever
+                    // block happens to follow `lo` in the layout — that
+                    // block can be an unrelated loop's header.
+                    if lo < hi {
+                        done.insert(
+                            f.block(BlockId::new(lo.index() as u32 + 1))
+                                .label()
+                                .to_owned(),
+                        );
+                    }
                 }
             }
+            pass_end(obs, Pass::Rotate, t0, &mut stats);
         }
 
         // 5. Second global pass: rotated inner loops and outer regions
         //    (every region up to the height limit).
+        let t0 = pass_begin(obs, Pass::Global2);
         let an = analyze(f);
         for rid in an.tree.schedule_order() {
             if an.tree.region(rid).height <= config.max_region_height {
-                schedule_region(f, machine, &an.cfg, &an.tree, rid, config, &mut stats);
+                schedule_region_observed(
+                    f, machine, &an.cfg, &an.tree, rid, config, &mut stats, obs,
+                );
             }
         }
+        pass_end(obs, Pass::Global2, t0, &mut stats);
     }
 
     // 6. Final basic block pass.
     if config.final_bb_pass {
+        let t0 = pass_begin(obs, Pass::FinalBb);
         for b in f.block_ids().collect::<Vec<_>>() {
-            if schedule_block(f, machine, b) {
+            if schedule_block_observed(f, machine, b, obs) {
                 stats.blocks_bb_scheduled += 1;
             }
         }
+        pass_end(obs, Pass::FinalBb, t0, &mut stats);
     }
 
     f.verify().map_err(CompileError)?;
@@ -220,11 +289,14 @@ mod tests {
         let a: Vec<i64> = (0..201).map(|i| (i * 37) % 101).collect();
         let machine = MachineDescription::rs6k();
         let mut cycles = Vec::new();
-        for config in [SchedConfig::base(), SchedConfig::useful(), SchedConfig::speculative()] {
+        for config in [
+            SchedConfig::base(),
+            SchedConfig::useful(),
+            SchedConfig::speculative(),
+        ] {
             let mut f = minmax::figure2_function(a.len() as i64);
             compile(&mut f, &machine, &config).expect("compiles");
-            let out =
-                execute(&f, &minmax::memory_image(&a), &ExecConfig::default()).expect("runs");
+            let out = execute(&f, &minmax::memory_image(&a), &ExecConfig::default()).expect("runs");
             cycles.push(TimingSim::new(&f, &machine).run(&out.block_trace).cycles);
         }
         assert!(
@@ -252,6 +324,54 @@ mod tests {
         let (_, stats, _) = run_minmax(&SchedConfig::useful(), &a);
         assert!(stats.moved_useful > 0);
         assert_eq!(stats.moved_speculative, 0);
+    }
+
+    #[test]
+    fn adjacent_single_block_loops_both_rotate() {
+        // Regression: the rotation bookkeeping used to mark the raw layout
+        // block `lo + 1` as handled. For a single-block loop that block is
+        // whatever follows the loop — here the second loop's header — so
+        // the second loop was never rotated.
+        let text = "func two\n\
+            init:\n LI r1=0\n LI r2=0\n LI r9=5\n\
+            l1:\n AI r1=r1,1\n C cr0=r1,r9\n BT l1,cr0,0x1/lt\n\
+            l2:\n AI r2=r2,2\n C cr1=r2,r9\n BT l2,cr1,0x1/lt\n\
+            out:\n PRINT r1\n PRINT r2\n RET\n";
+        let mut f = gis_ir::parse_function(text).expect("parses");
+        let before = execute(&f, &[], &ExecConfig::default()).expect("runs");
+        let mut config = SchedConfig::useful();
+        config.unroll = false;
+        let machine = MachineDescription::rs6k();
+        let stats = compile(&mut f, &machine, &config).expect("compiles");
+        assert_eq!(stats.loops_rotated, 2, "both adjacent loops rotate");
+        let after = execute(&f, &[], &ExecConfig::default()).expect("runs");
+        assert!(before.equivalent(&after));
+        assert_eq!(after.printed(), vec![5, 6]);
+    }
+
+    #[test]
+    fn rotated_loops_are_not_rotated_twice() {
+        // After rotation the loop re-forms (multi-block: old second block
+        // becomes the header); the pipeline must treat it as handled, not
+        // as a fresh candidate.
+        let text = "func once\n\
+            init:\n LI r1=0\n LI r2=0\n LI r9=7\n\
+            h:\n AI r2=r2,1\n\
+            l:\n A r1=r1,r2\n C cr0=r2,r9\n BT h,cr0,0x1/lt\n\
+            out:\n PRINT r1\n RET\n";
+        let mut f = gis_ir::parse_function(text).expect("parses");
+        let before = execute(&f, &[], &ExecConfig::default()).expect("runs");
+        let mut config = SchedConfig::useful();
+        config.unroll = false;
+        let machine = MachineDescription::rs6k();
+        let stats = compile(&mut f, &machine, &config).expect("compiles");
+        assert_eq!(
+            stats.loops_rotated, 1,
+            "the re-formed loop is not re-rotated"
+        );
+        let after = execute(&f, &[], &ExecConfig::default()).expect("runs");
+        assert!(before.equivalent(&after));
+        assert_eq!(after.printed(), vec![28]);
     }
 
     #[test]

@@ -8,6 +8,32 @@
 //! pull its instructions (the next iteration's start) up into the latch.
 
 use gis_ir::{BlockId, Function, Inst, Op};
+use gis_trace::{SchedObserver, TraceEvent};
+
+/// [`rotate_loop`], reporting a successful rotation to `obs`.
+///
+/// # Panics
+///
+/// See [`rotate_loop`].
+pub fn rotate_loop_observed<O: SchedObserver>(
+    f: &mut Function,
+    lo: BlockId,
+    hi: BlockId,
+    obs: &mut O,
+) -> bool {
+    let header = if obs.enabled() {
+        Some(f.block(lo).label().to_owned())
+    } else {
+        None
+    };
+    let rotated = rotate_loop(f, lo, hi);
+    if rotated {
+        if let Some(header) = header {
+            obs.event(TraceEvent::LoopRotated { header });
+        }
+    }
+    rotated
+}
 
 /// Rotates the contiguous loop `[lo, hi]` (layout indices, `lo` the
 /// header). Returns `false` without touching `f` when the shape is not
@@ -38,7 +64,10 @@ pub fn rotate_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
     }
     // hi's ending: `B lo`, or a conditional back branch whose fall-through
     // exits the loop (needs an exit block for the flip trick).
-    let hi_end = f.block(BlockId::new(hi as u32)).last().map(|i| i.op.clone());
+    let hi_end = f
+        .block(BlockId::new(hi as u32))
+        .last()
+        .map(|i| i.op.clone());
     let flip_needed = match &hi_end {
         Some(Op::Branch { .. }) => false,
         Some(Op::BranchCond { .. }) => {
@@ -51,7 +80,10 @@ pub fn rotate_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
     };
     // Header ending decides whether the copy needs a jump appended (to
     // replace a fall-through that would otherwise run off backwards).
-    let header_end = f.block(BlockId::new(lo as u32)).last().map(|i| i.op.clone());
+    let header_end = f
+        .block(BlockId::new(lo as u32))
+        .last()
+        .map(|i| i.op.clone());
     let (needs_ft_block, needs_jump) = match &header_end {
         Some(Op::Ret) => return false,
         Some(Op::Branch { .. }) => (false, false),
@@ -75,7 +107,12 @@ pub fn rotate_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
     f.clone_insts_into(BlockId::new(lo as u32), h2);
     if needs_jump {
         let id = f.fresh_inst_id();
-        f.block_mut(h2).push(Inst::new(id, Op::Branch { target: BlockId::new(lo as u32 + 1) }));
+        f.block_mut(h2).push(Inst::new(
+            id,
+            Op::Branch {
+                target: BlockId::new(lo as u32 + 1),
+            },
+        ));
     }
     if needs_ft_block {
         // The copy's fall-through successor is whatever followed the
@@ -83,8 +120,12 @@ pub fn rotate_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
         // exit block (shifted by the two insertions).
         let ft = if lo == hi { hi + 3 } else { lo + 1 };
         let id = f.fresh_inst_id();
-        f.block_mut(BlockId::new((hi + 2) as u32))
-            .push(Inst::new(id, Op::Branch { target: BlockId::new(ft as u32) }));
+        f.block_mut(BlockId::new((hi + 2) as u32)).push(Inst::new(
+            id,
+            Op::Branch {
+                target: BlockId::new(ft as u32),
+            },
+        ));
     }
 
     // 3. Redirect hi's back edge into the copy.
@@ -132,7 +173,11 @@ mod tests {
             .and_then(|i| i.op.branch_target())
             .expect("latch branches");
         // The original header's cond branch was flipped to exit...
-        assert_eq!(latch_target, BlockId::new(4), "flipped branch targets the exit");
+        assert_eq!(
+            latch_target,
+            BlockId::new(4),
+            "flipped branch targets the exit"
+        );
         // ...and the copy's branch still loops back to the original header.
         let copy_target = f
             .block(BlockId::new(2))
@@ -158,7 +203,10 @@ mod tests {
         assert_eq!(after.printed(), vec![28]);
         // The copy ends with an appended jump back into the loop body.
         let copy = f.block(BlockId::new(3));
-        assert!(matches!(copy.last().map(|i| &i.op), Some(Op::Branch { .. })));
+        assert!(matches!(
+            copy.last().map(|i| &i.op),
+            Some(Op::Branch { .. })
+        ));
     }
 
     #[test]

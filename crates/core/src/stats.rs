@@ -26,11 +26,18 @@ pub struct SchedStats {
     pub loops_rotated: usize,
     /// Blocks reordered by the final basic block pass.
     pub blocks_bb_scheduled: usize,
+    /// Monotonic wall time of each pipeline pass, in nanoseconds, indexed
+    /// by [`gis_trace::Pass`] order (rename, unroll, global-1, rotate,
+    /// global-2, final-bb). Zero for passes that did not run.
+    pub pass_nanos: [u64; 6],
 }
 
 impl SchedStats {
     /// Accumulates another run's statistics into this one.
     pub fn absorb(&mut self, other: SchedStats) {
+        for (mine, theirs) in self.pass_nanos.iter_mut().zip(other.pass_nanos) {
+            *mine += theirs;
+        }
         self.regions_scheduled += other.regions_scheduled;
         self.regions_skipped += other.regions_skipped;
         self.moved_useful += other.moved_useful;

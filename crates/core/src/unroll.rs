@@ -9,6 +9,32 @@
 //! instead of one").
 
 use gis_ir::{BlockId, Function, Op};
+use gis_trace::{SchedObserver, TraceEvent};
+
+/// [`unroll_loop`], reporting a successful unroll to `obs`.
+///
+/// # Panics
+///
+/// See [`unroll_loop`].
+pub fn unroll_loop_observed<O: SchedObserver>(
+    f: &mut Function,
+    lo: BlockId,
+    hi: BlockId,
+    obs: &mut O,
+) -> bool {
+    let header = if obs.enabled() {
+        Some(f.block(lo).label().to_owned())
+    } else {
+        None
+    };
+    let unrolled = unroll_loop(f, lo, hi);
+    if unrolled {
+        if let Some(header) = header {
+            obs.event(TraceEvent::LoopUnrolled { header });
+        }
+    }
+    unrolled
+}
 
 /// Unrolls the contiguous loop `[lo, hi]` (layout indices, `lo` the
 /// header) once. Returns `false` without touching `f` when the loop's
@@ -61,7 +87,11 @@ pub fn unroll_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
     for k in 0..n {
         // Position-suffixed labels stay unique across repeated unrolling
         // rounds (verify rejects duplicates).
-        let label = format!("{}.u{}", f.block(BlockId::new((lo + k) as u32)).label(), hi + 1 + k);
+        let label = format!(
+            "{}.u{}",
+            f.block(BlockId::new((lo + k) as u32)).label(),
+            hi + 1 + k
+        );
         f.insert_block_at(hi + 1 + k, label);
     }
     let exit = BlockId::new((hi + 1 + n) as u32);
@@ -91,23 +121,42 @@ pub fn unroll_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
     let clone_header = BlockId::new((hi + 1) as u32);
     for b in lo..=hi {
         let bid = BlockId::new(b as u32);
-        let Some(last) = f.block(bid).last() else { continue };
+        let Some(last) = f.block(bid).last() else {
+            continue;
+        };
         match last.op.clone() {
-            Op::BranchCond { target, cr, bit, when } if target.index() == lo => {
+            Op::BranchCond {
+                target,
+                cr,
+                bit,
+                when,
+            } if target.index() == lo => {
                 let len = f.block(bid).len();
                 let op = &mut f.block_mut(bid).insts_mut()[len - 1].op;
                 if b == hi {
                     // Taken used to mean "next iteration"; now exiting is
                     // the branch and the next iteration falls through into
                     // the clone.
-                    *op = Op::BranchCond { target: exit, cr, bit, when: !when };
+                    *op = Op::BranchCond {
+                        target: exit,
+                        cr,
+                        bit,
+                        when: !when,
+                    };
                 } else {
-                    *op = Op::BranchCond { target: clone_header, cr, bit, when };
+                    *op = Op::BranchCond {
+                        target: clone_header,
+                        cr,
+                        bit,
+                        when,
+                    };
                 }
             }
             Op::Branch { target } if target.index() == lo => {
                 let len = f.block(bid).len();
-                f.block_mut(bid).insts_mut()[len - 1].op = Op::Branch { target: clone_header };
+                f.block_mut(bid).insts_mut()[len - 1].op = Op::Branch {
+                    target: clone_header,
+                };
             }
             _ => {}
         }

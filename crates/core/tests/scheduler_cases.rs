@@ -48,10 +48,22 @@ fn stores_move_usefully_but_calls_never_move() {
     let before = placement(&original);
     let after = placement(&f);
     // The add may move usefully from T into A (fills A's delay slots).
-    assert_ne!(after[&InstId::new(4)], before[&InstId::new(4)], "add hoisted\n{f}");
+    assert_ne!(
+        after[&InstId::new(4)],
+        before[&InstId::new(4)],
+        "add hoisted\n{f}"
+    );
     // The call and the print never cross blocks.
-    assert_eq!(after[&InstId::new(6)], before[&InstId::new(6)], "call anchored");
-    assert_eq!(after[&InstId::new(7)], before[&InstId::new(7)], "print anchored");
+    assert_eq!(
+        after[&InstId::new(6)],
+        before[&InstId::new(6)],
+        "call anchored"
+    );
+    assert_eq!(
+        after[&InstId::new(7)],
+        before[&InstId::new(7)],
+        "print anchored"
+    );
     assert!(stats.moved_useful >= 1);
 
     // The store depends on the add and on memory ordering, but as a
@@ -76,9 +88,11 @@ B:
 X:
     (I3) RET
 ";
-    let (original, f, stats) =
-        schedule(text, &SchedConfig::paper_example(SchedLevel::Speculative));
-    assert_eq!(placement(&f)[&InstId::new(2)], placement(&original)[&InstId::new(2)]);
+    let (original, f, stats) = schedule(text, &SchedConfig::paper_example(SchedLevel::Speculative));
+    assert_eq!(
+        placement(&f)[&InstId::new(2)],
+        placement(&original)[&InstId::new(2)]
+    );
     assert_eq!(stats.moved_speculative, 0);
 }
 
@@ -132,8 +146,7 @@ C:
 D:
     (I1) RET
 ";
-    let (original, f, _) =
-        schedule(text, &SchedConfig::paper_example(SchedLevel::Speculative));
+    let (original, f, _) = schedule(text, &SchedConfig::paper_example(SchedLevel::Speculative));
     assert_eq!(f.num_insts(), original.num_insts());
     f.verify().expect("still valid");
 }
@@ -156,10 +169,17 @@ fn bb_scheduler_handles_wide_machines() {
     f.verify().expect("valid");
     // The load's dependent (I2) must not sit immediately after it if
     // something else can fill the delay slot.
-    let order: Vec<u32> =
-        f.block(BlockId::new(0)).insts().iter().map(|i| i.id.index() as u32).collect();
+    let order: Vec<u32> = f
+        .block(BlockId::new(0))
+        .insts()
+        .iter()
+        .map(|i| i.id.index() as u32)
+        .collect();
     let pos = |id: u32| order.iter().position(|&x| x == id).unwrap();
-    assert!(pos(2) > pos(1), "independent LI fills the load shadow: {order:?}");
+    assert!(
+        pos(2) > pos(1),
+        "independent LI fills the load shadow: {order:?}"
+    );
 }
 
 #[test]
@@ -167,10 +187,13 @@ fn compile_rejects_malformed_functions() {
     let mut f = Function::new("bad");
     let b = f.add_block("only");
     let id = f.fresh_inst_id();
-    f.block_mut(b).push(gis_ir::Inst::new(id, gis_ir::Op::LoadImm {
-        rt: gis_ir::Reg::gpr(0),
-        imm: 1,
-    }));
+    f.block_mut(b).push(gis_ir::Inst::new(
+        id,
+        gis_ir::Op::LoadImm {
+            rt: gis_ir::Reg::gpr(0),
+            imm: 1,
+        },
+    ));
     // Falls off the end: compile must refuse rather than transform.
     let machine = MachineDescription::rs6k();
     let err = compile(&mut f, &machine, &SchedConfig::base()).unwrap_err();

@@ -73,7 +73,11 @@ impl CompiledProgram {
                     vals.len()
                 ));
             }
-            out.extend(vals.iter().enumerate().map(|(i, v)| (slot.base + 4 * i as i64, *v)));
+            out.extend(
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, v)| (slot.base + 4 * i as i64, *v)),
+            );
         }
         Ok(out)
     }
@@ -203,8 +207,10 @@ impl Gen {
                     BinOp::Shr => "SRA",
                     _ => unreachable!("handled above"),
                 };
-                let commutes =
-                    matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor);
+                let commutes = matches!(
+                    op,
+                    BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                );
                 // Immediate forms where the shape allows.
                 let (l, r_imm) = match (lhs.as_ref(), rhs.as_ref()) {
                     (_, Expr::Int(k)) => (lhs.as_ref(), Some(*k)),
@@ -302,7 +308,11 @@ impl Gen {
                     BinOp::Ne => ("0x4/eq", false),
                     _ => unreachable!(),
                 };
-                let mnemonic = if when_true == set_means_true { "BT" } else { "BF" };
+                let mnemonic = if when_true == set_means_true {
+                    "BT"
+                } else {
+                    "BF"
+                };
                 self.branch_line(&format!("{mnemonic} {target},cr{cr},{bit}"));
                 Ok(())
             }
@@ -451,7 +461,11 @@ pub fn compile_ast(program: &Program) -> Result<CompiledProgram, FrontendError> 
                 let r = g.gpr();
                 g.line(&format!("LI r{r}={next_base}"));
                 g.array_regs.insert(name.clone(), r);
-                g.arrays.push(ArraySlot { name: name.clone(), base: next_base, len: *len });
+                g.arrays.push(ArraySlot {
+                    name: name.clone(),
+                    base: next_base,
+                    len: *len,
+                });
                 // 16-byte align the next array.
                 next_base += ((*len as i64 * 4) + 15) / 16 * 16;
             }
@@ -472,7 +486,11 @@ pub fn compile_ast(program: &Program) -> Result<CompiledProgram, FrontendError> 
     let text = g.text.clone();
     let function = parse_function(&text)
         .map_err(|e| FrontendError::Codegen(format!("internal: generated bad IR: {e}\n{text}")))?;
-    Ok(CompiledProgram { function, arrays: g.arrays, text })
+    Ok(CompiledProgram {
+        function,
+        arrays: g.arrays,
+        text,
+    })
 }
 
 #[cfg(test)]
@@ -492,9 +510,8 @@ mod tests {
 
     #[test]
     fn while_loops_are_bottom_tested() {
-        let p = compile(
-            "int n = 5; void f() { int i = 0; while (i < n) { i = i + 1; } print(i); }",
-        );
+        let p =
+            compile("int n = 5; void f() { int i = 0; while (i < n) { i = i + 1; } print(i); }");
         // Guard (BF) before the loop, BT at the bottom — the Figure 2 shape.
         let bf = p.text.find("BF ").expect("guard branch");
         let bt = p.text.find("BT ").expect("bottom test");

@@ -213,7 +213,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     line,
                     message: format!("integer literal {text:?} out of range"),
                 })?;
-                out.push(Token { kind: TokenKind::Int(v), line });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
@@ -292,7 +295,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseProgramError { line: self.line(), message: message.into() })
+        Err(ParseProgramError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn bump(&mut self) -> Option<TokenKind> {
@@ -149,7 +152,11 @@ impl Parser {
             }
         }
         match entry {
-            Some((name, body)) => Ok(Program { globals, name, body }),
+            Some((name, body)) => Ok(Program {
+                globals,
+                name,
+                body,
+            }),
             None => self.err("program has no entry function"),
         }
     }
@@ -289,7 +296,9 @@ impl Parser {
     fn expr(&mut self, min_bp: u8) -> PResult<Expr> {
         let mut lhs = self.unary()?;
         while let Some(k) = self.peek() {
-            let Some((op, bp)) = Self::binop_for(k) else { break };
+            let Some((op, bp)) = Self::binop_for(k) else {
+                break;
+            };
             if bp < min_bp {
                 break;
             }
@@ -350,7 +359,10 @@ impl Parser {
 /// Returns a [`ParseProgramError`] describing the first problem; lexer
 /// failures are converted with their source line.
 pub fn parse_program(src: &str) -> Result<Program, ParseProgramError> {
-    let toks = lex(src).map_err(|e| ParseProgramError { line: e.line, message: e.message })?;
+    let toks = lex(src).map_err(|e| ParseProgramError {
+        line: e.line,
+        message: e.message,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     p.program()
 }

@@ -109,7 +109,11 @@ fn division_and_modulo_semantics() {
          }",
         &[],
     );
-    assert_eq!(out, vec![3, 2, 0, 17, -3, -2], "C-style truncating semantics");
+    assert_eq!(
+        out,
+        vec![3, 2, 0, 17, -3, -2],
+        "C-style truncating semantics"
+    );
 }
 
 #[test]

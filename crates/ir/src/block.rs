@@ -85,7 +85,10 @@ pub struct Block {
 impl Block {
     /// Creates an empty block with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        Block { label: label.into(), insts: Vec::new() }
+        Block {
+            label: label.into(),
+            insts: Vec::new(),
+        }
     }
 
     /// The block's label (used by the printer and parser; unique within a
@@ -166,7 +169,13 @@ mod tests {
     fn fallthrough_rules() {
         let mut b = Block::new("CL.0");
         assert!(b.falls_through(), "empty blocks fall through");
-        b.push(Inst::new(InstId::new(0), Op::LoadImm { rt: Reg::gpr(0), imm: 1 }));
+        b.push(Inst::new(
+            InstId::new(0),
+            Op::LoadImm {
+                rt: Reg::gpr(0),
+                imm: 1,
+            },
+        ));
         assert!(b.falls_through());
         b.push(Inst::new(InstId::new(1), Op::Ret));
         assert!(!b.falls_through());
@@ -175,7 +184,13 @@ mod tests {
     #[test]
     fn remove_by_id() {
         let mut b = Block::new("x");
-        b.push(Inst::new(InstId::new(4), Op::LoadImm { rt: Reg::gpr(0), imm: 1 }));
+        b.push(Inst::new(
+            InstId::new(4),
+            Op::LoadImm {
+                rt: Reg::gpr(0),
+                imm: 1,
+            },
+        ));
         b.push(Inst::new(InstId::new(9), Op::Ret));
         let removed = b.remove(InstId::new(4)).expect("present");
         assert_eq!(removed.id, InstId::new(4));

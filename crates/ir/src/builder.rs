@@ -38,7 +38,10 @@ pub struct FunctionBuilder {
 impl FunctionBuilder {
     /// Starts building a function with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        FunctionBuilder { f: Function::new(name), current: None }
+        FunctionBuilder {
+            f: Function::new(name),
+            current: None,
+        }
     }
 
     /// Declares a block; the first declared block is the entry.
@@ -78,7 +81,9 @@ impl FunctionBuilder {
     /// Panics if no insertion point has been selected with
     /// [`FunctionBuilder::switch_to`].
     pub fn emit(&mut self, op: Op) -> InstId {
-        let block = self.current.expect("no current block; call switch_to first");
+        let block = self
+            .current
+            .expect("no current block; call switch_to first");
         let id = self.f.fresh_inst_id();
         self.f.block_mut(block).push(Inst::new(id, op));
         id
@@ -86,17 +91,26 @@ impl FunctionBuilder {
 
     /// `L rt=sym(base,disp)`
     pub fn load(&mut self, rt: Reg, sym: SymId, base: Reg, disp: i64) -> InstId {
-        self.emit(Op::Load { rt, mem: MemRef::sym(sym, base, disp) })
+        self.emit(Op::Load {
+            rt,
+            mem: MemRef::sym(sym, base, disp),
+        })
     }
 
     /// `LU rt,base=sym(base,disp)`
     pub fn load_update(&mut self, rt: Reg, sym: SymId, base: Reg, disp: i64) -> InstId {
-        self.emit(Op::LoadUpdate { rt, mem: MemRef::sym(sym, base, disp) })
+        self.emit(Op::LoadUpdate {
+            rt,
+            mem: MemRef::sym(sym, base, disp),
+        })
     }
 
     /// `ST rs=>sym(base,disp)`
     pub fn store(&mut self, rs: Reg, sym: SymId, base: Reg, disp: i64) -> InstId {
-        self.emit(Op::Store { rs, mem: MemRef::sym(sym, base, disp) })
+        self.emit(Op::Store {
+            rs,
+            mem: MemRef::sym(sym, base, disp),
+        })
     }
 
     /// `LI rt=imm`
@@ -146,12 +160,22 @@ impl FunctionBuilder {
 
     /// `BT target,cr,bit` — branch when the bit is set.
     pub fn branch_true(&mut self, target: BlockId, cr: Reg, bit: CondBit) -> InstId {
-        self.emit(Op::BranchCond { target, cr, bit, when: true })
+        self.emit(Op::BranchCond {
+            target,
+            cr,
+            bit,
+            when: true,
+        })
     }
 
     /// `BF target,cr,bit` — branch when the bit is clear.
     pub fn branch_false(&mut self, target: BlockId, cr: Reg, bit: CondBit) -> InstId {
-        self.emit(Op::BranchCond { target, cr, bit, when: false })
+        self.emit(Op::BranchCond {
+            target,
+            cr,
+            bit,
+            when: false,
+        })
     }
 
     /// `B target`
@@ -166,7 +190,11 @@ impl FunctionBuilder {
 
     /// `CALL name` with explicit use/def registers.
     pub fn call(&mut self, name: impl Into<String>, uses: Vec<Reg>, defs: Vec<Reg>) -> InstId {
-        self.emit(Op::Call { name: name.into(), uses, defs })
+        self.emit(Op::Call {
+            name: name.into(),
+            uses,
+            defs,
+        })
     }
 
     /// `PRINT rs`

@@ -83,7 +83,10 @@ impl Function {
 
     /// The blocks in layout order.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i as u32), b))
     }
 
     /// All block ids in layout order.
@@ -185,12 +188,18 @@ impl Function {
 
     /// Looks up a symbol by name.
     pub fn symbol(&self, name: &str) -> Option<SymId> {
-        self.symbols.iter().position(|s| s == name).map(|i| SymId::new(i as u32))
+        self.symbols
+            .iter()
+            .position(|s| s == name)
+            .map(|i| SymId::new(i as u32))
     }
 
     /// All symbols.
     pub fn symbols(&self) -> impl Iterator<Item = (SymId, &str)> {
-        self.symbols.iter().enumerate().map(|(i, s)| (SymId::new(i as u32), s.as_str()))
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymId::new(i as u32), s.as_str()))
     }
 
     /// Allocates a fresh instruction id.
@@ -232,14 +241,15 @@ impl Function {
             }
         }
         self.next_inst = self.next_inst.max(next_inst);
-        for i in 0..3 {
-            self.next_reg[i] = self.next_reg[i].max(next_reg[i]);
+        for (slot, seen) in self.next_reg.iter_mut().zip(next_reg) {
+            *slot = (*slot).max(seen);
         }
     }
 
     /// Iterates over every instruction with its containing block.
     pub fn insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> {
-        self.blocks().flat_map(|(id, b)| b.insts().iter().map(move |i| (id, i)))
+        self.blocks()
+            .flat_map(|(id, b)| b.insts().iter().map(move |i| (id, i)))
     }
 
     /// Finds an instruction by id, returning its block and position.
@@ -257,7 +267,12 @@ impl Function {
     /// Branch targets are copied verbatim; callers performing unrolling or
     /// rotation remap them afterwards via [`Op::map_targets`].
     pub fn clone_insts_into(&mut self, src: BlockId, dst: BlockId) -> Vec<(InstId, InstId)> {
-        let cloned: Vec<Op> = self.block(src).insts().iter().map(|i| i.op.clone()).collect();
+        let cloned: Vec<Op> = self
+            .block(src)
+            .insts()
+            .iter()
+            .map(|i| i.op.clone())
+            .collect();
         let src_ids: Vec<InstId> = self.block(src).insts().iter().map(|i| i.id).collect();
         let mut map = Vec::with_capacity(cloned.len());
         for (orig, op) in src_ids.into_iter().zip(cloned) {
@@ -292,7 +307,12 @@ mod tests {
         let id0 = f.fresh_inst_id();
         f.block_mut(b0).push(Inst::new(
             id0,
-            Op::BranchCond { target: b1, cr: Reg::cr(0), bit: CondBit::Lt, when: true },
+            Op::BranchCond {
+                target: b1,
+                cr: Reg::cr(0),
+                bit: CondBit::Lt,
+                when: true,
+            },
         ));
         let id1 = f.fresh_inst_id();
         f.block_mut(b1).push(Inst::new(id1, Op::Ret));
@@ -324,7 +344,13 @@ mod tests {
     fn recompute_allocators_avoids_collisions() {
         let mut f = Function::new("t");
         let b0 = f.add_block("e");
-        f.block_mut(b0).push(Inst::new(InstId::new(7), Op::LoadImm { rt: Reg::gpr(12), imm: 0 }));
+        f.block_mut(b0).push(Inst::new(
+            InstId::new(7),
+            Op::LoadImm {
+                rt: Reg::gpr(12),
+                imm: 0,
+            },
+        ));
         f.recompute_allocators();
         assert_eq!(f.fresh_inst_id(), InstId::new(8));
         assert_eq!(f.fresh_reg(RegClass::Gpr), Reg::gpr(13));
@@ -337,7 +363,10 @@ mod tests {
         let inserted = f.insert_block_at(1, "CL.mid");
         assert_eq!(inserted, BlockId::new(1));
         // The branch in block 0 originally targeted BL1 (now BL2).
-        let tgt = f.block(BlockId::new(0)).insts()[0].op.branch_target().unwrap();
+        let tgt = f.block(BlockId::new(0)).insts()[0]
+            .op
+            .branch_target()
+            .unwrap();
         assert_eq!(tgt, BlockId::new(2));
         // Fall-through now passes through the empty inserted block.
         assert_eq!(f.succs(BlockId::new(1)), vec![BlockId::new(2)]);

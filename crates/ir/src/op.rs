@@ -62,12 +62,20 @@ pub struct MemRef {
 impl MemRef {
     /// A reference with a known symbol.
     pub fn sym(sym: SymId, base: Reg, disp: i64) -> Self {
-        MemRef { sym: Some(sym), base, disp }
+        MemRef {
+            sym: Some(sym),
+            base,
+            disp,
+        }
     }
 
     /// A reference with no symbol information (may alias anything).
     pub fn bare(base: Reg, disp: i64) -> Self {
-        MemRef { sym: None, base, disp }
+        MemRef {
+            sym: None,
+            base,
+            disp,
+        }
     }
 }
 
@@ -262,11 +270,26 @@ pub enum Op {
     /// `LR rt=rs` — register move (same class).
     Move { rt: Reg, rs: Reg },
     /// Fixed point register-register operation, e.g. `A rt=ra,rb`.
-    Fx { op: FxBinOp, rt: Reg, ra: Reg, rb: Reg },
+    Fx {
+        op: FxBinOp,
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
     /// Fixed point register-immediate operation, e.g. `AI rt=ra,imm`.
-    FxImm { op: FxBinOp, rt: Reg, ra: Reg, imm: i64 },
+    FxImm {
+        op: FxBinOp,
+        rt: Reg,
+        ra: Reg,
+        imm: i64,
+    },
     /// Floating point register-register operation, e.g. `FA rt=ra,rb`.
-    Fp { op: FpBinOp, rt: Reg, ra: Reg, rb: Reg },
+    Fp {
+        op: FpBinOp,
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
     /// `C crt=ra,rb` — fixed point compare setting `crt`'s lt/gt/eq bits.
     Compare { crt: Reg, ra: Reg, rb: Reg },
     /// `CI crt=ra,imm` — fixed point compare against an immediate.
@@ -275,14 +298,23 @@ pub enum Op {
     FpCompare { crt: Reg, ra: Reg, rb: Reg },
     /// `BT/BF target,cr,bit` — conditional branch: taken when the given
     /// bit of `cr` equals `when`; otherwise control falls through.
-    BranchCond { target: BlockId, cr: Reg, bit: CondBit, when: bool },
+    BranchCond {
+        target: BlockId,
+        cr: Reg,
+        bit: CondBit,
+        when: bool,
+    },
     /// `B target` — unconditional branch.
     Branch { target: BlockId },
     /// `RET` — return from the function.
     Ret,
     /// `CALL name` — opaque call; uses and defines the listed registers
     /// and may read or write any memory. Never moved or speculated.
-    Call { name: String, uses: Vec<Reg>, defs: Vec<Reg> },
+    Call {
+        name: String,
+        uses: Vec<Reg>,
+        defs: Vec<Reg>,
+    },
     /// `PRINT rs` — append `rs` to the observable output trace (the
     /// reproduction's stand-in for `printf`). Behaves like a call.
     Print { rs: Reg },
@@ -560,7 +592,10 @@ mod tests {
 
     #[test]
     fn load_update_defs_both_target_and_base() {
-        let op = Op::LoadUpdate { rt: gpr(0), mem: MemRef::bare(gpr(31), 8) };
+        let op = Op::LoadUpdate {
+            rt: gpr(0),
+            mem: MemRef::bare(gpr(31), 8),
+        };
         assert_eq!(op.defs(), vec![gpr(0), gpr(31)]);
         assert_eq!(op.uses(), vec![gpr(31)]);
         assert!(op.has_tied_base());
@@ -568,7 +603,10 @@ mod tests {
 
     #[test]
     fn store_defs_nothing_uses_value_and_base() {
-        let op = Op::Store { rs: gpr(5), mem: MemRef::bare(gpr(1), 0) };
+        let op = Op::Store {
+            rs: gpr(5),
+            mem: MemRef::bare(gpr(1), 0),
+        };
         assert!(op.defs().is_empty());
         assert_eq!(op.uses(), vec![gpr(5), gpr(1)]);
         assert!(op.writes_memory());
@@ -578,7 +616,9 @@ mod tests {
 
     #[test]
     fn branch_classification() {
-        let b = Op::Branch { target: BlockId::new(3) };
+        let b = Op::Branch {
+            target: BlockId::new(3),
+        };
         assert!(b.is_branch());
         assert!(b.is_block_end());
         assert_eq!(b.branch_target(), Some(BlockId::new(3)));
@@ -595,7 +635,11 @@ mod tests {
 
     #[test]
     fn call_and_print_are_anchored() {
-        let call = Op::Call { name: "f".into(), uses: vec![gpr(3)], defs: vec![gpr(3)] };
+        let call = Op::Call {
+            name: "f".into(),
+            uses: vec![gpr(3)],
+            defs: vec![gpr(3)],
+        };
         assert!(!call.may_cross_block());
         assert!(!call.may_speculate());
         assert!(call.touches_memory());
@@ -606,25 +650,48 @@ mod tests {
 
     #[test]
     fn loads_may_speculate_stores_may_not() {
-        let ld = Op::Load { rt: gpr(2), mem: MemRef::bare(gpr(1), 4) };
+        let ld = Op::Load {
+            rt: gpr(2),
+            mem: MemRef::bare(gpr(1), 4),
+        };
         assert!(ld.may_speculate());
-        let st = Op::Store { rs: gpr(2), mem: MemRef::bare(gpr(1), 4) };
+        let st = Op::Store {
+            rs: gpr(2),
+            mem: MemRef::bare(gpr(1), 4),
+        };
         assert!(!st.may_speculate());
     }
 
     #[test]
     fn classes() {
         assert_eq!(
-            Op::Fx { op: FxBinOp::Mul, rt: gpr(0), ra: gpr(1), rb: gpr(2) }.class(),
+            Op::Fx {
+                op: FxBinOp::Mul,
+                rt: gpr(0),
+                ra: gpr(1),
+                rb: gpr(2)
+            }
+            .class(),
             OpClass::FxMul
         );
-        assert_eq!(Op::CompareImm { crt: Reg::cr(0), ra: gpr(1), imm: 3 }.class(), OpClass::FxCompare);
+        assert_eq!(
+            Op::CompareImm {
+                crt: Reg::cr(0),
+                ra: gpr(1),
+                imm: 3
+            }
+            .class(),
+            OpClass::FxCompare
+        );
         assert_eq!(Op::Ret.class(), OpClass::Branch);
     }
 
     #[test]
     fn map_defs_on_update_form_rewrites_base() {
-        let mut op = Op::LoadUpdate { rt: gpr(0), mem: MemRef::bare(gpr(31), 8) };
+        let mut op = Op::LoadUpdate {
+            rt: gpr(0),
+            mem: MemRef::bare(gpr(31), 8),
+        };
         op.map_defs(|r| if r == gpr(31) { gpr(40) } else { r });
         assert_eq!(op.defs(), vec![gpr(0), gpr(40)]);
         // The tied use moved with it.
@@ -633,10 +700,22 @@ mod tests {
 
     #[test]
     fn operand_class_checking() {
-        assert!(check_operand_classes(&Op::Compare { crt: Reg::cr(1), ra: gpr(0), rb: gpr(2) })
-            .is_ok());
-        assert!(check_operand_classes(&Op::Compare { crt: gpr(1), ra: gpr(0), rb: gpr(2) })
-            .is_err());
-        assert!(check_operand_classes(&Op::Move { rt: gpr(1), rs: Reg::fpr(1) }).is_err());
+        assert!(check_operand_classes(&Op::Compare {
+            crt: Reg::cr(1),
+            ra: gpr(0),
+            rb: gpr(2)
+        })
+        .is_ok());
+        assert!(check_operand_classes(&Op::Compare {
+            crt: gpr(1),
+            ra: gpr(0),
+            rb: gpr(2)
+        })
+        .is_err());
+        assert!(check_operand_classes(&Op::Move {
+            rt: gpr(1),
+            rs: Reg::fpr(1)
+        })
+        .is_err());
     }
 }

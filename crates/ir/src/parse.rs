@@ -33,12 +33,18 @@ impl Error for ParseFunctionError {}
 
 impl From<VerifyFunctionError> for ParseFunctionError {
     fn from(e: VerifyFunctionError) -> Self {
-        ParseFunctionError { line: 0, message: e.to_string() }
+        ParseFunctionError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseFunctionError {
-    ParseFunctionError { line, message: message.into() }
+    ParseFunctionError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses the textual assembly form (see the [`print`](crate::Function)
@@ -118,7 +124,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseFunctionError> {
 }
 
 fn strip_comment(line: &str) -> &str {
-    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    let cut = line.find([';', '#']).unwrap_or(line.len());
     &line[..cut]
 }
 
@@ -128,7 +134,9 @@ fn parse_id_prefix<'a>(
     next_id: &mut u32,
 ) -> Result<(InstId, &'a str), ParseFunctionError> {
     if let Some(rest) = line.strip_prefix('(') {
-        let close = rest.find(')').ok_or_else(|| err(lno, "unclosed instruction id"))?;
+        let close = rest
+            .find(')')
+            .ok_or_else(|| err(lno, "unclosed instruction id"))?;
         let tag = rest[..close].trim();
         let n: u32 = tag
             .strip_prefix('I')
@@ -161,13 +169,17 @@ fn parse_reg(s: &str, lno: usize) -> Result<Reg, ParseFunctionError> {
 }
 
 fn parse_imm(s: &str, lno: usize) -> Result<i64, ParseFunctionError> {
-    s.trim().parse().map_err(|_| err(lno, format!("expected integer, got {s:?}")))
+    s.trim()
+        .parse()
+        .map_err(|_| err(lno, format!("expected integer, got {s:?}")))
 }
 
 /// Parses `sym(base,disp)`; `*` stands for "no symbol".
 fn parse_mem(s: &str, lno: usize, f: &mut Function) -> Result<MemRef, ParseFunctionError> {
     let s = s.trim();
-    let open = s.find('(').ok_or_else(|| err(lno, format!("expected mem ref, got {s:?}")))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(lno, format!("expected mem ref, got {s:?}")))?;
     let close = s
         .rfind(')')
         .filter(|&c| c > open)
@@ -198,8 +210,14 @@ fn parse_cond_bit(s: &str, lno: usize) -> Result<CondBit, ParseFunctionError> {
     }
 }
 
-fn split2<'a>(s: &'a str, sep: char, lno: usize, what: &str) -> Result<(&'a str, &'a str), ParseFunctionError> {
-    s.split_once(sep).ok_or_else(|| err(lno, format!("malformed {what}: {s:?}")))
+fn split2<'a>(
+    s: &'a str,
+    sep: char,
+    lno: usize,
+    what: &str,
+) -> Result<(&'a str, &'a str), ParseFunctionError> {
+    s.split_once(sep)
+        .ok_or_else(|| err(lno, format!("malformed {what}: {s:?}")))
 }
 
 fn fx_binop(mn: &str) -> Option<(FxBinOp, bool)> {
@@ -247,7 +265,10 @@ fn parse_op(
     match mn {
         "L" => {
             let (rt, mem) = split2(rest, '=', lno, "load")?;
-            Ok(Op::Load { rt: parse_reg(rt, lno)?, mem: parse_mem(mem, lno, f)? })
+            Ok(Op::Load {
+                rt: parse_reg(rt, lno)?,
+                mem: parse_mem(mem, lno, f)?,
+            })
         }
         "LU" => {
             let (lhs, mem) = split2(rest, '=', lno, "load-update")?;
@@ -256,7 +277,10 @@ fn parse_op(
             let base = parse_reg(base, lno)?;
             let mem = parse_mem(mem, lno, f)?;
             if mem.base != base {
-                return Err(err(lno, "LU update register must equal the mem base register"));
+                return Err(err(
+                    lno,
+                    "LU update register must equal the mem base register",
+                ));
             }
             Ok(Op::LoadUpdate { rt, mem })
         }
@@ -274,11 +298,17 @@ fn parse_op(
         }
         "LI" => {
             let (rt, imm) = split2(rest, '=', lno, "load-immediate")?;
-            Ok(Op::LoadImm { rt: parse_reg(rt, lno)?, imm: parse_imm(imm, lno)? })
+            Ok(Op::LoadImm {
+                rt: parse_reg(rt, lno)?,
+                imm: parse_imm(imm, lno)?,
+            })
         }
         "LR" => {
             let (rt, rs) = split2(rest, '=', lno, "move")?;
-            Ok(Op::Move { rt: parse_reg(rt, lno)?, rs: parse_reg(rs, lno)? })
+            Ok(Op::Move {
+                rt: parse_reg(rt, lno)?,
+                rs: parse_reg(rs, lno)?,
+            })
         }
         "C" => {
             let (crt, ops) = split2(rest, '=', lno, "compare")?;
@@ -325,9 +355,15 @@ fn parse_op(
         }
         "BT" | "BF" => {
             let mut parts = rest.splitn(3, ',');
-            let target = parts.next().ok_or_else(|| err(lno, "branch needs a target"))?;
-            let cr = parts.next().ok_or_else(|| err(lno, "branch needs a condition register"))?;
-            let bit = parts.next().ok_or_else(|| err(lno, "branch needs a condition bit"))?;
+            let target = parts
+                .next()
+                .ok_or_else(|| err(lno, "branch needs a target"))?;
+            let cr = parts
+                .next()
+                .ok_or_else(|| err(lno, "branch needs a condition register"))?;
+            let bit = parts
+                .next()
+                .ok_or_else(|| err(lno, "branch needs a condition bit"))?;
             Ok(Op::BranchCond {
                 target: lookup(target)?,
                 cr: parse_reg(cr, lno)?,
@@ -335,9 +371,13 @@ fn parse_op(
                 when: mn == "BT",
             })
         }
-        "B" => Ok(Op::Branch { target: lookup(rest)? }),
+        "B" => Ok(Op::Branch {
+            target: lookup(rest)?,
+        }),
         "RET" => Ok(Op::Ret),
-        "PRINT" => Ok(Op::Print { rs: parse_reg(rest, lno)? }),
+        "PRINT" => Ok(Op::Print {
+            rs: parse_reg(rest, lno)?,
+        }),
         "CALL" => {
             // CALL name(u1,u2)->(d1,d2)
             let open = rest.find('(').ok_or_else(|| err(lno, "malformed call"))?;
@@ -346,13 +386,21 @@ fn parse_op(
                 .split_once("->")
                 .ok_or_else(|| err(lno, "call needs (uses)->(defs)"))?;
             let parse_list = |s: &str| -> Result<Vec<Reg>, ParseFunctionError> {
-                let inner = s.trim().trim_start_matches('(').trim_end_matches(')').trim();
+                let inner = s
+                    .trim()
+                    .trim_start_matches('(')
+                    .trim_end_matches(')')
+                    .trim();
                 if inner.is_empty() {
                     return Ok(Vec::new());
                 }
                 inner.split(',').map(|r| parse_reg(r, lno)).collect()
             };
-            Ok(Op::Call { name, uses: parse_list(uses_s)?, defs: parse_list(defs_s)? })
+            Ok(Op::Call {
+                name,
+                uses: parse_list(uses_s)?,
+                defs: parse_list(defs_s)?,
+            })
         }
         _ => {
             if let Some((op, is_imm)) = fx_binop(mn) {
@@ -361,9 +409,19 @@ fn parse_op(
                 let rt = parse_reg(rt, lno)?;
                 let ra = parse_reg(ra, lno)?;
                 if is_imm {
-                    Ok(Op::FxImm { op, rt, ra, imm: parse_imm(second, lno)? })
+                    Ok(Op::FxImm {
+                        op,
+                        rt,
+                        ra,
+                        imm: parse_imm(second, lno)?,
+                    })
                 } else {
-                    Ok(Op::Fx { op, rt, ra, rb: parse_reg(second, lno)? })
+                    Ok(Op::Fx {
+                        op,
+                        rt,
+                        ra,
+                        rb: parse_reg(second, lno)?,
+                    })
                 }
             } else {
                 Err(err(lno, format!("unknown mnemonic {mn:?}")))

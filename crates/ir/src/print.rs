@@ -30,7 +30,13 @@ impl Function {
                 format!("L      {rt}={}({},{})", sym(mem), mem.base, mem.disp)
             }
             Op::LoadUpdate { rt, mem } => {
-                format!("LU     {rt},{}={}({},{})", mem.base, sym(mem), mem.base, mem.disp)
+                format!(
+                    "LU     {rt},{}={}({},{})",
+                    mem.base,
+                    sym(mem),
+                    mem.base,
+                    mem.disp
+                )
             }
             Op::Store { rs, mem } => {
                 format!("ST     {rs}=>{}({},{})", sym(mem), mem.base, mem.disp)
@@ -52,7 +58,12 @@ impl Function {
             Op::Compare { crt, ra, rb } => format!("C      {crt}={ra},{rb}"),
             Op::CompareImm { crt, ra, imm } => format!("CI     {crt}={ra},{imm}"),
             Op::FpCompare { crt, ra, rb } => format!("FC     {crt}={ra},{rb}"),
-            Op::BranchCond { target, cr, bit, when } => {
+            Op::BranchCond {
+                target,
+                cr,
+                bit,
+                when,
+            } => {
                 let mn = if *when { "BT" } else { "BF" };
                 format!("{mn:<6} {},{cr},{bit}", label(*target))
             }
@@ -60,7 +71,10 @@ impl Function {
             Op::Ret => "RET".to_owned(),
             Op::Call { name, uses, defs } => {
                 let list = |rs: &[crate::Reg]| {
-                    rs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(",")
+                    rs.iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
                 };
                 format!("CALL   {name}({})->({})", list(uses), list(defs))
             }
@@ -75,7 +89,12 @@ impl fmt::Display for Function {
         for (_, block) in self.blocks() {
             writeln!(f, "{}:", block.label())?;
             for inst in block.insts() {
-                writeln!(f, "    ({:<5}) {}", inst.id.to_string(), self.op_to_string(&inst.op))?;
+                writeln!(
+                    f,
+                    "    ({:<5}) {}",
+                    inst.id.to_string(),
+                    self.op_to_string(&inst.op)
+                )?;
             }
         }
         Ok(())

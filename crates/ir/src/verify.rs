@@ -29,7 +29,11 @@ pub enum VerifyFunctionError {
     /// Control can fall through past the final block.
     FallsOffEnd { block: BlockId },
     /// An operand has the wrong register class.
-    OperandClass { block: BlockId, id: InstId, detail: String },
+    OperandClass {
+        block: BlockId,
+        id: InstId,
+        detail: String,
+    },
     /// A memory reference names a symbol that does not exist.
     SymbolOutOfRange { block: BlockId, id: InstId },
 }
@@ -60,7 +64,10 @@ impl fmt::Display for VerifyFunctionError {
                 write!(f, "operand class violation at {id} in {block}: {detail}")
             }
             VerifyFunctionError::SymbolOutOfRange { block, id } => {
-                write!(f, "memory reference at {id} in {block} names a nonexistent symbol")
+                write!(
+                    f,
+                    "memory reference at {id} in {block} names a nonexistent symbol"
+                )
             }
         }
     }
@@ -104,7 +111,10 @@ impl Function {
                     return Err(VerifyFunctionError::InstIdOutOfBounds { id: inst.id });
                 }
                 if inst.op.is_branch() && pos + 1 != len {
-                    return Err(VerifyFunctionError::BranchNotLast { block: bid, id: inst.id });
+                    return Err(VerifyFunctionError::BranchNotLast {
+                        block: bid,
+                        id: inst.id,
+                    });
                 }
                 if let Some(t) = inst.op.branch_target() {
                     if t.index() >= num_blocks {
@@ -125,7 +135,11 @@ impl Function {
                     }
                 }
                 if let Err(detail) = check_operand_classes(&inst.op) {
-                    return Err(VerifyFunctionError::OperandClass { block: bid, id: inst.id, detail });
+                    return Err(VerifyFunctionError::OperandClass {
+                        block: bid,
+                        id: inst.id,
+                        detail,
+                    });
                 }
             }
         }
@@ -169,8 +183,13 @@ mod tests {
         let b = BlockId::new(0);
         let id = f.fresh_inst_id();
         // Insert an unconditional branch *before* the RET.
-        f.block_mut(b).insts_mut().insert(0, Inst::new(id, Op::Branch { target: b }));
-        assert!(matches!(f.verify(), Err(VerifyFunctionError::BranchNotLast { .. })));
+        f.block_mut(b)
+            .insts_mut()
+            .insert(0, Inst::new(id, Op::Branch { target: b }));
+        assert!(matches!(
+            f.verify(),
+            Err(VerifyFunctionError::BranchNotLast { .. })
+        ));
     }
 
     #[test]
@@ -178,8 +197,16 @@ mod tests {
         let mut f = Function::new("t");
         let b = f.add_block("e");
         let id = f.fresh_inst_id();
-        f.block_mut(b).push(Inst::new(id, Op::Branch { target: BlockId::new(9) }));
-        assert!(matches!(f.verify(), Err(VerifyFunctionError::TargetOutOfRange { .. })));
+        f.block_mut(b).push(Inst::new(
+            id,
+            Op::Branch {
+                target: BlockId::new(9),
+            },
+        ));
+        assert!(matches!(
+            f.verify(),
+            Err(VerifyFunctionError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -187,8 +214,17 @@ mod tests {
         let mut f = Function::new("t");
         let b = f.add_block("e");
         let id = f.fresh_inst_id();
-        f.block_mut(b).push(Inst::new(id, Op::LoadImm { rt: Reg::gpr(0), imm: 0 }));
-        assert!(matches!(f.verify(), Err(VerifyFunctionError::FallsOffEnd { .. })));
+        f.block_mut(b).push(Inst::new(
+            id,
+            Op::LoadImm {
+                rt: Reg::gpr(0),
+                imm: 0,
+            },
+        ));
+        assert!(matches!(
+            f.verify(),
+            Err(VerifyFunctionError::FallsOffEnd { .. })
+        ));
     }
 
     #[test]
@@ -198,11 +234,19 @@ mod tests {
         let id0 = f.fresh_inst_id();
         f.block_mut(b).push(Inst::new(
             id0,
-            Op::BranchCond { target: b, cr: Reg::cr(0), bit: CondBit::Eq, when: true },
+            Op::BranchCond {
+                target: b,
+                cr: Reg::cr(0),
+                bit: CondBit::Eq,
+                when: true,
+            },
         ));
         let id1 = f.fresh_inst_id();
         f.block_mut(b).push(Inst::new(id1, Op::Ret));
-        assert!(matches!(f.verify(), Err(VerifyFunctionError::BranchNotLast { .. })));
+        assert!(matches!(
+            f.verify(),
+            Err(VerifyFunctionError::BranchNotLast { .. })
+        ));
     }
 
     #[test]
@@ -210,9 +254,18 @@ mod tests {
         let mut f = Function::new("t");
         let b = f.add_block("e");
         let id = f.fresh_inst_id();
-        f.block_mut(b).push(Inst::new(id, Op::LoadImm { rt: Reg::gpr(0), imm: 0 }));
+        f.block_mut(b).push(Inst::new(
+            id,
+            Op::LoadImm {
+                rt: Reg::gpr(0),
+                imm: 0,
+            },
+        ));
         f.block_mut(b).push(Inst::new(id, Op::Ret));
-        assert!(matches!(f.verify(), Err(VerifyFunctionError::DuplicateInstId { .. })));
+        assert!(matches!(
+            f.verify(),
+            Err(VerifyFunctionError::DuplicateInstId { .. })
+        ));
     }
 
     #[test]
@@ -220,9 +273,18 @@ mod tests {
         let mut f = Function::new("t");
         let b = f.add_block("e");
         let id = f.fresh_inst_id();
-        f.block_mut(b).push(Inst::new(id, Op::Move { rt: Reg::gpr(0), rs: Reg::cr(0) }));
+        f.block_mut(b).push(Inst::new(
+            id,
+            Op::Move {
+                rt: Reg::gpr(0),
+                rs: Reg::cr(0),
+            },
+        ));
         let id2 = f.fresh_inst_id();
         f.block_mut(b).push(Inst::new(id2, Op::Ret));
-        assert!(matches!(f.verify(), Err(VerifyFunctionError::OperandClass { .. })));
+        assert!(matches!(
+            f.verify(),
+            Err(VerifyFunctionError::OperandClass { .. })
+        ));
     }
 }

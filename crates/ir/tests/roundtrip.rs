@@ -1,179 +1,177 @@
 //! Property: the textual form round-trips — `parse(print(f)) == f` for
-//! arbitrary well-formed functions.
+//! arbitrary well-formed functions, generated from the in-repo PRNG.
 
-use gis_ir::{
-    parse_function, CondBit, FpBinOp, Function, FxBinOp, Inst, MemRef, Op, Reg,
-};
-use proptest::prelude::*;
+use gis_ir::{parse_function, CondBit, FpBinOp, Function, FxBinOp, Inst, MemRef, Op, Reg};
+use gis_workloads::rng::XorShift64Star;
 
-fn arb_gpr() -> impl Strategy<Value = Reg> {
-    (0u32..32).prop_map(Reg::gpr)
+const BITS: [CondBit; 3] = [CondBit::Lt, CondBit::Gt, CondBit::Eq];
+
+const FX_OPS: [FxBinOp; 10] = [
+    FxBinOp::Add,
+    FxBinOp::Sub,
+    FxBinOp::Mul,
+    FxBinOp::Div,
+    FxBinOp::And,
+    FxBinOp::Or,
+    FxBinOp::Xor,
+    FxBinOp::Sll,
+    FxBinOp::Srl,
+    FxBinOp::Sra,
+];
+
+const FP_OPS: [FpBinOp; 4] = [FpBinOp::Add, FpBinOp::Sub, FpBinOp::Mul, FpBinOp::Div];
+
+fn arb_gpr(r: &mut XorShift64Star) -> Reg {
+    Reg::gpr(r.range_u32(0, 32))
 }
 
-fn arb_fpr() -> impl Strategy<Value = Reg> {
-    (0u32..32).prop_map(Reg::fpr)
+fn arb_fpr(r: &mut XorShift64Star) -> Reg {
+    Reg::fpr(r.range_u32(0, 32))
 }
 
-fn arb_cr() -> impl Strategy<Value = Reg> {
-    (0u32..8).prop_map(Reg::cr)
+fn arb_cr(r: &mut XorShift64Star) -> Reg {
+    Reg::cr(r.range_u32(0, 8))
 }
 
-fn arb_bit() -> impl Strategy<Value = CondBit> {
-    prop_oneof![Just(CondBit::Lt), Just(CondBit::Gt), Just(CondBit::Eq)]
-}
-
-fn arb_fx() -> impl Strategy<Value = FxBinOp> {
-    prop_oneof![
-        Just(FxBinOp::Add),
-        Just(FxBinOp::Sub),
-        Just(FxBinOp::Mul),
-        Just(FxBinOp::Div),
-        Just(FxBinOp::And),
-        Just(FxBinOp::Or),
-        Just(FxBinOp::Xor),
-        Just(FxBinOp::Sll),
-        Just(FxBinOp::Srl),
-        Just(FxBinOp::Sra),
-    ]
-}
-
-fn arb_fp() -> impl Strategy<Value = FpBinOp> {
-    prop_oneof![
-        Just(FpBinOp::Add),
-        Just(FpBinOp::Sub),
-        Just(FpBinOp::Mul),
-        Just(FpBinOp::Div),
-    ]
-}
-
-/// Non-branch operations (branches are appended per block with valid
-/// targets).
-fn arb_body_op() -> impl Strategy<Value = OpSpec> {
-    prop_oneof![
-        (arb_gpr(), arb_gpr(), -64i64..64, any::<bool>(), any::<bool>())
-            .prop_map(|(rt, base, disp, update, sym)| OpSpec::Mem {
-                rt,
-                base,
-                disp: disp * 4,
-                update,
-                store: false,
-                sym,
-            }),
-        (arb_gpr(), arb_gpr(), -64i64..64, any::<bool>(), any::<bool>())
-            .prop_map(|(rt, base, disp, update, sym)| OpSpec::Mem {
-                rt,
-                base,
-                disp: disp * 4,
-                update,
-                store: true,
-                sym,
-            }),
-        (arb_gpr(), any::<i32>()).prop_map(|(rt, imm)| OpSpec::Plain(Op::LoadImm {
-            rt,
-            imm: i64::from(imm),
-        })),
-        (arb_gpr(), arb_gpr()).prop_map(|(rt, rs)| OpSpec::Plain(Op::Move { rt, rs })),
-        (arb_fx(), arb_gpr(), arb_gpr(), arb_gpr())
-            .prop_map(|(op, rt, ra, rb)| OpSpec::Plain(Op::Fx { op, rt, ra, rb })),
-        (arb_fx(), arb_gpr(), arb_gpr(), -100i64..100)
-            .prop_map(|(op, rt, ra, imm)| OpSpec::Plain(Op::FxImm { op, rt, ra, imm })),
-        (arb_fp(), arb_fpr(), arb_fpr(), arb_fpr())
-            .prop_map(|(op, rt, ra, rb)| OpSpec::Plain(Op::Fp { op, rt, ra, rb })),
-        (arb_cr(), arb_gpr(), arb_gpr())
-            .prop_map(|(crt, ra, rb)| OpSpec::Plain(Op::Compare { crt, ra, rb })),
-        (arb_cr(), arb_gpr(), -100i64..100)
-            .prop_map(|(crt, ra, imm)| OpSpec::Plain(Op::CompareImm { crt, ra, imm })),
-        (arb_cr(), arb_fpr(), arb_fpr())
-            .prop_map(|(crt, ra, rb)| OpSpec::Plain(Op::FpCompare { crt, ra, rb })),
-        arb_gpr().prop_map(|rs| OpSpec::Plain(Op::Print { rs })),
-        (arb_gpr(), arb_gpr()).prop_map(|(u, d)| OpSpec::Plain(Op::Call {
-            name: "helper".into(),
-            uses: vec![u],
-            defs: vec![d],
-        })),
-    ]
-}
-
-#[derive(Debug, Clone)]
-enum OpSpec {
-    Plain(Op),
-    Mem { rt: Reg, base: Reg, disp: i64, update: bool, store: bool, sym: bool },
-}
-
-prop_compose! {
-    fn arb_function()(
-        blocks in prop::collection::vec(
-            (prop::collection::vec(arb_body_op(), 0..6), any::<bool>(), arb_cr(), arb_bit()),
-            1..6,
-        ),
-    ) -> Function {
-        let mut f = Function::new("roundtrip");
-        let sym = f.add_symbol("mem");
-        let n = blocks.len();
-        let ids: Vec<gis_ir::BlockId> =
-            (0..n).map(|i| f.add_block(format!("B{i}"))).collect();
-        for (i, (ops, cond, cr, bit)) in blocks.into_iter().enumerate() {
-            let bid = ids[i];
-            for spec in ops {
-                let op = match spec {
-                    OpSpec::Plain(op) => op,
-                    OpSpec::Mem { rt, base, disp, update, store, sym: with_sym } => {
-                        let mem = MemRef {
-                            sym: with_sym.then_some(sym),
-                            base,
-                            disp,
-                        };
-                        match (store, update) {
-                            (false, false) => Op::Load { rt, mem },
-                            (false, true) => Op::LoadUpdate { rt, mem },
-                            (true, false) => Op::Store { rs: rt, mem },
-                            (true, true) => Op::StoreUpdate { rs: rt, mem },
-                        }
-                    }
-                };
-                let id = f.fresh_inst_id();
-                f.block_mut(bid).push(Inst::new(id, op));
-            }
-            // Terminate: last block returns; earlier blocks either fall
-            // through via a conditional branch or continue implicitly.
-            let id = f.fresh_inst_id();
-            if i + 1 == n {
-                f.block_mut(bid).push(Inst::new(id, Op::Ret));
-            } else if cond {
-                // Branch anywhere later (or to self — a back edge).
-                let target = ids[(i + 1 + cr.index() as usize) % n];
-                f.block_mut(bid).push(Inst::new(
-                    id,
-                    Op::BranchCond { target, cr, bit, when: bit == CondBit::Lt },
-                ));
+/// A random non-branch operation (branches are appended per block with
+/// valid targets). `sym` is the function's sole memory symbol.
+fn arb_body_op(r: &mut XorShift64Star, sym: gis_ir::SymId) -> Op {
+    match r.below(12) {
+        k @ (0 | 1) => {
+            let rt = arb_gpr(r);
+            let mem = MemRef {
+                sym: r.chance(1, 2).then_some(sym),
+                base: arb_gpr(r),
+                disp: r.range_i64(-64, 64) * 4,
+            };
+            match (k == 1, r.chance(1, 2)) {
+                (false, false) => Op::Load { rt, mem },
+                (false, true) => Op::LoadUpdate { rt, mem },
+                (true, false) => Op::Store { rs: rt, mem },
+                (true, true) => Op::StoreUpdate { rs: rt, mem },
             }
         }
-        f.recompute_allocators();
-        f
+        2 => Op::LoadImm {
+            rt: arb_gpr(r),
+            imm: r.next_u64() as i32 as i64,
+        },
+        3 => Op::Move {
+            rt: arb_gpr(r),
+            rs: arb_gpr(r),
+        },
+        4 => Op::Fx {
+            op: *r.pick(&FX_OPS),
+            rt: arb_gpr(r),
+            ra: arb_gpr(r),
+            rb: arb_gpr(r),
+        },
+        5 => Op::FxImm {
+            op: *r.pick(&FX_OPS),
+            rt: arb_gpr(r),
+            ra: arb_gpr(r),
+            imm: r.range_i64(-100, 100),
+        },
+        6 => Op::Fp {
+            op: *r.pick(&FP_OPS),
+            rt: arb_fpr(r),
+            ra: arb_fpr(r),
+            rb: arb_fpr(r),
+        },
+        7 => Op::Compare {
+            crt: arb_cr(r),
+            ra: arb_gpr(r),
+            rb: arb_gpr(r),
+        },
+        8 => Op::CompareImm {
+            crt: arb_cr(r),
+            ra: arb_gpr(r),
+            imm: r.range_i64(-100, 100),
+        },
+        9 => Op::FpCompare {
+            crt: arb_cr(r),
+            ra: arb_fpr(r),
+            rb: arb_fpr(r),
+        },
+        10 => Op::Print { rs: arb_gpr(r) },
+        _ => Op::Call {
+            name: "helper".into(),
+            uses: vec![arb_gpr(r)],
+            defs: vec![arb_gpr(r)],
+        },
     }
 }
 
-proptest! {
-    #[test]
-    fn print_parse_roundtrip(f in arb_function()) {
-        prop_assume!(f.verify().is_ok());
-        let text = f.to_string();
-        let parsed = parse_function(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        // Same name, same blocks, same instructions (ids and ops).
-        prop_assert_eq!(parsed.name(), f.name());
-        prop_assert_eq!(parsed.num_blocks(), f.num_blocks());
-        let a: Vec<_> = f.insts().map(|(b, i)| (b, i.id, i.op.clone())).collect();
-        let b: Vec<_> = parsed.insts().map(|(b, i)| (b, i.id, i.op.clone())).collect();
-        prop_assert_eq!(a, b);
-        // And printing again is a fixpoint.
-        prop_assert_eq!(parsed.to_string(), text);
+fn arb_function(r: &mut XorShift64Star) -> Function {
+    let mut f = Function::new("roundtrip");
+    let sym = f.add_symbol("mem");
+    let n = 1 + r.below(5);
+    let ids: Vec<gis_ir::BlockId> = (0..n).map(|i| f.add_block(format!("B{i}"))).collect();
+    for (i, &bid) in ids.iter().enumerate() {
+        for _ in 0..r.below(6) {
+            let op = arb_body_op(r, sym);
+            let id = f.fresh_inst_id();
+            f.block_mut(bid).push(Inst::new(id, op));
+        }
+        // Terminate: last block returns; earlier blocks either fall
+        // through via a conditional branch or continue implicitly.
+        let id = f.fresh_inst_id();
+        if i + 1 == n {
+            f.block_mut(bid).push(Inst::new(id, Op::Ret));
+        } else if r.chance(1, 2) {
+            // Branch anywhere later (or to self — a back edge).
+            let cr = arb_cr(r);
+            let bit = *r.pick(&BITS);
+            let target = ids[(i + 1 + cr.index() as usize) % n];
+            f.block_mut(bid).push(Inst::new(
+                id,
+                Op::BranchCond {
+                    target,
+                    cr,
+                    bit,
+                    when: bit == CondBit::Lt,
+                },
+            ));
+        }
     }
+    f.recompute_allocators();
+    f
+}
 
-    #[test]
-    fn verify_is_stable_under_roundtrip(f in arb_function()) {
-        prop_assume!(f.verify().is_ok());
-        let parsed = parse_function(&f.to_string()).expect("parses");
-        prop_assert_eq!(parsed.verify(), Ok(()));
+/// Runs `check` on every well-formed random function from 256 stable
+/// seeds (the replacement for the previous proptest harness).
+fn for_random_functions(check: impl Fn(&Function)) {
+    for seed in 0..256u64 {
+        let f = arb_function(&mut XorShift64Star::new(seed));
+        if f.verify().is_ok() {
+            check(&f);
+        }
     }
+}
+
+#[test]
+fn print_parse_roundtrip() {
+    for_random_functions(|f| {
+        let text = f.to_string();
+        let parsed =
+            parse_function(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        // Same name, same blocks, same instructions (ids and ops).
+        assert_eq!(parsed.name(), f.name());
+        assert_eq!(parsed.num_blocks(), f.num_blocks());
+        let a: Vec<_> = f.insts().map(|(b, i)| (b, i.id, i.op.clone())).collect();
+        let b: Vec<_> = parsed
+            .insts()
+            .map(|(b, i)| (b, i.id, i.op.clone()))
+            .collect();
+        assert_eq!(a, b);
+        // And printing again is a fixpoint.
+        assert_eq!(parsed.to_string(), text);
+    });
+}
+
+#[test]
+fn verify_is_stable_under_roundtrip() {
+    for_random_functions(|f| {
+        let parsed = parse_function(&f.to_string()).expect("parses");
+        assert_eq!(parsed.verify(), Ok(()));
+    });
 }

@@ -118,7 +118,10 @@ const ALL_CLASSES: [OpClass; 12] = [
 ];
 
 fn class_index(c: OpClass) -> usize {
-    ALL_CLASSES.iter().position(|x| *x == c).expect("class covered")
+    ALL_CLASSES
+        .iter()
+        .position(|x| *x == c)
+        .expect("class covered")
 }
 
 impl MachineDescription {
@@ -216,13 +219,21 @@ impl MachineDescription {
         b.class(OpClass::Branch, bru, 1);
         b.class(OpClass::Call, fxu, 10);
         b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 1);
-        b.delay(ClassMatcher::One(OpClass::FxCompare), ClassMatcher::One(OpClass::Branch), 3);
+        b.delay(
+            ClassMatcher::One(OpClass::FxCompare),
+            ClassMatcher::One(OpClass::Branch),
+            3,
+        );
         b.delay(
             ClassMatcher::AnyOf(vec![OpClass::Fp, OpClass::FpMul, OpClass::FpDiv]),
             ClassMatcher::Any,
             1,
         );
-        b.delay(ClassMatcher::One(OpClass::FpCompare), ClassMatcher::One(OpClass::Branch), 5);
+        b.delay(
+            ClassMatcher::One(OpClass::FpCompare),
+            ClassMatcher::One(OpClass::Branch),
+            5,
+        );
         b.finish().expect("preset is complete")
     }
 
@@ -252,8 +263,16 @@ impl MachineDescription {
             b.class(c, u, t);
         }
         b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 1);
-        b.delay(ClassMatcher::One(OpClass::FxCompare), ClassMatcher::One(OpClass::Branch), 3);
-        b.delay(ClassMatcher::One(OpClass::FpCompare), ClassMatcher::One(OpClass::Branch), 5);
+        b.delay(
+            ClassMatcher::One(OpClass::FxCompare),
+            ClassMatcher::One(OpClass::Branch),
+            3,
+        );
+        b.delay(
+            ClassMatcher::One(OpClass::FpCompare),
+            ClassMatcher::One(OpClass::Branch),
+            5,
+        );
         b.finish().expect("preset is complete")
     }
 }
@@ -330,7 +349,10 @@ impl MachineBuilder {
     /// Declares a unit kind with `count` identical units.
     pub fn unit(&mut self, name: impl Into<String>, count: u32) -> UnitKind {
         let kind = UnitKind(self.m.units.len() as u32);
-        self.m.units.push(Unit { name: name.into(), count });
+        self.m.units.push(Unit {
+            name: name.into(),
+            count,
+        });
         kind
     }
 
@@ -347,7 +369,11 @@ impl MachineBuilder {
         consumer: ClassMatcher,
         cycles: u32,
     ) -> &mut Self {
-        self.m.delays.push(DelayRule { producer, consumer, cycles });
+        self.m.delays.push(DelayRule {
+            producer,
+            consumer,
+            cycles,
+        });
         self
     }
 
@@ -438,14 +464,20 @@ mod tests {
 
         let mut b = MachineBuilder::new("t");
         b.unit("u", 1);
-        assert!(matches!(b.finish().unwrap_err(), BuildMachineError::UnassignedClass(_)));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildMachineError::UnassignedClass(_)
+        ));
 
         let mut b = MachineBuilder::new("t");
         let u = b.unit("u", 0);
         for c in super::ALL_CLASSES {
             b.class(c, u, 1);
         }
-        assert!(matches!(b.finish().unwrap_err(), BuildMachineError::ZeroCount(_)));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildMachineError::ZeroCount(_)
+        ));
     }
 
     #[test]

@@ -92,9 +92,7 @@ mod tests {
 
     #[test]
     fn update_forms_are_left_alone() {
-        let f = prop(
-            "func t\nE:\n (I0) LR r2=r1\n (I1) LU r3,r2=a(r2,8)\n (I2) PRINT r3\n RET\n",
-        );
+        let f = prop("func t\nE:\n (I0) LR r2=r1\n (I1) LU r3,r2=a(r2,8)\n (I2) PRINT r3\n RET\n");
         // Rewriting LU's base to r1 would change which register receives
         // the post-increment.
         assert_eq!(uses_at(&f, 1), vec![Reg::gpr(2)]);
@@ -102,9 +100,7 @@ mod tests {
 
     #[test]
     fn stores_propagate_both_value_and_base() {
-        let f = prop(
-            "func t\nE:\n (I0) LR r2=r1\n (I1) LR r4=r3\n (I2) ST r2=>a(r4,0)\n RET\n",
-        );
+        let f = prop("func t\nE:\n (I0) LR r2=r1\n (I1) LR r4=r3\n (I2) ST r2=>a(r4,0)\n RET\n");
         assert_eq!(uses_at(&f, 2), vec![Reg::gpr(1), Reg::gpr(3)]);
     }
 }

@@ -106,19 +106,15 @@ mod tests {
 
     #[test]
     fn self_moves_vanish_even_when_live() {
-        let (f, total) = dce(
-            "func t\nE:\n (I0) LI r1=1\n (I1) LR r1=r1\n (I2) PRINT r1\n RET\n",
-        );
+        let (f, total) = dce("func t\nE:\n (I0) LI r1=1\n (I1) LR r1=r1\n (I2) PRINT r1\n RET\n");
         assert_eq!(total, 1);
         assert!(gone(&f, 1));
     }
 
     #[test]
     fn dead_loads_are_removable_but_live_updates_are_not() {
-        let (f, total) = dce(
-            "func t\nE:\n (I0) L r1=a(r9,0)\n (I1) LU r2,r9=a(r9,4)\n\
-             (I2) PRINT r9\n RET\n",
-        );
+        let (f, total) = dce("func t\nE:\n (I0) L r1=a(r9,0)\n (I1) LU r2,r9=a(r9,4)\n\
+             (I2) PRINT r9\n RET\n");
         // I0's r1 is dead: removable (loads cannot fault in this model).
         // I1's r2 is dead but its base update feeds the print: kept.
         assert_eq!(total, 1);

@@ -18,21 +18,35 @@ pub fn fold_constants(f: &mut Function) -> usize {
             let op = f.block(bid).insts()[pos].op.clone();
             let rewritten: Option<Op> = match &op {
                 Op::Move { rt, rs } => known.get(rs).map(|&v| Op::LoadImm { rt: *rt, imm: v }),
-                Op::FxImm { op, rt, ra, imm } => {
-                    known.get(ra).map(|&a| Op::LoadImm { rt: *rt, imm: op.eval(a, *imm) })
-                }
+                Op::FxImm { op, rt, ra, imm } => known.get(ra).map(|&a| Op::LoadImm {
+                    rt: *rt,
+                    imm: op.eval(a, *imm),
+                }),
                 Op::Fx { op, rt, ra, rb } => match (known.get(ra), known.get(rb)) {
-                    (Some(&a), Some(&b)) => Some(Op::LoadImm { rt: *rt, imm: op.eval(a, b) }),
-                    (None, Some(&b)) => Some(Op::FxImm { op: *op, rt: *rt, ra: *ra, imm: b }),
-                    (Some(&a), None) if op.commutes() => {
-                        Some(Op::FxImm { op: *op, rt: *rt, ra: *rb, imm: a })
-                    }
+                    (Some(&a), Some(&b)) => Some(Op::LoadImm {
+                        rt: *rt,
+                        imm: op.eval(a, b),
+                    }),
+                    (None, Some(&b)) => Some(Op::FxImm {
+                        op: *op,
+                        rt: *rt,
+                        ra: *ra,
+                        imm: b,
+                    }),
+                    (Some(&a), None) if op.commutes() => Some(Op::FxImm {
+                        op: *op,
+                        rt: *rt,
+                        ra: *rb,
+                        imm: a,
+                    }),
                     // `a - rb` and friends have no immediate form; leave.
                     _ => None,
                 },
-                Op::Compare { crt, ra, rb } => known
-                    .get(rb)
-                    .map(|&b| Op::CompareImm { crt: *crt, ra: *ra, imm: b }),
+                Op::Compare { crt, ra, rb } => known.get(rb).map(|&b| Op::CompareImm {
+                    crt: *crt,
+                    ra: *ra,
+                    imm: b,
+                }),
                 // Known bases could fold into displacements, but the
                 // displacement field is also the update amount for LU/STU;
                 // leave memory operations untouched.
@@ -71,26 +85,31 @@ pub fn strength_reduce(f: &mut Function) -> usize {
     for bid in blocks {
         for inst in f.block_mut(bid).insts_mut() {
             let new_op = match inst.op {
-                Op::FxImm { op, rt, ra, imm: 0 }
-                    if matches!(
-                        op,
+                Op::FxImm {
+                    op:
                         FxBinOp::Add
-                            | FxBinOp::Sub
-                            | FxBinOp::Or
-                            | FxBinOp::Xor
-                            | FxBinOp::Sll
-                            | FxBinOp::Srl
-                            | FxBinOp::Sra
-                    ) =>
-                {
-                    Some(Op::Move { rt, rs: ra })
-                }
-                Op::FxImm { op: FxBinOp::Mul | FxBinOp::Div, rt, ra, imm: 1 } => {
-                    Some(Op::Move { rt, rs: ra })
-                }
-                Op::FxImm { op: FxBinOp::Mul | FxBinOp::And, rt, imm: 0, .. } => {
-                    Some(Op::LoadImm { rt, imm: 0 })
-                }
+                        | FxBinOp::Sub
+                        | FxBinOp::Or
+                        | FxBinOp::Xor
+                        | FxBinOp::Sll
+                        | FxBinOp::Srl
+                        | FxBinOp::Sra,
+                    rt,
+                    ra,
+                    imm: 0,
+                } => Some(Op::Move { rt, rs: ra }),
+                Op::FxImm {
+                    op: FxBinOp::Mul | FxBinOp::Div,
+                    rt,
+                    ra,
+                    imm: 1,
+                } => Some(Op::Move { rt, rs: ra }),
+                Op::FxImm {
+                    op: FxBinOp::Mul | FxBinOp::And,
+                    rt,
+                    imm: 0,
+                    ..
+                } => Some(Op::LoadImm { rt, imm: 0 }),
                 _ => None,
             };
             if let Some(op) = new_op {
@@ -125,8 +144,20 @@ mod tests {
             "func t\nE:\n (I0) LI r1=6\n (I1) LI r2=7\n (I2) MUL r3=r1,r2\n\
              (I3) AI r4=r3,-2\n PRINT r4\n RET\n",
         );
-        assert_eq!(*op_at(&f, 2), Op::LoadImm { rt: Reg::gpr(3), imm: 42 });
-        assert_eq!(*op_at(&f, 3), Op::LoadImm { rt: Reg::gpr(4), imm: 40 });
+        assert_eq!(
+            *op_at(&f, 2),
+            Op::LoadImm {
+                rt: Reg::gpr(3),
+                imm: 42
+            }
+        );
+        assert_eq!(
+            *op_at(&f, 3),
+            Op::LoadImm {
+                rt: Reg::gpr(4),
+                imm: 40
+            }
+        );
     }
 
     #[test]
@@ -135,10 +166,30 @@ mod tests {
             "func t\nE:\n (I0) LI r2=5\n (I1) A r3=r9,r2\n (I2) S r4=r9,r2\n\
              (I3) S r5=r2,r9\n (I4) C cr0=r9,r2\n PRINT r3\n RET\n",
         );
-        assert!(matches!(*op_at(&f, 1), Op::FxImm { op: FxBinOp::Add, imm: 5, .. }));
-        assert!(matches!(*op_at(&f, 2), Op::FxImm { op: FxBinOp::Sub, imm: 5, .. }));
+        assert!(matches!(
+            *op_at(&f, 1),
+            Op::FxImm {
+                op: FxBinOp::Add,
+                imm: 5,
+                ..
+            }
+        ));
+        assert!(matches!(
+            *op_at(&f, 2),
+            Op::FxImm {
+                op: FxBinOp::Sub,
+                imm: 5,
+                ..
+            }
+        ));
         // 5 - r9 does not commute: untouched.
-        assert!(matches!(*op_at(&f, 3), Op::Fx { op: FxBinOp::Sub, .. }));
+        assert!(matches!(
+            *op_at(&f, 3),
+            Op::Fx {
+                op: FxBinOp::Sub,
+                ..
+            }
+        ));
         assert!(matches!(*op_at(&f, 4), Op::CompareImm { imm: 5, .. }));
     }
 
@@ -160,7 +211,13 @@ mod tests {
         let f = fold(
             "func t\nE:\n (I0) LI r1=17\n (I1) LI r2=0\n (I2) DIV r3=r1,r2\n PRINT r3\n RET\n",
         );
-        assert_eq!(*op_at(&f, 2), Op::LoadImm { rt: Reg::gpr(3), imm: 0 });
+        assert_eq!(
+            *op_at(&f, 2),
+            Op::LoadImm {
+                rt: Reg::gpr(3),
+                imm: 0
+            }
+        );
     }
 
     #[test]
@@ -173,7 +230,19 @@ mod tests {
         assert_eq!(strength_reduce(&mut f), 4);
         assert!(matches!(*op_at(&f, 0), Op::Move { .. }));
         assert!(matches!(*op_at(&f, 1), Op::Move { .. }));
-        assert_eq!(*op_at(&f, 2), Op::LoadImm { rt: Reg::gpr(3), imm: 0 });
-        assert_eq!(*op_at(&f, 3), Op::LoadImm { rt: Reg::gpr(4), imm: 0 });
+        assert_eq!(
+            *op_at(&f, 2),
+            Op::LoadImm {
+                rt: Reg::gpr(3),
+                imm: 0
+            }
+        );
+        assert_eq!(
+            *op_at(&f, 3),
+            Op::LoadImm {
+                rt: Reg::gpr(4),
+                imm: 0
+            }
+        );
     }
 }

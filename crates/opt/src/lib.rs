@@ -53,7 +53,12 @@ pub struct OptConfig {
 
 impl Default for OptConfig {
     fn default() -> Self {
-        OptConfig { fold: true, copy_propagation: true, dce: true, max_rounds: 8 }
+        OptConfig {
+            fold: true,
+            copy_propagation: true,
+            dce: true,
+            max_rounds: 8,
+        }
     }
 }
 

@@ -14,7 +14,10 @@ fn check(src: &str, arrays: &[(&str, &[i64])]) -> (usize, usize) {
     let stats = optimize(&mut optimized, &OptConfig::default());
     optimized.verify().expect("still well formed");
     let after = execute(&optimized, &memory, &ExecConfig::default()).expect("runs");
-    assert!(before.equivalent(&after), "optimizer preserved behaviour\n{optimized}");
+    assert!(
+        before.equivalent(&after),
+        "optimizer preserved behaviour\n{optimized}"
+    );
     assert!(stats.rounds >= 1);
     (program.function.num_insts(), optimized.num_insts())
 }
@@ -66,7 +69,10 @@ fn unused_globals_disappear() {
          void f() { print(x); }",
         &[],
     );
-    assert!(after < before, "dead global initializers removed: {after} < {before}");
+    assert!(
+        after < before,
+        "dead global initializers removed: {after} < {before}"
+    );
 }
 
 #[test]

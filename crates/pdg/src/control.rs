@@ -100,7 +100,13 @@ impl Cspdg {
         let is_block = (0..n)
             .map(|i| matches!(g.node(NodeId::from_index(i)), RegionNode::Block(_)))
             .collect();
-        Cspdg { parents, children, dom, pdom, is_block }
+        Cspdg {
+            parents,
+            children,
+            dom,
+            pdom,
+            is_block,
+        }
     }
 
     /// Number of nodes (same numbering as the region graph).
@@ -194,10 +200,10 @@ impl Cspdg {
         let n = self.num_nodes();
         let mut dist: Vec<Option<usize>> = vec![None; n];
         let mut queue = std::collections::VecDeque::new();
-        for i in 0..n {
+        for (i, d) in dist.iter_mut().enumerate() {
             let node = NodeId::from_index(i);
             if self.equivalent(a, node) {
-                dist[i] = Some(0);
+                *d = Some(0);
                 queue.push_back(node);
             }
         }
@@ -289,9 +295,8 @@ mod tests {
     #[test]
     fn figure4_control_dependences() {
         let (_, cspdg, bl) = minmax_cspdg();
-        let parents = |i: usize| -> Vec<NodeId> {
-            cspdg.cd_parents(bl[i]).iter().map(|&(p, _)| p).collect()
-        };
+        let parents =
+            |i: usize| -> Vec<NodeId> { cspdg.cd_parents(bl[i]).iter().map(|&(p, _)| p).collect() };
         // BL1 and BL10 depend on nothing but ENTRY.
         assert_eq!(parents(1), vec![NodeId::ENTRY]);
         assert_eq!(parents(10), vec![NodeId::ENTRY]);
@@ -358,8 +363,7 @@ mod tests {
     #[test]
     fn cd_children_are_the_speculative_sources() {
         let (_, cspdg, bl) = minmax_cspdg();
-        let mut kids: Vec<NodeId> =
-            cspdg.cd_children(bl[1]).iter().map(|&(c, _)| c).collect();
+        let mut kids: Vec<NodeId> = cspdg.cd_children(bl[1]).iter().map(|&(c, _)| c).collect();
         kids.sort();
         let mut want = vec![bl[2], bl[4], bl[6], bl[8]];
         want.sort();

@@ -146,9 +146,7 @@ impl DataDeps {
                 // forward reachability predicate (at most one direction
                 // holds — the scope's forward graph is acyclic).
                 let (a, b) = (item_a, item_b);
-                let (pb, pp, pid, ib, ip, iid) = if a.0 == b.0 {
-                    (a.0, a.1, a.2, b.0, b.1, b.2)
-                } else if may_follow(a.0, b.0) {
+                let (pb, pp, pid, ib, ip, iid) = if a.0 == b.0 || may_follow(a.0, b.0) {
                     (a.0, a.1, a.2, b.0, b.1, b.2)
                 } else if may_follow(b.0, a.0) {
                     (b.0, b.1, b.2, a.0, a.1, a.2)
@@ -184,7 +182,11 @@ impl DataDeps {
                 } else {
                     continue;
                 };
-                let delay = if flow { machine.delay(pop.class(), iop.class()) } else { 0 };
+                let delay = if flow {
+                    machine.delay(pop.class(), iop.class())
+                } else {
+                    0
+                };
                 let dep = DataDep {
                     from: pid,
                     to: iid,
@@ -198,7 +200,12 @@ impl DataDeps {
             }
         }
 
-        DataDeps { preds, succs, order, num_edges }
+        DataDeps {
+            preds,
+            succs,
+            order,
+            num_edges,
+        }
     }
 
     /// Dependence edges into `i` (instructions `i` must wait for).
@@ -268,38 +275,42 @@ impl DataDeps {
         let mut longest = vec![vec![NEG; n]; n];
         for i in (0..n).rev() {
             let a = topo[i];
-            longest[i][i] = 0;
+            // Detach row i so the rows it reads stay borrowable.
+            let mut row = std::mem::take(&mut longest[i]);
+            row[i] = 0;
             for dep in &self.succs[a.index()] {
-                let Some(&j) = topo_index.get(&dep.to) else { continue };
+                let Some(&j) = topo_index.get(&dep.to) else {
+                    continue;
+                };
                 let w = dep.sep() as i64;
-                for k in 0..n {
-                    if longest[j][k] > NEG {
-                        let cand = w + longest[j][k];
-                        if cand > longest[i][k] {
-                            longest[i][k] = cand;
-                        }
+                for (cur, &lj) in row.iter_mut().zip(&longest[j]) {
+                    if lj > NEG && w + lj > *cur {
+                        *cur = w + lj;
                     }
                 }
             }
+            longest[i] = row;
         }
 
         let mut removed = 0usize;
-        for i in 0..n {
-            let a = topo[i];
+        for &a in &topo {
             let out = self.succs[a.index()].clone();
             let keep: Vec<DataDep> = out
                 .iter()
                 .filter(|e| {
-                    let Some(&c) = topo_index.get(&e.to) else { return true };
+                    let Some(&c) = topo_index.get(&e.to) else {
+                        return true;
+                    };
                     // Redundant when some first hop b != c already reaches
                     // c with at least sep(e).
                     let redundant = self.succs[a.index()].iter().any(|first| {
                         if first.to == e.to {
                             return false;
                         }
-                        let Some(&b) = topo_index.get(&first.to) else { return false };
-                        longest[b][c] > NEG
-                            && first.sep() as i64 + longest[b][c] >= e.sep() as i64
+                        let Some(&b) = topo_index.get(&first.to) else {
+                            return false;
+                        };
+                        longest[b][c] > NEG && first.sep() as i64 + longest[b][c] >= e.sep() as i64
                     });
                     !redundant
                 })
@@ -320,13 +331,7 @@ impl DataDeps {
 /// Whether the shared base register of two memory ops could be redefined
 /// between them. Only same-block pairs with no intervening definition are
 /// declared safe; everything else is conservatively "maybe redefined".
-fn base_redefined_between(
-    f: &Function,
-    pb: BlockId,
-    pp: usize,
-    ib: BlockId,
-    ip: usize,
-) -> bool {
+fn base_redefined_between(f: &Function, pb: BlockId, pp: usize, ib: BlockId, ip: usize) -> bool {
     if pb != ib {
         return true; // conservatively assume redefinition across blocks
     }
@@ -339,7 +344,9 @@ fn base_redefined_between(
     if insts[pp].op.has_tied_base() {
         return true;
     }
-    insts[pp + 1..ip].iter().any(|x| x.op.defs().contains(&base))
+    insts[pp + 1..ip]
+        .iter()
+        .any(|x| x.op.defs().contains(&base))
 }
 
 #[cfg(test)]
@@ -357,7 +364,10 @@ mod tests {
     }
 
     fn edge(d: &DataDeps, from: u32, to: u32) -> Option<DataDep> {
-        d.succs(InstId::new(from)).iter().copied().find(|e| e.to == InstId::new(to))
+        d.succs(InstId::new(from))
+            .iter()
+            .copied()
+            .find(|e| e.to == InstId::new(to))
     }
 
     #[test]
@@ -429,7 +439,10 @@ mod tests {
              RET\n",
         );
         // Same base, different disp: no dep store->load.
-        assert!(edge(&d, 0, 1).is_none(), "disjoint words proved independent");
+        assert!(
+            edge(&d, 0, 1).is_none(),
+            "disjoint words proved independent"
+        );
         // Same base, same disp: memory dep.
         assert_eq!(edge(&d, 0, 2).expect("overlap").kind, DepKind::Memory);
         // Different symbols never alias.
@@ -482,9 +495,7 @@ mod tests {
         let m = MachineDescription::rs6k();
         let blocks: Vec<BlockId> = f.block_ids().collect();
         // B and C are mutually unreachable (diamond arms).
-        let reach = |x: BlockId, y: BlockId| {
-            !(x.index() == 1 && y.index() == 2) && x < y
-        };
+        let reach = |x: BlockId, y: BlockId| !(x.index() == 1 && y.index() == 2) && x < y;
         let d = DataDeps::build(&f, &m, &blocks, reach);
         assert!(edge(&d, 0, 3).is_some(), "A's def reaches B's use");
         assert!(edge(&d, 0, 5).is_some(), "A's def reaches C's use");

@@ -111,7 +111,10 @@ mod tests {
         let a = BlockId::new(0);
         let b = BlockId::new(1);
         assert!(l.live_out(a).contains(&Reg::gpr(2)));
-        assert!(!l.live_out(a).contains(&Reg::gpr(1)), "r1 is consumed inside A");
+        assert!(
+            !l.live_out(a).contains(&Reg::gpr(1)),
+            "r1 is consumed inside A"
+        );
         assert!(l.live_in(b).contains(&Reg::gpr(2)));
         assert!(l.live_out(b).is_empty());
     }
@@ -146,19 +149,26 @@ mod tests {
             "func l\nA:\n LI r1=0\nB:\n AI r1=r1,1\n C cr0=r1,r9\n BT B,cr0,0x1/lt\nC:\n PRINT r1\n RET\n",
         );
         let b = BlockId::new(1);
-        assert!(l.live_out(b).contains(&Reg::gpr(1)), "live on the back edge and exit");
+        assert!(
+            l.live_out(b).contains(&Reg::gpr(1)),
+            "live on the back edge and exit"
+        );
         assert!(l.live_in(b).contains(&Reg::gpr(1)));
-        assert!(l.live_out(b).contains(&Reg::gpr(9)), "n stays live around the loop");
+        assert!(
+            l.live_out(b).contains(&Reg::gpr(9)),
+            "n stays live around the loop"
+        );
     }
 
     #[test]
     fn update_form_keeps_base_alive() {
-        let (_, l) = liveness(
-            "func u\nA:\n LU r1,r2=a(r2,8)\nB:\n PRINT r2\n RET\n",
-        );
+        let (_, l) = liveness("func u\nA:\n LU r1,r2=a(r2,8)\nB:\n PRINT r2\n RET\n");
         let a = BlockId::new(0);
         assert!(l.live_in(a).contains(&Reg::gpr(2)), "base is read");
-        assert!(l.live_out(a).contains(&Reg::gpr(2)), "updated base flows out");
+        assert!(
+            l.live_out(a).contains(&Reg::gpr(2)),
+            "updated base flows out"
+        );
         assert!(!l.live_out(a).contains(&Reg::gpr(1)), "loaded value unused");
     }
 }

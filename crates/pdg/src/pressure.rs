@@ -35,7 +35,11 @@ impl PressureReport {
 
 impl fmt::Display for PressureReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} gpr / {} fpr / {} cr live at peak", self.gpr, self.fpr, self.cr)
+        write!(
+            f,
+            "{} gpr / {} fpr / {} cr live at peak",
+            self.gpr, self.fpr, self.cr
+        )
     }
 }
 
@@ -72,9 +76,7 @@ mod tests {
     #[test]
     fn straight_line_peak() {
         // r1 and r2 overlap; r3 replaces both.
-        let p = pressure(
-            "func t\nE:\n LI r1=1\n LI r2=2\n A r3=r1,r2\n PRINT r3\n RET\n",
-        );
+        let p = pressure("func t\nE:\n LI r1=1\n LI r2=2\n A r3=r1,r2\n PRINT r3\n RET\n");
         assert_eq!(p.gpr, 2);
         assert_eq!(p.cr, 0);
         assert_eq!(p.fpr, 0);
@@ -97,7 +99,10 @@ mod tests {
             "func c\nE:\n FA f1=f2,f3\n FA f4=f1,f1\n C cr0=r1,r2\n C cr1=r1,r2\n BT E,cr0,0x1/lt\nX:\n BT E,cr1,0x2/gt\nY:\n RET\n",
         );
         assert!(p.fpr >= 2, "f1 overlaps its inputs: {p}");
-        assert_eq!(p.cr, 2, "both condition fields live across the first branch");
+        assert_eq!(
+            p.cr, 2,
+            "both condition fields live across the first branch"
+        );
     }
 
     #[test]

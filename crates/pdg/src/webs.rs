@@ -38,7 +38,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -75,7 +77,12 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     // id per register (allocated lazily below, but we pre-allocate for
     // simplicity: regs is small).
     let regs: Vec<Reg> = f.all_regs();
-    let reg_ix: HashMap<Reg, usize> = regs.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+    let reg_ix: HashMap<Reg, usize> = regs
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, r)| (r, i))
+        .collect();
 
     let mut sites: Vec<(Site, Reg)> = Vec::new();
     let mut site_of: HashMap<(BlockId, usize, Reg), usize> = HashMap::new();
@@ -123,8 +130,11 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
         changed = false;
         for i in 0..n {
             let bid = BlockId::new(i as u32);
-            let mut inn: HashMap<Reg, HashSet<usize>> =
-                if i == 0 { entry_env.clone() } else { HashMap::new() };
+            let mut inn: HashMap<Reg, HashSet<usize>> = if i == 0 {
+                entry_env.clone()
+            } else {
+                HashMap::new()
+            };
             for e in cfg.preds(NodeId::block(bid)) {
                 if let Some(p) = e.to.as_block() {
                     for (r, ss) in &rd_out[p.index()] {
@@ -147,7 +157,9 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
         let mut env = rd_in[bid.index()].clone();
         for (pos, inst) in block.insts().iter().enumerate() {
             for u in inst.op.uses() {
-                let reaching = env.entry(u).or_insert_with(|| HashSet::from([entry_site(u)]));
+                let reaching = env
+                    .entry(u)
+                    .or_insert_with(|| HashSet::from([entry_site(u)]));
                 let mut iter = reaching.iter().copied();
                 let first = iter.next().expect("nonempty");
                 for s in iter {
@@ -174,14 +186,14 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     }
     let mut stats = RenameStats::default();
     let mut roots_seen: HashSet<usize> = HashSet::new();
-    for id in 0..sites.len() {
+    for (id, site) in sites.iter().enumerate() {
         let root = uf.find(id);
         if roots_seen.insert(root) {
             stats.webs += 1;
         }
-        if !web_reg.contains_key(&root) {
-            let fresh = f.fresh_reg(sites[id].1.class());
-            web_reg.insert(root, fresh);
+        if let std::collections::hash_map::Entry::Vacant(e) = web_reg.entry(root) {
+            let fresh = f.fresh_reg(site.1.class());
+            e.insert(fresh);
             stats.renamed += 1;
         }
     }

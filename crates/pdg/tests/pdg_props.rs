@@ -11,58 +11,55 @@ use gis_cfg::{Cfg, DomTree, LoopForest, NodeId, RegionGraph, RegionTree};
 use gis_ir::{parse_function, BlockId, Function, InstId, Reg};
 use gis_machine::MachineDescription;
 use gis_pdg::{Cspdg, DataDeps, Liveness};
-use proptest::prelude::*;
+use gis_workloads::rng::XorShift64Star;
 use std::collections::HashMap;
 
 /// Random function whose blocks use/define a handful of registers and
 /// branch arbitrarily (possibly irreducibly — those regions are skipped
 /// where reducibility is required, as the scheduler does).
-fn arb_function() -> impl Strategy<Value = Function> {
-    (2usize..9)
-        .prop_flat_map(|n| {
-            (
-                Just(n),
-                prop::collection::vec((any::<bool>(), 0usize..n), n - 1),
-                prop::collection::vec(
-                    prop::collection::vec((0u32..4, 0u32..4, any::<bool>()), 0..4),
-                    n,
-                ),
-            )
-        })
-        .prop_map(|(n, edges, bodies)| {
-            let mut text = String::from("func random\n");
-            for i in 0..n {
-                text.push_str(&format!("B{i}:\n"));
-                for &(def, use_, is_print) in &bodies[i] {
-                    if is_print {
-                        text.push_str(&format!("    PRINT r{use_}\n"));
-                    } else {
-                        text.push_str(&format!("    AI r{def}=r{use_},1\n"));
-                    }
-                }
-                if i + 1 == n {
-                    text.push_str("    RET\n");
-                } else if let Some(&(cond, target)) = edges.get(i) {
-                    if cond {
-                        text.push_str(&format!("    BT B{target},cr0,0x1/lt\n"));
-                    }
-                }
+fn arb_function(r: &mut XorShift64Star) -> Function {
+    let n = 2 + r.below(7);
+    let mut text = String::from("func random\n");
+    for i in 0..n {
+        text.push_str(&format!("B{i}:\n"));
+        for _ in 0..r.below(4) {
+            let use_ = r.below(4);
+            if r.chance(1, 2) {
+                text.push_str(&format!("    PRINT r{use_}\n"));
+            } else {
+                let def = r.below(4);
+                text.push_str(&format!("    AI r{def}=r{use_},1\n"));
             }
-            parse_function(&text).expect("well formed")
-        })
+        }
+        if i + 1 == n {
+            text.push_str("    RET\n");
+        } else if r.chance(1, 2) {
+            let target = r.below(n);
+            text.push_str(&format!("    BT B{target},cr0,0x1/lt\n"));
+        }
+    }
+    parse_function(&text).expect("well formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+/// Runs `check` on 128 random functions with stable seeds (the
+/// replacement for the previous proptest harness).
+fn for_random_functions(check: impl Fn(&Function)) {
+    for seed in 0..128u64 {
+        check(&arb_function(&mut XorShift64Star::new(seed)));
+    }
+}
 
-    #[test]
-    fn identical_cd_agrees_with_definition_3(f in arb_function()) {
-        let cfg = Cfg::new(&f);
+#[test]
+fn identical_cd_agrees_with_definition_3() {
+    for_random_functions(|f| {
+        let cfg = Cfg::new(f);
         let dom = DomTree::dominators(&cfg);
         let loops = LoopForest::new(&cfg, &dom);
         let tree = RegionTree::new(&cfg, &loops);
         for (rid, _) in tree.regions() {
-            let Ok(g) = RegionGraph::new(&cfg, &tree, rid) else { continue };
+            let Ok(g) = RegionGraph::new(&cfg, &tree, rid) else {
+                continue;
+            };
             let cspdg = Cspdg::new(&g);
             let blocks: Vec<NodeId> = (0..g.num_nodes())
                 .map(NodeId::from_index)
@@ -70,51 +67,55 @@ proptest! {
                 .collect();
             for &a in &blocks {
                 for &b in &blocks {
-                    prop_assert_eq!(
+                    assert_eq!(
                         cspdg.identically_control_dependent(a, b),
                         cspdg.equivalent(a, b),
-                        "region {}: {} vs {}\n{}", rid, a, b, f
+                        "region {rid}: {a} vs {b}\n{f}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn liveness_matches_per_register_search(f in arb_function()) {
-        let cfg = Cfg::new(&f);
-        let live = Liveness::compute(&f, &cfg);
+#[test]
+fn liveness_matches_per_register_search() {
+    for_random_functions(|f| {
+        let cfg = Cfg::new(f);
+        let live = Liveness::compute(f, &cfg);
         // Oracle: r is live out of b iff some successor path reaches a
         // use of r before any redefinition.
         let regs: Vec<Reg> = f.all_regs();
         for (bid, _) in f.blocks() {
             for &r in &regs {
-                let expected = live_out_brute(&f, &cfg, bid, r);
-                prop_assert_eq!(
+                let expected = live_out_brute(f, &cfg, bid, r);
+                assert_eq!(
                     live.live_out(bid).contains(&r),
                     expected,
-                    "live_out({}) for {}\n{}", bid, r, f
+                    "live_out({bid}) for {r}\n{f}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn reduction_preserves_longest_separations(f in arb_function()) {
+#[test]
+fn reduction_preserves_longest_separations() {
+    for_random_functions(|f| {
         let machine = MachineDescription::rs6k();
         let blocks: Vec<BlockId> = f.block_ids().collect();
         // Straight-line reachability: by layout order (an arbitrary but
         // consistent acyclic orientation for the purposes of this check).
-        let full = DataDeps::build(&f, &machine, &blocks, |x, y| x < y);
+        let full = DataDeps::build(f, &machine, &blocks, |x, y| x < y);
         let mut reduced = full.clone();
         reduced.reduce();
-        prop_assert!(reduced.num_edges() <= full.num_edges());
+        assert!(reduced.num_edges() <= full.num_edges());
 
         let ids: Vec<InstId> = f.insts().map(|(_, i)| i.id).collect();
         let sep_full = all_pairs_longest(&full, &ids);
         let sep_reduced = all_pairs_longest(&reduced, &ids);
-        prop_assert_eq!(sep_full, sep_reduced, "separations changed\n{}", f);
-    }
+        assert_eq!(sep_full, sep_reduced, "separations changed\n{f}");
+    });
 }
 
 /// Brute-force live-out: BFS over paths from each successor of `b`.

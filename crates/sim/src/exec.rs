@@ -15,7 +15,9 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { max_steps: 10_000_000 }
+        ExecConfig {
+            max_steps: 10_000_000,
+        }
     }
 }
 
@@ -75,8 +77,11 @@ impl ExecOutcome {
     /// Branch counts as `(branch, taken, not_taken)` triples, ready for a
     /// profile constructor.
     pub fn branch_count_triples(&self) -> Vec<(InstId, u64, u64)> {
-        let mut v: Vec<(InstId, u64, u64)> =
-            self.branch_counts.iter().map(|(&i, &(t, n))| (i, t, n)).collect();
+        let mut v: Vec<(InstId, u64, u64)> = self
+            .branch_counts
+            .iter()
+            .map(|(&i, &(t, n))| (i, t, n))
+            .collect();
         v.sort();
         v
     }
@@ -299,7 +304,12 @@ pub fn execute(
                     let bits = a.partial_cmp(&b).map_or(0, cmp_bits);
                     st.write_cr(*crt, bits);
                 }
-                Op::BranchCond { target, cr, bit, when } => {
+                Op::BranchCond {
+                    target,
+                    cr,
+                    bit,
+                    when,
+                } => {
                     let set = st.read_cr(*cr) & bit.mask() != 0;
                     let counts = branch_counts.entry(inst.id).or_insert((0, 0));
                     if set == *when {
@@ -331,11 +341,21 @@ pub fn execute(
         if !transferred {
             // Fall through to the next layout block.
             let n = bid.index() + 1;
-            next = if n < f.num_blocks() { Some(BlockId::new(n as u32)) } else { None };
+            next = if n < f.num_blocks() {
+                Some(BlockId::new(n as u32))
+            } else {
+                None
+            };
         }
     }
 
-    Ok(ExecOutcome { output, memory: st.mem, steps, block_trace, branch_counts })
+    Ok(ExecOutcome {
+        output,
+        memory: st.mem,
+        steps,
+        block_trace,
+        branch_counts,
+    })
 }
 
 #[cfg(test)]
@@ -351,19 +371,15 @@ mod tests {
 
     #[test]
     fn arithmetic_and_print() {
-        let out = run(
-            "func a\nE:\n LI r1=6\n LI r2=7\n MUL r3=r1,r2\n PRINT r3\n\
-             DIVI r4=r3,0\n PRINT r4\n SI r5=r1,10\n PRINT r5\n RET\n",
-        );
+        let out = run("func a\nE:\n LI r1=6\n LI r2=7\n MUL r3=r1,r2\n PRINT r3\n\
+             DIVI r4=r3,0\n PRINT r4\n SI r5=r1,10\n PRINT r5\n RET\n");
         assert_eq!(out.printed(), vec![42, 0, -4]);
     }
 
     #[test]
     fn loads_stores_and_update_forms() {
-        let out = run(
-            "func m\nE:\n LI r9=4096\n LI r1=11\n ST r1=>a(r9,0)\n\
-             LU r2,r9=a(r9,0)\n PRINT r2\n PRINT r9\n RET\n",
-        );
+        let out = run("func m\nE:\n LI r9=4096\n LI r1=11\n ST r1=>a(r9,0)\n\
+             LU r2,r9=a(r9,0)\n PRINT r2\n PRINT r9\n RET\n");
         // LU with disp 0: loads the stored 11, base unchanged (+0).
         assert_eq!(out.printed(), vec![11, 4096]);
         assert_eq!(out.memory.get(&4096), Some(&11));
@@ -398,7 +414,9 @@ mod tests {
         let a = run("func c\nE:\n LI r1=5\n CALL f(r1)->(r2)\n PRINT r2\n RET\n");
         let b = run("func c\nE:\n LI r1=5\n CALL f(r1)->(r2)\n PRINT r2\n RET\n");
         assert_eq!(a.output, b.output);
-        assert!(matches!(a.output[0], OutputEvent::Call(ref n, ref args) if n == "f" && args == &[5]));
+        assert!(
+            matches!(a.output[0], OutputEvent::Call(ref n, ref args) if n == "f" && args == &[5])
+        );
     }
 
     #[test]
@@ -413,8 +431,8 @@ mod tests {
         ];
         for a in arrays {
             let f = minmax::figure2_function(a.len() as i64);
-            let out = execute(&f, &minmax::memory_image(&a), &ExecConfig::default())
-                .expect("executes");
+            let out =
+                execute(&f, &minmax::memory_image(&a), &ExecConfig::default()).expect("executes");
             let (min, max) = minmax::reference_minmax(&a);
             assert_eq!(out.printed(), vec![min, max], "array {a:?}");
         }

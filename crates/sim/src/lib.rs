@@ -37,4 +37,4 @@ mod exec;
 mod timing;
 
 pub use exec::{execute, ExecConfig, ExecError, ExecOutcome, OutputEvent};
-pub use timing::{DynIssue, TimingReport, TimingSim};
+pub use timing::{CycleRow, DynIssue, Timeline, TimingReport, TimingSim};

@@ -18,6 +18,7 @@
 use gis_ir::{BlockId, Function, InstId, OpClass, Reg};
 use gis_machine::MachineDescription;
 use std::collections::HashMap;
+use std::fmt;
 
 /// One dynamically issued instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,9 @@ pub struct DynIssue {
     pub exec: u32,
     /// The functional unit kind it ran on.
     pub unit: gis_machine::UnitKind,
+    /// Cycles the hardware interlock held this instruction waiting for an
+    /// operand, beyond its dispatch point and unit availability.
+    pub stall: u64,
 }
 
 /// Aggregate results of a timed replay.
@@ -48,7 +52,11 @@ pub struct TimingReport {
 impl TimingReport {
     /// Issue cycles of every dynamic occurrence of `inst`.
     pub fn issue_cycles_of(&self, inst: InstId) -> Vec<u64> {
-        self.issues.iter().filter(|d| d.inst == inst).map(|d| d.cycle).collect()
+        self.issues
+            .iter()
+            .filter(|d| d.inst == inst)
+            .map(|d| d.cycle)
+            .collect()
     }
 
     /// Instructions per cycle.
@@ -79,6 +87,108 @@ impl TimingReport {
                 (machine.unit_name(k).to_owned(), frac)
             })
             .collect()
+    }
+
+    /// The cycle-by-cycle timeline of this run: per-cycle unit occupancy,
+    /// the instructions issued, and how many instructions sat in an
+    /// operand interlock.
+    pub fn timeline(&self, machine: &MachineDescription) -> Timeline {
+        let n = self.cycles as usize;
+        let kinds = machine.num_unit_kinds();
+        let mut rows: Vec<CycleRow> = (0..n)
+            .map(|c| CycleRow {
+                cycle: c as u64,
+                busy: vec![0; kinds],
+                issued: Vec::new(),
+                stalled: 0,
+            })
+            .collect();
+        for d in &self.issues {
+            for c in d.cycle..d.cycle + u64::from(d.exec) {
+                if let Some(row) = rows.get_mut(c as usize) {
+                    row.busy[d.unit.index()] += 1;
+                }
+            }
+            if let Some(row) = rows.get_mut(d.cycle as usize) {
+                row.issued.push(d.inst);
+            }
+            for c in d.cycle.saturating_sub(d.stall)..d.cycle {
+                if let Some(row) = rows.get_mut(c as usize) {
+                    row.stalled += 1;
+                }
+            }
+        }
+        Timeline {
+            rows,
+            units: machine
+                .unit_kinds()
+                .map(|k| (machine.unit_name(k).to_owned(), machine.unit_count(k)))
+                .collect(),
+        }
+    }
+}
+
+/// One cycle of a [`Timeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleRow {
+    /// The cycle number (0-based).
+    pub cycle: u64,
+    /// Busy unit instances of each kind, indexed like the machine's unit
+    /// kinds.
+    pub busy: Vec<u32>,
+    /// Instructions that issued this cycle.
+    pub issued: Vec<InstId>,
+    /// Instructions held by an operand interlock during this cycle.
+    pub stalled: u32,
+}
+
+/// A per-cycle view of a timed run — what every functional unit was doing
+/// and where the interlocks bit. Built by [`TimingReport::timeline`];
+/// [`Display`](fmt::Display) renders the whole run, [`Timeline::render`]
+/// caps the row count for long traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// One row per cycle of the run.
+    pub rows: Vec<CycleRow>,
+    /// `(name, instance count)` of each unit kind, in kind order.
+    pub units: Vec<(String, u32)>,
+}
+
+impl Timeline {
+    /// Renders at most `max_rows` rows (plus a truncation note).
+    pub fn render(&self, max_rows: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "cycle");
+        for (name, count) in &self.units {
+            let _ = write!(out, "  {:>8}", format!("{name}({count})"));
+        }
+        let _ = writeln!(out, "  {:>7}  issued", "stalled");
+        for row in self.rows.iter().take(max_rows) {
+            let _ = write!(out, "{:>6}", row.cycle);
+            for (k, (_, count)) in self.units.iter().enumerate() {
+                let bar: String =
+                    "#".repeat(row.busy[k] as usize) + &".".repeat((*count - row.busy[k]) as usize);
+                let _ = write!(out, "  {bar:>8}");
+            }
+            let _ = write!(out, "  {:>7}  ", row.stalled);
+            let insts: Vec<String> = row
+                .issued
+                .iter()
+                .map(|i| format!("I{}", i.index()))
+                .collect();
+            let _ = writeln!(out, "{}", insts.join(" "));
+        }
+        if self.rows.len() > max_rows {
+            let _ = writeln!(out, "... {} more cycles", self.rows.len() - max_rows);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(usize::MAX))
     }
 }
 
@@ -120,13 +230,13 @@ impl<'a> TimingSim<'a> {
                 let kind = self.machine.unit_of(class);
 
                 // Operand readiness via interlocks.
-                let mut t = last_branch_issue;
+                let mut ready = last_branch_issue;
                 for u in inst.op.uses() {
                     if let Some(&(pclass, pissue)) = producer.get(&u) {
-                        let ready = pissue
+                        let avail = pissue
                             + self.machine.exec_time(pclass) as u64
                             + self.machine.delay(pclass, class) as u64;
-                        t = t.max(ready);
+                        ready = ready.max(avail);
                     }
                 }
                 // Unit availability: the earliest-free unit of the kind.
@@ -136,7 +246,10 @@ impl<'a> TimingSim<'a> {
                     .enumerate()
                     .min_by_key(|(_, &f)| f)
                     .expect("unit kinds have at least one unit");
-                t = t.max(free);
+                // How long the interlock alone held this instruction (past
+                // its dispatch point and the unit's own next-free time).
+                let stall = ready.saturating_sub(last_branch_issue.max(free));
+                let mut t = ready.max(free);
                 // Dispatch width.
                 while issued_in_cycle.get(&t).copied().unwrap_or(0) >= width {
                     t += 1;
@@ -149,11 +262,22 @@ impl<'a> TimingSim<'a> {
                     last_branch_issue = last_branch_issue.max(t);
                 }
                 total_end = total_end.max(t + exec as u64);
-                issues.push(DynIssue { inst: inst.id, block: bid, cycle: t, exec, unit: kind });
+                issues.push(DynIssue {
+                    inst: inst.id,
+                    block: bid,
+                    cycle: t,
+                    exec,
+                    unit: kind,
+                    stall,
+                });
             }
         }
 
-        TimingReport { cycles: total_end, instructions: issues.len() as u64, issues }
+        TimingReport {
+            cycles: total_end,
+            instructions: issues.len() as u64,
+            issues,
+        }
     }
 }
 
@@ -197,10 +321,8 @@ mod tests {
 
     #[test]
     fn delayed_load_stalls_one_cycle() {
-        let f = parse_function(
-            "func d\nE:\n (I0) L r1=a(r9,0)\n (I1) AI r2=r1,1\n (I2) RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func d\nE:\n (I0) L r1=a(r9,0)\n (I1) AI r2=r1,1\n (I2) RET\n")
+            .expect("parses");
         let m = MachineDescription::rs6k();
         let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
         assert_eq!(report.issue_cycles_of(InstId::new(0)), vec![0]);
@@ -210,13 +332,15 @@ mod tests {
 
     #[test]
     fn compare_branch_delay_is_three_cycles() {
-        let f = parse_function(
-            "func c\nE:\n (I0) C cr0=r1,r2\n (I1) BT E,cr0,0x1/lt\nX:\n RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func c\nE:\n (I0) C cr0=r1,r2\n (I1) BT E,cr0,0x1/lt\nX:\n RET\n")
+            .expect("parses");
         let m = MachineDescription::rs6k();
         let report = TimingSim::new(&f, &m).run(&[BlockId::new(0), BlockId::new(1)]);
-        assert_eq!(report.issue_cycles_of(InstId::new(1)), vec![4], "compare at 0, branch at 0+1+3");
+        assert_eq!(
+            report.issue_cycles_of(InstId::new(1)),
+            vec![4],
+            "compare at 0, branch at 0+1+3"
+        );
     }
 
     #[test]
@@ -235,10 +359,8 @@ mod tests {
 
     #[test]
     fn single_fx_unit_serializes() {
-        let f = parse_function(
-            "func s\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func s\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n RET\n")
+            .expect("parses");
         let m = MachineDescription::rs6k();
         let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
         let cycles: Vec<u64> = (0..3)
@@ -256,10 +378,8 @@ mod tests {
 
     #[test]
     fn multicycle_ops_hold_their_unit() {
-        let f = parse_function(
-            "func m\nE:\n (I0) MUL r1=r2,r3\n (I1) LI r4=1\n RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func m\nE:\n (I0) MUL r1=r2,r3\n (I1) LI r4=1\n RET\n")
+            .expect("parses");
         let m = MachineDescription::rs6k();
         let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
         // MUL holds the fixed point unit for 5 cycles.
@@ -284,10 +404,9 @@ mod utilization_tests {
 
     #[test]
     fn utilization_accounts_for_busy_cycles() {
-        let f = parse_function(
-            "func u\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n (I3) RET\n",
-        )
-        .expect("parses");
+        let f =
+            parse_function("func u\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n (I3) RET\n")
+                .expect("parses");
         let m = MachineDescription::rs6k();
         let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
         let util = report.utilization(&m);
@@ -301,11 +420,70 @@ mod utilization_tests {
     }
 
     #[test]
+    fn timeline_covers_every_cycle_within_unit_capacity() {
+        let f =
+            parse_function("func t\nE:\n (I0) LI r1=1\n (I1) LI r2=2\n (I2) LI r3=3\n (I3) RET\n")
+                .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        let tl = report.timeline(&m);
+        assert_eq!(tl.rows.len() as u64, report.cycles);
+        for row in &tl.rows {
+            for (k, (_, count)) in tl.units.iter().enumerate() {
+                assert!(row.busy[k] <= *count, "occupancy within capacity");
+            }
+        }
+        let issued: usize = tl.rows.iter().map(|r| r.issued.len()).sum();
+        assert_eq!(issued as u64, report.instructions);
+        // The single fixed-point unit is saturated all three cycles.
+        let fixed = tl
+            .units
+            .iter()
+            .position(|(n, _)| n == "fixed")
+            .expect("fixed");
+        assert!(tl.rows.iter().all(|r| r.busy[fixed] == 1));
+    }
+
+    #[test]
+    fn timeline_shows_the_load_interlock_as_a_stall() {
+        let f = parse_function("func d\nE:\n (I0) L r1=a(r9,0)\n (I1) AI r2=r1,1\n (I2) RET\n")
+            .expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        // Load at 0; the AI is interlocked until cycle 2, so it stalls
+        // through cycle 1.
+        let ai = report
+            .issues
+            .iter()
+            .find(|d| d.inst == InstId::new(1))
+            .expect("issued");
+        assert_eq!(ai.cycle, 2);
+        assert_eq!(ai.stall, 1);
+        let tl = report.timeline(&m);
+        assert_eq!(tl.rows[1].stalled, 1);
+        assert_eq!(tl.rows[0].stalled, 0);
+        let text = tl.render(usize::MAX);
+        assert!(
+            text.contains("I1"),
+            "issued column names instructions: {text}"
+        );
+    }
+
+    #[test]
+    fn timeline_render_caps_rows() {
+        let f = parse_function("func c\nE:\n LI r1=1\n LI r2=2\n LI r3=3\n RET\n").expect("parses");
+        let m = MachineDescription::rs6k();
+        let report = TimingSim::new(&f, &m).run(&[BlockId::new(0)]);
+        let tl = report.timeline(&m);
+        let text = tl.render(1);
+        assert!(text.contains("more cycles"), "{text}");
+        assert_eq!(text.lines().count(), 3, "header, one row, truncation note");
+    }
+
+    #[test]
     fn floating_point_work_lands_on_the_float_unit() {
-        let f = parse_function(
-            "func fp\nE:\n (I0) FA f1=f2,f3\n (I1) FM f4=f1,f1\n (I2) RET\n",
-        )
-        .expect("parses");
+        let f = parse_function("func fp\nE:\n (I0) FA f1=f2,f3\n (I1) FM f4=f1,f1\n (I2) RET\n")
+            .expect("parses");
         let m = MachineDescription::rs6k();
         let out = execute(&f, &[], &ExecConfig::default()).expect("runs");
         let report = TimingSim::new(&f, &m).run(&out.block_trace);

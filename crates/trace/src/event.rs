@@ -1,0 +1,419 @@
+//! The event vocabulary and the observer hook.
+
+use std::fmt;
+
+/// The §6 pipeline stage an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pass {
+    /// Register-web renaming (§4.2).
+    Rename,
+    /// Unrolling of small inner loops.
+    Unroll,
+    /// First global scheduling pass (inner regions).
+    Global1,
+    /// Rotation of small inner loops.
+    Rotate,
+    /// Second global scheduling pass (rotated loops, outer regions).
+    Global2,
+    /// Final basic block pass over every block.
+    FinalBb,
+}
+
+impl Pass {
+    /// All passes, in pipeline order.
+    pub const ALL: [Pass; 6] = [
+        Pass::Rename,
+        Pass::Unroll,
+        Pass::Global1,
+        Pass::Rotate,
+        Pass::Global2,
+        Pass::FinalBb,
+    ];
+
+    /// Position in [`Pass::ALL`] (pipeline order) — the index used by
+    /// per-pass timing arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Pass::Rename => 0,
+            Pass::Unroll => 1,
+            Pass::Global1 => 2,
+            Pass::Rotate => 3,
+            Pass::Global2 => 4,
+            Pass::FinalBb => 5,
+        }
+    }
+
+    /// Stable wire/dash-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Rename => "rename",
+            Pass::Unroll => "unroll",
+            Pass::Global1 => "global-1",
+            Pass::Rotate => "rotate",
+            Pass::Global2 => "global-2",
+            Pass::FinalBb => "final-bb",
+        }
+    }
+
+    pub(crate) fn from_name(s: &str) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an instruction moved (§5.1's two motion sorts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotionKind {
+    /// Between equivalent blocks — executes exactly as often as before.
+    Useful,
+    /// Above a conditional branch — a gamble on its outcome.
+    Speculative,
+}
+
+impl MotionKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MotionKind::Useful => "useful",
+            MotionKind::Speculative => "speculative",
+        }
+    }
+
+    pub(crate) fn from_name(s: &str) -> Option<MotionKind> {
+        [MotionKind::Useful, MotionKind::Speculative]
+            .into_iter()
+            .find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for MotionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a candidate (or a whole region/block of candidates) was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// §5.3: the motion would clobber a register live on exit from the
+    /// target block, and renaming could not save it.
+    LiveOnExit,
+    /// Stores, calls and prints never speculate (the §5.3 bar).
+    MayNotSpeculate,
+    /// Loads barred from speculating by configuration.
+    LoadSpeculationDisabled,
+    /// Region over the §6 block-count limit.
+    RegionTooManyBlocks,
+    /// Region over the §6 instruction-count limit.
+    RegionTooManyInsts,
+    /// Irreducible region (no region graph).
+    Irreducible,
+    /// Block lies beyond the configured speculation depth (Definition 7's
+    /// branch bound).
+    SpeculationDepth,
+    /// Block's execution probability is below the configured gate.
+    ProbabilityGate,
+}
+
+impl RejectReason {
+    /// Stable wire/dash-case reason code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectReason::LiveOnExit => "live-on-exit",
+            RejectReason::MayNotSpeculate => "may-not-speculate",
+            RejectReason::LoadSpeculationDisabled => "load-speculation-disabled",
+            RejectReason::RegionTooManyBlocks => "region-too-many-blocks",
+            RejectReason::RegionTooManyInsts => "region-too-many-insts",
+            RejectReason::Irreducible => "irreducible",
+            RejectReason::SpeculationDepth => "speculation-depth",
+            RejectReason::ProbabilityGate => "probability-gate",
+        }
+    }
+
+    pub(crate) fn from_code(s: &str) -> Option<RejectReason> {
+        [
+            RejectReason::LiveOnExit,
+            RejectReason::MayNotSpeculate,
+            RejectReason::LoadSpeculationDisabled,
+            RejectReason::RegionTooManyBlocks,
+            RejectReason::RegionTooManyInsts,
+            RejectReason::Irreducible,
+            RejectReason::SpeculationDepth,
+            RejectReason::ProbabilityGate,
+        ]
+        .into_iter()
+        .find(|r| r.code() == s)
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Which rung of the §5.2 heuristic ladder separated the winning
+/// candidate from the runner-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// No other candidate was ready this slot.
+    Sole,
+    /// Useful beat speculative.
+    Usefulness,
+    /// Higher execution probability (profile-guided speculation).
+    Probability,
+    /// The delay heuristic `D`.
+    DelayHeuristic,
+    /// The critical path heuristic `CP`.
+    CriticalPath,
+    /// Original program order (the final tie-break).
+    OriginalOrder,
+}
+
+impl TieBreak {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TieBreak::Sole => "sole",
+            TieBreak::Usefulness => "usefulness",
+            TieBreak::Probability => "probability",
+            TieBreak::DelayHeuristic => "d",
+            TieBreak::CriticalPath => "cp",
+            TieBreak::OriginalOrder => "original-order",
+        }
+    }
+
+    pub(crate) fn from_name(s: &str) -> Option<TieBreak> {
+        [
+            TieBreak::Sole,
+            TieBreak::Usefulness,
+            TieBreak::Probability,
+            TieBreak::DelayHeuristic,
+            TieBreak::CriticalPath,
+            TieBreak::OriginalOrder,
+        ]
+        .into_iter()
+        .find(|t| t.name() == s)
+    }
+}
+
+impl fmt::Display for TieBreak {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduler decision. Instructions are raw ids (the `(In)`
+/// annotations of the IR's textual form); blocks are labels, so events
+/// stay meaningful across the block insertions of unroll/rotate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A pipeline pass started.
+    PassBegin {
+        /// Which pass.
+        pass: Pass,
+    },
+    /// A pipeline pass finished.
+    PassEnd {
+        /// Which pass.
+        pass: Pass,
+        /// Monotonic wall time the pass took.
+        nanos: u64,
+    },
+    /// The §4.2 renaming prepass rewrote this many register webs.
+    WebsRenamed {
+        /// Webs renamed.
+        count: u64,
+    },
+    /// A small inner loop was unrolled once.
+    LoopUnrolled {
+        /// The loop header's label.
+        header: String,
+    },
+    /// A small inner loop was rotated.
+    LoopRotated {
+        /// The loop header's label (pre-rotation).
+        header: String,
+    },
+    /// Global scheduling entered a region.
+    RegionBegin {
+        /// Region id within the function's region tree.
+        region: u32,
+        /// Labels of every block in the region's scope.
+        blocks: Vec<String>,
+    },
+    /// Global scheduling skipped a region.
+    RegionSkipped {
+        /// Region id within the function's region tree.
+        region: u32,
+        /// Why (size limits or irreducibility).
+        reason: RejectReason,
+    },
+    /// The candidate blocks computed for one target block (§5.1).
+    CandidateBlocks {
+        /// The block being filled.
+        target: String,
+        /// `EQUIV(target)` — useful candidates.
+        equivalent: Vec<String>,
+        /// Speculative candidate blocks, with execution probability.
+        speculative: Vec<(String, f64)>,
+    },
+    /// A whole block was excluded from the speculative candidate set.
+    SpecBlockRejected {
+        /// The block being filled.
+        target: String,
+        /// The excluded block.
+        block: String,
+        /// Its path execution probability.
+        prob: f64,
+        /// Why ([`RejectReason::SpeculationDepth`] or
+        /// [`RejectReason::ProbabilityGate`]).
+        reason: RejectReason,
+    },
+    /// An instruction was barred from the candidate set.
+    CandidateRejected {
+        /// The instruction's raw id.
+        inst: u32,
+        /// Its home block.
+        home: String,
+        /// The block it could not become a candidate for.
+        target: String,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// An instruction was scheduled within its own block.
+    Placed {
+        /// The instruction's raw id.
+        inst: u32,
+        /// The block.
+        block: String,
+        /// Issue cycle assigned by the list scheduler.
+        cycle: u64,
+        /// What separated it from the runner-up candidate.
+        tie: TieBreak,
+    },
+    /// An instruction physically moved into another block.
+    Moved {
+        /// The instruction's raw id.
+        inst: u32,
+        /// Home block it left.
+        from: String,
+        /// Block it moved into.
+        into: String,
+        /// Issue cycle assigned by the list scheduler.
+        cycle: u64,
+        /// Useful or speculative.
+        kind: MotionKind,
+        /// What separated it from the runner-up candidate.
+        tie: TieBreak,
+    },
+    /// A picked candidate was rejected at issue time (§5.3).
+    Rejected {
+        /// The instruction's raw id.
+        inst: u32,
+        /// Its home block.
+        home: String,
+        /// The block it was not allowed to move into.
+        target: String,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A speculative motion was saved by renaming its definition (the
+    /// paper's `cr6`→`cr5` in Figure 6).
+    Renamed {
+        /// The defining instruction's raw id.
+        inst: u32,
+        /// Its home block (where the du-chain was rewritten).
+        home: String,
+        /// The clobbered register.
+        old: String,
+        /// The fresh replacement.
+        new: String,
+    },
+    /// The final basic block pass visited a block.
+    BlockScheduled {
+        /// The block's label.
+        block: String,
+        /// Whether its instruction order changed.
+        changed: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable wire name of the event variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::PassBegin { .. } => "pass-begin",
+            TraceEvent::PassEnd { .. } => "pass-end",
+            TraceEvent::WebsRenamed { .. } => "webs-renamed",
+            TraceEvent::LoopUnrolled { .. } => "loop-unrolled",
+            TraceEvent::LoopRotated { .. } => "loop-rotated",
+            TraceEvent::RegionBegin { .. } => "region-begin",
+            TraceEvent::RegionSkipped { .. } => "region-skipped",
+            TraceEvent::CandidateBlocks { .. } => "candidate-blocks",
+            TraceEvent::SpecBlockRejected { .. } => "spec-block-rejected",
+            TraceEvent::CandidateRejected { .. } => "candidate-rejected",
+            TraceEvent::Placed { .. } => "placed",
+            TraceEvent::Moved { .. } => "moved",
+            TraceEvent::Rejected { .. } => "rejected",
+            TraceEvent::Renamed { .. } => "renamed",
+            TraceEvent::BlockScheduled { .. } => "block-scheduled",
+        }
+    }
+
+    /// The instruction this event is about, for per-instruction filtering
+    /// (`gisc --explain`). `None` for pass-, region- and block-level
+    /// events.
+    pub fn inst(&self) -> Option<u32> {
+        match self {
+            TraceEvent::CandidateRejected { inst, .. }
+            | TraceEvent::Placed { inst, .. }
+            | TraceEvent::Moved { inst, .. }
+            | TraceEvent::Rejected { inst, .. }
+            | TraceEvent::Renamed { inst, .. } => Some(*inst),
+            _ => None,
+        }
+    }
+}
+
+/// The scheduler's observation hook.
+///
+/// `gis-core` is generic over an implementation of this trait; every
+/// emission site is guarded by [`enabled`](SchedObserver::enabled), so
+/// with the default no-op methods the whole mechanism monomorphizes away
+/// (the event payloads — label strings, candidate lists — are never even
+/// constructed).
+pub trait SchedObserver {
+    /// Whether events should be constructed and delivered at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Receives one event. Only called when [`enabled`](Self::enabled)
+    /// returns true.
+    fn event(&mut self, event: TraceEvent) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing observer: scheduling with it is bit-identical to (and
+/// as fast as) scheduling without observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopObserver;
+
+impl SchedObserver for NopObserver {}
+
+impl<O: SchedObserver + ?Sized> SchedObserver for &mut O {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn event(&mut self, event: TraceEvent) {
+        (**self).event(event);
+    }
+}

@@ -1,0 +1,714 @@
+//! A minimal JSON value type with serializer and parser, plus the
+//! [`TraceEvent`] ⇄ JSON mapping.
+//!
+//! Hand-rolled because the sandbox builds offline (no serde). The
+//! dialect is plain RFC 8259 minus exotica we never produce: integers
+//! round-trip exactly through [`Json::Int`]; floats are printed with
+//! `{:?}` (shortest representation that reparses to the same bits), so
+//! probability payloads round-trip bit-exactly too.
+
+use crate::event::{MotionKind, Pass, RejectReason, TieBreak, TraceEvent};
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let s = format!("{x:?}");
+                    out.push_str(&s);
+                    // `{:?}` prints integral floats as e.g. "1.0" — keep
+                    // the dot so the reparse stays a Float.
+                } else {
+                    out.push_str("null"); // JSON has no NaN/inf
+                }
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON value from `text` (which must contain nothing
+    /// else but whitespace).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization (no whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A malformed JSON document (or a well-formed one that is not a trace
+/// event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs never appear in our output;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("bad number"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------
+// TraceEvent ⇄ JSON
+// ---------------------------------------------------------------------
+
+fn obj(event: &'static str, rest: Vec<(&str, Json)>) -> Json {
+    let mut members = vec![("event".to_owned(), Json::Str(event.to_owned()))];
+    members.extend(rest.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    Json::Obj(members)
+}
+
+fn labels(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+impl TraceEvent {
+    /// Serializes as one compact JSON object (one line, no newline).
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            TraceEvent::PassBegin { pass } => {
+                obj("pass-begin", vec![("pass", Json::Str(pass.name().into()))])
+            }
+            TraceEvent::PassEnd { pass, nanos } => obj(
+                "pass-end",
+                vec![
+                    ("pass", Json::Str(pass.name().into())),
+                    ("nanos", Json::Int(*nanos as i64)),
+                ],
+            ),
+            TraceEvent::WebsRenamed { count } => {
+                obj("webs-renamed", vec![("count", Json::Int(*count as i64))])
+            }
+            TraceEvent::LoopUnrolled { header } => {
+                obj("loop-unrolled", vec![("header", Json::Str(header.clone()))])
+            }
+            TraceEvent::LoopRotated { header } => {
+                obj("loop-rotated", vec![("header", Json::Str(header.clone()))])
+            }
+            TraceEvent::RegionBegin { region, blocks } => obj(
+                "region-begin",
+                vec![
+                    ("region", Json::Int(i64::from(*region))),
+                    ("blocks", labels(blocks)),
+                ],
+            ),
+            TraceEvent::RegionSkipped { region, reason } => obj(
+                "region-skipped",
+                vec![
+                    ("region", Json::Int(i64::from(*region))),
+                    ("reason", Json::Str(reason.code().into())),
+                ],
+            ),
+            TraceEvent::CandidateBlocks {
+                target,
+                equivalent,
+                speculative,
+            } => obj(
+                "candidate-blocks",
+                vec![
+                    ("target", Json::Str(target.clone())),
+                    ("equivalent", labels(equivalent)),
+                    (
+                        "speculative",
+                        Json::Arr(
+                            speculative
+                                .iter()
+                                .map(|(b, p)| {
+                                    Json::Arr(vec![Json::Str(b.clone()), Json::Float(*p)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
+            TraceEvent::SpecBlockRejected {
+                target,
+                block,
+                prob,
+                reason,
+            } => obj(
+                "spec-block-rejected",
+                vec![
+                    ("target", Json::Str(target.clone())),
+                    ("block", Json::Str(block.clone())),
+                    ("prob", Json::Float(*prob)),
+                    ("reason", Json::Str(reason.code().into())),
+                ],
+            ),
+            TraceEvent::CandidateRejected {
+                inst,
+                home,
+                target,
+                reason,
+            } => obj(
+                "candidate-rejected",
+                vec![
+                    ("inst", Json::Int(i64::from(*inst))),
+                    ("home", Json::Str(home.clone())),
+                    ("target", Json::Str(target.clone())),
+                    ("reason", Json::Str(reason.code().into())),
+                ],
+            ),
+            TraceEvent::Placed {
+                inst,
+                block,
+                cycle,
+                tie,
+            } => obj(
+                "placed",
+                vec![
+                    ("inst", Json::Int(i64::from(*inst))),
+                    ("block", Json::Str(block.clone())),
+                    ("cycle", Json::Int(*cycle as i64)),
+                    ("tie", Json::Str(tie.name().into())),
+                ],
+            ),
+            TraceEvent::Moved {
+                inst,
+                from,
+                into,
+                cycle,
+                kind,
+                tie,
+            } => obj(
+                "moved",
+                vec![
+                    ("inst", Json::Int(i64::from(*inst))),
+                    ("from", Json::Str(from.clone())),
+                    ("into", Json::Str(into.clone())),
+                    ("cycle", Json::Int(*cycle as i64)),
+                    ("kind", Json::Str(kind.name().into())),
+                    ("tie", Json::Str(tie.name().into())),
+                ],
+            ),
+            TraceEvent::Rejected {
+                inst,
+                home,
+                target,
+                reason,
+            } => obj(
+                "rejected",
+                vec![
+                    ("inst", Json::Int(i64::from(*inst))),
+                    ("home", Json::Str(home.clone())),
+                    ("target", Json::Str(target.clone())),
+                    ("reason", Json::Str(reason.code().into())),
+                ],
+            ),
+            TraceEvent::Renamed {
+                inst,
+                home,
+                old,
+                new,
+            } => obj(
+                "renamed",
+                vec![
+                    ("inst", Json::Int(i64::from(*inst))),
+                    ("home", Json::Str(home.clone())),
+                    ("old", Json::Str(old.clone())),
+                    ("new", Json::Str(new.clone())),
+                ],
+            ),
+            TraceEvent::BlockScheduled { block, changed } => obj(
+                "block-scheduled",
+                vec![
+                    ("block", Json::Str(block.clone())),
+                    ("changed", Json::Bool(*changed)),
+                ],
+            ),
+        };
+        value.to_string()
+    }
+
+    /// Parses an event back from one JSON line, inverting
+    /// [`TraceEvent::to_json`].
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, JsonError> {
+        let v = Json::parse(line)?;
+        let fail = |what: &str| JsonError {
+            message: format!("missing or bad {what}"),
+            offset: 0,
+        };
+        let s = |key: &str| -> Result<String, JsonError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| fail(key))
+        };
+        let u = |key: &str| -> Result<u64, JsonError> {
+            v.get(key).and_then(Json::as_u64).ok_or_else(|| fail(key))
+        };
+        let u32_of = |key: &str| -> Result<u32, JsonError> {
+            u(key).and_then(|x| u32::try_from(x).map_err(|_| fail(key)))
+        };
+        let f = |key: &str| -> Result<f64, JsonError> {
+            v.get(key).and_then(Json::as_f64).ok_or_else(|| fail(key))
+        };
+        let strs = |key: &str| -> Result<Vec<String>, JsonError> {
+            match v.get(key) {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|i| i.as_str().map(str::to_owned).ok_or_else(|| fail(key)))
+                    .collect(),
+                _ => Err(fail(key)),
+            }
+        };
+        let pass = |key: &str| -> Result<Pass, JsonError> {
+            s(key).and_then(|name| Pass::from_name(&name).ok_or_else(|| fail(key)))
+        };
+        let reason = |key: &str| -> Result<RejectReason, JsonError> {
+            s(key).and_then(|code| RejectReason::from_code(&code).ok_or_else(|| fail(key)))
+        };
+        let tie = |key: &str| -> Result<TieBreak, JsonError> {
+            s(key).and_then(|name| TieBreak::from_name(&name).ok_or_else(|| fail(key)))
+        };
+
+        let event = s("event")?;
+        Ok(match event.as_str() {
+            "pass-begin" => TraceEvent::PassBegin {
+                pass: pass("pass")?,
+            },
+            "pass-end" => TraceEvent::PassEnd {
+                pass: pass("pass")?,
+                nanos: u("nanos")?,
+            },
+            "webs-renamed" => TraceEvent::WebsRenamed { count: u("count")? },
+            "loop-unrolled" => TraceEvent::LoopUnrolled {
+                header: s("header")?,
+            },
+            "loop-rotated" => TraceEvent::LoopRotated {
+                header: s("header")?,
+            },
+            "region-begin" => TraceEvent::RegionBegin {
+                region: u32_of("region")?,
+                blocks: strs("blocks")?,
+            },
+            "region-skipped" => TraceEvent::RegionSkipped {
+                region: u32_of("region")?,
+                reason: reason("reason")?,
+            },
+            "candidate-blocks" => {
+                let speculative = match v.get("speculative") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|pair| match pair {
+                            Json::Arr(kv) if kv.len() == 2 => {
+                                let b = kv[0].as_str().ok_or_else(|| fail("speculative"))?;
+                                let p = kv[1].as_f64().ok_or_else(|| fail("speculative"))?;
+                                Ok((b.to_owned(), p))
+                            }
+                            _ => Err(fail("speculative")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(fail("speculative")),
+                };
+                TraceEvent::CandidateBlocks {
+                    target: s("target")?,
+                    equivalent: strs("equivalent")?,
+                    speculative,
+                }
+            }
+            "spec-block-rejected" => TraceEvent::SpecBlockRejected {
+                target: s("target")?,
+                block: s("block")?,
+                prob: f("prob")?,
+                reason: reason("reason")?,
+            },
+            "candidate-rejected" => TraceEvent::CandidateRejected {
+                inst: u32_of("inst")?,
+                home: s("home")?,
+                target: s("target")?,
+                reason: reason("reason")?,
+            },
+            "placed" => TraceEvent::Placed {
+                inst: u32_of("inst")?,
+                block: s("block")?,
+                cycle: u("cycle")?,
+                tie: tie("tie")?,
+            },
+            "moved" => TraceEvent::Moved {
+                inst: u32_of("inst")?,
+                from: s("from")?,
+                into: s("into")?,
+                cycle: u("cycle")?,
+                kind: s("kind")
+                    .and_then(|name| MotionKind::from_name(&name).ok_or_else(|| fail("kind")))?,
+                tie: tie("tie")?,
+            },
+            "rejected" => TraceEvent::Rejected {
+                inst: u32_of("inst")?,
+                home: s("home")?,
+                target: s("target")?,
+                reason: reason("reason")?,
+            },
+            "renamed" => TraceEvent::Renamed {
+                inst: u32_of("inst")?,
+                home: s("home")?,
+                old: s("old")?,
+                new: s("new")?,
+            },
+            "block-scheduled" => TraceEvent::BlockScheduled {
+                block: s("block")?,
+                changed: match v.get("changed") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err(fail("changed")),
+                },
+            },
+            _ => return Err(fail("event")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Int(-3)),
+            ("b".into(), Json::Float(0.25)),
+            ("c".into(), Json::Str("x \"y\"\nz".into())),
+            ("d".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).expect("parses"), v);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let v = Json::Float(1.0);
+        assert_eq!(v.to_string(), "1.0");
+        assert_eq!(Json::parse("1.0").expect("parses"), v);
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = Json::Str("блок α→β".into());
+        assert_eq!(Json::parse(&v.to_string()).expect("parses"), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2,]").is_err()); // no trailing commas
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The metrics registry: counters plus per-pass wall times, derived from
+//! an event stream.
+
+use crate::event::{MotionKind, Pass, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated view of a trace: named counters and monotonic per-pass
+/// wall times. A machine-readable complement to `SchedStats` — the
+/// counters carry reason codes the flat stats struct cannot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    pass_nanos: Vec<(Pass, u64)>,
+}
+
+impl Metrics {
+    /// Aggregates an event stream.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Metrics {
+        let mut m = Metrics::default();
+        for e in events {
+            m.absorb(e);
+        }
+        m
+    }
+
+    /// Folds one event into the registry.
+    pub fn absorb(&mut self, event: &TraceEvent) {
+        *self.counters.entry("events".into()).or_insert(0) += 1;
+        match event {
+            TraceEvent::PassEnd { pass, nanos } => self.pass_nanos.push((*pass, *nanos)),
+            TraceEvent::WebsRenamed { count } => self.add("webs-renamed", *count),
+            TraceEvent::LoopUnrolled { .. } => self.add("loops-unrolled", 1),
+            TraceEvent::LoopRotated { .. } => self.add("loops-rotated", 1),
+            TraceEvent::RegionBegin { .. } => self.add("regions-scheduled", 1),
+            TraceEvent::RegionSkipped { reason, .. } => {
+                self.add("regions-skipped", 1);
+                self.add(&format!("regions-skipped.{}", reason.code()), 1);
+            }
+            TraceEvent::Moved { kind, .. } => match kind {
+                MotionKind::Useful => self.add("moved-useful", 1),
+                MotionKind::Speculative => self.add("moved-speculative", 1),
+            },
+            TraceEvent::Rejected { reason, .. } | TraceEvent::CandidateRejected { reason, .. } => {
+                self.add(&format!("rejected.{}", reason.code()), 1);
+            }
+            TraceEvent::SpecBlockRejected { reason, .. } => {
+                self.add(&format!("spec-blocks-rejected.{}", reason.code()), 1);
+            }
+            TraceEvent::Renamed { .. } => self.add("renamed-speculative", 1),
+            TraceEvent::BlockScheduled { changed: true, .. } => self.add("blocks-bb-scheduled", 1),
+            _ => {}
+        }
+    }
+
+    fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// A counter's value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Per-pass wall times, in completion order. A pass appears once per
+    /// time it ran (unrolling rounds, the two global passes).
+    pub fn pass_nanos(&self) -> &[(Pass, u64)] {
+        &self.pass_nanos
+    }
+
+    /// Total wall time across recorded passes.
+    pub fn total_nanos(&self) -> u64 {
+        self.pass_nanos.iter().map(|(_, n)| n).sum()
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pass, nanos) in &self.pass_nanos {
+            writeln!(
+                f,
+                "{:<24} {:>12.3} ms",
+                format!("pass.{pass}"),
+                *nanos as f64 / 1e6
+            )?;
+        }
+        for (name, value) in &self.counters {
+            writeln!(f, "{name:<24} {value:>12}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RejectReason, TieBreak};
+
+    #[test]
+    fn counters_and_timings_aggregate() {
+        let events = vec![
+            TraceEvent::PassBegin {
+                pass: Pass::Global1,
+            },
+            TraceEvent::Moved {
+                inst: 18,
+                from: "BL5".into(),
+                into: "CL.0".into(),
+                cycle: 0,
+                kind: MotionKind::Useful,
+                tie: TieBreak::Sole,
+            },
+            TraceEvent::Moved {
+                inst: 12,
+                from: "BL7".into(),
+                into: "CL.0".into(),
+                cycle: 1,
+                kind: MotionKind::Speculative,
+                tie: TieBreak::CriticalPath,
+            },
+            TraceEvent::Rejected {
+                inst: 5,
+                home: "BL5".into(),
+                target: "CL.0".into(),
+                reason: RejectReason::LiveOnExit,
+            },
+            TraceEvent::PassEnd {
+                pass: Pass::Global1,
+                nanos: 1_000,
+            },
+            TraceEvent::PassEnd {
+                pass: Pass::FinalBb,
+                nanos: 500,
+            },
+        ];
+        let m = Metrics::from_events(&events);
+        assert_eq!(m.counter("moved-useful"), 1);
+        assert_eq!(m.counter("moved-speculative"), 1);
+        assert_eq!(m.counter("rejected.live-on-exit"), 1);
+        assert_eq!(m.counter("events"), 6);
+        assert_eq!(m.counter("no-such-counter"), 0);
+        assert_eq!(
+            m.pass_nanos(),
+            &[(Pass::Global1, 1_000), (Pass::FinalBb, 500)]
+        );
+        assert_eq!(m.total_nanos(), 1_500);
+    }
+}

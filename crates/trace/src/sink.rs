@@ -1,0 +1,347 @@
+//! Event sinks: the in-memory ring buffer, the human-readable report,
+//! and the JSON-lines writer.
+
+use crate::event::{SchedObserver, TraceEvent};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// An in-memory event sink. Unbounded by default; with a capacity it
+/// behaves as a ring buffer — the oldest events fall out and are counted
+/// in [`Recorder::dropped`], so long compilations keep the interesting
+/// tail without unbounded growth.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    events: VecDeque<TraceEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl Recorder {
+    /// An unbounded recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// A ring buffer keeping only the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity ring records nothing");
+        Recorder {
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Recorded event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events the ring displaced.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the recorder, yielding the events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+
+    /// Renders the recorded events as a human-readable report.
+    pub fn report(&self) -> String {
+        let events: Vec<&TraceEvent> = self.events.iter().collect();
+        render_report(events.into_iter())
+    }
+
+    /// Serializes the recorded events as JSON lines (one event per line,
+    /// trailing newline).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SchedObserver for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&mut self, event: TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// An observer that writes each event as one JSON line to `w`.
+///
+/// Write errors are swallowed at emission time (the scheduler must not
+/// fail because a trace pipe closed) and surfaced by
+/// [`JsonLines::finish`].
+#[derive(Debug)]
+pub struct JsonLines<W: Write> {
+    w: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonLines<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonLines { w, error: None }
+    }
+
+    /// Flushes and returns the writer, or the first write error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> SchedObserver for JsonLines<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.w, "{}", event.to_json()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+fn join(items: &[String]) -> String {
+    items.join(" ")
+}
+
+/// Renders an event stream as indented, human-readable text — the
+/// `--trace` output of the CLI.
+pub fn render_report<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::new();
+    let mut line = |depth: usize, text: String| {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&text);
+        out.push('\n');
+    };
+    for e in events {
+        match e {
+            TraceEvent::PassBegin { pass } => line(0, format!("pass {pass}")),
+            TraceEvent::PassEnd { pass, nanos } => {
+                line(
+                    0,
+                    format!("pass {pass} done in {:.3} ms", *nanos as f64 / 1e6),
+                );
+            }
+            TraceEvent::WebsRenamed { count } => line(1, format!("{count} register webs renamed")),
+            TraceEvent::LoopUnrolled { header } => line(1, format!("loop {header} unrolled")),
+            TraceEvent::LoopRotated { header } => line(1, format!("loop {header} rotated")),
+            TraceEvent::RegionBegin { region, blocks } => {
+                line(1, format!("region {region} [{}]", join(blocks)));
+            }
+            TraceEvent::RegionSkipped { region, reason } => {
+                line(1, format!("region {region} skipped: {reason}"));
+            }
+            TraceEvent::CandidateBlocks {
+                target,
+                equivalent,
+                speculative,
+            } => {
+                let spec = speculative
+                    .iter()
+                    .map(|(b, p)| {
+                        if (*p - 1.0).abs() < f64::EPSILON {
+                            b.clone()
+                        } else {
+                            format!("{b}(p={p:.2})")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                line(
+                    2,
+                    format!(
+                        "{target}: equivalent [{}] speculative [{spec}]",
+                        join(equivalent)
+                    ),
+                );
+            }
+            TraceEvent::SpecBlockRejected {
+                target,
+                block,
+                prob,
+                reason,
+            } => {
+                line(
+                    2,
+                    format!("{target}: block {block} (p={prob:.2}) barred: {reason}"),
+                );
+            }
+            TraceEvent::CandidateRejected {
+                inst,
+                home,
+                target,
+                reason,
+            } => {
+                line(3, format!("I{inst} {home} -/-> {target}: {reason}"));
+            }
+            TraceEvent::Placed {
+                inst,
+                block,
+                cycle,
+                tie,
+            } => {
+                line(
+                    3,
+                    format!("I{inst} stays in {block} @ cycle {cycle} (tie: {tie})"),
+                );
+            }
+            TraceEvent::Moved {
+                inst,
+                from,
+                into,
+                cycle,
+                kind,
+                tie,
+            } => {
+                line(
+                    3,
+                    format!("I{inst} {from} -> {into} @ cycle {cycle} ({kind}, tie: {tie})"),
+                );
+            }
+            TraceEvent::Rejected {
+                inst,
+                home,
+                target,
+                reason,
+            } => {
+                line(3, format!("I{inst} {home} -/-> {target}: {reason}"));
+            }
+            TraceEvent::Renamed {
+                inst,
+                home,
+                old,
+                new,
+            } => {
+                line(3, format!("I{inst} in {home}: {old} renamed to {new}"));
+            }
+            TraceEvent::BlockScheduled { block, changed } => {
+                line(
+                    1,
+                    format!(
+                        "bb {block}: {}",
+                        if *changed { "reordered" } else { "unchanged" }
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MotionKind, Pass, TieBreak};
+
+    fn moved(inst: u32) -> TraceEvent {
+        TraceEvent::Moved {
+            inst,
+            from: "BL5".into(),
+            into: "CL.0".into(),
+            cycle: 3,
+            kind: MotionKind::Useful,
+            tie: TieBreak::DelayHeuristic,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut r = Recorder::with_capacity(3);
+        for i in 0..10 {
+            r.event(moved(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let kept: Vec<u32> = r
+            .events()
+            .map(|e| match e {
+                TraceEvent::Moved { inst, .. } => *inst,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn unbounded_recorder_keeps_everything() {
+        let mut r = Recorder::new();
+        for i in 0..100 {
+            r.event(moved(i));
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn report_mentions_the_motion() {
+        let mut r = Recorder::new();
+        r.event(TraceEvent::PassBegin {
+            pass: Pass::Global1,
+        });
+        r.event(moved(18));
+        let report = r.report();
+        assert!(report.contains("pass global-1"), "{report}");
+        assert!(report.contains("I18 BL5 -> CL.0"), "{report}");
+    }
+
+    #[test]
+    fn json_lines_writer_round_trips() {
+        let mut w = JsonLines::new(Vec::new());
+        w.event(moved(18));
+        w.event(TraceEvent::PassEnd {
+            pass: Pass::Global2,
+            nanos: 12_345,
+        });
+        let bytes = w.finish().expect("no io errors on a Vec");
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_json_line(l).expect("parses"))
+            .collect();
+        assert_eq!(parsed[0], moved(18));
+        assert_eq!(
+            parsed[1],
+            TraceEvent::PassEnd {
+                pass: Pass::Global2,
+                nanos: 12_345
+            }
+        );
+    }
+}

@@ -7,4 +7,5 @@
 //! ESPRESSO, GCC) — see DESIGN.md for the substitution rationale.
 
 pub mod minmax;
+pub mod rng;
 pub mod spec;

@@ -108,7 +108,10 @@ pub fn figure2_function(n: i64) -> Function {
 /// Panics if `a` is empty or has even length (see above).
 pub fn reference_minmax(a: &[i64]) -> (i64, i64) {
     assert!(!a.is_empty(), "figure 1 reads a[0] unconditionally");
-    assert!(a.len() % 2 == 1, "the pairwise loop needs an odd element count");
+    assert!(
+        a.len() % 2 == 1,
+        "the pairwise loop needs an odd element count"
+    );
     let mut min = a[0];
     let mut max = min;
     let mut i = 1;
@@ -137,7 +140,10 @@ pub fn reference_minmax(a: &[i64]) -> (i64, i64) {
 /// The memory image for running [`figure2_function`]: `(byte address,
 /// value)` pairs placing `a` at [`ARRAY_BASE`] with 4-byte elements.
 pub fn memory_image(a: &[i64]) -> Vec<(i64, i64)> {
-    a.iter().enumerate().map(|(i, &v)| (ARRAY_BASE + 4 * i as i64, v)).collect()
+    a.iter()
+        .enumerate()
+        .map(|(i, &v)| (ARRAY_BASE + 4 * i as i64, v))
+        .collect()
 }
 
 #[cfg(test)]

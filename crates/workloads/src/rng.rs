@@ -1,0 +1,140 @@
+//! A tiny deterministic PRNG for test and workload generation.
+//!
+//! The sandbox builds offline, so the external `rand`/`proptest` crates
+//! are unavailable; every randomized generator in the repository draws
+//! from this xorshift64* generator instead. It is seedable, `no_std`-ish
+//! simple, and good enough for fuzz-style structural coverage (Vigna,
+//! "An experimental exploration of Marsaglia's xorshift generators").
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from `seed` (any value; zero is remapped, the
+    /// xorshift state must be nonzero).
+    pub fn new(seed: u64) -> Self {
+        XorShift64Star {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_i64(i64::from(lo), i64::from(hi)) as u32
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// An index drawn from explicit weights: returns `i` with probability
+    /// `weights[i] / sum(weights)` (the replacement for `prop_oneof!`'s
+    /// weighted alternatives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[usize]) -> usize {
+        let total: usize = weights.iter().sum();
+        let mut roll = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        unreachable!("roll is below the total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = XorShift64Star::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift64Star::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = XorShift64Star::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64Star::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = XorShift64Star::new(7);
+        for _ in 0..1000 {
+            let v = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+            assert!(r.below(3) < 3);
+        }
+    }
+
+    #[test]
+    fn weighted_hits_every_bucket() {
+        let mut r = XorShift64Star::new(9);
+        let mut hits = [0usize; 3];
+        for _ in 0..300 {
+            hits[r.weighted(&[1, 2, 3])] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 0), "{hits:?}");
+    }
+}

@@ -44,18 +44,26 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self, bound: i64) -> i64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((self.0 >> 33) as i64).rem_euclid(bound)
     }
 }
 
 fn build(name: &'static str, src: &str, arrays: &[(&str, &[i64])]) -> Workload {
-    let program = compile_program(src)
-        .unwrap_or_else(|e| panic!("workload {name} fails to compile: {e}"));
+    let program =
+        compile_program(src).unwrap_or_else(|e| panic!("workload {name} fails to compile: {e}"));
     let memory = program
         .initial_memory(arrays)
         .unwrap_or_else(|e| panic!("workload {name} memory: {e}"));
-    Workload { name, program, memory, source: src.to_owned() }
+    Workload {
+        name,
+        program,
+        memory,
+        source: src.to_owned(),
+    }
 }
 
 /// LI stand-in: a stack-machine interpreter loop (`size` opcodes).
@@ -162,7 +170,11 @@ pub fn gcc(size: usize) -> Workload {
 /// The minmax running example as a [`Workload`] (array of `size` odd
 /// elements).
 pub fn minmax_workload(size: usize) -> Workload {
-    let size = if size % 2 == 0 { size + 1 } else { size };
+    let size = if size.is_multiple_of(2) {
+        size + 1
+    } else {
+        size
+    };
     let mut lcg = Lcg(0x55);
     let a: Vec<i64> = (0..size).map(|_| lcg.next(10_000) - 5_000).collect();
     let program = CompiledProgram {
@@ -174,7 +186,12 @@ pub fn minmax_workload(size: usize) -> Workload {
         }],
         text: String::new(),
     };
-    Workload { name: "MINMAX", program, memory: minmax::memory_image(&a), source: String::new() }
+    Workload {
+        name: "MINMAX",
+        program,
+        memory: minmax::memory_image(&a),
+        source: String::new(),
+    }
 }
 
 /// The four §6 benchmarks at the given input size.

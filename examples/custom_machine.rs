@@ -50,10 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.class(OpClass::Branch, bru, 1);
     b.class(OpClass::Call, alu, 10);
     b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 3);
-    b.delay(ClassMatcher::One(OpClass::FxCompare), ClassMatcher::One(OpClass::Branch), 2);
+    b.delay(
+        ClassMatcher::One(OpClass::FxCompare),
+        ClassMatcher::One(OpClass::Branch),
+        2,
+    );
     let slow_mem = b.finish()?;
 
-    println!("{:<14} {:>12} {:>12} {:>8}", "MACHINE", "BASE(cyc)", "GLOBAL(cyc)", "WIN");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "MACHINE", "BASE(cyc)", "GLOBAL(cyc)", "WIN"
+    );
     for machine in [
         MachineDescription::scalar_pipeline(),
         MachineDescription::rs6k(),

@@ -19,9 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut results = Vec::new();
     for (label, config) in [
         ("Figure 2 (unscheduled)", None),
-        ("Figure 5 (useful)", Some(SchedConfig::paper_example(SchedLevel::Useful))),
-        ("Figure 6 (speculative)", Some(SchedConfig::paper_example(SchedLevel::Speculative))),
-        ("full pipeline (unroll+rotate+bb)", Some(SchedConfig::speculative())),
+        (
+            "Figure 5 (useful)",
+            Some(SchedConfig::paper_example(SchedLevel::Useful)),
+        ),
+        (
+            "Figure 6 (speculative)",
+            Some(SchedConfig::paper_example(SchedLevel::Speculative)),
+        ),
+        (
+            "full pipeline (unroll+rotate+bb)",
+            Some(SchedConfig::speculative()),
+        ),
     ] {
         let mut f = minmax::figure2_function(a.len() as i64);
         if let Some(config) = &config {
@@ -29,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let out = execute(&f, &memory, &ExecConfig::default())?;
         let cycles = TimingSim::new(&f, &machine).run(&out.block_trace).cycles;
-        println!("--- {label}: {cycles} cycles, printed {:?} ---", out.printed());
+        println!(
+            "--- {label}: {cycles} cycles, printed {:?} ---",
+            out.printed()
+        );
         if !label.starts_with("full") {
             println!("{f}");
         }

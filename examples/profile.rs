@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              print(s); print(t);
          }",
     )?;
-    let data: Vec<i64> = (0..256).map(|k| if k % 20 == 0 { 950 } else { k % 100 }).collect();
+    let data: Vec<i64> = (0..256)
+        .map(|k| if k % 20 == 0 { 950 } else { k % 100 })
+        .collect();
     let memory = program.initial_memory(&[("a", &data)])?;
     let machine = MachineDescription::rs6k();
 

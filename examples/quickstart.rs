@@ -71,15 +71,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut before = function.clone();
     compile(&mut before, &machine, &SchedConfig::base())?;
     let out_before = execute(&before, &memory, &ExecConfig::default())?;
-    let cycles_before = TimingSim::new(&before, &machine).run(&out_before.block_trace).cycles;
+    let cycles_before = TimingSim::new(&before, &machine)
+        .run(&out_before.block_trace)
+        .cycles;
 
     // After: full global scheduling (useful + 1-branch speculative).
     let mut after = function.clone();
     let stats = compile(&mut after, &machine, &SchedConfig::speculative())?;
     let out_after = execute(&after, &memory, &ExecConfig::default())?;
-    let cycles_after = TimingSim::new(&after, &machine).run(&out_after.block_trace).cycles;
+    let cycles_after = TimingSim::new(&after, &machine)
+        .run(&out_after.block_trace)
+        .cycles;
 
-    assert!(out_before.equivalent(&out_after), "scheduling preserved behaviour");
+    assert!(
+        out_before.equivalent(&out_after),
+        "scheduling preserved behaviour"
+    );
 
     println!("scheduled function:\n{after}");
     println!("printed: {:?}", out_after.printed());

@@ -51,7 +51,10 @@ B4:
     println!("scheduler: {stats}");
 
     assert_eq!(stats.moved_speculative, 1, "exactly one assignment moved");
-    assert!(stats.rejected_live_out >= 1, "the other was rejected by §5.3");
+    assert!(
+        stats.rejected_live_out >= 1,
+        "the other was rejected by §5.3"
+    );
 
     // Behaviour is identical for both branch outcomes. Registers start at
     // zero in the simulator, so load the comparison inputs from memory to
@@ -71,7 +74,10 @@ B4:
         let b = execute(&steered_sched, &memory, &ExecConfig::default())?;
         assert!(a.equivalent(&b), "r1={r1}, r2={r2}");
         assert_eq!(b.printed(), vec![expect]);
-        println!("inputs ({r1}, {r2}): printed {:?} before and after.", b.printed());
+        println!(
+            "inputs ({r1}, {r2}): printed {:?} before and after.",
+            b.printed()
+        );
     }
     Ok(())
 }

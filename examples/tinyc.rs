@@ -47,8 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let after = execute(&scheduled, &memory, &ExecConfig::default())?;
     assert!(before.equivalent(&after));
 
-    let base = TimingSim::new(&program.function, &machine).run(&before.block_trace).cycles;
-    let opt = TimingSim::new(&scheduled, &machine).run(&after.block_trace).cycles;
+    let base = TimingSim::new(&program.function, &machine)
+        .run(&before.block_trace)
+        .cycles;
+    let opt = TimingSim::new(&scheduled, &machine)
+        .run(&after.block_trace)
+        .cycles;
 
     // 360 = 2^3 * 3^2 * 5: divisors in 1..=32 are
     // 1,2,3,4,5,6,8,9,10,12,15,18,20,24,30 — fifteen of them.

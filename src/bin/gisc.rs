@@ -12,6 +12,10 @@
 //!   --run                execute after scheduling and report cycles
 //!   --stats              print scheduler statistics
 //!   --dot-cfg            print the CFG in DOT instead of code
+//!   --trace              print the scheduler's decision trace (stderr)
+//!   --trace=json:<path>  also write the trace as JSON lines to <path>
+//!   --explain <inst>     print every decision about one instruction (I8 or 8)
+//!   --timeline           with --run: per-cycle unit occupancy and stalls
 //! ```
 //!
 //! Examples:
@@ -22,10 +26,11 @@
 //! ```
 
 use gis_cfg::{cfg_to_dot, Cfg};
-use gis_core::{compile, SchedConfig, SchedLevel};
+use gis_core::{compile_observed, SchedConfig, SchedLevel};
 use gis_ir::{parse_function, Function};
 use gis_machine::MachineDescription;
 use gis_sim::{execute, ExecConfig, TimingSim};
+use gis_trace::{render_report, Metrics, NopObserver, Recorder, TraceEvent};
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -40,13 +45,18 @@ struct Options {
     stats: bool,
     dot_cfg: bool,
     opt: bool,
+    trace: bool,
+    trace_json: Option<String>,
+    explain: Option<u32>,
+    timeline: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
          [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
-         [--paper] [--branches N] [--opt] [--run] [--stats] [--dot-cfg] <file|->"
+         [--paper] [--branches N] [--opt] [--run] [--stats] [--dot-cfg] \
+         [--trace[=json:<path>]] [--explain <inst>] [--timeline] <file|->"
     );
     std::process::exit(2)
 }
@@ -63,6 +73,10 @@ fn parse_args() -> Options {
         stats: false,
         dot_cfg: false,
         opt: false,
+        trace: false,
+        trace_json: None,
+        explain: None,
+        timeline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -108,7 +122,22 @@ fn parse_args() -> Options {
             "--run" => opts.run = true,
             "--stats" => opts.stats = true,
             "--dot-cfg" => opts.dot_cfg = true,
+            "--trace" => opts.trace = true,
+            "--explain" => {
+                let inst = args.next().unwrap_or_else(|| usage());
+                let digits = inst.strip_prefix('I').unwrap_or(&inst);
+                opts.explain = Some(digits.parse().unwrap_or_else(|_| usage()));
+            }
+            "--timeline" => opts.timeline = true,
             "-h" | "--help" => usage(),
+            other if other.starts_with("--trace=") => {
+                let spec = &other["--trace=".len()..];
+                let Some(path) = spec.strip_prefix("json:") else {
+                    usage()
+                };
+                opts.trace = true;
+                opts.trace_json = Some(path.to_owned());
+            }
             other if opts.file.is_empty() => opts.file = other.to_owned(),
             _ => usage(),
         }
@@ -152,7 +181,10 @@ fn drive(opts: &Options) -> Result<(), String> {
         let program = gis_tinyc::compile_program(&text).map_err(|e| e.to_string())?;
         (program.function, Vec::new())
     } else {
-        (parse_function(&text).map_err(|e| e.to_string())?, Vec::new())
+        (
+            parse_function(&text).map_err(|e| e.to_string())?,
+            Vec::new(),
+        )
     };
 
     let mut config = SchedConfig::speculative();
@@ -169,7 +201,36 @@ fn drive(opts: &Options) -> Result<(), String> {
             eprintln!("optimizer: {ostats}");
         }
     }
-    let stats = compile(&mut function, &opts.machine, &config).map_err(|e| e.to_string())?;
+    // Trace when any trace-consuming flag is on; otherwise compile with
+    // the no-op observer (bit-identical schedules either way).
+    let tracing = opts.trace || opts.explain.is_some();
+    let mut recorder = Recorder::new();
+    let stats = if tracing {
+        compile_observed(&mut function, &opts.machine, &config, &mut recorder)
+    } else {
+        compile_observed(&mut function, &opts.machine, &config, &mut NopObserver)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if opts.trace {
+        eprint!("{}", recorder.report());
+        eprint!("{}", Metrics::from_events(recorder.events()));
+    }
+    if let Some(path) = &opts.trace_json {
+        std::fs::write(path, recorder.to_json_lines())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(inst) = opts.explain {
+        let about: Vec<&TraceEvent> = recorder
+            .events()
+            .filter(|e| e.inst() == Some(inst))
+            .collect();
+        if about.is_empty() {
+            eprintln!("I{inst}: no scheduling decisions recorded");
+        } else {
+            eprint!("{}", render_report(about.into_iter()));
+        }
+    }
 
     if opts.dot_cfg {
         let cfg = Cfg::new(&function);
@@ -191,10 +252,7 @@ fn drive(opts: &Options) -> Result<(), String> {
         }
         let base = TimingSim::new(&original, &opts.machine).run(&before.block_trace);
         let opt = TimingSim::new(&function, &opts.machine).run(&after.block_trace);
-        eprintln!(
-            "printed: {:?}",
-            after.printed()
-        );
+        eprintln!("printed: {:?}", after.printed());
         eprintln!(
             "cycles on {}: {} -> {} ({:+.1}%)",
             opts.machine.name(),
@@ -202,6 +260,9 @@ fn drive(opts: &Options) -> Result<(), String> {
             opt.cycles,
             100.0 * (opt.cycles as f64 - base.cycles as f64) / base.cycles as f64
         );
+        if opts.timeline {
+            eprint!("{}", opt.timeline(&opts.machine).render(200));
+        }
     }
     Ok(())
 }

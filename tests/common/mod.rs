@@ -1,171 +1,205 @@
-//! Shared test support: a random tinyc program generator used by the
-//! differential and invariant property tests.
+//! Shared test support: a seeded random tinyc program generator used by
+//! the differential and invariant tests (a hand-rolled replacement for
+//! the previous proptest strategies — the sandbox builds offline, so the
+//! generator draws from the in-repo xorshift64* PRNG instead).
 #![allow(dead_code)]
 
 use gis_tinyc::{BinOp, Expr, Program, Stmt, UnOp};
-use proptest::prelude::*;
+use gis_workloads::rng::XorShift64Star;
 
 pub const VARS: [&str; 6] = ["v0", "v1", "v2", "v3", "v4", "v5"];
 pub const ARRAYS: [&str; 2] = ["a0", "a1"];
 pub const ARRAY_LEN: usize = 8;
 
-pub fn arb_value_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(Expr::Int),
-        (0..VARS.len()).prop_map(|i| Expr::Var(VARS[i].into())),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let inner = arb_value_expr(depth - 1);
-    prop_oneof![
-        4 => leaf,
-        1 => (0..ARRAYS.len(), inner.clone()).prop_map(|(a, e)| {
-            // Keep indices in bounds: out-of-range stores would alias the
-            // neighbouring array, which (as in C) the compiler is allowed
-            // to assume cannot happen.
-            Expr::Index(
-                ARRAYS[a].into(),
-                Box::new(Expr::Binary(
-                    BinOp::And,
-                    Box::new(e),
-                    Box::new(Expr::Int(ARRAY_LEN as i64 - 1)),
-                )),
-            )
-        }),
-        1 => inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
-        4 => (
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div),
-                Just(BinOp::Rem),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Xor),
-                Just(BinOp::Shl),
-                Just(BinOp::Shr),
-            ],
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, l, r)| {
-                // Bound shift amounts so they stay architectural.
-                let r = if matches!(op, BinOp::Shl | BinOp::Shr) {
-                    Expr::Binary(BinOp::And, Box::new(r), Box::new(Expr::Int(7)))
-                } else {
-                    r
-                };
-                Expr::Binary(op, Box::new(l), Box::new(r))
-            }),
-    ]
-    .boxed()
+const VALUE_OPS: [BinOp; 10] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+const CMP_OPS: [BinOp; 6] = [
+    BinOp::Lt,
+    BinOp::Gt,
+    BinOp::Le,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+];
+
+/// An in-bounds array index expression: `e & (ARRAY_LEN - 1)`.
+/// Out-of-range accesses would alias the neighbouring array, which (as in
+/// C) the compiler is allowed to assume cannot happen.
+fn bounded_index(e: Expr) -> Expr {
+    Expr::Binary(
+        BinOp::And,
+        Box::new(e),
+        Box::new(Expr::Int(ARRAY_LEN as i64 - 1)),
+    )
 }
 
-pub fn arb_cond(depth: u32) -> BoxedStrategy<Expr> {
-    let cmp = (
-        prop_oneof![
-            Just(BinOp::Lt),
-            Just(BinOp::Gt),
-            Just(BinOp::Le),
-            Just(BinOp::Ge),
-            Just(BinOp::Eq),
-            Just(BinOp::Ne),
-        ],
-        arb_value_expr(1),
-        arb_value_expr(1),
-    )
-        .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r)));
+pub fn arb_value_expr(r: &mut XorShift64Star, depth: u32) -> Expr {
+    let leaf = |r: &mut XorShift64Star| {
+        if r.chance(1, 2) {
+            Expr::Int(r.range_i64(-100, 100))
+        } else {
+            Expr::Var(VARS[r.below(VARS.len())].into())
+        }
+    };
     if depth == 0 {
-        return cmp.boxed();
+        return leaf(r);
     }
-    let inner = arb_cond(depth - 1);
-    prop_oneof![
-        3 => cmp,
-        1 => (inner.clone(), inner.clone())
-            .prop_map(|(l, r)| Expr::Binary(BinOp::LogAnd, Box::new(l), Box::new(r))),
-        1 => (inner.clone(), inner.clone())
-            .prop_map(|(l, r)| Expr::Binary(BinOp::LogOr, Box::new(l), Box::new(r))),
-        1 => inner.prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-    ]
-    .boxed()
+    match r.weighted(&[4, 1, 1, 4]) {
+        0 => leaf(r),
+        1 => {
+            let a = r.below(ARRAYS.len());
+            let idx = bounded_index(arb_value_expr(r, depth - 1));
+            Expr::Index(ARRAYS[a].into(), Box::new(idx))
+        }
+        2 => Expr::Unary(UnOp::Neg, Box::new(arb_value_expr(r, depth - 1))),
+        _ => {
+            let op = *r.pick(&VALUE_OPS);
+            let l = arb_value_expr(r, depth - 1);
+            let mut rhs = arb_value_expr(r, depth - 1);
+            // Bound shift amounts so they stay architectural.
+            if matches!(op, BinOp::Shl | BinOp::Shr) {
+                rhs = Expr::Binary(BinOp::And, Box::new(rhs), Box::new(Expr::Int(7)));
+            }
+            Expr::Binary(op, Box::new(l), Box::new(rhs))
+        }
+    }
+}
+
+pub fn arb_cond(r: &mut XorShift64Star, depth: u32) -> Expr {
+    let cmp = |r: &mut XorShift64Star| {
+        let op = *r.pick(&CMP_OPS);
+        Expr::Binary(
+            op,
+            Box::new(arb_value_expr(r, 1)),
+            Box::new(arb_value_expr(r, 1)),
+        )
+    };
+    if depth == 0 {
+        return cmp(r);
+    }
+    match r.weighted(&[3, 1, 1, 1]) {
+        0 => cmp(r),
+        1 => Expr::Binary(
+            BinOp::LogAnd,
+            Box::new(arb_cond(r, depth - 1)),
+            Box::new(arb_cond(r, depth - 1)),
+        ),
+        2 => Expr::Binary(
+            BinOp::LogOr,
+            Box::new(arb_cond(r, depth - 1)),
+            Box::new(arb_cond(r, depth - 1)),
+        ),
+        _ => Expr::Unary(UnOp::Not, Box::new(arb_cond(r, depth - 1))),
+    }
+}
+
+fn stmt_vec(
+    r: &mut XorShift64Star,
+    depth: u32,
+    loop_depth: u32,
+    lo: usize,
+    hi: usize,
+) -> Vec<Stmt> {
+    let n = lo + r.below(hi - lo);
+    (0..n).map(|_| arb_stmt(r, depth, loop_depth)).collect()
 }
 
 /// Statements that never write the loop counters (`c0..`), so generated
 /// loops always terminate.
-pub fn arb_stmt(depth: u32, loop_depth: u32) -> BoxedStrategy<Stmt> {
-    let assign = (0..VARS.len(), arb_value_expr(2))
-        .prop_map(|(v, e)| Stmt::Assign(VARS[v].into(), e));
-    let store = (0..ARRAYS.len(), arb_value_expr(1), arb_value_expr(2)).prop_map(|(a, i, e)| {
+pub fn arb_stmt(r: &mut XorShift64Star, depth: u32, loop_depth: u32) -> Stmt {
+    let assign = |r: &mut XorShift64Star| {
+        Stmt::Assign(VARS[r.below(VARS.len())].into(), arb_value_expr(r, 2))
+    };
+    let store = |r: &mut XorShift64Star| {
         Stmt::Store(
-            ARRAYS[a].into(),
-            Expr::Binary(BinOp::And, Box::new(i), Box::new(Expr::Int(ARRAY_LEN as i64 - 1))),
-            e,
+            ARRAYS[r.below(ARRAYS.len())].into(),
+            bounded_index(arb_value_expr(r, 1)),
+            arb_value_expr(r, 2),
         )
-    });
-    let print = arb_value_expr(2).prop_map(Stmt::Print);
-    let call = Just(Stmt::Call("ext".into()));
-    if depth == 0 {
-        return prop_oneof![3 => assign, 2 => store, 2 => print, 1 => call].boxed();
-    }
-    let body = prop::collection::vec(arb_stmt(depth - 1, loop_depth + 1), 1..4);
-    let if_stmt = (arb_cond(1), body.clone(), prop::collection::vec(arb_stmt(depth - 1, loop_depth + 1), 0..3))
-        .prop_map(|(c, t, e)| Stmt::If(c, t, e));
-    let while_stmt = (body, 1u8..6).prop_map(move |(mut stmts, iters)| {
-        // Counted loop: `ck = 0; while (ck < iters) { ...; ck = ck + 1; }`
-        // wrapped as two statements via a synthetic if-true.
-        let counter = format!("c{loop_depth}");
-        stmts.push(Stmt::Assign(
-            counter.clone(),
-            Expr::Binary(BinOp::Add, Box::new(Expr::Var(counter.clone())), Box::new(Expr::Int(1))),
-        ));
-        Stmt::If(
-            Expr::Int(1),
-            vec![
-                Stmt::Assign(counter.clone(), Expr::Int(0)),
-                Stmt::While(
-                    Expr::Binary(
-                        BinOp::Lt,
-                        Box::new(Expr::Var(counter)),
-                        Box::new(Expr::Int(i64::from(iters))),
-                    ),
-                    stmts,
+    };
+    let choice = if depth == 0 {
+        r.weighted(&[3, 2, 2, 1])
+    } else {
+        r.weighted(&[3, 2, 2, 1, 2, 2])
+    };
+    match choice {
+        0 => assign(r),
+        1 => store(r),
+        2 => Stmt::Print(arb_value_expr(r, 2)),
+        3 => Stmt::Call("ext".into()),
+        4 => {
+            let c = arb_cond(r, 1);
+            let then = stmt_vec(r, depth - 1, loop_depth + 1, 1, 4);
+            let els = stmt_vec(r, depth - 1, loop_depth + 1, 0, 3);
+            Stmt::If(c, then, els)
+        }
+        _ => {
+            // Counted loop: `ck = 0; while (ck < iters) { ...; ck = ck + 1; }`
+            // wrapped as two statements via a synthetic if-true.
+            let mut stmts = stmt_vec(r, depth - 1, loop_depth + 1, 1, 4);
+            let iters = r.range_i64(1, 6);
+            let counter = format!("c{loop_depth}");
+            stmts.push(Stmt::Assign(
+                counter.clone(),
+                Expr::Binary(
+                    BinOp::Add,
+                    Box::new(Expr::Var(counter.clone())),
+                    Box::new(Expr::Int(1)),
                 ),
-            ],
-            Vec::new(),
-        )
-    });
-    prop_oneof![
-        3 => assign,
-        2 => store,
-        2 => print,
-        1 => call,
-        2 => if_stmt,
-        2 => while_stmt,
-    ]
-    .boxed()
-}
-
-prop_compose! {
-    pub fn arb_program()(
-        inits in prop::collection::vec(-50i64..50, VARS.len()),
-        a0 in prop::collection::vec(-100i64..100, ARRAY_LEN),
-        a1 in prop::collection::vec(-100i64..100, ARRAY_LEN),
-        body in prop::collection::vec(arb_stmt(2, 0), 1..8),
-    ) -> (Program, Vec<i64>, Vec<i64>) {
-        let mut globals = Vec::new();
-        for (name, init) in VARS.iter().zip(&inits) {
-            globals.push(gis_tinyc::Global::scalar(*name, *init));
+            ));
+            Stmt::If(
+                Expr::Int(1),
+                vec![
+                    Stmt::Assign(counter.clone(), Expr::Int(0)),
+                    Stmt::While(
+                        Expr::Binary(
+                            BinOp::Lt,
+                            Box::new(Expr::Var(counter)),
+                            Box::new(Expr::Int(iters)),
+                        ),
+                        stmts,
+                    ),
+                ],
+                Vec::new(),
+            )
         }
-        // Loop counters for nesting depths 0..4.
-        for d in 0..4 {
-            globals.push(gis_tinyc::Global::scalar(format!("c{d}"), 0));
-        }
-        for a in ARRAYS {
-            globals.push(gis_tinyc::Global::array(a, ARRAY_LEN));
-        }
-        (Program { globals, name: "random".into(), body }, a0, a1)
     }
 }
 
+/// A whole random program plus the initial contents of its two arrays.
+pub fn arb_program(r: &mut XorShift64Star) -> (Program, Vec<i64>, Vec<i64>) {
+    let mut globals = Vec::new();
+    for name in VARS {
+        globals.push(gis_tinyc::Global::scalar(name, r.range_i64(-50, 50)));
+    }
+    // Loop counters for nesting depths 0..4.
+    for d in 0..4 {
+        globals.push(gis_tinyc::Global::scalar(format!("c{d}"), 0));
+    }
+    for a in ARRAYS {
+        globals.push(gis_tinyc::Global::array(a, ARRAY_LEN));
+    }
+    let a0: Vec<i64> = (0..ARRAY_LEN).map(|_| r.range_i64(-100, 100)).collect();
+    let a1: Vec<i64> = (0..ARRAY_LEN).map(|_| r.range_i64(-100, 100)).collect();
+    let body = stmt_vec(r, 2, 0, 1, 8);
+    (
+        Program {
+            globals,
+            name: "random".into(),
+            body,
+        },
+        a0,
+        a1,
+    )
+}

@@ -12,7 +12,11 @@ fn schedules_a_tinyc_kernel_end_to_end() {
         .args(["--opt", "--run", "--stats", "examples/kernels/minmax.c"])
         .output()
         .expect("gisc runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stdout.contains("func minmax"), "{stdout}");
@@ -37,7 +41,11 @@ fn assembles_ir_from_stdin() {
         .write_all(b"func t\nA:\n LI r1=5\n PRINT r1\n RET\n")
         .expect("writes");
     let out = child.wait_with_output().expect("finishes");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("PRINT"), "{stdout}");
 }
@@ -51,7 +59,12 @@ fn rejects_bad_input_with_a_message() {
         .stderr(std::process::Stdio::piped())
         .spawn()
         .expect("spawns");
-    child.stdin.take().expect("stdin").write_all(b"garbage !!\n").expect("writes");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"garbage !!\n")
+        .expect("writes");
     let out = child.wait_with_output().expect("finishes");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("gisc:"));

@@ -41,7 +41,15 @@ fn placement(f: &Function) -> HashMap<InstId, BlockId> {
 /// other add is the address computation in the loop header).
 fn inner_add(f: &Function) -> InstId {
     f.insts()
-        .filter(|(_, i)| matches!(i.op, gis_ir::Op::Fx { op: gis_ir::FxBinOp::Add, .. }))
+        .filter(|(_, i)| {
+            matches!(
+                i.op,
+                gis_ir::Op::Fx {
+                    op: gis_ir::FxBinOp::Add,
+                    ..
+                }
+            )
+        })
         .max_by_key(|(b, _)| *b)
         .map(|(_, i)| i.id)
         .expect("inner add exists")
@@ -105,16 +113,24 @@ fn deep_speculation_stays_correct_on_the_paper_example() {
     let a: Vec<i64> = (0..33).map(|k| (k * 41) % 97 - 50).collect();
     let reference = {
         let f = gis_workloads::minmax::figure2_function(a.len() as i64);
-        execute(&f, &gis_workloads::minmax::memory_image(&a), &ExecConfig::default())
-            .expect("runs")
+        execute(
+            &f,
+            &gis_workloads::minmax::memory_image(&a),
+            &ExecConfig::default(),
+        )
+        .expect("runs")
     };
     for depth in [1, 2, 3, 8] {
         let mut config = SchedConfig::speculative();
         config.max_speculation_branches = depth;
         let mut f = gis_workloads::minmax::figure2_function(a.len() as i64);
         compile(&mut f, &machine, &config).expect("compiles");
-        let got = execute(&f, &gis_workloads::minmax::memory_image(&a), &ExecConfig::default())
-            .expect("runs");
+        let got = execute(
+            &f,
+            &gis_workloads::minmax::memory_image(&a),
+            &ExecConfig::default(),
+        )
+        .expect("runs");
         assert!(reference.equivalent(&got), "depth {depth}");
     }
 }

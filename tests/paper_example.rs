@@ -103,11 +103,7 @@ fn figure6_speculative_scheduling_motions() {
 fn figure5_cycle_counts() {
     // Paper: Figure 5 takes 12–13 cycles per iteration (vs 20–22).
     let f = schedule(SchedLevel::Useful);
-    for (a, base) in [
-        ([5i64, 5, 5], 20),
-        ([9, 7, 3], 21),
-        ([3, 9, 1], 22),
-    ] {
+    for (a, base) in [([5i64, 5, 5], 20), ([9, 7, 3], 21), ([3, 9, 1], 22)] {
         let c = iteration_cycles(&f, &a);
         assert!(
             (12..=14).contains(&c),
@@ -155,7 +151,10 @@ fn scheduled_minmax_is_observationally_equivalent() {
             compile(&mut f, &machine, &SchedConfig::paper_example(level)).expect("compiles");
             let after =
                 execute(&f, &minmax::memory_image(a), &ExecConfig::default()).expect("runs");
-            assert!(before.equivalent(&after), "level {level:?}, array {a:?}\n{f}");
+            assert!(
+                before.equivalent(&after),
+                "level {level:?}, array {a:?}\n{f}"
+            );
         }
     }
 }

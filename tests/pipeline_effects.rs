@@ -7,12 +7,19 @@ use gis_core::{compile, SchedConfig};
 use gis_machine::MachineDescription;
 use gis_sim::{execute, ExecConfig, TimingSim};
 
-fn cycles(program: &gis_tinyc::CompiledProgram, memory: &[(i64, i64)], config: &SchedConfig) -> (u64, gis_core::SchedStats) {
+fn cycles(
+    program: &gis_tinyc::CompiledProgram,
+    memory: &[(i64, i64)],
+    config: &SchedConfig,
+) -> (u64, gis_core::SchedStats) {
     let machine = MachineDescription::rs6k();
     let mut f = program.function.clone();
     let stats = compile(&mut f, &machine, config).expect("compiles");
     let out = execute(&f, memory, &ExecConfig::default()).expect("runs");
-    (TimingSim::new(&f, &machine).run(&out.block_trace).cycles, stats)
+    (
+        TimingSim::new(&f, &machine).run(&out.block_trace).cycles,
+        stats,
+    )
 }
 
 #[test]
@@ -56,8 +63,12 @@ fn preparation_passes_preserve_minmax_semantics_at_scale() {
     let machine = MachineDescription::rs6k();
     let mut f = gis_workloads::minmax::figure2_function(a.len() as i64);
     compile(&mut f, &machine, &SchedConfig::speculative()).expect("compiles");
-    let out = execute(&f, &gis_workloads::minmax::memory_image(&a), &ExecConfig::default())
-        .expect("runs");
+    let out = execute(
+        &f,
+        &gis_workloads::minmax::memory_image(&a),
+        &ExecConfig::default(),
+    )
+    .expect("runs");
     assert_eq!(out.printed(), vec![min, max]);
 }
 
@@ -127,8 +138,12 @@ fn speculation_raises_register_pressure() {
     let original = gis_workloads::minmax::figure2_function(99);
     let machine = MachineDescription::rs6k();
     let mut spec = original.clone();
-    gis_core::compile(&mut spec, &machine, &SchedConfig::paper_example(SchedLevel::Speculative))
-        .expect("compiles");
+    gis_core::compile(
+        &mut spec,
+        &machine,
+        &SchedConfig::paper_example(SchedLevel::Speculative),
+    )
+    .expect("compiles");
 
     let p_before = register_pressure(&original, &Cfg::new(&original));
     let p_after = register_pressure(&spec, &Cfg::new(&spec));

@@ -29,7 +29,9 @@ fn biased_workload() -> (gis_tinyc::CompiledProgram, Vec<(i64, i64)>) {
     )
     .expect("compiles");
     // ~5% of elements exceed 900.
-    let data: Vec<i64> = (0..128).map(|k| if k % 20 == 0 { 950 } else { k % 100 }).collect();
+    let data: Vec<i64> = (0..128)
+        .map(|k| if k % 20 == 0 { 950 } else { k % 100 })
+        .collect();
     let memory = program.initial_memory(&[("a", &data)]).expect("fits");
     (program, memory)
 }
@@ -107,8 +109,12 @@ fn profile_gates_cold_speculation() {
     let out_guided = execute(&guided, &memory, &ExecConfig::default()).expect("runs");
     assert!(training.equivalent(&out_blind));
     assert!(training.equivalent(&out_guided));
-    let cycles_blind = TimingSim::new(&blind, &machine).run(&out_blind.block_trace).cycles;
-    let cycles_guided = TimingSim::new(&guided, &machine).run(&out_guided.block_trace).cycles;
+    let cycles_blind = TimingSim::new(&blind, &machine)
+        .run(&out_blind.block_trace)
+        .cycles;
+    let cycles_guided = TimingSim::new(&guided, &machine)
+        .run(&out_guided.block_trace)
+        .cycles;
     assert!(
         cycles_guided <= cycles_blind,
         "profile guidance does not lose cycles: {cycles_guided} vs {cycles_blind}"

@@ -14,7 +14,7 @@ use gis_core::{compile, SchedConfig};
 use gis_machine::MachineDescription;
 use gis_sim::{execute, ExecConfig};
 use gis_tinyc::compile_ast;
-use proptest::prelude::*;
+use gis_workloads::rng::XorShift64Star;
 
 fn configs() -> Vec<(String, SchedConfig, MachineDescription)> {
     let rs6k = MachineDescription::rs6k();
@@ -29,39 +29,46 @@ fn configs() -> Vec<(String, SchedConfig, MachineDescription)> {
     vec![
         ("base/rs6k".into(), SchedConfig::base(), rs6k.clone()),
         ("useful/rs6k".into(), SchedConfig::useful(), rs6k.clone()),
-        ("speculative/rs6k".into(), SchedConfig::speculative(), rs6k.clone()),
+        (
+            "speculative/rs6k".into(),
+            SchedConfig::speculative(),
+            rs6k.clone(),
+        ),
         ("no-rename/rs6k".into(), no_rename, rs6k.clone()),
         ("no-spec-rename/rs6k".into(), no_spec_rename, rs6k.clone()),
         ("3-branch/rs6k".into(), deep, rs6k),
         ("speculative/wide4".into(), SchedConfig::speculative(), wide),
-        ("speculative/scalar".into(), SchedConfig::speculative(), scalar),
+        (
+            "speculative/scalar".into(),
+            SchedConfig::speculative(),
+            scalar,
+        ),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn scheduling_preserves_observable_behaviour(
-        (program, a0, a1) in arb_program()
-    ) {
+#[test]
+fn scheduling_preserves_observable_behaviour() {
+    for seed in 0..96u64 {
+        let (program, a0, a1) = arb_program(&mut XorShift64Star::new(seed));
         let compiled = compile_ast(&program).expect("generated programs compile");
         let memory = compiled
             .initial_memory(&[("a0", &a0), ("a1", &a1)])
             .expect("arrays fit");
-        let config = ExecConfig { max_steps: 2_000_000 };
-        let reference = execute(&compiled.function, &memory, &config)
-            .expect("generated programs terminate");
+        let config = ExecConfig {
+            max_steps: 2_000_000,
+        };
+        let reference =
+            execute(&compiled.function, &memory, &config).expect("generated programs terminate");
 
         for (label, sched, machine) in configs() {
             let mut f = compiled.function.clone();
             compile(&mut f, &machine, &sched)
-                .unwrap_or_else(|e| panic!("{label}: {e}\n{}", compiled.text));
+                .unwrap_or_else(|e| panic!("seed {seed}/{label}: {e}\n{}", compiled.text));
             let got = execute(&f, &memory, &config)
-                .unwrap_or_else(|e| panic!("{label}: {e}\n{f}"));
-            prop_assert!(
+                .unwrap_or_else(|e| panic!("seed {seed}/{label}: {e}\n{f}"));
+            assert!(
                 reference.equivalent(&got),
-                "{label} diverged\n--- original ---\n{}\n--- scheduled ---\n{f}",
+                "seed {seed}: {label} diverged\n--- original ---\n{}\n--- scheduled ---\n{f}",
                 compiled.function,
             );
         }
@@ -71,20 +78,20 @@ proptest! {
         let mut optimized = compiled.function.clone();
         gis_opt::optimize(&mut optimized, &gis_opt::OptConfig::default());
         let got = execute(&optimized, &memory, &config)
-            .unwrap_or_else(|e| panic!("optimize: {e}\n{optimized}"));
-        prop_assert!(
+            .unwrap_or_else(|e| panic!("seed {seed}: optimize: {e}\n{optimized}"));
+        assert!(
             reference.equivalent(&got),
-            "optimizer diverged\n--- original ---\n{}\n--- optimized ---\n{optimized}",
+            "seed {seed}: optimizer diverged\n--- original ---\n{}\n--- optimized ---\n{optimized}",
             compiled.function,
         );
         let machine = MachineDescription::rs6k();
         compile(&mut optimized, &machine, &SchedConfig::speculative())
-            .unwrap_or_else(|e| panic!("optimize+schedule: {e}"));
+            .unwrap_or_else(|e| panic!("seed {seed}: optimize+schedule: {e}"));
         let got = execute(&optimized, &memory, &config)
-            .unwrap_or_else(|e| panic!("optimize+schedule: {e}\n{optimized}"));
-        prop_assert!(
+            .unwrap_or_else(|e| panic!("seed {seed}: optimize+schedule: {e}\n{optimized}"));
+        assert!(
             reference.equivalent(&got),
-            "optimize+schedule diverged\n--- original ---\n{}\n--- result ---\n{optimized}",
+            "seed {seed}: optimize+schedule diverged\n--- original ---\n{}\n--- result ---\n{optimized}",
             compiled.function,
         );
     }

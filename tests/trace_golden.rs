@@ -1,0 +1,211 @@
+//! Golden decision traces for the paper's running example (§5.4): the
+//! observer must report exactly the motions Figures 5 and 6 annotate,
+//! with the paper's reason codes, and observing must never change the
+//! schedule.
+
+use gis_core::{compile, compile_observed, SchedConfig, SchedLevel, SchedStats};
+use gis_ir::Function;
+use gis_machine::MachineDescription;
+use gis_trace::{Metrics, MotionKind, Recorder, TraceEvent};
+use gis_workloads::minmax;
+
+fn traced(level: SchedLevel) -> (Function, SchedStats, Recorder) {
+    let mut f = minmax::figure2_function(99);
+    let machine = MachineDescription::rs6k();
+    let mut rec = Recorder::new();
+    let stats = compile_observed(
+        &mut f,
+        &machine,
+        &SchedConfig::paper_example(level),
+        &mut rec,
+    )
+    .expect("compiles");
+    (f, stats, rec)
+}
+
+/// `(inst, from, into, kind)` of every motion event, in order.
+fn motions(rec: &Recorder) -> Vec<(u32, String, String, MotionKind)> {
+    rec.events()
+        .filter_map(|e| match e {
+            TraceEvent::Moved {
+                inst,
+                from,
+                into,
+                kind,
+                ..
+            } => Some((*inst, from.clone(), into.clone(), *kind)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn figure5_trace_records_the_paper_motions() {
+    let (_, stats, rec) = traced(SchedLevel::Useful);
+    let moved = motions(&rec);
+    // The paper: I18 and I19 from BL10 into BL1, I8 from BL4 to BL2,
+    // I15 from BL8 to BL6 — all useful. (Figure 2's BL1/BL4/BL6/BL8/BL10
+    // carry the labels CL.0/CL.6/CL.4/CL.11/CL.9 here.)
+    let expect = |inst: u32, from: &str, into: &str| {
+        assert!(
+            moved.contains(&(inst, from.into(), into.into(), MotionKind::Useful)),
+            "I{inst} {from} -> {into} missing from {moved:?}"
+        );
+    };
+    expect(18, "CL.9", "CL.0");
+    expect(19, "CL.9", "CL.0");
+    expect(8, "CL.6", "BL2");
+    expect(15, "CL.11", "CL.4");
+    assert_eq!(moved.len(), 4, "exactly the paper's motions: {moved:?}");
+    assert!(
+        moved.iter().all(|(_, _, _, k)| *k == MotionKind::Useful),
+        "useful scheduling never speculates"
+    );
+    assert!(
+        !rec.events()
+            .any(|e| matches!(e, TraceEvent::Renamed { .. })),
+        "no renaming at the useful level"
+    );
+    // The metrics registry agrees with the flat stats.
+    let m = Metrics::from_events(rec.events());
+    assert_eq!(m.counter("moved-useful") as usize, stats.moved_useful);
+    assert_eq!(m.counter("moved-useful"), 4);
+    assert_eq!(m.counter("moved-speculative"), 0);
+}
+
+#[test]
+fn figure6_trace_records_speculative_motions_and_the_rename() {
+    let (f, stats, rec) = traced(SchedLevel::Speculative);
+    let moved = motions(&rec);
+    // Figure 6 adds I5 and I12, moved speculatively into BL1.
+    assert!(
+        moved.contains(&(5, "BL2".into(), "CL.0".into(), MotionKind::Speculative)),
+        "I5 speculates into CL.0: {moved:?}"
+    );
+    assert!(
+        moved.contains(&(12, "CL.4".into(), "CL.0".into(), MotionKind::Speculative)),
+        "I12 speculates into CL.0: {moved:?}"
+    );
+    // I12's cr6 would clobber I5's compare, live on exit from BL1 — the
+    // §5.3 renaming escape fires (the paper prints cr6 -> cr5).
+    let renames: Vec<(u32, &str)> = rec
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::Renamed { inst, old, .. } => Some((*inst, old.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(renames, vec![(12, "cr6")], "exactly the Figure 6 rename");
+    assert_eq!(stats.renamed_speculative, 1);
+    // Some speculative gambles are rejected by the live-on-exit rule, and
+    // every rejection event carries that reason code.
+    let rejects: Vec<&TraceEvent> = rec
+        .events()
+        .filter(|e| matches!(e, TraceEvent::Rejected { .. }))
+        .collect();
+    assert_eq!(rejects.len(), stats.rejected_live_out);
+    let m = Metrics::from_events(rec.events());
+    assert_eq!(
+        m.counter("rejected.live-on-exit") as usize,
+        stats.rejected_live_out
+    );
+    assert_eq!(m.counter("renamed-speculative"), 1);
+    assert_eq!(
+        m.counter("moved-speculative") as usize,
+        stats.moved_speculative
+    );
+    // The traced function still is the Figure 6 schedule.
+    let (_, block) = f.blocks().find(|(_, b)| b.label() == "CL.0").expect("CL.0");
+    let ids: Vec<u32> = block.insts().iter().map(|i| i.id.index() as u32).collect();
+    assert_eq!(ids, vec![1, 2, 18, 3, 19, 5, 12, 4], "\n{f}");
+}
+
+#[test]
+fn stores_and_calls_are_barred_from_speculation() {
+    // A store in the conditional block may not cross the branch; the
+    // trace must say so with the may-not-speculate reason code.
+    let text = "func bar\n\
+        entry:\n (I0) C cr0=r1,r2\n (I1) BF out,cr0,0x1/lt\n\
+        then:\n (I2) ST r3=>a(r9,0)\n (I3) AI r4=r4,1\n\
+        out:\n (I4) PRINT r4\n (I5) RET\n";
+    let mut f = gis_ir::parse_function(text).expect("parses");
+    let machine = MachineDescription::rs6k();
+    let mut rec = Recorder::new();
+    let mut config = SchedConfig::speculative();
+    config.unroll = false;
+    config.rotate = false;
+    compile_observed(&mut f, &machine, &config, &mut rec).expect("compiles");
+    let barred: Vec<u32> = rec
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::CandidateRejected { inst, reason, .. } => {
+                assert_eq!(reason.code(), "may-not-speculate");
+                Some(*inst)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(barred.contains(&2), "the store I2 is barred: {barred:?}");
+}
+
+#[test]
+fn oversized_regions_emit_the_size_reason_code() {
+    let mut f = minmax::figure2_function(99);
+    let machine = MachineDescription::rs6k();
+    let mut config = SchedConfig::speculative();
+    config.max_region_insts = 4; // the loop has 20
+    config.unroll = false;
+    config.rotate = false;
+    let mut rec = Recorder::new();
+    let stats = compile_observed(&mut f, &machine, &config, &mut rec).expect("compiles");
+    let m = Metrics::from_events(rec.events());
+    assert!(m.counter("regions-skipped.region-too-many-insts") > 0);
+    assert_eq!(m.counter("regions-skipped") as usize, stats.regions_skipped);
+}
+
+#[test]
+fn noop_observer_is_bit_identical_to_tracing() {
+    for level in [
+        SchedLevel::BasicBlockOnly,
+        SchedLevel::Useful,
+        SchedLevel::Speculative,
+    ] {
+        for config in [SchedConfig::paper_example(level), {
+            let mut c = SchedConfig::speculative();
+            c.level = level;
+            c
+        }] {
+            let machine = MachineDescription::rs6k();
+            let mut plain = minmax::figure2_function(99);
+            let plain_stats = compile(&mut plain, &machine, &config).expect("compiles");
+            let mut observed = minmax::figure2_function(99);
+            let mut rec = Recorder::new();
+            let observed_stats =
+                compile_observed(&mut observed, &machine, &config, &mut rec).expect("compiles");
+            assert_eq!(
+                plain.to_string(),
+                observed.to_string(),
+                "observing changed the schedule at {level:?}"
+            );
+            // Identical statistics, wall-clock timings aside.
+            let mut a = plain_stats;
+            let mut b = observed_stats;
+            a.pass_nanos = [0; 6];
+            b.pass_nanos = [0; 6];
+            assert_eq!(a, b, "observing changed the statistics at {level:?}");
+        }
+    }
+}
+
+#[test]
+fn json_lines_round_trip_a_real_trace() {
+    let (_, _, rec) = traced(SchedLevel::Speculative);
+    assert!(rec.len() > 10, "a real trace has substance");
+    let text = rec.to_json_lines();
+    let parsed: Vec<TraceEvent> = text
+        .lines()
+        .map(|l| TraceEvent::from_json_line(l).expect("every line parses"))
+        .collect();
+    let original: Vec<TraceEvent> = rec.events().cloned().collect();
+    assert_eq!(parsed, original, "JSON lines round-trip the whole trace");
+}
