@@ -14,7 +14,11 @@
 //!   Figure 8);
 //! * `figures`    — the complete Figure 5/6 reproduction path;
 //! * `tracing`    — observer overhead: plain compile vs `compile_observed`
-//!   with the no-op observer (must be free) vs a recording sink.
+//!   with the no-op observer (must be free) vs a recording sink;
+//! * `parallel`   — the `jobs` worker pool on a scaled many-region
+//!   workload: single-thread vs multi-thread wall times for the two
+//!   global passes (output is bit-identical at every job count, so any
+//!   difference is pure wall time).
 
 use gis_cfg::{Cfg, DomTree, LoopForest, RegionGraph, RegionKind, RegionTree};
 use gis_core::{compile, compile_observed, SchedConfig, SchedLevel};
@@ -22,7 +26,7 @@ use gis_machine::MachineDescription;
 use gis_pdg::{Cspdg, DataDeps, Liveness};
 use gis_sim::{execute, ExecConfig, TimingSim};
 use gis_trace::{NopObserver, Recorder};
-use gis_workloads::{minmax, spec};
+use gis_workloads::{minmax, spec, synth};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -170,10 +174,42 @@ fn tracing() {
     });
 }
 
+fn parallel() {
+    let machine = MachineDescription::rs6k();
+    // Hundreds of independent single-region loops: enough disjoint work
+    // for the pool to matter. Rename/unroll/rotate are sequential passes;
+    // turning them off isolates the two global passes the pool fans out.
+    // On a host with fewer CPUs than jobs the multi-thread rows measure
+    // fan-out overhead instead of speedup — still worth tracking.
+    let w = synth::many_loops(120, 42);
+    println!(
+        "parallel: host has {} CPU(s) available",
+        gis_core::effective_jobs(0)
+    );
+    for jobs in [1usize, 2, 4] {
+        let mut config = SchedConfig::speculative();
+        config.unroll = false;
+        config.rotate = false;
+        config.rename = false;
+        config.jobs = jobs;
+        bench(
+            "parallel",
+            &format!("many-loops-120/jobs={jobs}"),
+            2,
+            || {
+                let mut f = w.program.function.clone();
+                compile(&mut f, &machine, &config).expect("compiles");
+                f
+            },
+        );
+    }
+}
+
 fn main() {
     analysis();
     schedule();
     simulate();
     figures();
     tracing();
+    parallel();
 }

@@ -69,6 +69,14 @@ pub struct SchedConfig {
     /// 7). The paper's prototype supports 1; higher values implement its
     /// announced "more aggressive speculative scheduling" extension.
     pub max_speculation_branches: usize,
+    /// Worker threads for the two global scheduling passes. Regions are
+    /// disjoint (instructions never move across a region boundary, §4.1),
+    /// so independent region subtrees are scheduled concurrently and
+    /// merged back in a fixed order — the resulting schedules, statistics
+    /// and trace streams are bit-identical to a single-threaded run. `1`
+    /// (the default) keeps everything on the calling thread; `0` means
+    /// one worker per available CPU.
+    pub jobs: usize,
 }
 
 impl SchedConfig {
@@ -106,6 +114,7 @@ impl SchedConfig {
             profile: None,
             min_speculation_probability: 0.0,
             max_speculation_branches: 1,
+            jobs: 1,
         }
     }
 

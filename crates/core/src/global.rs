@@ -145,7 +145,7 @@ pub fn schedule_region_observed<O: SchedObserver>(
 }
 
 /// All blocks of a region's subtree (direct blocks plus nested regions').
-fn subtree_blocks(tree: &RegionTree, rid: gis_cfg::RegionId) -> Vec<BlockId> {
+pub(crate) fn subtree_blocks(tree: &RegionTree, rid: gis_cfg::RegionId) -> Vec<BlockId> {
     let mut out = Vec::new();
     let mut stack = vec![rid];
     while let Some(r) = stack.pop() {
@@ -155,6 +155,26 @@ fn subtree_blocks(tree: &RegionTree, rid: gis_cfg::RegionId) -> Vec<BlockId> {
     }
     out.sort();
     out
+}
+
+/// Whether a region passes the §6 size gates that
+/// [`schedule_region_observed`] applies before building any analyses.
+/// The parallel driver uses this to predict — without mutating anything —
+/// which regions [`schedule_region_observed`] will skip: scheduling never
+/// changes a subtree's block or instruction count, so the prediction made
+/// on the pre-pass function matches the sequential outcome exactly.
+pub(crate) fn region_within_size_limits(
+    f: &Function,
+    tree: &RegionTree,
+    rid: gis_cfg::RegionId,
+    config: &SchedConfig,
+) -> bool {
+    let scope_blocks = subtree_blocks(tree, rid);
+    if scope_blocks.len() > config.max_region_blocks {
+        return false;
+    }
+    let scope_insts: usize = scope_blocks.iter().map(|b| f.block(*b).len()).sum();
+    scope_insts <= config.max_region_insts
 }
 
 /// Dense forward reachability over a region graph (reflexive).

@@ -36,10 +36,13 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod bb;
 mod config;
 mod dcp;
 mod global;
+mod parallel;
 mod pipeline;
 mod profile;
 mod rotate;
@@ -49,6 +52,7 @@ mod unroll;
 pub use bb::{schedule_block, schedule_block_observed};
 pub use config::{SchedConfig, SchedLevel};
 pub use global::{schedule_region, schedule_region_observed};
+pub use parallel::effective_jobs;
 pub use pipeline::{compile, compile_observed, CompileError};
 pub use profile::BranchProfile;
 pub use rotate::{rotate_loop, rotate_loop_observed};

@@ -1,0 +1,471 @@
+//! Parallel execution of a global scheduling pass.
+//!
+//! §4.1 of the paper confines every motion to one region: "instructions
+//! never move out of or into a region". Regions whose subtrees are
+//! disjoint therefore cannot observe each other's scheduling, and a
+//! global pass over them is embarrassingly parallel. This module fans a
+//! pass out over a std-only worker pool (scoped threads, no external
+//! crates) while keeping the result — schedules, statistics, fresh
+//! register numbering and the trace-event stream — bit-identical to the
+//! single-threaded pass.
+//!
+//! # How determinism is kept
+//!
+//! The pass is partitioned into *units*: maximal region subtrees whose
+//! roots will actually be scheduled (regions over the §6 size limits only
+//! emit a skip record and own nothing). Each unit is scheduled on a
+//! worker against a private clone of the pre-pass function, recording
+//! per-region statistics and trace events. The merge then runs in the
+//! fixed sequential region order ([`RegionTree::schedule_order`]):
+//!
+//! * block contents move from the clones back into the master function
+//!   (units own disjoint block sets, so splicing cannot conflict);
+//! * registers allocated by §5.3 speculative renaming are renumbered
+//!   into the order the sequential pass would have allocated them
+//!   (workers allocate from identical clone counters, so their choices
+//!   collide across units and are remapped region by region);
+//! * per-region trace events are replayed and statistics accumulated in
+//!   sequential region order.
+//!
+//! Scheduling one region reads liveness over the whole function, but a
+//! *legal* motion in another unit can never change the liveness facts a
+//! unit consumes: useful motion stays between equivalent blocks (the
+//! upward-exposure of every register outside the pair is unchanged),
+//! speculative motion may not clobber a live-on-exit register (§5.3),
+//! and renaming replaces a du-chain that was local to its home block.
+//! The differential tests in `tests/parallel_determinism.rs` verify the
+//! equivalence end-to-end on every workload.
+
+use crate::config::SchedConfig;
+use crate::global::{region_within_size_limits, schedule_region_observed, subtree_blocks};
+use crate::stats::SchedStats;
+use gis_cfg::{Cfg, RegionId, RegionTree};
+use gis_ir::{BlockId, Function, Inst, Reg, RegClass};
+use gis_machine::MachineDescription;
+use gis_trace::{Recorder, SchedObserver, TraceEvent};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the configured job count: `0` means one worker per available
+/// CPU (falling back to 1 when the count is unknown).
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// A records-only observer: buffers events when tracing is wanted,
+/// otherwise stays disabled so the scheduler skips event construction.
+struct MaybeRecorder(Option<Recorder>);
+
+impl MaybeRecorder {
+    fn new(tracing: bool) -> Self {
+        MaybeRecorder(tracing.then(Recorder::new))
+    }
+
+    fn into_events(self) -> Vec<TraceEvent> {
+        self.0.map(Recorder::into_events).unwrap_or_default()
+    }
+}
+
+impl SchedObserver for MaybeRecorder {
+    fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn event(&mut self, event: TraceEvent) {
+        if let Some(r) = &mut self.0 {
+            r.event(event);
+        }
+    }
+}
+
+/// One independent work item: a maximal scheduled subtree. `regions`
+/// lists the subtree's scheduled regions in sequential order; `blocks`
+/// is the subtree's block set (what the unit may mutate and what the
+/// merge splices back).
+struct Unit {
+    regions: Vec<RegionId>,
+    blocks: Vec<BlockId>,
+}
+
+/// What scheduling one region produced on a worker.
+struct RegionOutcome {
+    stats: SchedStats,
+    events: Vec<TraceEvent>,
+    /// Clone register counters before/after this region, per class slot:
+    /// the half-open ranges of clone-allocated registers.
+    reg_from: [u32; 3],
+    reg_to: [u32; 3],
+}
+
+/// What scheduling one unit produced: per-region outcomes (in the unit's
+/// region order) plus the final contents of the unit's blocks.
+struct UnitOutcome {
+    regions: Vec<(RegionId, RegionOutcome)>,
+    blocks: Vec<(BlockId, Vec<Inst>)>,
+}
+
+const CLASSES: [RegClass; 3] = [RegClass::Gpr, RegClass::Fpr, RegClass::Cr];
+
+fn class_slot(class: RegClass) -> usize {
+    match class {
+        RegClass::Gpr => 0,
+        RegClass::Fpr => 1,
+        RegClass::Cr => 2,
+    }
+}
+
+/// Runs one global scheduling pass over every region of height at most
+/// `max_height`, using `config.jobs` workers. With one job (or one work
+/// unit) this is exactly the sequential region loop; with more, units are
+/// scheduled concurrently and merged deterministically — the output is
+/// bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn global_pass<O: SchedObserver>(
+    f: &mut Function,
+    machine: &MachineDescription,
+    cfg: &Cfg,
+    tree: &RegionTree,
+    config: &SchedConfig,
+    max_height: usize,
+    stats: &mut SchedStats,
+    obs: &mut O,
+) {
+    let order: Vec<RegionId> = tree
+        .schedule_order()
+        .into_iter()
+        .filter(|r| tree.region(*r).height <= max_height)
+        .collect();
+    let jobs = effective_jobs(config.jobs);
+    let sequential = |f: &mut Function, stats: &mut SchedStats, obs: &mut O| {
+        for &rid in &order {
+            schedule_region_observed(f, machine, cfg, tree, rid, config, stats, obs);
+        }
+    };
+    if jobs <= 1 || order.len() <= 1 {
+        sequential(f, stats, obs);
+        return;
+    }
+
+    let (units, skip_only) = partition(f, tree, config, &order);
+    if units.len() <= 1 && skip_only.is_empty() {
+        sequential(f, stats, obs);
+        return;
+    }
+
+    let tracing = obs.enabled();
+
+    // Regions over the size limits never mutate the function (they fail
+    // the very first gates of `schedule_region_observed`); evaluate them
+    // here on the master — their skip records join the merge like any
+    // other region's outcome.
+    let mut outcomes: HashMap<RegionId, (usize, RegionOutcome)> = HashMap::new();
+    for &rid in &skip_only {
+        let before = f.reg_counters();
+        let mut st = SchedStats::default();
+        let mut rec = MaybeRecorder::new(tracing);
+        schedule_region_observed(f, machine, cfg, tree, rid, config, &mut st, &mut rec);
+        debug_assert_eq!(f.reg_counters(), before, "skipped regions allocate nothing");
+        let out = RegionOutcome {
+            stats: st,
+            events: rec.into_events(),
+            reg_from: before,
+            reg_to: before,
+        };
+        outcomes.insert(rid, (usize::MAX, out));
+    }
+
+    // Fan the units out over the pool. Work is claimed from a shared
+    // counter, but every unit runs against its own clone of the pre-pass
+    // function, so the distribution of units to workers cannot influence
+    // any result.
+    let master: &Function = f;
+    let results: Vec<Mutex<Option<UnitOutcome>>> = units.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(units.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(unit) = units.get(i) else {
+                    break;
+                };
+                let out = run_unit(master, machine, cfg, tree, config, unit, tracing);
+                *results[i].lock().expect("no poisoned worker slots") = Some(out);
+            });
+        }
+    });
+
+    // ---- Deterministic merge. -----------------------------------------
+    // Splice the units' block contents back (disjoint block sets).
+    let mut unit_remaps: Vec<HashMap<Reg, Reg>> =
+        (0..units.len()).map(|_| HashMap::new()).collect();
+    for (ui, slot) in results.into_iter().enumerate() {
+        let mut out = slot
+            .into_inner()
+            .expect("no poisoned worker slots")
+            .expect("every unit was claimed and completed");
+        for (b, insts) in out.blocks.drain(..) {
+            *f.block_mut(b).insts_mut() = insts;
+        }
+        for (rid, ro) in out.regions.drain(..) {
+            outcomes.insert(rid, (ui, ro));
+        }
+    }
+
+    // Renumber worker-allocated registers into the sequential allocation
+    // order: walking the regions in sequential order and drawing from the
+    // master allocator reproduces exactly the numbers a single-threaded
+    // pass would have handed out.
+    for &rid in &order {
+        let (ui, ro) = &outcomes[&rid];
+        for class in CLASSES {
+            let s = class_slot(class);
+            for idx in ro.reg_from[s]..ro.reg_to[s] {
+                let renumbered = f.fresh_reg(class);
+                if *ui != usize::MAX {
+                    unit_remaps[*ui].insert(Reg::new(class, idx), renumbered);
+                }
+            }
+        }
+    }
+    for (ui, remap) in unit_remaps.iter().enumerate() {
+        if remap.iter().all(|(from, to)| from == to) {
+            continue;
+        }
+        for &b in &units[ui].blocks {
+            for inst in f.block_mut(b).insts_mut() {
+                inst.op.map_defs(|r| *remap.get(&r).unwrap_or(&r));
+                inst.op.map_uses(|r| *remap.get(&r).unwrap_or(&r));
+            }
+        }
+    }
+
+    // Replay trace events and accumulate statistics in sequential region
+    // order. `Renamed` events carry register spellings chosen on the
+    // clone; rewrite them through the unit's remap first.
+    let spelling: Vec<HashMap<String, String>> = unit_remaps
+        .iter()
+        .map(|remap| {
+            remap
+                .iter()
+                .filter(|(from, to)| from != to)
+                .map(|(from, to)| (from.to_string(), to.to_string()))
+                .collect()
+        })
+        .collect();
+    for &rid in &order {
+        let (ui, ro) = outcomes
+            .remove(&rid)
+            .expect("every scheduled region has an outcome");
+        for mut e in ro.events {
+            if let TraceEvent::Renamed { new, .. } = &mut e {
+                if ui != usize::MAX {
+                    if let Some(renumbered) = spelling[ui].get(new) {
+                        *new = renumbered.clone();
+                    }
+                }
+            }
+            obs.event(e);
+        }
+        stats.absorb(ro.stats);
+    }
+}
+
+/// Splits the pass's regions into independent units plus the skip-only
+/// leftovers.
+///
+/// A region owns its whole subtree while it passes the §6 size gates
+/// (both gates shrink monotonically towards the leaves, so eligibility is
+/// downward-closed along any ancestor chain). Each scheduled region is
+/// assigned to its topmost size-eligible ancestor within the pass; a
+/// region failing the gates itself owns nothing — `schedule_region`
+/// will only record a skip for it.
+fn partition(
+    f: &Function,
+    tree: &RegionTree,
+    config: &SchedConfig,
+    order: &[RegionId],
+) -> (Vec<Unit>, Vec<RegionId>) {
+    let eligible: HashMap<RegionId, bool> = order
+        .iter()
+        .map(|&r| (r, region_within_size_limits(f, tree, r, config)))
+        .collect();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut unit_of_root: HashMap<RegionId, usize> = HashMap::new();
+    let mut skip_only = Vec::new();
+    for &rid in order {
+        if !eligible[&rid] {
+            skip_only.push(rid);
+            continue;
+        }
+        // Climb to the topmost eligible in-pass ancestor. Heights grow
+        // strictly towards the root and eligibility is downward-closed,
+        // so the climb cannot skip over an ineligible intermediate.
+        let mut root = rid;
+        while let Some(p) = tree.region(root).parent {
+            if eligible.get(&p).copied().unwrap_or(false) {
+                root = p;
+            } else {
+                break;
+            }
+        }
+        let ui = *unit_of_root.entry(root).or_insert_with(|| {
+            units.push(Unit {
+                regions: Vec::new(),
+                blocks: subtree_blocks(tree, root),
+            });
+            units.len() - 1
+        });
+        units[ui].regions.push(rid);
+    }
+    (units, skip_only)
+}
+
+/// Schedules one unit's regions, in order, against a private clone of the
+/// pre-pass function.
+fn run_unit(
+    master: &Function,
+    machine: &MachineDescription,
+    cfg: &Cfg,
+    tree: &RegionTree,
+    config: &SchedConfig,
+    unit: &Unit,
+    tracing: bool,
+) -> UnitOutcome {
+    let mut fu = master.clone();
+    let mut regions = Vec::with_capacity(unit.regions.len());
+    for &rid in &unit.regions {
+        let reg_from = fu.reg_counters();
+        let mut st = SchedStats::default();
+        let mut rec = MaybeRecorder::new(tracing);
+        schedule_region_observed(&mut fu, machine, cfg, tree, rid, config, &mut st, &mut rec);
+        regions.push((
+            rid,
+            RegionOutcome {
+                stats: st,
+                events: rec.into_events(),
+                reg_from,
+                reg_to: fu.reg_counters(),
+            },
+        ));
+    }
+    let blocks = unit
+        .blocks
+        .iter()
+        .map(|&b| (b, std::mem::take(fu.block_mut(b).insts_mut())))
+        .collect();
+    UnitOutcome { regions, blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedLevel;
+
+    fn analyses(text: &str) -> (Function, Cfg, RegionTree) {
+        let f = gis_ir::parse_function(text).expect("parses");
+        let cfg = Cfg::new(&f);
+        let dom = gis_cfg::DomTree::dominators(&cfg);
+        let loops = gis_cfg::LoopForest::new(&cfg, &dom);
+        let tree = RegionTree::new(&cfg, &loops);
+        (f, cfg, tree)
+    }
+
+    /// Two sibling single-block loops inside a routine body.
+    const TWO_LOOPS: &str = "func two\n\
+        init:\n LI r1=0\n LI r2=0\n LI r9=5\n\
+        l1:\n AI r1=r1,1\n C cr0=r1,r9\n BT l1,cr0,0x1/lt\n\
+        l2:\n AI r2=r2,2\n C cr1=r2,r9\n BT l2,cr1,0x1/lt\n\
+        out:\n PRINT r1\n PRINT r2\n RET\n";
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn partition_groups_subtrees_under_eligible_roots() {
+        let (f, _, tree) = analyses(TWO_LOOPS);
+        let config = SchedConfig::speculative();
+        let order: Vec<RegionId> = tree.schedule_order();
+        let (units, skip_only) = partition(&f, &tree, &config, &order);
+        // Everything fits the §6 limits, so the routine body owns both
+        // loops: one unit spanning all regions.
+        assert!(skip_only.is_empty());
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].regions.len(), 3);
+        assert_eq!(units[0].blocks.len(), f.num_blocks());
+    }
+
+    #[test]
+    fn partition_splits_under_an_oversized_root() {
+        let (f, _, tree) = analyses(TWO_LOOPS);
+        let mut config = SchedConfig::speculative();
+        // The body (5 blocks) fails the gate; each loop (1 block) passes.
+        config.max_region_blocks = 2;
+        let order: Vec<RegionId> = tree.schedule_order();
+        let (units, skip_only) = partition(&f, &tree, &config, &order);
+        assert_eq!(units.len(), 2, "one unit per loop");
+        assert_eq!(skip_only.len(), 1, "the body only records a skip");
+        for u in &units {
+            assert_eq!(u.regions.len(), 1);
+            assert_eq!(u.blocks.len(), 1);
+        }
+        let (a, b) = (&units[0].blocks, &units[1].blocks);
+        assert!(a.iter().all(|x| !b.contains(x)), "units are disjoint");
+    }
+
+    #[test]
+    fn parallel_pass_matches_sequential_pass() {
+        let machine = MachineDescription::rs6k();
+        for level in [SchedLevel::Useful, SchedLevel::Speculative] {
+            let mut seq_config = SchedConfig::speculative();
+            seq_config.level = level;
+            seq_config.max_region_blocks = 2; // force multiple units
+            let mut par_config = seq_config.clone();
+            par_config.jobs = 4;
+
+            let (mut f_seq, cfg, tree) = analyses(TWO_LOOPS);
+            let mut f_par = f_seq.clone();
+            let mut st_seq = SchedStats::default();
+            let mut st_par = SchedStats::default();
+            let mut rec_seq = Recorder::new();
+            let mut rec_par = Recorder::new();
+            let max_h = seq_config.max_region_height;
+            global_pass(
+                &mut f_seq,
+                &machine,
+                &cfg,
+                &tree,
+                &seq_config,
+                max_h,
+                &mut st_seq,
+                &mut rec_seq,
+            );
+            global_pass(
+                &mut f_par,
+                &machine,
+                &cfg,
+                &tree,
+                &par_config,
+                max_h,
+                &mut st_par,
+                &mut rec_par,
+            );
+            assert_eq!(f_seq.to_string(), f_par.to_string(), "{level:?}");
+            assert_eq!(st_seq, st_par, "{level:?}");
+            assert_eq!(
+                rec_seq.into_events(),
+                rec_par.into_events(),
+                "{level:?} trace"
+            );
+        }
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::bb::schedule_block_observed;
 use crate::config::{SchedConfig, SchedLevel};
-use crate::global::schedule_region_observed;
+use crate::parallel::global_pass;
 use crate::rotate::rotate_loop_observed;
 use crate::stats::SchedStats;
 use crate::unroll::unroll_loop_observed;
@@ -174,17 +174,13 @@ pub fn compile_observed<O: SchedObserver>(
         pass_end(obs, Pass::Unroll, t0, &mut stats);
     }
 
-    // 3. First global pass: inner regions (height 0).
+    // 3. First global pass: inner regions (height 0). Both global passes
+    //    fan independent region subtrees out over `config.jobs` workers;
+    //    the merge keeps them bit-identical to a single-threaded pass.
     if config.level != SchedLevel::BasicBlockOnly {
         let t0 = pass_begin(obs, Pass::Global1);
         let an = analyze(f);
-        for rid in an.tree.schedule_order() {
-            if an.tree.region(rid).height == 0 {
-                schedule_region_observed(
-                    f, machine, &an.cfg, &an.tree, rid, config, &mut stats, obs,
-                );
-            }
-        }
+        global_pass(f, machine, &an.cfg, &an.tree, config, 0, &mut stats, obs);
         pass_end(obs, Pass::Global1, t0, &mut stats);
 
         // 4. Rotate small inner loops (once each: after rotation the loop
@@ -226,13 +222,16 @@ pub fn compile_observed<O: SchedObserver>(
         //    (every region up to the height limit).
         let t0 = pass_begin(obs, Pass::Global2);
         let an = analyze(f);
-        for rid in an.tree.schedule_order() {
-            if an.tree.region(rid).height <= config.max_region_height {
-                schedule_region_observed(
-                    f, machine, &an.cfg, &an.tree, rid, config, &mut stats, obs,
-                );
-            }
-        }
+        global_pass(
+            f,
+            machine,
+            &an.cfg,
+            &an.tree,
+            config,
+            config.max_region_height,
+            &mut stats,
+            obs,
+        );
         pass_end(obs, Pass::Global2, t0, &mut stats);
     }
 

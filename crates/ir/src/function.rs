@@ -209,6 +209,15 @@ impl Function {
         id
     }
 
+    /// The next index [`Function::fresh_reg`] will hand out for each
+    /// class, in `[Gpr, Fpr, Cr]` order. Snapshotting these counters
+    /// around a transformation identifies exactly the registers the
+    /// transformation allocated — the parallel scheduler uses this to
+    /// renumber per-worker allocations into one deterministic sequence.
+    pub fn reg_counters(&self) -> [u32; 3] {
+        self.next_reg
+    }
+
     /// Allocates a fresh symbolic register of `class`.
     pub fn fresh_reg(&mut self, class: RegClass) -> Reg {
         let slot = match class {

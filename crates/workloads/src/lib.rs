@@ -4,8 +4,12 @@
 //! instruction for instruction (same registers, same instruction numbering
 //! via the `(In)` id annotations). The [`spec`] module holds the four
 //! synthetic stand-ins for the SPEC benchmarks of §6 (LI, EQNTOTT,
-//! ESPRESSO, GCC) — see DESIGN.md for the substitution rationale.
+//! ESPRESSO, GCC) — see DESIGN.md for the substitution rationale. The
+//! [`synth`] module scales past the paper: seeded generators emitting
+//! many-region functions (hundreds of independent loops) that give the
+//! parallel per-region scheduler enough disjoint work to measure.
 
 pub mod minmax;
 pub mod rng;
 pub mod spec;
+pub mod synth;

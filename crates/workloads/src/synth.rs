@@ -1,0 +1,139 @@
+//! Scaled synthetic workloads: many-region functions for throughput work.
+//!
+//! The paper's kernels have a handful of regions each — perfect for
+//! fidelity, useless for measuring scheduling *throughput*. This module
+//! generates functions with hundreds of independent inner loops, each a
+//! region of its own, so the per-region global passes have enough
+//! disjoint work to fan out over the `jobs` worker pool (regions never
+//! exchange instructions, §4.1). Generation is deterministic: every
+//! shape decision draws from a seeded [`XorShift64Star`], so the same
+//! `(loops, seed)` pair always yields byte-identical source, IR and
+//! memory.
+//!
+//! Loop bodies are drawn from a small set of templates chosen to exercise
+//! the scheduler's motion kinds: straight-line arithmetic (basic-block
+//! fodder), compare/branch diamonds (speculative candidates), and
+//! guarded accumulations (useful motion between equivalent blocks).
+
+use crate::rng::XorShift64Star;
+use crate::spec::Workload;
+use gis_tinyc::compile_program;
+use std::fmt::Write as _;
+
+/// Length of the shared input array every loop reads from.
+const ARRAY: usize = 64;
+
+/// Generates a function with `loops` independent single-entry inner
+/// loops (each one region) and compiles it to IR, ready to schedule and
+/// execute. Deterministic in `(loops, seed)`.
+///
+/// # Panics
+///
+/// Panics if `loops` is zero (the workload would have no regions) or if
+/// the generated program fails to compile — a bug in the generator, not
+/// an input condition.
+pub fn many_loops(loops: usize, seed: u64) -> Workload {
+    assert!(loops > 0, "a workload needs at least one loop");
+    let mut rng = XorShift64Star::new(seed);
+    let a: Vec<i64> = (0..ARRAY).map(|_| rng.range_i64(-500, 500)).collect();
+
+    let mut src = String::new();
+    let _ = write!(src, "int a[{ARRAY}];\nvoid synth() {{\n");
+    src.push_str("  int acc = 0; int j = 0; int x = 0; int y = 0;\n");
+    for i in 0..loops {
+        let trips = rng.range_i64(3, 7);
+        let offset = rng.below(ARRAY);
+        let scale = rng.range_i64(2, 9);
+        let threshold = rng.range_i64(-200, 200);
+        let body = match rng.below(4) {
+            // Straight-line arithmetic: the basic-block scheduler's diet.
+            0 => format!(
+                "    x = a[(j + {offset}) & {mask}];\n\
+                 \x20   y = x * {scale};\n\
+                 \x20   acc = acc + y + (x & {scale});\n",
+                mask = ARRAY - 1
+            ),
+            // Diamond: one branch each way — speculative candidates.
+            1 => format!(
+                "    x = a[(j + {offset}) & {mask}];\n\
+                 \x20   if (x > {threshold}) {{ acc = acc + x; }}\n\
+                 \x20   else {{ acc = acc - {scale}; }}\n",
+                mask = ARRAY - 1
+            ),
+            // Guarded accumulation: equivalent head/tail blocks around a
+            // conditional — useful-motion fodder.
+            2 => format!(
+                "    x = a[(j + {offset}) & {mask}];\n\
+                 \x20   y = a[(j + {off2}) & {mask}];\n\
+                 \x20   if (x != y) {{ acc = acc ^ (x + y); }}\n\
+                 \x20   acc = acc + (y & 7);\n",
+                mask = ARRAY - 1,
+                off2 = (offset + 1) % ARRAY
+            ),
+            // Three-way compare chain (the EQNTOTT shape).
+            _ => format!(
+                "    x = a[(j + {offset}) & {mask}];\n\
+                 \x20   y = a[(j + {off2}) & {mask}];\n\
+                 \x20   if (x > y) {{ acc = acc + 1; }}\n\
+                 \x20   else if (x < y) {{ acc = acc - 1; }}\n\
+                 \x20   else {{ acc = acc ^ {scale}; }}\n",
+                mask = ARRAY - 1,
+                off2 = (offset + 3) % ARRAY
+            ),
+        };
+        let _ = write!(
+            src,
+            "  j = 0;\n  while (j < {trips}) {{\n{body}    j = j + 1;\n  }}\n"
+        );
+        if i % 16 == 15 {
+            // Occasional observable checkpoints keep the accumulator (and
+            // thus every loop) live without flooding the output.
+            src.push_str("  print(acc);\n");
+        }
+    }
+    src.push_str("  print(acc);\n}\n");
+
+    let program = compile_program(&src)
+        .unwrap_or_else(|e| panic!("synthetic workload fails to compile: {e}"));
+    let memory = program
+        .initial_memory(&[("a", &a)])
+        .unwrap_or_else(|e| panic!("synthetic workload memory: {e}"));
+    Workload {
+        name: "MANY-LOOPS",
+        program,
+        memory,
+        source: src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_loops_and_seed() {
+        let a = many_loops(24, 7);
+        let b = many_loops(24, 7);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.memory, b.memory);
+        let c = many_loops(24, 8);
+        assert_ne!(a.source, c.source, "seed changes the shapes");
+    }
+
+    #[test]
+    fn scales_to_many_small_regions() {
+        let w = many_loops(100, 1);
+        let f = &w.program.function;
+        // Every loop contributes at least a header block; the function is
+        // overwhelmingly many small blocks, not one big one.
+        assert!(f.num_blocks() > 100, "{} blocks", f.num_blocks());
+        let biggest = f.blocks().map(|(_, b)| b.len()).max().unwrap_or(0);
+        assert!(biggest < 40, "no monolithic block (max {biggest})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loop")]
+    fn zero_loops_is_rejected() {
+        let _ = many_loops(0, 1);
+    }
+}

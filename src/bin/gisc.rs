@@ -8,6 +8,8 @@
 //!   --machine <rs6k|wideN|scalar>       machine model (default rs6k)
 //!   --no-unroll --no-rotate --no-rename --paper
 //!   --branches <N>       max speculation depth (default 1)
+//!   --jobs <N>           worker threads for the global passes; 0 = one
+//!                        per CPU (default 1; output is identical for any N)
 //!   --opt                run the machine-independent optimizer first
 //!   --run                execute after scheduling and report cycles
 //!   --stats              print scheduler statistics
@@ -41,6 +43,7 @@ struct Options {
     machine: MachineDescription,
     config_tweaks: Vec<fn(&mut SchedConfig)>,
     branches: usize,
+    jobs: usize,
     run: bool,
     stats: bool,
     dot_cfg: bool,
@@ -55,7 +58,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
          [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
-         [--paper] [--branches N] [--opt] [--run] [--stats] [--dot-cfg] \
+         [--paper] [--branches N] [--jobs N] [--opt] [--run] [--stats] [--dot-cfg] \
          [--trace[=json:<path>]] [--explain <inst>] [--timeline] <file|->"
     );
     std::process::exit(2)
@@ -69,6 +72,7 @@ fn parse_args() -> Options {
         machine: MachineDescription::rs6k(),
         config_tweaks: Vec::new(),
         branches: 1,
+        jobs: 1,
         run: false,
         stats: false,
         dot_cfg: false,
@@ -114,6 +118,12 @@ fn parse_args() -> Options {
             }),
             "--branches" => {
                 opts.branches = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                opts.jobs = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -190,6 +200,7 @@ fn drive(opts: &Options) -> Result<(), String> {
     let mut config = SchedConfig::speculative();
     config.level = opts.level;
     config.max_speculation_branches = opts.branches;
+    config.jobs = opts.jobs;
     for tweak in &opts.config_tweaks {
         tweak(&mut config);
     }

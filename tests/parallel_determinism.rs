@@ -1,0 +1,118 @@
+//! Differential tests for the parallel per-region scheduler: `jobs = N`
+//! must be *bit-identical* to `jobs = 1` — same scheduled code, same
+//! statistics, same trace-event stream — on every workload, and the
+//! scheduled code must still behave like the original program.
+//!
+//! Wall-clock facts (`SchedStats::pass_nanos`, `PassEnd` nanos) are the
+//! one sanctioned difference between two runs of *any* configuration, so
+//! the comparisons normalize them to zero.
+
+use gis_core::{compile_observed, SchedConfig, SchedLevel, SchedStats};
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig};
+use gis_trace::{Recorder, TraceEvent};
+use gis_workloads::{spec, synth};
+
+/// Compiles a clone of `w` with `config`, returning the scheduled code's
+/// printing, its stats (wall times zeroed) and its trace (wall times
+/// zeroed).
+fn run(
+    w: &spec::Workload,
+    config: &SchedConfig,
+    machine: &MachineDescription,
+) -> (String, SchedStats, Vec<TraceEvent>) {
+    let mut f = w.program.function.clone();
+    let mut rec = Recorder::new();
+    let mut stats = compile_observed(&mut f, machine, config, &mut rec).expect("workload compiles");
+    stats.pass_nanos = [0; 6];
+    let events = rec
+        .into_events()
+        .into_iter()
+        .map(|e| match e {
+            TraceEvent::PassEnd { pass, .. } => TraceEvent::PassEnd { pass, nanos: 0 },
+            other => other,
+        })
+        .collect();
+    (f.to_string(), stats, events)
+}
+
+fn workloads() -> Vec<spec::Workload> {
+    let mut all = spec::all(64);
+    all.push(spec::minmax_workload(63));
+    all.push(synth::many_loops(60, 0xC0FFEE));
+    all
+}
+
+#[test]
+fn jobs_make_no_observable_difference() {
+    let machine = MachineDescription::rs6k();
+    for w in workloads() {
+        for level in [SchedLevel::Useful, SchedLevel::Speculative] {
+            let mut seq = SchedConfig::speculative();
+            seq.level = level;
+            let mut par = seq.clone();
+            par.jobs = 4;
+            let (code_seq, stats_seq, trace_seq) = run(&w, &seq, &machine);
+            let (code_par, stats_par, trace_par) = run(&w, &par, &machine);
+            assert_eq!(code_seq, code_par, "{} {level:?}: schedules differ", w.name);
+            assert_eq!(stats_seq, stats_par, "{} {level:?}: stats differ", w.name);
+            assert_eq!(
+                trace_seq, trace_par,
+                "{} {level:?}: trace streams differ",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_jobs_also_match() {
+    let machine = MachineDescription::rs6k();
+    let w = synth::many_loops(40, 7);
+    let seq = SchedConfig::speculative();
+    let mut auto = seq.clone();
+    auto.jobs = 0; // one worker per CPU
+    let (code_seq, stats_seq, trace_seq) = run(&w, &seq, &machine);
+    let (code_auto, stats_auto, trace_auto) = run(&w, &auto, &machine);
+    assert_eq!(code_seq, code_auto);
+    assert_eq!(stats_seq, stats_auto);
+    assert_eq!(trace_seq, trace_auto);
+}
+
+#[test]
+fn parallel_schedules_preserve_behaviour() {
+    // The synthetic many-loops workload runs end-to-end: the parallel
+    // schedule must leave the program's observable behaviour untouched.
+    let machine = MachineDescription::rs6k();
+    let w = synth::many_loops(60, 0xC0FFEE);
+    let before =
+        execute(&w.program.function, &w.memory, &ExecConfig::default()).expect("original runs");
+    let mut config = SchedConfig::speculative();
+    config.jobs = 4;
+    let mut f = w.program.function.clone();
+    compile_observed(&mut f, &machine, &config, &mut gis_trace::NopObserver).expect("compiles");
+    let after = execute(&f, &w.memory, &ExecConfig::default()).expect("scheduled runs");
+    assert!(
+        before.equivalent(&after),
+        "parallel scheduling changed observable behaviour"
+    );
+    assert!(
+        !after.printed().is_empty(),
+        "the workload prints checkpoints"
+    );
+}
+
+#[test]
+fn parallel_scheduler_finds_real_work_on_the_synthetic_workload() {
+    // Guards the workload's purpose: hundreds of regions with actual
+    // motion opportunities, not degenerate empty loops.
+    let machine = MachineDescription::rs6k();
+    let w = synth::many_loops(60, 0xC0FFEE);
+    let mut config = SchedConfig::speculative();
+    config.jobs = 4;
+    let mut f = w.program.function.clone();
+    let stats =
+        compile_observed(&mut f, &machine, &config, &mut gis_trace::NopObserver).expect("compiles");
+    assert!(stats.regions_scheduled >= 60, "{stats}");
+    assert!(stats.moved_useful + stats.moved_speculative > 0, "{stats}");
+}
