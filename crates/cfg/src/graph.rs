@@ -179,6 +179,24 @@ impl Cfg {
         (0..self.num_nodes()).map(NodeId::from_index)
     }
 
+    /// Predecessor *blocks* of `b`, with the pseudo `ENTRY` node filtered
+    /// out. Convenience for dataflow over blocks only (verifiers,
+    /// per-block analyses) where the augmented graph is noise.
+    pub fn block_preds(&self, b: BlockId) -> Vec<BlockId> {
+        self.preds(NodeId::block(b))
+            .iter()
+            .filter_map(|e| e.to.as_block())
+            .collect()
+    }
+
+    /// Successor *blocks* of `b`, with the pseudo `EXIT` node filtered out.
+    pub fn block_succs(&self, b: BlockId) -> Vec<BlockId> {
+        self.succs(NodeId::block(b))
+            .iter()
+            .filter_map(|e| e.to.as_block())
+            .collect()
+    }
+
     /// Whether `to` is reachable from `from` along control flow edges.
     pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
         let mut seen = vec![false; self.num_nodes()];
@@ -322,6 +340,21 @@ mod tests {
         assert!(pos(node(0)) < pos(node(2)));
         assert!(pos(node(1)) < pos(node(3)));
         assert!(pos(node(2)) < pos(node(3)));
+    }
+
+    #[test]
+    fn block_preds_and_succs_filter_pseudo_nodes() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        // Entry block: ENTRY pred is filtered out.
+        assert!(cfg.block_preds(BlockId::new(0)).is_empty());
+        assert_eq!(
+            cfg.block_preds(BlockId::new(3)),
+            vec![BlockId::new(1), BlockId::new(2)]
+        );
+        // Last block: EXIT succ is filtered out.
+        assert!(cfg.block_succs(BlockId::new(3)).is_empty());
+        assert_eq!(cfg.block_succs(BlockId::new(1)), vec![BlockId::new(3)]);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! The differential oracle: interpret a function before and after
+//! scheduling under a matrix of configurations and compare observable
+//! behaviour ([`ExecOutcome::equivalent`]: output trace + final memory;
+//! registers are deliberately excluded — renaming and speculation
+//! legitimately change dead ones).
+
+use crate::verify::check_pass;
+use gis_core::{compile, SchedConfig};
+use gis_ir::Function;
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig, ExecOutcome};
+use std::fmt;
+
+/// One column of the differential matrix: a labelled scheduling
+/// configuration and machine model.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Human-readable label, e.g. `spec/jobs=4`.
+    pub label: String,
+    /// The scheduling configuration.
+    pub sched: SchedConfig,
+    /// The machine model to schedule for.
+    pub machine: MachineDescription,
+}
+
+/// The standard matrix: full speculative scheduling across `jobs` 1, 4
+/// and 0 (one worker per CPU) — the parallel determinism surface — plus a
+/// useful-only column. Every column runs with
+/// [`check_pass`] plugged into `verify_each_pass`, so structural
+/// violations surface even when the schedule happens to behave.
+pub fn jobs_matrix() -> Vec<DiffConfig> {
+    let mut out = Vec::new();
+    for jobs in [1usize, 4, 0] {
+        let mut sched = SchedConfig::speculative();
+        sched.jobs = jobs;
+        sched.verify_each_pass = Some(check_pass);
+        out.push(DiffConfig {
+            label: format!("spec/jobs={jobs}"),
+            sched,
+            machine: MachineDescription::rs6k(),
+        });
+    }
+    let mut useful = SchedConfig::useful();
+    useful.verify_each_pass = Some(check_pass);
+    out.push(DiffConfig {
+        label: "useful/jobs=1".to_owned(),
+        sched: useful,
+        machine: MachineDescription::rs6k(),
+    });
+    out
+}
+
+/// A confirmed behavioural divergence under one configuration.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Label of the [`DiffConfig`] that diverged.
+    pub config: String,
+    /// What went wrong: a compile error, an execution error, or the first
+    /// observable difference.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.config, self.detail)
+    }
+}
+
+/// The oracle's verdict on one function.
+#[derive(Debug, Clone)]
+pub enum CaseResult {
+    /// Every configuration agreed with the reference interpretation.
+    Agree,
+    /// The *reference* interpretation failed (step limit, unaligned
+    /// access): the case is invalid, not a scheduler bug. Minimizers must
+    /// reject candidate reductions that land here (e.g. deleting a loop
+    /// increment makes the loop infinite).
+    RefFailed(String),
+    /// A configuration compiled or behaved differently from the
+    /// reference.
+    Diverged(Divergence),
+}
+
+impl CaseResult {
+    /// Whether this is a genuine divergence (a scheduler bug witness).
+    pub fn diverged(&self) -> bool {
+        matches!(self, CaseResult::Diverged(_))
+    }
+}
+
+/// Runs `f` through the oracle: interpret unscheduled as the reference,
+/// then compile + interpret under every matrix column and compare.
+pub fn run_case(
+    f: &Function,
+    memory: &[(i64, i64)],
+    matrix: &[DiffConfig],
+    exec: &ExecConfig,
+) -> CaseResult {
+    let reference: ExecOutcome = match execute(f, memory, exec) {
+        Ok(out) => out,
+        Err(e) => return CaseResult::RefFailed(e.to_string()),
+    };
+    for column in matrix {
+        let mut scheduled = f.clone();
+        if let Err(e) = compile(&mut scheduled, &column.machine, &column.sched) {
+            return CaseResult::Diverged(Divergence {
+                config: column.label.clone(),
+                detail: format!("compile failed: {e}"),
+            });
+        }
+        let out = match execute(&scheduled, memory, exec) {
+            Ok(out) => out,
+            Err(e) => {
+                return CaseResult::Diverged(Divergence {
+                    config: column.label.clone(),
+                    detail: format!("scheduled program failed to execute: {e}"),
+                })
+            }
+        };
+        if let Some(why) = reference.explain_difference(&out) {
+            return CaseResult::Diverged(Divergence {
+                config: column.label.clone(),
+                detail: why,
+            });
+        }
+    }
+    CaseResult::Agree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    #[test]
+    fn scheduler_agrees_on_a_simple_loop() {
+        let f = parse_function(
+            "func ok\ninit:\n LI r1=0\n LI r2=0\n LI r9=6\n\
+             l:\n AI r1=r1,1\n A r2=r2,r1\n C cr0=r1,r9\n BT l,cr0,0x1/lt\n\
+             out:\n PRINT r2\n RET\n",
+        )
+        .expect("parses");
+        let result = run_case(&f, &[], &jobs_matrix(), &ExecConfig::default());
+        assert!(matches!(result, CaseResult::Agree), "{result:?}");
+    }
+
+    #[test]
+    fn reference_failure_is_not_a_divergence() {
+        // An infinite loop: the reference interpreter hits the step limit.
+        let f = parse_function("func inf\ne:\n LI r1=0\nl:\n AI r1=r1,1\n B l\n").expect("parses");
+        let result = run_case(&f, &[], &jobs_matrix(), &ExecConfig { max_steps: 1000 });
+        assert!(matches!(result, CaseResult::RefFailed(_)), "{result:?}");
+    }
+
+    #[test]
+    fn planted_miscompile_is_caught() {
+        // A diamond whose fall-through arm overwrites r2, which is live on
+        // exit from the entry block. With the live-on-exit guard disabled
+        // the scheduler hoists `LI r2=7` above the branch, clobbering the
+        // taken path's value.
+        let f = parse_function(
+            "func bug\ne:\n LI r1=1\n LI r2=3\n CI cr0=r1,0\n BT out,cr0,0x2/gt\n\
+             arm:\n LI r2=7\n\
+             out:\n PRINT r2\n RET\n",
+        )
+        .expect("parses");
+        let mut matrix = jobs_matrix();
+        for c in &mut matrix {
+            c.sched.inject_skip_live_on_exit = true;
+            c.sched.speculative_renaming = false;
+        }
+        let result = run_case(&f, &[], &matrix, &ExecConfig::default());
+        assert!(result.diverged(), "{result:?}");
+    }
+}

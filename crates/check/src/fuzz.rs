@@ -1,0 +1,173 @@
+//! The fuzzing driver: generate → oracle → minimize → reproducer.
+
+use crate::diff::{run_case, CaseResult, DiffConfig, Divergence};
+use crate::gen::generate;
+use crate::shrink::minimize;
+use gis_ir::Function;
+use gis_sim::ExecConfig;
+use gis_workloads::rng::XorShift64Star;
+
+/// A fuzzing failure: the original divergence plus the minimized,
+/// verifier-clean reproducer.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The master seed of the run.
+    pub seed: u64,
+    /// The iteration (sub-stream) that produced the case.
+    pub iteration: u64,
+    /// The divergence observed on the *original* generated function.
+    pub divergence: Divergence,
+    /// The generated function, before minimization (textual IR).
+    pub original_text: String,
+    /// The minimized reproducer.
+    pub minimized: Function,
+    /// The initial memory image both functions run against.
+    pub memory: Vec<(i64, i64)>,
+}
+
+impl FuzzFailure {
+    /// Renders the minimized reproducer in the `tests/corpus/` format:
+    /// header comments (provenance + divergence + `; mem:` image lines)
+    /// followed by textual IR. Parse it back with [`parse_reproducer`].
+    pub fn reproducer_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("; gis-check minimized reproducer\n");
+        out.push_str(&format!(
+            "; found by: gisc fuzz --seed {} (iteration {})\n",
+            self.seed, self.iteration
+        ));
+        out.push_str(&format!("; divergence: {}\n", self.divergence));
+        for (addr, value) in &self.memory {
+            out.push_str(&format!("; mem: {addr} {value}\n"));
+        }
+        out.push_str(&self.minimized.to_string());
+        out
+    }
+}
+
+/// Parses a reproducer file: `; mem: <addr> <value>` comment lines form
+/// the initial memory image, everything else is textual IR.
+///
+/// # Errors
+///
+/// Returns the parse error message for malformed IR or memory lines.
+pub fn parse_reproducer(text: &str) -> Result<(Function, Vec<(i64, i64)>), String> {
+    let mut memory = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed
+            .strip_prefix("; mem:")
+            .or_else(|| trimmed.strip_prefix("# mem:"))
+        else {
+            continue;
+        };
+        let mut parts = rest.split_whitespace();
+        let (Some(addr), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("malformed memory line: {trimmed:?}"));
+        };
+        let addr: i64 = addr
+            .parse()
+            .map_err(|e| format!("bad address in {trimmed:?}: {e}"))?;
+        let value: i64 = value
+            .parse()
+            .map_err(|e| format!("bad value in {trimmed:?}: {e}"))?;
+        memory.push((addr, value));
+    }
+    let function = gis_ir::parse_function(text).map_err(|e| e.to_string())?;
+    Ok((function, memory))
+}
+
+/// The outcome of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Iterations completed (including the failing one, if any).
+    pub iterations: u64,
+    /// The first failure found, already minimized; `None` when every
+    /// iteration agreed.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// Runs `iters` fuzzing iterations from master `seed` against `matrix`,
+/// stopping at (and minimizing) the first divergence.
+///
+/// Iteration `i` draws from `XorShift64Star::stream(seed, i)`, so a
+/// failing iteration can be replayed alone with the same seed.
+pub fn run_fuzz(seed: u64, iters: u64, matrix: &[DiffConfig]) -> FuzzReport {
+    let exec = ExecConfig {
+        max_steps: 2_000_000,
+    };
+    for i in 0..iters {
+        let mut rng = XorShift64Star::stream(seed, i);
+        let case = generate(&mut rng);
+        match run_case(&case.function, &case.memory, matrix, &exec) {
+            CaseResult::Agree => {}
+            CaseResult::RefFailed(e) => {
+                // The generator guarantees termination and alignment; a
+                // reference failure is a harness bug worth loud failure.
+                panic!(
+                    "generated case failed the reference interpreter: {e}\n{}",
+                    case.text
+                );
+            }
+            CaseResult::Diverged(divergence) => {
+                let memory = case.memory.clone();
+                let minimized = minimize(&case.function, &mut |cand| {
+                    run_case(cand, &memory, matrix, &exec).diverged()
+                });
+                return FuzzReport {
+                    iterations: i + 1,
+                    failure: Some(FuzzFailure {
+                        seed,
+                        iteration: i,
+                        divergence,
+                        original_text: case.text,
+                        minimized,
+                        memory,
+                    }),
+                };
+            }
+        }
+    }
+    FuzzReport {
+        iterations: iters,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::jobs_matrix;
+
+    #[test]
+    fn clean_scheduler_survives_a_short_run() {
+        let report = run_fuzz(0xF00D, 10, &jobs_matrix());
+        assert!(
+            report.failure.is_none(),
+            "unexpected divergence: {}",
+            report.failure.unwrap().reproducer_text()
+        );
+        assert_eq!(report.iterations, 10);
+    }
+
+    #[test]
+    fn reproducer_text_round_trips() {
+        let f = gis_ir::parse_function("func t\ne:\n LI r1=7\n PRINT r1\n RET\n").expect("parses");
+        let failure = FuzzFailure {
+            seed: 3,
+            iteration: 1,
+            divergence: Divergence {
+                config: "spec/jobs=4".into(),
+                detail: "output[0]: Print(1) vs Print(2)".into(),
+            },
+            original_text: String::new(),
+            minimized: f,
+            memory: vec![(4096, -7), (4100, 12)],
+        };
+        let text = failure.reproducer_text();
+        let (g, mem) = parse_reproducer(&text).expect("round trips");
+        assert_eq!(mem, vec![(4096, -7), (4100, 12)]);
+        assert_eq!(g.num_insts(), 3);
+        assert!(text.contains("spec/jobs=4"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Automatic test-case minimization (delta debugging over IR).
+//!
+//! [`minimize`] repeatedly applies three deletion passes — whole-block
+//! emptying, single-instruction deletion, and edge deletion (dropping or
+//! de-conditionalizing branches, then removing unreachable blocks) — and
+//! keeps a candidate only when it (a) still satisfies
+//! [`verify_function`] and (b) still fails the
+//! caller's predicate. The result is the smallest reproducer this greedy
+//! process reaches: verifier-clean by construction and deterministic for
+//! a given input and predicate.
+
+use crate::verify::verify_function;
+use gis_ir::{Function, InstId, Op};
+
+/// Whether a candidate reduction is structurally acceptable.
+fn acceptable(f: &Function) -> bool {
+    verify_function(f).is_ok()
+}
+
+/// Tries deleting the instruction `id` (never block terminators).
+fn without_inst(f: &Function, id: InstId) -> Option<Function> {
+    let (b, pos) = f.find_inst(id)?;
+    if f.block(b).insts()[pos].op.is_block_end() {
+        return None;
+    }
+    let mut g = f.clone();
+    g.block_mut(b).insts_mut().remove(pos);
+    Some(g)
+}
+
+/// All instruction ids, in layout order.
+fn all_ids(f: &Function) -> Vec<InstId> {
+    f.insts().map(|(_, i)| i.id).collect()
+}
+
+/// Minimizes `f` against `still_fails` (which must return `true` for `f`
+/// itself — the caller found a failure and wants it smaller).
+///
+/// Every intermediate candidate is re-validated by the structural
+/// verifier before the predicate runs, so the minimized reproducer is
+/// always well-formed — deleting a definition that would orphan its uses
+/// is rejected outright.
+pub fn minimize(f: &Function, still_fails: &mut dyn FnMut(&Function) -> bool) -> Function {
+    let mut best = f.clone();
+    let mut accept = |cand: Function, best: &mut Function| -> bool {
+        if acceptable(&cand) && still_fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let before = best.num_insts() + best.num_blocks();
+
+        // Pass 1: empty whole blocks (all non-terminator instructions at
+        // once) — fast progress on large cases.
+        for b in best.block_ids().collect::<Vec<_>>() {
+            if b.index() >= best.num_blocks() {
+                break;
+            }
+            let keep: Vec<InstId> = best
+                .block(b)
+                .insts()
+                .iter()
+                .filter(|i| i.op.is_block_end())
+                .map(|i| i.id)
+                .collect();
+            if keep.len() == best.block(b).len() {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand.block_mut(b)
+                .insts_mut()
+                .retain(|i| keep.contains(&i.id));
+            accept(cand, &mut best);
+        }
+
+        // Pass 2: delete single instructions.
+        for id in all_ids(&best) {
+            if let Some(cand) = without_inst(&best, id) {
+                accept(cand, &mut best);
+            }
+        }
+
+        // Pass 3: edge deletion. For conditional branches try removing
+        // the branch (keeping only the fall-through edge) and making it
+        // unconditional (keeping only the taken edge); for unconditional
+        // branches try falling through instead. Unreachable blocks are
+        // swept afterwards.
+        for id in all_ids(&best) {
+            let Some((b, pos)) = best.find_inst(id) else {
+                continue;
+            };
+            match best.block(b).insts()[pos].op.clone() {
+                Op::BranchCond { target, .. } => {
+                    let mut drop = best.clone();
+                    drop.block_mut(b).insts_mut().remove(pos);
+                    drop.remove_unreachable_blocks();
+                    if accept(drop, &mut best) {
+                        continue;
+                    }
+                    let mut always = best.clone();
+                    always.block_mut(b).insts_mut()[pos].op = Op::Branch { target };
+                    always.remove_unreachable_blocks();
+                    accept(always, &mut best);
+                }
+                Op::Branch { .. } => {
+                    let mut drop = best.clone();
+                    drop.block_mut(b).insts_mut().remove(pos);
+                    drop.remove_unreachable_blocks();
+                    accept(drop, &mut best);
+                }
+                _ => {}
+            }
+        }
+
+        // Sweep unreachable blocks left by earlier edits.
+        let mut swept = best.clone();
+        if swept.remove_unreachable_blocks() > 0 {
+            accept(swept, &mut best);
+        }
+
+        if best.num_insts() + best.num_blocks() == before {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+    use gis_sim::{execute, ExecConfig};
+
+    #[test]
+    fn shrinks_to_the_kernel_of_the_failure() {
+        // The "failure" is simply: the program prints 42 somewhere. The
+        // minimizer must strip the unrelated loop and arithmetic but keep
+        // the print reachable and well-formed.
+        let f = parse_function(
+            "func big\ninit:\n LI r1=0\n LI r2=42\n LI r9=5\n LI r3=10\n\
+             l:\n AI r1=r1,1\n A r3=r3,r1\n C cr0=r1,r9\n BT l,cr0,0x1/lt\n\
+             mid:\n MUL r3=r3,r3\n PRINT r3\n\
+             out:\n PRINT r2\n RET\n",
+        )
+        .expect("parses");
+        let mut prints_42 = |cand: &Function| {
+            execute(cand, &[], &ExecConfig::default())
+                .map(|out| out.printed().contains(&42))
+                .unwrap_or(false)
+        };
+        assert!(prints_42(&f));
+        let small = minimize(&f, &mut prints_42);
+        assert!(prints_42(&small));
+        assert!(verify_function(&small).is_ok());
+        assert!(
+            small.num_insts() <= 4,
+            "expected ~LI/PRINT/RET, got:\n{small}"
+        );
+        assert!(small.num_insts() < f.num_insts());
+    }
+
+    #[test]
+    fn rejects_reductions_that_break_the_verifier() {
+        // Predicate: accepts anything executable. The minimizer must not
+        // return a function that fails verification even though the
+        // predicate would pass for it.
+        let f =
+            parse_function("func v\ne:\n LI r1=5\n AI r2=r1,1\n PRINT r2\n RET\n").expect("parses");
+        let small = minimize(&f, &mut |cand| {
+            execute(cand, &[], &ExecConfig::default()).is_ok()
+        });
+        assert!(verify_function(&small).is_ok());
+    }
+}

@@ -1,5 +1,20 @@
 //! Scheduling configuration.
 
+use gis_ir::Function;
+use gis_trace::Pass;
+
+/// A per-pass debug verifier: invoked after every pipeline pass with the
+/// pass just run, the function as it was *before* the pass and as it is
+/// *after*. Returning `Err` aborts compilation with
+/// [`CompileError::PassCheck`](crate::CompileError::PassCheck).
+///
+/// This is the plug point for `gis-check`'s structural verifier (CFG
+/// well-formedness, use-before-def along dominators, §4.1 region
+/// confinement): `gis-core` cannot depend on `gis-check` — the checker
+/// drives the scheduler — so the verifier is injected as a plain function
+/// pointer via [`SchedConfig::verify_each_pass`].
+pub type PassVerifier = fn(Pass, &Function, &Function) -> Result<(), String>;
+
 /// How far instructions may move (§5.1's "levels of scheduling").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedLevel {
@@ -77,6 +92,18 @@ pub struct SchedConfig {
     /// (the default) keeps everything on the calling thread; `0` means
     /// one worker per available CPU.
     pub jobs: usize,
+    /// Debug gate: run this verifier between every pipeline pass (`None`,
+    /// the default, checks nothing and costs nothing). The pipeline
+    /// snapshots the function before each pass so the verifier can also
+    /// check *relative* invariants such as region confinement. See
+    /// [`PassVerifier`].
+    pub verify_each_pass: Option<PassVerifier>,
+    /// **Fault injection — test harness use only.** When true, the §5.3
+    /// live-on-exit guard for speculative motion is deliberately skipped,
+    /// planting a known miscompile. `gis-check`'s self-test flips this to
+    /// prove the differential fuzzer actually catches scheduler bugs.
+    /// Never enable outside tests.
+    pub inject_skip_live_on_exit: bool,
 }
 
 impl SchedConfig {
@@ -115,6 +142,8 @@ impl SchedConfig {
             min_speculation_probability: 0.0,
             max_speculation_branches: 1,
             jobs: 1,
+            verify_each_pass: None,
+            inject_skip_live_on_exit: false,
         }
     }
 

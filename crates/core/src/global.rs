@@ -673,6 +673,12 @@ impl<O: SchedObserver> RegionPass<'_, O> {
         if clobbered.is_empty() {
             return true;
         }
+        // Planted-miscompile hook for the gis-check self-test: pretend the
+        // live-on-exit guard passed, letting the speculated definition
+        // clobber a live register (see SchedConfig::inject_skip_live_on_exit).
+        if self.config.inject_skip_live_on_exit {
+            return true;
+        }
         if !self.config.speculative_renaming || op.has_tied_base() {
             self.stats.rejected_live_out += 1;
             return false;

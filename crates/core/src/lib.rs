@@ -50,7 +50,7 @@ mod stats;
 mod unroll;
 
 pub use bb::{schedule_block, schedule_block_observed};
-pub use config::{SchedConfig, SchedLevel};
+pub use config::{PassVerifier, SchedConfig, SchedLevel};
 pub use global::{schedule_region, schedule_region_observed};
 pub use parallel::effective_jobs;
 pub use pipeline::{compile, compile_observed, CompileError};

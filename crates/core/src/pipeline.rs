@@ -25,21 +25,42 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
-/// The pipeline produced (or was handed) a malformed function. Seeing
-/// this after a successful parse/build indicates a bug in a
-/// transformation pass.
+/// A compilation failure. Seeing either variant after a successful
+/// parse/build indicates a bug in a transformation pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CompileError(pub VerifyFunctionError);
+pub enum CompileError {
+    /// The pipeline produced (or was handed) a function that fails
+    /// [`Function::verify`].
+    Malformed(VerifyFunctionError),
+    /// The [`SchedConfig::verify_each_pass`] debug verifier rejected the
+    /// function a pass just produced.
+    PassCheck {
+        /// The pass after which the verifier fired.
+        pass: Pass,
+        /// The verifier's diagnostic.
+        detail: String,
+    },
+}
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scheduling produced a malformed function: {}", self.0)
+        match self {
+            CompileError::Malformed(e) => {
+                write!(f, "scheduling produced a malformed function: {e}")
+            }
+            CompileError::PassCheck { pass, detail } => {
+                write!(f, "per-pass verifier failed after {pass:?}: {detail}")
+            }
+        }
     }
 }
 
 impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(&self.0)
+        match self {
+            CompileError::Malformed(e) => Some(e),
+            CompileError::PassCheck { .. } => None,
+        }
     }
 }
 
@@ -116,6 +137,20 @@ fn pass_end<O: SchedObserver>(obs: &mut O, pass: Pass, t0: Instant, stats: &mut 
     }
 }
 
+/// Runs the [`SchedConfig::verify_each_pass`] debug verifier (if any)
+/// against the pre-pass snapshot and the current function state.
+fn pass_checkpoint(
+    config: &SchedConfig,
+    pass: Pass,
+    before: Option<&Function>,
+    after: &Function,
+) -> Result<(), CompileError> {
+    if let (Some(check), Some(before)) = (config.verify_each_pass, before) {
+        check(pass, before, after).map_err(|detail| CompileError::PassCheck { pass, detail })?;
+    }
+    Ok(())
+}
+
 /// [`compile`], reporting every scheduling decision to `obs`.
 ///
 /// With the no-op observer this is exactly `compile`: every emission site
@@ -131,11 +166,15 @@ pub fn compile_observed<O: SchedObserver>(
     config: &SchedConfig,
     obs: &mut O,
 ) -> Result<SchedStats, CompileError> {
-    f.verify().map_err(CompileError)?;
+    f.verify().map_err(CompileError::Malformed)?;
     let mut stats = SchedStats::default();
+    // Snapshot before each pass only when the debug verifier is plugged
+    // in; `None` keeps the normal path allocation-free.
+    let snapshot = |f: &Function| config.verify_each_pass.map(|_| f.clone());
 
     // 1. Register-web renaming.
     if config.rename {
+        let snap = snapshot(f);
         let t0 = pass_begin(obs, Pass::Rename);
         let cfg = Cfg::new(f);
         stats.webs_renamed = rename_webs(f, &cfg).renamed;
@@ -145,11 +184,13 @@ pub fn compile_observed<O: SchedObserver>(
             });
         }
         pass_end(obs, Pass::Rename, t0, &mut stats);
+        pass_checkpoint(config, Pass::Rename, snap.as_ref(), f)?;
     }
 
     // 2. Unroll small inner loops (once per §6; extra rounds double
     //    again while loops stay under the size limit).
     if config.unroll {
+        let snap = snapshot(f);
         let t0 = pass_begin(obs, Pass::Unroll);
         for _ in 0..config.unroll_times {
             let mut done: HashSet<String> = HashSet::new();
@@ -172,20 +213,24 @@ pub fn compile_observed<O: SchedObserver>(
             }
         }
         pass_end(obs, Pass::Unroll, t0, &mut stats);
+        pass_checkpoint(config, Pass::Unroll, snap.as_ref(), f)?;
     }
 
     // 3. First global pass: inner regions (height 0). Both global passes
     //    fan independent region subtrees out over `config.jobs` workers;
     //    the merge keeps them bit-identical to a single-threaded pass.
     if config.level != SchedLevel::BasicBlockOnly {
+        let snap = snapshot(f);
         let t0 = pass_begin(obs, Pass::Global1);
         let an = analyze(f);
         global_pass(f, machine, &an.cfg, &an.tree, config, 0, &mut stats, obs);
         pass_end(obs, Pass::Global1, t0, &mut stats);
+        pass_checkpoint(config, Pass::Global1, snap.as_ref(), f)?;
 
         // 4. Rotate small inner loops (once each: after rotation the loop
         //    re-forms and must not be treated as a fresh candidate).
         if config.rotate {
+            let snap = snapshot(f);
             let t0 = pass_begin(obs, Pass::Rotate);
             let mut done: HashSet<String> = HashSet::new();
             loop {
@@ -216,10 +261,12 @@ pub fn compile_observed<O: SchedObserver>(
                 }
             }
             pass_end(obs, Pass::Rotate, t0, &mut stats);
+            pass_checkpoint(config, Pass::Rotate, snap.as_ref(), f)?;
         }
 
         // 5. Second global pass: rotated inner loops and outer regions
         //    (every region up to the height limit).
+        let snap = snapshot(f);
         let t0 = pass_begin(obs, Pass::Global2);
         let an = analyze(f);
         global_pass(
@@ -233,10 +280,12 @@ pub fn compile_observed<O: SchedObserver>(
             obs,
         );
         pass_end(obs, Pass::Global2, t0, &mut stats);
+        pass_checkpoint(config, Pass::Global2, snap.as_ref(), f)?;
     }
 
     // 6. Final basic block pass.
     if config.final_bb_pass {
+        let snap = snapshot(f);
         let t0 = pass_begin(obs, Pass::FinalBb);
         for b in f.block_ids().collect::<Vec<_>>() {
             if schedule_block_observed(f, machine, b, obs) {
@@ -244,9 +293,10 @@ pub fn compile_observed<O: SchedObserver>(
             }
         }
         pass_end(obs, Pass::FinalBb, t0, &mut stats);
+        pass_checkpoint(config, Pass::FinalBb, snap.as_ref(), f)?;
     }
 
-    f.verify().map_err(CompileError)?;
+    f.verify().map_err(CompileError::Malformed)?;
     Ok(stats)
 }
 

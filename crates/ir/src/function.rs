@@ -292,6 +292,58 @@ impl Function {
         map
     }
 
+    /// Deletes every block that is unreachable from the entry (following
+    /// [`Function::succs`]) and remaps the surviving branch targets.
+    /// Returns the number of blocks removed.
+    ///
+    /// Fall-through edges are preserved: a block only falls through into
+    /// its layout successor, and a fall-through target is by definition
+    /// reachable whenever its predecessor is, so deleting unreachable
+    /// blocks never separates a block from its fall-through successor.
+    /// Test-case minimizers use this to clean up after redirecting or
+    /// deleting branches.
+    pub fn remove_unreachable_blocks(&mut self) -> usize {
+        if self.blocks.is_empty() {
+            return 0;
+        }
+        let mut reachable = vec![false; self.blocks.len()];
+        let mut work = vec![self.entry()];
+        reachable[self.entry().index()] = true;
+        while let Some(b) = work.pop() {
+            for s in self.succs(b) {
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    work.push(s);
+                }
+            }
+        }
+        let removed = reachable.iter().filter(|r| !**r).count();
+        if removed == 0 {
+            return 0;
+        }
+        let mut remap = vec![BlockId::new(0); self.blocks.len()];
+        let mut next = 0u32;
+        for (i, live) in reachable.iter().enumerate() {
+            if *live {
+                remap[i] = BlockId::new(next);
+                next += 1;
+            }
+        }
+        let mut kept = Vec::with_capacity(next as usize);
+        for (i, block) in std::mem::take(&mut self.blocks).into_iter().enumerate() {
+            if reachable[i] {
+                kept.push(block);
+            }
+        }
+        for block in &mut kept {
+            for inst in block.insts_mut() {
+                inst.op.map_targets(|t| remap[t.index()]);
+            }
+        }
+        self.blocks = kept;
+        removed
+    }
+
     /// All registers mentioned anywhere in the function.
     pub fn all_regs(&self) -> Vec<Reg> {
         let mut regs: Vec<Reg> = self
@@ -379,6 +431,32 @@ mod tests {
         assert_eq!(tgt, BlockId::new(2));
         // Fall-through now passes through the empty inserted block.
         assert_eq!(f.succs(BlockId::new(1)), vec![BlockId::new(2)]);
+    }
+
+    #[test]
+    fn remove_unreachable_blocks_remaps_targets() {
+        // e -> B over `dead` to `tail`; `dead` is unreachable.
+        let mut f = Function::new("t");
+        let e = f.add_block("e");
+        let dead = f.add_block("dead");
+        let tail = f.add_block("tail");
+        let id = f.fresh_inst_id();
+        f.block_mut(e)
+            .push(Inst::new(id, Op::Branch { target: tail }));
+        let id = f.fresh_inst_id();
+        f.block_mut(dead).push(Inst::new(id, Op::Ret));
+        let id = f.fresh_inst_id();
+        f.block_mut(tail).push(Inst::new(id, Op::Ret));
+        assert_eq!(f.remove_unreachable_blocks(), 1);
+        assert_eq!(f.num_blocks(), 2);
+        let tgt = f.block(e).insts()[0].op.branch_target().unwrap();
+        assert_eq!(
+            tgt,
+            BlockId::new(1),
+            "target shifted past the deleted block"
+        );
+        assert!(f.verify().is_ok());
+        assert_eq!(f.remove_unreachable_blocks(), 0, "idempotent");
     }
 
     #[test]

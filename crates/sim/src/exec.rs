@@ -104,6 +104,44 @@ impl ExecOutcome {
     pub fn equivalent(&self, other: &ExecOutcome) -> bool {
         self.output == other.output && self.memory == other.memory
     }
+
+    /// Describes the first observable difference from `other` (the first
+    /// diverging output event, then the first differing memory word), or
+    /// `None` when the two outcomes are [equivalent](Self::equivalent).
+    /// Differential testing harnesses use this to turn a bare "not
+    /// equivalent" into an actionable diagnostic.
+    pub fn explain_difference(&self, other: &ExecOutcome) -> Option<String> {
+        for (i, (a, b)) in self.output.iter().zip(other.output.iter()).enumerate() {
+            if a != b {
+                return Some(format!("output[{i}]: {a:?} vs {b:?}"));
+            }
+        }
+        if self.output.len() != other.output.len() {
+            return Some(format!(
+                "output length: {} events vs {} events",
+                self.output.len(),
+                other.output.len()
+            ));
+        }
+        let addrs: std::collections::BTreeSet<i64> = self
+            .memory
+            .keys()
+            .chain(other.memory.keys())
+            .copied()
+            .collect();
+        for addr in addrs {
+            let a = self.memory.get(&addr);
+            let b = other.memory.get(&addr);
+            if a != b {
+                let show = |v: Option<&i64>| match v {
+                    Some(v) => v.to_string(),
+                    None => "<unwritten>".to_owned(),
+                };
+                return Some(format!("memory[{addr:#x}]: {} vs {}", show(a), show(b)));
+            }
+        }
+        None
+    }
 }
 
 #[derive(Debug, Default)]
@@ -367,6 +405,22 @@ mod tests {
     fn run(text: &str) -> ExecOutcome {
         let f = parse_function(text).expect("parses");
         execute(&f, &[], &ExecConfig::default()).expect("executes")
+    }
+
+    #[test]
+    fn explain_difference_pinpoints_first_divergence() {
+        let a = run("func a\nE:\n LI r1=3\n PRINT r1\n RET\n");
+        let b = run("func a\nE:\n LI r1=5\n PRINT r1\n RET\n");
+        assert!(a.explain_difference(&a).is_none());
+        let why = a.explain_difference(&b).expect("differs");
+        assert!(why.contains("output[0]"), "{why}");
+        assert!(why.contains("3") && why.contains("5"), "{why}");
+
+        let c = run("func a\nE:\n LI r1=4096\n LI r2=9\n ST r2=>*(r1,0)\n RET\n");
+        let d = run("func a\nE:\n LI r1=4096\n LI r2=8\n ST r2=>*(r1,4)\n RET\n");
+        let why = c.explain_difference(&d).expect("differs");
+        assert!(why.contains("memory[0x1000]"), "{why}");
+        assert!(why.contains("<unwritten>"), "{why}");
     }
 
     #[test]

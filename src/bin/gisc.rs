@@ -1,7 +1,16 @@
 //! `gisc` — the command-line driver: compile tinyc source or assemble IR
-//! text, schedule it for a chosen machine, and optionally run it.
+//! text, schedule it for a chosen machine, and optionally run it. Two
+//! subcommands wrap the gis-check subsystem: `gisc fuzz` runs the
+//! differential fuzzer and `gisc verify` runs the structural verifier on
+//! one file.
 //!
 //! ```text
+//! gisc fuzz [--seed N] [--iters K] [--out DIR]
+//!     differentially fuzz the scheduler; on divergence, print and save
+//!     the minimized reproducer (default --out tests/corpus)
+//! gisc verify <file|->
+//!     structural verification of textual IR (corpus files accepted)
+//!
 //! gisc [OPTIONS] <file>
 //!   --tinyc | --asm      input language (default: by extension, .c/.gis)
 //!   --level <base|useful|speculative>   scheduling level (default speculative)
@@ -59,9 +68,29 @@ fn usage() -> ! {
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
          [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
          [--paper] [--branches N] [--jobs N] [--opt] [--run] [--stats] [--dot-cfg] \
-         [--trace[=json:<path>]] [--explain <inst>] [--timeline] <file|->"
+         [--trace[=json:<path>]] [--explain <inst>] [--timeline] <file|->\n\
+         \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
+         \x20      gisc verify <file|->"
     );
     std::process::exit(2)
+}
+
+/// Rejects a malformed argument with a specific message (exit 2, like
+/// `usage`, but telling the user *which* flag was wrong and why).
+fn bad_arg(msg: &str) -> ! {
+    eprintln!("gisc: {msg}");
+    eprintln!("run `gisc --help` for usage");
+    std::process::exit(2)
+}
+
+/// Parses the value of an integer-valued flag, with actionable errors for
+/// both the missing-value and unparsable-value cases.
+fn int_value<T: std::str::FromStr>(flag: &str, kind: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        bad_arg(&format!("{flag} expects {kind}, but no value was given"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| bad_arg(&format!("{flag} expects {kind}, got '{v}'")))
 }
 
 fn parse_args() -> Options {
@@ -117,16 +146,14 @@ fn parse_args() -> Options {
                 c.final_bb_pass = false;
             }),
             "--branches" => {
-                opts.branches = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                opts.branches = int_value("--branches", "a non-negative integer", args.next());
             }
             "--jobs" => {
-                opts.jobs = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                opts.jobs = int_value(
+                    "--jobs",
+                    "a non-negative integer (0 = one worker per CPU)",
+                    args.next(),
+                );
             }
             "--opt" => opts.opt = true,
             "--run" => opts.run = true,
@@ -134,9 +161,15 @@ fn parse_args() -> Options {
             "--dot-cfg" => opts.dot_cfg = true,
             "--trace" => opts.trace = true,
             "--explain" => {
-                let inst = args.next().unwrap_or_else(|| usage());
+                let inst = args
+                    .next()
+                    .unwrap_or_else(|| bad_arg("--explain expects an instruction id (I8 or 8)"));
                 let digits = inst.strip_prefix('I').unwrap_or(&inst);
-                opts.explain = Some(digits.parse().unwrap_or_else(|_| usage()));
+                opts.explain = Some(digits.parse().unwrap_or_else(|_| {
+                    bad_arg(&format!(
+                        "--explain expects an instruction id (I8 or 8), got '{inst}'"
+                    ))
+                }));
             }
             "--timeline" => opts.timeline = true,
             "-h" | "--help" => usage(),
@@ -171,11 +204,114 @@ fn read_input(file: &str) -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
+    // Subcommand dispatch before flag parsing: `gisc fuzz`/`gisc verify`
+    // wrap the gis-check subsystem.
+    let mut raw = std::env::args().skip(1);
+    match raw.next().as_deref() {
+        Some("fuzz") => return fuzz_command(raw),
+        Some("verify") => return verify_command(raw),
+        _ => {}
+    }
     let opts = parse_args();
     match drive(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("gisc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `gisc fuzz [--seed N] [--iters K] [--out DIR]`: run the differential
+/// fuzzer; on divergence print the minimized reproducer and save it under
+/// the output directory (default `tests/corpus`).
+fn fuzz_command(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut iters: u64 = 100;
+    let mut out_dir = String::from("tests/corpus");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = int_value("--seed", "a 64-bit unsigned integer", args.next()),
+            "--iters" => iters = int_value("--iters", "a non-negative integer", args.next()),
+            "--out" => {
+                out_dir = args
+                    .next()
+                    .unwrap_or_else(|| bad_arg("--out expects a directory path"));
+            }
+            other => bad_arg(&format!("unknown fuzz argument '{other}'")),
+        }
+    }
+    eprintln!(
+        "gisc fuzz: seed {seed}, {iters} iterations, matrix of {} configs",
+        { gis_check::jobs_matrix().len() }
+    );
+    let report = gis_check::run_fuzz(seed, iters, &gis_check::jobs_matrix());
+    match report.failure {
+        None => {
+            eprintln!(
+                "gisc fuzz: OK — {} iterations, no divergence",
+                report.iterations
+            );
+            ExitCode::SUCCESS
+        }
+        Some(failure) => {
+            let text = failure.reproducer_text();
+            eprintln!(
+                "gisc fuzz: DIVERGENCE at iteration {} ({})",
+                failure.iteration, failure.divergence
+            );
+            eprintln!("--- minimized reproducer ---");
+            eprint!("{text}");
+            eprintln!("----------------------------");
+            let path = format!("{out_dir}/fuzz-seed{}-iter{}.gis", seed, failure.iteration);
+            match std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&path, &text)) {
+                Ok(()) => eprintln!("gisc fuzz: reproducer written to {path}"),
+                Err(e) => eprintln!("gisc fuzz: could not write {path}: {e}"),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `gisc verify <file|->`: structural verification of one textual-IR
+/// file. Accepts corpus reproducers (`; mem:` header lines are ignored
+/// for verification purposes).
+fn verify_command(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(file) = args.next() else {
+        bad_arg("verify expects a file argument (or '-' for stdin)");
+    };
+    if let Some(extra) = args.next() {
+        bad_arg(&format!(
+            "verify takes exactly one file, got extra '{extra}'"
+        ));
+    }
+    let text = match read_input(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gisc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let function = match gis_check::parse_reproducer(&text) {
+        Ok((f, _mem)) => f,
+        Err(e) => {
+            eprintln!("gisc verify: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gis_check::verify_function(&function) {
+        Ok(()) => {
+            println!(
+                "{file}: ok ({} blocks, {} instructions)",
+                function.num_blocks(),
+                function.num_insts()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("gisc verify: {file}: {e}");
+            }
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,46 @@
+//! Replays every checked-in reproducer in `tests/corpus/` through the
+//! structural verifier and the full differential matrix. Each file is a
+//! past (or representative) failure, minimized by gis-check and
+//! committed; the scheduler must now verify and agree on all of them.
+//!
+//! To add a case: run `gisc fuzz` (it writes minimized reproducers here
+//! on divergence), fix the scheduler, and commit the `.gis` file — see
+//! docs/TESTING.md.
+
+use gis_check::{jobs_matrix, parse_reproducer, run_case, verify_function, CaseResult};
+use gis_sim::ExecConfig;
+
+#[test]
+fn corpus_replay() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "gis"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 3,
+        "corpus unexpectedly small: {} files",
+        paths.len()
+    );
+
+    let matrix = jobs_matrix();
+    let exec = ExecConfig::default();
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let (function, memory) = parse_reproducer(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let Err(errs) = verify_function(&function) {
+            panic!(
+                "{name}: fails verification: {}",
+                errs.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+        let result = run_case(&function, &memory, &matrix, &exec);
+        assert!(matches!(result, CaseResult::Agree), "{name}: {result:?}");
+    }
+}

@@ -71,6 +71,95 @@ fn rejects_bad_input_with_a_message() {
 }
 
 #[test]
+fn malformed_jobs_gets_a_specific_error() {
+    for bad in ["banana", "-2", "1.5", ""] {
+        let out = gisc()
+            .args(["--jobs", bad, "examples/kernels/minmax.c"])
+            .output()
+            .expect("gisc runs");
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--jobs expects"), "--jobs {bad}: {stderr}");
+    }
+    // A missing value is reported too, not silently swallowed.
+    let out = gisc().args(["--jobs"]).output().expect("gisc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs expects"));
+}
+
+#[test]
+fn malformed_fuzz_flags_get_specific_errors() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["fuzz", "--seed", "x"], "--seed expects"),
+        (&["fuzz", "--seed", "-1"], "--seed expects"),
+        (&["fuzz", "--iters", "many"], "--iters expects"),
+        (&["fuzz", "--out"], "--out expects"),
+        (&["fuzz", "--bogus"], "unknown fuzz argument"),
+    ];
+    for (args, needle) in cases {
+        let out = gisc().args(*args).output().expect("gisc runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn fuzz_smoke_run_agrees() {
+    let out = gisc()
+        .args(["fuzz", "--seed", "7", "--iters", "3"])
+        .output()
+        .expect("gisc runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("no divergence"), "{stderr}");
+}
+
+#[test]
+fn verify_accepts_corpus_files() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/rotation-adjacent-loops.gis"
+    );
+    let out = gisc().args(["verify", path]).output().expect("gisc runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains(": ok"));
+}
+
+#[test]
+fn verify_rejects_ill_formed_ir() {
+    use std::io::Write as _;
+    let mut child = gisc()
+        .args(["verify", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        // r2 is used before its (only) definition below it.
+        .write_all(b"func bad\ne:\n A r1=r2,r2\n LI r2=1\n PRINT r1\n RET\n")
+        .expect("writes");
+    let out = child.wait_with_output().expect("finishes");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not dominated"), "{stderr}");
+}
+
+#[test]
+fn verify_without_a_file_is_a_usage_error() {
+    let out = gisc().args(["verify"]).output().expect("gisc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verify expects"));
+}
+
+#[test]
 fn dot_output_mode() {
     let out = gisc()
         .args(["--dot-cfg", "examples/kernels/dotproduct.c"])

@@ -79,6 +79,81 @@ fn auto_jobs_also_match() {
     assert_eq!(trace_seq, trace_auto);
 }
 
+/// Like [`run`] but over a bare function with no memory image.
+fn run_fn(
+    f: &gis_ir::Function,
+    config: &SchedConfig,
+    machine: &MachineDescription,
+) -> (String, SchedStats, Vec<TraceEvent>) {
+    let mut f = f.clone();
+    let mut rec = Recorder::new();
+    let mut stats = compile_observed(&mut f, machine, config, &mut rec).expect("compiles");
+    stats.pass_nanos = [0; 6];
+    let events = rec
+        .into_events()
+        .into_iter()
+        .map(|e| match e {
+            TraceEvent::PassEnd { pass, .. } => TraceEvent::PassEnd { pass, nanos: 0 },
+            other => other,
+        })
+        .collect();
+    (f.to_string(), stats, events)
+}
+
+/// Asserts `jobs = n` matches `jobs = 1` on `f`, and that the scheduled
+/// code still behaves like the original.
+fn assert_jobs_identical(f: &gis_ir::Function, jobs: usize) {
+    let machine = MachineDescription::rs6k();
+    let seq = SchedConfig::speculative();
+    let mut par = seq.clone();
+    par.jobs = jobs;
+    let (code_seq, stats_seq, trace_seq) = run_fn(f, &seq, &machine);
+    let (code_par, stats_par, trace_par) = run_fn(f, &par, &machine);
+    assert_eq!(code_seq, code_par, "jobs={jobs}: schedules differ");
+    assert_eq!(stats_seq, stats_par, "jobs={jobs}: stats differ");
+    assert_eq!(trace_seq, trace_par, "jobs={jobs}: traces differ");
+
+    let before = execute(f, &[], &ExecConfig::default()).expect("original runs");
+    let mut scheduled = f.clone();
+    compile_observed(&mut scheduled, &machine, &par, &mut gis_trace::NopObserver)
+        .expect("compiles");
+    let after = execute(&scheduled, &[], &ExecConfig::default()).expect("scheduled runs");
+    assert!(before.equivalent(&after), "jobs={jobs}: behaviour changed");
+}
+
+#[test]
+fn more_workers_than_regions_is_harmless() {
+    // many_loops(3, ..) has only a handful of regions; 64 workers means
+    // most sit idle, and the deterministic merge must still reproduce the
+    // sequential schedule exactly.
+    let w = synth::many_loops(3, 11);
+    assert_jobs_identical(&w.program.function, 64);
+}
+
+#[test]
+fn zero_eligible_regions_is_harmless() {
+    // Straight-line code: no loops, so the global passes have no regions
+    // to farm out. Every jobs setting must degenerate gracefully.
+    let f = gis_ir::parse_function(
+        "func straight\ne:\n LI r1=3\n LI r2=4\n MUL r3=r1,r2\n AI r3=r3,1\n\
+         \x20PRINT r3\n RET\n",
+    )
+    .expect("parses");
+    for jobs in [2, 8, 0] {
+        assert_jobs_identical(&f, jobs);
+    }
+}
+
+#[test]
+fn single_region_function_is_harmless() {
+    // One loop, one region: the parallel path has exactly one unit of
+    // work, exercising the worker handoff without any interleaving.
+    let f = gis_workloads::minmax::figure2_function(16);
+    for jobs in [4, 0] {
+        assert_jobs_identical(&f, jobs);
+    }
+}
+
 #[test]
 fn parallel_schedules_preserve_behaviour() {
     // The synthetic many-loops workload runs end-to-end: the parallel
