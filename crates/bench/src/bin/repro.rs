@@ -13,7 +13,8 @@ use gis_ir::{Function, InstId};
 use gis_machine::MachineDescription;
 use gis_pdg::{cspdg_to_dot, Cspdg};
 use gis_sim::{execute, ExecConfig, TimingSim};
-use gis_trace::{render_report, Pass, Recorder, TraceEvent};
+use gis_trace::{render_report, Pass, Recorder, TraceEvent, TraceQuery};
+use gis_viz::traced_cfg_dot;
 use gis_workloads::{minmax, spec};
 
 const FIGURE1: &str = r#"/* find the largest and the smallest number in a given array */
@@ -101,8 +102,9 @@ fn figure_4() {
     );
 }
 
-fn scheduled(level: SchedLevel) -> (Function, Recorder) {
-    let mut f = minmax::figure2_function(9999);
+fn scheduled(level: SchedLevel) -> (Function, Function, Recorder) {
+    let before = minmax::figure2_function(9999);
+    let mut f = before.clone();
     let machine = MachineDescription::rs6k();
     let mut rec = Recorder::new();
     compile_observed(
@@ -112,7 +114,7 @@ fn scheduled(level: SchedLevel) -> (Function, Recorder) {
         &mut rec,
     )
     .expect("compiles");
-    (f, rec)
+    (before, f, rec)
 }
 
 /// The motion/rename/rejection events of a trace, as report lines —
@@ -127,21 +129,27 @@ fn motion_trace(rec: &Recorder) -> String {
 }
 
 fn figure_5() {
-    let (f, rec) = scheduled(SchedLevel::Useful);
+    let (before, f, rec) = scheduled(SchedLevel::Useful);
     println!("=== Figure 5: useful scheduling applied to Figure 2 ===\n{f}");
     println!("Motions performed (paper: I18, I19 into BL1; I8 into BL2; I15 into BL6):");
     print!("{}", motion_trace(&rec));
+    let query = TraceQuery::new(rec.events());
+    println!("\nMotion overlay (DOT; pipe to `dot -Tsvg` to render):");
+    print!("{}", traced_cfg_dot(Some(&before), &f, &query));
     show_cycles(&f, "paper: 12-13");
 }
 
 fn figure_6() {
-    let (f, rec) = scheduled(SchedLevel::Speculative);
+    let (before, f, rec) = scheduled(SchedLevel::Speculative);
     println!("=== Figure 6: useful + 1-branch speculative scheduling ===\n{f}");
     println!(
         "Motions performed (paper: Figure 5's useful motions, plus I5 and I12 \
          speculatively into BL1, I12's cr6 renamed to cr5):"
     );
     print!("{}", motion_trace(&rec));
+    let query = TraceQuery::new(rec.events());
+    println!("\nMotion overlay (DOT; pipe to `dot -Tsvg` to render):");
+    print!("{}", traced_cfg_dot(Some(&before), &f, &query));
     show_cycles(&f, "paper: 11-12");
 }
 

@@ -1,22 +1,116 @@
 //! Graphviz DOT rendering of control flow graphs (paper Figure 3).
+//!
+//! The printer is open: [`cfg_to_dot_with`] accepts a [`DotOverlay`]
+//! whose hooks can inject graph-level statements (legends, region
+//! clusters), replace a block node's label text (before/after
+//! instruction listings) and append extra edges (scheduler motion
+//! arrows) — this is how `gis-viz` renders a recorded decision trace
+//! onto the static graph. [`cfg_to_dot`] is the plain, undecorated
+//! rendering.
 
 use crate::graph::{Cfg, EdgeLabel, NodeId};
 use gis_ir::Function;
 use std::fmt::Write as _;
 
+/// Escapes a string for use inside a double-quoted DOT identifier or
+/// label (`\n` survives as the DOT line-break escape).
+pub fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The quoted DOT node id the CFG printer uses for `n` — e.g.
+/// `"BL0 (A)"` for block 0 labelled `A`, or bare `ENTRY`/`EXIT`.
+/// Overlays use this to address nodes from extra statements.
+pub fn dot_node_id(f: &Function, n: NodeId) -> String {
+    match n.as_block() {
+        Some(b) => format!("\"{} ({})\"", b, dot_escape(f.block(b).label())),
+        None if n == NodeId::ENTRY => "ENTRY".to_owned(),
+        None => "EXIT".to_owned(),
+    }
+}
+
+/// Decoration hooks for the DOT printers. Every method defaults to
+/// "contribute nothing", so `cfg_to_dot_with(f, cfg, &NoOverlay)` is
+/// byte-identical to [`cfg_to_dot`].
+pub trait DotOverlay {
+    /// Statements emitted right after the graph header (graph attributes,
+    /// legend nodes, `subgraph cluster_*` groupings).
+    fn prelude(&self, out: &mut String) {
+        let _ = out;
+    }
+
+    /// Replacement label text for the block with IR label `label`
+    /// (already-escaped text; `\n` breaks lines). `None` keeps the
+    /// default (the node id itself).
+    fn node_text(&self, label: &str) -> Option<String> {
+        let _ = label;
+        None
+    }
+
+    /// Extra attributes (comma-joined DOT `key=value` pairs) for the
+    /// block with IR label `label`.
+    fn node_attrs(&self, label: &str) -> Option<String> {
+        let _ = label;
+        None
+    }
+
+    /// Statements emitted just before the closing brace (extra edges).
+    fn epilogue(&self, out: &mut String) {
+        let _ = out;
+    }
+}
+
+/// The no-op overlay: decorates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOverlay;
+
+impl DotOverlay for NoOverlay {}
+
 /// Renders the CFG of `f` in Graphviz DOT syntax, one node per basic block
 /// plus `ENTRY` and `EXIT`, with branch edges labelled `T`/`F` — the shape
 /// of the paper's Figure 3.
 pub fn cfg_to_dot(f: &Function, cfg: &Cfg) -> String {
+    cfg_to_dot_with(f, cfg, &NoOverlay)
+}
+
+/// [`cfg_to_dot`] with decoration hooks: `overlay` may group nodes into
+/// clusters, rewrite node labels and append annotated edges.
+pub fn cfg_to_dot_with(f: &Function, cfg: &Cfg, overlay: &dyn DotOverlay) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{}\" {{", f.name());
+    let _ = writeln!(out, "digraph \"{}\" {{", dot_escape(f.name()));
     let _ = writeln!(out, "  node [shape=circle];");
     let _ = writeln!(out, "  ENTRY [shape=box]; EXIT [shape=box];");
-    let name = |n: NodeId| match n.as_block() {
-        Some(b) => format!("\"{} ({})\"", b, f.block(b).label()),
-        None if n == NodeId::ENTRY => "ENTRY".to_owned(),
-        None => "EXIT".to_owned(),
-    };
+    overlay.prelude(&mut out);
+    let name = |n: NodeId| dot_node_id(f, n);
+    // Decorated node declarations (only for blocks the overlay touches,
+    // so the undecorated rendering stays minimal).
+    for (bid, block) in f.blocks() {
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(text) = overlay.node_text(block.label()) {
+            attrs.push(format!("label=\"{text}\""));
+            attrs.push("shape=box".to_owned());
+        }
+        if let Some(extra) = overlay.node_attrs(block.label()) {
+            attrs.push(extra);
+        }
+        if !attrs.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {} [{}];",
+                name(NodeId::block(bid)),
+                attrs.join(", ")
+            );
+        }
+    }
     for n in cfg.nodes() {
         for e in cfg.succs(n) {
             match e.label {
@@ -29,6 +123,7 @@ pub fn cfg_to_dot(f: &Function, cfg: &Cfg) -> String {
             }
         }
     }
+    overlay.epilogue(&mut out);
     let _ = writeln!(out, "}}");
     out
 }
@@ -56,5 +151,53 @@ mod tests {
             "{dot}"
         );
         assert!(dot.contains("\"BL3 (D)\" -> EXIT"), "{dot}");
+    }
+
+    #[test]
+    fn no_overlay_matches_the_plain_printer() {
+        let f =
+            parse_function("func d\nA:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\nB:\n B D\nC:\nD:\n RET\n")
+                .expect("parses");
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg_to_dot(&f, &cfg), cfg_to_dot_with(&f, &cfg, &NoOverlay));
+    }
+
+    #[test]
+    fn overlay_hooks_fire_in_order() {
+        struct Marker;
+        impl DotOverlay for Marker {
+            fn prelude(&self, out: &mut String) {
+                out.push_str("  // prelude\n");
+            }
+            fn node_text(&self, label: &str) -> Option<String> {
+                (label == "A").then(|| "A\\nbefore: I0".to_owned())
+            }
+            fn node_attrs(&self, label: &str) -> Option<String> {
+                (label == "A").then(|| "style=filled".to_owned())
+            }
+            fn epilogue(&self, out: &mut String) {
+                out.push_str("  \"BL1 (B)\" -> \"BL0 (A)\" [label=\"I3\", style=bold];\n");
+            }
+        }
+        let f = parse_function("func d\nA:\n LI r1=1\nB:\n RET\n").expect("parses");
+        let cfg = Cfg::new(&f);
+        let dot = cfg_to_dot_with(&f, &cfg, &Marker);
+        assert!(dot.contains("// prelude"), "{dot}");
+        assert!(
+            dot.contains("\"BL0 (A)\" [label=\"A\\nbefore: I0\", shape=box, style=filled];"),
+            "{dot}"
+        );
+        assert!(
+            dot.contains("\"BL1 (B)\" -> \"BL0 (A)\" [label=\"I3\", style=bold];"),
+            "{dot}"
+        );
+        let prelude = dot.find("// prelude").expect("prelude");
+        let edge = dot.find("[label=\"I3\"").expect("edge");
+        assert!(prelude < edge, "prelude precedes epilogue");
+    }
+
+    #[test]
+    fn escaping_guards_quotes_and_newlines() {
+        assert_eq!(dot_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

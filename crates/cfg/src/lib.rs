@@ -40,7 +40,7 @@ mod loops;
 mod region;
 
 pub use dom::DomTree;
-pub use dot::cfg_to_dot;
+pub use dot::{cfg_to_dot, cfg_to_dot_with, dot_escape, dot_node_id, DotOverlay, NoOverlay};
 pub use graph::{Cfg, Edge, EdgeLabel, NodeId};
 pub use loops::{LoopForest, LoopId, NaturalLoop};
 pub use region::{

@@ -228,9 +228,41 @@ impl Cspdg {
 /// dependence edges plus dashed equivalence edges in dominance direction —
 /// the shape of the paper's Figure 4.
 pub fn cspdg_to_dot(g: &RegionGraph, cspdg: &Cspdg) -> String {
+    cspdg_to_dot_with(g, cspdg, &gis_cfg::NoOverlay)
+}
+
+/// [`cspdg_to_dot`] with decoration hooks (see [`gis_cfg::DotOverlay`]):
+/// the overlay may inject prelude statements, rewrite block-node labels
+/// and append annotated edges — how `gis-viz` draws scheduler motions
+/// onto the control subgraph. Node ids are the region-graph node
+/// renderings (`"BL3"`, `"[R1]"`, `ENTRY`, `EXIT`); the overlay's
+/// label-keyed hooks receive the node rendering for block nodes.
+pub fn cspdg_to_dot_with(
+    g: &RegionGraph,
+    cspdg: &Cspdg,
+    overlay: &dyn gis_cfg::DotOverlay,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph cspdg {{");
+    overlay.prelude(&mut out);
     let name = |n: NodeId| format!("\"{}\"", g.node(n));
+    for i in 0..cspdg.num_nodes() {
+        let n = NodeId::from_index(i);
+        if let RegionNode::Block(_) = g.node(n) {
+            let key = g.node(n).to_string();
+            let mut attrs: Vec<String> = Vec::new();
+            if let Some(text) = overlay.node_text(&key) {
+                attrs.push(format!("label=\"{text}\""));
+                attrs.push("shape=box".to_owned());
+            }
+            if let Some(extra) = overlay.node_attrs(&key) {
+                attrs.push(extra);
+            }
+            if !attrs.is_empty() {
+                let _ = writeln!(out, "  {} [{}];", name(n), attrs.join(", "));
+            }
+        }
+    }
     for i in 0..cspdg.num_nodes() {
         let b = NodeId::from_index(i);
         for &(a, l) in cspdg.cd_parents(b) {
@@ -255,6 +287,7 @@ pub fn cspdg_to_dot(g: &RegionGraph, cspdg: &Cspdg) -> String {
             let _ = writeln!(out, "  {} -> {} [style=dashed];", name(a), name(*first));
         }
     }
+    overlay.epilogue(&mut out);
     let _ = writeln!(out, "}}");
     out
 }

@@ -19,6 +19,9 @@
 //!   round-trip without external crates).
 //! * [`Metrics`] — a counter registry plus monotonic per-pass wall
 //!   times, derived from an event stream.
+//! * [`TraceQuery`] — the join layer: flattened motions / rejections /
+//!   renames / region scopes indexed by instruction and block, which is
+//!   what the `gis-viz` DOT and HTML renderers consume.
 //!
 //! The crate depends on nothing, not even `gis-ir`: events carry raw
 //! instruction ids and block labels, so any layer (CLI, tests, the
@@ -27,9 +30,11 @@
 mod event;
 mod json;
 mod metrics;
+mod query;
 mod sink;
 
 pub use event::{MotionKind, NopObserver, Pass, RejectReason, SchedObserver, TieBreak, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::Metrics;
+pub use query::{Motion, RegionScope, Rejection, Rename, SkippedRegion, TraceQuery};
 pub use sink::{render_report, JsonLines, Recorder};

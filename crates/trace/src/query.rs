@@ -1,0 +1,297 @@
+//! Joining an event stream back against the program: flat views of the
+//! motions, rejections and renames a trace records, indexed by
+//! instruction and by block.
+//!
+//! [`TraceQuery`] is the bridge between the raw [`TraceEvent`] stream and
+//! consumers that think in graph terms — the DOT/HTML renderers of
+//! `gis-viz`, or any ad-hoc analysis that wants "what moved into block X"
+//! without re-matching enum variants.
+
+use crate::event::{MotionKind, RejectReason, TieBreak, TraceEvent};
+
+/// One committed cross-block motion, flattened from
+/// [`TraceEvent::Moved`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Motion {
+    /// The instruction's raw id.
+    pub inst: u32,
+    /// Home block it left.
+    pub from: String,
+    /// Block it moved into.
+    pub into: String,
+    /// Issue cycle assigned by the list scheduler.
+    pub cycle: u64,
+    /// Useful or speculative.
+    pub kind: MotionKind,
+    /// The heuristic rung that separated it from the runner-up.
+    pub tie: TieBreak,
+}
+
+/// One issue-time rejection (§5.3), flattened from
+/// [`TraceEvent::Rejected`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// The instruction's raw id.
+    pub inst: u32,
+    /// Its home block.
+    pub home: String,
+    /// The block it was not allowed to move into.
+    pub target: String,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+/// One §5.3 renaming escape, flattened from [`TraceEvent::Renamed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rename {
+    /// The defining instruction's raw id.
+    pub inst: u32,
+    /// Its home block.
+    pub home: String,
+    /// The clobbered register.
+    pub old: String,
+    /// The fresh replacement.
+    pub new: String,
+}
+
+/// A region the global scheduler entered, flattened from
+/// [`TraceEvent::RegionBegin`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionScope {
+    /// Region id within the function's region tree.
+    pub region: u32,
+    /// Labels of every block in the region's scope.
+    pub blocks: Vec<String>,
+}
+
+/// A region the global scheduler skipped, flattened from
+/// [`TraceEvent::RegionSkipped`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedRegion {
+    /// Region id within the function's region tree.
+    pub region: u32,
+    /// Why (size limits or irreducibility).
+    pub reason: RejectReason,
+}
+
+/// An indexed, flattened view of a trace: the joins every renderer needs,
+/// computed once.
+///
+/// ```
+/// use gis_trace::{MotionKind, TieBreak, TraceEvent, TraceQuery};
+///
+/// let events = vec![TraceEvent::Moved {
+///     inst: 18,
+///     from: "BL10".into(),
+///     into: "BL1".into(),
+///     cycle: 7,
+///     kind: MotionKind::Useful,
+///     tie: TieBreak::CriticalPath,
+/// }];
+/// let q = TraceQuery::new(&events);
+/// assert_eq!(q.motions().len(), 1);
+/// assert_eq!(q.motions_into("BL1").count(), 1);
+/// assert!(q.touches_block("BL10"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceQuery {
+    motions: Vec<Motion>,
+    rejections: Vec<Rejection>,
+    renames: Vec<Rename>,
+    regions: Vec<RegionScope>,
+    skipped: Vec<SkippedRegion>,
+}
+
+impl TraceQuery {
+    /// Builds the query view from an event stream (oldest first).
+    pub fn new<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> TraceQuery {
+        let mut q = TraceQuery::default();
+        for e in events {
+            match e {
+                TraceEvent::Moved {
+                    inst,
+                    from,
+                    into,
+                    cycle,
+                    kind,
+                    tie,
+                } => q.motions.push(Motion {
+                    inst: *inst,
+                    from: from.clone(),
+                    into: into.clone(),
+                    cycle: *cycle,
+                    kind: *kind,
+                    tie: *tie,
+                }),
+                TraceEvent::Rejected {
+                    inst,
+                    home,
+                    target,
+                    reason,
+                } => q.rejections.push(Rejection {
+                    inst: *inst,
+                    home: home.clone(),
+                    target: target.clone(),
+                    reason: *reason,
+                }),
+                TraceEvent::Renamed {
+                    inst,
+                    home,
+                    old,
+                    new,
+                } => q.renames.push(Rename {
+                    inst: *inst,
+                    home: home.clone(),
+                    old: old.clone(),
+                    new: new.clone(),
+                }),
+                TraceEvent::RegionBegin { region, blocks } => q.regions.push(RegionScope {
+                    region: *region,
+                    blocks: blocks.clone(),
+                }),
+                TraceEvent::RegionSkipped { region, reason } => q.skipped.push(SkippedRegion {
+                    region: *region,
+                    reason: *reason,
+                }),
+                _ => {}
+            }
+        }
+        q
+    }
+
+    /// Every committed motion, in event order.
+    pub fn motions(&self) -> &[Motion] {
+        &self.motions
+    }
+
+    /// Every issue-time rejection, in event order.
+    pub fn rejections(&self) -> &[Rejection] {
+        &self.rejections
+    }
+
+    /// Every renaming escape, in event order.
+    pub fn renames(&self) -> &[Rename] {
+        &self.renames
+    }
+
+    /// Every region the global scheduler entered, in event order.
+    pub fn regions(&self) -> &[RegionScope] {
+        &self.regions
+    }
+
+    /// Every region the global scheduler skipped, in event order.
+    pub fn skipped_regions(&self) -> &[SkippedRegion] {
+        &self.skipped
+    }
+
+    /// Motions whose destination is `block`.
+    pub fn motions_into<'a>(&'a self, block: &'a str) -> impl Iterator<Item = &'a Motion> {
+        self.motions.iter().filter(move |m| m.into == block)
+    }
+
+    /// Motions whose home block is `block`.
+    pub fn motions_out_of<'a>(&'a self, block: &'a str) -> impl Iterator<Item = &'a Motion> {
+        self.motions.iter().filter(move |m| m.from == block)
+    }
+
+    /// The rename that saved `inst`'s speculative motion, if any.
+    pub fn rename_of(&self, inst: u32) -> Option<&Rename> {
+        self.renames.iter().find(|r| r.inst == inst)
+    }
+
+    /// Whether `block` is an endpoint of any motion or rejection.
+    pub fn touches_block(&self, block: &str) -> bool {
+        self.motions
+            .iter()
+            .any(|m| m.from == block || m.into == block)
+            || self
+                .rejections
+                .iter()
+                .any(|r| r.home == block || r.target == block)
+    }
+
+    /// Whether the trace recorded no motion, rejection or rename at all —
+    /// renderers degrade to the plain (unannotated) graph in this case.
+    pub fn is_trivial(&self) -> bool {
+        self.motions.is_empty() && self.rejections.is_empty() && self.renames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MotionKind, RejectReason, TieBreak};
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RegionBegin {
+                region: 0,
+                blocks: vec!["A".into(), "B".into(), "C".into()],
+            },
+            TraceEvent::Moved {
+                inst: 18,
+                from: "C".into(),
+                into: "A".into(),
+                cycle: 7,
+                kind: MotionKind::Useful,
+                tie: TieBreak::CriticalPath,
+            },
+            TraceEvent::Moved {
+                inst: 12,
+                from: "B".into(),
+                into: "A".into(),
+                cycle: 5,
+                kind: MotionKind::Speculative,
+                tie: TieBreak::DelayHeuristic,
+            },
+            TraceEvent::Renamed {
+                inst: 12,
+                home: "B".into(),
+                old: "cr6".into(),
+                new: "cr5".into(),
+            },
+            TraceEvent::Rejected {
+                inst: 9,
+                home: "B".into(),
+                target: "A".into(),
+                reason: RejectReason::LiveOnExit,
+            },
+            TraceEvent::RegionSkipped {
+                region: 1,
+                reason: RejectReason::RegionTooManyInsts,
+            },
+        ]
+    }
+
+    #[test]
+    fn flattens_and_indexes() {
+        let q = TraceQuery::new(&sample());
+        assert_eq!(q.motions().len(), 2);
+        assert_eq!(q.rejections().len(), 1);
+        assert_eq!(q.renames().len(), 1);
+        assert_eq!(q.regions().len(), 1);
+        assert_eq!(q.skipped_regions().len(), 1);
+        assert!(!q.is_trivial());
+
+        let into_a: Vec<u32> = q.motions_into("A").map(|m| m.inst).collect();
+        assert_eq!(into_a, vec![18, 12]);
+        assert_eq!(q.motions_out_of("C").count(), 1);
+        assert_eq!(q.rename_of(12).map(|r| r.old.as_str()), Some("cr6"));
+        assert_eq!(q.rename_of(18), None);
+        assert!(q.touches_block("B"));
+        assert!(!q.touches_block("ZZZ"));
+    }
+
+    #[test]
+    fn empty_trace_is_trivial() {
+        let q = TraceQuery::new(&[]);
+        assert!(q.is_trivial());
+        // Pass/region bookkeeping alone is still trivial for rendering.
+        let q = TraceQuery::new(&[TraceEvent::RegionBegin {
+            region: 0,
+            blocks: vec!["A".into()],
+        }]);
+        assert!(q.is_trivial());
+        assert_eq!(q.regions().len(), 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! DOT motion overlays: scheduler decisions drawn onto the CFG and the
+//! per-region CSPDGs.
+
+use gis_cfg::{
+    cfg_to_dot_with, dot_escape, dot_node_id, Cfg, DomTree, DotOverlay, LoopForest, NodeId,
+    RegionGraph, RegionNode, RegionTree,
+};
+use gis_ir::Function;
+use gis_pdg::{cspdg_to_dot_with, Cspdg};
+use gis_trace::{MotionKind, TraceQuery};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Edge color for useful motions.
+const USEFUL_COLOR: &str = "#1a66cc";
+/// Edge color for speculative motions.
+const SPECULATIVE_COLOR: &str = "#cc3311";
+/// Edge color for issue-time rejections.
+const REJECTED_COLOR: &str = "#888888";
+/// Fill for blocks that received at least one motion.
+const TARGET_FILL: &str = "#e8f0fe";
+
+fn kind_color(kind: MotionKind) -> &'static str {
+    match kind {
+        MotionKind::Useful => USEFUL_COLOR,
+        MotionKind::Speculative => SPECULATIVE_COLOR,
+    }
+}
+
+/// The instruction ids of a block, as the compact `I1 I2 I3` listing the
+/// node labels embed.
+fn inst_listing(f: &Function, label: &str) -> Option<String> {
+    f.blocks().find(|(_, b)| b.label() == label).map(|(_, b)| {
+        b.insts()
+            .iter()
+            .map(|i| format!("I{}", i.id.index()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+/// The legend node every non-trivial overlay emits.
+fn legend(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "  legend [shape=note, fontsize=10, label=\"motion overlay\\lblue: useful motion\\lred: speculative motion\\lgray dashed: rejected\\l\"];"
+    );
+}
+
+/// A [`DotOverlay`] that renders a recorded trace onto the CFG printer
+/// of `gis-cfg`: motion arrows, rejection arrows, before/after
+/// instruction listings on touched blocks, and region clusters.
+///
+/// Build one with [`MotionOverlay::new`] and pass it to
+/// [`gis_cfg::cfg_to_dot_with`], or use the [`traced_cfg_dot`]
+/// convenience wrapper.
+#[derive(Debug)]
+pub struct MotionOverlay<'a> {
+    before: Option<&'a Function>,
+    after: &'a Function,
+    query: &'a TraceQuery,
+    /// IR block label → quoted DOT node id in the after-function's CFG.
+    node_ids: HashMap<String, String>,
+}
+
+impl<'a> MotionOverlay<'a> {
+    /// Creates the overlay. `before` (the pre-scheduling function)
+    /// enables the before/after instruction listings; without it only
+    /// the after listing is shown.
+    pub fn new(
+        before: Option<&'a Function>,
+        after: &'a Function,
+        query: &'a TraceQuery,
+    ) -> MotionOverlay<'a> {
+        let node_ids = after
+            .blocks()
+            .map(|(bid, b)| (b.label().to_owned(), dot_node_id(after, NodeId::block(bid))))
+            .collect();
+        MotionOverlay {
+            before,
+            after,
+            query,
+            node_ids,
+        }
+    }
+
+    fn motion_edges(&self, out: &mut String) {
+        for m in self.query.motions() {
+            let (Some(from), Some(into)) = (self.node_ids.get(&m.from), self.node_ids.get(&m.into))
+            else {
+                let _ = writeln!(
+                    out,
+                    "  // motion I{} {} -> {}: blocks not in this graph",
+                    m.inst, m.from, m.into
+                );
+                continue;
+            };
+            let mut label = format!("I{} {} c{}", m.inst, m.kind, m.cycle);
+            if let Some(r) = self.query.rename_of(m.inst) {
+                let _ = write!(label, " [{}->{}]", r.old, r.new);
+            }
+            let color = kind_color(m.kind);
+            let _ = writeln!(
+                out,
+                "  {from} -> {into} [label=\"{}\", style=bold, color=\"{color}\", fontcolor=\"{color}\", constraint=false];",
+                dot_escape(&label)
+            );
+        }
+        for r in self.query.rejections() {
+            let (Some(home), Some(target)) =
+                (self.node_ids.get(&r.home), self.node_ids.get(&r.target))
+            else {
+                let _ = writeln!(
+                    out,
+                    "  // rejection I{} {} -> {}: blocks not in this graph",
+                    r.inst, r.home, r.target
+                );
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  {home} -> {target} [label=\"{}\", style=dashed, color=\"{REJECTED_COLOR}\", fontcolor=\"{REJECTED_COLOR}\", constraint=false];",
+                dot_escape(&format!("I{} rejected: {}", r.inst, r.reason))
+            );
+        }
+    }
+}
+
+impl DotOverlay for MotionOverlay<'_> {
+    fn prelude(&self, out: &mut String) {
+        if self.query.is_trivial() {
+            return;
+        }
+        legend(out);
+        // Region clusters: the blocks each RegionBegin event scoped. A
+        // block belongs to at most one cluster (the first region that
+        // claimed it — the global passes visit disjoint region sets).
+        let mut seen_regions: HashSet<u32> = HashSet::new();
+        let mut clustered: HashSet<&str> = HashSet::new();
+        for scope in self.query.regions() {
+            if !seen_regions.insert(scope.region) {
+                continue;
+            }
+            let members: Vec<&String> = scope
+                .blocks
+                .iter()
+                .filter(|b| self.node_ids.contains_key(*b) && clustered.insert(b.as_str()))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  subgraph cluster_region_{} {{ label=\"region {}\"; color=gray;",
+                scope.region, scope.region
+            );
+            for b in members {
+                let _ = writeln!(out, "    {};", self.node_ids[b]);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+    }
+
+    fn node_text(&self, label: &str) -> Option<String> {
+        if self.query.is_trivial() || !self.query.touches_block(label) {
+            return None;
+        }
+        let mut text = label.to_owned();
+        if let Some(before) = self.before {
+            if let Some(listing) = inst_listing(before, label) {
+                let _ = write!(text, "\nbefore: {listing}");
+            }
+        }
+        if let Some(listing) = inst_listing(self.after, label) {
+            let _ = write!(
+                text,
+                "\n{}: {listing}",
+                if self.before.is_some() {
+                    "after"
+                } else {
+                    "insts"
+                }
+            );
+        }
+        Some(dot_escape(&text))
+    }
+
+    fn node_attrs(&self, label: &str) -> Option<String> {
+        if self.query.is_trivial() {
+            return None;
+        }
+        self.query
+            .motions_into(label)
+            .next()
+            .map(|_| format!("style=filled, fillcolor=\"{TARGET_FILL}\""))
+    }
+
+    fn epilogue(&self, out: &mut String) {
+        if self.query.is_trivial() {
+            return;
+        }
+        self.motion_edges(out);
+    }
+}
+
+/// Renders the CFG of `after` with the trace's motion overlay — the
+/// `gisc --dot-cfg=traced` output. With a trivial `query` this is
+/// byte-identical to [`gis_cfg::cfg_to_dot`].
+pub fn traced_cfg_dot(before: Option<&Function>, after: &Function, query: &TraceQuery) -> String {
+    let cfg = Cfg::new(after);
+    cfg_to_dot_with(after, &cfg, &MotionOverlay::new(before, after, query))
+}
+
+/// The CSPDG-projected overlay: like [`MotionOverlay`] but keyed by the
+/// region graph's node renderings (`BL3`), restricted to motions whose
+/// endpoints both lie in the region.
+struct CspdgOverlay<'a> {
+    query: &'a TraceQuery,
+    /// IR block label → quoted DOT node id within this region graph.
+    node_ids: HashMap<String, String>,
+    /// Region-node rendering (`BL3`) → IR block label, for node text.
+    labels: HashMap<String, String>,
+}
+
+impl<'a> CspdgOverlay<'a> {
+    fn new(f: &Function, g: &RegionGraph, query: &'a TraceQuery) -> CspdgOverlay<'a> {
+        let mut node_ids = HashMap::new();
+        let mut labels = HashMap::new();
+        for (bid, b) in f.blocks() {
+            if let Some(n) = g.node_of_block(bid) {
+                let rendering = g.node(n).to_string();
+                node_ids.insert(b.label().to_owned(), format!("\"{rendering}\""));
+                labels.insert(rendering, b.label().to_owned());
+            }
+        }
+        CspdgOverlay {
+            query,
+            node_ids,
+            labels,
+        }
+    }
+
+    fn has_content(&self) -> bool {
+        !self.query.is_trivial()
+            && (self.query.motions().iter().any(|m| {
+                self.node_ids.contains_key(&m.from) && self.node_ids.contains_key(&m.into)
+            }) || self.query.rejections().iter().any(|r| {
+                self.node_ids.contains_key(&r.home) && self.node_ids.contains_key(&r.target)
+            }))
+    }
+}
+
+impl DotOverlay for CspdgOverlay<'_> {
+    fn prelude(&self, out: &mut String) {
+        if self.has_content() {
+            legend(out);
+        }
+    }
+
+    fn node_text(&self, rendering: &str) -> Option<String> {
+        // Always show the IR label next to the block id: `BL3 (CL.0)`.
+        self.labels
+            .get(rendering)
+            .map(|l| dot_escape(&format!("{rendering} ({l})")))
+    }
+
+    fn epilogue(&self, out: &mut String) {
+        for m in self.query.motions() {
+            let (Some(from), Some(into)) = (self.node_ids.get(&m.from), self.node_ids.get(&m.into))
+            else {
+                continue;
+            };
+            let mut label = format!("I{} {} c{}", m.inst, m.kind, m.cycle);
+            if let Some(r) = self.query.rename_of(m.inst) {
+                let _ = write!(label, " [{}->{}]", r.old, r.new);
+            }
+            let color = kind_color(m.kind);
+            let _ = writeln!(
+                out,
+                "  {from} -> {into} [label=\"{}\", style=bold, color=\"{color}\", fontcolor=\"{color}\", constraint=false];",
+                dot_escape(&label)
+            );
+        }
+        for r in self.query.rejections() {
+            let (Some(home), Some(target)) =
+                (self.node_ids.get(&r.home), self.node_ids.get(&r.target))
+            else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  {home} -> {target} [label=\"{}\", style=dashed, color=\"{REJECTED_COLOR}\", fontcolor=\"{REJECTED_COLOR}\", constraint=false];",
+                dot_escape(&format!("I{} rejected: {}", r.inst, r.reason))
+            );
+        }
+    }
+}
+
+/// Renders one CSPDG DOT graph per region of `f` (innermost first, the
+/// scheduling order), each preceded by a `// region Rn` comment line —
+/// the paper's Figure 4 shape. With `Some(query)`, every motion and
+/// rejection whose endpoints lie in a region is drawn onto that
+/// region's graph; with `None` the graphs are plain. Irreducible
+/// regions are skipped with a comment.
+pub fn traced_cspdg_dot(f: &Function, query: Option<&TraceQuery>) -> String {
+    let trivial = TraceQuery::default();
+    let query = query.unwrap_or(&trivial);
+    let cfg = Cfg::new(f);
+    let dom = DomTree::dominators(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    let tree = RegionTree::new(&cfg, &loops);
+    let mut out = String::new();
+    for rid in tree.schedule_order() {
+        let region = tree.region(rid);
+        let what = match region.header {
+            Some(h) => format!("loop headed by {}", f.block(h).label()),
+            None => "routine body".to_owned(),
+        };
+        match RegionGraph::new(&cfg, &tree, rid) {
+            Ok(g) => {
+                // A region of one block has no control structure worth
+                // printing; mirror the scheduler, which also skips it.
+                let blocks = g
+                    .topo_order()
+                    .iter()
+                    .filter(|n| matches!(g.node(**n), RegionNode::Block(_) | RegionNode::Inner(_)));
+                if blocks.count() < 2 {
+                    continue;
+                }
+                let cspdg = Cspdg::new(&g);
+                let _ = writeln!(out, "// region {rid} ({what})");
+                let overlay = CspdgOverlay::new(f, &g, query);
+                out.push_str(&cspdg_to_dot_with(&g, &cspdg, &overlay));
+            }
+            Err(_) => {
+                let _ = writeln!(out, "// region {rid} ({what}): irreducible, skipped");
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("// no multi-block reducible regions\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_cfg::cfg_to_dot;
+    use gis_core::{compile_observed, SchedConfig, SchedLevel};
+    use gis_machine::MachineDescription;
+    use gis_trace::Recorder;
+    use gis_workloads::minmax;
+
+    fn figure2_traced(level: SchedLevel) -> (Function, Function, TraceQuery) {
+        let before = minmax::figure2_function(99);
+        let mut after = before.clone();
+        let mut rec = Recorder::new();
+        compile_observed(
+            &mut after,
+            &MachineDescription::rs6k(),
+            &SchedConfig::paper_example(level),
+            &mut rec,
+        )
+        .expect("compiles");
+        let query = TraceQuery::new(rec.events());
+        (before, after, query)
+    }
+
+    #[test]
+    fn every_motion_appears_as_a_bold_edge() {
+        let (before, after, query) = figure2_traced(SchedLevel::Speculative);
+        let dot = traced_cfg_dot(Some(&before), &after, &query);
+        assert!(!query.motions().is_empty());
+        for m in query.motions() {
+            let needle = format!("I{} {}", m.inst, m.kind);
+            assert!(
+                dot.lines()
+                    .any(|l| l.contains("style=bold") && l.contains(&needle) && l.contains("->")),
+                "motion {needle} missing:\n{dot}"
+            );
+        }
+        // The Figure 6 rename is annotated on I12's edge (the paper
+        // prints cr6 -> cr5; our fresh-register numbering differs).
+        assert!(dot.contains("[cr6->"), "{dot}");
+        // Rejections come out dashed with the reason code.
+        for r in query.rejections() {
+            assert!(
+                dot.contains(&format!("I{} rejected: {}", r.inst, r.reason)),
+                "{dot}"
+            );
+        }
+        // Touched blocks carry before/after listings; regions cluster.
+        assert!(dot.contains("before: "), "{dot}");
+        assert!(dot.contains("after: "), "{dot}");
+        assert!(dot.contains("subgraph cluster_region_"), "{dot}");
+        assert!(dot.contains("legend"), "{dot}");
+    }
+
+    #[test]
+    fn trivial_trace_degrades_to_the_plain_graph() {
+        let (_, after, _) = figure2_traced(SchedLevel::Speculative);
+        let empty = TraceQuery::default();
+        let dot = traced_cfg_dot(None, &after, &empty);
+        let plain = cfg_to_dot(&after, &Cfg::new(&after));
+        assert_eq!(dot, plain, "no-motion overlay contributes nothing");
+    }
+
+    #[test]
+    fn cspdg_overlay_projects_motions_into_the_loop_region() {
+        let (_, after, query) = figure2_traced(SchedLevel::Useful);
+        let dot = traced_cspdg_dot(&after, Some(&query));
+        assert!(dot.contains("// region"), "{dot}");
+        assert!(dot.contains("digraph cspdg"), "{dot}");
+        // All four Figure 5 motions happen inside the loop region.
+        for m in query.motions() {
+            assert!(
+                dot.contains(&format!("I{} {}", m.inst, m.kind)),
+                "I{} missing:\n{dot}",
+                m.inst
+            );
+        }
+        // Block nodes show their IR label next to the block id.
+        assert!(dot.contains("(CL.0)"), "{dot}");
+    }
+
+    #[test]
+    fn straight_line_function_has_no_regions_to_draw() {
+        let f = gis_ir::parse_function("func s\nA:\n LI r1=1\n PRINT r1\n RET\n").expect("parses");
+        let dot = traced_cspdg_dot(&f, None);
+        assert!(dot.contains("no multi-block reducible regions"), "{dot}");
+    }
+}

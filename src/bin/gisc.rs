@@ -23,6 +23,10 @@
 //!   --run                execute after scheduling and report cycles
 //!   --stats              print scheduler statistics
 //!   --dot-cfg            print the CFG in DOT instead of code
+//!   --dot-cfg=traced     ... with the scheduler's motions overlaid
+//!   --dot-cspdg          print each region's CSPDG in DOT instead of code
+//!   --dot-cspdg=traced   ... with the scheduler's motions overlaid
+//!   --report <out.html>  write a self-contained HTML schedule report
 //!   --trace              print the scheduler's decision trace (stderr)
 //!   --trace=json:<path>  also write the trace as JSON lines to <path>
 //!   --explain <inst>     print every decision about one instruction (I8 or 8)
@@ -41,9 +45,21 @@ use gis_core::{compile_observed, SchedConfig, SchedLevel};
 use gis_ir::{parse_function, Function};
 use gis_machine::MachineDescription;
 use gis_sim::{execute, ExecConfig, TimingSim};
-use gis_trace::{render_report, Metrics, NopObserver, Recorder, TraceEvent};
+use gis_trace::{render_report, Metrics, NopObserver, Recorder, TraceEvent, TraceQuery};
+use gis_viz::{schedule_report, traced_cfg_dot, traced_cspdg_dot, ScheduleReport};
 use std::io::Read as _;
 use std::process::ExitCode;
+
+/// How (and whether) to print a graph in DOT instead of code.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DotMode {
+    /// Print the scheduled function as code (the default).
+    Off,
+    /// Print the plain graph.
+    Plain,
+    /// Print the graph with the scheduler's decision trace overlaid.
+    Traced,
+}
 
 struct Options {
     file: String,
@@ -55,7 +71,9 @@ struct Options {
     jobs: usize,
     run: bool,
     stats: bool,
-    dot_cfg: bool,
+    dot_cfg: DotMode,
+    dot_cspdg: DotMode,
+    report: Option<String>,
     opt: bool,
     trace: bool,
     trace_json: Option<String>,
@@ -67,7 +85,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
          [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
-         [--paper] [--branches N] [--jobs N] [--opt] [--run] [--stats] [--dot-cfg] \
+         [--paper] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
+         [--dot-cfg[=traced]] [--dot-cspdg[=traced]] [--report <out.html>] \
          [--trace[=json:<path>]] [--explain <inst>] [--timeline] <file|->\n\
          \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
          \x20      gisc verify <file|->"
@@ -104,7 +123,9 @@ fn parse_args() -> Options {
         jobs: 1,
         run: false,
         stats: false,
-        dot_cfg: false,
+        dot_cfg: DotMode::Off,
+        dot_cspdg: DotMode::Off,
+        report: None,
         opt: false,
         trace: false,
         trace_json: None,
@@ -158,7 +179,14 @@ fn parse_args() -> Options {
             "--opt" => opts.opt = true,
             "--run" => opts.run = true,
             "--stats" => opts.stats = true,
-            "--dot-cfg" => opts.dot_cfg = true,
+            "--dot-cfg" => opts.dot_cfg = DotMode::Plain,
+            "--dot-cspdg" => opts.dot_cspdg = DotMode::Plain,
+            "--report" => {
+                opts.report = Some(
+                    args.next()
+                        .unwrap_or_else(|| bad_arg("--report expects an output file path")),
+                );
+            }
             "--trace" => opts.trace = true,
             "--explain" => {
                 let inst = args
@@ -176,13 +204,39 @@ fn parse_args() -> Options {
             other if other.starts_with("--trace=") => {
                 let spec = &other["--trace=".len()..];
                 let Some(path) = spec.strip_prefix("json:") else {
-                    usage()
+                    bad_arg(&format!(
+                        "--trace expects no value or 'json:<path>', got '{spec}'"
+                    ));
                 };
                 opts.trace = true;
                 opts.trace_json = Some(path.to_owned());
             }
+            other if other.starts_with("--dot-cfg=") => {
+                let mode = &other["--dot-cfg=".len()..];
+                if mode != "traced" {
+                    bad_arg(&format!(
+                        "--dot-cfg expects no value or 'traced', got '{mode}'"
+                    ));
+                }
+                opts.dot_cfg = DotMode::Traced;
+            }
+            other if other.starts_with("--dot-cspdg=") => {
+                let mode = &other["--dot-cspdg=".len()..];
+                if mode != "traced" {
+                    bad_arg(&format!(
+                        "--dot-cspdg expects no value or 'traced', got '{mode}'"
+                    ));
+                }
+                opts.dot_cspdg = DotMode::Traced;
+            }
+            other if other.starts_with('-') && other != "-" => {
+                bad_arg(&format!("unknown flag '{other}'"));
+            }
             other if opts.file.is_empty() => opts.file = other.to_owned(),
-            _ => usage(),
+            other => bad_arg(&format!(
+                "unexpected extra argument '{other}' (input file is already '{}')",
+                opts.file
+            )),
         }
     }
     if opts.file.is_empty() {
@@ -350,7 +404,11 @@ fn drive(opts: &Options) -> Result<(), String> {
     }
     // Trace when any trace-consuming flag is on; otherwise compile with
     // the no-op observer (bit-identical schedules either way).
-    let tracing = opts.trace || opts.explain.is_some();
+    let tracing = opts.trace
+        || opts.explain.is_some()
+        || opts.report.is_some()
+        || opts.dot_cfg == DotMode::Traced
+        || opts.dot_cspdg == DotMode::Traced;
     let mut recorder = Recorder::new();
     let stats = if tracing {
         compile_observed(&mut function, &opts.machine, &config, &mut recorder)
@@ -379,37 +437,102 @@ fn drive(opts: &Options) -> Result<(), String> {
         }
     }
 
-    if opts.dot_cfg {
-        let cfg = Cfg::new(&function);
-        print!("{}", cfg_to_dot(&function, &cfg));
-    } else {
+    let query = TraceQuery::new(recorder.events());
+    match opts.dot_cfg {
+        DotMode::Off => {}
+        DotMode::Plain => {
+            let cfg = Cfg::new(&function);
+            print!("{}", cfg_to_dot(&function, &cfg));
+        }
+        DotMode::Traced => {
+            print!("{}", traced_cfg_dot(Some(&original), &function, &query));
+        }
+    }
+    match opts.dot_cspdg {
+        DotMode::Off => {}
+        DotMode::Plain => print!("{}", traced_cspdg_dot(&function, None)),
+        DotMode::Traced => print!("{}", traced_cspdg_dot(&function, Some(&query))),
+    }
+    if opts.dot_cfg == DotMode::Off && opts.dot_cspdg == DotMode::Off {
         print!("{function}");
     }
     if opts.stats {
         eprintln!("{stats}");
     }
 
-    if opts.run {
-        let before = execute(&original, &memory, &ExecConfig::default())
-            .map_err(|e| format!("original program: {e}"))?;
-        let after = execute(&function, &memory, &ExecConfig::default())
-            .map_err(|e| format!("scheduled program: {e}"))?;
-        if !before.equivalent(&after) {
-            return Err("scheduling changed observable behaviour (bug!)".into());
-        }
-        let base = TimingSim::new(&original, &opts.machine).run(&before.block_trace);
-        let opt = TimingSim::new(&function, &opts.machine).run(&after.block_trace);
-        eprintln!("printed: {:?}", after.printed());
-        eprintln!(
-            "cycles on {}: {} -> {} ({:+.1}%)",
-            opts.machine.name(),
-            base.cycles,
-            opt.cycles,
-            100.0 * (opt.cycles as f64 - base.cycles as f64) / base.cycles as f64
-        );
-        if opts.timeline {
-            eprint!("{}", opt.timeline(&opts.machine).render(200));
-        }
+    if let Some(path) = &opts.report {
+        write_report(opts, path, &original, &function, &recorder, &memory)?;
     }
+
+    if opts.run {
+        run_and_time(opts, &original, &function, &memory)?;
+    }
+    Ok(())
+}
+
+/// `--run`: execute both versions, check observable equivalence, and
+/// report simulated cycles (plus the timeline with `--timeline`).
+fn run_and_time(
+    opts: &Options,
+    original: &Function,
+    function: &Function,
+    memory: &[(i64, i64)],
+) -> Result<(), String> {
+    let before = execute(original, memory, &ExecConfig::default())
+        .map_err(|e| format!("original program: {e}"))?;
+    let after = execute(function, memory, &ExecConfig::default())
+        .map_err(|e| format!("scheduled program: {e}"))?;
+    if !before.equivalent(&after) {
+        return Err("scheduling changed observable behaviour (bug!)".into());
+    }
+    let base = TimingSim::new(original, &opts.machine).run(&before.block_trace);
+    let opt = TimingSim::new(function, &opts.machine).run(&after.block_trace);
+    eprintln!("printed: {:?}", after.printed());
+    eprintln!(
+        "cycles on {}: {} -> {} ({:+.1}%)",
+        opts.machine.name(),
+        base.cycles,
+        opt.cycles,
+        100.0 * (opt.cycles as f64 - base.cycles as f64) / base.cycles as f64
+    );
+    if opts.timeline {
+        eprint!("{}", opt.timeline(&opts.machine).render(200));
+    }
+    Ok(())
+}
+
+/// `--report <path>`: write the self-contained HTML schedule report.
+/// Execution is best-effort — if the program cannot be run (e.g. it
+/// expects pre-initialized memory), the report simply omits the cycle
+/// counts and timeline.
+fn write_report(
+    opts: &Options,
+    path: &str,
+    original: &Function,
+    function: &Function,
+    recorder: &Recorder,
+    memory: &[(i64, i64)],
+) -> Result<(), String> {
+    let events: Vec<TraceEvent> = recorder.events().cloned().collect();
+    let timing = execute(original, memory, &ExecConfig::default())
+        .ok()
+        .zip(execute(function, memory, &ExecConfig::default()).ok())
+        .map(|(before, after)| {
+            let base = TimingSim::new(original, &opts.machine).run(&before.block_trace);
+            let opt = TimingSim::new(function, &opts.machine).run(&after.block_trace);
+            let timeline = opt.timeline(&opts.machine).render(200);
+            (base.cycles, opt.cycles, timeline)
+        });
+    let report = ScheduleReport {
+        title: &opts.file,
+        machine: opts.machine.name(),
+        before: Some(original),
+        after: function,
+        events: &events,
+        timeline: timing.as_ref().map(|(_, _, t)| t.as_str()),
+        cycles: timing.as_ref().map(|&(base, opt, _)| (base, opt)),
+    };
+    std::fs::write(path, schedule_report(&report)).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("gisc: report written to {path}");
     Ok(())
 }

@@ -168,3 +168,93 @@ fn dot_output_mode() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
 }
+
+#[test]
+fn traced_dot_overlays_the_schedule() {
+    let out = gisc()
+        .args(["--dot-cfg=traced", "examples/kernels/minmax.c"])
+        .output()
+        .expect("gisc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"), "{stdout}");
+    assert!(stdout.contains("style=bold"), "motions drawn: {stdout}");
+    assert!(stdout.contains("legend"), "{stdout}");
+}
+
+#[test]
+fn traced_cspdg_prints_one_graph_per_region() {
+    let out = gisc()
+        .args(["--dot-cspdg=traced", "examples/kernels/minmax.c"])
+        .output()
+        .expect("gisc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("// region"), "{stdout}");
+    assert!(stdout.contains("digraph cspdg"), "{stdout}");
+}
+
+#[test]
+fn report_writes_self_contained_html() {
+    let dir = std::env::temp_dir().join("gisc-report-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("minmax.html");
+    let out = gisc()
+        .args(["--report"])
+        .arg(&path)
+        .arg("examples/kernels/minmax.c")
+        .output()
+        .expect("gisc runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = std::fs::read_to_string(&path).expect("report written");
+    for id in [
+        "summary", "schedule", "motions", "regions", "metrics", "timeline",
+    ] {
+        assert!(html.contains(&format!("id=\"{id}\"")), "missing {id}");
+    }
+    assert!(!html.contains("<script"), "report must not contain scripts");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn malformed_viz_flags_get_specific_errors() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["--dot-cfg=fancy", "examples/kernels/minmax.c"],
+            "--dot-cfg expects no value or 'traced'",
+        ),
+        (
+            &["--dot-cspdg=yes", "examples/kernels/minmax.c"],
+            "--dot-cspdg expects no value or 'traced'",
+        ),
+        (&["--report"], "--report expects an output file path"),
+        (
+            &["--trace=xml:foo", "examples/kernels/minmax.c"],
+            "--trace expects no value or 'json:<path>'",
+        ),
+        (
+            &["--dot-cgf", "examples/kernels/minmax.c"],
+            "unknown flag '--dot-cgf'",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = gisc().args(*args).output().expect("gisc runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn extra_positional_argument_is_an_error() {
+    let out = gisc()
+        .args(["examples/kernels/minmax.c", "examples/kernels/dotproduct.c"])
+        .output()
+        .expect("gisc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected extra argument"));
+}

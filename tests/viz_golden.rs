@@ -1,0 +1,177 @@
+//! Golden files for the visualization layer: the traced DOT and HTML
+//! renderings of the paper's running example (Figure 2) and of one
+//! fuzzer-found corpus reproducer are pinned byte-for-byte.
+//!
+//! Regenerate after an intentional rendering change with:
+//!
+//! ```text
+//! GIS_UPDATE_GOLDEN=1 cargo test --test viz_golden
+//! ```
+
+use gis_core::{compile_observed, SchedConfig, SchedLevel};
+use gis_ir::Function;
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig, TimingSim};
+use gis_trace::{Recorder, TraceEvent, TraceQuery};
+use gis_viz::{schedule_report, traced_cfg_dot, traced_cspdg_dot, ScheduleReport};
+use gis_workloads::minmax;
+use std::path::Path;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the pinned golden file, or rewrites the
+/// golden when `GIS_UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GIS_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun GIS_UPDATE_GOLDEN=1 cargo test --test viz_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if intentional, regenerate with \
+         GIS_UPDATE_GOLDEN=1 cargo test --test viz_golden"
+    );
+}
+
+/// Schedules Figure 2's loop under the paper's configuration and
+/// returns `(before, after, events)` with the one nondeterministic
+/// field (`PassEnd.nanos`, wall-clock) zeroed.
+fn figure2_traced(level: SchedLevel) -> (Function, Function, Vec<TraceEvent>) {
+    let before = minmax::figure2_function(99);
+    let mut after = before.clone();
+    let mut rec = Recorder::new();
+    compile_observed(
+        &mut after,
+        &MachineDescription::rs6k(),
+        &SchedConfig::paper_example(level),
+        &mut rec,
+    )
+    .expect("compiles");
+    let events = rec
+        .events()
+        .cloned()
+        .map(|e| match e {
+            TraceEvent::PassEnd { pass, .. } => TraceEvent::PassEnd { pass, nanos: 0 },
+            other => other,
+        })
+        .collect();
+    (before, after, events)
+}
+
+#[test]
+fn figure2_useful_dot_matches_golden() {
+    let (before, after, events) = figure2_traced(SchedLevel::Useful);
+    let query = TraceQuery::new(events.iter());
+    assert_golden(
+        "figure2_useful.dot",
+        &traced_cfg_dot(Some(&before), &after, &query),
+    );
+}
+
+#[test]
+fn figure2_speculative_dot_matches_golden() {
+    let (before, after, events) = figure2_traced(SchedLevel::Speculative);
+    let query = TraceQuery::new(events.iter());
+    assert_golden(
+        "figure2_speculative.dot",
+        &traced_cfg_dot(Some(&before), &after, &query),
+    );
+}
+
+#[test]
+fn figure2_cspdg_dot_matches_golden() {
+    let (_, after, events) = figure2_traced(SchedLevel::Useful);
+    let query = TraceQuery::new(events.iter());
+    assert_golden(
+        "figure2_useful_cspdg.dot",
+        &traced_cspdg_dot(&after, Some(&query)),
+    );
+}
+
+#[test]
+fn figure2_html_report_matches_golden() {
+    let (before, after, events) = figure2_traced(SchedLevel::Speculative);
+    // A deterministic timed run: fixed input array, simulated cycles.
+    let a: Vec<i64> = (0..99).map(|i| (i * 13) % 40).collect();
+    let memory = minmax::memory_image(&a);
+    let base_out = execute(&before, &memory, &ExecConfig::default()).expect("runs");
+    let opt_out = execute(&after, &memory, &ExecConfig::default()).expect("runs");
+    let machine = MachineDescription::rs6k();
+    let base = TimingSim::new(&before, &machine).run(&base_out.block_trace);
+    let opt = TimingSim::new(&after, &machine).run(&opt_out.block_trace);
+    let timeline = opt.timeline(&machine).render(60);
+    let report = ScheduleReport {
+        title: "figure2 (minmax loop)",
+        machine: machine.name(),
+        before: Some(&before),
+        after: &after,
+        events: &events,
+        timeline: Some(&timeline),
+        cycles: Some((base.cycles, opt.cycles)),
+    };
+    assert_golden("figure2_speculative.html", &schedule_report(&report));
+}
+
+#[test]
+fn corpus_reproducer_dot_matches_golden() {
+    let text = std::fs::read_to_string(golden_path("../corpus/live-on-exit-diamond.gis"))
+        .expect("corpus file");
+    let (before, _mem) = gis_check::parse_reproducer(&text).expect("parses");
+    let mut after = before.clone();
+    let mut rec = Recorder::new();
+    compile_observed(
+        &mut after,
+        &MachineDescription::rs6k(),
+        &SchedConfig::speculative(),
+        &mut rec,
+    )
+    .expect("compiles");
+    let events: Vec<TraceEvent> = rec
+        .events()
+        .cloned()
+        .map(|e| match e {
+            TraceEvent::PassEnd { pass, .. } => TraceEvent::PassEnd { pass, nanos: 0 },
+            other => other,
+        })
+        .collect();
+    let query = TraceQuery::new(events.iter());
+    assert_golden(
+        "live-on-exit-diamond.dot",
+        &traced_cfg_dot(Some(&before), &after, &query),
+    );
+}
+
+#[test]
+fn motionless_function_degrades_to_the_plain_printer() {
+    // A straight-line function gives the scheduler nothing to move; the
+    // overlay must contribute nothing and the traced DOT must be
+    // byte-identical to the plain printer.
+    let mut f = gis_ir::parse_function("func s\nA:\n LI r1=1\n A r2=r1,r1\n PRINT r2\n RET\n")
+        .expect("parses");
+    let before = f.clone();
+    let mut rec = Recorder::new();
+    compile_observed(
+        &mut f,
+        &MachineDescription::rs6k(),
+        &SchedConfig::speculative(),
+        &mut rec,
+    )
+    .expect("compiles");
+    let query = TraceQuery::new(rec.events());
+    assert!(query.is_trivial(), "nothing to move in a straight line");
+    let traced = traced_cfg_dot(Some(&before), &f, &query);
+    let plain = gis_cfg::cfg_to_dot(&f, &gis_cfg::Cfg::new(&f));
+    assert_eq!(traced, plain, "trivial overlay must not decorate the graph");
+}
