@@ -1,0 +1,345 @@
+//! Hot-path benchmarks with a tracked baseline: the sweep dependence
+//! builder vs the all-pairs reference, incremental liveness repair vs a
+//! whole-function recompute, and end-to-end compilation with
+//! [`SchedConfig::reference_hot_paths`] on and off — measured on the
+//! scaled [`synth::MANY_LOOPS_PRESETS`] workloads.
+//!
+//! Hand-rolled harness (`harness = false`, like `scheduler.rs`): the
+//! sandbox builds offline, so criterion is unavailable. Each row reports
+//! the median of several timed runs.
+//!
+//! Besides the human-readable listing, the run writes `BENCH_sched.json`
+//! (at the repository root by default) so the numbers are tracked in the
+//! tree and CI can smoke them:
+//!
+//! ```text
+//! cargo bench -p gis-bench --bench hotpaths            # full run
+//! cargo bench -p gis-bench --bench hotpaths -- --smoke # 1 iteration, CI
+//! cargo bench -p gis-bench --bench hotpaths -- --out out.json
+//! ```
+//!
+//! Every end-to-end row carries an FNV-64 hash of the scheduled
+//! function's text; the fast and reference paths must hash identically
+//! (the rewrite preserves output bit for bit), as must `jobs = 1` and
+//! `jobs = 4` — the run aborts on any mismatch rather than reporting a
+//! speedup for a scheduler that changed its answer.
+
+use gis_cfg::{Cfg, DomTree, LoopForest, RegionKind, RegionTree};
+use gis_core::{compile, SchedConfig};
+use gis_ir::{BlockId, Function};
+use gis_machine::MachineDescription;
+use gis_pdg::{DataDeps, Liveness};
+use gis_workloads::synth;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One emitted measurement.
+struct Row {
+    name: String,
+    n_insts: usize,
+    median_ns: u128,
+    /// FNV-64 of the scheduled function text, for end-to-end rows.
+    schedule_hash: Option<u64>,
+}
+
+/// Times `f` as `runs` runs of `iters` iterations each and returns the
+/// median run's per-iteration nanoseconds.
+fn median_ns<T>(iters: u32, runs: usize, mut f: impl FnMut() -> T) -> u128 {
+    // Warm-up.
+    black_box(f());
+    let mut samples: Vec<u128> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters.max(1) {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() / u128::from(iters.max(1))
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// FNV-1a 64-bit over the scheduled function's textual form: stable,
+/// dependency-free, and enough to pin "same schedule, bit for bit".
+fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The scheduling scopes the global passes would visit: every loop
+/// region within the §6 size gates, innermost first. The liveness
+/// benchmark repairs over such a scope exactly as the scheduler does.
+fn loop_scopes(f: &Function, config: &SchedConfig) -> Vec<Vec<BlockId>> {
+    let cfg = Cfg::new(f);
+    let dom = DomTree::dominators(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    let tree = RegionTree::new(&cfg, &loops);
+    tree.regions()
+        .filter(|(_, r)| matches!(r.kind, RegionKind::Loop(_)))
+        .map(|(_, r)| r.blocks.clone())
+        .filter(|blocks| {
+            let insts: usize = blocks.iter().map(|&b| f.block(b).len()).sum();
+            blocks.len() <= config.max_region_blocks && insts <= config.max_region_insts
+        })
+        .collect()
+}
+
+fn bench_dep_build(
+    preset: &str,
+    f: &Function,
+    machine: &MachineDescription,
+    config: &SchedConfig,
+    iters: u32,
+    runs: usize,
+    rows: &mut Vec<Row>,
+) -> f64 {
+    // The builders are compared on the in-gate loop-region scopes — the
+    // scopes the scheduler actually hands the builder, one graph per
+    // region (§4.1). One iteration builds every region's graph in turn,
+    // so a row reads as "dependence construction for the whole function,
+    // region by region", the same call pattern (and the same thread-local
+    // table reuse) `compile` exercises. The differential tests pin
+    // builder equality on these scopes and on whole functions alike.
+    // `reduce` is shared code downstream of both builders, so it is not
+    // part of the measurement.
+    let scopes = loop_scopes(f, config);
+    let n_insts: usize = scopes
+        .iter()
+        .map(|s| s.iter().map(|&b| f.block(b).len()).sum::<usize>())
+        .sum();
+    let sweep = median_ns(iters, runs, || {
+        scopes
+            .iter()
+            .map(|s| black_box(DataDeps::build(black_box(f), machine, s, |x, y| x < y)).num_edges())
+            .sum::<usize>()
+    });
+    let reference = median_ns(iters, runs, || {
+        scopes
+            .iter()
+            .map(|s| {
+                black_box(DataDeps::build_reference(
+                    black_box(f),
+                    machine,
+                    s,
+                    |x, y| x < y,
+                ))
+                .num_edges()
+            })
+            .sum::<usize>()
+    });
+    rows.push(Row {
+        name: format!("dep-build/{preset}/sweep"),
+        n_insts,
+        median_ns: sweep,
+        schedule_hash: None,
+    });
+    rows.push(Row {
+        name: format!("dep-build/{preset}/reference"),
+        n_insts,
+        median_ns: reference,
+        schedule_hash: None,
+    });
+    reference as f64 / sweep.max(1) as f64
+}
+
+fn bench_liveness(
+    preset: &str,
+    f: &Function,
+    config: &SchedConfig,
+    iters: u32,
+    runs: usize,
+    rows: &mut Vec<Row>,
+) -> f64 {
+    let cfg = Cfg::new(f);
+    let n_insts = f.num_insts();
+    let full = median_ns(iters, runs, || Liveness::compute(black_box(f), &cfg));
+    // One post-motion repair over the largest in-gate scope — what the
+    // scheduler pays per motion on the fast path. The "motion" is a
+    // no-op (both touched blocks re-summarize to what they already
+    // were), which costs the same as a real one.
+    let scope = loop_scopes(f, config)
+        .into_iter()
+        .max_by_key(Vec::len)
+        .expect("the workload has at least one in-gate loop");
+    let (to, from) = (scope[0], *scope.last().expect("non-empty scope"));
+    let mut live = Liveness::compute(f, &cfg);
+    let incremental = median_ns(iters.saturating_mul(8), runs, || {
+        live.update_after_motion(black_box(f), &cfg, &scope, to, from);
+    });
+    rows.push(Row {
+        name: format!("liveness/{preset}/full-recompute"),
+        n_insts,
+        median_ns: full,
+        schedule_hash: None,
+    });
+    rows.push(Row {
+        name: format!("liveness/{preset}/incremental-repair"),
+        n_insts,
+        median_ns: incremental,
+        schedule_hash: None,
+    });
+    full as f64 / incremental.max(1) as f64
+}
+
+fn bench_end_to_end(
+    preset: &str,
+    f: &Function,
+    machine: &MachineDescription,
+    iters: u32,
+    runs: usize,
+    rows: &mut Vec<Row>,
+) -> (f64, bool) {
+    let n_insts = f.num_insts();
+    // The largest preset compiles in whole seconds even on the fast
+    // path; three single-iteration runs pin its median well enough and
+    // keep the full run's wall time in minutes.
+    let (iters, runs) = if n_insts > 10_000 {
+        (1, runs.min(3))
+    } else {
+        (iters, runs)
+    };
+    let mut hashes = Vec::new();
+    for (label, reference, jobs) in [
+        ("fast", false, 1usize),
+        ("fast-jobs4", false, 4),
+        ("reference", true, 1),
+    ] {
+        let mut config = SchedConfig::speculative();
+        config.reference_hot_paths = reference;
+        config.jobs = jobs;
+        // The reference path recomputes whole-function liveness after
+        // every motion, so it is orders of magnitude slower: time a
+        // single compile, with no warm-up, and hash its result rather
+        // than compiling again.
+        let (ns, scheduled) = if reference {
+            let t0 = Instant::now();
+            let mut scheduled = f.clone();
+            compile(&mut scheduled, machine, &config).expect("compiles");
+            (t0.elapsed().as_nanos(), scheduled)
+        } else {
+            let ns = median_ns(iters, runs, || {
+                let mut scheduled = f.clone();
+                compile(&mut scheduled, machine, &config).expect("compiles");
+                scheduled
+            });
+            let mut scheduled = f.clone();
+            compile(&mut scheduled, machine, &config).expect("compiles");
+            (ns, scheduled)
+        };
+        let hash = fnv64(&scheduled.to_string());
+        hashes.push(hash);
+        rows.push(Row {
+            name: format!("e2e/{preset}/{label}"),
+            n_insts,
+            median_ns: ns,
+            schedule_hash: Some(hash),
+        });
+    }
+    assert!(
+        hashes.windows(2).all(|w| w[0] == w[1]),
+        "{preset}: schedule hashes diverge across fast/jobs/reference \
+         ({hashes:016x?}) — the hot paths changed the scheduler's output"
+    );
+    let fast = rows[rows.len() - 3].median_ns;
+    let reference = rows[rows.len() - 1].median_ns;
+    (reference as f64 / fast.max(1) as f64, true)
+}
+
+/// Serializes the rows and summary as a stable, pretty-printed JSON
+/// document (std only — names are ASCII, so no escaping is needed).
+fn to_json(rows: &[Row], speedups: &[(String, f64)], jobs_hash_match: bool, smoke: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"bench\": \"hotpaths\",\n  \"machine\": \"rs6k\",\n");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"jobs_hash_match\": {jobs_hash_match},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let hash = match r.schedule_hash {
+            Some(h) => format!("\"{h:016x}\""),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"n_insts\": {}, \"median_ns\": {}, \"schedule_hash\": {}}}",
+            r.name, r.n_insts, r.median_ns, hash
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"speedups\": {\n");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        let _ = write!(out, "    \"{name}\": {x:.2}");
+        out.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = format!(
+        "{}/../../BENCH_sched.json",
+        env!("CARGO_MANIFEST_DIR") // the tracked baseline at the repo root
+    );
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out expects a path"),
+            // Writes a preset's tinyc source and exits, so the exact
+            // benchmark input can be fed to other tools (for example
+            // `gisc --tinyc --metrics` to get per-pass wall times).
+            "--emit-src" => {
+                let preset = args.next().expect("--emit-src expects a preset name");
+                let path = args.next().expect("--emit-src expects an output path");
+                let w =
+                    synth::many_loops_preset(&preset).expect("a preset from MANY_LOOPS_PRESETS");
+                std::fs::write(&path, &w.source).expect("writing the source");
+                println!("hotpaths: {preset} source written to {path}");
+                return;
+            }
+            // Cargo passes --bench (and test-harness flags) through.
+            _ => {}
+        }
+    }
+    let (iters, runs) = if smoke { (1, 1) } else { (5, 5) };
+
+    let machine = MachineDescription::rs6k();
+    let config = SchedConfig::speculative();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut jobs_hash_match = true;
+    for &(preset, loops, stmts, seed) in synth::MANY_LOOPS_PRESETS {
+        let w = synth::many_loops_scaled(loops, stmts, seed);
+        let f = &w.program.function;
+        println!(
+            "hotpaths: {preset} — {} blocks, {} instructions",
+            f.num_blocks(),
+            f.num_insts()
+        );
+        let dep = bench_dep_build(preset, f, &machine, &config, iters, runs, &mut rows);
+        let live = bench_liveness(preset, f, &config, iters, runs, &mut rows);
+        let (e2e, hashes_ok) = bench_end_to_end(preset, f, &machine, iters, runs, &mut rows);
+        jobs_hash_match &= hashes_ok;
+        speedups.push((format!("dep-build/{preset}"), dep));
+        speedups.push((format!("liveness/{preset}"), live));
+        speedups.push((format!("e2e/{preset}"), e2e));
+    }
+
+    for r in &rows {
+        println!(
+            "hotpaths/{:<40} {:>12} ns/iter  ({} insts)",
+            r.name, r.median_ns, r.n_insts
+        );
+    }
+    for (name, x) in &speedups {
+        println!("speedup/{name:<40} {x:>11.2}x");
+    }
+    let json = to_json(&rows, &speedups, jobs_hash_match, smoke);
+    std::fs::write(&out_path, &json).expect("writing the baseline file");
+    println!("hotpaths: baseline written to {out_path}");
+}

@@ -98,6 +98,15 @@ pub struct SchedConfig {
     /// check *relative* invariants such as region confinement. See
     /// [`PassVerifier`].
     pub verify_each_pass: Option<PassVerifier>,
+    /// Use the original quadratic analysis implementations — the
+    /// all-pairs dependence builder and a whole-function liveness
+    /// recompute after every motion — instead of the sweep builder and
+    /// the incremental region-local repair. Output is bit-identical
+    /// either way (the fast paths were derived to preserve it, and the
+    /// differential tests pin it); this switch exists so the benchmark
+    /// harness can measure the speedup honestly and so a regression can
+    /// be bisected to the hot-path rewrite in the field.
+    pub reference_hot_paths: bool,
     /// **Fault injection — test harness use only.** When true, the §5.3
     /// live-on-exit guard for speculative motion is deliberately skipped,
     /// planting a known miscompile. `gis-check`'s self-test flips this to
@@ -143,6 +152,7 @@ impl SchedConfig {
             max_speculation_branches: 1,
             jobs: 1,
             verify_each_pass: None,
+            reference_hot_paths: false,
             inject_skip_live_on_exit: false,
         }
     }

@@ -14,19 +14,32 @@
 //! Speculative motions obey §5.3: an instruction defining a register that
 //! is live on exit from `A` is rejected — or, when the definition's
 //! du-chain is local to its home block, renamed to a fresh register (the
-//! paper's `cr6`→`cr5` motion in Figure 6). Liveness is recomputed after
-//! every motion ("this type of information has to be updated
-//! dynamically").
+//! paper's `cr6`→`cr5` motion in Figure 6). Liveness is kept current
+//! across motions ("this type of information has to be updated
+//! dynamically") by an incremental repair: only the source and target
+//! blocks change code, so their `use`/`def` summaries are re-derived and
+//! the dataflow fixed point re-solved over the region's blocks alone
+//! ([`Liveness::update_after_motion`]). The original whole-function
+//! recompute survives as a fallback
+//! ([`SchedConfig::reference_hot_paths`]) and as the differential check
+//! asserted after every motion under debug builds and the
+//! [`SchedConfig::verify_each_pass`] gate.
 
 use crate::config::{SchedConfig, SchedLevel};
 use crate::dcp::Heuristics;
 use crate::stats::SchedStats;
 use gis_cfg::{Cfg, NodeId, RegionGraph, RegionNode, RegionTree};
-use gis_ir::{BlockId, Function, InstId, Reg};
+use gis_ir::{BlockId, DenseBitSet, Function, InstId, Reg};
 use gis_machine::MachineDescription;
 use gis_pdg::{Cspdg, DataDeps, Liveness};
 use gis_trace::{MotionKind, NopObserver, RejectReason, SchedObserver, TieBreak, TraceEvent};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+
+/// Sentinel for "not placed in this block pass" in the dense
+/// [`Scratch::place_time`] table.
+const UNPLACED: u64 = u64::MAX;
+/// Sentinel for "no node" in the dense instruction→node table.
+const NO_NODE: u32 = u32::MAX;
 
 /// Schedules one region of `f`. Returns `false` when the region was
 /// skipped (irreducible or over the §6 size limits); statistics accumulate
@@ -102,36 +115,47 @@ pub fn schedule_region_observed<O: SchedObserver>(
         .map(|&b| (b, lift_block(&g, tree, rid, b)))
         .collect();
 
-    let mut deps = DataDeps::build(f, machine, &scope_blocks, |x, y| {
+    let may_follow = |x: BlockId, y: BlockId| {
         let (nx, ny) = (node_of[&x], node_of[&y]);
-        nx != ny && reach[nx.index()][ny.index()]
-    });
+        nx != ny && reach[nx.index()].contains(ny.index())
+    };
+    let mut deps = if config.reference_hot_paths {
+        DataDeps::build_reference(f, machine, &scope_blocks, may_follow)
+    } else {
+        DataDeps::build(f, machine, &scope_blocks, may_follow)
+    };
+    stats.dep_edges += deps.num_edges();
     deps.reduce();
+    stats.dep_edges_reduced += deps.num_edges();
 
-    // Original program order for the final tie-break.
-    let order_index: HashMap<InstId, usize> = deps
-        .scope_order()
-        .iter()
-        .enumerate()
-        .map(|(i, id)| (*id, i))
-        .collect();
+    let bound = f.inst_id_bound();
+    // Original program order for the final tie-break (dense by inst id;
+    // only scope instructions are ever looked up).
+    let mut order_index: Vec<u32> = vec![0; bound];
+    for (i, id) in deps.scope_order().iter().enumerate() {
+        order_index[id.index()] = i as u32;
+    }
 
+    stats.liveness_full += 1;
+    stats.scratch_allocs += 1;
     let mut pass = RegionPass {
         machine,
         cfg,
         config,
         deps: &deps,
         reach: &reach,
+        scope: &scope_blocks,
         order_index: &order_index,
-        placed: HashSet::new(),
-        inst_node: HashMap::new(),
+        placed: DenseBitSet::with_capacity(bound),
+        inst_node: vec![NO_NODE; bound],
         liveness: Liveness::compute(f, cfg),
+        scratch: Scratch::new(machine, bound),
         stats,
         obs,
     };
     for &b in &scope_blocks {
         for inst in f.block(b).insts() {
-            pass.inst_node.insert(inst.id, node_of[&b]);
+            pass.inst_node[inst.id.index()] = node_of[&b].index() as u32;
         }
     }
 
@@ -177,17 +201,17 @@ pub(crate) fn region_within_size_limits(
     scope_insts <= config.max_region_insts
 }
 
-/// Dense forward reachability over a region graph (reflexive).
-fn reachability(g: &RegionGraph) -> Vec<Vec<bool>> {
+/// Dense forward reachability over a region graph (reflexive), one bit
+/// set per start node.
+fn reachability(g: &RegionGraph) -> Vec<DenseBitSet> {
     let n = g.num_nodes();
-    let mut reach = vec![vec![false; n]; n];
+    let mut reach = vec![DenseBitSet::with_capacity(n); n];
     for (start, row) in reach.iter_mut().enumerate() {
         let mut stack = vec![NodeId::from_index(start)];
-        row[start] = true;
+        row.insert(start);
         while let Some(x) = stack.pop() {
             for &(to, _) in g.succs(x) {
-                if !row[to.index()] {
-                    row[to.index()] = true;
+                if row.insert(to.index()) {
                     stack.push(to);
                 }
             }
@@ -224,15 +248,75 @@ struct RegionPass<'a, O: SchedObserver> {
     cfg: &'a Cfg,
     config: &'a SchedConfig,
     deps: &'a DataDeps,
-    reach: &'a [Vec<bool>],
-    order_index: &'a HashMap<InstId, usize>,
-    /// Instructions placed by this region pass (any block).
-    placed: HashSet<InstId>,
-    /// Current region-graph node of every scope instruction.
-    inst_node: HashMap<InstId, NodeId>,
+    reach: &'a [DenseBitSet],
+    /// The region subtree's blocks, ascending — the incremental
+    /// liveness repair re-solves over exactly these.
+    scope: &'a [BlockId],
+    order_index: &'a [u32],
+    /// Instructions placed by this region pass (any block), by id.
+    placed: DenseBitSet,
+    /// Current region-graph node index of every scope instruction
+    /// (dense by inst id; [`NO_NODE`] outside the scope).
+    inst_node: Vec<u32>,
     liveness: Liveness,
+    scratch: Scratch,
     stats: &'a mut SchedStats,
     obs: &'a mut O,
+}
+
+/// Per-region scratch buffers for [`RegionPass::schedule_block`]'s inner
+/// loops: allocated once per region, reset (capacity kept) per block, so
+/// the cycle-by-cycle scheduling loop itself performs no heap
+/// allocation. The `scratch_allocs` / `scratch_reuses` stats count
+/// bundle creations vs block passes that reused one.
+struct Scratch {
+    cands: Vec<Candidate>,
+    new_order: Vec<InstId>,
+    /// Issue cycle per candidate id ([`UNPLACED`] when not placed);
+    /// reset via the candidate list, not a full sweep.
+    place_time: Vec<u64>,
+    /// Candidate-set membership by inst id.
+    in_s: DenseBitSet,
+    /// §5.3-rejected candidates by inst id.
+    rejected: DenseBitSet,
+    /// Busy-until cycle per functional unit, by unit kind.
+    units: Vec<Vec<u64>>,
+    /// Final position per placed inst id, for the block reorder.
+    rank: Vec<u32>,
+    /// Ever used by a block pass already (drives `scratch_reuses`).
+    used: bool,
+}
+
+impl Scratch {
+    fn new(machine: &MachineDescription, inst_bound: usize) -> Self {
+        Scratch {
+            cands: Vec::new(),
+            new_order: Vec::new(),
+            place_time: vec![UNPLACED; inst_bound],
+            in_s: DenseBitSet::with_capacity(inst_bound),
+            rejected: DenseBitSet::with_capacity(inst_bound),
+            units: machine
+                .unit_kinds()
+                .map(|k| vec![0u64; machine.unit_count(k) as usize])
+                .collect(),
+            rank: vec![0; inst_bound],
+            used: false,
+        }
+    }
+
+    /// Returns the buffers to their empty state, keeping capacity.
+    fn reset(&mut self) {
+        for &c in &self.cands {
+            self.place_time[c.id.index()] = UNPLACED;
+        }
+        self.cands.clear();
+        self.new_order.clear();
+        self.in_s.clear();
+        self.rejected.clear();
+        for u in &mut self.units {
+            u.fill(0);
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -401,7 +485,11 @@ impl<O: SchedObserver> RegionPass<'_, O> {
         }
 
         // ---- Candidate instructions. ----------------------------------
-        let mut cands: Vec<Candidate> = Vec::new();
+        if self.scratch.used {
+            self.stats.scratch_reuses += 1;
+        }
+        self.scratch.used = true;
+        self.scratch.reset();
         let mut a_remaining = 0usize;
         let mut a_branch: Option<InstId> = None;
         for inst in f.block(a).insts() {
@@ -409,7 +497,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 a_branch = Some(inst.id);
             }
             a_remaining += 1;
-            cands.push(Candidate {
+            self.scratch.cands.push(Candidate {
                 id: inst.id,
                 home: a,
                 useful: true,
@@ -422,7 +510,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
             };
             for inst in f.block(b).insts() {
                 if inst.op.may_cross_block() {
-                    cands.push(Candidate {
+                    self.scratch.cands.push(Candidate {
                         id: inst.id,
                         home: b,
                         useful: true,
@@ -440,7 +528,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 if inst.op.may_speculate()
                     && (self.config.speculative_loads || class != gis_ir::OpClass::Load)
                 {
-                    cands.push(Candidate {
+                    self.scratch.cands.push(Candidate {
                         id: inst.id,
                         home: b,
                         useful: false,
@@ -460,24 +548,18 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 }
             }
         }
-        let in_s: HashSet<InstId> = cands.iter().map(|c| c.id).collect();
+        for c in &self.scratch.cands {
+            self.scratch.in_s.insert(c.id.index());
+        }
 
         // Per-block D/CP heuristics over current block contents.
         let mut heur: HashMap<BlockId, Heuristics> = HashMap::new();
-        for c in &cands {
+        for c in &self.scratch.cands {
             heur.entry(c.home)
                 .or_insert_with(|| Heuristics::for_block(f, self.machine, self.deps, c.home));
         }
 
         // ---- Cycle-by-cycle list scheduling. --------------------------
-        let mut place_time: HashMap<InstId, u64> = HashMap::new();
-        let mut new_order: Vec<InstId> = Vec::new();
-        let mut rejected: HashSet<InstId> = HashSet::new();
-        let mut units: Vec<Vec<u64>> = self
-            .machine
-            .unit_kinds()
-            .map(|k| vec![0u64; self.machine.unit_count(k) as usize])
-            .collect();
         let width = self.machine.dispatch_width();
         let mut t: u64 = 0;
 
@@ -488,8 +570,10 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 // The runner-up's key, tracked only for the trace's
                 // tie-break attribution.
                 let mut second: Option<PriorityKey> = None;
-                for c in &cands {
-                    if place_time.contains_key(&c.id) || rejected.contains(&c.id) {
+                for c in &self.scratch.cands {
+                    if self.scratch.place_time[c.id.index()] != UNPLACED
+                        || self.scratch.rejected.contains(c.id.index())
+                    {
                         continue;
                     }
                     // The block's own branch waits for the rest of the
@@ -498,14 +582,16 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                     if Some(c.id) == a_branch && a_remaining > 1 {
                         continue;
                     }
-                    if !self.ready(node_a, c.id, &in_s, &place_time, t) {
+                    if !self.ready(node_a, c.id, t) {
                         continue;
                     }
-                    let (bid, pos) = f.find_inst(c.id).expect("candidate exists");
-                    debug_assert_eq!(bid, c.home);
-                    let op = &f.block(bid).insts()[pos].op;
+                    let pos = f.block(c.home).position(c.id).expect("candidate exists");
+                    let op = &f.block(c.home).insts()[pos].op;
                     let kind = self.machine.unit_of(op.class());
-                    if !units[kind.index()].iter().any(|&busy| busy <= t) {
+                    if !self.scratch.units[kind.index()]
+                        .iter()
+                        .any(|&busy| busy <= t)
+                    {
                         continue;
                     }
                     let h = &heur[&c.home];
@@ -514,7 +600,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                         (c.prob * 1000.0) as u32, // likelier gambles first
                         h.d(c.id),
                         h.cp(c.id),
-                        std::cmp::Reverse(self.order_index[&c.id]),
+                        std::cmp::Reverse(self.order_index[c.id.index()] as usize),
                     );
                     if best.as_ref().is_none_or(|(_, bk)| key > *bk) {
                         if enabled {
@@ -532,7 +618,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 // §5.3: speculative motion may not clobber a register live
                 // on exit from A — unless a local rename fixes it.
                 if cand.home != a && !cand.useful && !self.speculation_allowed(f, a, &cand) {
-                    rejected.insert(cand.id);
+                    self.scratch.rejected.insert(cand.id.index());
                     if enabled {
                         self.obs.event(TraceEvent::Rejected {
                             inst: cand.id.index() as u32,
@@ -545,18 +631,18 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 }
 
                 // Issue.
-                let (_, pos) = f.find_inst(cand.id).expect("exists");
+                let pos = f.block(cand.home).position(cand.id).expect("exists");
                 let class = f.block(cand.home).insts()[pos].op.class();
                 let kind = self.machine.unit_of(class);
                 let exec = self.machine.exec_time(class) as u64;
-                let slot = units[kind.index()]
+                let slot = self.scratch.units[kind.index()]
                     .iter()
                     .position(|&busy| busy <= t)
                     .expect("free unit checked");
-                units[kind.index()][slot] = t + exec;
-                place_time.insert(cand.id, t);
-                self.placed.insert(cand.id);
-                new_order.push(cand.id);
+                self.scratch.units[kind.index()][slot] = t + exec;
+                self.scratch.place_time[cand.id.index()] = t;
+                self.placed.insert(cand.id.index());
+                self.scratch.new_order.push(cand.id);
 
                 if cand.home == a {
                     if enabled {
@@ -596,14 +682,36 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                     let at = block_a.len()
                         - usize::from(block_a.last().is_some_and(|i| i.op.is_branch()));
                     block_a.insts_mut().insert(at, moved);
-                    self.inst_node.insert(cand.id, node_a);
+                    self.inst_node[cand.id.index()] = node_a.index() as u32;
                     if cand.useful {
                         self.stats.moved_useful += 1;
                     } else {
                         self.stats.moved_speculative += 1;
                     }
                     // §5.3: liveness must be updated after each motion.
-                    self.liveness = Liveness::compute(f, self.cfg);
+                    // Only A and the home block changed code, so an
+                    // incremental region-local repair suffices (any
+                    // rename done by `speculation_allowed` also touched
+                    // only the home block).
+                    if self.config.reference_hot_paths {
+                        self.liveness = Liveness::compute(f, self.cfg);
+                        self.stats.liveness_full += 1;
+                    } else {
+                        self.liveness
+                            .update_after_motion(f, self.cfg, self.scope, a, cand.home);
+                        self.stats.liveness_incremental += 1;
+                        if cfg!(debug_assertions) || self.config.verify_each_pass.is_some() {
+                            assert_eq!(
+                                self.liveness,
+                                Liveness::compute(f, self.cfg),
+                                "incremental liveness diverged from a full recompute \
+                                 after moving {} from {} into {}",
+                                cand.id,
+                                cand.home,
+                                a
+                            );
+                        }
+                    }
                 }
 
                 issued += 1;
@@ -615,45 +723,40 @@ impl<O: SchedObserver> RegionPass<'_, O> {
         }
 
         // ---- Apply A's final order. ------------------------------------
-        let mut by_id: HashMap<InstId, gis_ir::Inst> = f
-            .block_mut(a)
+        let block_a = f.block_mut(a);
+        debug_assert_eq!(
+            block_a.len(),
+            self.scratch.new_order.len(),
+            "every instruction of A was scheduled"
+        );
+        for (i, id) in self.scratch.new_order.iter().enumerate() {
+            self.scratch.rank[id.index()] = i as u32;
+        }
+        let rank = &self.scratch.rank;
+        block_a
             .insts_mut()
-            .drain(..)
-            .map(|i| (i.id, i))
-            .collect();
-        let rebuilt: Vec<gis_ir::Inst> = new_order
-            .iter()
-            .map(|id| by_id.remove(id).expect("scheduled instructions live in A"))
-            .collect();
-        debug_assert!(by_id.is_empty(), "every instruction of A was scheduled");
-        *f.block_mut(a).insts_mut() = rebuilt;
+            .sort_by_key(|inst| rank[inst.id.index()]);
     }
 
     /// Whether all data dependences into `id` are fulfilled at cycle `t`.
-    fn ready(
-        &self,
-        node_a: NodeId,
-        id: InstId,
-        in_s: &HashSet<InstId>,
-        place_time: &HashMap<InstId, u64>,
-        t: u64,
-    ) -> bool {
+    fn ready(&self, node_a: NodeId, id: InstId, t: u64) -> bool {
         for e in self.deps.preds(id) {
-            if let Some(&tp) = place_time.get(&e.from) {
+            let tp = self.scratch.place_time[e.from.index()];
+            if tp != UNPLACED {
                 // Placed in this very block pass: timing applies.
                 if tp + e.sep() as u64 > t {
                     return false;
                 }
-            } else if self.placed.contains(&e.from) {
+            } else if self.placed.contains(e.from.index()) {
                 // Placed in an earlier block of this region: the paper's
                 // per-block restart; interlocks cover residual delays.
-            } else if in_s.contains(&e.from) {
+            } else if self.scratch.in_s.contains(e.from.index()) {
                 return false; // will be scheduled in this pass, wait for it
             } else {
                 // Outside the candidate set: blocked when it could still
                 // execute between A and the candidate's home block.
-                let pn = self.inst_node[&e.from];
-                if self.reach[node_a.index()][pn.index()] {
+                let pn = self.inst_node[e.from.index()];
+                if self.reach[node_a.index()].contains(pn as usize) {
                     return false;
                 }
             }
@@ -663,12 +766,13 @@ impl<O: SchedObserver> RegionPass<'_, O> {
 
     /// §5.3 gate for a speculative candidate, with the renaming escape.
     fn speculation_allowed(&mut self, f: &mut Function, a: BlockId, cand: &Candidate) -> bool {
-        let (bid, pos) = f.find_inst(cand.id).expect("exists");
+        let bid = cand.home;
+        let pos = f.block(bid).position(cand.id).expect("exists");
         let op = &f.block(bid).insts()[pos].op;
         let clobbered: Vec<Reg> = op
             .defs()
             .into_iter()
-            .filter(|r| self.liveness.live_out(a).contains(r))
+            .filter(|&r| self.liveness.live_out(a).contains(r))
             .collect();
         if clobbered.is_empty() {
             return true;
@@ -735,6 +839,6 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 return true; // redefined before block end: chain is local
             }
         }
-        !self.liveness.live_out(bid).contains(&r)
+        !self.liveness.live_out(bid).contains(r)
     }
 }

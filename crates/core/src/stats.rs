@@ -26,6 +26,24 @@ pub struct SchedStats {
     pub loops_rotated: usize,
     /// Blocks reordered by the final basic block pass.
     pub blocks_bb_scheduled: usize,
+    /// Data dependence edges built across all scheduled regions (before
+    /// latency-redundancy reduction).
+    pub dep_edges: usize,
+    /// Data dependence edges surviving `gis_pdg::DataDeps::reduce`'s
+    /// latency-redundancy elimination.
+    pub dep_edges_reduced: usize,
+    /// Post-motion liveness repairs done incrementally (region-local
+    /// fixed point).
+    pub liveness_incremental: usize,
+    /// Whole-function liveness computations (per-region initialization,
+    /// plus every motion when the reference hot paths are selected).
+    pub liveness_full: usize,
+    /// Per-region scratch buffer bundles allocated by the global
+    /// scheduler.
+    pub scratch_allocs: usize,
+    /// Block passes that reused a region's scratch buffers instead of
+    /// reallocating them.
+    pub scratch_reuses: usize,
     /// Monotonic wall time of each pipeline pass, in nanoseconds, indexed
     /// by [`gis_trace::Pass`] order (rename, unroll, global-1, rotate,
     /// global-2, final-bb). Zero for passes that did not run.
@@ -48,6 +66,12 @@ impl SchedStats {
         self.loops_unrolled += other.loops_unrolled;
         self.loops_rotated += other.loops_rotated;
         self.blocks_bb_scheduled += other.blocks_bb_scheduled;
+        self.dep_edges += other.dep_edges;
+        self.dep_edges_reduced += other.dep_edges_reduced;
+        self.liveness_incremental += other.liveness_incremental;
+        self.liveness_full += other.liveness_full;
+        self.scratch_allocs += other.scratch_allocs;
+        self.scratch_reuses += other.scratch_reuses;
     }
 }
 

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+mod bitset;
 mod block;
 mod builder;
 mod function;
@@ -51,6 +52,7 @@ mod print;
 mod reg;
 mod verify;
 
+pub use bitset::{BlockSet, DenseBitSet, RegSet};
 pub use block::{Block, BlockId, Inst, InstId};
 pub use builder::FunctionBuilder;
 pub use function::{Function, SymId};

@@ -337,6 +337,24 @@ impl Op {
         }
     }
 
+    /// Appends the registers written by this operation to `out` —
+    /// [`defs`](Self::defs) without the per-call allocation, for callers
+    /// that batch many instructions into one buffer.
+    pub fn defs_into(&self, out: &mut Vec<Reg>) {
+        match self {
+            Op::Load { rt, .. } | Op::LoadImm { rt, .. } | Op::Move { rt, .. } => out.push(*rt),
+            Op::LoadUpdate { rt, mem } => out.extend([*rt, mem.base]),
+            Op::Store { .. } => {}
+            Op::StoreUpdate { mem, .. } => out.push(mem.base),
+            Op::Fx { rt, .. } | Op::FxImm { rt, .. } | Op::Fp { rt, .. } => out.push(*rt),
+            Op::Compare { crt, .. } | Op::CompareImm { crt, .. } | Op::FpCompare { crt, .. } => {
+                out.push(*crt)
+            }
+            Op::BranchCond { .. } | Op::Branch { .. } | Op::Ret | Op::Print { .. } => {}
+            Op::Call { defs, .. } => out.extend_from_slice(defs),
+        }
+    }
+
     /// Registers read by this operation.
     pub fn uses(&self) -> Vec<Reg> {
         match self {
@@ -352,6 +370,25 @@ impl Op {
             Op::Branch { .. } | Op::Ret => vec![],
             Op::Call { uses, .. } => uses.clone(),
             Op::Print { rs } => vec![*rs],
+        }
+    }
+
+    /// Appends the registers read by this operation to `out` —
+    /// [`uses`](Self::uses) without the per-call allocation.
+    pub fn uses_into(&self, out: &mut Vec<Reg>) {
+        match self {
+            Op::Load { mem, .. } | Op::LoadUpdate { mem, .. } => out.push(mem.base),
+            Op::Store { rs, mem } | Op::StoreUpdate { rs, mem } => out.extend([*rs, mem.base]),
+            Op::LoadImm { .. } => {}
+            Op::Move { rs, .. } => out.push(*rs),
+            Op::Fx { ra, rb, .. } | Op::Fp { ra, rb, .. } => out.extend([*ra, *rb]),
+            Op::FxImm { ra, .. } => out.push(*ra),
+            Op::Compare { ra, rb, .. } | Op::FpCompare { ra, rb, .. } => out.extend([*ra, *rb]),
+            Op::CompareImm { ra, .. } => out.push(*ra),
+            Op::BranchCond { cr, .. } => out.push(*cr),
+            Op::Branch { .. } | Op::Ret => {}
+            Op::Call { uses, .. } => out.extend_from_slice(uses),
+            Op::Print { rs } => out.push(*rs),
         }
     }
 

@@ -1,9 +1,8 @@
 //! Liveness-based dead code elimination.
 
 use gis_cfg::Cfg;
-use gis_ir::{BlockId, Function, Op};
+use gis_ir::{BlockId, Function, Op, RegSet};
 use gis_pdg::Liveness;
-use std::collections::HashSet;
 
 /// Removes side-effect-free instructions whose results are dead: a
 /// backward scan per block seeded with the block's live-out set. Degenerate
@@ -18,14 +17,14 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
     let mut removed = 0;
     let blocks: Vec<BlockId> = f.block_ids().collect();
     for bid in blocks {
-        let mut live_set: HashSet<gis_ir::Reg> = live.live_out(bid).clone();
+        let mut live_set: RegSet = live.live_out(bid).clone();
         let mut keep: Vec<bool> = vec![true; f.block(bid).len()];
         for (pos, inst) in f.block(bid).insts().iter().enumerate().rev() {
             let op = &inst.op;
             let side_effecting = op.is_branch() || op.writes_memory();
             let self_move = matches!(op, Op::Move { rt, rs } if rt == rs);
             let defs = op.defs();
-            let any_def_live = defs.iter().any(|d| live_set.contains(d));
+            let any_def_live = defs.iter().any(|&d| live_set.contains(d));
             let removable = !side_effecting && (self_move || (!defs.is_empty() && !any_def_live));
             if removable {
                 keep[pos] = false;
@@ -33,10 +32,12 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
                 // A removed instruction contributes neither defs nor uses.
                 continue;
             }
-            for d in &defs {
+            for &d in &defs {
                 live_set.remove(d);
             }
-            live_set.extend(op.uses());
+            for u in op.uses() {
+                live_set.insert(u);
+            }
         }
         if keep.iter().any(|k| !k) {
             let mut idx = 0;

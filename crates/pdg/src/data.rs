@@ -15,7 +15,7 @@
 //! separation — the practical effect of the paper's "no need to compute
 //! the edge from a to c" transitive-closure observation.
 
-use gis_ir::{BlockId, Function, InstId, MemRef, Op};
+use gis_ir::{BlockId, Function, InstId, MemRef, Op, Reg, RegClass};
 use gis_machine::MachineDescription;
 use std::fmt;
 
@@ -74,15 +74,315 @@ impl DataDep {
     }
 }
 
+/// Sentinel in the id→scope-position map for instructions outside the
+/// scope.
+const LOCAL_NONE: u32 = u32::MAX;
+
 /// The data dependence graph of a scope's instructions.
-#[derive(Debug, Clone)]
+///
+/// Edges live in two CSR arenas indexed by *scope position*, not per
+/// instruction id: a region scope is typically a small slice of the
+/// function, and sizing per-instruction `Vec`s by the function's id
+/// bound made every build pay for the whole function — while even
+/// scope-sized `Vec<Vec<_>>` lists cost one heap allocation per
+/// non-empty list (hundreds per region). One dense `u32` map
+/// translates ids on access.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataDeps {
-    preds: Vec<Vec<DataDep>>,
-    succs: Vec<Vec<DataDep>>,
+    /// Edges into each position: `p`'s preds are
+    /// `edges_in[in_off[p]..in_off[p + 1]]`.
+    edges_in: Vec<DataDep>,
+    in_off: Vec<u32>,
+    /// Edges out of each position, same layout.
+    edges_out: Vec<DataDep>,
+    out_off: Vec<u32>,
+    /// Instruction id → scope position, covering only the scope's
+    /// compact id range `[id_base, id_base + local.len())`
+    /// ([`LOCAL_NONE`] for in-range ids not in the scope).
+    id_base: usize,
+    local: Vec<u32>,
     /// Instructions of the scope in a topological-compatible order
     /// (block order as supplied, positions within blocks).
     order: Vec<InstId>,
     num_edges: usize,
+}
+
+/// Builds the two CSR arenas from edges in emission order. The scatter
+/// is stable, so each position's `preds` / `succs` slice keeps exactly
+/// the relative order in which its edges were emitted — both builders
+/// emit in the reference's lexicographic pair order, so the slices
+/// compare bit for bit.
+fn csr_from_flat(
+    n: usize,
+    flat: &[(u32, u32, DataDep)],
+) -> (Vec<DataDep>, Vec<u32>, Vec<DataDep>, Vec<u32>) {
+    let m = flat.len();
+    let mut in_off = vec![0u32; n + 1];
+    let mut out_off = vec![0u32; n + 1];
+    for &(fp, tp, _) in flat {
+        out_off[fp as usize + 1] += 1;
+        in_off[tp as usize + 1] += 1;
+    }
+    for p in 0..n {
+        out_off[p + 1] += out_off[p];
+        in_off[p + 1] += in_off[p];
+    }
+    if m == 0 {
+        return (Vec::new(), in_off, Vec::new(), out_off);
+    }
+    let fill = flat[0].2;
+    let mut edges_in = vec![fill; m];
+    let mut edges_out = vec![fill; m];
+    let mut ic: Vec<u32> = in_off[..n].to_vec();
+    let mut oc: Vec<u32> = out_off[..n].to_vec();
+    for &(fp, tp, dep) in flat {
+        edges_out[oc[fp as usize] as usize] = dep;
+        oc[fp as usize] += 1;
+        edges_in[ic[tp as usize] as usize] = dep;
+        ic[tp as usize] += 1;
+    }
+    (edges_in, in_off, edges_out, out_off)
+}
+
+/// The scope's instructions flattened with everything the pair
+/// evaluation needs precomputed once per instruction (the `defs`/`uses`
+/// accessors allocate, so evaluating them per *pair* dominated the old
+/// builder's constant factor).
+struct Scope<'f> {
+    items: Vec<(BlockId, usize, InstId)>,
+    ops: Vec<&'f Op>,
+    /// Flat def/use arenas: instruction `p`'s defs are
+    /// `def_regs[def_off[p]..def_off[p + 1]]` (likewise uses) — two
+    /// allocations for the whole scope instead of two per instruction.
+    def_regs: Vec<Reg>,
+    def_off: Vec<u32>,
+    use_regs: Vec<Reg>,
+    use_off: Vec<u32>,
+    /// Compact id→position map (see [`DataDeps::local`]).
+    id_base: usize,
+    local: Vec<u32>,
+}
+
+impl<'f> Scope<'f> {
+    fn collect(f: &'f Function, blocks: &[BlockId]) -> (Vec<InstId>, Scope<'f>) {
+        // Size everything in one cheap counting pass: instruction ids
+        // need not start at zero (regions sit anywhere in the function),
+        // so the id→position map covers only the scope's id range.
+        let mut n = 0usize;
+        let (mut id_min, mut id_max) = (usize::MAX, 0usize);
+        for &b in blocks {
+            for inst in f.block(b).insts() {
+                n += 1;
+                id_min = id_min.min(inst.id.index());
+                id_max = id_max.max(inst.id.index());
+            }
+        }
+        let id_base = if n == 0 { 0 } else { id_min };
+        let span = if n == 0 { 0 } else { id_max - id_base + 1 };
+        let mut order: Vec<InstId> = Vec::with_capacity(n);
+        let mut scope = Scope {
+            items: Vec::with_capacity(n),
+            ops: Vec::with_capacity(n),
+            def_regs: Vec::new(),
+            def_off: Vec::with_capacity(n + 1),
+            use_regs: Vec::new(),
+            use_off: Vec::with_capacity(n + 1),
+            id_base,
+            local: vec![LOCAL_NONE; span],
+        };
+        scope.def_off.push(0);
+        scope.use_off.push(0);
+        for &b in blocks {
+            for (pos, inst) in f.block(b).insts().iter().enumerate() {
+                scope.local[inst.id.index() - id_base] = order.len() as u32;
+                order.push(inst.id);
+                scope.items.push((b, pos, inst.id));
+                scope.ops.push(&inst.op);
+                inst.op.defs_into(&mut scope.def_regs);
+                scope.def_off.push(scope.def_regs.len() as u32);
+                inst.op.uses_into(&mut scope.use_regs);
+                scope.use_off.push(scope.use_regs.len() as u32);
+            }
+        }
+        (order, scope)
+    }
+
+    fn defs(&self, p: usize) -> &[Reg] {
+        &self.def_regs[self.def_off[p] as usize..self.def_off[p + 1] as usize]
+    }
+
+    fn uses(&self, p: usize) -> &[Reg] {
+        &self.use_regs[self.use_off[p] as usize..self.use_off[p + 1] as usize]
+    }
+
+    /// Evaluates one unordered pair of scope positions (`x < y` in
+    /// flattened order) exactly as the original all-pairs loop did:
+    /// orient, classify, and return the edge, if any. Both the sweep
+    /// builder and the [`DataDeps::build_reference`] oracle go through
+    /// this single function, so they cannot disagree on semantics —
+    /// only on which pairs they bother to evaluate.
+    fn pair_dep(
+        &self,
+        f: &Function,
+        machine: &MachineDescription,
+        may_follow: &impl Fn(BlockId, BlockId) -> bool,
+        x: usize,
+        y: usize,
+    ) -> Option<DataDep> {
+        let (a, b) = (self.items[x], self.items[y]);
+        // Orient the pair: earlier instruction first. Same-block pairs
+        // use program order; cross-block pairs use the forward
+        // reachability predicate (at most one direction holds — the
+        // scope's forward graph is acyclic).
+        let (p, i) = if a.0 == b.0 || may_follow(a.0, b.0) {
+            (x, y)
+        } else if may_follow(b.0, a.0) {
+            (y, x)
+        } else {
+            return None;
+        };
+        let (pb, pp, pid) = self.items[p];
+        let (ib, ip, iid) = self.items[i];
+        let (pop, iop) = (self.ops[p], self.ops[i]);
+        let (p_defs, p_uses) = (self.defs(p), self.uses(p));
+        let (i_defs, i_uses) = (self.defs(i), self.uses(i));
+
+        let flow = p_defs.iter().any(|d| i_uses.contains(d));
+        let anti = p_uses.iter().any(|u| i_defs.contains(u));
+        let output = p_defs.iter().any(|d| i_defs.contains(d));
+        let memory = pop.touches_memory()
+            && iop.touches_memory()
+            && (pop.writes_memory() || iop.writes_memory())
+            && {
+                let between_defs_base = base_redefined_between(f, pb, pp, ib, ip);
+                may_alias(f, pop, iop, between_defs_base)
+            };
+
+        let kind = if flow {
+            DepKind::Flow
+        } else if memory {
+            DepKind::Memory
+        } else if output {
+            DepKind::Output
+        } else if anti {
+            DepKind::Anti
+        } else {
+            return None;
+        };
+        let delay = if flow {
+            machine.delay(pop.class(), iop.class())
+        } else {
+            0
+        };
+        Some(DataDep {
+            from: pid,
+            to: iid,
+            kind,
+            delay,
+            exec_from: machine.exec_time(pop.class()),
+        })
+    }
+}
+
+fn class_slot(r: Reg) -> usize {
+    match r.class() {
+        RegClass::Gpr => 0,
+        RegClass::Fpr => 1,
+        RegClass::Cr => 2,
+    }
+}
+
+/// Per-register sweep state: the scope positions of earlier defs and
+/// uses, *version-stamped* — an entry belongs to the current build
+/// only when its stamp matches the build's version, so successive
+/// builds skip re-clearing the tables entirely (regions are scheduled
+/// in a loop — per-build clearing of register-indexed tables was a
+/// visible fraction of small-scope builds). Keeping a register's defs,
+/// uses and stamp in one entry makes each register touch a single
+/// random access, and the lists keep their capacity across builds, so
+/// pushes stop allocating after a thread's first few regions.
+/// Positions are pushed in sweep order, so every list is ascending and
+/// gathers are contiguous forward scans.
+#[derive(Default)]
+struct RegEntry {
+    stamp: u64,
+    defs: Vec<u32>,
+    uses: Vec<u32>,
+}
+
+const EMPTY_ENTRY: &RegEntry = &RegEntry {
+    stamp: 0,
+    defs: Vec::new(),
+    uses: Vec::new(),
+};
+
+struct RegTable {
+    entries: Vec<RegEntry>,
+}
+
+impl RegTable {
+    const fn new() -> Self {
+        RegTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The register's entry for reading; a missing or stale entry reads
+    /// as empty.
+    fn get(&self, ver: u64, r: Reg) -> &RegEntry {
+        match self.entries.get(r.index() as usize) {
+            Some(e) if e.stamp == ver => e,
+            _ => EMPTY_ENTRY,
+        }
+    }
+
+    /// The register's entry for appending, grown and freshened on
+    /// demand.
+    fn fresh(&mut self, ver: u64, r: Reg) -> &mut RegEntry {
+        let i = r.index() as usize;
+        if i >= self.entries.len() {
+            self.entries.resize_with(i + 1, RegEntry::default);
+        }
+        let e = &mut self.entries[i];
+        if e.stamp != ver {
+            e.stamp = ver;
+            e.defs.clear();
+            e.uses.clear();
+        }
+        e
+    }
+}
+
+/// The per-thread sweep tables, one per register class.
+struct SweepTables {
+    ver: u64,
+    regs: [RegTable; 3],
+}
+
+impl SweepTables {
+    const fn new() -> Self {
+        SweepTables {
+            ver: 0,
+            regs: [RegTable::new(), RegTable::new(), RegTable::new()],
+        }
+    }
+}
+
+thread_local! {
+    static SWEEP_TABLES: std::cell::RefCell<SweepTables> =
+        const { std::cell::RefCell::new(SweepTables::new()) };
+}
+
+/// Pushes every position of `list` not yet gathered for the current
+/// instruction (stamp-deduplicated — `seen[i] == stamp` marks
+/// already-gathered positions without clearing between instructions).
+fn gather_list(list: &[u32], seen: &mut [u32], stamp: u32, cand: &mut Vec<u32>) {
+    for &i in list {
+        if seen[i as usize] != stamp {
+            seen[i as usize] = stamp;
+            cand.push(i);
+        }
+    }
 }
 
 fn may_alias(f: &Function, a: &Op, b: &Op, between_defs_base: bool) -> bool {
@@ -118,104 +418,187 @@ impl DataDeps {
     /// flow). `may_follow(x, y)` must say whether block `y` can execute
     /// after block `x` within the scope along forward edges; same-block
     /// pairs use program order.
+    ///
+    /// A single sweep in flattened scope order: per register the sweep
+    /// keeps the positions of every definition and use seen so far, plus
+    /// one list of memory touchers and one of memory writers. Each
+    /// instruction then evaluates only the earlier instructions it can
+    /// possibly relate to — output-sensitive, versus the old all-pairs
+    /// scan retained as [`Self::build_reference`]. The edge set, edge fields
+    /// and the `preds`/`succs` orderings are identical to the
+    /// reference's: every unordered pair yields at most one edge, the
+    /// candidates for each `j` are emitted in ascending `i`, and `j`
+    /// itself ascends — exactly the reference's lexicographic pair
+    /// enumeration, list by list. `gis-check` fuzzes that equivalence
+    /// and `crates/check/tests` pins it over seeded random functions.
     pub fn build(
         f: &Function,
         machine: &MachineDescription,
         blocks: &[BlockId],
         may_follow: impl Fn(BlockId, BlockId) -> bool,
     ) -> Self {
-        let bound = f.inst_id_bound();
-        let mut preds: Vec<Vec<DataDep>> = vec![Vec::new(); bound];
-        let mut succs: Vec<Vec<DataDep>> = vec![Vec::new(); bound];
-        let mut num_edges = 0usize;
+        let (order, scope) = Scope::collect(f, blocks);
+        let n = scope.items.len();
+        // `(from position, to position, edge)` in emission order; the
+        // CSR scatter below turns it into the per-position slices.
+        let mut flat: Vec<(u32, u32, DataDep)> = Vec::new();
 
-        // Flattened scope with (block, position) for each instruction.
-        let mut order: Vec<InstId> = Vec::new();
-        let mut items: Vec<(BlockId, usize, InstId)> = Vec::new();
-        for &b in blocks {
-            for (pos, inst) in f.block(b).insts().iter().enumerate() {
-                order.push(inst.id);
-                items.push((b, pos, inst.id));
-            }
-        }
+        // Sweep state: per register, the positions of earlier defs /
+        // uses, kept in the thread-local [`SweepTables`]
+        // (version-stamped, so nothing is cleared between builds).
+        // Memory touchers keep two plain position lists (split by
+        // whether they write).
+        let mut mem_touch: Vec<u32> = Vec::new();
+        let mut mem_write: Vec<u32> = Vec::new();
 
-        for (pi, &item_a) in items.iter().enumerate() {
-            for &item_b in items.iter().skip(pi + 1) {
-                // Orient the pair: earlier instruction first. Same-block
-                // pairs use program order; cross-block pairs use the
-                // forward reachability predicate (at most one direction
-                // holds — the scope's forward graph is acyclic).
-                let (a, b) = (item_a, item_b);
-                let (pb, pp, pid, ib, ip, iid) = if a.0 == b.0 || may_follow(a.0, b.0) {
-                    (a.0, a.1, a.2, b.0, b.1, b.2)
-                } else if may_follow(b.0, a.0) {
-                    (b.0, b.1, b.2, a.0, a.1, a.2)
-                } else {
-                    continue;
-                };
-                let pop = &f.block(pb).insts()[pp].op;
-                let p_defs = pop.defs();
-                let p_uses = pop.uses();
-                let iop = &f.block(ib).insts()[ip].op;
-                let i_defs = iop.defs();
-                let i_uses = iop.uses();
-
-                let flow = p_defs.iter().any(|d| i_uses.contains(d));
-                let anti = p_uses.iter().any(|u| i_defs.contains(u));
-                let output = p_defs.iter().any(|d| i_defs.contains(d));
-                let memory = pop.touches_memory()
-                    && iop.touches_memory()
-                    && (pop.writes_memory() || iop.writes_memory())
-                    && {
-                        let between_defs_base = base_redefined_between(f, pb, pp, ib, ip);
-                        may_alias(f, pop, iop, between_defs_base)
+        // Stamp-based dedup of the candidate list: `seen[i] == stamp`
+        // marks position `i` as already gathered for the current `j`,
+        // without clearing anything between instructions.
+        let mut seen: Vec<u32> = vec![0; n];
+        let mut cand: Vec<u32> = Vec::new();
+        SWEEP_TABLES.with(|tables| {
+            let mut tables = tables.borrow_mut();
+            let SweepTables { ver, regs } = &mut *tables;
+            *ver += 1;
+            let ver = *ver;
+            for j in 0..n {
+                // Earlier instructions this one can possibly depend on:
+                // defs of any register it reads or writes (flow /
+                // output), uses of any register it writes (anti), and —
+                // for memory ops — every earlier toucher if it writes,
+                // else every earlier writer. A superset of the
+                // edge-producing pairs; the pair evaluation rejects the
+                // rest exactly as the all-pairs scan would have.
+                let jstamp = j as u32 + 1;
+                cand.clear();
+                for &r in scope.uses(j) {
+                    let e = regs[class_slot(r)].get(ver, r);
+                    gather_list(&e.defs, &mut seen, jstamp, &mut cand);
+                }
+                for &r in scope.defs(j) {
+                    let e = regs[class_slot(r)].get(ver, r);
+                    gather_list(&e.defs, &mut seen, jstamp, &mut cand);
+                    gather_list(&e.uses, &mut seen, jstamp, &mut cand);
+                }
+                let op = scope.ops[j];
+                if op.touches_memory() {
+                    if op.writes_memory() {
+                        gather_list(&mem_touch, &mut seen, jstamp, &mut cand);
+                    } else {
+                        gather_list(&mem_write, &mut seen, jstamp, &mut cand);
+                    }
+                }
+                cand.sort_unstable();
+                for &i in &cand {
+                    let Some(dep) = scope.pair_dep(f, machine, &may_follow, i as usize, j) else {
+                        continue;
                     };
+                    // `pair_dep` may orient the edge either way; record
+                    // the endpoints as scope positions.
+                    if dep.from == scope.items[i as usize].2 {
+                        flat.push((i, j as u32, dep));
+                    } else {
+                        flat.push((j as u32, i, dep));
+                    }
+                }
 
-                let kind = if flow {
-                    DepKind::Flow
-                } else if memory {
-                    DepKind::Memory
-                } else if output {
-                    DepKind::Output
-                } else if anti {
-                    DepKind::Anti
-                } else {
+                // Register this instruction in the sweep tables.
+                for &r in scope.uses(j) {
+                    regs[class_slot(r)].fresh(ver, r).uses.push(j as u32);
+                }
+                for &r in scope.defs(j) {
+                    regs[class_slot(r)].fresh(ver, r).defs.push(j as u32);
+                }
+                if op.touches_memory() {
+                    mem_touch.push(j as u32);
+                    if op.writes_memory() {
+                        mem_write.push(j as u32);
+                    }
+                }
+            }
+        });
+
+        let num_edges = flat.len();
+        let (edges_in, in_off, edges_out, out_off) = csr_from_flat(n, &flat);
+        DataDeps {
+            edges_in,
+            in_off,
+            edges_out,
+            out_off,
+            id_base: scope.id_base,
+            local: scope.local,
+            order,
+            num_edges,
+        }
+    }
+
+    /// The original all-pairs builder, kept verbatim as the
+    /// differential oracle for [`build`](Self::build): same inputs,
+    /// same output (checked by the `gis-check` test suite and used by
+    /// the benchmark harness to measure the speedup). Quadratic in the
+    /// scope size — do not call it from the scheduler.
+    pub fn build_reference(
+        f: &Function,
+        machine: &MachineDescription,
+        blocks: &[BlockId],
+        may_follow: impl Fn(BlockId, BlockId) -> bool,
+    ) -> Self {
+        let (order, scope) = Scope::collect(f, blocks);
+        let n = scope.items.len();
+        let mut flat: Vec<(u32, u32, DataDep)> = Vec::new();
+
+        for pi in 0..n {
+            for pj in pi + 1..n {
+                let Some(dep) = scope.pair_dep(f, machine, &may_follow, pi, pj) else {
                     continue;
                 };
-                let delay = if flow {
-                    machine.delay(pop.class(), iop.class())
+                if dep.from == scope.items[pi].2 {
+                    flat.push((pi as u32, pj as u32, dep));
                 } else {
-                    0
-                };
-                let dep = DataDep {
-                    from: pid,
-                    to: iid,
-                    kind,
-                    delay,
-                    exec_from: machine.exec_time(pop.class()),
-                };
-                preds[iid.index()].push(dep);
-                succs[pid.index()].push(dep);
-                num_edges += 1;
+                    flat.push((pj as u32, pi as u32, dep));
+                }
             }
         }
 
+        let num_edges = flat.len();
+        let (edges_in, in_off, edges_out, out_off) = csr_from_flat(n, &flat);
         DataDeps {
-            preds,
-            succs,
+            edges_in,
+            in_off,
+            edges_out,
+            out_off,
+            id_base: scope.id_base,
+            local: scope.local,
             order,
             num_edges,
         }
     }
 
     /// Dependence edges into `i` (instructions `i` must wait for).
+    /// Empty for instructions outside the scope.
     pub fn preds(&self, i: InstId) -> &[DataDep] {
-        &self.preds[i.index()]
+        // Ids below the base wrap around and fall off the map's end.
+        match self.local.get(i.index().wrapping_sub(self.id_base)) {
+            Some(&p) if p != LOCAL_NONE => self.preds_at(p as usize),
+            _ => &[],
+        }
     }
 
-    /// Dependence edges out of `i`.
+    /// Dependence edges out of `i`. Empty for instructions outside the
+    /// scope.
     pub fn succs(&self, i: InstId) -> &[DataDep] {
-        &self.succs[i.index()]
+        match self.local.get(i.index().wrapping_sub(self.id_base)) {
+            Some(&p) if p != LOCAL_NONE => self.succs_at(p as usize),
+            _ => &[],
+        }
+    }
+
+    fn preds_at(&self, p: usize) -> &[DataDep] {
+        &self.edges_in[self.in_off[p] as usize..self.in_off[p + 1] as usize]
+    }
+
+    fn succs_at(&self, p: usize) -> &[DataDep] {
+        &self.edges_out[self.out_off[p] as usize..self.out_off[p + 1] as usize]
     }
 
     /// Total number of edges.
@@ -234,32 +617,29 @@ impl DataDeps {
     /// same schedules.
     pub fn reduce(&mut self) {
         let n = self.order.len();
-        // Topologically sort the scope instructions by dependence edges
+        // Topologically sort the scope positions by dependence edges
         // (the scope block list need not have been supplied in execution
         // order). Kahn's algorithm; the edge set is acyclic by
-        // construction.
-        let mut local: std::collections::HashMap<InstId, usize> = std::collections::HashMap::new();
-        for (i, id) in self.order.iter().enumerate() {
-            local.insert(*id, i);
-        }
+        // construction, and every edge endpoint is a scope instruction,
+        // so `self.local` translates ids to positions throughout.
+        const NONE: u32 = u32::MAX;
+        let base = self.id_base;
+        let pos_of = move |local: &[u32], id: InstId| local[id.index() - base] as usize;
         let mut indeg = vec![0usize; n];
-        for id in &self.order {
-            for e in &self.succs[id.index()] {
-                if let Some(&j) = local.get(&e.to) {
-                    indeg[j] += 1;
-                }
+        for p in 0..n {
+            for e in self.succs_at(p) {
+                indeg[pos_of(&self.local, e.to)] += 1;
             }
         }
         let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut topo: Vec<InstId> = Vec::with_capacity(n);
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
         while let Some(i) = queue.pop() {
-            topo.push(self.order[i]);
-            for e in &self.succs[self.order[i].index()] {
-                if let Some(&j) = local.get(&e.to) {
-                    indeg[j] -= 1;
-                    if indeg[j] == 0 {
-                        queue.push(j);
-                    }
+            topo.push(i);
+            for e in self.succs_at(i) {
+                let j = pos_of(&self.local, e.to);
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
                 }
             }
         }
@@ -267,8 +647,10 @@ impl DataDeps {
         // NOTE: `self.order` keeps the *program* order (the scheduler's
         // original-order tie-break depends on it); `topo` only drives the
         // longest-path DP below.
-        let topo_index: std::collections::HashMap<InstId, usize> =
-            topo.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut topo_index = vec![NONE; n];
+        for (i, &p) in topo.iter().enumerate() {
+            topo_index[p] = i as u32;
+        }
         // Longest separation between scope instructions, -inf = unreachable,
         // indexed by topological position.
         const NEG: i64 = i64::MIN / 4;
@@ -278,10 +660,8 @@ impl DataDeps {
             // Detach row i so the rows it reads stay borrowable.
             let mut row = std::mem::take(&mut longest[i]);
             row[i] = 0;
-            for dep in &self.succs[a.index()] {
-                let Some(&j) = topo_index.get(&dep.to) else {
-                    continue;
-                };
+            for dep in self.succs_at(a) {
+                let j = topo_index[pos_of(&self.local, dep.to)] as usize;
                 let w = dep.sep() as i64;
                 for (cur, &lj) in row.iter_mut().zip(&longest[j]) {
                     if lj > NEG && w + lj > *cur {
@@ -292,39 +672,68 @@ impl DataDeps {
             longest[i] = row;
         }
 
-        let mut removed = 0usize;
-        for &a in &topo {
-            let out = self.succs[a.index()].clone();
-            let keep: Vec<DataDep> = out
-                .iter()
-                .filter(|e| {
-                    let Some(&c) = topo_index.get(&e.to) else {
-                        return true;
-                    };
-                    // Redundant when some first hop b != c already reaches
-                    // c with at least sep(e).
-                    let redundant = self.succs[a.index()].iter().any(|first| {
-                        if first.to == e.to {
-                            return false;
-                        }
-                        let Some(&b) = topo_index.get(&first.to) else {
-                            return false;
-                        };
-                        longest[b][c] > NEG && first.sep() as i64 + longest[b][c] >= e.sep() as i64
-                    });
-                    !redundant
-                })
-                .copied()
-                .collect();
-            removed += out.len() - keep.len();
-            for e in &out {
-                if !keep.contains(e) {
-                    self.preds[e.to.index()].retain(|p| p != e);
+        // Redundancy is judged against the *original* graph (the paths
+        // in `longest` and each node's own full out list), so the keep
+        // decision for every out edge is independent; decide them all,
+        // then rebuild both arenas in one pass each.
+        let m = self.edges_out.len();
+        let mut keep = vec![true; m];
+        let mut removed_keys: Vec<u64> = Vec::new();
+        for a in 0..n {
+            let lo = self.out_off[a] as usize;
+            for (off, e) in self.succs_at(a).iter().enumerate() {
+                let c = topo_index[pos_of(&self.local, e.to)] as usize;
+                // Redundant when some first hop b != c already reaches
+                // c with at least sep(e).
+                let redundant = self.succs_at(a).iter().any(|first| {
+                    if first.to == e.to {
+                        return false;
+                    }
+                    let b = topo_index[pos_of(&self.local, first.to)] as usize;
+                    longest[b][c] > NEG && first.sep() as i64 + longest[b][c] >= e.sep() as i64
+                });
+                if redundant {
+                    keep[lo + off] = false;
+                    removed_keys.push((a as u64) << 32 | c as u64);
                 }
             }
-            self.succs[a.index()] = keep;
         }
-        self.num_edges -= removed;
+        if removed_keys.is_empty() {
+            return;
+        }
+        removed_keys.sort_unstable();
+
+        // Out side: filter by index; in side: an edge's identity is its
+        // (from, to) position pair — unique, since each unordered pair
+        // yields at most one edge.
+        let mut edges_out = Vec::with_capacity(m - removed_keys.len());
+        let mut out_off = vec![0u32; n + 1];
+        let mut edges_in = Vec::with_capacity(m - removed_keys.len());
+        let mut in_off = vec![0u32; n + 1];
+        for a in 0..n {
+            let lo = self.out_off[a] as usize;
+            for (off, e) in self.succs_at(a).iter().enumerate() {
+                if keep[lo + off] {
+                    edges_out.push(*e);
+                }
+            }
+            out_off[a + 1] = edges_out.len() as u32;
+        }
+        for t in 0..n {
+            for e in self.preds_at(t) {
+                let a = pos_of(&self.local, e.from) as u64;
+                let c = topo_index[pos_of(&self.local, e.to)] as u64;
+                if removed_keys.binary_search(&(a << 32 | c)).is_err() {
+                    edges_in.push(*e);
+                }
+            }
+            in_off[t + 1] = edges_in.len() as u32;
+        }
+        self.num_edges -= removed_keys.len();
+        self.edges_out = edges_out;
+        self.out_off = out_off;
+        self.edges_in = edges_in;
+        self.in_off = in_off;
     }
 }
 
@@ -501,6 +910,30 @@ mod tests {
         assert!(edge(&d, 0, 5).is_some(), "A's def reaches C's use");
         // r3 and r4 don't interact across the arms; nothing else links them.
         assert!(edge(&d, 3, 5).is_none());
+    }
+
+    #[test]
+    fn sweep_matches_reference_on_interblock_scope() {
+        // Same scope as `interblock_dependences_follow_reachability`,
+        // plus memory traffic: the sweep and the all-pairs oracle must
+        // agree bit for bit (edge set AND per-instruction ordering).
+        let f = parse_function(
+            "func ib\n\
+             A:\n (I0) LI r1=1\n (I1) ST r1=>a(r9,0)\n (I2) C cr0=r1,r2\n BT C,cr0,0x1/lt\n\
+             B:\n (I4) L r3=a(r9,0)\n (I5) AI r3=r3,1\n B D\n\
+             C:\n (I7) AI r4=r1,2\n\
+             D:\n (I8) ST r4=>a(r9,4)\n RET\n",
+        )
+        .expect("parses");
+        let m = MachineDescription::rs6k();
+        let blocks: Vec<BlockId> = f.block_ids().collect();
+        let reach = |x: BlockId, y: BlockId| {
+            !((x.index() == 1 && y.index() == 2) || (x.index() == 2 && y.index() == 1)) && x < y
+        };
+        let fast = DataDeps::build(&f, &m, &blocks, reach);
+        let slow = DataDeps::build_reference(&f, &m, &blocks, reach);
+        assert_eq!(fast, slow);
+        assert!(fast.num_edges() > 0);
     }
 
     #[test]

@@ -4,19 +4,39 @@
 //! *live on exit* from a block: an instruction may not be moved
 //! speculatively into block `A` if it writes a register live on exit from
 //! `A`. Liveness is computed over the full CFG (back edges included, so
-//! loop-carried uses keep registers alive) and recomputed by the scheduler
-//! after each motion, which is the paper's "this type of information has to
-//! be updated dynamically".
+//! loop-carried uses keep registers alive) and kept current by the
+//! scheduler after each motion — the paper's "this type of information
+//! has to be updated dynamically" — via [`Liveness::update_after_motion`],
+//! which re-summarizes only the two touched blocks and re-solves the
+//! fixed point over the affected region instead of the whole function.
 
 use gis_cfg::{Cfg, NodeId};
-use gis_ir::{BlockId, Function, Reg};
-use std::collections::HashSet;
+use gis_ir::{Block, BlockId, Function, RegSet};
 
-/// Live-in / live-out register sets per basic block.
-#[derive(Debug, Clone)]
+/// Live-in / live-out register sets per basic block, with the per-block
+/// `use`/`def` summaries retained so the sets can be repaired
+/// incrementally after a code motion.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Liveness {
-    live_in: Vec<HashSet<Reg>>,
-    live_out: Vec<HashSet<Reg>>,
+    /// Per block: registers read before any write in the block.
+    uses: Vec<RegSet>,
+    /// Per block: registers written anywhere in the block.
+    defs: Vec<RegSet>,
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+fn summarize(block: &Block, uses: &mut RegSet, defs: &mut RegSet) {
+    for inst in block.insts() {
+        for u in inst.op.uses() {
+            if !defs.contains(u) {
+                uses.insert(u);
+            }
+        }
+        for d in inst.op.defs() {
+            defs.insert(d);
+        }
+    }
 }
 
 impl Liveness {
@@ -31,64 +51,104 @@ impl Liveness {
     ///     "func t\nA:\n LI r1=1\nB:\n PRINT r1\n RET\n",
     /// )?;
     /// let live = Liveness::compute(&f, &Cfg::new(&f));
-    /// assert!(live.live_out(gis_ir::BlockId::new(0)).contains(&gis_ir::Reg::gpr(1)));
+    /// assert!(live.live_out(gis_ir::BlockId::new(0)).contains(gis_ir::Reg::gpr(1)));
     /// # Ok(())
     /// # }
     /// ```
     pub fn compute(f: &Function, cfg: &Cfg) -> Self {
         let n = f.num_blocks();
-        // Per block: `uses` = read before any write in the block,
-        // `defs` = written anywhere in the block.
-        let mut uses: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
-        let mut defs: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+        let mut uses: Vec<RegSet> = vec![RegSet::new(); n];
+        let mut defs: Vec<RegSet> = vec![RegSet::new(); n];
         for (bid, block) in f.blocks() {
             let i = bid.index();
-            for inst in block.insts() {
-                for u in inst.op.uses() {
-                    if !defs[i].contains(&u) {
-                        uses[i].insert(u);
-                    }
-                }
-                for d in inst.op.defs() {
-                    defs[i].insert(d);
-                }
-            }
+            summarize(block, &mut uses[i], &mut defs[i]);
         }
+        let live_in: Vec<RegSet> = uses.clone();
+        let mut live = Liveness {
+            uses,
+            defs,
+            live_in,
+            live_out: vec![RegSet::new(); n],
+        };
+        let all: Vec<BlockId> = (0..n).map(|i| BlockId::new(i as u32)).collect();
+        live.solve(cfg, &all);
+        live
+    }
 
-        let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
-        let mut live_out: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    /// Repairs the live sets after one instruction moved from block
+    /// `from` into block `to`, where both blocks lie inside the region
+    /// whose blocks are `scope` (ascending block-id order, as produced
+    /// by the scheduler's subtree enumeration).
+    ///
+    /// Only `from` and `to` changed code, so only their `use`/`def`
+    /// summaries are re-derived. The live sets of every scope block are
+    /// then re-seeded and the backward fixed point re-solved over
+    /// `scope` alone, reading the (unchanged) `live_in` of
+    /// out-of-scope successors as boundary values. Legal motions never
+    /// change liveness at the region boundary — a moved use was
+    /// already live through the target block, and §5.3 plus the
+    /// dependence edges keep moved defs from being live-in at the
+    /// region head — so the result matches a full
+    /// [`compute`](Self::compute); the scheduler debug-asserts exactly
+    /// that under its verification gate.
+    pub fn update_after_motion(
+        &mut self,
+        f: &Function,
+        cfg: &Cfg,
+        scope: &[BlockId],
+        to: BlockId,
+        from: BlockId,
+    ) {
+        for b in [to, from] {
+            let i = b.index();
+            self.uses[i].clear();
+            self.defs[i].clear();
+            let (uses, defs) = (&mut self.uses[i], &mut self.defs[i]);
+            // Split the double borrow by hand: `uses` and `defs` come
+            // from different fields.
+            summarize(f.block(b), uses, defs);
+        }
+        // Re-seed from the bottom. Solving from the stale sets would
+        // only ever grow them, and a use that moved *out* of a loop
+        // block can legitimately shrink liveness around the back edge.
+        for &b in scope {
+            let i = b.index();
+            self.live_out[i].clear();
+            self.live_in[i].clear();
+            self.live_in[i].union_with(&self.uses[i]);
+        }
+        self.solve(cfg, scope);
+    }
+
+    /// Runs the backward fixed point over `blocks` (ascending id
+    /// order), leaving every other block's sets untouched and reading
+    /// them as boundary values. Sets only grow, so the in-place unions
+    /// converge to the least fixed point for the given seeds.
+    fn solve(&mut self, cfg: &Cfg, blocks: &[BlockId]) {
         let mut changed = true;
         while changed {
             changed = false;
-            for i in (0..n).rev() {
-                let bid = BlockId::new(i as u32);
-                let mut out: HashSet<Reg> = HashSet::new();
+            for &bid in blocks.iter().rev() {
+                let i = bid.index();
                 for e in cfg.succs(NodeId::block(bid)) {
                     if let Some(s) = e.to.as_block() {
-                        out.extend(live_in[s.index()].iter().copied());
+                        let (out, inn) = (&mut self.live_out, &self.live_in);
+                        changed |= out[i].union_with(&inn[s.index()]);
                     }
                 }
-                let mut inn: HashSet<Reg> = uses[i].clone();
-                for r in out.difference(&defs[i]) {
-                    inn.insert(*r);
-                }
-                if out != live_out[i] || inn != live_in[i] {
-                    live_out[i] = out;
-                    live_in[i] = inn;
-                    changed = true;
-                }
+                let (inn, out) = (&mut self.live_in, &self.live_out);
+                changed |= inn[i].union_with_except(&out[i], &self.defs[i]);
             }
         }
-        Liveness { live_in, live_out }
     }
 
     /// Registers live on entry to `b`.
-    pub fn live_in(&self, b: BlockId) -> &HashSet<Reg> {
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
         &self.live_in[b.index()]
     }
 
     /// Registers live on exit from `b` (§5.3's gate for speculation).
-    pub fn live_out(&self, b: BlockId) -> &HashSet<Reg> {
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
         &self.live_out[b.index()]
     }
 }
@@ -96,7 +156,7 @@ impl Liveness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gis_ir::parse_function;
+    use gis_ir::{parse_function, Reg};
 
     fn liveness(text: &str) -> (Function, Liveness) {
         let f = parse_function(text).expect("parses");
@@ -110,12 +170,12 @@ mod tests {
         let (_, l) = liveness("func s\nA:\n LI r1=1\n AI r2=r1,1\nB:\n PRINT r2\n RET\n");
         let a = BlockId::new(0);
         let b = BlockId::new(1);
-        assert!(l.live_out(a).contains(&Reg::gpr(2)));
+        assert!(l.live_out(a).contains(Reg::gpr(2)));
         assert!(
-            !l.live_out(a).contains(&Reg::gpr(1)),
+            !l.live_out(a).contains(Reg::gpr(1)),
             "r1 is consumed inside A"
         );
-        assert!(l.live_in(b).contains(&Reg::gpr(2)));
+        assert!(l.live_in(b).contains(Reg::gpr(2)));
         assert!(l.live_out(b).is_empty());
     }
 
@@ -132,14 +192,14 @@ mod tests {
         );
         let a = BlockId::new(0);
         assert!(
-            !l.live_out(a).contains(&Reg::gpr(3)),
+            !l.live_out(a).contains(Reg::gpr(3)),
             "x is dead on exit from A before any motion"
         );
-        assert!(l.live_out(BlockId::new(1)).contains(&Reg::gpr(3)));
-        assert!(l.live_out(BlockId::new(2)).contains(&Reg::gpr(3)));
+        assert!(l.live_out(BlockId::new(1)).contains(Reg::gpr(3)));
+        assert!(l.live_out(BlockId::new(2)).contains(Reg::gpr(3)));
         // The branch condition is consumed by A itself.
-        assert!(l.live_in(a).contains(&Reg::gpr(1)));
-        assert!(!l.live_out(a).contains(&Reg::cr(0)));
+        assert!(l.live_in(a).contains(Reg::gpr(1)));
+        assert!(!l.live_out(a).contains(Reg::cr(0)));
     }
 
     #[test]
@@ -150,12 +210,12 @@ mod tests {
         );
         let b = BlockId::new(1);
         assert!(
-            l.live_out(b).contains(&Reg::gpr(1)),
+            l.live_out(b).contains(Reg::gpr(1)),
             "live on the back edge and exit"
         );
-        assert!(l.live_in(b).contains(&Reg::gpr(1)));
+        assert!(l.live_in(b).contains(Reg::gpr(1)));
         assert!(
-            l.live_out(b).contains(&Reg::gpr(9)),
+            l.live_out(b).contains(Reg::gpr(9)),
             "n stays live around the loop"
         );
     }
@@ -164,11 +224,97 @@ mod tests {
     fn update_form_keeps_base_alive() {
         let (_, l) = liveness("func u\nA:\n LU r1,r2=a(r2,8)\nB:\n PRINT r2\n RET\n");
         let a = BlockId::new(0);
-        assert!(l.live_in(a).contains(&Reg::gpr(2)), "base is read");
+        assert!(l.live_in(a).contains(Reg::gpr(2)), "base is read");
         assert!(
-            l.live_out(a).contains(&Reg::gpr(2)),
+            l.live_out(a).contains(Reg::gpr(2)),
             "updated base flows out"
         );
-        assert!(!l.live_out(a).contains(&Reg::gpr(1)), "loaded value unused");
+        assert!(!l.live_out(a).contains(Reg::gpr(1)), "loaded value unused");
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute() {
+        // Hoist `LI r3=5` from B into A (a useful motion target shape)
+        // and repair incrementally; the result must equal a fresh
+        // whole-function computation.
+        let mut f = parse_function(
+            "func d\n\
+             A:\n C cr0=r1,r2\n BT C,cr0,0x1/lt\n\
+             B:\n LI r3=5\n PRINT r3\n B D\n\
+             C:\n LI r3=3\n\
+             D:\n PRINT r3\n RET\n",
+        )
+        .expect("parses");
+        let cfg = Cfg::new(&f);
+        let mut live = Liveness::compute(&f, &cfg);
+        let a = BlockId::new(0);
+        let b = BlockId::new(1);
+        let moved = f.block_mut(b).insts_mut().remove(0);
+        let at = f.block(a).len() - 2; // before the compare/branch pair
+        f.block_mut(a).insts_mut().insert(at, moved);
+        let scope: Vec<BlockId> = (0..f.num_blocks())
+            .map(|i| BlockId::new(i as u32))
+            .collect();
+        live.update_after_motion(&f, &cfg, &scope, a, b);
+        assert_eq!(live, Liveness::compute(&f, &cfg));
+        assert!(live.live_out(a).contains(Reg::gpr(3)));
+    }
+
+    #[test]
+    fn motion_that_empties_its_source_block() {
+        // B holds a single instruction; moving it into A leaves B empty
+        // (a pure fall-through). The incremental repair must cope with
+        // the empty summary and still match a full recompute.
+        let mut f = parse_function("func e\nA:\n LI r1=1\nB:\n AI r2=r1,1\nC:\n PRINT r2\n RET\n")
+            .expect("parses");
+        let cfg = Cfg::new(&f);
+        let mut live = Liveness::compute(&f, &cfg);
+        let a = BlockId::new(0);
+        let b = BlockId::new(1);
+        let moved = f.block_mut(b).insts_mut().remove(0);
+        f.block_mut(a).insts_mut().push(moved);
+        assert_eq!(f.block(b).len(), 0, "source block is now empty");
+        let scope: Vec<BlockId> = (0..f.num_blocks())
+            .map(|i| BlockId::new(i as u32))
+            .collect();
+        live.update_after_motion(&f, &cfg, &scope, a, b);
+        assert_eq!(live, Liveness::compute(&f, &cfg));
+        assert!(live.live_out(a).contains(Reg::gpr(2)));
+        assert!(
+            live.live_in(b).contains(Reg::gpr(2)),
+            "r2 flows through empty B"
+        );
+    }
+
+    #[test]
+    fn shrinking_update_around_a_back_edge() {
+        // The only use of r5 moves from the self-looping block B up
+        // into the preheader A; r5 must STOP being live around the
+        // back edge. A repair that solved from the stale sets would
+        // keep the self-sustaining live-in/live-out cycle alive.
+        let mut f = parse_function(
+            "func s\n\
+             A:\n LI r1=0\n\
+             B:\n PRINT r5\n AI r1=r1,1\n C cr0=r1,r9\n BT B,cr0,0x1/lt\n\
+             X:\n RET\n",
+        )
+        .expect("parses");
+        let cfg = Cfg::new(&f);
+        let mut live = Liveness::compute(&f, &cfg);
+        let a = BlockId::new(0);
+        let b = BlockId::new(1);
+        assert!(
+            live.live_out(b).contains(Reg::gpr(5)),
+            "loop-carried before"
+        );
+        let moved = f.block_mut(b).insts_mut().remove(0);
+        f.block_mut(a).insts_mut().push(moved);
+        let scope = [a, b];
+        live.update_after_motion(&f, &cfg, &scope, a, b);
+        assert_eq!(live, Liveness::compute(&f, &cfg));
+        assert!(
+            !live.live_out(b).contains(Reg::gpr(5)),
+            "r5's last use now precedes the loop"
+        );
     }
 }

@@ -9,8 +9,7 @@
 
 use crate::liveness::Liveness;
 use gis_cfg::Cfg;
-use gis_ir::{Function, RegClass};
-use std::collections::HashSet;
+use gis_ir::{Function, RegClass, RegSet};
 use std::fmt;
 
 /// Peak simultaneous liveness per register class.
@@ -25,7 +24,7 @@ pub struct PressureReport {
 }
 
 impl PressureReport {
-    fn absorb(&mut self, live: &HashSet<gis_ir::Reg>) {
+    fn absorb(&mut self, live: &RegSet) {
         let count = |c: RegClass| live.iter().filter(|r| r.class() == c).count();
         self.gpr = self.gpr.max(count(RegClass::Gpr));
         self.fpr = self.fpr.max(count(RegClass::Fpr));
@@ -53,9 +52,11 @@ pub fn register_pressure(f: &Function, cfg: &Cfg) -> PressureReport {
         report.absorb(&live);
         for inst in block.insts().iter().rev() {
             for d in inst.op.defs() {
-                live.remove(&d);
+                live.remove(d);
             }
-            live.extend(inst.op.uses());
+            for u in inst.op.uses() {
+                live.insert(u);
+            }
             report.absorb(&live);
         }
     }

@@ -18,6 +18,7 @@
 //!   outside the scope) anchor their webs to the original register, and
 //!   such webs are not renamed.
 
+use crate::Liveness;
 use gis_cfg::{Cfg, NodeId};
 use gis_ir::{BlockId, Function, Reg};
 use std::collections::{HashMap, HashSet};
@@ -102,19 +103,35 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     let entry_site = |r: Reg| entry_site_base + reg_ix[&r];
 
     // --- 2. Reaching definitions at block boundaries. -----------------
-    // in/out: per block, per register, set of site ids.
+    // in/out: per block, per register, set of site ids — restricted to
+    // registers *live* across the boundary. Most registers (expression
+    // temporaries) die inside their block: a use either follows an
+    // in-block def (resolved by the block walks below, no boundary data
+    // needed) or its register is live-in by the very definition of
+    // liveness, so restricting to live registers loses nothing while
+    // shrinking the propagated maps from O(all registers) to O(live
+    // locals) — the difference between quadratic and near-linear
+    // renaming on large functions.
+    let live = Liveness::compute(f, cfg);
     type RD = Vec<HashMap<Reg, HashSet<usize>>>;
     let n = f.num_blocks();
     let mut rd_in: RD = vec![HashMap::new(); n];
     let mut rd_out: RD = vec![HashMap::new(); n];
 
-    // Entry block starts with the virtual entry defs.
+    // Entry block starts with the virtual entry defs (of live-in
+    // registers: an entry def that ever reaches a use is live-in along
+    // the whole def-free path from the entry, so nothing else is ever
+    // looked up).
+    let entry = BlockId::new(0);
     let mut entry_env: HashMap<Reg, HashSet<usize>> = HashMap::new();
     for &r in &regs {
-        entry_env.insert(r, HashSet::from([entry_site(r)]));
+        if live.live_in(entry).contains(r) {
+            entry_env.insert(r, HashSet::from([entry_site(r)]));
+        }
     }
 
-    // Per block transfer: last def per register, else pass-through.
+    // Per block transfer: last def per register, else pass-through;
+    // registers dead on exit are dropped.
     let transfer = |f: &Function, bid: BlockId, inn: &HashMap<Reg, HashSet<usize>>| {
         let mut env = inn.clone();
         for (pos, inst) in f.block(bid).insts().iter().enumerate() {
@@ -122,6 +139,8 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
                 env.insert(d, HashSet::from([site_of[&(bid, pos, d)]]));
             }
         }
+        let out_live = live.live_out(bid);
+        env.retain(|&r, _| out_live.contains(r));
         env
     };
 
@@ -138,7 +157,9 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
             for e in cfg.preds(NodeId::block(bid)) {
                 if let Some(p) = e.to.as_block() {
                     for (r, ss) in &rd_out[p.index()] {
-                        inn.entry(*r).or_default().extend(ss.iter().copied());
+                        if live.live_in(bid).contains(*r) {
+                            inn.entry(*r).or_default().extend(ss.iter().copied());
+                        }
                     }
                 }
             }

@@ -90,7 +90,7 @@ fn liveness_matches_per_register_search() {
             for &r in &regs {
                 let expected = live_out_brute(f, &cfg, bid, r);
                 assert_eq!(
-                    live.live_out(bid).contains(&r),
+                    live.live_out(bid).contains(r),
                     expected,
                     "live_out({bid}) for {r}\n{f}"
                 );

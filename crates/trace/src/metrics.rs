@@ -57,6 +57,15 @@ impl Metrics {
         *self.counters.entry(name.to_owned()).or_insert(0) += by;
     }
 
+    /// Adds `by` to a named counter directly, for values that are not
+    /// derived from trace events — the scheduler's perf counters
+    /// (dependence edges built, incremental vs full liveness repairs,
+    /// scratch reuse) live in its flat stats struct and are folded into
+    /// the registry by the driver.
+    pub fn record(&mut self, name: &str, by: u64) {
+        self.add(name, by);
+    }
+
     /// A counter's value (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

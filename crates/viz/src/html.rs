@@ -134,6 +134,12 @@ pub struct ScheduleReport<'a> {
     /// Simulated `(base, scheduled)` cycles, if a timed run was
     /// performed.
     pub cycles: Option<(u64, u64)>,
+    /// Extra named counters folded into the metrics section — the
+    /// driver passes the scheduler's perf counters (dependence edges
+    /// built, incremental vs full liveness repairs, scratch reuse),
+    /// which are not derived from trace events. Empty leaves the
+    /// section event-derived only.
+    pub perf_counters: &'a [(&'a str, u64)],
 }
 
 fn summary_section(r: &ScheduleReport<'_>, q: &TraceQuery) -> String {
@@ -295,7 +301,10 @@ fn schedule_section(r: &ScheduleReport<'_>) -> String {
 /// self-contained HTML file with no scripts or external assets.
 pub fn schedule_report(r: &ScheduleReport<'_>) -> String {
     let q = TraceQuery::new(r.events.iter());
-    let metrics = Metrics::from_events(r.events.iter());
+    let mut metrics = Metrics::from_events(r.events.iter());
+    for &(name, value) in r.perf_counters {
+        metrics.record(name, value);
+    }
     let mut doc = HtmlReport::new(
         r.title,
         &format!(
@@ -358,6 +367,7 @@ mod tests {
             events: &events,
             timeline: Some(" cycle  fixed(1)\n     0         #\n"),
             cycles: Some((22, 12)),
+            perf_counters: &[("perf.dep-edges", 41)],
         })
     }
 
@@ -378,6 +388,8 @@ mod tests {
         assert!(html.contains("I12"));
         assert!(html.contains("cr6 →"));
         assert!(html.contains("22 → 12"));
+        // The driver's perf counters land in the metrics table.
+        assert!(html.contains("<td>perf.dep-edges</td><td>41</td>"));
     }
 
     #[test]
@@ -398,6 +410,7 @@ mod tests {
             events: &[],
             timeline: None,
             cycles: None,
+            perf_counters: &[],
         });
         assert!(html.contains("<section id=\"metrics\">"));
         assert!(html.contains("No events were recorded"));

@@ -23,6 +23,26 @@ use std::fmt::Write as _;
 /// Length of the shared input array every loop reads from.
 const ARRAY: usize = 64;
 
+/// The `many_loops_scaled` sizes the benchmark harness measures and the
+/// CI smoke step re-checks: `(name, loops, stmts, seed)` rows, smallest
+/// first. Keyed by name so `BENCH_sched.json` entries stay comparable
+/// across runs; the last row is "the largest preset" the performance
+/// acceptance numbers are quoted on.
+pub const MANY_LOOPS_PRESETS: &[(&str, usize, usize, u64)] = &[
+    ("many-loops-s", 16, 2, 11),
+    ("many-loops-m", 48, 4, 11),
+    ("many-loops-l", 96, 10, 11),
+];
+
+/// Builds one of [`MANY_LOOPS_PRESETS`] by name (`None` for an unknown
+/// name).
+pub fn many_loops_preset(name: &str) -> Option<Workload> {
+    MANY_LOOPS_PRESETS
+        .iter()
+        .find(|&&(n, ..)| n == name)
+        .map(|&(_, loops, stmts, seed)| many_loops_scaled(loops, stmts, seed))
+}
+
 /// Generates a function with `loops` independent single-entry inner
 /// loops (each one region) and compiles it to IR, ready to schedule and
 /// execute. Deterministic in `(loops, seed)`.
@@ -33,57 +53,53 @@ const ARRAY: usize = 64;
 /// the generated program fails to compile — a bug in the generator, not
 /// an input condition.
 pub fn many_loops(loops: usize, seed: u64) -> Workload {
+    many_loops_scaled(loops, 1, seed)
+}
+
+/// Like [`many_loops`], but with `stmts` template statements in every
+/// loop body. Larger bodies mean more instructions per *region* — the
+/// regime where the dependence builder's and liveness solver's costs
+/// dominate — while `loops` only adds more (independent) regions.
+/// `many_loops(n, s)` is exactly `many_loops_scaled(n, 1, s)`, draw for
+/// draw.
+///
+/// # Panics
+///
+/// As [`many_loops`]; additionally if `stmts` is zero.
+pub fn many_loops_scaled(loops: usize, stmts: usize, seed: u64) -> Workload {
     assert!(loops > 0, "a workload needs at least one loop");
+    assert!(stmts > 0, "a loop body needs at least one statement");
     let mut rng = XorShift64Star::new(seed);
     let a: Vec<i64> = (0..ARRAY).map(|_| rng.range_i64(-500, 500)).collect();
 
     let mut src = String::new();
     let _ = write!(src, "int a[{ARRAY}];\nvoid synth() {{\n");
-    src.push_str("  int acc = 0; int j = 0; int x = 0; int y = 0;\n");
+    src.push_str("  int acc = 0; int j = 0;\n");
+    // Each statement slot gets its own temporaries *and* its own
+    // accumulator: bodies then look like post-§4.2-renaming code
+    // (independent sub-chains), the regime the dependence graph is
+    // sparse in. Funnelling everything through one shared `x`/`y`/`acc`
+    // instead makes every statement depend on every other — a dense
+    // graph nothing can build in sub-quadratic time, and not what
+    // renamed, scheduled code looks like. The slot accumulators fold
+    // into `acc` between loops (outside the regions), which keeps every
+    // slot observable and live across the back edge.
+    for k in 0..stmts {
+        let _ = writeln!(src, "  int x{k} = 0; int y{k} = 0; int acc{k} = 0;");
+    }
+    let fold: String = (0..stmts).fold(String::from("acc"), |mut s, k| {
+        let _ = write!(s, " + acc{k}");
+        s
+    });
     for i in 0..loops {
         let trips = rng.range_i64(3, 7);
-        let offset = rng.below(ARRAY);
-        let scale = rng.range_i64(2, 9);
-        let threshold = rng.range_i64(-200, 200);
-        let body = match rng.below(4) {
-            // Straight-line arithmetic: the basic-block scheduler's diet.
-            0 => format!(
-                "    x = a[(j + {offset}) & {mask}];\n\
-                 \x20   y = x * {scale};\n\
-                 \x20   acc = acc + y + (x & {scale});\n",
-                mask = ARRAY - 1
-            ),
-            // Diamond: one branch each way — speculative candidates.
-            1 => format!(
-                "    x = a[(j + {offset}) & {mask}];\n\
-                 \x20   if (x > {threshold}) {{ acc = acc + x; }}\n\
-                 \x20   else {{ acc = acc - {scale}; }}\n",
-                mask = ARRAY - 1
-            ),
-            // Guarded accumulation: equivalent head/tail blocks around a
-            // conditional — useful-motion fodder.
-            2 => format!(
-                "    x = a[(j + {offset}) & {mask}];\n\
-                 \x20   y = a[(j + {off2}) & {mask}];\n\
-                 \x20   if (x != y) {{ acc = acc ^ (x + y); }}\n\
-                 \x20   acc = acc + (y & 7);\n",
-                mask = ARRAY - 1,
-                off2 = (offset + 1) % ARRAY
-            ),
-            // Three-way compare chain (the EQNTOTT shape).
-            _ => format!(
-                "    x = a[(j + {offset}) & {mask}];\n\
-                 \x20   y = a[(j + {off2}) & {mask}];\n\
-                 \x20   if (x > y) {{ acc = acc + 1; }}\n\
-                 \x20   else if (x < y) {{ acc = acc - 1; }}\n\
-                 \x20   else {{ acc = acc ^ {scale}; }}\n",
-                mask = ARRAY - 1,
-                off2 = (offset + 3) % ARRAY
-            ),
-        };
+        let mut body = String::new();
+        for k in 0..stmts {
+            body.push_str(&body_stmt(&mut rng, k));
+        }
         let _ = write!(
             src,
-            "  j = 0;\n  while (j < {trips}) {{\n{body}    j = j + 1;\n  }}\n"
+            "  j = 0;\n  while (j < {trips}) {{\n{body}    j = j + 1;\n  }}\n  acc = {fold};\n"
         );
         if i % 16 == 15 {
             // Occasional observable checkpoints keep the accumulator (and
@@ -103,6 +119,51 @@ pub fn many_loops(loops: usize, seed: u64) -> Workload {
         program,
         memory,
         source: src,
+    }
+}
+
+/// One template statement group for a loop body, drawn from the seeded
+/// generator. `k` is the statement slot, choosing which `x{k}`/`y{k}`
+/// temporaries the group works in.
+fn body_stmt(rng: &mut XorShift64Star, k: usize) -> String {
+    let offset = rng.below(ARRAY);
+    let scale = rng.range_i64(2, 9);
+    let threshold = rng.range_i64(-200, 200);
+    match rng.below(4) {
+        // Straight-line arithmetic: the basic-block scheduler's diet.
+        0 => format!(
+            "    x{k} = a[(j + {offset}) & {mask}];\n\
+                 \x20   y{k} = x{k} * {scale};\n\
+                 \x20   acc = acc + y{k} + (x{k} & {scale});\n",
+            mask = ARRAY - 1
+        ),
+        // Diamond: one branch each way — speculative candidates.
+        1 => format!(
+            "    x{k} = a[(j + {offset}) & {mask}];\n\
+                 \x20   if (x{k} > {threshold}) {{ acc{k} = acc{k} + x{k}; }}\n\
+                 \x20   else {{ acc{k} = acc{k} - {scale}; }}\n",
+            mask = ARRAY - 1
+        ),
+        // Guarded accumulation: equivalent head/tail blocks around a
+        // conditional — useful-motion fodder.
+        2 => format!(
+            "    x{k} = a[(j + {offset}) & {mask}];\n\
+                 \x20   y{k} = a[(j + {off2}) & {mask}];\n\
+                 \x20   if (x{k} != y{k}) {{ acc{k} = acc{k} ^ (x{k} + y{k}); }}\n\
+                 \x20   acc = acc + (y{k} & 7);\n",
+            mask = ARRAY - 1,
+            off2 = (offset + 1) % ARRAY
+        ),
+        // Three-way compare chain (the EQNTOTT shape).
+        _ => format!(
+            "    x{k} = a[(j + {offset}) & {mask}];\n\
+                 \x20   y{k} = a[(j + {off2}) & {mask}];\n\
+                 \x20   if (x{k} > y{k}) {{ acc{k} = acc{k} + 1; }}\n\
+                 \x20   else if (x{k} < y{k}) {{ acc{k} = acc{k} - 1; }}\n\
+                 \x20   else {{ acc{k} = acc{k} ^ {scale}; }}\n",
+            mask = ARRAY - 1,
+            off2 = (offset + 3) % ARRAY
+        ),
     }
 }
 
@@ -135,5 +196,40 @@ mod tests {
     #[should_panic(expected = "at least one loop")]
     fn zero_loops_is_rejected() {
         let _ = many_loops(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one statement")]
+    fn zero_stmts_is_rejected() {
+        let _ = many_loops_scaled(1, 0, 1);
+    }
+
+    #[test]
+    fn scaled_form_with_one_stmt_is_the_plain_form() {
+        let plain = many_loops(24, 7);
+        let scaled = many_loops_scaled(24, 1, 7);
+        assert_eq!(plain.source, scaled.source);
+        assert_eq!(plain.memory, scaled.memory);
+    }
+
+    #[test]
+    fn stmts_grow_the_bodies_not_the_loop_count() {
+        let thin = many_loops_scaled(16, 1, 3);
+        let fat = many_loops_scaled(16, 8, 3);
+        let insts = |w: &Workload| w.program.function.num_insts();
+        assert!(
+            insts(&fat) > 3 * insts(&thin),
+            "{} vs {} instructions",
+            insts(&fat),
+            insts(&thin)
+        );
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for &(name, ..) in MANY_LOOPS_PRESETS {
+            assert!(many_loops_preset(name).is_some(), "{name}");
+        }
+        assert!(many_loops_preset("many-loops-xxl").is_none());
     }
 }

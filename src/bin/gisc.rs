@@ -29,6 +29,8 @@
 //!   --report <out.html>  write a self-contained HTML schedule report
 //!   --trace              print the scheduler's decision trace (stderr)
 //!   --trace=json:<path>  also write the trace as JSON lines to <path>
+//!   --metrics            print the metrics registry, including the
+//!                        scheduler's perf counters (stderr)
 //!   --explain <inst>     print every decision about one instruction (I8 or 8)
 //!   --timeline           with --run: per-cycle unit occupancy and stalls
 //! ```
@@ -41,7 +43,7 @@
 //! ```
 
 use gis_cfg::{cfg_to_dot, Cfg};
-use gis_core::{compile_observed, SchedConfig, SchedLevel};
+use gis_core::{compile_observed, SchedConfig, SchedLevel, SchedStats};
 use gis_ir::{parse_function, Function};
 use gis_machine::MachineDescription;
 use gis_sim::{execute, ExecConfig, TimingSim};
@@ -77,6 +79,7 @@ struct Options {
     opt: bool,
     trace: bool,
     trace_json: Option<String>,
+    metrics: bool,
     explain: Option<u32>,
     timeline: bool,
 }
@@ -87,7 +90,7 @@ fn usage() -> ! {
          [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
          [--paper] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
          [--dot-cfg[=traced]] [--dot-cspdg[=traced]] [--report <out.html>] \
-         [--trace[=json:<path>]] [--explain <inst>] [--timeline] <file|->\n\
+         [--trace[=json:<path>]] [--metrics] [--explain <inst>] [--timeline] <file|->\n\
          \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
          \x20      gisc verify <file|->"
     );
@@ -129,6 +132,7 @@ fn parse_args() -> Options {
         opt: false,
         trace: false,
         trace_json: None,
+        metrics: false,
         explain: None,
         timeline: false,
     };
@@ -188,6 +192,7 @@ fn parse_args() -> Options {
                 );
             }
             "--trace" => opts.trace = true,
+            "--metrics" => opts.metrics = true,
             "--explain" => {
                 let inst = args
                     .next()
@@ -210,6 +215,10 @@ fn parse_args() -> Options {
                 };
                 opts.trace = true;
                 opts.trace_json = Some(path.to_owned());
+            }
+            other if other.starts_with("--metrics=") => {
+                let spec = &other["--metrics=".len()..];
+                bad_arg(&format!("--metrics expects no value, got '{spec}'"));
             }
             other if other.starts_with("--dot-cfg=") => {
                 let mode = &other["--dot-cfg=".len()..];
@@ -243,6 +252,24 @@ fn parse_args() -> Options {
         usage();
     }
     opts
+}
+
+/// The scheduler's flat perf counters as `(name, value)` pairs for the
+/// metrics registry — surfaced by `--metrics` and the HTML report's
+/// metrics section. The `perf.` prefix keeps them grouped (and apart from
+/// the event-derived counters) in the sorted registry listing.
+fn perf_counters(stats: &SchedStats) -> [(&'static str, u64); 6] {
+    [
+        ("perf.dep-edges", stats.dep_edges as u64),
+        ("perf.dep-edges-reduced", stats.dep_edges_reduced as u64),
+        ("perf.liveness-full", stats.liveness_full as u64),
+        (
+            "perf.liveness-incremental",
+            stats.liveness_incremental as u64,
+        ),
+        ("perf.scratch-allocs", stats.scratch_allocs as u64),
+        ("perf.scratch-reuses", stats.scratch_reuses as u64),
+    ]
 }
 
 fn read_input(file: &str) -> Result<String, String> {
@@ -405,6 +432,7 @@ fn drive(opts: &Options) -> Result<(), String> {
     // Trace when any trace-consuming flag is on; otherwise compile with
     // the no-op observer (bit-identical schedules either way).
     let tracing = opts.trace
+        || opts.metrics
         || opts.explain.is_some()
         || opts.report.is_some()
         || opts.dot_cfg == DotMode::Traced
@@ -419,7 +447,15 @@ fn drive(opts: &Options) -> Result<(), String> {
 
     if opts.trace {
         eprint!("{}", recorder.report());
-        eprint!("{}", Metrics::from_events(recorder.events()));
+    }
+    if opts.trace || opts.metrics {
+        let mut metrics = Metrics::from_events(recorder.events());
+        if opts.metrics {
+            for (name, value) in perf_counters(&stats) {
+                metrics.record(name, value);
+            }
+        }
+        eprint!("{metrics}");
     }
     if let Some(path) = &opts.trace_json {
         std::fs::write(path, recorder.to_json_lines())
@@ -461,7 +497,7 @@ fn drive(opts: &Options) -> Result<(), String> {
     }
 
     if let Some(path) = &opts.report {
-        write_report(opts, path, &original, &function, &recorder, &memory)?;
+        write_report(opts, path, &original, &function, &recorder, &stats, &memory)?;
     }
 
     if opts.run {
@@ -511,9 +547,11 @@ fn write_report(
     original: &Function,
     function: &Function,
     recorder: &Recorder,
+    stats: &SchedStats,
     memory: &[(i64, i64)],
 ) -> Result<(), String> {
     let events: Vec<TraceEvent> = recorder.events().cloned().collect();
+    let perf = perf_counters(stats);
     let timing = execute(original, memory, &ExecConfig::default())
         .ok()
         .zip(execute(function, memory, &ExecConfig::default()).ok())
@@ -531,6 +569,7 @@ fn write_report(
         events: &events,
         timeline: timing.as_ref().map(|(_, _, t)| t.as_str()),
         cycles: timing.as_ref().map(|&(base, opt, _)| (base, opt)),
+        perf_counters: &perf,
     };
     std::fs::write(path, schedule_report(&report)).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("gisc: report written to {path}");

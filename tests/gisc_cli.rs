@@ -221,6 +221,47 @@ fn report_writes_self_contained_html() {
 }
 
 #[test]
+fn metrics_flag_prints_the_perf_counters() {
+    let out = gisc()
+        .args(["--metrics", "examples/kernels/minmax.c"])
+        .output()
+        .expect("gisc runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for counter in [
+        "perf.dep-edges",
+        "perf.dep-edges-reduced",
+        "perf.liveness-full",
+        "perf.liveness-incremental",
+        "perf.scratch-allocs",
+        "perf.scratch-reuses",
+    ] {
+        assert!(stderr.contains(counter), "missing {counter}: {stderr}");
+    }
+    // Event-derived counters and pass times come along from the trace.
+    assert!(stderr.contains("regions-scheduled"), "{stderr}");
+    assert!(stderr.contains("pass.global-1"), "{stderr}");
+}
+
+#[test]
+fn malformed_metrics_gets_a_specific_error() {
+    let out = gisc()
+        .args(["--metrics=json", "examples/kernels/minmax.c"])
+        .output()
+        .expect("gisc runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--metrics expects no value, got 'json'"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn malformed_viz_flags_get_specific_errors() {
     let cases: &[(&[&str], &str)] = &[
         (

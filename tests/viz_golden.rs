@@ -120,6 +120,7 @@ fn figure2_html_report_matches_golden() {
         events: &events,
         timeline: Some(&timeline),
         cycles: Some((base.cycles, opt.cycles)),
+        perf_counters: &[],
     };
     assert_golden("figure2_speculative.html", &schedule_report(&report));
 }
