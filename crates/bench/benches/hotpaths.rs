@@ -26,6 +26,7 @@
 
 use gis_cfg::{Cfg, DomTree, LoopForest, RegionKind, RegionTree};
 use gis_core::{compile, SchedConfig};
+use gis_ir::hash::fnv64_str as fnv64;
 use gis_ir::{BlockId, Function};
 use gis_machine::MachineDescription;
 use gis_pdg::{DataDeps, Liveness};
@@ -58,17 +59,6 @@ fn median_ns<T>(iters: u32, runs: usize, mut f: impl FnMut() -> T) -> u128 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
-}
-
-/// FNV-1a 64-bit over the scheduled function's textual form: stable,
-/// dependency-free, and enough to pin "same schedule, bit for bit".
-fn fnv64(text: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 /// The scheduling scopes the global passes would visit: every loop

@@ -230,6 +230,15 @@ impl Function {
         r
     }
 
+    /// Restores the allocator counters exactly — the canonical
+    /// deserializer uses this so a decoded function hands out the same
+    /// fresh ids the original would have (the counters can legitimately
+    /// run ahead of the ids still present, e.g. after dead code removal).
+    pub(crate) fn set_allocators(&mut self, next_inst: u32, next_reg: [u32; 3]) {
+        self.next_inst = next_inst;
+        self.next_reg = next_reg;
+    }
+
     /// Ensures future [`Function::fresh_reg`] / [`Function::fresh_inst_id`]
     /// calls do not collide with ids already present. Used after parsing
     /// and after pasting instructions in by hand.

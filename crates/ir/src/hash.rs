@@ -1,0 +1,150 @@
+//! FNV-1a 64-bit hashing: the workspace's one content hash.
+//!
+//! Dependency-free and stable across platforms and releases, which is
+//! what the users of this module need: the benchmark harness pins "same
+//! schedule, bit for bit" with it, and the schedule cache of `gis-serve`
+//! derives its content address from it — a cache persisted or compared
+//! across runs must never see the hash of unchanged bytes change.
+//!
+//! The parameters are the standard FNV-1a 64-bit ones
+//! (offset basis `0xcbf29ce484222325`, prime `0x100000001b3`), so the
+//! published test vectors apply and guard against accidental drift.
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// ```
+/// use gis_ir::hash::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write(b"foo");
+/// h.write(b"bar");
+/// assert_eq!(h.finish(), gis_ir::hash::fnv64(b"foobar"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+/// The FNV-1a 64-bit offset basis (the hash of the empty input).
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV 64-bit prime.
+pub const PRIME: u64 = 0x100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv64(OFFSET_BASIS)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Feeds one byte into the hash.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(PRIME);
+    }
+
+    /// Feeds a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` in little-endian two's-complement byte order.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The hash of everything written so far. Does not reset the state.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a 64-bit of one byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// FNV-1a 64-bit of a string's UTF-8 bytes.
+pub fn fnv64_str(text: &str) -> u64 {
+    fnv64(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The published FNV-1a 64-bit test vectors (Noll's reference list).
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv64_str("hello"), 0xa430_d846_80aa_bd0b);
+    }
+
+    /// Streaming in any chunking matches the one-shot hash.
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Fnv64::new();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), fnv64(data), "split at {split}");
+        }
+        let mut bytewise = Fnv64::new();
+        for &b in data.iter() {
+            bytewise.write_u8(b);
+        }
+        assert_eq!(bytewise.finish(), fnv64(data));
+    }
+
+    /// Integer writers are defined as their little-endian byte images —
+    /// pinned so serialized cache keys stay stable.
+    #[test]
+    fn integer_writers_are_little_endian() {
+        let mut a = Fnv64::new();
+        a.write_u32(0x0102_0304);
+        a.write_u64(0x1122_3344_5566_7788);
+        a.write_i64(-2);
+        let mut b = Fnv64::new();
+        b.write(&[0x04, 0x03, 0x02, 0x01]);
+        b.write(&[0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]);
+        b.write(&(-2i64).to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    /// Stability test: the hash of a fixed input is pinned to a constant,
+    /// so any change to the parameters or the byte order shows up here
+    /// (and would invalidate persisted schedule-cache keys).
+    #[test]
+    fn stability_pin() {
+        let mut h = Fnv64::new();
+        h.write(b"gis-serve/cache-key/v1");
+        h.write_u32(3);
+        h.write_i64(-1);
+        assert_eq!(h.finish(), 0xdc48_2258_a860_a48e);
+    }
+}

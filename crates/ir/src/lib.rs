@@ -45,7 +45,9 @@
 mod bitset;
 mod block;
 mod builder;
+pub mod canon;
 mod function;
+pub mod hash;
 mod op;
 mod parse;
 mod print;
@@ -55,6 +57,7 @@ mod verify;
 pub use bitset::{BlockSet, DenseBitSet, RegSet};
 pub use block::{Block, BlockId, Inst, InstId};
 pub use builder::FunctionBuilder;
+pub use canon::{from_canonical_bytes, to_canonical_bytes, CanonError};
 pub use function::{Function, SymId};
 pub use op::{CondBit, FpBinOp, FxBinOp, MemRef, Op, OpClass};
 pub use parse::{parse_function, ParseFunctionError};

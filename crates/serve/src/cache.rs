@@ -1,0 +1,358 @@
+//! The content-addressed schedule cache.
+//!
+//! Scheduling a region is pure: the scheduled text is a function of the
+//! input IR (including its fresh-id allocator state), the machine
+//! description, and the scheduling configuration — nothing else. So the
+//! cache key is a content address: the FNV-64 of the function's
+//! [canonical bytes](gis_ir::canon) chained with fingerprints of the
+//! machine and the config (see [`cache_key`]). Repeated compiles of the
+//! same function — the common case for a daemon serving a build farm's
+//! hot functions — become a hash-map lookup instead of a full pipeline
+//! run, the same block-cache idea JITs use to avoid re-translating
+//! unchanged code.
+//!
+//! Eviction is least-recently-used over a bounded capacity: every access
+//! bumps a monotonic stamp, and inserting past capacity evicts the entry
+//! with the smallest stamp (a `BTreeMap` from stamp to key makes both
+//! the bump and the eviction `O(log n)`). Hit, miss and eviction counts
+//! are kept in atomics so the serving threads never contend on the
+//! counters.
+
+use gis_core::{SchedConfig, SchedLevel};
+use gis_ir::hash::Fnv64;
+use gis_ir::{Function, OpClass};
+use gis_machine::MachineDescription;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached scheduling result.
+#[derive(Debug)]
+pub struct CachedSchedule {
+    /// The scheduled function's textual form.
+    pub text: String,
+    /// FNV-64 of `text` — the schedule hash clients compare.
+    pub hash: u64,
+    /// Useful motions performed when this schedule was computed.
+    pub moved_useful: u64,
+    /// Speculative motions performed when this schedule was computed.
+    pub moved_speculative: u64,
+    /// Wall time of the original (cold) compile, in nanoseconds.
+    pub nanos: u64,
+}
+
+struct Entry {
+    value: Arc<CachedSchedule>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// stamp → key, for O(log n) least-recently-used eviction.
+    by_stamp: BTreeMap<u64, u64>,
+    clock: u64,
+}
+
+/// A bounded, thread-safe, content-addressed map from cache key to
+/// scheduled result with least-recently-used eviction.
+pub struct ScheduleCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// A cache holding at most `capacity` schedules. Capacity `0`
+    /// disables caching entirely (every lookup misses, inserts are
+    /// dropped) — useful for measuring cold throughput.
+    pub fn new(capacity: usize) -> Self {
+        ScheduleCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a key, bumping its recency on a hit. Counts the access.
+    pub fn get(&self, key: u64) -> Option<Arc<CachedSchedule>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                let old = std::mem::replace(&mut entry.stamp, stamp);
+                let value = Arc::clone(&entry.value);
+                inner.by_stamp.remove(&old);
+                inner.by_stamp.insert(stamp, key);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a schedule, evicting the least-recently
+    /// used entry if the cache is full. Concurrent compiles of the same
+    /// key may both insert; the later one wins, which is harmless because
+    /// scheduling is deterministic — both hold identical results.
+    pub fn insert(&self, key: u64, value: Arc<CachedSchedule>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.by_stamp.remove(&old.stamp);
+        } else if inner.map.len() >= self.capacity {
+            if let Some((&oldest_stamp, &oldest_key)) = inner.by_stamp.iter().next() {
+                inner.by_stamp.remove(&oldest_stamp);
+                inner.map.remove(&oldest_key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, Entry { value, stamp });
+        inner.by_stamp.insert(stamp, key);
+    }
+
+    /// Number of schedules currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The counters as `(name, value)` pairs for the metrics registry
+    /// (`cache.` prefix groups them in the sorted listing, next to the
+    /// scheduler's `perf.` counters).
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cache.hits", self.hits()),
+            ("cache.misses", self.misses()),
+            ("cache.evictions", self.evictions()),
+            ("cache.entries", self.len() as u64),
+            ("cache.capacity", self.capacity as u64),
+        ]
+    }
+}
+
+/// Every [`OpClass`], in a fixed order, for machine fingerprinting.
+const ALL_CLASSES: [OpClass; 12] = [
+    OpClass::Fx,
+    OpClass::FxMul,
+    OpClass::FxDiv,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::FxCompare,
+    OpClass::Fp,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::FpCompare,
+    OpClass::Branch,
+    OpClass::Call,
+];
+
+/// Feeds every schedule-relevant property of the machine description into
+/// the hasher: name, dispatch width, per-class unit assignment, unit
+/// counts, execution times, and the full producer→consumer delay matrix.
+/// Two presets that schedule identically but are *named* differently
+/// still fingerprint apart — names are part of the operator contract.
+fn write_machine_fingerprint(h: &mut Fnv64, machine: &MachineDescription) {
+    h.write(b"machine/v1\0");
+    h.write(machine.name().as_bytes());
+    h.write_u8(0);
+    h.write_u32(machine.dispatch_width());
+    for kind in machine.unit_kinds() {
+        h.write_u32(kind.index() as u32);
+        h.write_u32(machine.unit_count(kind));
+        h.write(machine.unit_name(kind).as_bytes());
+        h.write_u8(0);
+    }
+    for class in ALL_CLASSES {
+        h.write_u32(machine.unit_of(class).index() as u32);
+        h.write_u32(machine.exec_time(class));
+    }
+    for producer in ALL_CLASSES {
+        for consumer in ALL_CLASSES {
+            h.write_u32(machine.delay(producer, consumer));
+        }
+    }
+}
+
+/// Feeds every output-relevant scheduling option into the hasher.
+///
+/// `jobs` and `reference_hot_paths` are deliberately **excluded**: both
+/// are guaranteed (and differentially tested) to produce bit-identical
+/// schedules, so including them would only split the cache for no
+/// correctness gain. Debug-only fields (`verify_each_pass`, fault
+/// injection) are excluded for the same reason they must never be set in
+/// a serving daemon. A branch profile, if present, is hashed entry by
+/// entry (probed over the function's instruction-id range — profiles key
+/// on [`gis_ir::InstId`], so their content is per-function anyway).
+fn write_config_fingerprint(h: &mut Fnv64, config: &SchedConfig, inst_bound: usize) {
+    h.write(b"config/v1\0");
+    h.write_u8(match config.level {
+        SchedLevel::BasicBlockOnly => 0,
+        SchedLevel::Useful => 1,
+        SchedLevel::Speculative => 2,
+    });
+    h.write_u8(u8::from(config.rename));
+    h.write_u8(u8::from(config.unroll));
+    h.write_u64(config.unroll_times as u64);
+    h.write_u8(u8::from(config.rotate));
+    h.write_u64(config.small_loop_blocks as u64);
+    h.write_u64(config.max_region_blocks as u64);
+    h.write_u64(config.max_region_insts as u64);
+    h.write_u64(config.max_region_height as u64);
+    h.write_u8(u8::from(config.speculative_loads));
+    h.write_u8(u8::from(config.speculative_renaming));
+    h.write_u8(u8::from(config.final_bb_pass));
+    h.write_u64(config.min_speculation_probability.to_bits());
+    h.write_u64(config.max_speculation_branches as u64);
+    match &config.profile {
+        None => h.write_u8(0),
+        Some(profile) => {
+            h.write_u8(1);
+            for id in 0..inst_bound as u32 {
+                if let Some(p) = profile.taken_probability(gis_ir::InstId::new(id)) {
+                    h.write_u32(id);
+                    h.write_u64(p.to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// The cache key for scheduling `function` on `machine` under `config`:
+/// FNV-64 over the function's canonical bytes chained with the machine
+/// and config fingerprints. See `docs/SERVICE.md` for the stability
+/// contract.
+pub fn cache_key(function: &Function, machine: &MachineDescription, config: &SchedConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&gis_ir::to_canonical_bytes(function));
+    write_machine_fingerprint(&mut h, machine);
+    write_config_fingerprint(&mut h, config, function.inst_id_bound());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ir::parse_function;
+
+    fn entry(n: u64) -> Arc<CachedSchedule> {
+        Arc::new(CachedSchedule {
+            text: format!("schedule {n}"),
+            hash: n,
+            moved_useful: 0,
+            moved_speculative: 0,
+            nanos: 1,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ScheduleCache::new(4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, entry(1));
+        assert_eq!(cache.get(1).expect("hit").hash, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ScheduleCache::new(2);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        // Touch 1 so 2 becomes the least recently used.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, entry(3));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(2).is_none(), "2 was evicted");
+        assert!(cache.get(1).is_some(), "1 survived");
+        assert!(cache.get(3).is_some(), "3 inserted");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ScheduleCache::new(0);
+        cache.insert(1, entry(1));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn reinserting_does_not_evict() {
+        let cache = ScheduleCache::new(2);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        cache.insert(1, entry(10));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get(1).expect("present").hash, 10, "refreshed");
+        assert!(cache.get(2).is_some());
+    }
+
+    #[test]
+    fn key_separates_function_machine_and_config() {
+        let f = parse_function("func t\ne:\n LI r0=1\n RET\n").expect("parses");
+        let g = parse_function("func t\ne:\n LI r0=2\n RET\n").expect("parses");
+        let rs6k = MachineDescription::rs6k();
+        let wide = MachineDescription::wide(4);
+        let spec = SchedConfig::speculative();
+        let base = SchedConfig::base();
+        let k = cache_key(&f, &rs6k, &spec);
+        assert_eq!(k, cache_key(&f, &rs6k, &spec), "deterministic");
+        assert_ne!(k, cache_key(&g, &rs6k, &spec), "function matters");
+        assert_ne!(k, cache_key(&f, &wide, &spec), "machine matters");
+        assert_ne!(k, cache_key(&f, &rs6k, &base), "config matters");
+    }
+
+    #[test]
+    fn jobs_does_not_split_the_key() {
+        // `--jobs` is bit-identical by contract, so warm hits must carry
+        // across differing job counts.
+        let f = parse_function("func t\ne:\n LI r0=1\n RET\n").expect("parses");
+        let rs6k = MachineDescription::rs6k();
+        let mut one = SchedConfig::speculative();
+        one.jobs = 1;
+        let mut four = SchedConfig::speculative();
+        four.jobs = 4;
+        assert_eq!(cache_key(&f, &rs6k, &one), cache_key(&f, &rs6k, &four));
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end tests: a real daemon on a real socket, driven by the
+//! protocol client.
+
+use gis_ir::hash::fnv64_str;
+use gis_serve::{start, Client, FuncOutcome, FuncSpec, Lang, Listen, ServeConfig, Server};
+use gis_workloads::loadgen;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unique_socket(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "gis-serve-test-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+fn start_unix(tag: &str, configure: impl FnOnce(&mut ServeConfig)) -> (Server, Listen) {
+    let listen = Listen::Unix(unique_socket(tag));
+    let mut config = ServeConfig::new(listen.clone());
+    config.jobs = 2;
+    configure(&mut config);
+    let server = start(config).expect("daemon starts");
+    (server, listen)
+}
+
+fn tinyc_specs(items: &[loadgen::CorpusItem]) -> Vec<FuncSpec> {
+    items
+        .iter()
+        .map(|i| FuncSpec {
+            name: Some(i.name.clone()),
+            text: i.source.clone(),
+        })
+        .collect()
+}
+
+fn ok_hashes(results: &[gis_serve::client::FuncResult]) -> Vec<(bool, u64)> {
+    results
+        .iter()
+        .map(|r| match &r.outcome {
+            FuncOutcome::Ok { cached, hash, .. } => (*cached, *hash),
+            other => panic!("function {} did not schedule: {other:?}", r.name),
+        })
+        .collect()
+}
+
+#[test]
+fn warm_batch_hits_the_cache_with_identical_hashes() {
+    let (server, listen) = start_unix("warm", |_| {});
+    let corpus = loadgen::corpus(4, 4, 4, 2, 42);
+    let specs = tinyc_specs(&corpus);
+
+    let mut client = Client::connect(&listen).expect("connects");
+    client.ping().expect("ping");
+
+    let cold = client
+        .schedule_batch(Lang::TinyC, "rs6k", vec![], &specs)
+        .expect("cold batch");
+    assert_eq!(cold.summary.ok, 4);
+    assert_eq!(cold.summary.cache_hits, 0);
+    assert_eq!(cold.summary.cache_misses, 4);
+    let cold_hashes = ok_hashes(&cold.funcs);
+    assert!(cold_hashes.iter().all(|(cached, _)| !cached));
+
+    let warm = client
+        .schedule_batch(Lang::TinyC, "rs6k", vec![], &specs)
+        .expect("warm batch");
+    assert_eq!(warm.summary.cache_hits, 4, "everything repeats");
+    let warm_hashes = ok_hashes(&warm.funcs);
+    assert!(warm_hashes.iter().all(|(cached, _)| *cached));
+    assert_eq!(
+        cold_hashes.iter().map(|(_, h)| h).collect::<Vec<_>>(),
+        warm_hashes.iter().map(|(_, h)| h).collect::<Vec<_>>(),
+        "warm hits return bit-identical schedules"
+    );
+
+    // Results stream in input order.
+    let indices: Vec<usize> = warm.funcs.iter().map(|r| r.index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3]);
+
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("cache.hits"), 4);
+    assert_eq!(counter("cache.misses"), 4);
+    assert_eq!(counter("serve.batches"), 2);
+
+    client.shutdown_server().expect("shutdown ack");
+    let metrics = server.join();
+    assert_eq!(metrics.counter("cache.hits"), 4);
+    let Listen::Unix(path) = &listen else {
+        unreachable!()
+    };
+    assert!(!path.exists(), "socket file unlinked on shutdown");
+}
+
+#[test]
+fn cached_schedule_matches_a_fresh_in_process_compile() {
+    let (server, listen) = start_unix("correct", |_| {});
+    let source = loadgen::corpus(1, 1, 5, 3, 7).remove(0).source;
+
+    // The reference: compile the same function locally, no daemon.
+    let mut reference = gis_tinyc::compile_program(&source)
+        .expect("frontend")
+        .function;
+    gis_core::compile(
+        &mut reference,
+        &gis_machine::MachineDescription::rs6k(),
+        &gis_core::SchedConfig::speculative(),
+    )
+    .expect("schedules");
+    let reference_hash = fnv64_str(&reference.to_string());
+
+    let mut client = Client::connect(&listen).expect("connects");
+    let spec = vec![FuncSpec {
+        name: None,
+        text: source,
+    }];
+    for pass in ["cold", "warm"] {
+        let batch = client
+            .schedule_batch(Lang::TinyC, "rs6k", vec![], &spec)
+            .expect(pass);
+        let FuncOutcome::Ok { hash, schedule, .. } = &batch.funcs[0].outcome else {
+            panic!("{pass} pass failed: {:?}", batch.funcs[0].outcome);
+        };
+        assert_eq!(*hash, reference_hash, "{pass} hash matches local compile");
+        assert_eq!(fnv64_str(schedule), reference_hash, "{pass} text matches");
+    }
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn tcp_listener_speaks_the_same_protocol() {
+    let listen = Listen::Tcp("127.0.0.1:0".to_owned());
+    let mut config = ServeConfig::new(listen);
+    config.jobs = 1;
+    let server = start(config).expect("daemon starts");
+    let addr = server.tcp_addr().expect("bound tcp address");
+    let listen = Listen::Tcp(addr.to_string());
+
+    let mut client = Client::connect(&listen).expect("connects");
+    // Textual IR straight in, no front end.
+    let batch = client
+        .schedule_batch(
+            Lang::Asm,
+            "wide2",
+            vec![],
+            &[FuncSpec {
+                name: None,
+                text: "func t\nentry:\n    LI r0=1\n    LI r1=2\n    A r2=r0,r1\n    RET\n"
+                    .to_owned(),
+            }],
+        )
+        .expect("asm batch");
+    assert_eq!(batch.summary.ok, 1);
+    let FuncOutcome::Ok { schedule, .. } = &batch.funcs[0].outcome else {
+        panic!("asm function failed: {:?}", batch.funcs[0].outcome);
+    };
+    assert!(schedule.contains("func t"));
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    let (server, listen) = start_unix("malformed", |_| {});
+    let mut client = Client::connect(&listen).expect("connects");
+
+    for bad in [
+        "this is not json",
+        "[1,2,3]",
+        r#"{"id":9}"#,
+        r#"{"req":"frobnicate","id":9}"#,
+        r#"{"req":"schedule","id":9,"funcs":[]}"#,
+        r#"{"req":"schedule","id":9,"machine":"pdp11","funcs":[{"text":"int x;"}]}"#,
+        r#"{"req":"schedule","id":9,"config":{"preset":"turbo"},"funcs":[{"text":"int x;"}]}"#,
+    ] {
+        let response = client.round_trip_raw(bad).expect("server answers");
+        assert!(
+            response.contains("\"resp\":\"error\""),
+            "{bad} => {response}"
+        );
+    }
+
+    // Front-end failures are per-function, not protocol errors.
+    let batch = client
+        .schedule_batch(
+            Lang::TinyC,
+            "rs6k",
+            vec![],
+            &[FuncSpec {
+                name: Some("broken".to_owned()),
+                text: "void f( {".to_owned(),
+            }],
+        )
+        .expect("batch completes");
+    assert_eq!(batch.summary.errors, 1);
+    assert!(matches!(batch.funcs[0].outcome, FuncOutcome::Error { .. }));
+
+    // After all that abuse the connection still schedules real work.
+    client.ping().expect("still alive");
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn oversized_requests_are_discarded_not_fatal() {
+    let (server, listen) = start_unix("oversized", |c| c.max_line_bytes = 1024);
+    let mut client = Client::connect(&listen).expect("connects");
+
+    let huge = format!(
+        r#"{{"req":"schedule","id":1,"funcs":[{{"text":"{}"}}]}}"#,
+        "x".repeat(8192)
+    );
+    let response = client.round_trip_raw(&huge).expect("server answers");
+    assert!(response.contains("exceeds 1024 bytes"), "{response}");
+
+    client
+        .ping()
+        .expect("connection survives an oversized line");
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_daemon_serving() {
+    let (server, listen) = start_unix("disconnect", |_| {});
+    let corpus = loadgen::corpus(3, 3, 6, 3, 9);
+
+    {
+        // A rude client: submit a batch, read half a response, vanish.
+        let Listen::Unix(path) = &listen else {
+            unreachable!()
+        };
+        let mut stream = std::os::unix::net::UnixStream::connect(path).expect("connects");
+        let specs = tinyc_specs(&corpus);
+        let funcs: Vec<String> = specs
+            .iter()
+            .map(|f| format!(r#"{{"text":{}}}"#, gis_trace::Json::Str(f.text.clone())))
+            .collect();
+        let request = format!(
+            r#"{{"req":"schedule","id":1,"funcs":[{}]}}"#,
+            funcs.join(",")
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send");
+        let mut reader = BufReader::new(&stream);
+        let mut first = String::new();
+        reader.read_line(&mut first).expect("first response line");
+        assert!(first.contains("\"resp\":"));
+        // Drop: the stream closes with schedule lines still unsent.
+    }
+
+    // The daemon must still serve new clients.
+    let mut client = Client::connect(&listen).expect("second client connects");
+    client.ping().expect("daemon alive after rude disconnect");
+    let batch = client
+        .schedule_batch(Lang::TinyC, "rs6k", vec![], &tinyc_specs(&corpus[..1]))
+        .expect("still schedules");
+    assert_eq!(batch.summary.ok, 1);
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn deadline_turns_unfinished_functions_into_timeouts() {
+    // One worker, a 1 ms deadline, and a queue of mid-sized functions:
+    // the later ones cannot possibly finish in time. (Sizes are kept
+    // moderate — the workers drain the queue even after the deadline,
+    // and shutdown waits for them.)
+    let (server, listen) = start_unix("timeout", |c| {
+        c.jobs = 1;
+        c.timeout_ms = 1;
+    });
+    let corpus = loadgen::corpus(4, 4, 24, 3, 3);
+    let mut client = Client::connect(&listen).expect("connects");
+    let batch = client
+        .schedule_batch(Lang::TinyC, "rs6k", vec![], &tinyc_specs(&corpus))
+        .expect("batch completes despite timeouts");
+    assert_eq!(batch.funcs.len(), 4, "every function gets a response");
+    let timeouts = batch
+        .funcs
+        .iter()
+        .filter(|r| matches!(r.outcome, FuncOutcome::Timeout))
+        .count();
+    assert!(
+        timeouts > 0,
+        "a 1ms deadline must expire: {:?}",
+        batch.summary
+    );
+    assert_eq!(batch.summary.errors, timeouts as u64);
+
+    // The connection survives a timed-out batch.
+    client.ping().expect("alive");
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn bounded_cache_evicts_and_counts() {
+    let (server, listen) = start_unix("evict", |c| c.cache_cap = 1);
+    let corpus = loadgen::corpus(2, 2, 3, 1, 5);
+    let specs = tinyc_specs(&corpus);
+    let mut client = Client::connect(&listen).expect("connects");
+
+    // A and B thrash a 1-entry cache; repeats of the pair never hit.
+    for _ in 0..2 {
+        client
+            .schedule_batch(Lang::TinyC, "rs6k", vec![], &specs)
+            .expect("batch");
+    }
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("cache.capacity"), 1);
+    assert_eq!(counter("cache.entries"), 1);
+    assert!(counter("cache.evictions") >= 2, "thrashing evicts");
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn request_shutdown_drains_without_a_client() {
+    let (server, listen) = start_unix("drain", |_| {});
+    let mut client = Client::connect(&listen).expect("connects");
+    client.ping().expect("ping");
+    drop(client);
+    server.request_shutdown();
+    assert!(server.shutdown_requested());
+    let metrics = server.join();
+    assert_eq!(metrics.counter("serve.requests"), 1);
+}

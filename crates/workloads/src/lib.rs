@@ -7,8 +7,12 @@
 //! ESPRESSO, GCC) — see DESIGN.md for the substitution rationale. The
 //! [`synth`] module scales past the paper: seeded generators emitting
 //! many-region functions (hundreds of independent loops) that give the
-//! parallel per-region scheduler enough disjoint work to measure.
+//! parallel per-region scheduler enough disjoint work to measure. The
+//! [`loadgen`] module deals those sources into request corpora with a
+//! controlled repeat structure for driving the `gis-serve` daemon and
+//! its schedule cache.
 
+pub mod loadgen;
 pub mod minmax;
 pub mod rng;
 pub mod spec;

@@ -1,0 +1,112 @@
+//! Request corpora for driving the scheduling daemon.
+//!
+//! A load corpus is a deterministic stream of tiny-C sources with a
+//! controlled *repeat structure*: `distinct` unique functions are dealt
+//! out `total` times in a shuffled but seed-stable order. Repeats are
+//! byte-identical to their originals, so they are exactly the requests a
+//! content-addressed schedule cache should hit — a corpus with
+//! `total = 2 * distinct` run against an empty cache yields `distinct`
+//! misses and `distinct` hits regardless of arrival order. The daemon's
+//! benchmark harness and the CI smoke test both replay these corpora.
+
+use crate::rng::XorShift64Star;
+use crate::synth::many_loops_source;
+
+/// One request in a load corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusItem {
+    /// Stable display name (`synth-NNN`); repeats share the name of the
+    /// distinct function they duplicate.
+    pub name: String,
+    /// The tiny-C source text.
+    pub source: String,
+}
+
+/// Deals `total` requests over `distinct` unique many-loops functions
+/// (each `loops` loops of `stmts` statements, seeded from `seed`).
+///
+/// The first `distinct` items are the unique functions in order — a
+/// client replaying the corpus front to back compiles everything cold
+/// before any repeat can hit. The remaining `total - distinct` items are
+/// drawn uniformly (seed-stable) from the unique set.
+///
+/// # Panics
+///
+/// Panics if `distinct` is zero or `total < distinct`.
+pub fn corpus(
+    distinct: usize,
+    total: usize,
+    loops: usize,
+    stmts: usize,
+    seed: u64,
+) -> Vec<CorpusItem> {
+    assert!(
+        distinct > 0,
+        "a corpus needs at least one distinct function"
+    );
+    assert!(
+        total >= distinct,
+        "total ({total}) must cover every distinct function ({distinct})"
+    );
+    let uniques: Vec<CorpusItem> = (0..distinct)
+        .map(|i| CorpusItem {
+            name: format!("synth-{i:03}"),
+            source: many_loops_source(loops, stmts, seed.wrapping_add(i as u64)),
+        })
+        .collect();
+    let mut rng = XorShift64Star::stream(seed, 0x10ad);
+    let mut items = uniques.clone();
+    items.extend((distinct..total).map(|_| uniques[rng.below(distinct)].clone()));
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_correctly_shaped() {
+        let a = corpus(4, 10, 3, 2, 7);
+        let b = corpus(4, 10, 3, 2, 7);
+        assert_eq!(a.len(), 10);
+        assert_eq!(
+            a.iter().map(|i| &i.source).collect::<Vec<_>>(),
+            b.iter().map(|i| &i.source).collect::<Vec<_>>()
+        );
+        let unique_sources: HashSet<&str> = a.iter().map(|i| i.source.as_str()).collect();
+        assert_eq!(unique_sources.len(), 4, "repeats are byte-identical");
+    }
+
+    #[test]
+    fn uniques_come_first() {
+        let items = corpus(3, 8, 2, 1, 1);
+        let head: HashSet<&str> = items[..3].iter().map(|i| i.source.as_str()).collect();
+        assert_eq!(head.len(), 3, "the head holds every distinct function");
+        for item in &items[3..] {
+            assert!(
+                head.contains(item.source.as_str()),
+                "repeats duplicate a distinct function"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_functions_really_differ() {
+        let items = corpus(3, 3, 2, 1, 1);
+        assert_ne!(items[0].source, items[1].source);
+        assert_ne!(items[1].source, items[2].source);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one distinct")]
+    fn zero_distinct_is_rejected() {
+        let _ = corpus(0, 5, 2, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn total_below_distinct_is_rejected() {
+        let _ = corpus(5, 3, 2, 1, 1);
+    }
+}

@@ -67,10 +67,50 @@ pub fn many_loops(loops: usize, seed: u64) -> Workload {
 ///
 /// As [`many_loops`]; additionally if `stmts` is zero.
 pub fn many_loops_scaled(loops: usize, stmts: usize, seed: u64) -> Workload {
-    assert!(loops > 0, "a workload needs at least one loop");
-    assert!(stmts > 0, "a loop body needs at least one statement");
     let mut rng = XorShift64Star::new(seed);
     let a: Vec<i64> = (0..ARRAY).map(|_| rng.range_i64(-500, 500)).collect();
+    let src = many_loops_source_with(&mut rng, loops, stmts);
+
+    let program = compile_program(&src)
+        .unwrap_or_else(|e| panic!("synthetic workload fails to compile: {e}"));
+    let memory = program
+        .initial_memory(&[("a", &a)])
+        .unwrap_or_else(|e| panic!("synthetic workload memory: {e}"));
+    Workload {
+        name: "MANY-LOOPS",
+        program,
+        memory,
+        source: src,
+    }
+}
+
+/// Generates only the tiny-C *source* of a scaled many-loops function —
+/// the input side of [`many_loops_scaled`], without running the front
+/// end. The load generator uses this to build large request corpora
+/// cheaply (the daemon under test runs the front end, not the client).
+/// Deterministic in `(loops, stmts, seed)`.
+///
+/// # Panics
+///
+/// As [`many_loops_scaled`].
+pub fn many_loops_source(loops: usize, stmts: usize, seed: u64) -> String {
+    let mut rng = XorShift64Star::new(seed);
+    // Burn the array draws so the source comes out byte-identical to
+    // `many_loops_scaled(loops, stmts, seed).source`.
+    for _ in 0..ARRAY {
+        let _ = rng.range_i64(-500, 500);
+    }
+    many_loops_source_with(&mut rng, loops, stmts)
+}
+
+/// Source generation over an already-seeded generator.
+///
+/// [`many_loops_scaled`] draws the input array from the same generator
+/// *before* the source, so this must stay draw-for-draw compatible with
+/// the historical inline code: array first, then shapes.
+fn many_loops_source_with(rng: &mut XorShift64Star, loops: usize, stmts: usize) -> String {
+    assert!(loops > 0, "a workload needs at least one loop");
+    assert!(stmts > 0, "a loop body needs at least one statement");
 
     let mut src = String::new();
     let _ = write!(src, "int a[{ARRAY}];\nvoid synth() {{\n");
@@ -95,7 +135,7 @@ pub fn many_loops_scaled(loops: usize, stmts: usize, seed: u64) -> Workload {
         let trips = rng.range_i64(3, 7);
         let mut body = String::new();
         for k in 0..stmts {
-            body.push_str(&body_stmt(&mut rng, k));
+            body.push_str(&body_stmt(rng, k));
         }
         let _ = write!(
             src,
@@ -108,18 +148,7 @@ pub fn many_loops_scaled(loops: usize, stmts: usize, seed: u64) -> Workload {
         }
     }
     src.push_str("  print(acc);\n}\n");
-
-    let program = compile_program(&src)
-        .unwrap_or_else(|e| panic!("synthetic workload fails to compile: {e}"));
-    let memory = program
-        .initial_memory(&[("a", &a)])
-        .unwrap_or_else(|e| panic!("synthetic workload memory: {e}"));
-    Workload {
-        name: "MANY-LOOPS",
-        program,
-        memory,
-        source: src,
-    }
+    src
 }
 
 /// One template statement group for a loop body, drawn from the seeded
@@ -223,6 +252,12 @@ mod tests {
             insts(&fat),
             insts(&thin)
         );
+    }
+
+    #[test]
+    fn source_only_generator_matches_the_workload() {
+        let w = many_loops_scaled(20, 3, 5);
+        assert_eq!(many_loops_source(20, 3, 5), w.source);
     }
 
     #[test]

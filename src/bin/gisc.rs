@@ -10,6 +10,15 @@
 //!     the minimized reproducer (default --out tests/corpus)
 //! gisc verify <file|->
 //!     structural verification of textual IR (corpus files accepted)
+//! gisc serve --listen unix:PATH|tcp:HOST:PORT [--jobs N]
+//!     [--cache-cap N] [--timeout-ms N] [--metrics]
+//!     run the scheduling daemon until SIGTERM/ctrl-c or a client's
+//!     shutdown request; --metrics prints the registry on shutdown
+//! gisc serve-request --listen SPEC [--ping] [--workload NAME]...
+//!     [--file F]... [--tinyc|--asm] [--machine M] [--repeat N]
+//!     [--print-schedule] [--raw LINE]... [--stats] [--shutdown]
+//!     drive a running daemon: schedule batches, fetch counters,
+//!     or ask it to drain and exit (see docs/SERVICE.md)
 //!
 //! gisc [OPTIONS] <file>
 //!   --tinyc | --asm      input language (default: by extension, .c/.gis)
@@ -92,7 +101,11 @@ fn usage() -> ! {
          [--dot-cfg[=traced]] [--dot-cspdg[=traced]] [--report <out.html>] \
          [--trace[=json:<path>]] [--metrics] [--explain <inst>] [--timeline] <file|->\n\
          \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
-         \x20      gisc verify <file|->"
+         \x20      gisc verify <file|->\n\
+         \x20      gisc serve --listen unix:PATH|tcp:HOST:PORT [--jobs N] \
+         [--cache-cap N] [--timeout-ms N] [--metrics]\n\
+         \x20      gisc serve-request --listen SPEC [--ping] [--workload NAME] \
+         [--file F] [--machine M] [--repeat N] [--stats] [--shutdown]"
     );
     std::process::exit(2)
 }
@@ -291,6 +304,8 @@ fn main() -> ExitCode {
     match raw.next().as_deref() {
         Some("fuzz") => return fuzz_command(raw),
         Some("verify") => return verify_command(raw),
+        Some("serve") => return serve_command(raw),
+        Some("serve-request") => return serve_request_command(raw),
         _ => {}
     }
     let opts = parse_args();
@@ -396,6 +411,257 @@ fn verify_command(mut args: impl Iterator<Item = String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses a `--listen` value, rejecting malformed specs in the standard
+/// flag-error style shared by both serve subcommands.
+fn listen_value(value: Option<String>) -> (gis_serve::Listen, String) {
+    let Some(spec) = value else {
+        bad_arg("--listen expects unix:PATH or tcp:HOST:PORT, but no value was given");
+    };
+    let listen = gis_serve::Listen::parse(&spec).unwrap_or_else(|_| {
+        bad_arg(&format!(
+            "--listen expects unix:PATH or tcp:HOST:PORT, got '{spec}'"
+        ))
+    });
+    (listen, spec)
+}
+
+/// `gisc serve --listen SPEC [--jobs N] [--cache-cap N] [--timeout-ms N]
+/// [--metrics]`: run the scheduling daemon until a signal or a client's
+/// shutdown request, then drain in-flight work and exit cleanly.
+fn serve_command(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut listen: Option<(gis_serve::Listen, String)> = None;
+    let mut jobs: usize = 0;
+    let mut cache_cap: usize = 1024;
+    let mut timeout_ms: u64 = 0;
+    let mut metrics = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(listen_value(args.next())),
+            "--jobs" => {
+                jobs = int_value(
+                    "--jobs",
+                    "a non-negative integer (0 = one worker per CPU)",
+                    args.next(),
+                );
+            }
+            "--cache-cap" => {
+                cache_cap = int_value(
+                    "--cache-cap",
+                    "a non-negative integer (0 disables the schedule cache)",
+                    args.next(),
+                );
+            }
+            "--timeout-ms" => {
+                timeout_ms = int_value(
+                    "--timeout-ms",
+                    "a non-negative integer (0 = no per-batch deadline)",
+                    args.next(),
+                );
+            }
+            "--metrics" => metrics = true,
+            other => bad_arg(&format!("unknown serve argument '{other}'")),
+        }
+    }
+    let Some((listen, spec)) = listen else {
+        bad_arg("serve expects --listen unix:PATH or tcp:HOST:PORT");
+    };
+    gis_serve::install_signal_handlers();
+    let mut config = gis_serve::ServeConfig::new(listen);
+    config.jobs = jobs;
+    config.cache_cap = cache_cap;
+    config.timeout_ms = timeout_ms;
+    let server = match gis_serve::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gisc serve: cannot listen on {spec}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.tcp_addr() {
+        Some(addr) => eprintln!("gisc serve: listening on tcp:{addr}"),
+        None => eprintln!("gisc serve: listening on {spec}"),
+    }
+    // `join` blocks until the accept loop notices a shutdown request
+    // (client `shutdown`, SIGTERM or ctrl-c) and the drain completes.
+    let registry = server.join();
+    if metrics {
+        eprint!("{registry}");
+    }
+    eprintln!("gisc serve: shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+/// `gisc serve-request`: a thin client for a running daemon. Actions run
+/// in a fixed order — ping, raw lines, schedule batches (each `--repeat`
+/// round re-sends the same batch, so round two onward measures the
+/// cache), stats, shutdown.
+fn serve_request_command(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut listen: Option<(gis_serve::Listen, String)> = None;
+    let mut machine = String::from("rs6k");
+    let mut lang = gis_serve::Lang::TinyC;
+    let mut funcs: Vec<gis_serve::FuncSpec> = Vec::new();
+    let mut raw_lines: Vec<String> = Vec::new();
+    let mut repeat: usize = 1;
+    let mut ping = false;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut print_schedule = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(listen_value(args.next())),
+            "--machine" => {
+                machine = args.next().unwrap_or_else(|| {
+                    bad_arg("--machine expects a machine name (rs6k, scalar or wideN)")
+                });
+            }
+            "--tinyc" => lang = gis_serve::Lang::TinyC,
+            "--asm" => lang = gis_serve::Lang::Asm,
+            "--workload" => {
+                let Some(name) = args.next() else {
+                    bad_arg("--workload expects a preset name (many-loops-s, -m or -l)");
+                };
+                let preset = gis_workloads::synth::MANY_LOOPS_PRESETS
+                    .iter()
+                    .find(|&&(n, ..)| n == name);
+                let Some(&(_, loops, stmts, seed)) = preset else {
+                    bad_arg(&format!(
+                        "--workload expects a preset name (many-loops-s, -m or -l), got '{name}'"
+                    ));
+                };
+                funcs.push(gis_serve::FuncSpec {
+                    name: Some(name),
+                    text: gis_workloads::synth::many_loops_source(loops, stmts, seed),
+                });
+            }
+            "--file" => {
+                let Some(path) = args.next() else {
+                    bad_arg("--file expects a file path (or '-' for stdin)");
+                };
+                match read_input(&path) {
+                    Ok(text) => funcs.push(gis_serve::FuncSpec {
+                        name: Some(path),
+                        text,
+                    }),
+                    Err(e) => {
+                        eprintln!("gisc serve-request: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--repeat" => {
+                repeat = int_value("--repeat", "a positive integer", args.next());
+                if repeat == 0 {
+                    bad_arg("--repeat expects a positive integer, got '0'");
+                }
+            }
+            "--raw" => {
+                raw_lines.push(
+                    args.next()
+                        .unwrap_or_else(|| bad_arg("--raw expects a JSON request line")),
+                );
+            }
+            "--ping" => ping = true,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--print-schedule" => print_schedule = true,
+            other => bad_arg(&format!("unknown serve-request argument '{other}'")),
+        }
+    }
+    let Some((listen, spec)) = listen else {
+        bad_arg("serve-request expects --listen unix:PATH or tcp:HOST:PORT");
+    };
+    let outcome = run_requests(
+        &listen,
+        &machine,
+        lang,
+        &funcs,
+        &raw_lines,
+        repeat,
+        ping,
+        stats,
+        shutdown,
+        print_schedule,
+    );
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("gisc serve-request: {spec}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The serve-request action sequence against a connected client.
+/// Returns `Ok(false)` when every request round-tripped but some
+/// function failed or timed out.
+#[allow(clippy::too_many_arguments)] // a private arg-struct in all but name
+fn run_requests(
+    listen: &gis_serve::Listen,
+    machine: &str,
+    lang: gis_serve::Lang,
+    funcs: &[gis_serve::FuncSpec],
+    raw_lines: &[String],
+    repeat: usize,
+    ping: bool,
+    stats: bool,
+    shutdown: bool,
+    print_schedule: bool,
+) -> std::io::Result<bool> {
+    let mut client = gis_serve::Client::connect(listen)?;
+    let mut all_ok = true;
+    if ping {
+        client.ping()?;
+        println!("pong");
+    }
+    for line in raw_lines {
+        println!("{}", client.round_trip_raw(line)?);
+    }
+    for round in 1..=if funcs.is_empty() { 0 } else { repeat } {
+        let batch = client.schedule_batch(lang, machine, Vec::new(), funcs)?;
+        for f in &batch.funcs {
+            match &f.outcome {
+                gis_serve::FuncOutcome::Ok {
+                    cached,
+                    hash,
+                    nanos,
+                    schedule,
+                    ..
+                } => {
+                    let source = if *cached { "hit" } else { "miss" };
+                    println!("{}: {source} {hash:016x} {nanos} ns", f.name);
+                    if print_schedule {
+                        print!("{schedule}");
+                    }
+                }
+                gis_serve::FuncOutcome::Error { message } => {
+                    eprintln!("gisc serve-request: {}: {message}", f.name);
+                    all_ok = false;
+                }
+                gis_serve::FuncOutcome::Timeout => {
+                    eprintln!("gisc serve-request: {}: timed out", f.name);
+                    all_ok = false;
+                }
+            }
+        }
+        let s = &batch.summary;
+        eprintln!(
+            "batch {round}/{repeat}: {}/{} ok, {} hits, {} misses, {} ns",
+            s.ok, s.count, s.cache_hits, s.cache_misses, s.nanos
+        );
+    }
+    if stats {
+        for (name, value) in client.stats()? {
+            println!("{name} {value}");
+        }
+    }
+    if shutdown {
+        client.shutdown_server()?;
+        eprintln!("gisc serve-request: server acknowledged shutdown");
+    }
+    Ok(all_ok)
 }
 
 fn drive(opts: &Options) -> Result<(), String> {

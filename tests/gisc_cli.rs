@@ -291,6 +291,150 @@ fn malformed_viz_flags_get_specific_errors() {
 }
 
 #[test]
+fn malformed_serve_flags_get_specific_errors() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["serve", "--listen", "bogus"],
+            "--listen expects unix:PATH or tcp:HOST:PORT, got 'bogus'",
+        ),
+        (
+            &["serve", "--listen", "unix:"],
+            "--listen expects unix:PATH or tcp:HOST:PORT, got 'unix:'",
+        ),
+        (
+            &["serve", "--listen", "tcp:noport"],
+            "--listen expects unix:PATH or tcp:HOST:PORT, got 'tcp:noport'",
+        ),
+        (&["serve", "--listen"], "--listen expects"),
+        (
+            &[
+                "serve",
+                "--cache-cap",
+                "many",
+                "--listen",
+                "unix:/tmp/x.sock",
+            ],
+            "--cache-cap expects",
+        ),
+        (
+            &[
+                "serve",
+                "--timeout-ms",
+                "soon",
+                "--listen",
+                "unix:/tmp/x.sock",
+            ],
+            "--timeout-ms expects",
+        ),
+        (
+            &["serve", "--jobs", "-1", "--listen", "unix:/tmp/x.sock"],
+            "--jobs expects",
+        ),
+        (&["serve"], "serve expects --listen"),
+        (&["serve", "--bogus"], "unknown serve argument"),
+        (&["serve-request"], "serve-request expects --listen"),
+        (
+            &[
+                "serve-request",
+                "--workload",
+                "nope",
+                "--listen",
+                "unix:/tmp/x.sock",
+            ],
+            "--workload expects a preset name",
+        ),
+        (
+            &[
+                "serve-request",
+                "--repeat",
+                "0",
+                "--listen",
+                "unix:/tmp/x.sock",
+            ],
+            "--repeat expects a positive integer",
+        ),
+        (
+            &["serve-request", "--bogus"],
+            "unknown serve-request argument",
+        ),
+    ];
+    for (args, needle) in cases {
+        let out = gisc().args(*args).output().expect("gisc runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn serve_round_trip_hits_the_cache_on_the_second_pass() {
+    let sock = std::env::temp_dir().join(format!("gisc-cli-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let listen = format!("unix:{}", sock.display());
+    let mut daemon = gisc()
+        .args(["serve", "--listen", &listen, "--jobs", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    // Wait for the socket to appear before connecting.
+    for _ in 0..100 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(sock.exists(), "daemon never bound its socket");
+
+    let out = gisc()
+        .args([
+            "serve-request",
+            "--listen",
+            &listen,
+            "--ping",
+            "--workload",
+            "many-loops-s",
+            "--repeat",
+            "2",
+            "--stats",
+            "--shutdown",
+        ])
+        .output()
+        .expect("client runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("pong"), "{stdout}");
+    assert!(stdout.contains("many-loops-s: miss"), "{stdout}");
+    assert!(stdout.contains("many-loops-s: hit"), "{stdout}");
+    assert!(stdout.contains("cache.hits 1"), "{stdout}");
+    // Both passes return the same schedule hash — one per line, and
+    // exactly one distinct value between them.
+    let hashes: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("many-loops-s:"))
+        .map(|l| l.split_whitespace().nth(2).expect("hash field"))
+        .collect();
+    assert_eq!(hashes.len(), 2, "{stdout}");
+    assert_eq!(hashes[0], hashes[1], "warm hash differs: {stdout}");
+
+    // The daemon drains and exits zero after the client's shutdown.
+    let mut status = None;
+    for _ in 0..200 {
+        if let Some(s) = daemon.try_wait().expect("try_wait") {
+            status = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let Some(status) = status else {
+        daemon.kill().ok();
+        panic!("daemon did not exit after shutdown");
+    };
+    assert!(status.success(), "daemon exit: {status:?}");
+    assert!(!sock.exists(), "socket file not removed on shutdown");
+}
+
+#[test]
 fn extra_positional_argument_is_an_error() {
     let out = gisc()
         .args(["examples/kernels/minmax.c", "examples/kernels/dotproduct.c"])
