@@ -20,9 +20,9 @@
 //!
 //! Every end-to-end row carries an FNV-64 hash of the scheduled
 //! function's text; the fast and reference paths must hash identically
-//! (the rewrite preserves output bit for bit), as must `jobs = 1` and
-//! `jobs = 4` — the run aborts on any mismatch rather than reporting a
-//! speedup for a scheduler that changed its answer.
+//! (the rewrite preserves output bit for bit), as must every `jobs`
+//! width (1/2/4/8) — the run aborts on any mismatch rather than
+//! reporting a speedup for a scheduler that changed its answer.
 
 use gis_cfg::{Cfg, DomTree, LoopForest, RegionKind, RegionTree};
 use gis_core::{compile, SchedConfig};
@@ -183,7 +183,7 @@ fn bench_end_to_end(
     iters: u32,
     runs: usize,
     rows: &mut Vec<Row>,
-) -> (f64, bool) {
+) -> (f64, f64, bool) {
     let n_insts = f.num_insts();
     // The largest preset compiles in whole seconds even on the fast
     // path; three single-iteration runs pin its median well enough and
@@ -196,7 +196,9 @@ fn bench_end_to_end(
     let mut hashes = Vec::new();
     for (label, reference, jobs) in [
         ("fast", false, 1usize),
+        ("fast-jobs2", false, 2),
         ("fast-jobs4", false, 4),
+        ("fast-jobs8", false, 8),
         ("reference", true, 1),
     ] {
         let mut config = SchedConfig::speculative();
@@ -235,9 +237,14 @@ fn bench_end_to_end(
         "{preset}: schedule hashes diverge across fast/jobs/reference \
          ({hashes:016x?}) — the hot paths changed the scheduler's output"
     );
-    let fast = rows[rows.len() - 3].median_ns;
+    let fast = rows[rows.len() - 5].median_ns;
+    let jobs4 = rows[rows.len() - 3].median_ns;
     let reference = rows[rows.len() - 1].median_ns;
-    (reference as f64 / fast.max(1) as f64, true)
+    (
+        reference as f64 / fast.max(1) as f64,
+        fast as f64 / jobs4.max(1) as f64,
+        true,
+    )
 }
 
 /// Serializes the rows and summary as a stable, pretty-printed JSON
@@ -313,11 +320,12 @@ fn main() {
         );
         let dep = bench_dep_build(preset, f, &machine, &config, iters, runs, &mut rows);
         let live = bench_liveness(preset, f, &config, iters, runs, &mut rows);
-        let (e2e, hashes_ok) = bench_end_to_end(preset, f, &machine, iters, runs, &mut rows);
+        let (e2e, jobs4, hashes_ok) = bench_end_to_end(preset, f, &machine, iters, runs, &mut rows);
         jobs_hash_match &= hashes_ok;
         speedups.push((format!("dep-build/{preset}"), dep));
         speedups.push((format!("liveness/{preset}"), live));
         speedups.push((format!("e2e/{preset}"), e2e));
+        speedups.push((format!("jobs4/{preset}"), jobs4));
     }
 
     for r in &rows {

@@ -52,7 +52,8 @@ fn loop_region(f: &Function) -> (Cfg, RegionTree, gis_cfg::RegionId) {
 fn iteration_cycles(f: &Function, a: &[i64]) -> u64 {
     let mut f1 = f.clone();
     let (bid, pos) = f1.find_inst(InstId::new(25)).expect("I25 sets n");
-    if let gis_ir::Op::LoadImm { imm, .. } = &mut f1.block_mut(bid).insts_mut()[pos].op {
+    let mut bm = f1.block_mut(bid);
+    if let gis_ir::Op::LoadImm { imm, .. } = &mut bm.inst_mut(pos).op {
         *imm = 3;
     }
     let machine = MachineDescription::rs6k();

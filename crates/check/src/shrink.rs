@@ -20,11 +20,11 @@ fn acceptable(f: &Function) -> bool {
 /// Tries deleting the instruction `id` (never block terminators).
 fn without_inst(f: &Function, id: InstId) -> Option<Function> {
     let (b, pos) = f.find_inst(id)?;
-    if f.block(b).insts()[pos].op.is_block_end() {
+    if f.block(b).inst_at(pos).op.is_block_end() {
         return None;
     }
     let mut g = f.clone();
-    g.block_mut(b).insts_mut().remove(pos);
+    g.block_mut(b).remove_at(pos);
     Some(g)
 }
 
@@ -63,7 +63,6 @@ pub fn minimize(f: &Function, still_fails: &mut dyn FnMut(&Function) -> bool) ->
             let keep: Vec<InstId> = best
                 .block(b)
                 .insts()
-                .iter()
                 .filter(|i| i.op.is_block_end())
                 .map(|i| i.id)
                 .collect();
@@ -71,9 +70,7 @@ pub fn minimize(f: &Function, still_fails: &mut dyn FnMut(&Function) -> bool) ->
                 continue;
             }
             let mut cand = best.clone();
-            cand.block_mut(b)
-                .insts_mut()
-                .retain(|i| keep.contains(&i.id));
+            cand.block_mut(b).retain(|i| keep.contains(&i.id));
             accept(cand, &mut best);
         }
 
@@ -93,22 +90,23 @@ pub fn minimize(f: &Function, still_fails: &mut dyn FnMut(&Function) -> bool) ->
             let Some((b, pos)) = best.find_inst(id) else {
                 continue;
             };
-            match best.block(b).insts()[pos].op.clone() {
+            match best.block(b).inst_at(pos).op.clone() {
                 Op::BranchCond { target, .. } => {
                     let mut drop = best.clone();
-                    drop.block_mut(b).insts_mut().remove(pos);
+                    drop.block_mut(b).remove_at(pos);
                     drop.remove_unreachable_blocks();
                     if accept(drop, &mut best) {
                         continue;
                     }
                     let mut always = best.clone();
-                    always.block_mut(b).insts_mut()[pos].op = Op::Branch { target };
+                    let mut bm = always.block_mut(b);
+                    bm.inst_mut(pos).op = Op::Branch { target };
                     always.remove_unreachable_blocks();
                     accept(always, &mut best);
                 }
                 Op::Branch { .. } => {
                     let mut drop = best.clone();
-                    drop.block_mut(b).insts_mut().remove(pos);
+                    drop.block_mut(b).remove_at(pos);
                     drop.remove_unreachable_blocks();
                     accept(drop, &mut best);
                 }

@@ -294,7 +294,7 @@ pub fn check_pass(pass: Pass, before: &Function, after: &Function) -> Result<(),
             }
             for b in before.block_ids() {
                 let ids = |f: &Function| -> HashSet<InstId> {
-                    f.block(b).insts().iter().map(|i| i.id).collect()
+                    f.block(b).insts().map(|i| i.id).collect()
                 };
                 if ids(before) != ids(after) {
                     return Err(format!(
@@ -444,8 +444,8 @@ mod tests {
             .find(|(_, i)| matches!(&i.op, Op::FxImm { imm: 7, .. }))
             .map(|(b, i)| (b, after.block(b).position(i.id).unwrap()))
             .expect("found");
-        let inst = after.block_mut(bid).insts_mut().remove(pos);
-        after.block_mut(BlockId::new(1)).insts_mut().insert(0, inst);
+        let inst = after.block_mut(bid).remove_at(pos);
+        after.block_mut(BlockId::new(1)).insert(0, inst);
         let errs = verify_region_confinement(&before, &after).expect_err("escape");
         assert!(
             errs.iter()

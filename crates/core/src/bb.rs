@@ -9,7 +9,7 @@
 //! completed", §5.1).
 
 use crate::dcp::Heuristics;
-use gis_ir::{BlockId, Function, Inst, InstId};
+use gis_ir::{BlockId, Function, InstId};
 use gis_machine::MachineDescription;
 use gis_pdg::DataDeps;
 use gis_trace::{SchedObserver, TraceEvent};
@@ -54,16 +54,20 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
     let deps = DataDeps::build(f, machine, &[block], |_, _| false);
     let h = Heuristics::for_block(f, machine, &deps, block);
 
-    let insts = f.block(block).insts();
-    let has_branch = insts.last().is_some_and(|i| i.op.is_branch());
-    let body_len = insts.len() - usize::from(has_branch);
+    let block_ref = f.block(block);
+    let has_branch = block_ref.last().is_some_and(|i| i.op.is_branch());
+    let body_len = block_ref.len() - usize::from(has_branch);
     if body_len <= 1 {
         return false;
     }
 
-    let pos: HashMap<InstId, usize> = insts.iter().enumerate().map(|(p, i)| (i.id, p)).collect();
-    let body: Vec<InstId> = insts[..body_len].iter().map(|i| i.id).collect();
-    let branch: Option<InstId> = insts.last().filter(|i| i.op.is_branch()).map(|i| i.id);
+    let pos: HashMap<InstId, usize> = block_ref
+        .insts()
+        .enumerate()
+        .map(|(p, i)| (i.id, p))
+        .collect();
+    let body: Vec<InstId> = block_ref.insts().take(body_len).map(|i| i.id).collect();
+    let branch: Option<InstId> = block_ref.last().filter(|i| i.op.is_branch()).map(|i| i.id);
 
     // Cycle-by-cycle list scheduling.
     let mut scheduled_at: HashMap<InstId, u64> = HashMap::new();
@@ -94,7 +98,7 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
                     continue;
                 }
                 let p = pos[&id];
-                let class = f.block(block).insts()[p].op.class();
+                let class = block_ref.inst_at(p).op.class();
                 let kind = machine.unit_of(class);
                 if !units[kind.index()].iter().any(|&busy| busy <= t) {
                     continue;
@@ -107,7 +111,7 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
             }
             let Some((_, _, _, id)) = best else { break };
             let p = pos[&id];
-            let class = f.block(block).insts()[p].op.class();
+            let class = block_ref.inst_at(p).op.class();
             let exec = machine.exec_time(class) as u64;
             let kind = machine.unit_of(class);
             let slot = units[kind.index()]
@@ -128,21 +132,12 @@ pub fn schedule_block(f: &mut Function, machine: &MachineDescription, block: Blo
     if let Some(b) = branch {
         order.push(b);
     }
-    let old: Vec<InstId> = f.block(block).insts().iter().map(|i| i.id).collect();
+    let old: Vec<InstId> = block_ref.insts().map(|i| i.id).collect();
     if old == order {
         return false;
     }
-    let mut by_id: HashMap<InstId, Inst> = f
-        .block_mut(block)
-        .insts_mut()
-        .drain(..)
-        .map(|i| (i.id, i))
-        .collect();
-    let rebuilt: Vec<Inst> = order
-        .iter()
-        .map(|id| by_id.remove(id).expect("every id accounted for"))
-        .collect();
-    *f.block_mut(block).insts_mut() = rebuilt;
+    // A pure index permutation in the arena-backed block list.
+    f.block_mut(block).set_order(&order);
     true
 }
 
@@ -155,7 +150,6 @@ mod tests {
     fn ids(f: &Function, b: u32) -> Vec<u32> {
         f.block(BlockId::new(b))
             .insts()
-            .iter()
             .map(|i| i.id.index() as u32)
             .collect()
     }

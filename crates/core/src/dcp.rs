@@ -34,14 +34,14 @@ impl Heuristics {
         deps: &DataDeps,
         block: BlockId,
     ) -> Self {
-        let insts = f.block(block).insts();
-        let member: HashMap<InstId, usize> = insts
-            .iter()
+        let block_ref = f.block(block);
+        let member: HashMap<InstId, usize> = block_ref
+            .insts()
             .enumerate()
             .map(|(pos, i)| (i.id, pos))
             .collect();
         let mut h = Heuristics::default();
-        for inst in insts.iter().rev() {
+        for inst in block_ref.insts().rev() {
             let exec = machine.exec_time(inst.op.class());
             let mut d = 0u32;
             let mut cp_tail = 0u32;

@@ -586,7 +586,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                         continue;
                     }
                     let pos = f.block(c.home).position(c.id).expect("candidate exists");
-                    let op = &f.block(c.home).insts()[pos].op;
+                    let op = &f.block(c.home).inst_at(pos).op;
                     let kind = self.machine.unit_of(op.class());
                     if !self.scratch.units[kind.index()]
                         .iter()
@@ -632,7 +632,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
 
                 // Issue.
                 let pos = f.block(cand.home).position(cand.id).expect("exists");
-                let class = f.block(cand.home).insts()[pos].op.class();
+                let class = f.block(cand.home).inst_at(pos).op.class();
                 let kind = self.machine.unit_of(class);
                 let exec = self.machine.exec_time(class) as u64;
                 let slot = self.scratch.units[kind.index()]
@@ -673,15 +673,13 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                         });
                     }
                     // Physical upward motion into A (kept before A's
-                    // branch; final order applied at end of pass).
-                    let moved = f
-                        .block_mut(cand.home)
-                        .remove(cand.id)
-                        .expect("present in home");
-                    let block_a = f.block_mut(a);
+                    // branch; final order applied at end of pass). Under
+                    // the arena representation this relinks one index:
+                    // the payload never moves.
+                    let block_a = f.block(a);
                     let at = block_a.len()
                         - usize::from(block_a.last().is_some_and(|i| i.op.is_branch()));
-                    block_a.insts_mut().insert(at, moved);
+                    f.relink_inst(cand.id, cand.home, a, at);
                     self.inst_node[cand.id.index()] = node_a.index() as u32;
                     if cand.useful {
                         self.stats.moved_useful += 1;
@@ -723,9 +721,8 @@ impl<O: SchedObserver> RegionPass<'_, O> {
         }
 
         // ---- Apply A's final order. ------------------------------------
-        let block_a = f.block_mut(a);
         debug_assert_eq!(
-            block_a.len(),
+            f.block(a).len(),
             self.scratch.new_order.len(),
             "every instruction of A was scheduled"
         );
@@ -733,9 +730,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
             self.scratch.rank[id.index()] = i as u32;
         }
         let rank = &self.scratch.rank;
-        block_a
-            .insts_mut()
-            .sort_by_key(|inst| rank[inst.id.index()]);
+        f.block_mut(a).sort_by_key(|inst| rank[inst.id.index()]);
     }
 
     /// Whether all data dependences into `id` are fulfilled at cycle `t`.
@@ -768,7 +763,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
     fn speculation_allowed(&mut self, f: &mut Function, a: BlockId, cand: &Candidate) -> bool {
         let bid = cand.home;
         let pos = f.block(bid).position(cand.id).expect("exists");
-        let op = &f.block(bid).insts()[pos].op;
+        let op = &f.block(bid).inst_at(pos).op;
         let clobbered: Vec<Reg> = op
             .defs()
             .into_iter()
@@ -799,10 +794,10 @@ impl<O: SchedObserver> RegionPass<'_, O> {
         }
         for r in clobbered {
             let fresh = f.fresh_reg(r.class());
-            let block = f.block_mut(bid);
+            let mut block = f.block_mut(bid);
             let len = block.len();
             for p in pos..len {
-                let op = &mut block.insts_mut()[p].op;
+                let op = &mut block.inst_mut(p).op;
                 if p > pos {
                     op.map_uses(|x| if x == r { fresh } else { x });
                     if op.defs().contains(&r) {
@@ -828,8 +823,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
     /// Whether the du-chain of the definition of `r` at `(bid, pos)` is
     /// contained in `bid` (see [`RegionPass::speculation_allowed`]).
     fn chain_is_local(&self, f: &Function, bid: BlockId, pos: usize, r: Reg) -> bool {
-        let insts = f.block(bid).insts();
-        for inst in &insts[pos + 1..] {
+        for inst in f.block(bid).insts().skip(pos + 1) {
             // An update-form base both uses and defines `r` in one field;
             // the chain cannot be renamed apart from its successor.
             if inst.op.has_tied_base() && inst.op.uses().contains(&r) {

@@ -14,12 +14,18 @@
 //! The pass is partitioned into *units*: maximal region subtrees whose
 //! roots will actually be scheduled (regions over the §6 size limits only
 //! emit a skip record and own nothing). Each unit is scheduled on a
-//! worker against a private clone of the pre-pass function, recording
+//! worker against a private copy-on-write [`Function::snapshot`] of the
+//! pre-pass function — reference-count bumps, not a deep copy — recording
 //! per-region statistics and trace events. The merge then runs in the
 //! fixed sequential region order ([`RegionTree::schedule_order`]):
 //!
-//! * block contents move from the clones back into the master function
-//!   (units own disjoint block sets, so splicing cannot conflict);
+//! * the unit's block index lists are adopted from its snapshot into the
+//!   master function ([`Function::adopt_block_from`]; units own disjoint
+//!   block sets, so adoption cannot conflict). Scheduling permutes and
+//!   relinks arena indices but never allocates or frees slots, so a
+//!   snapshot's indices remain valid in the master arena; instruction
+//!   payloads are copied back only when the unit performed §5.3 renames
+//!   (the sole payload mutation a scheduling pass makes);
 //! * registers allocated by §5.3 speculative renaming are renumbered
 //!   into the order the sequential pass would have allocated them
 //!   (workers allocate from identical clone counters, so their choices
@@ -40,7 +46,7 @@ use crate::config::SchedConfig;
 use crate::global::{region_within_size_limits, schedule_region_observed, subtree_blocks};
 use crate::stats::SchedStats;
 use gis_cfg::{Cfg, RegionId, RegionTree};
-use gis_ir::{BlockId, Function, Inst, Reg, RegClass};
+use gis_ir::{BlockId, Function, Reg, RegClass};
 use gis_machine::MachineDescription;
 use gis_trace::{Recorder, SchedObserver, TraceEvent};
 use std::collections::HashMap;
@@ -105,10 +111,11 @@ struct RegionOutcome {
 }
 
 /// What scheduling one unit produced: per-region outcomes (in the unit's
-/// region order) plus the final contents of the unit's blocks.
+/// region order) plus the worker's scratch snapshot, from which the merge
+/// adopts the unit's blocks.
 struct UnitOutcome {
     regions: Vec<(RegionId, RegionOutcome)>,
-    blocks: Vec<(BlockId, Vec<Inst>)>,
+    scratch: Function,
 }
 
 const CLASSES: [RegClass; 3] = [RegClass::Gpr, RegClass::Fpr, RegClass::Cr];
@@ -182,27 +189,44 @@ pub(crate) fn global_pass<O: SchedObserver>(
     }
 
     // Fan the units out over the pool. Work is claimed from a shared
-    // counter, but every unit runs against its own clone of the pre-pass
-    // function, so the distribution of units to workers cannot influence
-    // any result.
+    // counter, but every unit runs against its own snapshot of the
+    // pre-pass function, so the distribution of units to workers cannot
+    // influence any result.
     let master: &Function = f;
     let results: Vec<Mutex<Option<UnitOutcome>>> = units.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(units.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(unit) = units.get(i) else {
-                    break;
-                };
-                let out = run_unit(master, machine, cfg, tree, config, unit, tracing);
-                *results[i].lock().expect("no poisoned worker slots") = Some(out);
-            });
-        }
-    });
+    // More runnable threads than hardware can run is pure scheduler
+    // overhead for CPU-bound work: cap the pool at the machine's
+    // parallelism. The unit partition and the deterministic merge are
+    // unaffected — a single worker draining every unit produces the same
+    // outcome objects the widest pool would. With one worker, don't
+    // spawn at all: a spawned thread allocates from a non-main malloc
+    // arena, which returns freed memory to the kernel far more eagerly
+    // than the main thread's heap and turns the pass's allocation
+    // traffic into syscall churn.
+    let workers = jobs.min(units.len()).min(effective_jobs(0));
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(unit) = units.get(i) else {
+            break;
+        };
+        let out = run_unit(master, machine, cfg, tree, config, unit, tracing);
+        *results[i].lock().expect("no poisoned worker slots") = Some(out);
+    };
+    if workers <= 1 {
+        work();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(work);
+            }
+        });
+    }
 
     // ---- Deterministic merge. -----------------------------------------
-    // Splice the units' block contents back (disjoint block sets).
+    // Adopt the units' blocks back from their snapshots (disjoint block
+    // sets). Payloads only changed if the unit renamed (§5.3), which is
+    // visible as its register counters advancing.
     let mut unit_remaps: Vec<HashMap<Reg, Reg>> =
         (0..units.len()).map(|_| HashMap::new()).collect();
     for (ui, slot) in results.into_iter().enumerate() {
@@ -210,8 +234,9 @@ pub(crate) fn global_pass<O: SchedObserver>(
             .into_inner()
             .expect("no poisoned worker slots")
             .expect("every unit was claimed and completed");
-        for (b, insts) in out.blocks.drain(..) {
-            *f.block_mut(b).insts_mut() = insts;
+        let renamed = out.regions.iter().any(|(_, ro)| ro.reg_from != ro.reg_to);
+        for &b in &units[ui].blocks {
+            f.adopt_block_from(&out.scratch, b, renamed);
         }
         for (rid, ro) in out.regions.drain(..) {
             outcomes.insert(rid, (ui, ro));
@@ -239,10 +264,10 @@ pub(crate) fn global_pass<O: SchedObserver>(
             continue;
         }
         for &b in &units[ui].blocks {
-            for inst in f.block_mut(b).insts_mut() {
+            f.map_block_insts(b, |inst| {
                 inst.op.map_defs(|r| *remap.get(&r).unwrap_or(&r));
                 inst.op.map_uses(|r| *remap.get(&r).unwrap_or(&r));
-            }
+            });
         }
     }
 
@@ -327,8 +352,8 @@ fn partition(
     (units, skip_only)
 }
 
-/// Schedules one unit's regions, in order, against a private clone of the
-/// pre-pass function.
+/// Schedules one unit's regions, in order, against a private
+/// copy-on-write snapshot of the pre-pass function.
 fn run_unit(
     master: &Function,
     machine: &MachineDescription,
@@ -338,7 +363,7 @@ fn run_unit(
     unit: &Unit,
     tracing: bool,
 ) -> UnitOutcome {
-    let mut fu = master.clone();
+    let mut fu = master.snapshot();
     let mut regions = Vec::with_capacity(unit.regions.len());
     for &rid in &unit.regions {
         let reg_from = fu.reg_counters();
@@ -355,12 +380,10 @@ fn run_unit(
             },
         ));
     }
-    let blocks = unit
-        .blocks
-        .iter()
-        .map(|&b| (b, std::mem::take(fu.block_mut(b).insts_mut())))
-        .collect();
-    UnitOutcome { regions, blocks }
+    UnitOutcome {
+        regions,
+        scratch: fu,
+    }
 }
 
 #[cfg(test)]

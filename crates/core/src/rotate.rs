@@ -130,7 +130,8 @@ pub fn rotate_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
 
     // 3. Redirect hi's back edge into the copy.
     let len = f.block(BlockId::new(hi as u32)).len();
-    let last = &mut f.block_mut(BlockId::new(hi as u32)).insts_mut()[len - 1].op;
+    let mut tail = f.block_mut(BlockId::new(hi as u32));
+    let last = &mut tail.inst_mut(len - 1).op;
     match last {
         Op::Branch { target } => *target = h2,
         Op::BranchCond { target, when, .. } if flip_needed => {

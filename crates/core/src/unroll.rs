@@ -104,7 +104,7 @@ pub fn unroll_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
         let dst = BlockId::new((hi + 1 + k) as u32);
         f.clone_insts_into(src, dst);
         let shift = n as u32;
-        for inst in f.block_mut(dst).insts_mut() {
+        f.map_block_insts(dst, |inst| {
             inst.op.map_targets(|t| {
                 if t.index() > lo && t.index() <= hi {
                     BlockId::new(t.index() as u32 + shift)
@@ -112,7 +112,7 @@ pub fn unroll_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
                     t
                 }
             });
-        }
+        });
     }
 
     // 3. Redirect the original body's back edges into the clone's header,
@@ -132,7 +132,8 @@ pub fn unroll_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
                 when,
             } if target.index() == lo => {
                 let len = f.block(bid).len();
-                let op = &mut f.block_mut(bid).insts_mut()[len - 1].op;
+                let mut bm = f.block_mut(bid);
+                let op = &mut bm.inst_mut(len - 1).op;
                 if b == hi {
                     // Taken used to mean "next iteration"; now exiting is
                     // the branch and the next iteration falls through into
@@ -154,7 +155,8 @@ pub fn unroll_loop(f: &mut Function, lo: BlockId, hi: BlockId) -> bool {
             }
             Op::Branch { target } if target.index() == lo => {
                 let len = f.block(bid).len();
-                f.block_mut(bid).insts_mut()[len - 1].op = Op::Branch {
+                let mut bm = f.block_mut(bid);
+                bm.inst_mut(len - 1).op = Op::Branch {
                     target: clone_header,
                 };
             }

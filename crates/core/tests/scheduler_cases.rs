@@ -172,7 +172,6 @@ fn bb_scheduler_handles_wide_machines() {
     let order: Vec<u32> = f
         .block(BlockId::new(0))
         .insts()
-        .iter()
         .map(|i| i.id.index() as u32)
         .collect();
     let pos = |id: u32| order.iter().position(|&x| x == id).unwrap();

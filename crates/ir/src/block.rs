@@ -1,5 +1,13 @@
 //! Basic blocks and instructions.
+//!
+//! Since the arena refactor a block stores no instruction payloads: it is
+//! a label plus an ordered list of [`InstIdx`] arena indices. The public
+//! way to read a block is [`Function::block`](crate::Function::block)
+//! (returning a [`BlockRef`](crate::BlockRef) view) and the public way to
+//! mutate one is [`Function::block_mut`](crate::Function::block_mut)
+//! (returning a [`BlockMut`](crate::BlockMut)).
 
+use crate::arena::InstIdx;
 use crate::op::Op;
 use std::fmt;
 
@@ -33,6 +41,8 @@ impl fmt::Display for BlockId {
 /// Instruction ids are assigned once and survive scheduling: when the
 /// global scheduler moves an instruction between blocks its id does not
 /// change, which is how tests pin down motions like "I18 moved into BL1".
+/// Ids are dense (suitable for dense side tables) but *positional lookup*
+/// by id costs a scan; the arena index ([`InstIdx`]) is the O(1) handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstId(u32);
 
@@ -70,131 +80,20 @@ impl Inst {
     }
 }
 
-/// A basic block: a label and a straight-line run of instructions.
-///
-/// Control transfers appear only as the final instruction (an unconditional
-/// branch or return) or as a conditional branch that is last with the next
-/// layout block as its fall-through; [`Function::verify`](crate::Function::verify)
-/// enforces this shape.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Block {
-    label: String,
-    insts: Vec<Inst>,
+/// Block storage: a label and the ordered arena indices of the block's
+/// instructions. Payloads live in the function's arena; moving an
+/// instruction between blocks moves one `InstIdx`, never an [`Op`].
+#[derive(Debug, Clone)]
+pub(crate) struct BlockData {
+    pub(crate) label: String,
+    pub(crate) list: Vec<InstIdx>,
 }
 
-impl Block {
-    /// Creates an empty block with the given label.
-    pub fn new(label: impl Into<String>) -> Self {
-        Block {
+impl BlockData {
+    pub(crate) fn new(label: impl Into<String>) -> Self {
+        BlockData {
             label: label.into(),
-            insts: Vec::new(),
+            list: Vec::new(),
         }
-    }
-
-    /// The block's label (used by the printer and parser; unique within a
-    /// function).
-    pub fn label(&self) -> &str {
-        &self.label
-    }
-
-    /// Renames the block. Transformation passes that clone blocks (loop
-    /// unrolling, rotation) use this to keep labels unique; callers must
-    /// re-[`verify`](crate::Function::verify) afterwards.
-    pub fn set_label(&mut self, label: impl Into<String>) {
-        self.label = label.into();
-    }
-
-    /// The block's instructions in order.
-    pub fn insts(&self) -> &[Inst] {
-        &self.insts
-    }
-
-    /// Mutable access to the instruction list.
-    ///
-    /// Transformations that reorder or move instructions use this; they are
-    /// expected to re-[`verify`](crate::Function::verify) afterwards.
-    pub fn insts_mut(&mut self) -> &mut Vec<Inst> {
-        &mut self.insts
-    }
-
-    /// Appends an instruction.
-    pub fn push(&mut self, inst: Inst) {
-        self.insts.push(inst);
-    }
-
-    /// Number of instructions.
-    pub fn len(&self) -> usize {
-        self.insts.len()
-    }
-
-    /// Whether the block holds no instructions.
-    pub fn is_empty(&self) -> bool {
-        self.insts.is_empty()
-    }
-
-    /// The final instruction, if any.
-    pub fn last(&self) -> Option<&Inst> {
-        self.insts.last()
-    }
-
-    /// Whether control can fall through past the end of this block to the
-    /// next block in layout order.
-    pub fn falls_through(&self) -> bool {
-        match self.insts.last() {
-            Some(inst) => !inst.op.is_block_end(),
-            None => true,
-        }
-    }
-
-    /// Removes and returns the instruction with the given id, or `None` if
-    /// it is not in this block.
-    pub fn remove(&mut self, id: InstId) -> Option<Inst> {
-        let pos = self.insts.iter().position(|i| i.id == id)?;
-        Some(self.insts.remove(pos))
-    }
-
-    /// Finds the position of an instruction by id.
-    pub fn position(&self, id: InstId) -> Option<usize> {
-        self.insts.iter().position(|i| i.id == id)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::op::Op;
-    use crate::reg::Reg;
-
-    #[test]
-    fn fallthrough_rules() {
-        let mut b = Block::new("CL.0");
-        assert!(b.falls_through(), "empty blocks fall through");
-        b.push(Inst::new(
-            InstId::new(0),
-            Op::LoadImm {
-                rt: Reg::gpr(0),
-                imm: 1,
-            },
-        ));
-        assert!(b.falls_through());
-        b.push(Inst::new(InstId::new(1), Op::Ret));
-        assert!(!b.falls_through());
-    }
-
-    #[test]
-    fn remove_by_id() {
-        let mut b = Block::new("x");
-        b.push(Inst::new(
-            InstId::new(4),
-            Op::LoadImm {
-                rt: Reg::gpr(0),
-                imm: 1,
-            },
-        ));
-        b.push(Inst::new(InstId::new(9), Op::Ret));
-        let removed = b.remove(InstId::new(4)).expect("present");
-        assert_eq!(removed.id, InstId::new(4));
-        assert_eq!(b.len(), 1);
-        assert!(b.remove(InstId::new(4)).is_none());
     }
 }

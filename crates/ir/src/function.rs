@@ -1,9 +1,13 @@
-//! Functions: layout-ordered blocks plus symbol and id allocation.
+//! Functions: arena-backed instructions, layout-ordered blocks, symbol
+//! and id allocation.
 
-use crate::block::{Block, BlockId, Inst, InstId};
+use crate::arena::{InstArena, InstIdx};
+use crate::block::{BlockData, BlockId, Inst, InstId};
 use crate::op::Op;
 use crate::reg::{Reg, RegClass};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a memory symbol (array / global) within a [`Function`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -28,19 +32,302 @@ impl fmt::Display for SymId {
 }
 
 /// A function: a name, a layout-ordered list of basic blocks (the entry is
-/// the first block), and the allocation state for fresh instruction ids and
-/// symbolic registers.
+/// the first block), the instruction arena the blocks index into, and the
+/// allocation state for fresh instruction ids and symbolic registers.
 ///
 /// Construct functions with [`FunctionBuilder`](crate::FunctionBuilder) or
 /// [`parse_function`](crate::parse_function); transformation passes mutate
 /// them in place and re-check [`Function::verify`].
+///
+/// Instruction payloads live in a chunked generational arena shared
+/// copy-on-write with [`Function::snapshot`]s; blocks hold ordered
+/// [`InstIdx`] lists. Read a block through [`Function::block`] (a
+/// [`BlockRef`] view), mutate it through [`Function::block_mut`] (a
+/// [`BlockMut`]), and move instructions between blocks with
+/// [`Function::relink_inst`] — an index relink that never touches the
+/// payload.
 #[derive(Debug, Clone)]
 pub struct Function {
     name: String,
-    blocks: Vec<Block>,
+    arena: InstArena,
+    blocks: Vec<Arc<BlockData>>,
     symbols: Vec<String>,
     next_inst: u32,
     next_reg: [u32; 3],
+}
+
+/// A read-only view of one basic block.
+///
+/// `BlockRef` is a `Copy` lens pairing the function (for arena access)
+/// with the block's index list, so iteration yields `&Inst` directly:
+///
+/// ```
+/// use gis_ir::parse_function;
+///
+/// let f = parse_function("func t\ne:\n LI r0=1\n AI r1=r0,2\n RET\n").unwrap();
+/// for (bid, block) in f.blocks() {
+///     for inst in block.insts() {
+///         println!("{bid}: ({}) {}", inst.id, f.op_to_string(&inst.op));
+///     }
+/// }
+/// assert_eq!(f.block(f.entry()).len(), 3);
+/// ```
+#[derive(Clone, Copy)]
+pub struct BlockRef<'a> {
+    f: &'a Function,
+    data: &'a BlockData,
+    id: BlockId,
+}
+
+impl<'a> BlockRef<'a> {
+    /// The id of the viewed block.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The block's label (used by the printer and parser; unique within a
+    /// function).
+    pub fn label(&self) -> &'a str {
+        &self.data.label
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.data.list.len()
+    }
+
+    /// Whether the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.data.list.is_empty()
+    }
+
+    /// The block's ordered arena indices.
+    pub fn indices(&self) -> &'a [InstIdx] {
+        &self.data.list
+    }
+
+    /// The block's instructions in order.
+    pub fn insts(&self) -> Insts<'a> {
+        Insts {
+            f: self.f,
+            iter: self.data.list.iter(),
+        }
+    }
+
+    /// The instruction at list position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn inst_at(&self, pos: usize) -> &'a Inst {
+        self.f.inst(self.data.list[pos])
+    }
+
+    /// The arena index at list position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn idx_at(&self, pos: usize) -> InstIdx {
+        self.data.list[pos]
+    }
+
+    /// The final instruction, if any.
+    pub fn last(&self) -> Option<&'a Inst> {
+        self.data.list.last().map(|&ix| self.f.inst(ix))
+    }
+
+    /// Finds the position of an instruction by id.
+    pub fn position(&self, id: InstId) -> Option<usize> {
+        self.data
+            .list
+            .iter()
+            .position(|&ix| self.f.inst(ix).id == id)
+    }
+
+    /// Whether control can fall through past the end of this block to the
+    /// next block in layout order.
+    pub fn falls_through(&self) -> bool {
+        match self.last() {
+            Some(inst) => !inst.op.is_block_end(),
+            None => true,
+        }
+    }
+}
+
+/// Iterator over a block's instructions (see [`BlockRef::insts`]).
+pub struct Insts<'a> {
+    f: &'a Function,
+    iter: std::slice::Iter<'a, InstIdx>,
+}
+
+impl<'a> Iterator for Insts<'a> {
+    type Item = &'a Inst;
+
+    fn next(&mut self) -> Option<&'a Inst> {
+        self.iter.next().map(|&ix| self.f.inst(ix))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for Insts<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.iter.next_back().map(|&ix| self.f.inst(ix))
+    }
+}
+
+impl ExactSizeIterator for Insts<'_> {}
+
+/// A mutating view of one basic block (see [`Function::block_mut`]).
+///
+/// Structural edits (push/insert/remove/reorder) rewrite the block's
+/// index list and allocate or free arena slots; payload edits go through
+/// [`BlockMut::inst_mut`]. Both copy shared copy-on-write state first, so
+/// mutating a block never disturbs a [`Function::snapshot`].
+pub struct BlockMut<'a> {
+    f: &'a mut Function,
+    id: BlockId,
+}
+
+impl BlockMut<'_> {
+    fn data(&mut self) -> &mut BlockData {
+        Arc::make_mut(&mut self.f.blocks[self.id.index()])
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.f.blocks[self.id.index()].list.len()
+    }
+
+    /// Whether the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.f.blocks[self.id.index()].list.is_empty()
+    }
+
+    /// Finds the position of an instruction by id.
+    pub fn position(&self, id: InstId) -> Option<usize> {
+        self.f.block(self.id).position(id)
+    }
+
+    /// Renames the block. Transformation passes that clone blocks (loop
+    /// unrolling, rotation) use this to keep labels unique; callers must
+    /// re-[`verify`](Function::verify) afterwards.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.data().label = label.into();
+    }
+
+    /// Appends an instruction, returning its arena index.
+    pub fn push(&mut self, inst: Inst) -> InstIdx {
+        let ix = self.f.arena.alloc(inst);
+        self.data().list.push(ix);
+        ix
+    }
+
+    /// Inserts an instruction at list position `pos`, returning its arena
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > len`.
+    pub fn insert(&mut self, pos: usize, inst: Inst) -> InstIdx {
+        let ix = self.f.arena.alloc(inst);
+        self.data().list.insert(pos, ix);
+        ix
+    }
+
+    /// Removes and returns the instruction with the given id, freeing its
+    /// arena slot, or `None` if it is not in this block.
+    pub fn remove(&mut self, id: InstId) -> Option<Inst> {
+        let pos = self.position(id)?;
+        Some(self.remove_at(pos))
+    }
+
+    /// Removes and returns the instruction at list position `pos`,
+    /// freeing its arena slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn remove_at(&mut self, pos: usize) -> Inst {
+        let ix = self.data().list.remove(pos);
+        self.f
+            .arena
+            .remove(ix)
+            .expect("block list holds live indices")
+    }
+
+    /// Mutable access to the instruction at list position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn inst_mut(&mut self, pos: usize) -> &mut Inst {
+        let ix = self.f.blocks[self.id.index()].list[pos];
+        self.f.inst_mut(ix)
+    }
+
+    /// Keeps only the instructions for which `pred` returns `true`,
+    /// freeing the others' arena slots. Order is preserved.
+    pub fn retain(&mut self, mut pred: impl FnMut(&Inst) -> bool) {
+        let list: Vec<InstIdx> = self.f.blocks[self.id.index()].list.clone();
+        let mut kept = Vec::with_capacity(list.len());
+        for ix in list {
+            if pred(self.f.inst(ix)) {
+                kept.push(ix);
+            } else {
+                self.f
+                    .arena
+                    .remove(ix)
+                    .expect("block list holds live indices");
+            }
+        }
+        self.data().list = kept;
+    }
+
+    /// Drops every instruction from list position `n` on, freeing their
+    /// arena slots.
+    pub fn truncate(&mut self, n: usize) {
+        while self.len() > n {
+            let pos = self.len() - 1;
+            self.remove_at(pos);
+        }
+    }
+
+    /// Reorders the block's instructions by a sort key. The sort is
+    /// stable and purely an index permutation — no payload moves.
+    pub fn sort_by_key<K: Ord>(&mut self, mut key: impl FnMut(&Inst) -> K) {
+        let mut pairs: Vec<(K, InstIdx)> = self.f.blocks[self.id.index()]
+            .list
+            .iter()
+            .map(|&ix| (key(self.f.inst(ix)), ix))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let data = self.data();
+        for (slot, (_, ix)) in data.list.iter_mut().zip(pairs) {
+            *slot = ix;
+        }
+    }
+
+    /// Reorders the block to match `order`, which must list exactly the
+    /// ids currently in the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the block's ids.
+    pub fn set_order(&mut self, order: &[InstId]) {
+        let current = &self.f.blocks[self.id.index()].list;
+        assert_eq!(order.len(), current.len(), "set_order length mismatch");
+        let mut by_id: HashMap<InstId, InstIdx> =
+            current.iter().map(|&ix| (self.f.inst(ix).id, ix)).collect();
+        let list: Vec<InstIdx> = order
+            .iter()
+            .map(|id| by_id.remove(id).expect("set_order: id not in block"))
+            .collect();
+        self.data().list = list;
+    }
 }
 
 impl Function {
@@ -48,6 +335,7 @@ impl Function {
     pub fn new(name: impl Into<String>) -> Self {
         Function {
             name: name.into(),
+            arena: InstArena::default(),
             blocks: Vec::new(),
             symbols: Vec::new(),
             next_inst: 0,
@@ -72,7 +360,7 @@ impl Function {
 
     /// Total number of instructions across all blocks.
     pub fn num_insts(&self) -> usize {
-        self.blocks.iter().map(Block::len).sum()
+        self.blocks.iter().map(|b| b.list.len()).sum()
     }
 
     /// An exclusive upper bound on instruction id indices, usable to size
@@ -81,12 +369,12 @@ impl Function {
         self.next_inst as usize
     }
 
-    /// The blocks in layout order.
-    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId::new(i as u32), b))
+    /// The blocks in layout order, as read-only views.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, BlockRef<'_>)> {
+        self.blocks.iter().enumerate().map(|(i, data)| {
+            let id = BlockId::new(i as u32);
+            (id, BlockRef { f: self, data, id })
+        })
     }
 
     /// All block ids in layout order.
@@ -94,28 +382,100 @@ impl Function {
         (0..self.blocks.len() as u32).map(BlockId::new)
     }
 
-    /// A block by id.
+    /// A read-only view of a block.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn block(&self, id: BlockId) -> &Block {
-        &self.blocks[id.index()]
+    pub fn block(&self, id: BlockId) -> BlockRef<'_> {
+        BlockRef {
+            f: self,
+            data: &self.blocks[id.index()],
+            id,
+        }
     }
 
-    /// Mutable access to a block.
+    /// A mutating view of a block.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
-        &mut self.blocks[id.index()]
+    pub fn block_mut(&mut self, id: BlockId) -> BlockMut<'_> {
+        assert!(id.index() < self.blocks.len(), "block id out of range");
+        BlockMut { f: self, id }
+    }
+
+    /// The instruction at an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is stale (its slot was freed or reused).
+    pub fn inst(&self, ix: InstIdx) -> &Inst {
+        self.arena.get(ix).expect("stale instruction index")
+    }
+
+    /// The instruction at an arena index, or `None` if the index is stale
+    /// (its slot was freed, or freed and reused under a newer generation).
+    pub fn get_inst(&self, ix: InstIdx) -> Option<&Inst> {
+        self.arena.get(ix)
+    }
+
+    /// Mutable access to the instruction at an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is stale (its slot was freed or reused).
+    pub fn inst_mut(&mut self, ix: InstIdx) -> &mut Inst {
+        self.arena.get_mut(ix).expect("stale instruction index")
+    }
+
+    /// Applies `apply` to every instruction of block `b` in order.
+    pub fn map_block_insts(&mut self, b: BlockId, mut apply: impl FnMut(&mut Inst)) {
+        for p in 0..self.blocks[b.index()].list.len() {
+            let ix = self.blocks[b.index()].list[p];
+            apply(self.inst_mut(ix));
+        }
+    }
+
+    fn for_each_inst_mut(&mut self, mut apply: impl FnMut(&mut Inst)) {
+        for i in 0..self.blocks.len() {
+            for p in 0..self.blocks[i].list.len() {
+                let ix = self.blocks[i].list[p];
+                apply(self.inst_mut(ix));
+            }
+        }
+    }
+
+    /// Moves the instruction `id` from block `from` to list position `at`
+    /// of block `to`, preserving its id and arena slot.
+    ///
+    /// This is the scheduler's motion primitive: a pure index relink.
+    /// The payload is never cloned or moved, so any [`InstIdx`] to the
+    /// instruction stays valid, and the cost is bounded by the two
+    /// blocks' list lengths (≤ the §6 region size cap), independent of
+    /// operand payload size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `from` or `at` is out of range for `to`.
+    pub fn relink_inst(&mut self, id: InstId, from: BlockId, to: BlockId, at: usize) -> InstIdx {
+        let pos = self
+            .block(from)
+            .position(id)
+            .expect("relink_inst: id not in source block");
+        let ix = Arc::make_mut(&mut self.blocks[from.index()])
+            .list
+            .remove(pos);
+        Arc::make_mut(&mut self.blocks[to.index()])
+            .list
+            .insert(at, ix);
+        ix
     }
 
     /// Appends a new empty block and returns its id.
     pub fn add_block(&mut self, label: impl Into<String>) -> BlockId {
         let id = BlockId::new(self.blocks.len() as u32);
-        self.blocks.push(Block::new(label));
+        self.blocks.push(Arc::new(BlockData::new(label)));
         id
     }
 
@@ -125,7 +485,7 @@ impl Function {
     /// fall-through path that now passes through the new, empty block).
     pub fn insert_block_at(&mut self, at: usize, label: impl Into<String>) -> BlockId {
         assert!(at <= self.blocks.len(), "insert position out of range");
-        self.blocks.insert(at, Block::new(label));
+        self.blocks.insert(at, Arc::new(BlockData::new(label)));
         let shift = |t: BlockId| {
             if t.index() >= at {
                 BlockId::new(t.index() as u32 + 1)
@@ -133,14 +493,7 @@ impl Function {
                 t
             }
         };
-        for (i, b) in self.blocks.iter_mut().enumerate() {
-            if i == at {
-                continue;
-            }
-            for inst in b.insts_mut() {
-                inst.op.map_targets(shift);
-            }
-        }
+        self.for_each_inst_mut(|inst| inst.op.map_targets(shift));
         BlockId::new(at as u32)
     }
 
@@ -245,17 +598,15 @@ impl Function {
     pub fn recompute_allocators(&mut self) {
         let mut next_inst = 0u32;
         let mut next_reg = [0u32; 3];
-        for b in &self.blocks {
-            for inst in b.insts() {
-                next_inst = next_inst.max(inst.id.index() as u32 + 1);
-                for r in inst.op.defs().into_iter().chain(inst.op.uses()) {
-                    let slot = match r.class() {
-                        RegClass::Gpr => 0,
-                        RegClass::Fpr => 1,
-                        RegClass::Cr => 2,
-                    };
-                    next_reg[slot] = next_reg[slot].max(r.index() + 1);
-                }
+        for (_, inst) in self.insts() {
+            next_inst = next_inst.max(inst.id.index() as u32 + 1);
+            for r in inst.op.defs().into_iter().chain(inst.op.uses()) {
+                let slot = match r.class() {
+                    RegClass::Gpr => 0,
+                    RegClass::Fpr => 1,
+                    RegClass::Cr => 2,
+                };
+                next_reg[slot] = next_reg[slot].max(r.index() + 1);
             }
         }
         self.next_inst = self.next_inst.max(next_inst);
@@ -266,8 +617,11 @@ impl Function {
 
     /// Iterates over every instruction with its containing block.
     pub fn insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> {
-        self.blocks()
-            .flat_map(|(id, b)| b.insts().iter().map(move |i| (id, i)))
+        self.blocks.iter().enumerate().flat_map(move |(i, data)| {
+            data.list
+                .iter()
+                .map(move |&ix| (BlockId::new(i as u32), self.inst(ix)))
+        })
     }
 
     /// Finds an instruction by id, returning its block and position.
@@ -285,15 +639,13 @@ impl Function {
     /// Branch targets are copied verbatim; callers performing unrolling or
     /// rotation remap them afterwards via [`Op::map_targets`].
     pub fn clone_insts_into(&mut self, src: BlockId, dst: BlockId) -> Vec<(InstId, InstId)> {
-        let cloned: Vec<Op> = self
+        let pairs: Vec<(InstId, Op)> = self
             .block(src)
             .insts()
-            .iter()
-            .map(|i| i.op.clone())
+            .map(|i| (i.id, i.op.clone()))
             .collect();
-        let src_ids: Vec<InstId> = self.block(src).insts().iter().map(|i| i.id).collect();
-        let mut map = Vec::with_capacity(cloned.len());
-        for (orig, op) in src_ids.into_iter().zip(cloned) {
+        let mut map = Vec::with_capacity(pairs.len());
+        for (orig, op) in pairs {
             let id = self.fresh_inst_id();
             self.block_mut(dst).push(Inst::new(id, op));
             map.push((orig, id));
@@ -302,8 +654,9 @@ impl Function {
     }
 
     /// Deletes every block that is unreachable from the entry (following
-    /// [`Function::succs`]) and remaps the surviving branch targets.
-    /// Returns the number of blocks removed.
+    /// [`Function::succs`]) and remaps the surviving branch targets,
+    /// freeing the removed instructions' arena slots. Returns the number
+    /// of blocks removed.
     ///
     /// Fall-through edges are preserved: a block only falls through into
     /// its layout successor, and a fall-through target is by definition
@@ -342,14 +695,16 @@ impl Function {
         for (i, block) in std::mem::take(&mut self.blocks).into_iter().enumerate() {
             if reachable[i] {
                 kept.push(block);
-            }
-        }
-        for block in &mut kept {
-            for inst in block.insts_mut() {
-                inst.op.map_targets(|t| remap[t.index()]);
+            } else {
+                for &ix in &block.list {
+                    self.arena
+                        .remove(ix)
+                        .expect("block list holds live indices");
+                }
             }
         }
         self.blocks = kept;
+        self.for_each_inst_mut(|inst| inst.op.map_targets(|t| remap[t.index()]));
         removed
     }
 
@@ -362,6 +717,73 @@ impl Function {
         regs.sort();
         regs.dedup();
         regs
+    }
+
+    /// A cheap copy-on-write snapshot of this function.
+    ///
+    /// Snapshotting bumps the reference counts of the arena chunks and
+    /// block lists instead of cloning instruction payloads, so its cost
+    /// is O(blocks + instructions/64) — this is what lets each `--jobs`
+    /// worker take whole-function scratch without deep clones. The two
+    /// functions then diverge copy-on-write: mutating either side copies
+    /// only the touched 64-slot chunk or block list.
+    ///
+    /// ```
+    /// use gis_ir::parse_function;
+    ///
+    /// let f = parse_function("func t\ne:\n LI r0=1\n RET\n").unwrap();
+    /// let mut scratch = f.snapshot();
+    /// let b = scratch.entry();
+    /// scratch.block_mut(b).remove_at(0);
+    /// assert_eq!(scratch.num_insts(), 1);
+    /// assert_eq!(f.num_insts(), 2, "the original is untouched");
+    /// ```
+    pub fn snapshot(&self) -> Function {
+        self.clone()
+    }
+
+    /// Adopts block `b` from `src`, a diverged [`Function::snapshot`] of
+    /// this function: this function's block (label and index list) is
+    /// replaced by `src`'s, and when `copy_payloads` is set the payloads
+    /// of the adopted instructions are copied across too.
+    ///
+    /// This is the zero-clone merge primitive of the parallel scheduler:
+    /// scheduling only *relinks* indices (and, when renaming fired,
+    /// edits payloads in place — never allocating or freeing slots), so
+    /// a worker's result block can be adopted by swapping one `Arc` and,
+    /// only when the worker renamed, copying the touched payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the two functions' arenas are not
+    /// slot-aligned, and at payload copy if an adopted index is stale on
+    /// either side.
+    pub fn adopt_block_from(&mut self, src: &Function, b: BlockId, copy_payloads: bool) {
+        debug_assert_eq!(
+            self.arena.slots_len(),
+            src.arena.slots_len(),
+            "adopt_block_from requires slot-aligned arenas"
+        );
+        let src_block = &src.blocks[b.index()];
+        if copy_payloads {
+            for &ix in &src_block.list {
+                self.arena.adopt_payload(&src.arena, ix);
+            }
+        }
+        self.blocks[b.index()] = Arc::clone(src_block);
+    }
+
+    /// Number of live instructions in the arena (equals
+    /// [`Function::num_insts`] as long as every list entry is live).
+    pub fn arena_live(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total arena slots ever allocated (live + freed). Grows on alloc
+    /// when no freed slot is available; never shrinks. Slot-count
+    /// equality is the precondition for [`Function::adopt_block_from`].
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slots_len()
     }
 }
 
@@ -395,6 +817,110 @@ mod tests {
         // Conditional branch to BL1, fall-through also BL1: deduplicated.
         assert_eq!(f.succs(BlockId::new(0)), vec![BlockId::new(1)]);
         assert!(f.succs(BlockId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn fallthrough_rules() {
+        let mut f = Function::new("t");
+        let b = f.add_block("CL.0");
+        assert!(f.block(b).falls_through(), "empty blocks fall through");
+        let id = f.fresh_inst_id();
+        f.block_mut(b).push(Inst::new(
+            id,
+            Op::LoadImm {
+                rt: Reg::gpr(0),
+                imm: 1,
+            },
+        ));
+        assert!(f.block(b).falls_through());
+        let id = f.fresh_inst_id();
+        f.block_mut(b).push(Inst::new(id, Op::Ret));
+        assert!(!f.block(b).falls_through());
+    }
+
+    #[test]
+    fn remove_by_id_frees_the_slot() {
+        let mut f = Function::new("t");
+        let b = f.add_block("x");
+        f.block_mut(b).push(Inst::new(
+            InstId::new(4),
+            Op::LoadImm {
+                rt: Reg::gpr(0),
+                imm: 1,
+            },
+        ));
+        f.block_mut(b).push(Inst::new(InstId::new(9), Op::Ret));
+        let stale = f.block(b).idx_at(0);
+        let removed = f.block_mut(b).remove(InstId::new(4)).expect("present");
+        assert_eq!(removed.id, InstId::new(4));
+        assert_eq!(f.block(b).len(), 1);
+        assert!(f.block_mut(b).remove(InstId::new(4)).is_none());
+        assert!(f.get_inst(stale).is_none(), "slot freed");
+        assert_eq!(f.arena_live(), 1);
+    }
+
+    #[test]
+    fn relink_preserves_identity_and_slot() {
+        let mut f = two_block_function();
+        let b0 = BlockId::new(0);
+        let b1 = BlockId::new(1);
+        let id = f.fresh_inst_id();
+        let ix = f.block_mut(b1).insert(
+            0,
+            Inst::new(
+                id,
+                Op::LoadImm {
+                    rt: Reg::gpr(0),
+                    imm: 5,
+                },
+            ),
+        );
+        let moved = f.relink_inst(id, b1, b0, 0);
+        assert_eq!(moved, ix, "same arena slot after motion");
+        assert_eq!(f.block(b0).inst_at(0).id, id);
+        assert_eq!(f.block(b1).len(), 1);
+        assert!(f.get_inst(ix).is_some(), "index stays valid across motion");
+    }
+
+    #[test]
+    fn snapshot_is_copy_on_write() {
+        let mut f = two_block_function();
+        let snap = f.snapshot();
+        let b1 = BlockId::new(1);
+        let id = f.fresh_inst_id();
+        f.block_mut(b1).insert(
+            0,
+            Inst::new(
+                id,
+                Op::LoadImm {
+                    rt: Reg::gpr(3),
+                    imm: 1,
+                },
+            ),
+        );
+        assert_eq!(f.block(b1).len(), 2);
+        assert_eq!(snap.block(b1).len(), 1, "snapshot unaffected");
+        assert_eq!(snap.num_insts(), 2);
+    }
+
+    #[test]
+    fn adopt_block_takes_list_and_payloads() {
+        let f = two_block_function();
+        let mut worker = f.snapshot();
+        let b0 = BlockId::new(0);
+        let b1 = BlockId::new(1);
+        // The worker moves the branchless path: relink I1's RET stays,
+        // but rename-style payload edits must be adoptable too.
+        if let Op::BranchCond { bit, .. } = &mut worker.block_mut(b0).inst_mut(0).op {
+            *bit = CondBit::Gt;
+        }
+        let mut master = f.snapshot();
+        master.adopt_block_from(&worker, b0, true);
+        master.adopt_block_from(&worker, b1, false);
+        match &master.block(b0).inst_at(0).op {
+            Op::BranchCond { bit, .. } => assert_eq!(*bit, CondBit::Gt),
+            other => panic!("unexpected op {other:?}"),
+        }
     }
 
     #[test]
@@ -433,7 +959,9 @@ mod tests {
         let inserted = f.insert_block_at(1, "CL.mid");
         assert_eq!(inserted, BlockId::new(1));
         // The branch in block 0 originally targeted BL1 (now BL2).
-        let tgt = f.block(BlockId::new(0)).insts()[0]
+        let tgt = f
+            .block(BlockId::new(0))
+            .inst_at(0)
             .op
             .branch_target()
             .unwrap();
@@ -458,7 +986,8 @@ mod tests {
         f.block_mut(tail).push(Inst::new(id, Op::Ret));
         assert_eq!(f.remove_unreachable_blocks(), 1);
         assert_eq!(f.num_blocks(), 2);
-        let tgt = f.block(e).insts()[0].op.branch_target().unwrap();
+        assert_eq!(f.arena_live(), 2, "dead block's slot was freed");
+        let tgt = f.block(e).inst_at(0).op.branch_target().unwrap();
         assert_eq!(
             tgt,
             BlockId::new(1),
@@ -477,5 +1006,31 @@ mod tests {
         assert_eq!(map.len(), 1);
         assert_ne!(map[0].0, map[0].1);
         assert_eq!(f.block(fresh).len(), 1);
+    }
+
+    #[test]
+    fn set_order_and_sort_by_key_permute_indices() {
+        let mut f = Function::new("t");
+        let b = f.add_block("e");
+        for imm in 0..3 {
+            let id = f.fresh_inst_id();
+            f.block_mut(b).push(Inst::new(
+                id,
+                Op::LoadImm {
+                    rt: Reg::gpr(imm as u32),
+                    imm,
+                },
+            ));
+        }
+        let before: Vec<InstIdx> = f.block(b).indices().to_vec();
+        f.block_mut(b)
+            .set_order(&[InstId::new(2), InstId::new(0), InstId::new(1)]);
+        let order: Vec<InstId> = f.block(b).insts().map(|i| i.id).collect();
+        assert_eq!(order, vec![InstId::new(2), InstId::new(0), InstId::new(1)]);
+        f.block_mut(b).sort_by_key(|i| i.id);
+        let order: Vec<InstId> = f.block(b).insts().map(|i| i.id).collect();
+        assert_eq!(order, vec![InstId::new(0), InstId::new(1), InstId::new(2)]);
+        let after: Vec<InstIdx> = f.block(b).indices().to_vec();
+        assert_eq!(before, after, "pure permutation, no reallocation");
     }
 }

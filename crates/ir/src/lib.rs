@@ -42,6 +42,9 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
+mod arena;
 mod bitset;
 mod block;
 mod builder;
@@ -53,13 +56,16 @@ mod parse;
 mod print;
 mod reg;
 mod verify;
+mod view;
 
+pub use arena::InstIdx;
 pub use bitset::{BlockSet, DenseBitSet, RegSet};
-pub use block::{Block, BlockId, Inst, InstId};
+pub use block::{BlockId, Inst, InstId};
 pub use builder::FunctionBuilder;
 pub use canon::{from_canonical_bytes, to_canonical_bytes, CanonError};
-pub use function::{Function, SymId};
+pub use function::{BlockMut, BlockRef, Function, Insts, SymId};
 pub use op::{CondBit, FpBinOp, FxBinOp, MemRef, Op, OpClass};
 pub use parse::{parse_function, ParseFunctionError};
 pub use reg::{Reg, RegClass};
 pub use verify::VerifyFunctionError;
+pub use view::RegionView;

@@ -256,68 +256,144 @@ impl fmt::Display for OpClass {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// `L rt=sym(base,disp)` — load the word at `base+disp` into `rt`.
-    Load { rt: Reg, mem: MemRef },
+    Load {
+        /// Target register.
+        rt: Reg,
+        /// Address read.
+        mem: MemRef,
+    },
     /// `LU rt,base=sym(base,disp)` — *load with update*: load the word at
     /// `base+disp` into `rt` and write the effective address back to
     /// `base` (the post-increment idiom of Figure 2's `I2`).
-    LoadUpdate { rt: Reg, mem: MemRef },
+    LoadUpdate {
+        /// Target register.
+        rt: Reg,
+        /// Address read; its base register is also written back.
+        mem: MemRef,
+    },
     /// `ST rs=>sym(base,disp)` — store `rs` to `base+disp`.
-    Store { rs: Reg, mem: MemRef },
+    Store {
+        /// Source register.
+        rs: Reg,
+        /// Address written.
+        mem: MemRef,
+    },
     /// `STU rs=>sym(base,disp)` — store with update of the base register.
-    StoreUpdate { rs: Reg, mem: MemRef },
+    StoreUpdate {
+        /// Source register.
+        rs: Reg,
+        /// Address written; its base register is also written back.
+        mem: MemRef,
+    },
     /// `LI rt=imm` — load immediate.
-    LoadImm { rt: Reg, imm: i64 },
+    LoadImm {
+        /// Target register.
+        rt: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
     /// `LR rt=rs` — register move (same class).
-    Move { rt: Reg, rs: Reg },
+    Move {
+        /// Target register.
+        rt: Reg,
+        /// Source register.
+        rs: Reg,
+    },
     /// Fixed point register-register operation, e.g. `A rt=ra,rb`.
     Fx {
+        /// The arithmetic/logic operation.
         op: FxBinOp,
+        /// Target register.
         rt: Reg,
+        /// First operand.
         ra: Reg,
+        /// Second operand.
         rb: Reg,
     },
     /// Fixed point register-immediate operation, e.g. `AI rt=ra,imm`.
     FxImm {
+        /// The arithmetic/logic operation.
         op: FxBinOp,
+        /// Target register.
         rt: Reg,
+        /// Register operand.
         ra: Reg,
+        /// Immediate operand.
         imm: i64,
     },
     /// Floating point register-register operation, e.g. `FA rt=ra,rb`.
     Fp {
+        /// The floating point operation.
         op: FpBinOp,
+        /// Target register.
         rt: Reg,
+        /// First operand.
         ra: Reg,
+        /// Second operand.
         rb: Reg,
     },
     /// `C crt=ra,rb` — fixed point compare setting `crt`'s lt/gt/eq bits.
-    Compare { crt: Reg, ra: Reg, rb: Reg },
+    Compare {
+        /// Condition register written.
+        crt: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
     /// `CI crt=ra,imm` — fixed point compare against an immediate.
-    CompareImm { crt: Reg, ra: Reg, imm: i64 },
+    CompareImm {
+        /// Condition register written.
+        crt: Reg,
+        /// Register operand.
+        ra: Reg,
+        /// Immediate compared against.
+        imm: i64,
+    },
     /// `FC crt=ra,rb` — floating point compare.
-    FpCompare { crt: Reg, ra: Reg, rb: Reg },
+    FpCompare {
+        /// Condition register written.
+        crt: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
     /// `BT/BF target,cr,bit` — conditional branch: taken when the given
     /// bit of `cr` equals `when`; otherwise control falls through.
     BranchCond {
+        /// Block branched to when the condition holds.
         target: BlockId,
+        /// Condition register tested.
         cr: Reg,
+        /// Which condition bit is tested.
         bit: CondBit,
+        /// The bit value that takes the branch (`true` for `BT`).
         when: bool,
     },
     /// `B target` — unconditional branch.
-    Branch { target: BlockId },
+    Branch {
+        /// Block branched to.
+        target: BlockId,
+    },
     /// `RET` — return from the function.
     Ret,
     /// `CALL name` — opaque call; uses and defines the listed registers
     /// and may read or write any memory. Never moved or speculated.
     Call {
+        /// Callee name (opaque).
         name: String,
+        /// Registers the call reads.
         uses: Vec<Reg>,
+        /// Registers the call writes.
         defs: Vec<Reg>,
     },
     /// `PRINT rs` — append `rs` to the observable output trace (the
     /// reproduction's stand-in for `printf`). Behaves like a call.
-    Print { rs: Reg },
+    Print {
+        /// Register whose value is printed.
+        rs: Reg,
+    },
 }
 
 impl Op {

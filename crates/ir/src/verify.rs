@@ -17,25 +17,55 @@ pub enum VerifyFunctionError {
     /// The function has no blocks.
     Empty,
     /// Two blocks share a label.
-    DuplicateLabel { label: String },
+    DuplicateLabel {
+        /// The shared label.
+        label: String,
+    },
     /// Two instructions share an id.
-    DuplicateInstId { id: InstId },
+    DuplicateInstId {
+        /// The shared id.
+        id: InstId,
+    },
     /// An instruction id is not below the function's allocation bound.
-    InstIdOutOfBounds { id: InstId },
+    InstIdOutOfBounds {
+        /// The out-of-bounds id.
+        id: InstId,
+    },
     /// A branch appears before the end of its block.
-    BranchNotLast { block: BlockId, id: InstId },
+    BranchNotLast {
+        /// Block holding the misplaced branch.
+        block: BlockId,
+        /// The misplaced branch.
+        id: InstId,
+    },
     /// A branch targets a block id that does not exist.
-    TargetOutOfRange { block: BlockId, id: InstId },
+    TargetOutOfRange {
+        /// Block holding the dangling branch.
+        block: BlockId,
+        /// The dangling branch.
+        id: InstId,
+    },
     /// Control can fall through past the final block.
-    FallsOffEnd { block: BlockId },
+    FallsOffEnd {
+        /// The final block.
+        block: BlockId,
+    },
     /// An operand has the wrong register class.
     OperandClass {
+        /// Block holding the offending instruction.
         block: BlockId,
+        /// The offending instruction.
         id: InstId,
+        /// Which operand violates which class constraint.
         detail: String,
     },
     /// A memory reference names a symbol that does not exist.
-    SymbolOutOfRange { block: BlockId, id: InstId },
+    SymbolOutOfRange {
+        /// Block holding the offending instruction.
+        block: BlockId,
+        /// The offending instruction.
+        id: InstId,
+    },
 }
 
 impl fmt::Display for VerifyFunctionError {
@@ -103,7 +133,7 @@ impl Function {
                 });
             }
             let len = block.len();
-            for (pos, inst) in block.insts().iter().enumerate() {
+            for (pos, inst) in block.insts().enumerate() {
                 if !ids.insert(inst.id) {
                     return Err(VerifyFunctionError::DuplicateInstId { id: inst.id });
                 }
@@ -184,7 +214,6 @@ mod tests {
         let id = f.fresh_inst_id();
         // Insert an unconditional branch *before* the RET.
         f.block_mut(b)
-            .insts_mut()
             .insert(0, Inst::new(id, Op::Branch { target: b }));
         assert!(matches!(
             f.verify(),

@@ -17,8 +17,9 @@ pub fn propagate_copies(f: &mut Function) -> usize {
         // rt -> canonical source.
         let mut copy: HashMap<Reg, Reg> = HashMap::new();
         let len = f.block(bid).len();
+        let mut bm = f.block_mut(bid);
         for pos in 0..len {
-            let inst = &mut f.block_mut(bid).insts_mut()[pos];
+            let inst = bm.inst_mut(pos);
             if !inst.op.has_tied_base() {
                 let before = inst.op.uses();
                 inst.op.map_uses(|r| copy.get(&r).copied().unwrap_or(r));
@@ -56,7 +57,7 @@ mod tests {
 
     fn uses_at(f: &Function, n: u32) -> Vec<Reg> {
         let (b, p) = f.find_inst(InstId::new(n)).expect("exists");
-        f.block(b).insts()[p].op.uses()
+        f.block(b).inst_at(p).op.uses()
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
     for bid in blocks {
         let mut live_set: RegSet = live.live_out(bid).clone();
         let mut keep: Vec<bool> = vec![true; f.block(bid).len()];
-        for (pos, inst) in f.block(bid).insts().iter().enumerate().rev() {
+        for (pos, inst) in f.block(bid).insts().enumerate().rev() {
             let op = &inst.op;
             let side_effecting = op.is_branch() || op.writes_memory();
             let self_move = matches!(op, Op::Move { rt, rs } if rt == rs);
@@ -41,7 +41,7 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
         }
         if keep.iter().any(|k| !k) {
             let mut idx = 0;
-            f.block_mut(bid).insts_mut().retain(|_| {
+            f.block_mut(bid).retain(|_| {
                 let k = keep[idx];
                 idx += 1;
                 k

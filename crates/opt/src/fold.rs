@@ -15,7 +15,7 @@ pub fn fold_constants(f: &mut Function) -> usize {
         let mut known: HashMap<Reg, i64> = HashMap::new();
         let len = f.block(bid).len();
         for pos in 0..len {
-            let op = f.block(bid).insts()[pos].op.clone();
+            let op = f.block(bid).inst_at(pos).op.clone();
             let rewritten: Option<Op> = match &op {
                 Op::Move { rt, rs } => known.get(rs).map(|&v| Op::LoadImm { rt: *rt, imm: v }),
                 Op::FxImm { op, rt, ra, imm } => known.get(ra).map(|&a| Op::LoadImm {
@@ -54,13 +54,14 @@ pub fn fold_constants(f: &mut Function) -> usize {
             };
             if let Some(new_op) = rewritten {
                 if new_op != op {
-                    f.block_mut(bid).insts_mut()[pos].op = new_op;
+                    let mut bm = f.block_mut(bid);
+                    bm.inst_mut(pos).op = new_op;
                     changed += 1;
                 }
             }
 
             // Update knowledge from the (possibly rewritten) instruction.
-            let op = &f.block(bid).insts()[pos].op;
+            let op = &f.block(bid).inst_at(pos).op;
             match op {
                 Op::LoadImm { rt, imm } => {
                     known.insert(*rt, *imm);
@@ -83,7 +84,9 @@ pub fn strength_reduce(f: &mut Function) -> usize {
     let mut changed = 0;
     let blocks: Vec<BlockId> = f.block_ids().collect();
     for bid in blocks {
-        for inst in f.block_mut(bid).insts_mut() {
+        let mut bm = f.block_mut(bid);
+        for pos in 0..bm.len() {
+            let inst = bm.inst_mut(pos);
             let new_op = match inst.op {
                 Op::FxImm {
                     op:
@@ -135,7 +138,7 @@ mod tests {
 
     fn op_at(f: &Function, n: u32) -> &Op {
         let (b, p) = f.find_inst(gis_ir::InstId::new(n)).expect("exists");
-        &f.block(b).insts()[p].op
+        &f.block(b).inst_at(p).op
     }
 
     #[test]

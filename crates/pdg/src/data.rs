@@ -193,7 +193,7 @@ impl<'f> Scope<'f> {
         scope.def_off.push(0);
         scope.use_off.push(0);
         for &b in blocks {
-            for (pos, inst) in f.block(b).insts().iter().enumerate() {
+            for (pos, inst) in f.block(b).insts().enumerate() {
                 scope.local[inst.id.index() - id_base] = order.len() as u32;
                 order.push(inst.id);
                 scope.items.push((b, pos, inst.id));
@@ -744,18 +744,16 @@ fn base_redefined_between(f: &Function, pb: BlockId, pp: usize, ib: BlockId, ip:
     if pb != ib {
         return true; // conservatively assume redefinition across blocks
     }
-    let insts = f.block(pb).insts();
-    let Some((mem_p, _)) = insts[pp].op.mem_access() else {
+    let block = f.block(pb);
+    let Some((mem_p, _)) = block.inst_at(pp).op.mem_access() else {
         return true;
     };
     let base = mem_p.base;
     // The earlier instruction itself may update the base (LU/STU).
-    if insts[pp].op.has_tied_base() {
+    if block.inst_at(pp).op.has_tied_base() {
         return true;
     }
-    insts[pp + 1..ip]
-        .iter()
-        .any(|x| x.op.defs().contains(&base))
+    (pp + 1..ip).any(|x| block.inst_at(x).op.defs().contains(&base))
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! fixed point over the affected region instead of the whole function.
 
 use gis_cfg::{Cfg, NodeId};
-use gis_ir::{Block, BlockId, Function, RegSet};
+use gis_ir::{BlockId, BlockRef, Function, RegSet};
 
 /// Live-in / live-out register sets per basic block, with the per-block
 /// `use`/`def` summaries retained so the sets can be repaired
@@ -26,7 +26,7 @@ pub struct Liveness {
     live_out: Vec<RegSet>,
 }
 
-fn summarize(block: &Block, uses: &mut RegSet, defs: &mut RegSet) {
+fn summarize(block: BlockRef<'_>, uses: &mut RegSet, defs: &mut RegSet) {
     for inst in block.insts() {
         for u in inst.op.uses() {
             if !defs.contains(u) {
@@ -249,9 +249,9 @@ mod tests {
         let mut live = Liveness::compute(&f, &cfg);
         let a = BlockId::new(0);
         let b = BlockId::new(1);
-        let moved = f.block_mut(b).insts_mut().remove(0);
+        let moved = f.block_mut(b).remove_at(0);
         let at = f.block(a).len() - 2; // before the compare/branch pair
-        f.block_mut(a).insts_mut().insert(at, moved);
+        f.block_mut(a).insert(at, moved);
         let scope: Vec<BlockId> = (0..f.num_blocks())
             .map(|i| BlockId::new(i as u32))
             .collect();
@@ -271,8 +271,8 @@ mod tests {
         let mut live = Liveness::compute(&f, &cfg);
         let a = BlockId::new(0);
         let b = BlockId::new(1);
-        let moved = f.block_mut(b).insts_mut().remove(0);
-        f.block_mut(a).insts_mut().push(moved);
+        let moved = f.block_mut(b).remove_at(0);
+        f.block_mut(a).push(moved);
         assert_eq!(f.block(b).len(), 0, "source block is now empty");
         let scope: Vec<BlockId> = (0..f.num_blocks())
             .map(|i| BlockId::new(i as u32))
@@ -307,8 +307,8 @@ mod tests {
             live.live_out(b).contains(Reg::gpr(5)),
             "loop-carried before"
         );
-        let moved = f.block_mut(b).insts_mut().remove(0);
-        f.block_mut(a).insts_mut().push(moved);
+        let moved = f.block_mut(b).remove_at(0);
+        f.block_mut(a).push(moved);
         let scope = [a, b];
         live.update_after_motion(&f, &cfg, &scope, a, b);
         assert_eq!(live, Liveness::compute(&f, &cfg));

@@ -50,7 +50,7 @@ pub fn register_pressure(f: &Function, cfg: &Cfg) -> PressureReport {
     for (bid, block) in f.blocks() {
         let mut live = liveness.live_out(bid).clone();
         report.absorb(&live);
-        for inst in block.insts().iter().rev() {
+        for inst in block.insts().rev() {
             for d in inst.op.defs() {
                 live.remove(d);
             }

@@ -88,7 +88,7 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     let mut sites: Vec<(Site, Reg)> = Vec::new();
     let mut site_of: HashMap<(BlockId, usize, Reg), usize> = HashMap::new();
     for (bid, block) in f.blocks() {
-        for (pos, inst) in block.insts().iter().enumerate() {
+        for (pos, inst) in block.insts().enumerate() {
             for d in inst.op.defs() {
                 let id = sites.len();
                 sites.push((Site::Inst { block: bid, pos }, d));
@@ -134,7 +134,7 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     // registers dead on exit are dropped.
     let transfer = |f: &Function, bid: BlockId, inn: &HashMap<Reg, HashSet<usize>>| {
         let mut env = inn.clone();
-        for (pos, inst) in f.block(bid).insts().iter().enumerate() {
+        for (pos, inst) in f.block(bid).insts().enumerate() {
             for d in inst.op.defs() {
                 env.insert(d, HashSet::from([site_of[&(bid, pos, d)]]));
             }
@@ -176,7 +176,7 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     let mut uf = UnionFind::new(sites.len());
     for (bid, block) in f.blocks() {
         let mut env = rd_in[bid.index()].clone();
-        for (pos, inst) in block.insts().iter().enumerate() {
+        for (pos, inst) in block.insts().enumerate() {
             for u in inst.op.uses() {
                 let reaching = env
                     .entry(u)
@@ -227,7 +227,7 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
     for bid in block_ids {
         let mut env = rd_in[bid.index()].clone();
         for pos in 0..f.block(bid).len() {
-            let op = &f.block(bid).insts()[pos].op;
+            let op = &f.block(bid).inst_at(pos).op;
             let uses = op.uses();
             let defs = op.defs();
             let mut use_map: HashMap<Reg, Reg> = HashMap::new();
@@ -243,7 +243,8 @@ pub fn rename_webs(f: &mut Function, cfg: &Cfg) -> RenameStats {
                 let site = site_of[&(bid, pos, *d)];
                 def_map.insert(*d, web_reg[&uf.find(site)]);
             }
-            let op = &mut f.block_mut(bid).insts_mut()[pos].op;
+            let mut bm = f.block_mut(bid);
+            let op = &mut bm.inst_mut(pos).op;
             op.map_uses(|r| use_map.get(&r).copied().unwrap_or(r));
             op.map_defs(|r| def_map.get(&r).copied().unwrap_or(r));
             for d in defs {
@@ -270,7 +271,7 @@ mod tests {
 
     fn def_of(f: &Function, id: u32) -> Reg {
         let (bid, pos) = f.find_inst(gis_ir::InstId::new(id)).expect("exists");
-        f.block(bid).insts()[pos].op.defs()[0]
+        f.block(bid).inst_at(pos).op.defs()[0]
     }
 
     #[test]
@@ -291,7 +292,7 @@ mod tests {
         // Uses follow their defs.
         let use_at = |id: u32| {
             let (bid, pos) = f.find_inst(gis_ir::InstId::new(id)).unwrap();
-            f.block(bid).insts()[pos].op.uses()[0]
+            f.block(bid).inst_at(pos).op.uses()[0]
         };
         assert_eq!(use_at(1), d0);
         assert_eq!(use_at(3), d2);
@@ -327,7 +328,7 @@ mod tests {
         // The branch using each compare follows its own web.
         let branch_use = |f: &Function, id: u32| {
             let (bid, pos) = f.find_inst(gis_ir::InstId::new(id)).unwrap();
-            match &f.block(bid).insts()[pos].op {
+            match &f.block(bid).inst_at(pos).op {
                 Op::BranchCond { cr, .. } => *cr,
                 other => panic!("expected branch, got {other:?}"),
             }
@@ -341,7 +342,7 @@ mod tests {
         // r9 is live on entry (no def): its web must not be renamed.
         let (f, _) = renamed("func i\nA:\n (I0) AI r1=r9,1\n PRINT r1\n RET\n");
         let (bid, pos) = f.find_inst(gis_ir::InstId::new(0)).unwrap();
-        assert_eq!(f.block(bid).insts()[pos].op.uses()[0], Reg::gpr(9));
+        assert_eq!(f.block(bid).inst_at(pos).op.uses()[0], Reg::gpr(9));
     }
 
     #[test]
@@ -372,9 +373,9 @@ mod tests {
         );
         let d0 = def_of(&f, 0);
         let (bid, pos) = f.find_inst(gis_ir::InstId::new(1)).unwrap();
-        let lu_defs = f.block(bid).insts()[pos].op.defs();
+        let lu_defs = f.block(bid).inst_at(pos).op.defs();
         assert_eq!(lu_defs[1], d0, "base def tied into the base web");
         let (bid2, pos2) = f.find_inst(gis_ir::InstId::new(2)).unwrap();
-        assert_eq!(f.block(bid2).insts()[pos2].op.uses()[0], d0);
+        assert_eq!(f.block(bid2).inst_at(pos2).op.uses()[0], d0);
     }
 }

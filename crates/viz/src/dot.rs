@@ -32,7 +32,6 @@ fn kind_color(kind: MotionKind) -> &'static str {
 fn inst_listing(f: &Function, label: &str) -> Option<String> {
     f.blocks().find(|(_, b)| b.label() == label).map(|(_, b)| {
         b.insts()
-            .iter()
             .map(|i| format!("I{}", i.id.index()))
             .collect::<Vec<_>>()
             .join(" ")

@@ -52,7 +52,7 @@ fn check_invariants(original: &Function, scheduled: &Function, level: SchedLevel
         "branch order preserved"
     );
     for (bid, block) in scheduled.blocks() {
-        for (pos, inst) in block.insts().iter().enumerate() {
+        for (pos, inst) in block.insts().enumerate() {
             if inst.op.is_branch() {
                 assert_eq!(pos + 1, block.len(), "branch last in {bid}");
                 assert_eq!(before[&inst.id], bid, "branch did not move");
@@ -74,7 +74,7 @@ fn check_invariants(original: &Function, scheduled: &Function, level: SchedLevel
             continue;
         }
         let (_, pos) = scheduled.find_inst(id).expect("present");
-        let op = &scheduled.block(new_block).insts()[pos].op;
+        let op = &scheduled.block(new_block).inst_at(pos).op;
 
         assert!(
             level != SchedLevel::BasicBlockOnly,

@@ -25,7 +25,7 @@ fn block_ids(f: &Function, label: &str) -> Vec<u32> {
         .blocks()
         .find(|(_, b)| b.label() == label)
         .unwrap_or_else(|| panic!("block {label} missing"));
-    block.insts().iter().map(|i| i.id.index() as u32).collect()
+    block.insts().map(|i| i.id.index() as u32).collect()
 }
 
 fn schedule(level: SchedLevel) -> Function {
@@ -41,7 +41,8 @@ fn iteration_cycles(f: &Function, a: &[i64]) -> u64 {
     let mut f1 = f.clone();
     // Rebuild with n = 3 by patching the LI that sets r27 (I25).
     let (bid, pos) = f1.find_inst(InstId::new(25)).expect("I25 sets n");
-    match &mut f1.block_mut(bid).insts_mut()[pos].op {
+    let mut bm = f1.block_mut(bid);
+    match &mut bm.inst_mut(pos).op {
         Op::LoadImm { imm, .. } => *imm = 3,
         other => panic!("expected LI for n, got {other:?}"),
     }
@@ -84,13 +85,13 @@ fn figure6_speculative_scheduling_motions() {
     // I12's target was renamed away from I5's cr6 (the paper prints cr5).
     let cr_of = |n: u32| {
         let (bid, pos) = f.find_inst(InstId::new(n)).expect("exists");
-        f.block(bid).insts()[pos].op.defs()[0]
+        f.block(bid).inst_at(pos).op.defs()[0]
     };
     assert_eq!(cr_of(5), gis_ir::Reg::cr(6), "I5 keeps cr6");
     assert_ne!(cr_of(12), gis_ir::Reg::cr(6), "I12 renamed: {f}");
     // The consuming branch I13 follows the rename.
     let (bid, pos) = f.find_inst(InstId::new(13)).expect("exists");
-    match &f.block(bid).insts()[pos].op {
+    match &f.block(bid).inst_at(pos).op {
         Op::BranchCond { cr, .. } => assert_eq!(*cr, cr_of(12)),
         other => panic!("I13 should be a branch, got {other:?}"),
     }

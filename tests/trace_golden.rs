@@ -116,7 +116,7 @@ fn figure6_trace_records_speculative_motions_and_the_rename() {
     );
     // The traced function still is the Figure 6 schedule.
     let (_, block) = f.blocks().find(|(_, b)| b.label() == "CL.0").expect("CL.0");
-    let ids: Vec<u32> = block.insts().iter().map(|i| i.id.index() as u32).collect();
+    let ids: Vec<u32> = block.insts().map(|i| i.id.index() as u32).collect();
     assert_eq!(ids, vec![1, 2, 18, 3, 19, 5, 12, 4], "\n{f}");
 }
 
