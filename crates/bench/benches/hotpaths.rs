@@ -30,6 +30,7 @@ use gis_ir::hash::fnv64_str as fnv64;
 use gis_ir::{BlockId, Function};
 use gis_machine::MachineDescription;
 use gis_pdg::{DataDeps, Liveness};
+use gis_sim::{execute, ExecConfig, TimingSim};
 use gis_workloads::synth;
 use std::hint::black_box;
 use std::time::Instant;
@@ -247,9 +248,75 @@ fn bench_end_to_end(
     )
 }
 
+/// One schedule-quality measurement: simulated cycles with the
+/// duplication gate off vs on (same workload, same machine).
+struct QualityRow {
+    name: String,
+    n_insts: usize,
+    dup_off_cycles: u64,
+    dup_on_cycles: u64,
+    dup_copies: usize,
+}
+
+/// Measures schedule *quality* (not compile throughput) on a
+/// dispatch-diamonds preset: simulated cycles on the timing model with
+/// `SchedConfig::duplication` off and on. The workload's join loads are
+/// store-pinned — no single hoist target is safe — so the cycle delta
+/// isolates what duplication-based motion alone buys. Both schedules
+/// are checked against the unscheduled reference before timing; the
+/// run aborts on a behaviour change rather than reporting a speedup
+/// for a scheduler that altered the program.
+fn bench_quality(
+    preset: &str,
+    w: &gis_workloads::spec::Workload,
+    machine: &MachineDescription,
+    rows: &mut Vec<QualityRow>,
+    speedups: &mut Vec<(String, f64)>,
+) {
+    let exec = ExecConfig::default();
+    let f = &w.program.function;
+    let reference = execute(f, &w.memory, &exec).expect("reference runs");
+    let mut cycles = [0u64; 2];
+    let mut copies = 0usize;
+    for (i, dup) in [false, true].into_iter().enumerate() {
+        let mut config = SchedConfig::speculative();
+        config.duplication = dup;
+        let mut scheduled = f.clone();
+        let stats = compile(&mut scheduled, machine, &config).expect("compiles");
+        let out = execute(&scheduled, &w.memory, &exec).expect("scheduled runs");
+        assert!(
+            reference.explain_difference(&out).is_none(),
+            "{preset} dup={dup}: scheduling changed behaviour"
+        );
+        cycles[i] = TimingSim::new(&scheduled, machine)
+            .run(&out.block_trace)
+            .cycles;
+        if dup {
+            copies = stats.dup_copies_minted;
+        }
+    }
+    rows.push(QualityRow {
+        name: preset.to_owned(),
+        n_insts: f.num_insts(),
+        dup_off_cycles: cycles[0],
+        dup_on_cycles: cycles[1],
+        dup_copies: copies,
+    });
+    speedups.push((
+        format!("dup-cycles/{preset}"),
+        cycles[0] as f64 / cycles[1].max(1) as f64,
+    ));
+}
+
 /// Serializes the rows and summary as a stable, pretty-printed JSON
 /// document (std only — names are ASCII, so no escaping is needed).
-fn to_json(rows: &[Row], speedups: &[(String, f64)], jobs_hash_match: bool, smoke: bool) -> String {
+fn to_json(
+    rows: &[Row],
+    quality: &[QualityRow],
+    speedups: &[(String, f64)],
+    jobs_hash_match: bool,
+    smoke: bool,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n  \"bench\": \"hotpaths\",\n  \"machine\": \"rs6k\",\n");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
@@ -266,6 +333,16 @@ fn to_json(rows: &[Row], speedups: &[(String, f64)], jobs_hash_match: bool, smok
             r.name, r.n_insts, r.median_ns, hash
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"quality\": [\n");
+    for (i, q) in quality.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"n_insts\": {}, \"dup_off_cycles\": {}, \
+             \"dup_on_cycles\": {}, \"dup_copies\": {}}}",
+            q.name, q.n_insts, q.dup_off_cycles, q.dup_on_cycles, q.dup_copies
+        );
+        out.push_str(if i + 1 < quality.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n  \"speedups\": {\n");
     for (i, (name, x)) in speedups.iter().enumerate() {
@@ -289,12 +366,14 @@ fn main() {
             "--out" => out_path = args.next().expect("--out expects a path"),
             // Writes a preset's tinyc source and exits, so the exact
             // benchmark input can be fed to other tools (for example
-            // `gisc --tinyc --metrics` to get per-pass wall times).
+            // `gisc --tinyc --metrics` to get per-pass wall times, or
+            // `gisc --tinyc --dup` for the CI determinism smoke).
             "--emit-src" => {
                 let preset = args.next().expect("--emit-src expects a preset name");
                 let path = args.next().expect("--emit-src expects an output path");
-                let w =
-                    synth::many_loops_preset(&preset).expect("a preset from MANY_LOOPS_PRESETS");
+                let w = synth::many_loops_preset(&preset)
+                    .or_else(|| synth::dispatch_diamonds_preset(&preset))
+                    .expect("a preset from MANY_LOOPS_PRESETS or DISPATCH_DIAMONDS_PRESETS");
                 std::fs::write(&path, &w.source).expect("writing the source");
                 println!("hotpaths: {preset} source written to {path}");
                 return;
@@ -328,16 +407,33 @@ fn main() {
         speedups.push((format!("jobs4/{preset}"), jobs4));
     }
 
+    let mut quality = Vec::new();
+    for &(preset, diamonds, seed) in synth::DISPATCH_DIAMONDS_PRESETS {
+        let w = synth::dispatch_diamonds(diamonds, seed);
+        println!(
+            "hotpaths: {preset} — {} blocks, {} instructions",
+            w.program.function.num_blocks(),
+            w.program.function.num_insts()
+        );
+        bench_quality(preset, &w, &machine, &mut quality, &mut speedups);
+    }
+
     for r in &rows {
         println!(
             "hotpaths/{:<40} {:>12} ns/iter  ({} insts)",
             r.name, r.median_ns, r.n_insts
         );
     }
+    for q in &quality {
+        println!(
+            "quality/{:<41} {:>8} cycles off / {:>8} on  ({} copies)",
+            q.name, q.dup_off_cycles, q.dup_on_cycles, q.dup_copies
+        );
+    }
     for (name, x) in &speedups {
         println!("speedup/{name:<40} {x:>11.2}x");
     }
-    let json = to_json(&rows, &speedups, jobs_hash_match, smoke);
+    let json = to_json(&rows, &quality, &speedups, jobs_hash_match, smoke);
     std::fs::write(&out_path, &json).expect("writing the baseline file");
     println!("hotpaths: baseline written to {out_path}");
 }

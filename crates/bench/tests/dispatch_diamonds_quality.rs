@@ -1,0 +1,47 @@
+//! Schedule-quality guard for the duplication gate: on the
+//! dispatch-diamonds workload (store-pinned join loads — no single safe
+//! hoist target), turning `SchedConfig::duplication` on must mint
+//! copies and reduce simulated cycles, and the scheduled program must
+//! still behave like the unscheduled reference. This pins the benchmark
+//! claim recorded in `BENCH_sched.json`'s `quality` section.
+
+use gis_core::{compile, SchedConfig};
+use gis_machine::MachineDescription;
+use gis_sim::{execute, ExecConfig, TimingSim};
+use gis_workloads::synth;
+
+/// Compiles the workload with the given config and returns
+/// `(simulated cycles, copies minted)`, checking behaviour against the
+/// unscheduled reference on the way.
+fn cycles_with(dup: bool) -> (u64, usize) {
+    let w = synth::dispatch_diamonds_preset("dispatch-diamonds-s").expect("preset exists");
+    let machine = MachineDescription::rs6k();
+    let exec = ExecConfig::default();
+    let reference = execute(&w.program.function, &w.memory, &exec).expect("reference runs");
+
+    let mut config = SchedConfig::speculative();
+    config.duplication = dup;
+    let mut scheduled = w.program.function.clone();
+    let stats = compile(&mut scheduled, &machine, &config).expect("compiles");
+
+    let out = execute(&scheduled, &w.memory, &exec).expect("scheduled runs");
+    assert!(
+        reference.explain_difference(&out).is_none(),
+        "dup={dup}: scheduling changed behaviour: {:?}",
+        reference.explain_difference(&out)
+    );
+    let report = TimingSim::new(&scheduled, &machine).run(&out.block_trace);
+    (report.cycles, stats.dup_copies_minted)
+}
+
+#[test]
+fn duplication_mints_copies_and_saves_cycles_on_dispatch_diamonds() {
+    let (off_cycles, off_copies) = cycles_with(false);
+    let (on_cycles, on_copies) = cycles_with(true);
+    assert_eq!(off_copies, 0, "gate off mints nothing");
+    assert!(on_copies > 0, "gate on finds the store-pinned join loads");
+    assert!(
+        on_cycles < off_cycles,
+        "duplication should save cycles: {on_cycles} (on) vs {off_cycles} (off)"
+    );
+}

@@ -50,6 +50,46 @@ pub fn jobs_matrix() -> Vec<DiffConfig> {
     out
 }
 
+/// The duplication surface: the gate on and off, crossed with `jobs`
+/// {1, 4} (duplication mints fresh instruction ids, so the parallel
+/// merge renumbering is part of the surface under test) and speculation
+/// depth {1, 2} branches (Definition 7 interacts with which blocks are
+/// already candidates and hence ineligible for duplication). All
+/// columns run speculative scheduling with [`check_pass`] plugged in,
+/// so an unrecorded copy or a lost twin fails structurally even when
+/// the schedule happens to behave.
+pub fn duplication_matrix() -> Vec<DiffConfig> {
+    let mut out = Vec::new();
+    for dup in [false, true] {
+        for jobs in [1usize, 4] {
+            for branches in [1usize, 2] {
+                let mut sched = SchedConfig::speculative();
+                sched.duplication = dup;
+                sched.jobs = jobs;
+                sched.max_speculation_branches = branches;
+                sched.verify_each_pass = Some(check_pass);
+                out.push(DiffConfig {
+                    label: format!(
+                        "dup={}/jobs={jobs}/branches={branches}",
+                        if dup { "on" } else { "off" }
+                    ),
+                    sched,
+                    machine: MachineDescription::rs6k(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The default fuzzing surface: [`jobs_matrix`] plus
+/// [`duplication_matrix`].
+pub fn full_matrix() -> Vec<DiffConfig> {
+    let mut out = jobs_matrix();
+    out.extend(duplication_matrix());
+    out
+}
+
 /// A confirmed behavioural divergence under one configuration.
 #[derive(Debug, Clone)]
 pub struct Divergence {

@@ -32,7 +32,9 @@ pub mod gen;
 pub mod shrink;
 pub mod verify;
 
-pub use diff::{jobs_matrix, run_case, CaseResult, DiffConfig, Divergence};
+pub use diff::{
+    duplication_matrix, full_matrix, jobs_matrix, run_case, CaseResult, DiffConfig, Divergence,
+};
 pub use fuzz::{parse_reproducer, run_fuzz, FuzzFailure, FuzzReport};
 pub use gen::{generate, GenCase};
 pub use shrink::minimize;

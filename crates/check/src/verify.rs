@@ -195,6 +195,18 @@ fn locations(f: &Function) -> HashMap<InstId, BlockId> {
 /// whose block changed stayed within its innermost region (computed on
 /// the `before` snapshot — global passes do not alter the region tree).
 ///
+/// Duplication-based motion is the one transformation allowed to change
+/// the instruction *set*, and it must leave provenance behind:
+///
+/// * an **appeared** instruction is accepted only if it is a recorded
+///   duplication copy ([`Function::dup_origin`]) of an instruction that
+///   existed in `before`, carries the same op, and sits in the origin's
+///   innermost region — anything else (notably a genuine duplicate-id
+///   bug minting unrecorded instructions) is still an error;
+/// * a **disappeared** instruction is accepted only if a same-rooted
+///   sibling with the same op survives in its region (the dedup fold
+///   deletes a redundant copy precisely because its twin subsumes it).
+///
 /// # Errors
 ///
 /// One [`CheckError`] per escaped or lost/added instruction.
@@ -218,11 +230,34 @@ pub fn verify_region_confinement(
     let tree = RegionTree::new(&cfg, &loops);
     let old = locations(before);
     let new = locations(after);
+    let op_of = |f: &Function, b: BlockId, id: InstId| {
+        let blk = f.block(b);
+        let pos = blk
+            .position(id)
+            .expect("located instruction is in its block");
+        blk.inst_at(pos).op.clone()
+    };
     for (id, b0) in &old {
         match new.get(id) {
-            None => errs.push(CheckError::InstSetChanged {
-                detail: format!("instruction {id} disappeared during a global pass"),
-            }),
+            None => {
+                // The dedup fold may delete a redundant duplication
+                // sibling: same root, same op, still in the region.
+                let root = before.dup_root(*id);
+                let subsumed = new.iter().any(|(x, bx)| {
+                    x != id
+                        && after.dup_root(*x) == root
+                        && tree.innermost(*bx) == tree.innermost(*b0)
+                        && op_of(after, *bx, *x) == op_of(before, *b0, *id)
+                });
+                if !subsumed {
+                    errs.push(CheckError::InstSetChanged {
+                        detail: format!(
+                            "instruction {id} disappeared during a global pass \
+                             with no surviving duplication sibling"
+                        ),
+                    });
+                }
+            }
             Some(b1) if b0 != b1 && tree.innermost(*b0) != tree.innermost(*b1) => {
                 errs.push(CheckError::RegionEscape {
                     inst: *id,
@@ -233,10 +268,25 @@ pub fn verify_region_confinement(
             Some(_) => {}
         }
     }
-    for id in new.keys() {
-        if !old.contains_key(id) {
+    for (id, b1) in &new {
+        if old.contains_key(id) {
+            continue;
+        }
+        // Duplication mints fresh-id copies; each must declare an origin
+        // that existed before the pass, carry its op unchanged, and stay
+        // in its region.
+        let legitimate_copy = after.dup_origin(*id).is_some_and(|origin| {
+            old.get(&origin).is_some_and(|b_origin| {
+                tree.innermost(*b1) == tree.innermost(*b_origin)
+                    && op_of(after, *b1, *id) == op_of(before, *b_origin, origin)
+            })
+        });
+        if !legitimate_copy {
             errs.push(CheckError::InstSetChanged {
-                detail: format!("instruction {id} appeared during a global pass"),
+                detail: format!(
+                    "instruction {id} appeared during a global pass without \
+                     duplication provenance"
+                ),
             });
         }
     }
@@ -453,5 +503,88 @@ mod tests {
             "{errs:?}"
         );
         assert!(errs[0].to_string().contains("region"), "{errs:?}");
+    }
+
+    /// A diamond as duplication leaves it: the original join instruction
+    /// relocated into the last arm, a fresh-id copy in the other.
+    const DUP_TEXT: &str = "func d\n\
+         e:\n LI r1=1\n C cr0=r1,r1\n BT a2,cr0,0x1/eq\n\
+         a1:\n LI r4=7\n B j\n\
+         a2:\n LI r4=9\n\
+         j:\n AI r5=r4,1\n PRINT r5\n RET\n";
+
+    fn duplicate_join_head(before: &Function) -> (Function, InstId) {
+        let mut after = before.clone();
+        let j = BlockId::new(3);
+        let moved = after.block_mut(j).remove_at(0);
+        let a2 = BlockId::new(2);
+        let pos = after.block(a2).len();
+        after.block_mut(a2).insert(pos, moved.clone());
+        let copy = after.fresh_inst_id();
+        after.record_dup_origin(copy, moved.id);
+        let a1 = BlockId::new(1);
+        after
+            .block_mut(a1)
+            .insert(1, Inst::new(copy, moved.op.clone()));
+        (after, copy)
+    }
+
+    #[test]
+    fn confinement_accepts_recorded_duplication_copies() {
+        let before = parse_function(DUP_TEXT).expect("parses");
+        let (after, _) = duplicate_join_head(&before);
+        verify_region_confinement(&before, &after).expect("sibling copies share an origin");
+    }
+
+    #[test]
+    fn confinement_rejects_unrecorded_appearances() {
+        let before = parse_function(DUP_TEXT).expect("parses");
+        let (mut after, copy) = duplicate_join_head(&before);
+        // Re-minting the same shape *without* provenance is a duplicate-id
+        // style bug, not a duplication.
+        let rogue = after.fresh_inst_id();
+        let op = {
+            let blk = after.block(BlockId::new(1));
+            let pos = blk.position(copy).unwrap();
+            blk.inst_at(pos).op.clone()
+        };
+        after
+            .block_mut(BlockId::new(0))
+            .insert(0, Inst::new(rogue, op));
+        let errs = verify_region_confinement(&before, &after).expect_err("rejected");
+        assert!(
+            errs.iter().any(|e| {
+                matches!(e, CheckError::InstSetChanged { detail }
+                    if detail.contains("without") && detail.contains(&rogue.to_string()))
+            }),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn confinement_accepts_the_dedup_fold() {
+        let before = parse_function(DUP_TEXT).expect("parses");
+        let (after, copy) = duplicate_join_head(&before);
+        // One more pass folds the copy back into its twin: starting from
+        // the duplicated snapshot, the copy disappears.
+        let mut folded = after.clone();
+        folded
+            .block_mut(BlockId::new(1))
+            .remove(copy)
+            .expect("copy present");
+        verify_region_confinement(&after, &folded).expect("twin subsumes the folded copy");
+        // But losing an instruction with no surviving sibling is still an
+        // error.
+        let mut lost = after.clone();
+        let victim = lost.block(BlockId::new(3)).inst_at(0).id;
+        lost.block_mut(BlockId::new(3)).remove_at(0);
+        let errs = verify_region_confinement(&after, &lost).expect_err("rejected");
+        assert!(
+            errs.iter().any(|e| {
+                matches!(e, CheckError::InstSetChanged { detail }
+                    if detail.contains("no surviving") && detail.contains(&victim.to_string()))
+            }),
+            "{errs:?}"
+        );
     }
 }

@@ -6,7 +6,8 @@
 //! unmutated scheduler must handle the reproducer correctly.
 
 use gis_check::{
-    jobs_matrix, parse_reproducer, run_case, run_fuzz, verify_function, CaseResult, DiffConfig,
+    duplication_matrix, jobs_matrix, parse_reproducer, run_case, run_fuzz, verify_function,
+    CaseResult, DiffConfig,
 };
 use gis_sim::ExecConfig;
 
@@ -74,4 +75,56 @@ fn fuzzer_catches_the_planted_miscompile_and_minimizes_it() {
     let (parsed, memory) = parse_reproducer(&text).expect("reproducer text parses");
     assert_eq!(memory, failure.memory);
     assert!(run_case(&parsed, &memory, &matrix, &exec).diverged());
+}
+
+/// The duplication columns with the predecessor guard disabled
+/// (`SchedConfig::inject_skip_dup_pred_check`): copies land above
+/// conditional branches, so a path that branches away from the join
+/// executes the copy anyway — a live-range that was never isolated.
+fn dup_faulty_matrix() -> Vec<DiffConfig> {
+    let mut matrix = duplication_matrix();
+    matrix.retain(|c| c.sched.duplication);
+    for c in &mut matrix {
+        c.sched.inject_skip_dup_pred_check = true;
+        c.label = format!("faulty/{}", c.label);
+    }
+    matrix
+}
+
+#[test]
+fn fuzzer_catches_the_planted_duplication_miscompile() {
+    let matrix = dup_faulty_matrix();
+    let report = run_fuzz(0xD0BB_0004, MAX_ITERS, &matrix);
+    let failure = report.failure.unwrap_or_else(|| {
+        panic!("planted duplication miscompile not caught within {MAX_ITERS} iterations")
+    });
+
+    let exec = ExecConfig {
+        max_steps: 2_000_000,
+    };
+
+    // The minimized reproducer is structurally clean, still witnesses the
+    // fault, and indicts only the mutation: with the guard back in place
+    // the whole duplication matrix agrees on it.
+    assert!(
+        verify_function(&failure.minimized).is_ok(),
+        "minimized reproducer fails the verifier:\n{}",
+        failure.minimized
+    );
+    assert!(
+        run_case(&failure.minimized, &failure.memory, &matrix, &exec).diverged(),
+        "minimized reproducer no longer diverges:\n{}",
+        failure.minimized
+    );
+    let clean = run_case(
+        &failure.minimized,
+        &failure.memory,
+        &duplication_matrix(),
+        &exec,
+    );
+    assert!(
+        matches!(clean, CaseResult::Agree),
+        "reproducer diverges even without the planted fault: {clean:?}\n{}",
+        failure.minimized
+    );
 }

@@ -84,6 +84,14 @@ pub struct SchedConfig {
     /// 7). The paper's prototype supports 1; higher values implement its
     /// announced "more aggressive speculative scheduling" extension.
     pub max_speculation_branches: usize,
+    /// Duplication-based motion (the §7 future-work extension): when a
+    /// join block's instruction could fill issue slots in *all* of the
+    /// join's predecessors, copy it into each of them (fresh ids per
+    /// copy) instead of leaving it behind. Off by default — the paper's
+    /// policy ladder stops at single-target motion. Only fires at
+    /// [`SchedLevel::Speculative`], and never into loops or past side
+    /// effects (the guards are structural; see `docs/PAPER_MAP.md`).
+    pub duplication: bool,
     /// Worker threads for the two global scheduling passes. Regions are
     /// disjoint (instructions never move across a region boundary, §4.1),
     /// so independent region subtrees are scheduled concurrently and
@@ -113,6 +121,15 @@ pub struct SchedConfig {
     /// prove the differential fuzzer actually catches scheduler bugs.
     /// Never enable outside tests.
     pub inject_skip_live_on_exit: bool,
+    /// **Fault injection — test harness use only.** When true, the
+    /// duplication guard requiring every sibling predecessor to fall
+    /// through into the join unconditionally is skipped, so copies land
+    /// above conditional branches and clobber registers on the untaken
+    /// path — a planted duplication miscompile (a copy placed without its
+    /// live range being isolated). `gis-check`'s self-test flips this to
+    /// prove the differential fuzzer catches duplication bugs. Never
+    /// enable outside tests.
+    pub inject_skip_dup_pred_check: bool,
 }
 
 impl SchedConfig {
@@ -150,10 +167,12 @@ impl SchedConfig {
             profile: None,
             min_speculation_probability: 0.0,
             max_speculation_branches: 1,
+            duplication: false,
             jobs: 1,
             verify_each_pass: None,
             reference_hot_paths: false,
             inject_skip_live_on_exit: false,
+            inject_skip_dup_pred_check: false,
         }
     }
 

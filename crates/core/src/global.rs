@@ -11,6 +11,15 @@
 //! before speculative, then the delay heuristic `D`, then the critical
 //! path heuristic `CP`, then original program order.
 //!
+//! Beyond the paper, [`SchedConfig::duplication`] lifts Definition 6's
+//! no-duplication restriction for one shape: a join every one of whose
+//! predecessors falls through into it unconditionally. The join's
+//! movable instructions are scheduled into the topologically last
+//! predecessor, with fresh-id copies minted at the end of each sibling —
+//! execution counts are preserved exactly, so this is the first
+//! transformation here that changes a function's instruction count (see
+//! `docs/PAPER_MAP.md`).
+//!
 //! Speculative motions obey §5.3: an instruction defining a register that
 //! is live on exit from `A` is rejected — or, when the definition's
 //! du-chain is local to its home block, renamed to a fresh register (the
@@ -184,9 +193,12 @@ pub(crate) fn subtree_blocks(tree: &RegionTree, rid: gis_cfg::RegionId) -> Vec<B
 /// Whether a region passes the §6 size gates that
 /// [`schedule_region_observed`] applies before building any analyses.
 /// The parallel driver uses this to predict — without mutating anything —
-/// which regions [`schedule_region_observed`] will skip: scheduling never
-/// changes a subtree's block or instruction count, so the prediction made
-/// on the pre-pass function matches the sequential outcome exactly.
+/// which regions [`schedule_region_observed`] will skip. The prediction
+/// made on the pre-pass function matches the sequential outcome exactly
+/// because regions are disjoint and each is visited once per pass: the
+/// only transformation that changes an instruction count — duplication —
+/// mutates blocks of the region *currently being scheduled*, after its
+/// own size gate was read, and never another region's.
 pub(crate) fn region_within_size_limits(
     f: &Function,
     tree: &RegionTree,
@@ -327,6 +339,12 @@ struct Candidate {
     /// Execution probability given the target block executes (1.0 for
     /// useful candidates and when no profile is supplied).
     prob: f64,
+    /// Duplication-based candidate ([`SchedConfig::duplication`]): the
+    /// home block is a join of which the target is the last predecessor;
+    /// committing relocates the original and mints a copy in every
+    /// sibling predecessor. Exempt from the §5.3 live-on-exit gate — the
+    /// motion preserves execution counts, it is not speculative.
+    dup: bool,
 }
 
 /// The scheduler's priority key for a candidate: useful-before-
@@ -376,6 +394,13 @@ impl<O: SchedObserver> RegionPass<'_, O> {
         let equiv: Vec<NodeId> = cspdg.equiv_dominated(node_a);
         let mut useful_blocks: Vec<NodeId> = equiv.clone();
         let mut spec_blocks: Vec<(NodeId, f64)> = Vec::new();
+        // Joins eligible for duplication-based motion out of `A`, with
+        // their sibling predecessor blocks (ascending), and joins that
+        // were identified but failed the structural guards (reported as
+        // `WouldDuplicate` rejections). Both stay empty unless
+        // [`SchedConfig::duplication`] is on.
+        let mut dup_joins: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        let mut dup_rejected: Vec<BlockId> = Vec::new();
         if self.config.level == SchedLevel::Speculative {
             // Probability that the child of a CD edge executes, from the
             // branch profile when one is supplied (§1's profile-guided
@@ -467,6 +492,86 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                     }
                 }
             }
+            // ---- Duplication-based motion (beyond the paper; §7's
+            // "more aggressive" direction). A region-graph successor of
+            // `A` that is a join — several predecessors, so `A` cannot
+            // dominate it — is beyond both Definition 6 (useful motion
+            // would duplicate) and Definition 7 (speculation requires
+            // dominance). With the gate on, such a join still becomes a
+            // candidate block when every predecessor's only successor is
+            // the join itself: the instruction is then *copied* to the
+            // end of each sibling predecessor while the original moves
+            // into `A`, so each path into the join executes it exactly
+            // once — the motion preserves execution counts rather than
+            // gambling on a branch. `A` must additionally be the
+            // topologically last predecessor, so every sibling's
+            // schedule is already final when the copies are minted.
+            if self.config.duplication {
+                let topo = g.topo_order();
+                let topo_pos = |n: NodeId| topo.iter().position(|&x| x == n).unwrap_or(usize::MAX);
+                for &(s, _) in g.succs(node_a) {
+                    // Supernode successors are loops: never duplicate
+                    // into a loop body.
+                    let RegionNode::Block(sb) = g.node(s) else {
+                        continue;
+                    };
+                    if s == node_a
+                        || useful_blocks.contains(&s)
+                        || spec_blocks.iter().any(|&(b, _)| b == s)
+                        || dup_joins.iter().any(|(b, _)| *b == sb)
+                        || dup_rejected.contains(&sb)
+                    {
+                        continue; // reachable by single-target motion, or seen
+                    }
+                    let mut preds: Vec<NodeId> = Vec::new();
+                    for &(p, _) in g.preds(s) {
+                        if !preds.contains(&p) {
+                            preds.push(p);
+                        }
+                    }
+                    if preds.len() < 2 {
+                        continue; // not a join: Definitions 6/7 cover it
+                    }
+                    let safe = match gis_pdg::duplication_pred_set(self.cfg, g, s) {
+                        Some(set) => Some(set),
+                        // Planted-miscompile hook for the gis-check
+                        // self-test: pretend the fall-through guard
+                        // passed, so copies land above conditional
+                        // branches and run on paths that bypass the join
+                        // (see SchedConfig::inject_skip_dup_pred_check).
+                        None if self.config.inject_skip_dup_pred_check
+                            && preds
+                                .iter()
+                                .all(|&p| matches!(g.node(p), RegionNode::Block(_))) =>
+                        {
+                            Some(preds.clone())
+                        }
+                        None => None,
+                    };
+                    match safe {
+                        Some(set) => {
+                            // Only the last predecessor duplicates; the
+                            // earlier siblings stay silent — the motion
+                            // is deferred to this pass's last visitor,
+                            // not rejected.
+                            let a_pos = topo_pos(node_a);
+                            if set.iter().all(|&p| p == node_a || topo_pos(p) < a_pos) {
+                                let mut sibs: Vec<BlockId> = set
+                                    .iter()
+                                    .filter(|&&p| p != node_a)
+                                    .filter_map(|&p| match g.node(p) {
+                                        RegionNode::Block(b) => Some(b),
+                                        _ => None,
+                                    })
+                                    .collect();
+                                sibs.sort();
+                                dup_joins.push((sb, sibs));
+                            }
+                        }
+                        None => dup_rejected.push(sb),
+                    }
+                }
+            }
         }
         useful_blocks.insert(0, node_a);
         if enabled {
@@ -502,6 +607,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 home: a,
                 useful: true,
                 prob: 1.0,
+                dup: false,
             });
         }
         for &n in useful_blocks.iter().skip(1) {
@@ -515,6 +621,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                         home: b,
                         useful: true,
                         prob: 1.0,
+                        dup: false,
                     });
                 }
             }
@@ -533,6 +640,7 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                         home: b,
                         useful: false,
                         prob,
+                        dup: false,
                     });
                 } else if enabled && !inst.op.is_branch() {
                     self.obs.event(TraceEvent::CandidateRejected {
@@ -545,6 +653,56 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                             RejectReason::MayNotSpeculate
                         },
                     });
+                }
+            }
+        }
+        // Instructions of eligible duplication joins: the speculation
+        // operand gates apply (no side effects cross a block boundary,
+        // loads obey the config), but not the §5.3 register gate.
+        for (b, _) in &dup_joins {
+            for inst in f.block(*b).insts() {
+                let class = inst.op.class();
+                if inst.op.may_speculate()
+                    && (self.config.speculative_loads || class != gis_ir::OpClass::Load)
+                {
+                    self.scratch.cands.push(Candidate {
+                        id: inst.id,
+                        home: *b,
+                        useful: false,
+                        prob: 1.0,
+                        dup: true,
+                    });
+                } else if enabled && !inst.op.is_branch() {
+                    self.obs.event(TraceEvent::CandidateRejected {
+                        inst: inst.id.index() as u32,
+                        home: f.block(*b).label().to_owned(),
+                        target: f.block(a).label().to_owned(),
+                        reason: if inst.op.may_speculate() {
+                            RejectReason::LoadSpeculationDisabled
+                        } else {
+                            RejectReason::MayNotSpeculate
+                        },
+                    });
+                }
+            }
+        }
+        // Joins whose shape fails the duplication guards (a predecessor
+        // branches around the join, or the join heads a loop): their
+        // movable instructions are reported as needing duplication.
+        for &b in &dup_rejected {
+            for inst in f.block(b).insts() {
+                if inst.op.may_speculate()
+                    && (self.config.speculative_loads || inst.op.class() != gis_ir::OpClass::Load)
+                {
+                    self.stats.rejected_would_duplicate += 1;
+                    if enabled {
+                        self.obs.event(TraceEvent::CandidateRejected {
+                            inst: inst.id.index() as u32,
+                            home: f.block(b).label().to_owned(),
+                            target: f.block(a).label().to_owned(),
+                            reason: RejectReason::WouldDuplicate,
+                        });
+                    }
                 }
             }
         }
@@ -615,9 +773,30 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                     break 'picks;
                 };
 
+                // CSE at motion commit: when a sibling copy of an
+                // instruction already placed into A comes up, it folds
+                // into the placed one instead of moving — both compute
+                // the same value from the same operand definitions.
+                // Checked before the §5.3 gate: a fold deletes the
+                // candidate rather than moving it, so it cannot clobber
+                // anything no matter what is live on exit.
+                if self.config.duplication && cand.home != a && self.try_fold_duplicate(f, a, &cand)
+                {
+                    continue;
+                }
+
                 // §5.3: speculative motion may not clobber a register live
                 // on exit from A — unless a local rename fixes it.
-                if cand.home != a && !cand.useful && !self.speculation_allowed(f, a, &cand) {
+                // Duplication candidates are exempt: every predecessor's
+                // only successor is the join, so live-on-exit from A is
+                // exactly live-on-entry to the join, and any candidate
+                // whose definition an earlier join instruction still
+                // needs is held back by the dependence test instead.
+                if cand.home != a
+                    && !cand.useful
+                    && !cand.dup
+                    && !self.speculation_allowed(f, a, &cand)
+                {
                     self.scratch.rejected.insert(cand.id.index());
                     if enabled {
                         self.obs.event(TraceEvent::Rejected {
@@ -657,6 +836,58 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                     if a_remaining == 0 {
                         break 'cycles;
                     }
+                } else if cand.dup {
+                    // Duplication commit: the original keeps its id and
+                    // moves into A like any motion; a fresh-id copy lands
+                    // at the end of every sibling predecessor, before its
+                    // terminator. Each sibling is already scheduled and
+                    // falls through into the join unconditionally, so the
+                    // copy observes exactly the values the original would
+                    // have seen along that path, and each path into the
+                    // join still executes the operation exactly once.
+                    let copy_op = {
+                        let pos = f.block(cand.home).position(cand.id).expect("exists");
+                        f.block(cand.home).inst_at(pos).op.clone()
+                    };
+                    let block_a = f.block(a);
+                    let at = block_a.len()
+                        - usize::from(block_a.last().is_some_and(|i| i.op.is_branch()));
+                    f.relink_inst(cand.id, cand.home, a, at);
+                    self.inst_node[cand.id.index()] = node_a.index() as u32;
+                    let sibs: &[BlockId] = dup_joins
+                        .iter()
+                        .find_map(|(b, s)| (*b == cand.home).then_some(s.as_slice()))
+                        .expect("dup candidate has a recorded join");
+                    let mut copies: Vec<(BlockId, InstId)> = Vec::with_capacity(sibs.len());
+                    for &p in sibs {
+                        let id = f.fresh_inst_id();
+                        f.record_dup_origin(id, cand.id);
+                        let bp = f.block(p);
+                        let ins =
+                            bp.len() - usize::from(bp.last().is_some_and(|i| i.op.is_branch()));
+                        f.block_mut(p)
+                            .insert(ins, gis_ir::Inst::new(id, copy_op.clone()));
+                        copies.push((p, id));
+                    }
+                    self.stats.moved_duplicated += 1;
+                    self.stats.dup_copies_minted += copies.len();
+                    if enabled {
+                        self.obs.event(TraceEvent::Duplicated {
+                            inst: cand.id.index() as u32,
+                            home: f.block(cand.home).label().to_owned(),
+                            into: f.block(a).label().to_owned(),
+                            cycle: t,
+                            copies: copies
+                                .iter()
+                                .map(|&(b, id)| (f.block(b).label().to_owned(), id.index() as u32))
+                                .collect(),
+                        });
+                    }
+                    // The join, A, and every sibling changed code: the
+                    // incremental repair models a single source/target
+                    // pair, so duplication pays for a full recompute.
+                    self.liveness = Liveness::compute(f, self.cfg);
+                    self.stats.liveness_full += 1;
                 } else {
                     if enabled {
                         self.obs.event(TraceEvent::Moved {
@@ -756,6 +987,55 @@ impl<O: SchedObserver> RegionPass<'_, O> {
                 }
             }
         }
+        true
+    }
+
+    /// CSE-style cleanup of redundant duplication copies, applied when a
+    /// candidate is about to move into `a`: if an instruction sharing the
+    /// candidate's duplication origin — its sibling copy, or the original
+    /// itself — is already placed in `a` with an identical op, the
+    /// candidate is deleted instead of moved and aliases the placed
+    /// instruction's cycle. Sound because both read the same operand
+    /// definitions: any definition this pass placed into `a` must sit
+    /// before the placed twin (checked here), and any definition left
+    /// unplaced is upstream of `a` — the dependence test never releases a
+    /// candidate whose producer could still run between `a` and its home.
+    fn try_fold_duplicate(&mut self, f: &mut Function, a: BlockId, cand: &Candidate) -> bool {
+        let root = f.dup_root(cand.id);
+        if root == cand.id && f.dup_origins().all(|(_, r)| r != root) {
+            return false; // not part of any duplication family
+        }
+        let Some(jpos) = self
+            .scratch
+            .new_order
+            .iter()
+            .position(|&j| j != cand.id && f.dup_root(j) == root)
+        else {
+            return false;
+        };
+        let j = self.scratch.new_order[jpos];
+        let cpos = f.block(cand.home).position(cand.id).expect("exists");
+        let Some(japos) = f.block(a).position(j) else {
+            return false; // twin not (or no longer) in a
+        };
+        if f.block(a).inst_at(japos).op != f.block(cand.home).inst_at(cpos).op {
+            return false; // diverged (e.g. a speculative rename): keep both
+        }
+        for e in self.deps.preds(cand.id) {
+            if self.scratch.place_time[e.from.index()] == UNPLACED {
+                continue; // upstream of a on every path: same value
+            }
+            match self.scratch.new_order.iter().position(|&x| x == e.from) {
+                Some(p) if p < jpos => {}
+                _ => return false, // placed after the twin: values differ
+            }
+        }
+        f.block_mut(cand.home).remove(cand.id);
+        self.scratch.place_time[cand.id.index()] = self.scratch.place_time[j.index()];
+        self.placed.insert(cand.id.index());
+        self.stats.dup_copies_deduped += 1;
+        self.liveness = Liveness::compute(f, self.cfg);
+        self.stats.liveness_full += 1;
         true
     }
 

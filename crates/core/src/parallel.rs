@@ -31,7 +31,14 @@
 //!   (workers allocate from identical clone counters, so their choices
 //!   collide across units and are remapped region by region);
 //! * per-region trace events are replayed and statistics accumulated in
-//!   sequential region order.
+//!   sequential region order;
+//! * units in which duplication-based motion changed the instruction
+//!   count (minting fresh-id copies, or deleting one in the dedup fold)
+//!   are no longer slot-aligned with the master arena and cannot be
+//!   adopted: their blocks are rebuilt on the master instruction by
+//!   instruction, with worker-minted ids renumbered — exactly like the
+//!   registers — into the sequence the sequential pass would have drawn
+//!   from [`Function::fresh_inst_id`].
 //!
 //! Scheduling one region reads liveness over the whole function, but a
 //! *legal* motion in another unit can never change the liveness facts a
@@ -46,7 +53,7 @@ use crate::config::SchedConfig;
 use crate::global::{region_within_size_limits, schedule_region_observed, subtree_blocks};
 use crate::stats::SchedStats;
 use gis_cfg::{Cfg, RegionId, RegionTree};
-use gis_ir::{BlockId, Function, Reg, RegClass};
+use gis_ir::{BlockId, Function, Inst, InstId, Reg, RegClass};
 use gis_machine::MachineDescription;
 use gis_trace::{Recorder, SchedObserver, TraceEvent};
 use std::collections::HashMap;
@@ -108,6 +115,10 @@ struct RegionOutcome {
     /// the half-open ranges of clone-allocated registers.
     reg_from: [u32; 3],
     reg_to: [u32; 3],
+    /// Clone instruction-id counter before/after this region: the
+    /// half-open range of ids minted by duplication-based motion.
+    inst_from: u32,
+    inst_to: u32,
 }
 
 /// What scheduling one unit produced: per-region outcomes (in the unit's
@@ -179,11 +190,14 @@ pub(crate) fn global_pass<O: SchedObserver>(
         let mut rec = MaybeRecorder::new(tracing);
         schedule_region_observed(f, machine, cfg, tree, rid, config, &mut st, &mut rec);
         debug_assert_eq!(f.reg_counters(), before, "skipped regions allocate nothing");
+        let bound = f.inst_id_bound() as u32;
         let out = RegionOutcome {
             stats: st,
             events: rec.into_events(),
             reg_from: before,
             reg_to: before,
+            inst_from: bound,
+            inst_to: bound,
         };
         outcomes.insert(rid, (usize::MAX, out));
     }
@@ -226,27 +240,46 @@ pub(crate) fn global_pass<O: SchedObserver>(
     // ---- Deterministic merge. -----------------------------------------
     // Adopt the units' blocks back from their snapshots (disjoint block
     // sets). Payloads only changed if the unit renamed (§5.3), which is
-    // visible as its register counters advancing.
+    // visible as its register counters advancing. Units that changed
+    // their instruction *count* (duplication minted copies, or the dedup
+    // fold deleted one) broke slot alignment with the master arena and
+    // cannot be adopted: they are rebuilt instruction by instruction
+    // after the id replay below, so adoption of the aligned units must
+    // come first (rebuilding grows the master arena).
     let mut unit_remaps: Vec<HashMap<Reg, Reg>> =
         (0..units.len()).map(|_| HashMap::new()).collect();
+    let mut inst_remaps: Vec<HashMap<u32, u32>> =
+        (0..units.len()).map(|_| HashMap::new()).collect();
+    let mut rebuilds: Vec<Option<Function>> = (0..units.len()).map(|_| None).collect();
     for (ui, slot) in results.into_iter().enumerate() {
         let mut out = slot
             .into_inner()
             .expect("no poisoned worker slots")
             .expect("every unit was claimed and completed");
         let renamed = out.regions.iter().any(|(_, ro)| ro.reg_from != ro.reg_to);
-        for &b in &units[ui].blocks {
-            f.adopt_block_from(&out.scratch, b, renamed);
+        let resized = out
+            .regions
+            .iter()
+            .any(|(_, ro)| ro.inst_from != ro.inst_to || ro.stats.dup_copies_deduped > 0);
+        if !resized {
+            for &b in &units[ui].blocks {
+                f.adopt_block_from(&out.scratch, b, renamed);
+            }
         }
         for (rid, ro) in out.regions.drain(..) {
             outcomes.insert(rid, (ui, ro));
         }
+        if resized {
+            rebuilds[ui] = Some(out.scratch);
+        }
     }
 
-    // Renumber worker-allocated registers into the sequential allocation
-    // order: walking the regions in sequential order and drawing from the
-    // master allocator reproduces exactly the numbers a single-threaded
-    // pass would have handed out.
+    // Renumber worker-allocated registers and instruction ids into the
+    // sequential allocation order: walking the regions in sequential
+    // order and drawing from the master allocators reproduces exactly
+    // the numbers a single-threaded pass would have handed out (workers
+    // allocate from identical snapshot counters, so their choices
+    // collide across units and are remapped region by region).
     for &rid in &order {
         let (ui, ro) = &outcomes[&rid];
         for class in CLASSES {
@@ -256,6 +289,48 @@ pub(crate) fn global_pass<O: SchedObserver>(
                 if *ui != usize::MAX {
                     unit_remaps[*ui].insert(Reg::new(class, idx), renumbered);
                 }
+            }
+        }
+        for idx in ro.inst_from..ro.inst_to {
+            let renumbered = f.fresh_inst_id();
+            if *ui != usize::MAX {
+                inst_remaps[*ui].insert(idx, renumbered.index() as u32);
+            }
+        }
+    }
+
+    // Rebuild the units duplication resized: clear each block on the
+    // master (freeing the old arena slots) and re-push the worker's
+    // final instruction sequence with minted ids renumbered, then carry
+    // the minted copies' provenance over through the same remap.
+    for (ui, scratch) in rebuilds.iter().enumerate() {
+        let Some(scratch) = scratch else { continue };
+        let remap_id = |remap: &HashMap<u32, u32>, id: InstId| {
+            remap
+                .get(&(id.index() as u32))
+                .map_or(id, |&n| InstId::new(n))
+        };
+        for &b in &units[ui].blocks {
+            let insts: Vec<Inst> = scratch
+                .block(b)
+                .insts()
+                .map(|i| Inst {
+                    id: remap_id(&inst_remaps[ui], i.id),
+                    op: i.op.clone(),
+                })
+                .collect();
+            let mut bm = f.block_mut(b);
+            bm.truncate(0);
+            for inst in insts {
+                bm.push(inst);
+            }
+        }
+        for (copy, root) in scratch.dup_origins() {
+            if inst_remaps[ui].contains_key(&(copy.index() as u32)) {
+                f.record_dup_origin(
+                    remap_id(&inst_remaps[ui], copy),
+                    remap_id(&inst_remaps[ui], root),
+                );
             }
         }
     }
@@ -273,7 +348,8 @@ pub(crate) fn global_pass<O: SchedObserver>(
 
     // Replay trace events and accumulate statistics in sequential region
     // order. `Renamed` events carry register spellings chosen on the
-    // clone; rewrite them through the unit's remap first.
+    // clone, and `Duplicated` events carry copy ids minted on the clone;
+    // rewrite both through the unit's remaps first.
     let spelling: Vec<HashMap<String, String>> = unit_remaps
         .iter()
         .map(|remap| {
@@ -289,12 +365,20 @@ pub(crate) fn global_pass<O: SchedObserver>(
             .remove(&rid)
             .expect("every scheduled region has an outcome");
         for mut e in ro.events {
-            if let TraceEvent::Renamed { new, .. } = &mut e {
-                if ui != usize::MAX {
+            match &mut e {
+                TraceEvent::Renamed { new, .. } if ui != usize::MAX => {
                     if let Some(renumbered) = spelling[ui].get(new) {
                         *new = renumbered.clone();
                     }
                 }
+                TraceEvent::Duplicated { copies, .. } if ui != usize::MAX => {
+                    for (_, id) in copies.iter_mut() {
+                        if let Some(&renumbered) = inst_remaps[ui].get(id) {
+                            *id = renumbered;
+                        }
+                    }
+                }
+                _ => {}
             }
             obs.event(e);
         }
@@ -367,6 +451,7 @@ fn run_unit(
     let mut regions = Vec::with_capacity(unit.regions.len());
     for &rid in &unit.regions {
         let reg_from = fu.reg_counters();
+        let inst_from = fu.inst_id_bound() as u32;
         let mut st = SchedStats::default();
         let mut rec = MaybeRecorder::new(tracing);
         schedule_region_observed(&mut fu, machine, cfg, tree, rid, config, &mut st, &mut rec);
@@ -377,6 +462,8 @@ fn run_unit(
                 events: rec.into_events(),
                 reg_from,
                 reg_to: fu.reg_counters(),
+                inst_from,
+                inst_to: fu.inst_id_bound() as u32,
             },
         ));
     }
@@ -490,5 +577,74 @@ mod tests {
                 "{level:?} trace"
             );
         }
+    }
+
+    /// Two sibling loops, each wrapping a diamond whose join load is
+    /// pinned by may-alias stores in both arms — the shape duplication
+    /// moves. Forced into two units, both mint fresh ids on their
+    /// workers, so the merge must rebuild (not adopt) and renumber the
+    /// minted ids into the sequential order.
+    const TWO_DUP_LOOPS: &str = "func two\n\
+        init:\n LI r8=7\n LI r1=0\n LI r2=0\n\
+        a0:\n AI r1=r1,1\n C cr0=r1,r3\n BT a2,cr0,0x1/lt\n\
+        a1:\n ST r8=>u(r9,16)\n L r6=u(r10,16)\n AI r4=r6,1\n B a3\n\
+        a2:\n ST r8=>u(r9,32)\n L r6=u(r10,24)\n AI r4=r6,2\n\
+        a3:\n L r5=u(r10,32)\n MUL r4=r5,r4\n C cr1=r1,r7\n BT a0,cr1,0x1/lt\n\
+        b0:\n AI r2=r2,1\n C cr2=r2,r3\n BT b2,cr2,0x1/lt\n\
+        b1:\n ST r8=>v(r9,16)\n L r6=v(r10,16)\n AI r4=r6,1\n B b3\n\
+        b2:\n ST r8=>v(r9,32)\n L r6=v(r10,24)\n AI r4=r6,2\n\
+        b3:\n L r5=v(r10,32)\n MUL r4=r5,r4\n C cr3=r2,r7\n BT b0,cr3,0x1/lt\n\
+        out:\n PRINT r4\n RET\n";
+
+    #[test]
+    fn parallel_duplication_matches_sequential() {
+        let machine = MachineDescription::rs6k();
+        let mut seq_config = SchedConfig::speculative();
+        seq_config.duplication = true;
+        seq_config.max_region_blocks = 4; // each loop is its own unit
+        let mut par_config = seq_config.clone();
+        par_config.jobs = 4;
+
+        let (mut f_seq, cfg, tree) = analyses(TWO_DUP_LOOPS);
+        let mut f_par = f_seq.clone();
+        let mut st_seq = SchedStats::default();
+        let mut st_par = SchedStats::default();
+        let mut rec_seq = Recorder::new();
+        let mut rec_par = Recorder::new();
+        let max_h = seq_config.max_region_height;
+        global_pass(
+            &mut f_seq,
+            &machine,
+            &cfg,
+            &tree,
+            &seq_config,
+            max_h,
+            &mut st_seq,
+            &mut rec_seq,
+        );
+        global_pass(
+            &mut f_par,
+            &machine,
+            &cfg,
+            &tree,
+            &par_config,
+            max_h,
+            &mut st_par,
+            &mut rec_par,
+        );
+        assert!(
+            st_seq.dup_copies_minted >= 2,
+            "both units duplicate: {st_seq:?}"
+        );
+        assert_eq!(f_seq.to_string(), f_par.to_string());
+        assert_eq!(st_seq, st_par);
+        assert_eq!(rec_seq.into_events(), rec_par.into_events(), "trace");
+        let seq_origins: Vec<_> = f_seq.dup_origins().collect();
+        let par_origins: Vec<_> = f_par.dup_origins().collect();
+        assert_eq!(
+            seq_origins, par_origins,
+            "provenance renumbered identically"
+        );
+        assert!(!seq_origins.is_empty());
     }
 }

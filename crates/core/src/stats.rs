@@ -18,6 +18,17 @@ pub struct SchedStats {
     pub renamed_speculative: usize,
     /// Speculative motions rejected by the live-on-exit rule.
     pub rejected_live_out: usize,
+    /// Instructions moved by duplication (original relocated, copies
+    /// minted in the sibling predecessors).
+    pub moved_duplicated: usize,
+    /// Fresh-id copies minted by duplication-based motion.
+    pub dup_copies_minted: usize,
+    /// Motions that would have needed duplication but were barred by the
+    /// guards or the config gate.
+    pub rejected_would_duplicate: usize,
+    /// Redundant duplication copies removed when a later pass re-merged
+    /// them (CSE-style cleanup at motion commit).
+    pub dup_copies_deduped: usize,
     /// Register webs renamed by the §4.2 prepass.
     pub webs_renamed: usize,
     /// Loops unrolled once.
@@ -62,6 +73,10 @@ impl SchedStats {
         self.moved_speculative += other.moved_speculative;
         self.renamed_speculative += other.renamed_speculative;
         self.rejected_live_out += other.rejected_live_out;
+        self.moved_duplicated += other.moved_duplicated;
+        self.dup_copies_minted += other.dup_copies_minted;
+        self.rejected_would_duplicate += other.rejected_would_duplicate;
+        self.dup_copies_deduped += other.dup_copies_deduped;
         self.webs_renamed += other.webs_renamed;
         self.loops_unrolled += other.loops_unrolled;
         self.loops_rotated += other.loops_rotated;
@@ -79,12 +94,13 @@ impl fmt::Display for SchedStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "regions {}(+{} skipped), moved {} useful / {} speculative \
+            "regions {}(+{} skipped), moved {} useful / {} speculative / {} duplicated \
              ({} renamed, {} rejected), {} webs renamed, {} unrolled, {} rotated, {} bb-scheduled",
             self.regions_scheduled,
             self.regions_skipped,
             self.moved_useful,
             self.moved_speculative,
+            self.moved_duplicated,
             self.renamed_speculative,
             self.rejected_live_out,
             self.webs_renamed,

@@ -199,3 +199,157 @@ fn compile_rejects_malformed_functions() {
     assert!(err.to_string().contains("malformed"), "{err}");
     assert!(std::error::Error::source(&err).is_some());
 }
+
+/// A diamond whose join begins with a load that may alias the stores in
+/// both arms (same symbol, different base register): the load can never
+/// hoist past the stores into the header, but once the last arm's own
+/// store is placed it can be *duplicated* into both arms. The branch is
+/// driven by a value loaded from memory (registers start at zero), and
+/// the taken arm's store lands on the join load's address so the result
+/// is sensitive to store→load ordering across the duplication.
+const DUP_DIAMOND: &str = "\
+func d
+H:
+    (I0) LI r8=7
+    (I1) L  r1=p(r0,0)
+    (I2) C  cr0=r1,r2
+    (I3) BT T,cr0,0x1/lt
+E:
+    (I4) ST r8=>buf(r9,16)
+    (I5) L  r6=buf(r10,16)
+    (I6) AI r3=r6,1
+    (I7) B  J
+T:
+    (I8) ST r8=>buf(r9,32)
+    (I9) L  r6=buf(r10,24)
+    (I10) AI r3=r6,2
+J:
+    (I11) L  r5=buf(r10,32)
+    (I12) MUL r4=r5,r3
+    (I13) PRINT r4
+    (I14) RET
+";
+
+/// Initial memory driving the taken (`p < 0`) and fall-through arms; the
+/// cells the arms and the join read start non-zero so each path's PRINT
+/// is distinct.
+const DUP_INPUTS: [&[(i64, i64)]; 2] = [&[(0, -1), (24, 5), (32, 9)], &[(0, 1), (24, 5), (32, 9)]];
+
+#[test]
+fn join_load_duplicates_into_both_arms() {
+    let mut config = SchedConfig::paper_example(SchedLevel::Speculative);
+    config.duplication = true;
+    let (original, f, stats) = schedule(DUP_DIAMOND, &config);
+    assert_eq!(stats.moved_duplicated, 1, "one duplication commit\n{f}");
+    assert_eq!(stats.dup_copies_minted, 1, "one sibling copy\n{f}");
+    // The original load left the join for one of the arms; the copy (the
+    // first fresh id after parsing) sits in the other arm with the same
+    // op and a recorded origin.
+    let before = placement(&original);
+    let after = placement(&f);
+    let join = before[&InstId::new(11)];
+    assert_ne!(after[&InstId::new(11)], join, "original load moved\n{f}");
+    let copy = InstId::new(15);
+    assert_eq!(f.dup_origin(copy), Some(InstId::new(11)));
+    assert_ne!(after[&copy], after[&InstId::new(11)], "copy in the sibling");
+    assert_eq!(
+        f.insts().count(),
+        original.insts().count() + 1,
+        "duplication is the first transformation that grows the function"
+    );
+    for inputs in DUP_INPUTS {
+        let a = execute(&original, inputs, &ExecConfig::default()).expect("runs");
+        let b = execute(&f, inputs, &ExecConfig::default()).expect("runs");
+        assert!(a.equivalent(&b), "path behaviour preserved\n{f}");
+    }
+}
+
+#[test]
+fn duplication_gate_off_leaves_the_join_alone() {
+    let config = SchedConfig::paper_example(SchedLevel::Speculative);
+    let (original, f, stats) = schedule(DUP_DIAMOND, &config);
+    assert_eq!(stats.moved_duplicated, 0);
+    assert_eq!(stats.dup_copies_minted, 0);
+    assert_eq!(
+        stats.rejected_would_duplicate, 0,
+        "gate off: not even counted"
+    );
+    assert_eq!(f.insts().count(), original.insts().count());
+    assert_eq!(
+        placement(&f)[&InstId::new(11)],
+        placement(&original)[&InstId::new(11)],
+        "join load pinned without duplication\n{f}"
+    );
+}
+
+#[test]
+fn if_then_join_is_rejected_as_would_duplicate() {
+    // `H` branches around `T` straight to the join, so a copy in `H`
+    // would run on a path that re-executes it through `J`: the guards
+    // refuse, and the movable join instruction is reported.
+    let text = "\
+func it
+H:
+    (I0) C cr0=r1,r2
+    (I1) BT J,cr0,0x1/lt
+T:
+    (I2) ST r8=>buf(r9,0)
+    (I3) AI r3=r3,1
+J:
+    (I4) L r5=buf(r10,0)
+    (I5) PRINT r5
+    (I6) RET
+";
+    let mut config = SchedConfig::paper_example(SchedLevel::Speculative);
+    config.duplication = true;
+    let (original, f, stats) = schedule(text, &config);
+    assert!(stats.rejected_would_duplicate >= 1, "join reported\n{f}");
+    assert_eq!(stats.moved_duplicated, 0);
+    assert_eq!(f.insts().count(), original.insts().count());
+
+    let off = SchedConfig::paper_example(SchedLevel::Speculative);
+    let (_, _, stats_off) = schedule(text, &off);
+    assert_eq!(stats_off.rejected_would_duplicate, 0);
+}
+
+#[test]
+fn sibling_copies_fold_when_they_meet_again() {
+    // Hand-built post-duplication state: the same op in both arms, with
+    // the duplication origin recorded, exactly as a prior pass's commit
+    // would leave it. When both twins speculate into the header, the
+    // second folds into the first instead of moving.
+    let text = "\
+func dd
+H:
+    (I0) LI r7=3
+    (I1) L r1=p(r0,0)
+    (I2) C cr0=r1,r2
+    (I3) BT T,cr0,0x1/lt
+E:
+    (I4) A r5=r7,r7
+    (I5) B J
+T:
+    (I6) A r5=r7,r7
+J:
+    (I7) PRINT r5
+    (I8) RET
+";
+    let original = parse_function(text).expect("parses");
+    let mut f = original.clone();
+    f.record_dup_origin(InstId::new(4), InstId::new(6));
+    let mut config = SchedConfig::paper_example(SchedLevel::Speculative);
+    config.duplication = true;
+    let machine = MachineDescription::rs6k();
+    let stats = compile(&mut f, &machine, &config).expect("compiles");
+    assert_eq!(stats.dup_copies_deduped, 1, "one twin folded\n{f}");
+    assert_eq!(
+        f.insts().count(),
+        original.insts().count() - 1,
+        "the folded copy is deleted, not moved\n{f}"
+    );
+    for inputs in [&[(0, -1)][..], &[(0, 1)][..]] {
+        let a = execute(&original, inputs, &ExecConfig::default()).expect("runs");
+        let b = execute(&f, inputs, &ExecConfig::default()).expect("runs");
+        assert!(a.equivalent(&b), "fold preserved behaviour\n{f}");
+    }
+}

@@ -54,6 +54,12 @@ pub struct Function {
     symbols: Vec<String>,
     next_inst: u32,
     next_reg: [u32; 3],
+    /// Provenance of duplication-minted copies: copy id → root original
+    /// id. Chains are flattened at insertion, so every value is a root.
+    /// Excluded from the textual form and the canonical bytes — it is
+    /// scheduling metadata, not program content; the structural verifier
+    /// reads it to tell sibling copies from genuine duplicate-id bugs.
+    dup_origins: std::collections::BTreeMap<InstId, InstId>,
 }
 
 /// A read-only view of one basic block.
@@ -340,6 +346,7 @@ impl Function {
             symbols: Vec::new(),
             next_inst: 0,
             next_reg: [0; 3],
+            dup_origins: std::collections::BTreeMap::new(),
         }
     }
 
@@ -771,6 +778,31 @@ impl Function {
             }
         }
         self.blocks[b.index()] = Arc::clone(src_block);
+    }
+
+    /// Records that `copy` was minted by duplicating `origin`. Chains are
+    /// flattened: if `origin` is itself a recorded copy, `copy` maps to
+    /// `origin`'s root, so [`Function::dup_origin`] is always one hop.
+    pub fn record_dup_origin(&mut self, copy: InstId, origin: InstId) {
+        let root = self.dup_origin(origin).unwrap_or(origin);
+        self.dup_origins.insert(copy, root);
+    }
+
+    /// The root original `id` was duplicated from, if `id` is a recorded
+    /// duplication copy.
+    pub fn dup_origin(&self, id: InstId) -> Option<InstId> {
+        self.dup_origins.get(&id).copied()
+    }
+
+    /// The root identity of `id` for redundancy checks: its recorded
+    /// duplication origin, or `id` itself when it is not a copy.
+    pub fn dup_root(&self, id: InstId) -> InstId {
+        self.dup_origin(id).unwrap_or(id)
+    }
+
+    /// Every recorded `(copy, root origin)` pair, ordered by copy id.
+    pub fn dup_origins(&self) -> impl Iterator<Item = (InstId, InstId)> + '_ {
+        self.dup_origins.iter().map(|(&c, &o)| (c, o))
     }
 
     /// Number of live instructions in the arena (equals

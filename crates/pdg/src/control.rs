@@ -8,7 +8,7 @@
 //! edge so that unconditionally executed blocks come out control dependent
 //! on `ENTRY`.
 
-use gis_cfg::{DomTree, EdgeLabel, NodeId, RegionGraph, RegionNode};
+use gis_cfg::{Cfg, DomTree, EdgeLabel, NodeId, RegionGraph, RegionNode};
 use std::fmt::Write as _;
 
 /// The control dependence subgraph of one region, with the dominance
@@ -187,6 +187,16 @@ impl Cspdg {
         out
     }
 
+    /// Definition 6's duplication clause, inverted: an instruction may
+    /// move from `b` up into `a` *without* duplication only when `a`
+    /// dominates `b` — otherwise the paths that reach `b` around `a`
+    /// would lose the instruction unless a copy were left on each of
+    /// them. True when `b` is a block `a` fails to strictly dominate,
+    /// i.e. when motion from `b` into `a` is possible only by copying.
+    pub fn needs_duplication(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_block(b) && a != b && !self.dom.strictly_dominates(a, b)
+    }
+
     /// Definition 7: the minimum number of CSPDG edges crossed to get from
     /// `a` to `b` — the number of branches speculated on when moving an
     /// instruction from `b` up to `a`. Returns `Some(0)` when the blocks
@@ -222,6 +232,64 @@ impl Cspdg {
         }
         None
     }
+}
+
+/// The *safe target set* for duplicating instructions out of the join
+/// block `join`: its region-graph predecessors, returned only when
+/// copying an instruction to the end of every one of them is
+/// execution-count preserving. `None` means no safe set exists and the
+/// motion must be rejected (reason code `would-duplicate`).
+///
+/// The guards are structural, checked against the real [`Cfg`] rather
+/// than the region graph so edges leaving the region (loop back edges,
+/// region exits) cannot hide:
+///
+/// * `join` has at least two predecessors, and every one of them is a
+///   plain block of the same region — supernodes (enclosed loops) and
+///   the synthetic `ENTRY` disqualify the join, which is what keeps
+///   duplication out of loops;
+/// * every predecessor's *only* CFG successor is `join` (no conditional
+///   exits: a copy at the end of such a predecessor executes exactly
+///   when the original at the join's head would have);
+/// * `join`'s CFG predecessors are exactly those same blocks (no edges
+///   into the join from outside the region's view).
+pub fn duplication_pred_set(cfg: &Cfg, g: &RegionGraph, join: NodeId) -> Option<Vec<NodeId>> {
+    let RegionNode::Block(jb) = g.node(join) else {
+        return None;
+    };
+    let mut preds: Vec<NodeId> = Vec::new();
+    for &(p, _) in g.preds(join) {
+        if !preds.contains(&p) {
+            preds.push(p);
+        }
+    }
+    if preds.len() < 2 {
+        return None;
+    }
+    let mut pred_blocks = Vec::with_capacity(preds.len());
+    for &p in &preds {
+        match g.node(p) {
+            RegionNode::Block(pb) => pred_blocks.push(pb),
+            _ => return None,
+        }
+    }
+    let cfg_preds = cfg.preds(gis_cfg::NodeId::block(jb));
+    if cfg_preds.len() != pred_blocks.len() {
+        return None;
+    }
+    for e in cfg_preds {
+        match e.to.as_block() {
+            Some(pb) if pred_blocks.contains(&pb) => {}
+            _ => return None,
+        }
+    }
+    for &pb in &pred_blocks {
+        let succs = cfg.succs(gis_cfg::NodeId::block(pb));
+        if succs.len() != 1 || succs[0].to.as_block() != Some(jb) {
+            return None;
+        }
+    }
+    Some(preds)
 }
 
 /// Renders the CSPDG in Graphviz DOT syntax: solid labelled control
@@ -426,5 +494,82 @@ mod tests {
         assert_eq!(cspdg.cd_parents(b), &[(NodeId::ENTRY, EdgeLabel::Always)]);
         assert!(cspdg.equivalent(a, b));
         assert_eq!(cspdg.equiv_dominated(a), vec![b]);
+    }
+
+    fn root_graph(text: &str) -> (Cfg, RegionGraph, Cspdg) {
+        let f = gis_ir::parse_function(text).expect("parses");
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let tree = RegionTree::new(&cfg, &loops);
+        let g = RegionGraph::new(&cfg, &tree, tree.root()).expect("reducible");
+        let cspdg = Cspdg::new(&g);
+        (cfg, g, cspdg)
+    }
+
+    /// An if-then-else whose arms both fall into a join.
+    const DIAMOND: &str = "func d\n\
+        H:\n C cr0=r1,r2\n BT T,cr0,0x1/lt\n\
+        E:\n AI r3=r3,1\n B J\n\
+        T:\n AI r3=r3,2\n\
+        J:\n A r4=r3,r3\n RET\n";
+
+    #[test]
+    fn diamond_join_needs_duplication_from_its_arms() {
+        let (_, g, cspdg) = root_graph(DIAMOND);
+        let h = g.node_of_block(BlockId::new(0)).unwrap();
+        let e = g.node_of_block(BlockId::new(1)).unwrap();
+        let t = g.node_of_block(BlockId::new(2)).unwrap();
+        let j = g.node_of_block(BlockId::new(3)).unwrap();
+        // Neither arm dominates the join: only a copy into each arm works.
+        assert!(cspdg.needs_duplication(e, j));
+        assert!(cspdg.needs_duplication(t, j));
+        // The header dominates the join — Definition 6 motion suffices.
+        assert!(!cspdg.needs_duplication(h, j));
+        // And nothing needs duplication into itself.
+        assert!(!cspdg.needs_duplication(j, j));
+    }
+
+    #[test]
+    fn diamond_join_has_a_safe_pred_set() {
+        let (cfg, g, _) = root_graph(DIAMOND);
+        let e = g.node_of_block(BlockId::new(1)).unwrap();
+        let t = g.node_of_block(BlockId::new(2)).unwrap();
+        let j = g.node_of_block(BlockId::new(3)).unwrap();
+        let preds = duplication_pred_set(&cfg, &g, j).expect("both arms are safe");
+        assert_eq!(preds.len(), 2);
+        assert!(preds.contains(&e) && preds.contains(&t));
+        // The arms themselves are not joins.
+        assert_eq!(duplication_pred_set(&cfg, &g, e), None);
+        assert_eq!(duplication_pred_set(&cfg, &g, t), None);
+    }
+
+    #[test]
+    fn if_then_join_has_no_safe_pred_set() {
+        // The header conditionally *skips* the then-block: a copy at the
+        // end of the header would execute on both paths.
+        let (cfg, g, _) = root_graph(
+            "func i\n\
+             H:\n C cr0=r1,r2\n BT J,cr0,0x1/lt\n\
+             T:\n AI r3=r3,1\n\
+             J:\n A r4=r3,r3\n RET\n",
+        );
+        let j = g.node_of_block(BlockId::new(2)).unwrap();
+        assert_eq!(duplication_pred_set(&cfg, &g, j), None);
+    }
+
+    #[test]
+    fn loop_pred_disqualifies_a_join() {
+        // One arm ends in a (self) loop: the loop is a supernode in the
+        // outer region graph, and copies must never land inside it.
+        let (cfg, g, _) = root_graph(
+            "func l\n\
+             H:\n C cr0=r1,r2\n BT T,cr0,0x1/lt\n\
+             E:\n AI r3=r3,1\n B J\n\
+             T:\n AI r1=r1,1\n C cr1=r1,r9\n BT T,cr1,0x1/lt\n\
+             J:\n A r4=r3,r3\n RET\n",
+        );
+        let j = g.node_of_block(BlockId::new(3)).unwrap();
+        assert_eq!(duplication_pred_set(&cfg, &g, j), None);
     }
 }

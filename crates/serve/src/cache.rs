@@ -253,6 +253,13 @@ fn write_config_fingerprint(h: &mut Fnv64, config: &SchedConfig, inst_bound: usi
             }
         }
     }
+    // Options added after v1 are hashed only when *enabled*, appended at
+    // the end: a request that does not use them fingerprints exactly as
+    // it did before the option existed, so deployed caches stay warm
+    // across upgrades (the stability contract in docs/SERVICE.md).
+    if config.duplication {
+        h.write(b"dup/v1\0");
+    }
 }
 
 /// The cache key for scheduling `function` on `machine` under `config`:
@@ -341,6 +348,56 @@ mod tests {
         assert_ne!(k, cache_key(&g, &rs6k, &spec), "function matters");
         assert_ne!(k, cache_key(&f, &wide, &spec), "machine matters");
         assert_ne!(k, cache_key(&f, &rs6k, &base), "config matters");
+    }
+
+    #[test]
+    fn duplication_splits_the_key_only_when_enabled() {
+        let f = parse_function("func t\ne:\n LI r0=1\n RET\n").expect("parses");
+        let rs6k = MachineDescription::rs6k();
+        let off = SchedConfig::speculative();
+        let mut on = SchedConfig::speculative();
+        on.duplication = true;
+        assert_ne!(
+            cache_key(&f, &rs6k, &off),
+            cache_key(&f, &rs6k, &on),
+            "the gate changes schedules, so it must split the key"
+        );
+    }
+
+    #[test]
+    fn pre_duplication_cache_keys_are_stable() {
+        // Pinned key values captured before the duplication option
+        // existed: a daemon upgraded across that change must keep every
+        // existing cache entry addressable (options added after
+        // config/v1 are hashed only when enabled). If this test breaks,
+        // the fingerprint changed for requests that never asked for the
+        // new option — deployed caches would all go cold.
+        let f = parse_function("func t\ne:\n LI r0=1\n LI r1=2\n A r2=r0,r1\n PRINT r2\n RET\n")
+            .expect("parses");
+        let rs6k = MachineDescription::rs6k();
+        let wide = MachineDescription::wide(4);
+        let cases: [(SchedConfig, u64, u64); 4] = [
+            (
+                SchedConfig::speculative(),
+                0xba5ea029aa93c627,
+                0xd96b006c6a768050,
+            ),
+            (
+                SchedConfig::useful(),
+                0x44aab82336fe7914,
+                0x4f1ee872de0bcd63,
+            ),
+            (SchedConfig::base(), 0x956037272a49399d, 0xfbd2a088d458745a),
+            (
+                SchedConfig::paper_example(gis_core::SchedLevel::Speculative),
+                0x2f65a4a660f37a8f,
+                0x61cd33099dae3368,
+            ),
+        ];
+        for (config, on_rs6k, on_wide) in cases {
+            assert_eq!(cache_key(&f, &rs6k, &config), on_rs6k, "{config:?}");
+            assert_eq!(cache_key(&f, &wide, &config), on_wide, "{config:?}");
+        }
     }
 
     #[test]

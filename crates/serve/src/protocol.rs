@@ -51,6 +51,8 @@ pub struct ConfigSpec {
     pub final_bb: Option<bool>,
     /// Override [`SchedConfig::max_speculation_branches`].
     pub max_branches: Option<usize>,
+    /// Override [`SchedConfig::duplication`].
+    pub duplication: Option<bool>,
 }
 
 impl ConfigSpec {
@@ -84,6 +86,9 @@ impl ConfigSpec {
         }
         if let Some(v) = self.max_branches {
             config.max_speculation_branches = v;
+        }
+        if let Some(v) = self.duplication {
+            config.duplication = v;
         }
         Ok(config)
     }
@@ -191,6 +196,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .get("max_branches")
                     .and_then(as_i64)
                     .and_then(|n| usize::try_from(n).ok());
+                config.duplication = c.get("duplication").and_then(as_bool);
             }
             let funcs = match v.get("funcs") {
                 Some(Json::Arr(items)) if !items.is_empty() => items
@@ -543,6 +549,28 @@ mod tests {
         assert_eq!(config.level, SchedLevel::Useful);
         assert!(!config.unroll);
         assert_eq!(config.max_speculation_branches, 2);
+        assert!(!config.duplication, "not requested: preset default");
+    }
+
+    #[test]
+    fn duplication_round_trips_through_config() {
+        let line = r#"{"req":"schedule","id":1,"lang":"asm",
+            "config":{"duplication":true},
+            "funcs":[{"text":"func f\ne:\n RET\n"}]}"#
+            .replace('\n', " ");
+        let Request::Schedule(req) = parse_request(&line).expect("parses") else {
+            panic!("not a schedule request");
+        };
+        assert_eq!(req.config.duplication, Some(true));
+        let config = req.config.resolve().expect("resolves");
+        assert!(config.duplication);
+        // Explicitly off round-trips too (distinct from unset).
+        let line = line.replace("true", "false");
+        let Request::Schedule(req) = parse_request(&line).expect("parses") else {
+            panic!("not a schedule request");
+        };
+        assert_eq!(req.config.duplication, Some(false));
+        assert!(!req.config.resolve().expect("resolves").duplication);
     }
 
     #[test]

@@ -118,6 +118,10 @@ pub enum RejectReason {
     SpeculationDepth,
     /// Block's execution probability is below the configured gate.
     ProbabilityGate,
+    /// The instruction has no single safe target: it could only move by
+    /// being copied into several blocks, and the duplication guards (or
+    /// the `duplication` config gate) barred the copy.
+    WouldDuplicate,
 }
 
 impl RejectReason {
@@ -132,6 +136,7 @@ impl RejectReason {
             RejectReason::Irreducible => "irreducible",
             RejectReason::SpeculationDepth => "speculation-depth",
             RejectReason::ProbabilityGate => "probability-gate",
+            RejectReason::WouldDuplicate => "would-duplicate",
         }
     }
 
@@ -145,6 +150,7 @@ impl RejectReason {
             RejectReason::Irreducible,
             RejectReason::SpeculationDepth,
             RejectReason::ProbabilityGate,
+            RejectReason::WouldDuplicate,
         ]
         .into_iter()
         .find(|r| r.code() == s)
@@ -323,6 +329,22 @@ pub enum TraceEvent {
         /// Why.
         reason: RejectReason,
     },
+    /// An instruction moved by duplication: the original relocated into
+    /// `into` and a fresh-id copy was minted at the end of every other
+    /// predecessor of its home block, preserving per-path behaviour.
+    Duplicated {
+        /// The original instruction's raw id.
+        inst: u32,
+        /// Home block it left (the join its copies still feed).
+        home: String,
+        /// Block the original moved into.
+        into: String,
+        /// Issue cycle assigned by the list scheduler.
+        cycle: u64,
+        /// `(block label, fresh raw id)` of every minted copy, in the
+        /// order the copies were placed.
+        copies: Vec<(String, u32)>,
+    },
     /// A speculative motion was saved by renaming its definition (the
     /// paper's `cr6`→`cr5` in Figure 6).
     Renamed {
@@ -361,6 +383,7 @@ impl TraceEvent {
             TraceEvent::Placed { .. } => "placed",
             TraceEvent::Moved { .. } => "moved",
             TraceEvent::Rejected { .. } => "rejected",
+            TraceEvent::Duplicated { .. } => "duplicated",
             TraceEvent::Renamed { .. } => "renamed",
             TraceEvent::BlockScheduled { .. } => "block-scheduled",
         }
@@ -375,6 +398,7 @@ impl TraceEvent {
             | TraceEvent::Placed { inst, .. }
             | TraceEvent::Moved { inst, .. }
             | TraceEvent::Rejected { inst, .. }
+            | TraceEvent::Duplicated { inst, .. }
             | TraceEvent::Renamed { inst, .. } => Some(*inst),
             _ => None,
         }

@@ -513,6 +513,32 @@ impl TraceEvent {
                     ("reason", Json::Str(reason.code().into())),
                 ],
             ),
+            TraceEvent::Duplicated {
+                inst,
+                home,
+                into,
+                cycle,
+                copies,
+            } => obj(
+                "duplicated",
+                vec![
+                    ("inst", Json::Int(i64::from(*inst))),
+                    ("home", Json::Str(home.clone())),
+                    ("into", Json::Str(into.clone())),
+                    ("cycle", Json::Int(*cycle as i64)),
+                    (
+                        "copies",
+                        Json::Arr(
+                            copies
+                                .iter()
+                                .map(|(b, id)| {
+                                    Json::Arr(vec![Json::Str(b.clone()), Json::Int(i64::from(*id))])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            ),
             TraceEvent::Renamed {
                 inst,
                 home,
@@ -658,6 +684,32 @@ impl TraceEvent {
                 target: s("target")?,
                 reason: reason("reason")?,
             },
+            "duplicated" => {
+                let copies = match v.get("copies") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|pair| match pair {
+                            Json::Arr(kv) if kv.len() == 2 => {
+                                let b = kv[0].as_str().ok_or_else(|| fail("copies"))?;
+                                let id = kv[1]
+                                    .as_u64()
+                                    .and_then(|x| u32::try_from(x).ok())
+                                    .ok_or_else(|| fail("copies"))?;
+                                Ok((b.to_owned(), id))
+                            }
+                            _ => Err(fail("copies")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(fail("copies")),
+                };
+                TraceEvent::Duplicated {
+                    inst: u32_of("inst")?,
+                    home: s("home")?,
+                    into: s("into")?,
+                    cycle: u("cycle")?,
+                    copies,
+                }
+            }
             "renamed" => TraceEvent::Renamed {
                 inst: u32_of("inst")?,
                 home: s("home")?,

@@ -36,5 +36,5 @@ mod sink;
 pub use event::{MotionKind, NopObserver, Pass, RejectReason, SchedObserver, TieBreak, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::Metrics;
-pub use query::{Motion, RegionScope, Rejection, Rename, SkippedRegion, TraceQuery};
+pub use query::{Duplication, Motion, RegionScope, Rejection, Rename, SkippedRegion, TraceQuery};
 pub use sink::{render_report, JsonLines, Recorder};

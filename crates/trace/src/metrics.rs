@@ -47,6 +47,10 @@ impl Metrics {
             TraceEvent::SpecBlockRejected { reason, .. } => {
                 self.add(&format!("spec-blocks-rejected.{}", reason.code()), 1);
             }
+            TraceEvent::Duplicated { copies, .. } => {
+                self.add("duplicated", 1);
+                self.add("dup-copies", copies.len() as u64);
+            }
             TraceEvent::Renamed { .. } => self.add("renamed-speculative", 1),
             TraceEvent::BlockScheduled { changed: true, .. } => self.add("blocks-bb-scheduled", 1),
             _ => {}

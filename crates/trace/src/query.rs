@@ -41,6 +41,22 @@ pub struct Rejection {
     pub reason: RejectReason,
 }
 
+/// One duplication-based motion, flattened from
+/// [`TraceEvent::Duplicated`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Duplication {
+    /// The original instruction's raw id.
+    pub inst: u32,
+    /// Home block it left (the join its copies still feed).
+    pub home: String,
+    /// Block the original moved into.
+    pub into: String,
+    /// Issue cycle assigned by the list scheduler.
+    pub cycle: u64,
+    /// `(block label, fresh raw id)` of every minted copy.
+    pub copies: Vec<(String, u32)>,
+}
+
 /// One §5.3 renaming escape, flattened from [`TraceEvent::Renamed`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rename {
@@ -96,6 +112,7 @@ pub struct SkippedRegion {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceQuery {
     motions: Vec<Motion>,
+    duplications: Vec<Duplication>,
     rejections: Vec<Rejection>,
     renames: Vec<Rename>,
     regions: Vec<RegionScope>,
@@ -122,6 +139,19 @@ impl TraceQuery {
                     cycle: *cycle,
                     kind: *kind,
                     tie: *tie,
+                }),
+                TraceEvent::Duplicated {
+                    inst,
+                    home,
+                    into,
+                    cycle,
+                    copies,
+                } => q.duplications.push(Duplication {
+                    inst: *inst,
+                    home: home.clone(),
+                    into: into.clone(),
+                    cycle: *cycle,
+                    copies: copies.clone(),
                 }),
                 TraceEvent::Rejected {
                     inst,
@@ -164,6 +194,11 @@ impl TraceQuery {
         &self.motions
     }
 
+    /// Every duplication-based motion, in event order.
+    pub fn duplications(&self) -> &[Duplication] {
+        &self.duplications
+    }
+
     /// Every issue-time rejection, in event order.
     pub fn rejections(&self) -> &[Rejection] {
         &self.rejections
@@ -199,21 +234,29 @@ impl TraceQuery {
         self.renames.iter().find(|r| r.inst == inst)
     }
 
-    /// Whether `block` is an endpoint of any motion or rejection.
+    /// Whether `block` is an endpoint of any motion, duplication or
+    /// rejection.
     pub fn touches_block(&self, block: &str) -> bool {
         self.motions
             .iter()
             .any(|m| m.from == block || m.into == block)
+            || self.duplications.iter().any(|d| {
+                d.home == block || d.into == block || d.copies.iter().any(|(b, _)| b == block)
+            })
             || self
                 .rejections
                 .iter()
                 .any(|r| r.home == block || r.target == block)
     }
 
-    /// Whether the trace recorded no motion, rejection or rename at all —
-    /// renderers degrade to the plain (unannotated) graph in this case.
+    /// Whether the trace recorded no motion, duplication, rejection or
+    /// rename at all — renderers degrade to the plain (unannotated) graph
+    /// in this case.
     pub fn is_trivial(&self) -> bool {
-        self.motions.is_empty() && self.rejections.is_empty() && self.renames.is_empty()
+        self.motions.is_empty()
+            && self.duplications.is_empty()
+            && self.rejections.is_empty()
+            && self.renames.is_empty()
     }
 }
 

@@ -243,6 +243,23 @@ pub fn render_report<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String
             } => {
                 line(3, format!("I{inst} {home} -/-> {target}: {reason}"));
             }
+            TraceEvent::Duplicated {
+                inst,
+                home,
+                into,
+                cycle,
+                copies,
+            } => {
+                let spread = copies
+                    .iter()
+                    .map(|(b, id)| format!("{b}:I{id}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                line(
+                    3,
+                    format!("I{inst} {home} -> {into} @ cycle {cycle} (duplicated: {spread})"),
+                );
+            }
             TraceEvent::Renamed {
                 inst,
                 home,

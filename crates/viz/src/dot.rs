@@ -17,6 +17,8 @@ const USEFUL_COLOR: &str = "#1a66cc";
 const SPECULATIVE_COLOR: &str = "#cc3311";
 /// Edge color for issue-time rejections.
 const REJECTED_COLOR: &str = "#888888";
+/// Edge color for duplication-based motions (original and minted copies).
+const DUPLICATED_COLOR: &str = "#117733";
 /// Fill for blocks that received at least one motion.
 const TARGET_FILL: &str = "#e8f0fe";
 
@@ -38,12 +40,44 @@ fn inst_listing(f: &Function, label: &str) -> Option<String> {
     })
 }
 
-/// The legend node every non-trivial overlay emits.
-fn legend(out: &mut String) {
+/// The legend node every non-trivial overlay emits. The duplication line
+/// only appears when the trace holds a duplication, so overlays recorded
+/// with the gate off render byte-identically to before the feature.
+fn legend(out: &mut String, duplications: bool) {
+    let dup = if duplications {
+        "green: duplicated (solid original, dashed copy)\\l"
+    } else {
+        ""
+    };
     let _ = writeln!(
         out,
-        "  legend [shape=note, fontsize=10, label=\"motion overlay\\lblue: useful motion\\lred: speculative motion\\lgray dashed: rejected\\l\"];"
+        "  legend [shape=note, fontsize=10, label=\"motion overlay\\lblue: useful motion\\lred: speculative motion\\l{dup}gray dashed: rejected\\l\"];"
     );
+}
+
+/// Arrows for every duplication commit: a solid green edge for the
+/// original's motion into its arm, plus one dashed green edge per minted
+/// copy, pointing at the sibling block that received it.
+fn duplication_edges(query: &TraceQuery, node_ids: &HashMap<String, String>, out: &mut String) {
+    for d in query.duplications() {
+        if let (Some(home), Some(into)) = (node_ids.get(&d.home), node_ids.get(&d.into)) {
+            let _ = writeln!(
+                out,
+                "  {home} -> {into} [label=\"{}\", style=bold, color=\"{DUPLICATED_COLOR}\", fontcolor=\"{DUPLICATED_COLOR}\", constraint=false];",
+                dot_escape(&format!("I{} duplicated c{}", d.inst, d.cycle))
+            );
+        }
+        for (block, copy) in &d.copies {
+            let (Some(home), Some(target)) = (node_ids.get(&d.home), node_ids.get(block)) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  {home} -> {target} [label=\"{}\", style=dashed, color=\"{DUPLICATED_COLOR}\", fontcolor=\"{DUPLICATED_COLOR}\", constraint=false];",
+                dot_escape(&format!("I{copy} copy of I{}", d.inst))
+            );
+        }
+    }
 }
 
 /// A [`DotOverlay`] that renders a recorded trace onto the CFG printer
@@ -130,7 +164,7 @@ impl DotOverlay for MotionOverlay<'_> {
         if self.query.is_trivial() {
             return;
         }
-        legend(out);
+        legend(out, !self.query.duplications().is_empty());
         // Region clusters: the blocks each RegionBegin event scoped. A
         // block belongs to at most one cluster (the first region that
         // claimed it — the global passes visit disjoint region sets).
@@ -188,10 +222,13 @@ impl DotOverlay for MotionOverlay<'_> {
         if self.query.is_trivial() {
             return None;
         }
-        self.query
-            .motions_into(label)
-            .next()
-            .map(|_| format!("style=filled, fillcolor=\"{TARGET_FILL}\""))
+        let dup_target = self
+            .query
+            .duplications()
+            .iter()
+            .any(|d| d.into == label || d.copies.iter().any(|(b, _)| b == label));
+        (self.query.motions_into(label).next().is_some() || dup_target)
+            .then(|| format!("style=filled, fillcolor=\"{TARGET_FILL}\""))
     }
 
     fn epilogue(&self, out: &mut String) {
@@ -199,6 +236,7 @@ impl DotOverlay for MotionOverlay<'_> {
             return;
         }
         self.motion_edges(out);
+        duplication_edges(self.query, &self.node_ids, out);
     }
 }
 
@@ -252,7 +290,12 @@ impl<'a> CspdgOverlay<'a> {
 impl DotOverlay for CspdgOverlay<'_> {
     fn prelude(&self, out: &mut String) {
         if self.has_content() {
-            legend(out);
+            legend(
+                out,
+                self.query.duplications().iter().any(|d| {
+                    self.node_ids.contains_key(&d.home) && self.node_ids.contains_key(&d.into)
+                }),
+            );
         }
     }
 
@@ -292,6 +335,7 @@ impl DotOverlay for CspdgOverlay<'_> {
                 dot_escape(&format!("I{} rejected: {}", r.inst, r.reason))
             );
         }
+        duplication_edges(self.query, &self.node_ids, out);
     }
 }
 

@@ -165,6 +165,18 @@ fn summary_section(r: &ScheduleReport<'_>, q: &TraceQuery) -> String {
         vec!["renames".to_owned(), q.renames().len().to_string()],
         vec!["rejections".to_owned(), q.rejections().len().to_string()],
     ];
+    // Only mention duplication when it happened, so reports from gate-off
+    // runs render byte-identically to before the feature existed.
+    if !q.duplications().is_empty() {
+        let copies: usize = q.duplications().iter().map(|d| d.copies.len()).sum();
+        rows.insert(
+            5,
+            vec![
+                "duplications".to_owned(),
+                format!("{} ({} copies minted)", q.duplications().len(), copies),
+            ],
+        );
+    }
     if let Some((base, sched)) = r.cycles {
         let delta = if base == 0 {
             0.0
@@ -297,6 +309,30 @@ fn schedule_section(r: &ScheduleReport<'_>) -> String {
 
 /// Assembles the canonical schedule report: summary, before/after
 /// schedule, motion table, per-region decisions, metrics, the
+fn duplications_section(q: &TraceQuery) -> String {
+    let rows: Vec<Vec<String>> = q
+        .duplications()
+        .iter()
+        .map(|d| {
+            vec![
+                format!("I{}", d.inst),
+                d.home.clone(),
+                d.into.clone(),
+                d.cycle.to_string(),
+                d.copies
+                    .iter()
+                    .map(|(b, id)| format!("I{id} in {b}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ]
+        })
+        .collect();
+    HtmlReport::table(
+        &["inst", "join left", "original into", "cycle", "copies"],
+        &rows,
+    )
+}
+
 /// stall-annotated cycle timeline, and the full decision trace — one
 /// self-contained HTML file with no scripts or external assets.
 pub fn schedule_report(r: &ScheduleReport<'_>) -> String {
@@ -315,6 +351,13 @@ pub fn schedule_report(r: &ScheduleReport<'_>) -> String {
     doc.section("summary", "Summary", summary_section(r, &q));
     doc.section("schedule", "Schedule (before / after)", schedule_section(r));
     doc.section("motions", "Motions", motions_section(&q));
+    if !q.duplications().is_empty() {
+        doc.section(
+            "duplications",
+            "Duplication-based motions",
+            duplications_section(&q),
+        );
+    }
     doc.section("regions", "Per-region decisions", regions_section(&q));
     doc.section("metrics", "Metrics", metrics_section(&metrics));
     doc.section(

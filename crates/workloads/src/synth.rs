@@ -151,6 +151,113 @@ fn many_loops_source_with(rng: &mut XorShift64Star, loops: usize, stmts: usize) 
     src
 }
 
+/// The `dispatch_diamonds` sizes the benchmark harness measures for
+/// *schedule quality* (simulated cycles, duplication off vs on):
+/// `(name, diamonds, seed)` rows, smallest first. Keyed by name so the
+/// `BENCH_sched.json` quality entries stay comparable across runs.
+pub const DISPATCH_DIAMONDS_PRESETS: &[(&str, usize, u64)] = &[
+    ("dispatch-diamonds-s", 12, 23),
+    ("dispatch-diamonds-m", 48, 23),
+];
+
+/// Builds one of [`DISPATCH_DIAMONDS_PRESETS`] by name (`None` for an
+/// unknown name).
+pub fn dispatch_diamonds_preset(name: &str) -> Option<Workload> {
+    DISPATCH_DIAMONDS_PRESETS
+        .iter()
+        .find(|&&(n, ..)| n == name)
+        .map(|&(_, diamonds, seed)| dispatch_diamonds(diamonds, seed))
+}
+
+/// Generates a function of `diamonds` independent store-pinned diamond
+/// loops and compiles it to IR. Deterministic in `(diamonds, seed)`.
+///
+/// Each loop body is an if/else diamond whose arms *store* through a
+/// data-dependent index, followed by a join that *loads* from the same
+/// array. The join load may-alias both arm stores, so no single hoist
+/// target is safe — upward motion into the header is blocked by the
+/// dependence, never by control flow alone. The only way to overlap the
+/// load with the arms' branch-delay stalls is to copy it into *both*
+/// arms: exactly the duplication-based motion the `duplication` gate
+/// enables, and nothing the useful/speculative engine can do on its
+/// own. The join is a plain two-predecessor merge (not a loop header),
+/// so the no-loop duplication guard accepts it.
+///
+/// # Panics
+///
+/// Panics if `diamonds` is zero or the generated program fails to
+/// compile — a bug in the generator, not an input condition.
+pub fn dispatch_diamonds(diamonds: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64Star::new(seed);
+    let a: Vec<i64> = (0..ARRAY).map(|_| rng.range_i64(-500, 500)).collect();
+    let src = dispatch_diamonds_source_with(&mut rng, diamonds);
+
+    let program = compile_program(&src)
+        .unwrap_or_else(|e| panic!("synthetic workload fails to compile: {e}"));
+    let memory = program
+        .initial_memory(&[("a", &a)])
+        .unwrap_or_else(|e| panic!("synthetic workload memory: {e}"));
+    Workload {
+        name: "DISPATCH-DIAMONDS",
+        program,
+        memory,
+        source: src,
+    }
+}
+
+/// Generates only the tiny-C *source* of a dispatch-diamonds function —
+/// the input side of [`dispatch_diamonds`], without running the front
+/// end. Deterministic in `(diamonds, seed)`.
+///
+/// # Panics
+///
+/// As [`dispatch_diamonds`].
+pub fn dispatch_diamonds_source(diamonds: usize, seed: u64) -> String {
+    let mut rng = XorShift64Star::new(seed);
+    // Burn the array draws so the source comes out byte-identical to
+    // `dispatch_diamonds(diamonds, seed).source`.
+    for _ in 0..ARRAY {
+        let _ = rng.range_i64(-500, 500);
+    }
+    dispatch_diamonds_source_with(&mut rng, diamonds)
+}
+
+/// Source generation over an already-seeded generator; the array draws
+/// come first, exactly as in [`many_loops_source_with`]'s contract.
+fn dispatch_diamonds_source_with(rng: &mut XorShift64Star, diamonds: usize) -> String {
+    assert!(diamonds > 0, "a workload needs at least one diamond");
+
+    let mut src = String::new();
+    let _ = write!(src, "int a[{ARRAY}];\nvoid synth() {{\n");
+    src.push_str("  int acc = 0; int j = 0; int x = 0;\n");
+    for i in 0..diamonds {
+        let trips = rng.range_i64(3, 7);
+        let header_off = rng.below(ARRAY);
+        let threshold = rng.range_i64(-200, 200);
+        let scale = rng.range_i64(2, 9);
+        let join_off = rng.below(ARRAY);
+        // Each arm stores through a data-dependent index and then loads
+        // back (may-alias: the load waits for the store); the load's
+        // consumer sits in the load interlock, leaving the fixed-point
+        // unit an idle cycle — the slot the duplicated join load fills.
+        let _ = write!(
+            src,
+            "  j = 0;\n  while (j < {trips}) {{\n\
+             \x20   x = a[(j + {header_off}) & {mask}];\n\
+             \x20   if (x > {threshold}) {{ a[x & {mask}] = x + {scale}; acc = acc + a[(x + 1) & {mask}]; }}\n\
+             \x20   else {{ a[(x + 7) & {mask}] = x - {scale}; acc = acc + a[(x + 2) & {mask}]; }}\n\
+             \x20   acc = acc + a[{join_off}] + x;\n\
+             \x20   j = j + 1;\n  }}\n",
+            mask = ARRAY - 1
+        );
+        if i % 16 == 15 {
+            src.push_str("  print(acc);\n");
+        }
+    }
+    src.push_str("  print(acc);\n}\n");
+    src
+}
+
 /// One template statement group for a loop body, drawn from the seeded
 /// generator. `k` is the statement slot, choosing which `x{k}`/`y{k}`
 /// temporaries the group works in.
@@ -266,5 +373,35 @@ mod tests {
             assert!(many_loops_preset(name).is_some(), "{name}");
         }
         assert!(many_loops_preset("many-loops-xxl").is_none());
+    }
+
+    #[test]
+    fn dispatch_diamonds_is_deterministic() {
+        let a = dispatch_diamonds(8, 23);
+        let b = dispatch_diamonds(8, 23);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.memory, b.memory);
+        let c = dispatch_diamonds(8, 24);
+        assert_ne!(a.source, c.source, "seed changes the shapes");
+    }
+
+    #[test]
+    fn dispatch_diamonds_source_matches_the_workload() {
+        let w = dispatch_diamonds(8, 23);
+        assert_eq!(dispatch_diamonds_source(8, 23), w.source);
+    }
+
+    #[test]
+    fn dispatch_diamonds_presets_resolve_by_name() {
+        for &(name, ..) in DISPATCH_DIAMONDS_PRESETS {
+            assert!(dispatch_diamonds_preset(name).is_some(), "{name}");
+        }
+        assert!(dispatch_diamonds_preset("dispatch-diamonds-xxl").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one diamond")]
+    fn zero_diamonds_is_rejected() {
+        let _ = dispatch_diamonds(0, 1);
     }
 }

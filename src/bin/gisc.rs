@@ -25,6 +25,8 @@
 //!   --level <base|useful|speculative>   scheduling level (default speculative)
 //!   --machine <rs6k|wideN|scalar>       machine model (default rs6k)
 //!   --no-unroll --no-rotate --no-rename --paper
+//!   --dup                enable duplication-based global motion (copies
+//!                        join instructions into every predecessor)
 //!   --branches <N>       max speculation depth (default 1)
 //!   --jobs <N>           worker threads for the global passes; 0 = one
 //!                        per CPU (default 1; output is identical for any N)
@@ -97,7 +99,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
          [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
-         [--paper] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
+         [--paper] [--dup] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
          [--dot-cfg[=traced]] [--dot-cspdg[=traced]] [--report <out.html>] \
          [--trace[=json:<path>]] [--metrics] [--explain <inst>] [--timeline] <file|->\n\
          \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
@@ -177,6 +179,7 @@ fn parse_args() -> Options {
             "--no-unroll" => opts.config_tweaks.push(|c| c.unroll = false),
             "--no-rotate" => opts.config_tweaks.push(|c| c.rotate = false),
             "--no-rename" => opts.config_tweaks.push(|c| c.rename = false),
+            "--dup" => opts.config_tweaks.push(|c| c.duplication = true),
             "--paper" => opts.config_tweaks.push(|c| {
                 c.rename = false;
                 c.unroll = false;
@@ -232,6 +235,12 @@ fn parse_args() -> Options {
             other if other.starts_with("--metrics=") => {
                 let spec = &other["--metrics=".len()..];
                 bad_arg(&format!("--metrics expects no value, got '{spec}'"));
+            }
+            other if other.starts_with("--dup=") => {
+                let spec = &other["--dup=".len()..];
+                bad_arg(&format!(
+                    "--dup expects no value (it is an on/off switch), got '{spec}'"
+                ));
             }
             other if other.starts_with("--dot-cfg=") => {
                 let mode = &other["--dot-cfg=".len()..];
@@ -337,11 +346,14 @@ fn fuzz_command(mut args: impl Iterator<Item = String>) -> ExitCode {
             other => bad_arg(&format!("unknown fuzz argument '{other}'")),
         }
     }
+    // The full surface: the jobs matrix plus the duplication matrix
+    // (gate on/off × jobs {1, 4} × speculation depth {1, 2}).
+    let matrix = gis_check::full_matrix();
     eprintln!(
         "gisc fuzz: seed {seed}, {iters} iterations, matrix of {} configs",
-        { gis_check::jobs_matrix().len() }
+        matrix.len()
     );
-    let report = gis_check::run_fuzz(seed, iters, &gis_check::jobs_matrix());
+    let report = gis_check::run_fuzz(seed, iters, &matrix);
     match report.failure {
         None => {
             eprintln!(

@@ -6,7 +6,7 @@
 use gis_core::{compile, compile_observed, SchedConfig, SchedLevel, SchedStats};
 use gis_ir::Function;
 use gis_machine::MachineDescription;
-use gis_trace::{Metrics, MotionKind, Recorder, TraceEvent};
+use gis_trace::{Metrics, MotionKind, Recorder, TraceEvent, TraceQuery};
 use gis_workloads::minmax;
 
 fn traced(level: SchedLevel) -> (Function, SchedStats, Recorder) {
@@ -208,4 +208,171 @@ fn json_lines_round_trip_a_real_trace() {
         .collect();
     let original: Vec<TraceEvent> = rec.events().cloned().collect();
     assert_eq!(parsed, original, "JSON lines round-trip the whole trace");
+}
+
+// --- Duplication-based motion ------------------------------------------
+
+/// The duplication engine's diamond: the join load `I11` may-aliases the
+/// stores in both arms, so no single arm is a safe target and the only
+/// way out of `J` is a copy per predecessor.
+const DUP_DIAMOND: &str = "\
+func d
+H:
+    (I0) LI r8=7
+    (I1) L  r1=p(r0,0)
+    (I2) C  cr0=r1,r2
+    (I3) BT T,cr0,0x1/lt
+E:
+    (I4) ST r8=>buf(r9,16)
+    (I5) L  r6=buf(r10,16)
+    (I6) AI r3=r6,1
+    (I7) B  J
+T:
+    (I8) ST r8=>buf(r9,32)
+    (I9) L  r6=buf(r10,24)
+    (I10) AI r3=r6,2
+J:
+    (I11) L  r5=buf(r10,32)
+    (I12) MUL r4=r5,r3
+    (I13) PRINT r4
+    (I14) RET
+";
+
+/// An if-then join: `H` branches straight around `T` to `J`, so `J`'s
+/// predecessor set fails the duplication guard (a predecessor with two
+/// successors) and the movable join load can only be *reported* as
+/// needing duplication, never copied.
+const IF_THEN_JOIN: &str = "\
+func g
+H:
+    (I0) LI r8=7
+    (I1) L  r1=p(r0,0)
+    (I2) C  cr0=r1,r2
+    (I3) BT J,cr0,0x1/lt
+T:
+    (I4) ST r8=>buf(r9,16)
+J:
+    (I5) L  r5=buf(r10,32)
+    (I6) AI r4=r5,3
+    (I7) PRINT r4
+    (I8) RET
+";
+
+fn dup_traced(text: &str, duplication: bool) -> (Function, SchedStats, Recorder) {
+    let mut f = gis_ir::parse_function(text).expect("parses");
+    let machine = MachineDescription::rs6k();
+    let mut config = SchedConfig::paper_example(SchedLevel::Speculative);
+    config.duplication = duplication;
+    let mut rec = Recorder::new();
+    let stats = compile_observed(&mut f, &machine, &config, &mut rec).expect("compiles");
+    (f, stats, rec)
+}
+
+/// JSON lines of a trace with the one wall-clock field (`PassEnd.nanos`)
+/// zeroed, so the snapshot is deterministic.
+fn stable_json_lines(rec: &Recorder) -> String {
+    let mut out = String::new();
+    for e in rec.events() {
+        let e = match e {
+            TraceEvent::PassEnd { pass, .. } => TraceEvent::PassEnd {
+                pass: *pass,
+                nanos: 0,
+            },
+            other => other.clone(),
+        };
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares against the pinned golden, or rewrites it when
+/// `GIS_UPDATE_GOLDEN` is set (same contract as `viz_golden.rs`).
+fn assert_trace_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("GIS_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun GIS_UPDATE_GOLDEN=1 cargo test --test trace_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if intentional, regenerate with \
+         GIS_UPDATE_GOLDEN=1 cargo test --test trace_golden"
+    );
+}
+
+#[test]
+fn duplication_trace_names_the_join_and_every_copy() {
+    let (f, stats, rec) = dup_traced(DUP_DIAMOND, true);
+    assert_eq!(stats.moved_duplicated, 1, "\n{f}");
+    let events: Vec<TraceEvent> = rec.events().cloned().collect();
+    let q = TraceQuery::new(events.iter());
+    let dups = q.duplications();
+    assert_eq!(dups.len(), 1, "one duplication commit in the trace");
+    let d = &dups[0];
+    assert_eq!(d.inst, 11, "the join load moved");
+    assert_eq!(d.home, "J");
+    assert!(
+        d.into == "E" || d.into == "T",
+        "the original landed in an arm, not {}",
+        d.into
+    );
+    assert_eq!(d.copies.len(), 1, "one sibling copy");
+    let (copy_block, copy_id) = &d.copies[0];
+    assert_ne!(copy_block, &d.into, "the copy covers the other arm");
+    assert!(copy_block == "E" || copy_block == "T");
+    assert_eq!(*copy_id, 15, "the first fresh id after parsing");
+    // The metrics view counts the same commit and the same copy total.
+    let m = Metrics::from_events(rec.events());
+    assert_eq!(m.counter("duplicated") as usize, stats.moved_duplicated);
+    assert_eq!(m.counter("dup-copies") as usize, stats.dup_copies_minted);
+}
+
+#[test]
+fn guarded_joins_emit_the_would_duplicate_reason_code() {
+    let (f, stats, rec) = dup_traced(IF_THEN_JOIN, true);
+    assert_eq!(stats.moved_duplicated, 0, "nothing may be copied\n{f}");
+    assert!(stats.rejected_would_duplicate > 0, "\n{f}");
+    let would: Vec<u32> = rec
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::CandidateRejected { inst, reason, .. } => {
+                (reason.code() == "would-duplicate").then_some(*inst)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(would.contains(&5), "the join load is reported: {would:?}");
+    let m = Metrics::from_events(rec.events());
+    assert_eq!(
+        m.counter("rejected.would-duplicate") as usize,
+        stats.rejected_would_duplicate
+    );
+}
+
+#[test]
+fn duplication_trace_matches_the_golden_snapshot() {
+    let (_, _, rec) = dup_traced(DUP_DIAMOND, true);
+    assert_trace_golden("dup_diamond_gate_on.trace.jsonl", &stable_json_lines(&rec));
+}
+
+#[test]
+fn gate_off_traces_are_byte_identical_to_the_pre_duplication_golden() {
+    // The no-op differential: with the gate off the engine never looks at
+    // joins, so the trace is byte-for-byte the one recorded before the
+    // duplication feature existed — no new vocabulary leaks out.
+    let (_, stats, rec) = dup_traced(DUP_DIAMOND, false);
+    assert_eq!(stats.moved_duplicated, 0);
+    assert_eq!(stats.rejected_would_duplicate, 0);
+    let lines = stable_json_lines(&rec);
+    assert!(!lines.contains("duplicat"), "no duplication vocabulary");
+    assert_trace_golden("dup_diamond_gate_off.trace.jsonl", &lines);
 }

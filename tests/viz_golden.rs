@@ -176,3 +176,82 @@ fn motionless_function_degrades_to_the_plain_printer() {
     let plain = gis_cfg::cfg_to_dot(&f, &gis_cfg::Cfg::new(&f));
     assert_eq!(traced, plain, "trivial overlay must not decorate the graph");
 }
+
+/// The duplication diamond from `trace_golden.rs`: the join load can
+/// only leave `J` by being copied into both arms.
+const DUP_DIAMOND: &str = "\
+func d
+H:
+    (I0) LI r8=7
+    (I1) L  r1=p(r0,0)
+    (I2) C  cr0=r1,r2
+    (I3) BT T,cr0,0x1/lt
+E:
+    (I4) ST r8=>buf(r9,16)
+    (I5) L  r6=buf(r10,16)
+    (I6) AI r3=r6,1
+    (I7) B  J
+T:
+    (I8) ST r8=>buf(r9,32)
+    (I9) L  r6=buf(r10,24)
+    (I10) AI r3=r6,2
+J:
+    (I11) L  r5=buf(r10,32)
+    (I12) MUL r4=r5,r3
+    (I13) PRINT r4
+    (I14) RET
+";
+
+fn dup_diamond_traced() -> (Function, Function, Vec<TraceEvent>) {
+    let before = gis_ir::parse_function(DUP_DIAMOND).expect("parses");
+    let mut after = before.clone();
+    let mut rec = Recorder::new();
+    let mut config = SchedConfig::paper_example(SchedLevel::Speculative);
+    config.duplication = true;
+    compile_observed(&mut after, &MachineDescription::rs6k(), &config, &mut rec).expect("compiles");
+    let events = rec
+        .events()
+        .cloned()
+        .map(|e| match e {
+            TraceEvent::PassEnd { pass, .. } => TraceEvent::PassEnd { pass, nanos: 0 },
+            other => other,
+        })
+        .collect();
+    (before, after, events)
+}
+
+#[test]
+fn dup_diamond_dot_matches_golden() {
+    let (before, after, events) = dup_diamond_traced();
+    let query = TraceQuery::new(events.iter());
+    assert_eq!(query.duplications().len(), 1, "the overlay has a commit");
+    let dot = traced_cfg_dot(Some(&before), &after, &query);
+    assert!(
+        dot.contains("green: duplicated"),
+        "legend grew the line:\n{dot}"
+    );
+    assert!(
+        dot.contains("copy of I11"),
+        "one arrow per minted copy:\n{dot}"
+    );
+    assert_golden("dup_diamond_traced.dot", &dot);
+}
+
+#[test]
+fn dup_diamond_html_report_names_the_copies() {
+    let (before, after, events) = dup_diamond_traced();
+    let report = ScheduleReport {
+        title: "duplication diamond",
+        machine: "rs6k",
+        before: Some(&before),
+        after: &after,
+        events: &events,
+        timeline: None,
+        cycles: None,
+        perf_counters: &[],
+    };
+    let html = schedule_report(&report);
+    assert!(html.contains("Duplication-based motions"), "{html}");
+    assert!(html.contains("I15 in "), "the copy row names its block");
+    assert!(html.contains("duplications"), "summary row present");
+}
