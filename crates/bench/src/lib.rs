@@ -5,6 +5,8 @@
 //! them directly to pin the result *shapes* (who wins, by roughly how
 //! much) without depending on exact cycle counts.
 
+pub mod matrix;
+
 use gis_core::{compile, SchedConfig, SchedStats};
 use gis_machine::MachineDescription;
 use gis_sim::{execute, ExecConfig, ExecOutcome, TimingSim};

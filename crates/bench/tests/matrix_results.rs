@@ -1,0 +1,154 @@
+//! Keeps the committed experiment matrix honest.
+//!
+//! Three gates over the tracked `BENCH_matrix.json` + `docs/RESULTS.md`
+//! pair:
+//!
+//! 1. **Schema** — the JSON is a complete matrix: one cell per
+//!    `(workload, machine, policy)` triple, every cell carrying cycles
+//!    and a schedule hash.
+//! 2. **No drift** — `docs/RESULTS.md` is byte-identical to what the
+//!    renderer produces from the committed JSON. After changing the
+//!    renderer, refresh with `GIS_UPDATE_RESULTS=1 cargo test -p
+//!    gis-bench --test matrix_results` (re-renders the markdown from
+//!    the committed JSON); after changing the corpus or the scheduler,
+//!    rerun `gisc bench-matrix` to refresh both files.
+//! 3. **The paper's claim** — the global-vs-bb speedup grows
+//!    monotonically across the 2→4→8-issue ladder on the real kernels
+//!    (the reproduction's acceptance bar), and every workload gains
+//!    more at 8-issue than at 2-issue.
+
+use gis_bench::matrix::{render_markdown, REAL_KERNELS};
+use gis_trace::Json;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn tracked_json() -> String {
+    let path = repo_root().join("BENCH_matrix.json");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing tracked matrix {}: {e}\nrun `gisc bench-matrix` to generate it",
+            path.display()
+        )
+    })
+}
+
+/// String-array member of the parsed document.
+fn names(doc: &Json, key: &str) -> Vec<String> {
+    let Some(Json::Arr(items)) = doc.get(key) else {
+        panic!("matrix JSON: missing '{key}'");
+    };
+    items
+        .iter()
+        .map(|j| match j {
+            Json::Str(s) => s.clone(),
+            other => panic!("matrix JSON: non-string in '{key}': {other:?}"),
+        })
+        .collect()
+}
+
+fn cycles_of(doc: &Json, w: &str, m: &str, p: &str) -> u64 {
+    let Some(Json::Arr(cells)) = doc.get("cells") else {
+        panic!("matrix JSON: missing 'cells'");
+    };
+    for c in cells {
+        let member = |k: &str| match c.get(k) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => panic!("matrix JSON: cell without '{k}'"),
+        };
+        if member("workload") == w && member("machine") == m && member("policy") == p {
+            match c.get("cycles") {
+                Some(&Json::Int(v)) if v > 0 => return v as u64,
+                other => panic!("matrix JSON: bad cycles for {w}/{m}/{p}: {other:?}"),
+            }
+        }
+    }
+    panic!("matrix JSON: no cell for {w}/{m}/{p}");
+}
+
+fn improvement(doc: &Json, w: &str, m: &str) -> f64 {
+    let base = cycles_of(doc, w, m, "bb-only");
+    let spec = cycles_of(doc, w, m, "spec1");
+    100.0 * (base as f64 - spec as f64) / base as f64
+}
+
+#[test]
+fn tracked_matrix_is_schema_complete() {
+    let doc = Json::parse(&tracked_json()).expect("valid JSON");
+    assert_eq!(doc.get("bench"), Some(&Json::Str("matrix".into())));
+    assert_eq!(doc.get("smoke"), Some(&Json::Bool(false)), "full sizes");
+    assert_eq!(doc.get("jobs_hash_match"), Some(&Json::Bool(true)));
+    let workloads = names(&doc, "workloads");
+    let machines = names(&doc, "machines");
+    let policies = names(&doc, "policies");
+    assert!(workloads.len() >= 5, "≥5 workloads: {workloads:?}");
+    assert!(machines.len() >= 4, "≥4 machines: {machines:?}");
+    assert_eq!(policies.len(), 5, "the 5-policy ladder: {policies:?}");
+    let Some(Json::Arr(cells)) = doc.get("cells") else {
+        panic!("matrix JSON: missing 'cells'");
+    };
+    assert_eq!(
+        cells.len(),
+        workloads.len() * machines.len() * policies.len(),
+        "one cell per (workload, machine, policy)"
+    );
+    for c in cells {
+        match c.get("schedule_hash") {
+            Some(Json::Str(h)) => assert!(
+                h.len() == 16 && h.chars().all(|ch| ch.is_ascii_hexdigit()),
+                "hash is 16 hex chars: '{h}'"
+            ),
+            other => panic!("cell without schedule_hash: {other:?}"),
+        }
+        // Every triple from the axes is resolvable (no duplicate or
+        // missing cells); cycles_of panics otherwise.
+    }
+    for w in &workloads {
+        for m in &machines {
+            for p in &policies {
+                let _ = cycles_of(&doc, w, m, p);
+            }
+        }
+    }
+}
+
+#[test]
+fn results_md_matches_the_tracked_matrix() {
+    let rendered = render_markdown(&tracked_json()).expect("renders");
+    let path = repo_root().join("docs/RESULTS.md");
+    if std::env::var_os("GIS_UPDATE_RESULTS").is_some() {
+        std::fs::write(&path, &rendered).expect("write RESULTS.md");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}\nrun `gisc bench-matrix`", path.display()));
+    assert_eq!(
+        committed, rendered,
+        "docs/RESULTS.md drifted from BENCH_matrix.json; regenerate with \
+         GIS_UPDATE_RESULTS=1 cargo test -p gis-bench --test matrix_results \
+         (or rerun `gisc bench-matrix` to refresh both files)"
+    );
+}
+
+#[test]
+fn speedup_ramps_with_issue_width() {
+    let doc = Json::parse(&tracked_json()).expect("valid JSON");
+    let ladder = ["issue2", "issue4", "issue8"];
+    for w in REAL_KERNELS {
+        let points: Vec<f64> = ladder.iter().map(|m| improvement(&doc, w, m)).collect();
+        assert!(
+            points.windows(2).all(|p| p[1] >= p[0]),
+            "{w}: global-vs-bb speedup must be monotone over {ladder:?}, got {points:?}"
+        );
+    }
+    for w in names(&doc, "workloads") {
+        let narrow = improvement(&doc, &w, "issue2");
+        let wide = improvement(&doc, &w, "issue8");
+        assert!(
+            wide > narrow,
+            "{w}: 8-issue payoff ({wide:.1}%) exceeds 2-issue ({narrow:.1}%)"
+        );
+    }
+}

@@ -82,11 +82,37 @@ pub fn duplication_matrix() -> Vec<DiffConfig> {
     out
 }
 
+/// The wide-machine surface: full speculative scheduling (and the
+/// duplication gate) on the 8-issue preset, across `jobs` {1, 4}. The
+/// experiment matrix (docs/RESULTS.md) reports its headline numbers on
+/// the wide presets, so the differential oracle must cover at least one
+/// of them: a schedule that is only wrong when eight units expose more
+/// reordering freedom would never surface on the single-fixed-point
+/// RS/6000 columns.
+pub fn wide_machine_matrix() -> Vec<DiffConfig> {
+    let mut out = Vec::new();
+    for dup in [false, true] {
+        for jobs in [1usize, 4] {
+            let mut sched = SchedConfig::speculative();
+            sched.duplication = dup;
+            sched.jobs = jobs;
+            sched.verify_each_pass = Some(check_pass);
+            out.push(DiffConfig {
+                label: format!("issue8/dup={}/jobs={jobs}", if dup { "on" } else { "off" }),
+                sched,
+                machine: MachineDescription::issue8(),
+            });
+        }
+    }
+    out
+}
+
 /// The default fuzzing surface: [`jobs_matrix`] plus
-/// [`duplication_matrix`].
+/// [`duplication_matrix`] plus [`wide_machine_matrix`].
 pub fn full_matrix() -> Vec<DiffConfig> {
     let mut out = jobs_matrix();
     out.extend(duplication_matrix());
+    out.extend(wide_machine_matrix());
     out
 }
 

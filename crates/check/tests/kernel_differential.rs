@@ -1,0 +1,41 @@
+//! The real-kernel corpus under the differential oracle.
+//!
+//! The experiment matrix (docs/RESULTS.md) quotes cycle counts for the
+//! ported kernels across the whole policy ladder and the wide machine
+//! presets; this test keeps those cells honest by running every kernel
+//! through [`gis_check::run_case`] over the full differential surface —
+//! jobs widths, the duplication gate, speculation depths, and the
+//! 8-issue machine — with the structural verifier plugged into every
+//! pass. A kernel whose schedule diverges observably (or structurally)
+//! under any column fails here long before it misreports a speedup.
+
+use gis_check::{full_matrix, run_case, CaseResult};
+use gis_sim::ExecConfig;
+use gis_workloads::{kernels, synth};
+
+#[test]
+fn kernels_agree_across_the_full_matrix() {
+    let matrix = full_matrix();
+    let exec = ExecConfig::default();
+    for w in [
+        kernels::idct8(6),
+        kernels::fletcher(64),
+        kernels::memwalk(64),
+        synth::dispatch_decode(64, 29),
+    ] {
+        match run_case(&w.program.function, &w.memory, &matrix, &exec) {
+            CaseResult::Agree => {}
+            CaseResult::RefFailed(e) => panic!("{}: reference failed: {e}", w.name),
+            CaseResult::Diverged(d) => panic!("{}: {d}", w.name),
+        }
+    }
+}
+
+#[test]
+fn the_wide_machine_columns_are_part_of_the_surface() {
+    let labels: Vec<String> = full_matrix().into_iter().map(|c| c.label).collect();
+    assert!(
+        labels.iter().any(|l| l.starts_with("issue8/")),
+        "full_matrix covers a wide machine: {labels:?}"
+    );
+}

@@ -27,6 +27,8 @@
 //! assert_eq!(m.delay(OpClass::Fx, OpClass::Fx), 0);
 //! ```
 
+#![warn(missing_docs)]
+
 use gis_ir::OpClass;
 use std::fmt;
 
@@ -275,6 +277,109 @@ impl MachineDescription {
         );
         b.finish().expect("preset is complete")
     }
+
+    /// A 2-issue superscalar: the RS/6000's unit mix (one fixed point,
+    /// one floating point, one branch unit) with dispatch capped at two
+    /// instructions per cycle — the narrow end of the width-sweep axis.
+    /// Delay table pinned to §2.1 (shared with [`MachineDescription::rs6k`]).
+    pub fn issue2() -> Self {
+        let mut m = Self::superscalar("issue2", 1, 1, 1);
+        m.dispatch_width = Some(2);
+        m
+    }
+
+    /// A 4-issue superscalar: two fixed point units, two floating point
+    /// units and one branch unit, dispatch capped at four per cycle.
+    /// Latencies and delays are the pinned §2.1 table — only the unit
+    /// counts and dispatch width grow, so width-sweep comparisons
+    /// isolate machine parallelism.
+    pub fn issue4() -> Self {
+        let mut m = Self::superscalar("issue4", 2, 2, 1);
+        m.dispatch_width = Some(4);
+        m
+    }
+
+    /// An 8-issue superscalar: four fixed point units, four floating
+    /// point units and two branch units, dispatch capped at eight per
+    /// cycle. The "machines with a larger number of computational
+    /// units" the paper could only speculate about; latencies stay the
+    /// pinned §2.1 table.
+    pub fn issue8() -> Self {
+        let mut m = Self::superscalar("issue8", 4, 4, 2);
+        m.dispatch_width = Some(8);
+        m
+    }
+
+    /// A VLIW-flavoured wide machine: `slots` homogeneous slots, each
+    /// able to execute *any* op class (like a VLIW's uniform issue
+    /// slots), dispatch width equal to the slot count, and a fully
+    /// exposed pipeline — the delayed load costs **2** cycles instead
+    /// of the RS/6000's 1 (a deeper, software-visible memory pipe), on
+    /// top of the §2.1 compare→branch and floating point delays. The
+    /// scheduler, not hardware scoreboarding, is expected to cover the
+    /// latencies, which is exactly the regime where global scheduling
+    /// has the most slots to fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn vliw(slots: u32) -> Self {
+        assert!(slots > 0, "a VLIW machine needs at least one slot");
+        let mut b = MachineBuilder::new(format!("vliw{slots}"));
+        let u = b.unit("slot", slots);
+        for c in ALL_CLASSES {
+            let t = match c {
+                OpClass::FxMul => 5,
+                OpClass::FxDiv => 19,
+                OpClass::FpMul => 2,
+                OpClass::FpDiv => 17,
+                OpClass::Call => 10,
+                _ => 1,
+            };
+            b.class(c, u, t);
+        }
+        b.delay(ClassMatcher::One(OpClass::Load), ClassMatcher::Any, 2);
+        b.delay(
+            ClassMatcher::One(OpClass::FxCompare),
+            ClassMatcher::One(OpClass::Branch),
+            3,
+        );
+        b.delay(
+            ClassMatcher::AnyOf(vec![OpClass::Fp, OpClass::FpMul, OpClass::FpDiv]),
+            ClassMatcher::Any,
+            1,
+        );
+        b.delay(
+            ClassMatcher::One(OpClass::FpCompare),
+            ClassMatcher::One(OpClass::Branch),
+            5,
+        );
+        b.dispatch_width(slots);
+        b.finish().expect("preset is complete")
+    }
+
+    /// Resolves a preset by name: `rs6k`, `scalar`, `issue2`, `issue4`,
+    /// `issue8`, `wideN` (1 ≤ N ≤ 64) or `vliwN` (1 ≤ N ≤ 64). This is
+    /// the single lookup behind `gisc --machine` and the serve
+    /// protocol's machine field, so every surface accepts the same
+    /// names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "rs6k" => Some(Self::rs6k()),
+            "scalar" => Some(Self::scalar_pipeline()),
+            "issue2" => Some(Self::issue2()),
+            "issue4" => Some(Self::issue4()),
+            "issue8" => Some(Self::issue8()),
+            _ => {
+                let bounded = |s: &str| s.parse::<u32>().ok().filter(|n| (1..=64).contains(n));
+                if let Some(n) = name.strip_prefix("wide").and_then(bounded) {
+                    Some(Self::wide(n))
+                } else {
+                    name.strip_prefix("vliw").and_then(bounded).map(Self::vliw)
+                }
+            }
+        }
+    }
 }
 
 /// An error from [`MachineBuilder::finish`].
@@ -490,6 +595,109 @@ mod tests {
         b.dispatch_width(2);
         let m = b.finish().expect("complete");
         assert_eq!(m.dispatch_width(), 2);
+    }
+
+    /// Every preset the matrix experiment sweeps, by name. Completeness
+    /// (`finish` succeeded) is implied by construction — the builders
+    /// reject unassigned classes — but we re-assert the class coverage
+    /// here so a future edit to `ALL_CLASSES` cannot silently leave a
+    /// preset partial.
+    fn matrix_presets() -> Vec<MachineDescription> {
+        ["rs6k", "issue2", "issue4", "issue8", "vliw8", "scalar"]
+            .iter()
+            .map(|n| MachineDescription::by_name(n).expect("preset name resolves"))
+            .collect()
+    }
+
+    #[test]
+    fn every_preset_implements_every_class() {
+        for m in matrix_presets() {
+            for c in super::ALL_CLASSES {
+                assert!(m.exec_time(c) >= 1, "{}: {c} has t >= 1", m.name());
+                let _ = m.unit_of(c); // would panic on an unassigned class
+            }
+            assert!(m.dispatch_width() >= 1);
+        }
+    }
+
+    #[test]
+    fn issue_width_presets_pin_their_dispatch_widths() {
+        assert_eq!(MachineDescription::issue2().dispatch_width(), 2);
+        assert_eq!(MachineDescription::issue4().dispatch_width(), 4);
+        assert_eq!(MachineDescription::issue8().dispatch_width(), 8);
+        assert_eq!(MachineDescription::vliw(8).dispatch_width(), 8);
+        // Unit counts grow with the width axis.
+        let fx_of = |m: &MachineDescription| m.unit_count(m.unit_of(OpClass::Fx));
+        assert_eq!(fx_of(&MachineDescription::issue2()), 1);
+        assert_eq!(fx_of(&MachineDescription::issue4()), 2);
+        assert_eq!(fx_of(&MachineDescription::issue8()), 4);
+        assert_eq!(
+            MachineDescription::issue8()
+                .unit_count(MachineDescription::issue8().unit_of(OpClass::Branch)),
+            2
+        );
+    }
+
+    #[test]
+    fn issue_width_presets_share_the_pinned_rs6k_delay_table() {
+        for m in [
+            MachineDescription::issue2(),
+            MachineDescription::issue4(),
+            MachineDescription::issue8(),
+        ] {
+            // The four §2.1 delay kinds, unchanged: the width sweep
+            // varies parallelism only.
+            assert_eq!(m.delay(OpClass::Load, OpClass::Fx), 1, "{}", m.name());
+            assert_eq!(m.delay(OpClass::FxCompare, OpClass::Branch), 3);
+            assert_eq!(m.delay(OpClass::Fp, OpClass::Fp), 1);
+            assert_eq!(m.delay(OpClass::FpCompare, OpClass::Branch), 5);
+            assert_eq!(m.delay(OpClass::FxCompare, OpClass::Fx), 0);
+            // Latencies too.
+            assert_eq!(m.exec_time(OpClass::Fx), 1);
+            assert_eq!(m.exec_time(OpClass::FxMul), 5);
+            assert_eq!(m.exec_time(OpClass::Load), 1);
+        }
+    }
+
+    #[test]
+    fn vliw_is_homogeneous_with_an_exposed_memory_pipe() {
+        let m = MachineDescription::vliw(8);
+        assert_eq!(m.num_unit_kinds(), 1, "uniform slots");
+        assert_eq!(m.unit_of(OpClass::Fx), m.unit_of(OpClass::Branch));
+        assert_eq!(m.unit_of(OpClass::Fx), m.unit_of(OpClass::FpMul));
+        assert_eq!(m.unit_count(m.unit_of(OpClass::Fx)), 8);
+        // The deeper exposed load pipe: 2 cycles, not the RS/6000's 1.
+        assert_eq!(m.delay(OpClass::Load, OpClass::Fx), 2);
+        assert_eq!(m.delay(OpClass::FxCompare, OpClass::Branch), 3);
+        assert_eq!(m.delay(OpClass::FpCompare, OpClass::Branch), 5);
+    }
+
+    #[test]
+    fn by_name_resolves_every_surface_name() {
+        assert_eq!(
+            MachineDescription::by_name("rs6k").expect("rs6k").name(),
+            "rs6k"
+        );
+        assert_eq!(
+            MachineDescription::by_name("scalar")
+                .expect("scalar")
+                .name(),
+            "scalar"
+        );
+        assert_eq!(
+            MachineDescription::by_name("wide4").expect("wide4").name(),
+            "wide4"
+        );
+        assert_eq!(
+            MachineDescription::by_name("vliw8").expect("vliw8").name(),
+            "vliw8"
+        );
+        for bad in ["", "wide", "wide0", "wide65", "vliw0", "issue3", "w4"] {
+            assert!(
+                MachineDescription::by_name(bad).is_none(),
+                "{bad:?} must not resolve"
+            );
+        }
     }
 
     #[test]

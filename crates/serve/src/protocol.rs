@@ -229,28 +229,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Resolves a machine preset name the same way the `gisc` CLI does.
+/// Resolves a machine preset name the same way the `gisc` CLI does —
+/// both route through [`MachineDescription::by_name`], so every surface
+/// accepts the same presets.
 ///
 /// # Errors
 ///
-/// Returns a message when the name is not `rs6k`, `scalar` or `wideN`.
+/// Returns a message when the name is not `rs6k`, `scalar`, `issue2`,
+/// `issue4`, `issue8`, `wideN` or `vliwN`.
 pub fn resolve_machine(name: &str) -> Result<MachineDescription, String> {
-    match name {
-        "rs6k" => Ok(MachineDescription::rs6k()),
-        "scalar" => Ok(MachineDescription::scalar_pipeline()),
-        _ => {
-            if let Some(n) = name.strip_prefix("wide") {
-                if let Ok(n) = n.parse::<u32>() {
-                    if (1..=64).contains(&n) {
-                        return Ok(MachineDescription::wide(n));
-                    }
-                }
-            }
-            Err(format!(
-                "unknown machine '{name}' (expected rs6k, scalar or wideN)"
-            ))
-        }
-    }
+    MachineDescription::by_name(name).ok_or_else(|| {
+        format!("unknown machine '{name}' (expected rs6k, scalar, issue2/4/8, wideN or vliwN)")
+    })
 }
 
 // ---------------------------------------------------------------------

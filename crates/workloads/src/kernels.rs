@@ -1,0 +1,264 @@
+//! Real kernels ported through the `tinyc` frontend.
+//!
+//! The ROADMAP's workload-corpus item asks for real computational
+//! kernels — not synthetic region generators — so the experiment
+//! matrix (`gisc bench-matrix`, `docs/RESULTS.md`) can report the
+//! paper's "more units ⇒ bigger payoff" claim on code shaped like what
+//! compilers actually schedule. Three kernels cover the classic
+//! scheduling regimes:
+//!
+//! * [`idct8`] — an 8×8 IDCT/DCT-style integer block transform: a row
+//!   loop of butterfly stages (constant multiplies, shifts, adds)
+//!   followed by the standard saturating clamp of every output to
+//!   `0..255`. The clamps are sixteen tiny branch diamonds per row, so
+//!   the abundant ILP of the butterfly is *spread across blocks* —
+//!   exactly the shape where basic-block scheduling runs out of road
+//!   and global speculation keeps wide machines fed.
+//! * [`fletcher`] — a checksum inner loop: a two-lane Fletcher/Adler
+//!   style sum with conditional modular folds (`if (s >= 65521) s -=
+//!   65521`). Each lane is a serial dependence chain; overlapping the
+//!   *lanes* requires moving one lane's work across the other lane's
+//!   fold branches — useful/speculative global motion, not in-block
+//!   reordering.
+//! * [`memwalk`] — a string/memmove-style walk: a descending copy
+//!   (memmove's overlap-safe direction) with a case-normalization
+//!   diamond, a flag-setting sentinel compare, and a second plain copy
+//!   lane. Loads walk a decremented address (the load-update idiom)
+//!   and every iteration crosses three small branches.
+//!
+//! The decoder/interpreter-shaped member of the corpus lives with its
+//! synthetic family: [`crate::synth::dispatch_decode`].
+//!
+//! All inputs come from the in-repo seeded [`XorShift64Star`], so every
+//! build of a kernel is byte-identical: same source, same IR, same
+//! memory image.
+
+use crate::rng::XorShift64Star;
+use crate::spec::Workload;
+use gis_tinyc::compile_program;
+use std::fmt::Write as _;
+
+/// Compiles `src` and attaches the initial memory, panicking on any
+/// failure (a kernel that fails to build is a bug, not an input
+/// condition).
+fn build(name: &'static str, src: &str, arrays: &[(&str, &[i64])]) -> Workload {
+    let program =
+        compile_program(src).unwrap_or_else(|e| panic!("kernel {name} fails to compile: {e}"));
+    let memory = program
+        .initial_memory(arrays)
+        .unwrap_or_else(|e| panic!("kernel {name} memory: {e}"));
+    Workload {
+        name,
+        program,
+        memory,
+        source: src.to_owned(),
+    }
+}
+
+/// 8×8 IDCT/DCT-style block transform over `rows` rows of eight
+/// coefficients (an integer butterfly network with the usual
+/// even/odd decomposition, scaled down by a final shift, then each
+/// output saturated to `0..255` through the classic clamp diamonds).
+/// Deterministic in `rows`.
+///
+/// # Panics
+///
+/// Panics if `rows` is zero.
+pub fn idct8(rows: usize) -> Workload {
+    assert!(rows > 0, "the transform needs at least one row");
+    let mut rng = XorShift64Star::new(0x1DC7);
+    let len = rows * 8;
+    let src_vals: Vec<i64> = (0..len).map(|_| rng.range_i64(-512, 512)).collect();
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "int src[{len}]; int dst[{len}]; int n = {rows};\n\
+         void idct8() {{\n\
+         \x20 int r = 0; int check = 0;\n\
+         \x20 while (r < n) {{\n\
+         \x20   int base = r << 3;\n"
+    );
+    for k in 0..8 {
+        let _ = writeln!(src, "    int x{k} = src[base + {k}];");
+    }
+    src.push_str(
+        "    int e0 = x0 + x4;\n\
+         \x20   int e1 = x0 - x4;\n\
+         \x20   int e2 = (x2 * 2) + (x6 >> 1);\n\
+         \x20   int e3 = (x2 >> 1) - (x6 * 2);\n\
+         \x20   int s0 = e0 + e2;\n\
+         \x20   int s3 = e0 - e2;\n\
+         \x20   int s1 = e1 + e3;\n\
+         \x20   int s2 = e1 - e3;\n\
+         \x20   int o0 = (x1 * 3) + (x7 >> 2);\n\
+         \x20   int o1 = (x3 * 2) - (x5 >> 1);\n\
+         \x20   int o2 = (x3 >> 1) + (x5 * 2);\n\
+         \x20   int o3 = (x1 >> 2) - (x7 * 3);\n\
+         \x20   int t0 = o0 + o2;\n\
+         \x20   int t1 = o1 + o3;\n\
+         \x20   int t2 = o0 - o2;\n\
+         \x20   int t3 = o1 - o3;\n\
+         \x20   int y0 = (s0 + t0) >> 3;\n\
+         \x20   int y1 = (s1 + t1) >> 3;\n\
+         \x20   int y2 = (s2 + t2) >> 3;\n\
+         \x20   int y3 = (s3 + t3) >> 3;\n\
+         \x20   int y4 = (s3 - t3) >> 3;\n\
+         \x20   int y5 = (s2 - t2) >> 3;\n\
+         \x20   int y6 = (s1 - t1) >> 3;\n\
+         \x20   int y7 = (s0 - t0) >> 3;\n",
+    );
+    for k in 0..8 {
+        let _ = writeln!(
+            src,
+            "    if (y{k} < 0) {{ y{k} = 0; }}\n\
+             \x20   if (y{k} > 255) {{ y{k} = 255; }}\n\
+             \x20   dst[base + {k}] = y{k};"
+        );
+    }
+    src.push_str(
+        "    check = check ^ (y0 + y7);\n\
+         \x20   r = r + 1;\n\
+         \x20 }\n\
+         \x20 print(check);\n\
+         }\n",
+    );
+    build("IDCT8", &src, &[("src", &src_vals)])
+}
+
+/// Checksum/hash inner loop: a two-lane Fletcher-style sum with
+/// conditional modular folds. Lane one covers even elements, lane two
+/// odd elements; each fold is a flag-setting compare followed by a
+/// one-sided subtract. Deterministic in `len` (rounded up to even).
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+pub fn fletcher(len: usize) -> Workload {
+    assert!(len > 0, "the checksum needs at least one element");
+    let len = len + (len % 2);
+    let mut rng = XorShift64Star::new(0xF1E7);
+    let buf: Vec<i64> = (0..len).map(|_| rng.range_i64(0, 60_000)).collect();
+    let src = format!(
+        "int buf[{len}]; int n = {len};\n\
+         void fletcher() {{\n\
+         \x20 int i = 0;\n\
+         \x20 int a1 = 1; int b1 = 0;\n\
+         \x20 int a2 = 1; int b2 = 0;\n\
+         \x20 while (i < n) {{\n\
+         \x20   a1 = a1 + buf[i];\n\
+         \x20   if (a1 >= 65521) {{ a1 = a1 - 65521; }}\n\
+         \x20   b1 = b1 + a1;\n\
+         \x20   if (b1 >= 65521) {{ b1 = b1 - 65521; }}\n\
+         \x20   a2 = a2 + buf[i + 1];\n\
+         \x20   if (a2 >= 65521) {{ a2 = a2 - 65521; }}\n\
+         \x20   b2 = b2 + a2;\n\
+         \x20   if (b2 >= 65521) {{ b2 = b2 - 65521; }}\n\
+         \x20   i = i + 2;\n\
+         \x20 }}\n\
+         \x20 print((b1 << 16) | a1);\n\
+         \x20 print((b2 << 16) | a2);\n\
+         }}\n"
+    );
+    build("FLETCHER", &src, &[("buf", &buf)])
+}
+
+/// String/memmove-style walk: a descending overlap-safe copy from
+/// `src` to `dst` that case-normalizes ASCII letters on the way (the
+/// nested-diamond `toupper` idiom), counts a sentinel character with a
+/// flag-setting compare, and runs a second plain copy lane so wide
+/// machines have cross-branch work to overlap. Deterministic in `len`.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+pub fn memwalk(len: usize) -> Workload {
+    assert!(len > 0, "the walk needs at least one element");
+    let mut rng = XorShift64Star::new(0x3A1C);
+    // Printable-ASCII-ish bytes with lowercase letters over-represented
+    // so the toupper diamond is taken often but not always.
+    let text: Vec<i64> = (0..len)
+        .map(|_| {
+            if rng.below(4) < 2 {
+                rng.range_i64(97, 123) // a..z
+            } else {
+                rng.range_i64(32, 97)
+            }
+        })
+        .collect();
+    let aux: Vec<i64> = (0..len).map(|_| rng.range_i64(-128, 128)).collect();
+    let src = format!(
+        "int src[{len}]; int dst[{len}]; int aux[{len}]; int out[{len}]; int n = {len};\n\
+         void memwalk() {{\n\
+         \x20 int i = n; int hits = 0; int sum = 0;\n\
+         \x20 while (i > 0) {{\n\
+         \x20   i = i - 1;\n\
+         \x20   int c = src[i];\n\
+         \x20   if (c >= 97) {{ if (c <= 122) {{ c = c - 32; }} }}\n\
+         \x20   if (c == 37) {{ hits = hits + 1; }}\n\
+         \x20   dst[i] = c;\n\
+         \x20   int d = aux[i];\n\
+         \x20   out[i] = d + 1;\n\
+         \x20   sum = sum ^ (c + d);\n\
+         \x20 }}\n\
+         \x20 print(hits);\n\
+         \x20 print(sum);\n\
+         }}\n"
+    );
+    build("MEMWALK", &src, &[("src", &text), ("aux", &aux)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_compile_and_carry_memory() {
+        for w in [idct8(8), fletcher(32), memwalk(32)] {
+            assert!(w.program.function.num_blocks() > 2, "{}", w.name);
+            assert!(!w.memory.is_empty(), "{}", w.name);
+            assert!(!w.source.is_empty(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        for (a, b) in [
+            (idct8(8), idct8(8)),
+            (fletcher(64), fletcher(64)),
+            (memwalk(64), memwalk(64)),
+        ] {
+            assert_eq!(a.source, b.source, "{}", a.name);
+            assert_eq!(a.memory, b.memory, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn idct8_spreads_ilp_across_clamp_diamonds() {
+        let w = idct8(4);
+        let f = &w.program.function;
+        // Sixteen clamp diamonds per row: the body is many small blocks.
+        assert!(f.num_blocks() > 20, "got {} blocks", f.num_blocks());
+    }
+
+    #[test]
+    fn fletcher_rounds_odd_lengths_up() {
+        let odd = fletcher(31);
+        let even = fletcher(32);
+        assert_eq!(odd.source, even.source);
+        assert_eq!(odd.memory, even.memory);
+    }
+
+    #[test]
+    fn memwalk_input_mixes_letter_and_symbol_bytes() {
+        let w = memwalk(128);
+        // The first array in the image is `src`; count lowercase bytes to
+        // make sure the toupper diamond is data-dependent, not constant.
+        let lower = w
+            .memory
+            .iter()
+            .take(128)
+            .filter(|&&(_, v)| (97..=122).contains(&v))
+            .count();
+        assert!(lower > 16 && lower < 112, "lowercase bytes: {lower}");
+    }
+}

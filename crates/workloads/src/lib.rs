@@ -10,8 +10,14 @@
 //! parallel per-region scheduler enough disjoint work to measure. The
 //! [`loadgen`] module deals those sources into request corpora with a
 //! controlled repeat structure for driving the `gis-serve` daemon and
-//! its schedule cache.
+//! its schedule cache. The [`kernels`] module ports real computational
+//! kernels (block transform, checksum loop, string walk) through the
+//! `tinyc` frontend for the `(workload × machine × policy)` experiment
+//! matrix of docs/RESULTS.md.
 
+#![warn(missing_docs)]
+
+pub mod kernels;
 pub mod loadgen;
 pub mod minmax;
 pub mod rng;

@@ -258,6 +258,113 @@ fn dispatch_diamonds_source_with(rng: &mut XorShift64Star, diamonds: usize) -> S
     src
 }
 
+/// The `dispatch_decode` sizes the experiment matrix measures:
+/// `(name, ops, seed)` rows, smallest first. Keyed by name so
+/// `BENCH_matrix.json` entries stay comparable across runs.
+pub const DISPATCH_DECODE_PRESETS: &[(&str, usize, u64)] = &[
+    ("dispatch-decode-s", 48, 29),
+    ("dispatch-decode-m", 192, 29),
+];
+
+/// Builds one of [`DISPATCH_DECODE_PRESETS`] by name (`None` for an
+/// unknown name).
+pub fn dispatch_decode_preset(name: &str) -> Option<Workload> {
+    DISPATCH_DECODE_PRESETS
+        .iter()
+        .find(|&&(n, ..)| n == name)
+        .map(|&(_, ops, seed)| dispatch_decode(ops, seed))
+}
+
+/// Generates a decoder/interpreter-shaped workload: a fetch–decode–
+/// execute loop over `ops` packed instruction words. Deterministic in
+/// `(ops, seed)`.
+///
+/// Each iteration loads a word, extracts opcode/register/immediate
+/// fields with shifts and masks (a burst of straight-line ILP), reads
+/// two registers through data-dependent addresses, and dispatches
+/// through an if/else opcode chain — many small blocks ending in
+/// unpredictable branches, the LI/interpreter regime where basic-block
+/// scheduling finds nothing and speculative motion must hoist the field
+/// extraction and register reads of the *next* decision past the
+/// current one.
+///
+/// # Panics
+///
+/// Panics if `ops` is zero or the generated program fails to compile —
+/// a bug in the generator, not an input condition.
+pub fn dispatch_decode(ops: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64Star::new(seed);
+    let code: Vec<i64> = (0..ops).map(|_| rng.range_i64(0, 1 << 15)).collect();
+    let src = dispatch_decode_source_with(&mut rng, ops);
+
+    let program = compile_program(&src)
+        .unwrap_or_else(|e| panic!("synthetic workload fails to compile: {e}"));
+    let memory = program
+        .initial_memory(&[("code", &code)])
+        .unwrap_or_else(|e| panic!("synthetic workload memory: {e}"));
+    Workload {
+        name: "DISPATCH-DECODE",
+        program,
+        memory,
+        source: src,
+    }
+}
+
+/// Generates only the tiny-C *source* of a dispatch-decode function —
+/// the input side of [`dispatch_decode`], without running the front
+/// end. Deterministic in `(ops, seed)`.
+///
+/// # Panics
+///
+/// As [`dispatch_decode`].
+pub fn dispatch_decode_source(ops: usize, seed: u64) -> String {
+    let mut rng = XorShift64Star::new(seed);
+    // Burn the code-stream draws so the source comes out byte-identical
+    // to `dispatch_decode(ops, seed).source`.
+    for _ in 0..ops {
+        let _ = rng.range_i64(0, 1 << 15);
+    }
+    dispatch_decode_source_with(&mut rng, ops)
+}
+
+/// Source generation over an already-seeded generator; the code-stream
+/// draws come first, exactly as in [`many_loops_source_with`]'s
+/// contract. The seed also shapes the source itself (the ALU constants
+/// of two opcode arms), so distinct seeds yield distinct programs, not
+/// just distinct inputs.
+fn dispatch_decode_source_with(rng: &mut XorShift64Star, ops: usize) -> String {
+    assert!(ops > 0, "a decoder needs at least one instruction word");
+    let xor_k = rng.range_i64(1, 4096);
+    let add_k = rng.range_i64(1, 64);
+    format!(
+        "int code[{ops}]; int regs[16]; int n = {ops};\n\
+         void decode() {{\n\
+         \x20 int pc = 0; int steps = 0;\n\
+         \x20 while (pc < n) {{\n\
+         \x20   int w = code[pc];\n\
+         \x20   int op = (w >> 12) & 7;\n\
+         \x20   int ra = (w >> 8) & 15;\n\
+         \x20   int rb = (w >> 4) & 15;\n\
+         \x20   int imm = w & 15;\n\
+         \x20   int va = regs[ra];\n\
+         \x20   int vb = regs[rb];\n\
+         \x20   if (op == 0) {{ regs[ra] = va + vb; }}\n\
+         \x20   else if (op == 1) {{ regs[ra] = va - vb; }}\n\
+         \x20   else if (op == 2) {{ regs[ra] = va ^ {xor_k}; }}\n\
+         \x20   else if (op == 3) {{ regs[ra] = (va << 1) | (vb & 1); }}\n\
+         \x20   else if (op == 4) {{ regs[ra] = vb + {add_k}; }}\n\
+         \x20   else if (op == 5) {{ steps = steps + va; }}\n\
+         \x20   else if (op == 6) {{ regs[rb] = va & vb; }}\n\
+         \x20   else {{ regs[ra] = imm; }}\n\
+         \x20   pc = pc + 1;\n\
+         \x20 }}\n\
+         \x20 int i = 0;\n\
+         \x20 while (i < 16) {{ steps = steps ^ regs[i]; i = i + 1; }}\n\
+         \x20 print(steps);\n\
+         }}\n"
+    )
+}
+
 /// One template statement group for a loop body, drawn from the seeded
 /// generator. `k` is the statement slot, choosing which `x{k}`/`y{k}`
 /// temporaries the group works in.
@@ -403,5 +510,44 @@ mod tests {
     #[should_panic(expected = "at least one diamond")]
     fn zero_diamonds_is_rejected() {
         let _ = dispatch_diamonds(0, 1);
+    }
+
+    #[test]
+    fn dispatch_decode_is_deterministic() {
+        let a = dispatch_decode(32, 29);
+        let b = dispatch_decode(32, 29);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.memory, b.memory);
+        let c = dispatch_decode(32, 30);
+        assert_ne!(a.source, c.source, "seed changes the ALU constants");
+        assert_ne!(a.memory, c.memory, "seed changes the code stream");
+    }
+
+    #[test]
+    fn dispatch_decode_source_matches_the_workload() {
+        let w = dispatch_decode(32, 29);
+        assert_eq!(dispatch_decode_source(32, 29), w.source);
+    }
+
+    #[test]
+    fn dispatch_decode_presets_resolve_by_name() {
+        for &(name, ..) in DISPATCH_DECODE_PRESETS {
+            assert!(dispatch_decode_preset(name).is_some(), "{name}");
+        }
+        assert!(dispatch_decode_preset("dispatch-decode-xxl").is_none());
+    }
+
+    #[test]
+    fn dispatch_decode_has_interpreter_shaped_blocks() {
+        let w = dispatch_decode(16, 29);
+        let f = &w.program.function;
+        let avg = f.num_insts() as f64 / f.num_blocks() as f64;
+        assert!(avg < 6.0, "dispatch blocks are small (avg {avg:.1})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction word")]
+    fn zero_ops_is_rejected() {
+        let _ = dispatch_decode(0, 1);
     }
 }

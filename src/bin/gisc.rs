@@ -19,11 +19,17 @@
 //!     [--print-schedule] [--raw LINE]... [--stats] [--shutdown]
 //!     drive a running daemon: schedule batches, fetch counters,
 //!     or ask it to drain and exit (see docs/SERVICE.md)
+//! gisc bench-matrix [--smoke] [--out FILE] [--results FILE] [--check]
+//!     run the (workload × machine × policy) experiment matrix and write
+//!     BENCH_matrix.json + docs/RESULTS.md; --check verifies the
+//!     committed markdown matches the committed JSON without running
+//!     anything (the CI docs gate); --smoke shrinks every input
 //!
 //! gisc [OPTIONS] <file>
 //!   --tinyc | --asm      input language (default: by extension, .c/.gis)
 //!   --level <base|useful|speculative>   scheduling level (default speculative)
-//!   --machine <rs6k|wideN|scalar>       machine model (default rs6k)
+//!   --machine <NAME>     machine model: rs6k (default), scalar,
+//!                        issue2/issue4/issue8, wideN, vliwN
 //!   --no-unroll --no-rotate --no-rename --paper
 //!   --dup                enable duplication-based global motion (copies
 //!                        join instructions into every predecessor)
@@ -98,8 +104,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
-         [--machine rs6k|wideN|scalar] [--no-unroll] [--no-rotate] [--no-rename] \
-         [--paper] [--dup] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
+         [--machine rs6k|scalar|issue2/4/8|wideN|vliwN] [--no-unroll] [--no-rotate] \
+         [--no-rename] [--paper] [--dup] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
          [--dot-cfg[=traced]] [--dot-cspdg[=traced]] [--report <out.html>] \
          [--trace[=json:<path>]] [--metrics] [--explain <inst>] [--timeline] <file|->\n\
          \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
@@ -107,7 +113,8 @@ fn usage() -> ! {
          \x20      gisc serve --listen unix:PATH|tcp:HOST:PORT [--jobs N] \
          [--cache-cap N] [--timeout-ms N] [--metrics]\n\
          \x20      gisc serve-request --listen SPEC [--ping] [--workload NAME] \
-         [--file F] [--machine M] [--repeat N] [--stats] [--shutdown]"
+         [--file F] [--machine M] [--repeat N] [--stats] [--shutdown]\n\
+         \x20      gisc bench-matrix [--smoke] [--out FILE] [--results FILE] [--check]"
     );
     std::process::exit(2)
 }
@@ -166,15 +173,11 @@ fn parse_args() -> Options {
             }
             "--machine" => {
                 let m = args.next().unwrap_or_else(|| usage());
-                opts.machine = if m == "rs6k" {
-                    MachineDescription::rs6k()
-                } else if m == "scalar" {
-                    MachineDescription::scalar_pipeline()
-                } else if let Some(n) = m.strip_prefix("wide") {
-                    MachineDescription::wide(n.parse().unwrap_or_else(|_| usage()))
-                } else {
-                    usage()
-                };
+                opts.machine = MachineDescription::by_name(&m).unwrap_or_else(|| {
+                    bad_arg(&format!(
+                        "--machine expects rs6k, scalar, issue2/4/8, wideN or vliwN, got '{m}'"
+                    ))
+                });
             }
             "--no-unroll" => opts.config_tweaks.push(|c| c.unroll = false),
             "--no-rotate" => opts.config_tweaks.push(|c| c.rotate = false),
@@ -315,6 +318,7 @@ fn main() -> ExitCode {
         Some("verify") => return verify_command(raw),
         Some("serve") => return serve_command(raw),
         Some("serve-request") => return serve_request_command(raw),
+        Some("bench-matrix") => return bench_matrix_command(raw),
         _ => {}
     }
     let opts = parse_args();
@@ -425,6 +429,98 @@ fn verify_command(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// `gisc bench-matrix [--smoke] [--out FILE] [--results FILE] [--check]`:
+/// the `(workload × machine × policy)` experiment behind docs/RESULTS.md.
+///
+/// The default run schedules, checks and times every cell, then writes
+/// the JSON matrix (`--out`, default `BENCH_matrix.json`) and the
+/// rendered report (`--results`, default `docs/RESULTS.md`). `--smoke`
+/// shrinks every workload so the whole pipeline runs in seconds.
+/// `--check` runs nothing: it re-renders the committed JSON and fails
+/// if the committed markdown differs — the CI gate that keeps the
+/// report from drifting from the data it claims to present.
+fn bench_matrix_command(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut smoke = false;
+    let mut check = false;
+    let mut out_path = String::from("BENCH_matrix.json");
+    let mut results_path = String::from("docs/RESULTS.md");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--out" => {
+                out_path = args
+                    .next()
+                    .unwrap_or_else(|| bad_arg("--out expects a file path"));
+            }
+            "--results" => {
+                results_path = args
+                    .next()
+                    .unwrap_or_else(|| bad_arg("--results expects a file path"));
+            }
+            other => bad_arg(&format!("unknown bench-matrix argument '{other}'")),
+        }
+    }
+    if check {
+        let json = match std::fs::read_to_string(&out_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gisc bench-matrix: reading {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rendered = match gis_bench::matrix::render_markdown(&json) {
+            Ok(md) => md,
+            Err(e) => {
+                eprintln!("gisc bench-matrix: {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match std::fs::read_to_string(&results_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gisc bench-matrix: reading {results_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if committed == rendered {
+            eprintln!("gisc bench-matrix: {results_path} matches {out_path}");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "gisc bench-matrix: {results_path} is out of date with {out_path} — \
+             rerun `gisc bench-matrix` and commit both files"
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = gis_bench::matrix::run_matrix(smoke, |line| eprintln!("{line}"));
+    let json = gis_bench::matrix::to_json(&report);
+    let markdown = match gis_bench::matrix::render_markdown(&json) {
+        Ok(md) => md,
+        Err(e) => {
+            eprintln!("gisc bench-matrix: rendering: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("gisc bench-matrix: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&results_path, &markdown) {
+        eprintln!("gisc bench-matrix: writing {results_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "gisc bench-matrix: {} cells ({} workloads × {} machines × {} policies) — \
+         wrote {out_path} and {results_path}",
+        report.cells.len(),
+        report.workloads.len(),
+        report.machines.len(),
+        report.policies.len()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Parses a `--listen` value, rejecting malformed specs in the standard
 /// flag-error style shared by both serve subcommands.
 fn listen_value(value: Option<String>) -> (gis_serve::Listen, String) {
@@ -525,7 +621,7 @@ fn serve_request_command(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--listen" => listen = Some(listen_value(args.next())),
             "--machine" => {
                 machine = args.next().unwrap_or_else(|| {
-                    bad_arg("--machine expects a machine name (rs6k, scalar or wideN)")
+                    bad_arg("--machine expects a machine name (rs6k, scalar, issue2/4/8, wideN or vliwN)")
                 });
             }
             "--tinyc" => lang = gis_serve::Lang::TinyC,

@@ -569,3 +569,118 @@ fn serve_accepts_a_duplication_config_override() {
     };
     assert!(status.success(), "daemon exit: {status:?}");
 }
+
+#[test]
+fn machine_flag_accepts_the_width_presets() {
+    for machine in ["issue2", "issue4", "issue8", "vliw4", "wide3", "scalar"] {
+        let out = gisc()
+            .args(["--machine", machine, "--run", "examples/kernels/minmax.c"])
+            .output()
+            .expect("gisc runs");
+        assert!(
+            out.status.success(),
+            "--machine {machine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("cycles on {machine}")),
+            "--machine {machine}: {stderr}"
+        );
+    }
+    let out = gisc()
+        .args(["--machine", "issue3", "examples/kernels/minmax.c"])
+        .output()
+        .expect("gisc runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--machine expects"), "{stderr}");
+}
+
+#[test]
+fn bench_matrix_smoke_round_trips_with_check() {
+    let dir = std::env::temp_dir().join(format!("gisc-bench-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json = dir.join("m.json");
+    let md = dir.join("m.md");
+    let json_s = json.to_str().expect("utf8 path");
+    let md_s = md.to_str().expect("utf8 path");
+
+    let out = gisc()
+        .args([
+            "bench-matrix",
+            "--smoke",
+            "--out",
+            json_s,
+            "--results",
+            md_s,
+        ])
+        .output()
+        .expect("gisc runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json_text = std::fs::read_to_string(&json).expect("matrix JSON written");
+    assert!(json_text.contains("\"bench\": \"matrix\""), "{json_text}");
+    assert!(json_text.contains("\"smoke\": true"), "{json_text}");
+    let md_text = std::fs::read_to_string(&md).expect("markdown written");
+    assert!(
+        md_text.contains("global-vs-bb speedup by issue width"),
+        "{md_text}"
+    );
+
+    // The freshly written pair passes --check …
+    let out = gisc()
+        .args([
+            "bench-matrix",
+            "--check",
+            "--out",
+            json_s,
+            "--results",
+            md_s,
+        ])
+        .output()
+        .expect("gisc runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // … and a hand-edited report fails it.
+    std::fs::write(&md, format!("{md_text}\nstale edit\n")).expect("tamper");
+    let out = gisc()
+        .args([
+            "bench-matrix",
+            "--check",
+            "--out",
+            json_s,
+            "--results",
+            md_s,
+        ])
+        .output()
+        .expect("gisc runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("out of date"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_matrix_rejects_unknown_arguments() {
+    let out = gisc()
+        .args(["bench-matrix", "--frobnicate"])
+        .output()
+        .expect("gisc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown bench-matrix argument"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

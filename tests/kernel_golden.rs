@@ -1,0 +1,74 @@
+//! tinyc→IR golden tests for the ported real kernels.
+//!
+//! Each kernel of the experiment corpus (docs/RESULTS.md) is compiled
+//! through the `tinyc` frontend at a small fixed size and pinned three
+//! ways: the printed IR must match its golden byte for byte, the
+//! canonical encoding's FNV-64 (recorded on the golden's first line)
+//! must match, and the structural verifier must pass. A frontend or
+//! canon-encoding change that alters what the matrix actually measures
+//! shows up here as a diff, not as silently different cycle counts.
+//!
+//! Regenerate after intentional changes:
+//!
+//! ```text
+//! GIS_UPDATE_GOLDEN=1 cargo test --test kernel_golden
+//! ```
+
+use gis_ir::hash::fnv64;
+use gis_ir::to_canonical_bytes;
+use gis_workloads::spec::Workload;
+use gis_workloads::{kernels, synth};
+
+/// Compares against the pinned golden, or rewrites it when
+/// `GIS_UPDATE_GOLDEN` is set (same contract as `viz_golden.rs`).
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("GIS_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun GIS_UPDATE_GOLDEN=1 cargo test --test kernel_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if intentional, regenerate with \
+         GIS_UPDATE_GOLDEN=1 cargo test --test kernel_golden"
+    );
+}
+
+/// The golden document: the canonical-bytes hash on the first line,
+/// then the printed IR the frontend emitted.
+fn pin(w: &Workload, golden: &str) {
+    let f = &w.program.function;
+    if let Err(errs) = gis_check::verify_function(f) {
+        panic!("{}: verifier rejects the frontend's IR: {errs:?}", w.name);
+    }
+    let doc = format!("; canon-fnv64: {:016x}\n{f}", fnv64(&to_canonical_bytes(f)));
+    assert_golden(golden, &doc);
+}
+
+#[test]
+fn idct8_ir_is_pinned() {
+    pin(&kernels::idct8(2), "kernel_idct8.ir");
+}
+
+#[test]
+fn fletcher_ir_is_pinned() {
+    pin(&kernels::fletcher(8), "kernel_fletcher.ir");
+}
+
+#[test]
+fn memwalk_ir_is_pinned() {
+    pin(&kernels::memwalk(8), "kernel_memwalk.ir");
+}
+
+#[test]
+fn dispatch_decode_ir_is_pinned() {
+    pin(&synth::dispatch_decode(16, 29), "kernel_dispatch_decode.ir");
+}
