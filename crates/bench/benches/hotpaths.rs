@@ -23,6 +23,20 @@
 //! (the rewrite preserves output bit for bit), as must every `jobs`
 //! width (1/2/4/8) — the run aborts on any mismatch rather than
 //! reporting a speedup for a scheduler that changed its answer.
+//!
+//! Two groups measure this PR's work-distribution machinery. The
+//! `e2e-memo` group compiles many-loops-m against a cold vs a warm
+//! region schedule memo (the warm path splices cached block payloads
+//! instead of re-scheduling), after asserting bit-identical schedules
+//! across memo {off, on-cold, on-warm} × jobs {1, 2, 4, 8}. The
+//! `e2e-steal` group compiles the skewed preset (one loop ~10× the
+//! rest, placed last) under the size-aware work-stealing plan vs
+//! `static_units` in-order claiming at jobs {1, 2, 4, 8} — on a
+//! single-CPU host all widths collapse to one inline worker, so the
+//! steal-vs-static delta is only meaningful on a multi-core machine;
+//! the hash-equality gate is meaningful everywhere. The plain `e2e`
+//! baselines pin `region_memo = false` so their rows keep measuring
+//! the scheduler itself, not the cache.
 
 use gis_cfg::{Cfg, DomTree, LoopForest, RegionKind, RegionTree};
 use gis_core::{compile, SchedConfig};
@@ -205,6 +219,10 @@ fn bench_end_to_end(
         let mut config = SchedConfig::speculative();
         config.reference_hot_paths = reference;
         config.jobs = jobs;
+        // The memo would turn every iteration after the first into a
+        // splice; these rows track the scheduler itself, so pin it off
+        // (the e2e-memo group measures the cache deliberately).
+        config.region_memo = false;
         // The reference path recomputes whole-function liveness after
         // every motion, so it is orders of magnitude slower: time a
         // single compile, with no warm-up, and hash its result rather
@@ -246,6 +264,153 @@ fn bench_end_to_end(
         fast as f64 / jobs4.max(1) as f64,
         true,
     )
+}
+
+/// Measures the region schedule memo end-to-end: a cold compile (the
+/// process-wide memo cleared before every iteration) vs a warm one
+/// (the cache primed by a prior compile of the same function, so every
+/// eligible region splices its cached block payloads instead of
+/// re-scheduling). Before timing, compiles across memo {off, on-cold,
+/// on-warm} × jobs {1, 2, 4, 8} and asserts every schedule hashes
+/// identically — the memo must be a pure cache.
+fn bench_memo(
+    preset: &str,
+    f: &Function,
+    machine: &MachineDescription,
+    iters: u32,
+    runs: usize,
+    rows: &mut Vec<Row>,
+    speedups: &mut Vec<(String, f64)>,
+) -> bool {
+    let n_insts = f.num_insts();
+    let mut hashes: Vec<(String, u64)> = Vec::new();
+    for memo in [false, true] {
+        for jobs in [1usize, 2, 4, 8] {
+            let mut config = SchedConfig::speculative();
+            config.region_memo = memo;
+            config.jobs = jobs;
+            gis_core::region_memo_clear();
+            let mut cold = f.clone();
+            compile(&mut cold, machine, &config).expect("compiles");
+            hashes.push((
+                format!("memo={memo}/jobs={jobs}/cold"),
+                fnv64(&cold.to_string()),
+            ));
+            if memo {
+                let mut warm = f.clone();
+                compile(&mut warm, machine, &config).expect("compiles");
+                hashes.push((
+                    format!("memo={memo}/jobs={jobs}/warm"),
+                    fnv64(&warm.to_string()),
+                ));
+            }
+        }
+    }
+    let reference = hashes[0].1;
+    let hashes_ok = hashes.iter().all(|&(_, h)| h == reference);
+    assert!(
+        hashes_ok,
+        "{preset}: schedule hashes diverge across the memo matrix \
+         ({hashes:x?}) — the region memo changed the scheduler's output"
+    );
+
+    let config = SchedConfig::speculative(); // memo on, jobs 1
+    let cold_ns = median_ns(iters, runs, || {
+        gis_core::region_memo_clear();
+        let mut scheduled = f.clone();
+        compile(&mut scheduled, machine, &config).expect("compiles");
+        scheduled
+    });
+    gis_core::region_memo_clear();
+    let mut primed = f.clone();
+    compile(&mut primed, machine, &config).expect("compiles");
+    let warm_ns = median_ns(iters, runs, || {
+        let mut scheduled = f.clone();
+        compile(&mut scheduled, machine, &config).expect("compiles");
+        scheduled
+    });
+    rows.push(Row {
+        name: format!("e2e-memo/{preset}/cold"),
+        n_insts,
+        median_ns: cold_ns,
+        schedule_hash: Some(reference),
+    });
+    rows.push(Row {
+        name: format!("e2e-memo/{preset}/warm"),
+        n_insts,
+        median_ns: warm_ns,
+        schedule_hash: Some(reference),
+    });
+    speedups.push((
+        format!("memo-warm/{preset}"),
+        cold_ns as f64 / warm_ns.max(1) as f64,
+    ));
+    hashes_ok
+}
+
+/// Measures the size-aware work-stealing plan against `static_units`
+/// in-order claiming on the skewed preset (one loop ~10× the rest,
+/// deliberately placed last so in-order claiming starts it last). Every
+/// (policy × jobs) schedule must hash identically — claiming order can
+/// shift wall time, never output. On a single-CPU host every width runs
+/// one inline worker, so the timing delta only says something on a
+/// multi-core machine; the determinism gate holds everywhere.
+fn bench_steal(
+    preset: &str,
+    f: &Function,
+    machine: &MachineDescription,
+    iters: u32,
+    runs: usize,
+    rows: &mut Vec<Row>,
+    speedups: &mut Vec<(String, f64)>,
+) -> bool {
+    let n_insts = f.num_insts();
+    let mut hashes: Vec<(String, u64)> = Vec::new();
+    let mut timings: Vec<(bool, usize, u128)> = Vec::new();
+    for static_units in [false, true] {
+        for jobs in [1usize, 2, 4, 8] {
+            let mut config = SchedConfig::speculative();
+            config.region_memo = false;
+            config.static_units = static_units;
+            config.jobs = jobs;
+            let ns = median_ns(iters, runs, || {
+                let mut scheduled = f.clone();
+                compile(&mut scheduled, machine, &config).expect("compiles");
+                scheduled
+            });
+            let mut scheduled = f.clone();
+            compile(&mut scheduled, machine, &config).expect("compiles");
+            let hash = fnv64(&scheduled.to_string());
+            let policy = if static_units { "static" } else { "steal" };
+            hashes.push((format!("{policy}/jobs={jobs}"), hash));
+            timings.push((static_units, jobs, ns));
+            rows.push(Row {
+                name: format!("e2e-steal/{preset}/{policy}-jobs{jobs}"),
+                n_insts,
+                median_ns: ns,
+                schedule_hash: Some(hash),
+            });
+        }
+    }
+    let reference = hashes[0].1;
+    let hashes_ok = hashes.iter().all(|&(_, h)| h == reference);
+    assert!(
+        hashes_ok,
+        "{preset}: schedule hashes diverge across steal/static × jobs \
+         ({hashes:x?}) — the claiming policy changed the scheduler's output"
+    );
+    let at = |stat: bool, jobs: usize| {
+        timings
+            .iter()
+            .find(|&&(s, j, _)| s == stat && j == jobs)
+            .expect("timed")
+            .2
+    };
+    speedups.push((
+        format!("steal-vs-static/{preset}"),
+        at(true, 4) as f64 / at(false, 4).max(1) as f64,
+    ));
+    hashes_ok
 }
 
 /// One schedule-quality measurement: simulated cycles with the
@@ -372,8 +537,12 @@ fn main() {
                 let preset = args.next().expect("--emit-src expects a preset name");
                 let path = args.next().expect("--emit-src expects an output path");
                 let w = synth::many_loops_preset(&preset)
+                    .or_else(|| synth::many_loops_skewed_preset(&preset))
                     .or_else(|| synth::dispatch_diamonds_preset(&preset))
-                    .expect("a preset from MANY_LOOPS_PRESETS or DISPATCH_DIAMONDS_PRESETS");
+                    .expect(
+                        "a preset from MANY_LOOPS_PRESETS, MANY_LOOPS_SKEWED_PRESET \
+                         or DISPATCH_DIAMONDS_PRESETS",
+                    );
                 std::fs::write(&path, &w.source).expect("writing the source");
                 println!("hotpaths: {preset} source written to {path}");
                 return;
@@ -405,6 +574,22 @@ fn main() {
         speedups.push((format!("liveness/{preset}"), live));
         speedups.push((format!("e2e/{preset}"), e2e));
         speedups.push((format!("jobs4/{preset}"), jobs4));
+        if preset == "many-loops-m" {
+            jobs_hash_match &=
+                bench_memo(preset, f, &machine, iters, runs, &mut rows, &mut speedups);
+        }
+    }
+
+    {
+        let (preset, loops, stmts, heavy, seed) = synth::MANY_LOOPS_SKEWED_PRESET;
+        let w = synth::many_loops_skewed(loops, stmts, heavy, seed);
+        let f = &w.program.function;
+        println!(
+            "hotpaths: {preset} — {} blocks, {} instructions",
+            f.num_blocks(),
+            f.num_insts()
+        );
+        jobs_hash_match &= bench_steal(preset, f, &machine, iters, runs, &mut rows, &mut speedups);
     }
 
     let mut quality = Vec::new();

@@ -107,12 +107,41 @@ pub fn wide_machine_matrix() -> Vec<DiffConfig> {
     out
 }
 
+/// The region-memo surface: the process-wide region schedule memo on
+/// and off, crossed with `jobs` {1, 4}. The memo must be a pure cache —
+/// a hit splices the recorded block payloads instead of re-scheduling,
+/// and a stale or mis-keyed entry shows up here as a divergence between
+/// the memo-on and memo-off columns. The memo is process-global, so
+/// within one fuzz run later iterations schedule against a cache warmed
+/// by earlier ones — exactly the aliasing surface worth fuzzing. All
+/// columns also run the memo's own splice-verification gate via
+/// [`check_pass`].
+pub fn memo_matrix() -> Vec<DiffConfig> {
+    let mut out = Vec::new();
+    for memo in [false, true] {
+        for jobs in [1usize, 4] {
+            let mut sched = SchedConfig::speculative();
+            sched.region_memo = memo;
+            sched.jobs = jobs;
+            sched.verify_each_pass = Some(check_pass);
+            out.push(DiffConfig {
+                label: format!("memo={}/jobs={jobs}", if memo { "on" } else { "off" }),
+                sched,
+                machine: MachineDescription::rs6k(),
+            });
+        }
+    }
+    out
+}
+
 /// The default fuzzing surface: [`jobs_matrix`] plus
-/// [`duplication_matrix`] plus [`wide_machine_matrix`].
+/// [`duplication_matrix`] plus [`wide_machine_matrix`] plus
+/// [`memo_matrix`].
 pub fn full_matrix() -> Vec<DiffConfig> {
     let mut out = jobs_matrix();
     out.extend(duplication_matrix());
     out.extend(wide_machine_matrix());
+    out.extend(memo_matrix());
     out
 }
 

@@ -41,7 +41,9 @@
 mod bb;
 mod config;
 mod dcp;
+pub mod fingerprint;
 mod global;
+mod memo;
 mod parallel;
 mod pipeline;
 mod profile;
@@ -52,6 +54,9 @@ mod unroll;
 pub use bb::{schedule_block, schedule_block_observed};
 pub use config::{PassVerifier, SchedConfig, SchedLevel};
 pub use global::{schedule_region, schedule_region_observed};
+pub use memo::{
+    region_memo_clear, region_memo_counters, region_memo_set_capacity, RegionMemoCounters,
+};
 pub use parallel::effective_jobs;
 pub use pipeline::{compile, compile_observed, CompileError};
 pub use profile::BranchProfile;

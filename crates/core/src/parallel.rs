@@ -9,27 +9,50 @@
 //! register numbering and the trace-event stream — bit-identical to the
 //! single-threaded pass.
 //!
+//! # Work distribution
+//!
+//! The pass is first partitioned into *units*: maximal region subtrees
+//! whose roots will actually be scheduled (regions over the §6 size
+//! limits only emit a skip record and own nothing). A unit used to be
+//! the unit of work, which serialized the pass whenever one subtree
+//! dominated the function. Units are now *split* into a task DAG: any
+//! child subtree whose instruction weight reaches a size-aware threshold
+//! (the pass's total weight spread over twice the worker count, floored)
+//! becomes its own task, and the task keeping the parent region depends
+//! on it — the parent's analyses read the child's final content, exactly
+//! as the sequential innermost-first order guarantees. Ready tasks are
+//! claimed heaviest-first (longest-processing-time order: workers steal
+//! from the heavy end of the queue), so a dominant loop starts first
+//! instead of last and the small siblings pack around it.
+//! [`SchedConfig::static_units`] restores the one-task-per-unit plan
+//! with in-order claiming so the benchmark harness can measure the
+//! difference; duplication-based motion also keeps units whole (minted
+//! instruction ids would need the full renumbering machinery at every
+//! dependency edge, not just at the final merge).
+//!
 //! # How determinism is kept
 //!
-//! The pass is partitioned into *units*: maximal region subtrees whose
-//! roots will actually be scheduled (regions over the §6 size limits only
-//! emit a skip record and own nothing). Each unit is scheduled on a
-//! worker against a private copy-on-write [`Function::snapshot`] of the
-//! pre-pass function — reference-count bumps, not a deep copy — recording
-//! per-region statistics and trace events. The merge then runs in the
-//! fixed sequential region order ([`RegionTree::schedule_order`]):
+//! Each task runs on a worker against a private copy-on-write
+//! [`Function::snapshot`] of the pre-pass function — reference-count
+//! bumps, not a deep copy. A task with dependencies first splices each
+//! completed dependency into its snapshot: the dependency's covered
+//! blocks are adopted ([`Function::adopt_block_from`]; tasks own
+//! disjoint block sets, so adoption cannot conflict), and every register
+//! the dependency chain allocated is renumbered onto the snapshot's own
+//! counters first, so renames from *sibling* dependency chains — which
+//! drew from identical counters and collide numerically — stay distinct
+//! registers in the parent's dependence graph and liveness. The claim
+//! order never reaches the output: the merge runs in the fixed
+//! sequential region order ([`RegionTree::schedule_order`]):
 //!
-//! * the unit's block index lists are adopted from its snapshot into the
-//!   master function ([`Function::adopt_block_from`]; units own disjoint
-//!   block sets, so adoption cannot conflict). Scheduling permutes and
-//!   relinks arena indices but never allocates or frees slots, so a
-//!   snapshot's indices remain valid in the master arena; instruction
-//!   payloads are copied back only when the unit performed §5.3 renames
-//!   (the sole payload mutation a scheduling pass makes);
+//! * each task's own block index lists are adopted from its snapshot
+//!   into the master function; instruction payloads are copied back only
+//!   when the task performed §5.3 renames (the sole payload mutation a
+//!   scheduling pass makes — dependency splices rewrite only dependency
+//!   blocks, which their own tasks adopt);
 //! * registers allocated by §5.3 speculative renaming are renumbered
-//!   into the order the sequential pass would have allocated them
-//!   (workers allocate from identical clone counters, so their choices
-//!   collide across units and are remapped region by region);
+//!   into the order the sequential pass would have allocated them,
+//!   region by region;
 //! * per-region trace events are replayed and statistics accumulated in
 //!   sequential region order;
 //! * units in which duplication-based motion changed the instruction
@@ -41,8 +64,8 @@
 //!   from [`Function::fresh_inst_id`].
 //!
 //! Scheduling one region reads liveness over the whole function, but a
-//! *legal* motion in another unit can never change the liveness facts a
-//! unit consumes: useful motion stays between equivalent blocks (the
+//! *legal* motion in another task can never change the liveness facts a
+//! task consumes: useful motion stays between equivalent blocks (the
 //! upward-exposure of every register outside the pair is unchanged),
 //! speculative motion may not clobber a live-on-exit register (§5.3),
 //! and renaming replaces a du-chain that was local to its home block.
@@ -51,14 +74,15 @@
 
 use crate::config::SchedConfig;
 use crate::global::{region_within_size_limits, schedule_region_observed, subtree_blocks};
+use crate::memo::{memo_eligible, schedule_region_memoized};
 use crate::stats::SchedStats;
 use gis_cfg::{Cfg, RegionId, RegionTree};
 use gis_ir::{BlockId, Function, Inst, InstId, Reg, RegClass};
 use gis_machine::MachineDescription;
+use gis_pdg::Liveness;
 use gis_trace::{Recorder, SchedObserver, TraceEvent};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Resolves the configured job count: `0` means one worker per available
 /// CPU (falling back to 1 when the count is unknown).
@@ -98,35 +122,59 @@ impl SchedObserver for MaybeRecorder {
     }
 }
 
-/// One independent work item: a maximal scheduled subtree. `regions`
-/// lists the subtree's scheduled regions in sequential order; `blocks`
-/// is the subtree's block set (what the unit may mutate and what the
-/// merge splices back).
+/// One maximal scheduled subtree. `regions` lists the subtree's
+/// scheduled regions in sequential order; `blocks` is the subtree's
+/// block set; `root` is the subtree's topmost region.
 struct Unit {
+    root: RegionId,
     regions: Vec<RegionId>,
     blocks: Vec<BlockId>,
+}
+
+/// One work item of the task DAG: a connected slice of a unit's region
+/// subtree.
+struct Task {
+    /// The task's own regions, in sequential (schedule-order) order.
+    regions: Vec<RegionId>,
+    /// Direct blocks of the own regions — what this task's scheduling
+    /// may mutate, and what the final merge adopts from its snapshot.
+    blocks: Vec<BlockId>,
+    /// Tasks whose final content this task's analyses read: the split-off
+    /// child subtrees. Always lower indices (children are built first).
+    deps: Vec<usize>,
+    /// `blocks` plus every dependency's `covered`, ascending: all blocks
+    /// this task's snapshot holds final content for.
+    covered: Vec<BlockId>,
+    /// Pre-pass instruction count over `covered` — the claim priority
+    /// (heaviest ready task first).
+    weight: usize,
 }
 
 /// What scheduling one region produced on a worker.
 struct RegionOutcome {
     stats: SchedStats,
     events: Vec<TraceEvent>,
-    /// Clone register counters before/after this region, per class slot:
-    /// the half-open ranges of clone-allocated registers.
+    /// Task-snapshot register counters before/after this region, per
+    /// class slot: the half-open ranges of snapshot-allocated registers.
     reg_from: [u32; 3],
     reg_to: [u32; 3],
-    /// Clone instruction-id counter before/after this region: the
-    /// half-open range of ids minted by duplication-based motion.
+    /// Task-snapshot instruction-id counter before/after this region:
+    /// the half-open range of ids minted by duplication-based motion.
     inst_from: u32,
     inst_to: u32,
 }
 
-/// What scheduling one unit produced: per-region outcomes (in the unit's
-/// region order) plus the worker's scratch snapshot, from which the merge
-/// adopts the unit's blocks.
-struct UnitOutcome {
+/// What running one task produced: per-region outcomes (in the task's
+/// region order) plus the worker's scratch snapshot, from which
+/// dependents splice and the merge adopts the task's blocks.
+struct TaskOutcome {
     regions: Vec<(RegionId, RegionOutcome)>,
     scratch: Function,
+    /// The scratch's final register counters. Everything in
+    /// `[master base, reg_end)` was drawn on this task's snapshot —
+    /// dependency renumberings first, then own renames — and must be
+    /// renumbered again by any dependent splicing this task in.
+    reg_end: [u32; 3],
 }
 
 const CLASSES: [RegClass; 3] = [RegClass::Gpr, RegClass::Fpr, RegClass::Cr];
@@ -139,11 +187,15 @@ fn class_slot(class: RegClass) -> usize {
     }
 }
 
+/// Subtrees below this many instructions are never split off — the
+/// snapshot and splice overhead would outweigh scheduling them inline.
+const SPLIT_MIN_INSTS: usize = 48;
+
 /// Runs one global scheduling pass over every region of height at most
 /// `max_height`, using `config.jobs` workers. With one job (or one work
-/// unit) this is exactly the sequential region loop; with more, units are
-/// scheduled concurrently and merged deterministically — the output is
-/// bit-identical either way.
+/// item) this is exactly the sequential region loop; with more, tasks
+/// are scheduled concurrently and merged deterministically — the output
+/// is bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn global_pass<O: SchedObserver>(
     f: &mut Function,
@@ -161,9 +213,25 @@ pub(crate) fn global_pass<O: SchedObserver>(
         .filter(|r| tree.region(*r).height <= max_height)
         .collect();
     let jobs = effective_jobs(config.jobs);
+    // Pass-level liveness for the region memo's keys, computed once on
+    // the pre-pass function. Legal motions preserve the facts the keys
+    // read (exit live-ins at ancestor-region blocks; see the memo's
+    // module docs), so one compute serves every lookup of the pass.
+    let pass_live = (memo_eligible(config, obs.enabled()) && !order.is_empty())
+        .then(|| Liveness::compute(f, cfg));
     let sequential = |f: &mut Function, stats: &mut SchedStats, obs: &mut O| {
         for &rid in &order {
-            schedule_region_observed(f, machine, cfg, tree, rid, config, stats, obs);
+            schedule_region_memoized(
+                f,
+                machine,
+                cfg,
+                tree,
+                rid,
+                config,
+                stats,
+                obs,
+                pass_live.as_ref(),
+            );
         }
     };
     if jobs <= 1 || order.len() <= 1 {
@@ -172,7 +240,8 @@ pub(crate) fn global_pass<O: SchedObserver>(
     }
 
     let (units, skip_only) = partition(f, tree, config, &order);
-    if units.len() <= 1 && skip_only.is_empty() {
+    let tasks = plan_tasks(f, tree, config, jobs, &order, units);
+    if tasks.len() <= 1 && skip_only.is_empty() {
         sequential(f, stats, obs);
         return;
     }
@@ -202,31 +271,112 @@ pub(crate) fn global_pass<O: SchedObserver>(
         outcomes.insert(rid, (usize::MAX, out));
     }
 
-    // Fan the units out over the pool. Work is claimed from a shared
-    // counter, but every unit runs against its own snapshot of the
-    // pre-pass function, so the distribution of units to workers cannot
-    // influence any result.
+    // Fan the tasks out over the pool. Ready tasks are claimed from a
+    // shared queue — heaviest first unless the static plan is asked for —
+    // but every task runs against its own snapshot spliced from its
+    // dependencies' outcomes, so the claim order cannot influence any
+    // result.
     let master: &Function = f;
-    let results: Vec<Mutex<Option<UnitOutcome>>> = units.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let master_regs = master.reg_counters();
+    let results: Vec<OnceLock<TaskOutcome>> = tasks.iter().map(|_| OnceLock::new()).collect();
+    let n = tasks.len();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree: Vec<usize> = vec![0; n];
+    for (i, t) in tasks.iter().enumerate() {
+        indegree[i] = t.deps.len();
+        for &d in &t.deps {
+            dependents[d].push(i);
+        }
+    }
+    let ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let fifo = config.static_units || config.duplication;
+    struct SchedState {
+        ready: Vec<usize>,
+        indegree: Vec<usize>,
+        remaining: usize,
+    }
+    let state = Mutex::new(SchedState {
+        ready,
+        indegree,
+        remaining: n,
+    });
+    let ready_cv = Condvar::new();
+    let claim = |st: &mut SchedState| -> Option<usize> {
+        if st.ready.is_empty() {
+            return None;
+        }
+        let pos = if fifo {
+            // In-order claiming: the lowest task index (units in
+            // partition order, matching the pre-stealing pool).
+            st.ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(p, _)| p)
+                .expect("ready is non-empty")
+        } else {
+            // Steal from the heavy end: heaviest ready task, ties to the
+            // lowest index.
+            st.ready
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &t)| (tasks[t].weight, std::cmp::Reverse(t)))
+                .map(|(p, _)| p)
+                .expect("ready is non-empty")
+        };
+        Some(st.ready.swap_remove(pos))
+    };
+    let work = || loop {
+        let t = {
+            let mut st = state.lock().expect("no poisoned scheduler state");
+            loop {
+                if st.remaining == 0 {
+                    return;
+                }
+                if let Some(t) = claim(&mut st) {
+                    break t;
+                }
+                st = ready_cv.wait(st).expect("no poisoned scheduler state");
+            }
+        };
+        let out = run_task(
+            master,
+            master_regs,
+            machine,
+            cfg,
+            tree,
+            config,
+            &tasks,
+            &results,
+            t,
+            tracing,
+            pass_live.as_ref(),
+        );
+        results[t]
+            .set(out)
+            .unwrap_or_else(|_| unreachable!("each task is claimed once"));
+        {
+            let mut st = state.lock().expect("no poisoned scheduler state");
+            st.remaining -= 1;
+            for &d in &dependents[t] {
+                st.indegree[d] -= 1;
+                if st.indegree[d] == 0 {
+                    st.ready.push(d);
+                }
+            }
+        }
+        ready_cv.notify_all();
+    };
     // More runnable threads than hardware can run is pure scheduler
     // overhead for CPU-bound work: cap the pool at the machine's
-    // parallelism. The unit partition and the deterministic merge are
-    // unaffected — a single worker draining every unit produces the same
+    // parallelism. The task plan and the deterministic merge are
+    // unaffected — a single worker draining every task produces the same
     // outcome objects the widest pool would. With one worker, don't
     // spawn at all: a spawned thread allocates from a non-main malloc
     // arena, which returns freed memory to the kernel far more eagerly
     // than the main thread's heap and turns the pass's allocation
     // traffic into syscall churn.
-    let workers = jobs.min(units.len()).min(effective_jobs(0));
-    let work = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        let Some(unit) = units.get(i) else {
-            break;
-        };
-        let out = run_unit(master, machine, cfg, tree, config, unit, tracing);
-        *results[i].lock().expect("no poisoned worker slots") = Some(out);
-    };
+    let workers = jobs.min(n).min(effective_jobs(0));
     if workers <= 1 {
         work();
     } else {
@@ -238,84 +388,82 @@ pub(crate) fn global_pass<O: SchedObserver>(
     }
 
     // ---- Deterministic merge. -----------------------------------------
-    // Adopt the units' blocks back from their snapshots (disjoint block
-    // sets). Payloads only changed if the unit renamed (§5.3), which is
-    // visible as its register counters advancing. Units that changed
-    // their instruction *count* (duplication minted copies, or the dedup
-    // fold deleted one) broke slot alignment with the master arena and
-    // cannot be adopted: they are rebuilt instruction by instruction
-    // after the id replay below, so adoption of the aligned units must
-    // come first (rebuilding grows the master arena).
-    let mut unit_remaps: Vec<HashMap<Reg, Reg>> =
-        (0..units.len()).map(|_| HashMap::new()).collect();
-    let mut inst_remaps: Vec<HashMap<u32, u32>> =
-        (0..units.len()).map(|_| HashMap::new()).collect();
-    let mut rebuilds: Vec<Option<Function>> = (0..units.len()).map(|_| None).collect();
-    for (ui, slot) in results.into_iter().enumerate() {
+    // Adopt the tasks' own blocks back from their snapshots (disjoint
+    // block sets). Payloads only changed if the task renamed (§5.3),
+    // which is visible as its own regions' register ranges advancing.
+    // Tasks that changed their instruction *count* (duplication minted
+    // copies, or the dedup fold deleted one) broke slot alignment with
+    // the master arena and cannot be adopted: they are rebuilt
+    // instruction by instruction after the id replay below, so adoption
+    // of the aligned tasks must come first (rebuilding grows the master
+    // arena).
+    let mut task_remaps: Vec<HashMap<Reg, Reg>> = (0..n).map(|_| HashMap::new()).collect();
+    let mut inst_remaps: Vec<HashMap<u32, u32>> = (0..n).map(|_| HashMap::new()).collect();
+    let mut rebuilds: Vec<Option<Function>> = (0..n).map(|_| None).collect();
+    for (ti, slot) in results.into_iter().enumerate() {
         let mut out = slot
             .into_inner()
-            .expect("no poisoned worker slots")
-            .expect("every unit was claimed and completed");
+            .expect("every task was claimed and completed");
         let renamed = out.regions.iter().any(|(_, ro)| ro.reg_from != ro.reg_to);
         let resized = out
             .regions
             .iter()
             .any(|(_, ro)| ro.inst_from != ro.inst_to || ro.stats.dup_copies_deduped > 0);
         if !resized {
-            for &b in &units[ui].blocks {
+            for &b in &tasks[ti].blocks {
                 f.adopt_block_from(&out.scratch, b, renamed);
             }
         }
         for (rid, ro) in out.regions.drain(..) {
-            outcomes.insert(rid, (ui, ro));
+            outcomes.insert(rid, (ti, ro));
         }
         if resized {
-            rebuilds[ui] = Some(out.scratch);
+            rebuilds[ti] = Some(out.scratch);
         }
     }
 
     // Renumber worker-allocated registers and instruction ids into the
     // sequential allocation order: walking the regions in sequential
     // order and drawing from the master allocators reproduces exactly
-    // the numbers a single-threaded pass would have handed out (workers
+    // the numbers a single-threaded pass would have handed out (tasks
     // allocate from identical snapshot counters, so their choices
-    // collide across units and are remapped region by region).
+    // collide across tasks and are remapped region by region).
     for &rid in &order {
-        let (ui, ro) = &outcomes[&rid];
+        let (ti, ro) = &outcomes[&rid];
         for class in CLASSES {
             let s = class_slot(class);
             for idx in ro.reg_from[s]..ro.reg_to[s] {
                 let renumbered = f.fresh_reg(class);
-                if *ui != usize::MAX {
-                    unit_remaps[*ui].insert(Reg::new(class, idx), renumbered);
+                if *ti != usize::MAX {
+                    task_remaps[*ti].insert(Reg::new(class, idx), renumbered);
                 }
             }
         }
         for idx in ro.inst_from..ro.inst_to {
             let renumbered = f.fresh_inst_id();
-            if *ui != usize::MAX {
-                inst_remaps[*ui].insert(idx, renumbered.index() as u32);
+            if *ti != usize::MAX {
+                inst_remaps[*ti].insert(idx, renumbered.index() as u32);
             }
         }
     }
 
-    // Rebuild the units duplication resized: clear each block on the
+    // Rebuild the tasks duplication resized: clear each block on the
     // master (freeing the old arena slots) and re-push the worker's
     // final instruction sequence with minted ids renumbered, then carry
     // the minted copies' provenance over through the same remap.
-    for (ui, scratch) in rebuilds.iter().enumerate() {
+    for (ti, scratch) in rebuilds.iter().enumerate() {
         let Some(scratch) = scratch else { continue };
         let remap_id = |remap: &HashMap<u32, u32>, id: InstId| {
             remap
                 .get(&(id.index() as u32))
                 .map_or(id, |&n| InstId::new(n))
         };
-        for &b in &units[ui].blocks {
+        for &b in &tasks[ti].blocks {
             let insts: Vec<Inst> = scratch
                 .block(b)
                 .insts()
                 .map(|i| Inst {
-                    id: remap_id(&inst_remaps[ui], i.id),
+                    id: remap_id(&inst_remaps[ti], i.id),
                     op: i.op.clone(),
                 })
                 .collect();
@@ -326,19 +474,19 @@ pub(crate) fn global_pass<O: SchedObserver>(
             }
         }
         for (copy, root) in scratch.dup_origins() {
-            if inst_remaps[ui].contains_key(&(copy.index() as u32)) {
+            if inst_remaps[ti].contains_key(&(copy.index() as u32)) {
                 f.record_dup_origin(
-                    remap_id(&inst_remaps[ui], copy),
-                    remap_id(&inst_remaps[ui], root),
+                    remap_id(&inst_remaps[ti], copy),
+                    remap_id(&inst_remaps[ti], root),
                 );
             }
         }
     }
-    for (ui, remap) in unit_remaps.iter().enumerate() {
+    for (ti, remap) in task_remaps.iter().enumerate() {
         if remap.iter().all(|(from, to)| from == to) {
             continue;
         }
-        for &b in &units[ui].blocks {
+        for &b in &tasks[ti].blocks {
             f.map_block_insts(b, |inst| {
                 inst.op.map_defs(|r| *remap.get(&r).unwrap_or(&r));
                 inst.op.map_uses(|r| *remap.get(&r).unwrap_or(&r));
@@ -348,9 +496,9 @@ pub(crate) fn global_pass<O: SchedObserver>(
 
     // Replay trace events and accumulate statistics in sequential region
     // order. `Renamed` events carry register spellings chosen on the
-    // clone, and `Duplicated` events carry copy ids minted on the clone;
-    // rewrite both through the unit's remaps first.
-    let spelling: Vec<HashMap<String, String>> = unit_remaps
+    // task snapshot, and `Duplicated` events carry copy ids minted on
+    // it; rewrite both through the task's remaps first.
+    let spelling: Vec<HashMap<String, String>> = task_remaps
         .iter()
         .map(|remap| {
             remap
@@ -361,19 +509,19 @@ pub(crate) fn global_pass<O: SchedObserver>(
         })
         .collect();
     for &rid in &order {
-        let (ui, ro) = outcomes
+        let (ti, ro) = outcomes
             .remove(&rid)
             .expect("every scheduled region has an outcome");
         for mut e in ro.events {
             match &mut e {
-                TraceEvent::Renamed { new, .. } if ui != usize::MAX => {
-                    if let Some(renumbered) = spelling[ui].get(new) {
+                TraceEvent::Renamed { new, .. } if ti != usize::MAX => {
+                    if let Some(renumbered) = spelling[ti].get(new) {
                         *new = renumbered.clone();
                     }
                 }
-                TraceEvent::Duplicated { copies, .. } if ui != usize::MAX => {
+                TraceEvent::Duplicated { copies, .. } if ti != usize::MAX => {
                     for (_, id) in copies.iter_mut() {
-                        if let Some(&renumbered) = inst_remaps[ui].get(id) {
+                        if let Some(&renumbered) = inst_remaps[ti].get(id) {
                             *id = renumbered;
                         }
                     }
@@ -426,6 +574,7 @@ fn partition(
         }
         let ui = *unit_of_root.entry(root).or_insert_with(|| {
             units.push(Unit {
+                root,
                 regions: Vec::new(),
                 blocks: subtree_blocks(tree, root),
             });
@@ -436,25 +585,178 @@ fn partition(
     (units, skip_only)
 }
 
-/// Schedules one unit's regions, in order, against a private
-/// copy-on-write snapshot of the pre-pass function.
-fn run_unit(
+/// Turns the units into the task DAG. Child subtrees at or above the
+/// size-aware threshold become their own tasks (recursively), with the
+/// enclosing task depending on them; everything else stays inline.
+/// Duplication and [`SchedConfig::static_units`] keep units whole.
+fn plan_tasks(
+    f: &Function,
+    tree: &RegionTree,
+    config: &SchedConfig,
+    jobs: usize,
+    order: &[RegionId],
+    units: Vec<Unit>,
+) -> Vec<Task> {
+    let insts_of = |blocks: &[BlockId]| -> usize { blocks.iter().map(|&b| f.block(b).len()).sum() };
+    let mut tasks = Vec::new();
+    if config.static_units || config.duplication {
+        for u in units {
+            let weight = insts_of(&u.blocks);
+            tasks.push(Task {
+                regions: u.regions,
+                covered: u.blocks.clone(),
+                blocks: u.blocks,
+                deps: Vec::new(),
+                weight,
+            });
+        }
+        return tasks;
+    }
+    let position: HashMap<RegionId, usize> =
+        order.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let total: usize = units.iter().map(|u| insts_of(&u.blocks)).sum();
+    // Aim for a few tasks per worker so the heaviest-first claim can
+    // pack them, without splintering small subtrees.
+    let threshold = std::cmp::max(SPLIT_MIN_INSTS, total / (jobs * 2));
+    for u in units {
+        build_task(f, tree, &position, threshold, u.root, &mut tasks);
+    }
+    tasks
+}
+
+/// Builds the task for `rid`'s subtree (minus any split-off children),
+/// appending it — after its dependencies — to `tasks`, and returns its
+/// index.
+fn build_task(
+    f: &Function,
+    tree: &RegionTree,
+    position: &HashMap<RegionId, usize>,
+    threshold: usize,
+    rid: RegionId,
+    tasks: &mut Vec<Task>,
+) -> usize {
+    let mut own = Vec::new();
+    let mut deps = Vec::new();
+    gather(
+        f, tree, position, threshold, rid, true, &mut own, &mut deps, tasks,
+    );
+    own.sort_by_key(|r| position[r]);
+    let mut blocks: Vec<BlockId> = own
+        .iter()
+        .flat_map(|&r| tree.region(r).blocks.iter().copied())
+        .collect();
+    blocks.sort_unstable();
+    let mut covered = blocks.clone();
+    for &d in &deps {
+        covered.extend(tasks[d].covered.iter().copied());
+    }
+    covered.sort_unstable();
+    let weight = covered.iter().map(|&b| f.block(b).len()).sum();
+    tasks.push(Task {
+        regions: own,
+        blocks,
+        deps,
+        covered,
+        weight,
+    });
+    tasks.len() - 1
+}
+
+/// Walks `rid`'s subtree for [`build_task`]: heavy child subtrees become
+/// dependencies, the rest joins the current task's own regions.
+#[allow(clippy::too_many_arguments)]
+fn gather(
+    f: &Function,
+    tree: &RegionTree,
+    position: &HashMap<RegionId, usize>,
+    threshold: usize,
+    rid: RegionId,
+    is_root: bool,
+    own: &mut Vec<RegionId>,
+    deps: &mut Vec<usize>,
+    tasks: &mut Vec<Task>,
+) {
+    if !is_root {
+        let weight: usize = subtree_blocks(tree, rid)
+            .iter()
+            .map(|&b| f.block(b).len())
+            .sum();
+        if weight >= threshold {
+            deps.push(build_task(f, tree, position, threshold, rid, tasks));
+            return;
+        }
+    }
+    own.push(rid);
+    for &c in &tree.region(rid).children {
+        gather(f, tree, position, threshold, c, false, own, deps, tasks);
+    }
+}
+
+/// Runs one task: splices its completed dependencies into a private
+/// copy-on-write snapshot of the pre-pass function, then schedules its
+/// own regions in order.
+#[allow(clippy::too_many_arguments)]
+fn run_task(
     master: &Function,
+    master_regs: [u32; 3],
     machine: &MachineDescription,
     cfg: &Cfg,
     tree: &RegionTree,
     config: &SchedConfig,
-    unit: &Unit,
+    tasks: &[Task],
+    results: &[OnceLock<TaskOutcome>],
+    t: usize,
     tracing: bool,
-) -> UnitOutcome {
+    pass_live: Option<&Liveness>,
+) -> TaskOutcome {
+    let task = &tasks[t];
     let mut fu = master.snapshot();
-    let mut regions = Vec::with_capacity(unit.regions.len());
-    for &rid in &unit.regions {
+    for &d in &task.deps {
+        let dep = &tasks[d];
+        let out = results[d]
+            .get()
+            .expect("dependencies complete before a task becomes ready");
+        // Renumber everything the dependency chain allocated onto this
+        // snapshot's counters. Sibling dependencies drew from identical
+        // counters, so without this their renames would collide into one
+        // register name and fabricate dependences in this task's
+        // analyses. The final merge never sees these numbers: they only
+        // live in dependency blocks, which the dependency's own task
+        // adopts from its own scratch.
+        let mut remap: HashMap<Reg, Reg> = HashMap::new();
+        for class in CLASSES {
+            let s = class_slot(class);
+            for idx in master_regs[s]..out.reg_end[s] {
+                remap.insert(Reg::new(class, idx), fu.fresh_reg(class));
+            }
+        }
+        let renamed = out.reg_end != master_regs;
+        for &b in &dep.covered {
+            fu.adopt_block_from(&out.scratch, b, renamed);
+        }
+        if remap.iter().any(|(from, to)| from != to) {
+            for &b in &dep.covered {
+                fu.map_block_insts(b, |inst| {
+                    inst.op.map_defs(|r| *remap.get(&r).unwrap_or(&r));
+                    inst.op.map_uses(|r| *remap.get(&r).unwrap_or(&r));
+                });
+            }
+        }
+    }
+    let mut regions = Vec::with_capacity(task.regions.len());
+    for &rid in &task.regions {
         let reg_from = fu.reg_counters();
         let inst_from = fu.inst_id_bound() as u32;
         let mut st = SchedStats::default();
         let mut rec = MaybeRecorder::new(tracing);
-        schedule_region_observed(&mut fu, machine, cfg, tree, rid, config, &mut st, &mut rec);
+        schedule_region_memoized(
+            &mut fu, machine, cfg, tree, rid, config, &mut st, &mut rec, pass_live,
+        );
+        let inst_to = fu.inst_id_bound() as u32;
+        debug_assert!(
+            task.deps.is_empty() || inst_from == inst_to,
+            "split tasks never resize (duplication keeps units whole)"
+        );
         regions.push((
             rid,
             RegionOutcome {
@@ -463,13 +765,15 @@ fn run_unit(
                 reg_from,
                 reg_to: fu.reg_counters(),
                 inst_from,
-                inst_to: fu.inst_id_bound() as u32,
+                inst_to,
             },
         ));
     }
-    UnitOutcome {
+    let reg_end = fu.reg_counters();
+    TaskOutcome {
         regions,
         scratch: fu,
+        reg_end,
     }
 }
 
@@ -512,6 +816,11 @@ mod tests {
         assert_eq!(units.len(), 1);
         assert_eq!(units[0].regions.len(), 3);
         assert_eq!(units[0].blocks.len(), f.num_blocks());
+        assert_eq!(
+            tree.region(units[0].root).parent,
+            None,
+            "rooted at the body"
+        );
     }
 
     #[test]
@@ -530,6 +839,54 @@ mod tests {
         }
         let (a, b) = (&units[0].blocks, &units[1].blocks);
         assert!(a.iter().all(|x| !b.contains(x)), "units are disjoint");
+    }
+
+    /// A threshold of one instruction splits every loop of TWO_LOOPS off
+    /// the body task, which then depends on both.
+    #[test]
+    fn plan_splits_heavy_children_into_dependencies() {
+        let (f, _, tree) = analyses(TWO_LOOPS);
+        let config = SchedConfig::speculative();
+        let order: Vec<RegionId> = tree.schedule_order();
+        let (units, skip_only) = partition(&f, &tree, &config, &order);
+        assert!(skip_only.is_empty());
+        assert_eq!(units.len(), 1, "the body owns everything");
+        let root = units[0].root;
+        let mut tasks = Vec::new();
+        let position: HashMap<RegionId, usize> =
+            order.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        build_task(&f, &tree, &position, 1, root, &mut tasks);
+        assert_eq!(tasks.len(), 3, "two loop tasks plus the body task");
+        let body = tasks.last().expect("body task is built last");
+        assert_eq!(body.deps.len(), 2, "the body depends on both loops");
+        assert_eq!(body.regions.len(), 1);
+        assert_eq!(body.covered.len(), f.num_blocks(), "covered spans the unit");
+        for &d in &body.deps {
+            assert_eq!(tasks[d].regions.len(), 1);
+            assert!(tasks[d].deps.is_empty());
+            assert!(tasks[d].weight <= body.weight, "parent covers more");
+        }
+        // Own block sets partition the unit's blocks.
+        let mut all: Vec<BlockId> = tasks
+            .iter()
+            .flat_map(|t| t.blocks.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), f.num_blocks());
+    }
+
+    /// An over-threshold plan keeps the unit whole: one task, no deps.
+    #[test]
+    fn plan_keeps_small_units_whole() {
+        let (f, _, tree) = analyses(TWO_LOOPS);
+        let config = SchedConfig::speculative();
+        let order: Vec<RegionId> = tree.schedule_order();
+        let (units, _) = partition(&f, &tree, &config, &order);
+        let tasks = plan_tasks(&f, &tree, &config, 4, &order, units);
+        assert_eq!(tasks.len(), 1, "{SPLIT_MIN_INSTS}-inst floor holds");
+        assert!(tasks[0].deps.is_empty());
+        assert_eq!(tasks[0].regions.len(), 3);
     }
 
     #[test]
@@ -577,6 +934,60 @@ mod tests {
                 "{level:?} trace"
             );
         }
+    }
+
+    /// The split task DAG (a dependent body task over per-loop tasks) and
+    /// the static plan must both reproduce the sequential pass — text,
+    /// statistics and the renumbered trace — on a workload big enough to
+    /// actually split.
+    #[test]
+    fn stealing_plan_matches_sequential_pass() {
+        let machine = MachineDescription::rs6k();
+        let f0 = gis_workloads::synth::many_loops_scaled(3, 11, 11)
+            .program
+            .function;
+        let cfg = Cfg::new(&f0);
+        let dom = gis_cfg::DomTree::dominators(&cfg);
+        let loops = gis_cfg::LoopForest::new(&cfg, &dom);
+        let tree = RegionTree::new(&cfg, &loops);
+        let mut seq_config = SchedConfig::speculative();
+        // Let the routine body own the whole function as one unit, so the
+        // plan has a heavy subtree to split.
+        seq_config.max_region_blocks = 512;
+        seq_config.max_region_insts = 4096;
+        seq_config.jobs = 1;
+        let mut steal_config = seq_config.clone();
+        steal_config.jobs = 4;
+        let mut static_config = steal_config.clone();
+        static_config.static_units = true;
+
+        // Sanity: this input really exercises the split path.
+        let order: Vec<RegionId> = tree.schedule_order();
+        let (units, _) = partition(&f0, &tree, &seq_config, &order);
+        let tasks = plan_tasks(&f0, &tree, &steal_config, 4, &order, units);
+        assert!(tasks.len() > 1, "the plan splits this workload");
+        assert!(
+            tasks.iter().any(|t| !t.deps.is_empty()),
+            "the body task depends on split-off loops"
+        );
+
+        let mut outs: Vec<(String, SchedStats, Vec<TraceEvent>)> = Vec::new();
+        for config in [&seq_config, &steal_config, &static_config] {
+            let mut f = f0.clone();
+            let mut st = SchedStats::default();
+            let mut rec = Recorder::new();
+            let max_h = config.max_region_height;
+            global_pass(
+                &mut f, &machine, &cfg, &tree, config, max_h, &mut st, &mut rec,
+            );
+            outs.push((f.to_string(), st, rec.into_events()));
+        }
+        assert_eq!(outs[0].0, outs[1].0, "steal text");
+        assert_eq!(outs[0].0, outs[2].0, "static text");
+        assert_eq!(outs[0].1, outs[1].1, "steal stats");
+        assert_eq!(outs[0].1, outs[2].1, "static stats");
+        assert_eq!(outs[0].2, outs[1].2, "steal trace");
+        assert_eq!(outs[0].2, outs[2].2, "static trace");
     }
 
     /// Two sibling loops, each wrapping a diamond whose join load is

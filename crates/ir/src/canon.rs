@@ -142,6 +142,64 @@ pub fn from_canonical_bytes(bytes: &[u8]) -> Result<Function, CanonError> {
     Ok(f)
 }
 
+// --------------------------------------------------------------- regions
+
+/// The region-subtree format magic ("GIS region").
+const REGION_MAGIC: &[u8; 4] = b"GISR";
+
+/// Current region encoding version. Bump when the field order, widths or
+/// tags of [`canon_region`] change — every persisted region-memo key
+/// derives from it.
+const REGION_VERSION: u8 = 1;
+
+/// Serializes one region subtree — an arbitrary set of blocks of `f` —
+/// into a canonical byte form, the region-granular analogue of
+/// [`to_canonical_bytes`].
+///
+/// Blocks are encoded in ascending [`BlockId`] order regardless of the
+/// order given, so callers can pass subtree block lists as they fall out
+/// of a region-tree walk. Each block contributes its id, label, successor
+/// ids (branch targets plus fallthrough, so the control shape *inside and
+/// out of* the region is pinned), then its instructions as stable id plus
+/// tagged operation. Block and instruction ids are the function's
+/// absolute ids: two regions only share an address when their numbering
+/// agrees, which is exactly the contract the scheduler's splice machinery
+/// needs (it re-uses the recorded ids verbatim).
+///
+/// Nothing here depends on arena slot order — only on the logical
+/// layout-ordered content — so compacting, snapshotting or round-tripping
+/// the function leaves the bytes unchanged.
+pub fn canon_region(f: &Function, blocks: &[BlockId]) -> Vec<u8> {
+    let mut sorted: Vec<BlockId> = blocks.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out = Vec::with_capacity(16 + sorted.len() * 24);
+    out.extend_from_slice(REGION_MAGIC);
+    out.push(REGION_VERSION);
+    put_u32(&mut out, sorted.len() as u32);
+    for &b in &sorted {
+        let block = f.block(b);
+        put_u32(&mut out, b.index() as u32);
+        put_str(&mut out, block.label());
+        let succs = f.succs(b);
+        put_u32(&mut out, succs.len() as u32);
+        for s in succs {
+            put_u32(&mut out, s.index() as u32);
+        }
+        put_u32(&mut out, block.len() as u32);
+        for inst in block.insts() {
+            put_u32(&mut out, inst.id.index() as u32);
+            put_op(&mut out, &inst.op);
+        }
+    }
+    out
+}
+
+/// FNV-64 of [`canon_region`]: the content address of one region subtree.
+pub fn hash_region(f: &Function, blocks: &[BlockId]) -> u64 {
+    crate::hash::fnv64(&canon_region(f, blocks))
+}
+
 // --------------------------------------------------------------- encode
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -655,6 +713,63 @@ mod tests {
         let bytes = to_canonical_bytes(&f);
         assert_eq!(bytes[..5], *b"GISF\x01");
         assert_eq!(fnv64(&bytes), 0x1338_0528_2a96_9e80, "encoding drifted");
+    }
+
+    /// Determinism pin for the region-subtree encoding: fixed input,
+    /// fixed bytes. If this hash moves, bump [`REGION_VERSION`] — every
+    /// region-memo key derives from it.
+    #[test]
+    fn region_encoding_is_stable() {
+        let text = "func t\nCL.0:\n LI r1=5\n CI cr0=r1,9\n BT CL.2,cr0,0x1/lt\nCL.1:\n AI r1=r1,1\nCL.2:\n PRINT r1\n RET\n";
+        let f = parse_function(text).expect("parses");
+        let all: Vec<BlockId> = f.blocks().map(|(b, _)| b).collect();
+        let bytes = canon_region(&f, &all);
+        assert_eq!(bytes[..5], *b"GISR\x01");
+        assert_eq!(
+            fnv64(&bytes),
+            0x763e_5f3c_eb9d_60f8,
+            "region encoding drifted"
+        );
+        assert_eq!(hash_region(&f, &all), fnv64(&bytes));
+    }
+
+    /// The block list is a *set*: order and duplicates in the caller's
+    /// slice don't change the bytes, but which blocks are in the region
+    /// does.
+    #[test]
+    fn region_encoding_is_order_insensitive() {
+        let f = kitchen_sink();
+        let all: Vec<BlockId> = f.blocks().map(|(b, _)| b).collect();
+        let mut shuffled = all.clone();
+        shuffled.reverse();
+        shuffled.push(all[0]);
+        assert_eq!(canon_region(&f, &all), canon_region(&f, &shuffled));
+        assert_ne!(hash_region(&f, &all[..2]), hash_region(&f, &all));
+        assert_ne!(hash_region(&f, &all[..1]), hash_region(&f, &all[1..2]));
+    }
+
+    /// The hash addresses logical content, not arena storage: compacting
+    /// the arena via a canonical round-trip, or relinking an instruction
+    /// away and back (which permutes the index lists), leaves it fixed.
+    #[test]
+    fn region_hash_survives_arena_relayout() {
+        let f = kitchen_sink();
+        let all: Vec<BlockId> = f.blocks().map(|(b, _)| b).collect();
+        let before = hash_region(&f, &all);
+
+        // Fresh arena in layout order.
+        let g = from_canonical_bytes(&to_canonical_bytes(&f)).expect("decodes");
+        assert_eq!(hash_region(&g, &all), before, "round-trip moved the hash");
+
+        // Relink an instruction out of its block and back.
+        let mut h = g;
+        let entry = all[0];
+        let done = all[2];
+        let id = h.block(entry).inst_at(1).id;
+        h.relink_inst(id, entry, done, 0);
+        assert_ne!(hash_region(&h, &all), before, "motion must be visible");
+        h.relink_inst(id, done, entry, 1);
+        assert_eq!(hash_region(&h, &all), before, "restore must be invisible");
     }
 
     #[test]

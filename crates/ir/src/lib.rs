@@ -62,7 +62,7 @@ pub use arena::InstIdx;
 pub use bitset::{BlockSet, DenseBitSet, RegSet};
 pub use block::{BlockId, Inst, InstId};
 pub use builder::FunctionBuilder;
-pub use canon::{from_canonical_bytes, to_canonical_bytes, CanonError};
+pub use canon::{canon_region, from_canonical_bytes, hash_region, to_canonical_bytes, CanonError};
 pub use function::{BlockMut, BlockRef, Function, Insts, SymId};
 pub use op::{CondBit, FpBinOp, FxBinOp, MemRef, Op, OpClass};
 pub use parse::{parse_function, ParseFunctionError};

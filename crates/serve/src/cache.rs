@@ -18,9 +18,10 @@
 //! are kept in atomics so the serving threads never contend on the
 //! counters.
 
-use gis_core::{SchedConfig, SchedLevel};
+use gis_core::fingerprint::{write_config_fingerprint, write_machine_fingerprint};
+use gis_core::SchedConfig;
 use gis_ir::hash::Fnv64;
-use gis_ir::{Function, OpClass};
+use gis_ir::Function;
 use gis_machine::MachineDescription;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -166,105 +167,107 @@ impl ScheduleCache {
             ("cache.capacity", self.capacity as u64),
         ]
     }
-}
 
-/// Every [`OpClass`], in a fixed order, for machine fingerprinting.
-const ALL_CLASSES: [OpClass; 12] = [
-    OpClass::Fx,
-    OpClass::FxMul,
-    OpClass::FxDiv,
-    OpClass::Load,
-    OpClass::Store,
-    OpClass::FxCompare,
-    OpClass::Fp,
-    OpClass::FpMul,
-    OpClass::FpDiv,
-    OpClass::FpCompare,
-    OpClass::Branch,
-    OpClass::Call,
-];
-
-/// Feeds every schedule-relevant property of the machine description into
-/// the hasher: name, dispatch width, per-class unit assignment, unit
-/// counts, execution times, and the full producer→consumer delay matrix.
-/// Two presets that schedule identically but are *named* differently
-/// still fingerprint apart — names are part of the operator contract.
-fn write_machine_fingerprint(h: &mut Fnv64, machine: &MachineDescription) {
-    h.write(b"machine/v1\0");
-    h.write(machine.name().as_bytes());
-    h.write_u8(0);
-    h.write_u32(machine.dispatch_width());
-    for kind in machine.unit_kinds() {
-        h.write_u32(kind.index() as u32);
-        h.write_u32(machine.unit_count(kind));
-        h.write(machine.unit_name(kind).as_bytes());
-        h.write_u8(0);
-    }
-    for class in ALL_CLASSES {
-        h.write_u32(machine.unit_of(class).index() as u32);
-        h.write_u32(machine.exec_time(class));
-    }
-    for producer in ALL_CLASSES {
-        for consumer in ALL_CLASSES {
-            h.write_u32(machine.delay(producer, consumer));
+    /// Serializes every entry into a versioned binary image, least
+    /// recently used first, so [`ScheduleCache::load`] re-inserting in
+    /// image order reproduces the recency order exactly. Counters are
+    /// not persisted — they describe one daemon's lifetime, not the
+    /// cache contents.
+    pub fn dump(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut out = Vec::new();
+        out.extend_from_slice(DUMP_MAGIC);
+        out.extend_from_slice(&DUMP_VERSION.to_le_bytes());
+        out.extend_from_slice(&(inner.map.len() as u64).to_le_bytes());
+        for key in inner.by_stamp.values() {
+            let entry = &inner.map[key];
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&entry.value.hash.to_le_bytes());
+            out.extend_from_slice(&entry.value.moved_useful.to_le_bytes());
+            out.extend_from_slice(&entry.value.moved_speculative.to_le_bytes());
+            out.extend_from_slice(&entry.value.nanos.to_le_bytes());
+            out.extend_from_slice(&(entry.value.text.len() as u64).to_le_bytes());
+            out.extend_from_slice(entry.value.text.as_bytes());
         }
+        out
     }
-}
 
-/// Feeds every output-relevant scheduling option into the hasher.
-///
-/// `jobs` and `reference_hot_paths` are deliberately **excluded**: both
-/// are guaranteed (and differentially tested) to produce bit-identical
-/// schedules, so including them would only split the cache for no
-/// correctness gain. Debug-only fields (`verify_each_pass`, fault
-/// injection) are excluded for the same reason they must never be set in
-/// a serving daemon. A branch profile, if present, is hashed entry by
-/// entry (probed over the function's instruction-id range — profiles key
-/// on [`gis_ir::InstId`], so their content is per-function anyway).
-fn write_config_fingerprint(h: &mut Fnv64, config: &SchedConfig, inst_bound: usize) {
-    h.write(b"config/v1\0");
-    h.write_u8(match config.level {
-        SchedLevel::BasicBlockOnly => 0,
-        SchedLevel::Useful => 1,
-        SchedLevel::Speculative => 2,
-    });
-    h.write_u8(u8::from(config.rename));
-    h.write_u8(u8::from(config.unroll));
-    h.write_u64(config.unroll_times as u64);
-    h.write_u8(u8::from(config.rotate));
-    h.write_u64(config.small_loop_blocks as u64);
-    h.write_u64(config.max_region_blocks as u64);
-    h.write_u64(config.max_region_insts as u64);
-    h.write_u64(config.max_region_height as u64);
-    h.write_u8(u8::from(config.speculative_loads));
-    h.write_u8(u8::from(config.speculative_renaming));
-    h.write_u8(u8::from(config.final_bb_pass));
-    h.write_u64(config.min_speculation_probability.to_bits());
-    h.write_u64(config.max_speculation_branches as u64);
-    match &config.profile {
-        None => h.write_u8(0),
-        Some(profile) => {
-            h.write_u8(1);
-            for id in 0..inst_bound as u32 {
-                if let Some(p) = profile.taken_probability(gis_ir::InstId::new(id)) {
-                    h.write_u32(id);
-                    h.write_u64(p.to_bits());
+    /// Restores entries from a [`ScheduleCache::dump`] image, returning
+    /// how many were inserted (at most the capacity — inserting in image
+    /// order evicts the least recently used overflow first, like any
+    /// other insert).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the image is not a schedule-cache dump, is
+    /// a version this build does not speak, or is truncated. The cache
+    /// is left unchanged in every error case except a mid-image
+    /// truncation, which keeps the entries decoded before the cut —
+    /// each was individually well-formed.
+    pub fn load(&self, bytes: &[u8]) -> Result<usize, String> {
+        struct Cursor<'a>(&'a [u8]);
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+                if self.0.len() < n {
+                    return Err("schedule-cache image is truncated".to_owned());
                 }
+                let (head, tail) = self.0.split_at(n);
+                self.0 = tail;
+                Ok(head)
+            }
+            fn take_u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(
+                    self.take(8)?.try_into().expect("eight bytes"),
+                ))
             }
         }
-    }
-    // Options added after v1 are hashed only when *enabled*, appended at
-    // the end: a request that does not use them fingerprints exactly as
-    // it did before the option existed, so deployed caches stay warm
-    // across upgrades (the stability contract in docs/SERVICE.md).
-    if config.duplication {
-        h.write(b"dup/v1\0");
+        let mut cur = Cursor(bytes);
+        if cur.take(4)? != DUMP_MAGIC {
+            return Err("not a schedule-cache image (bad magic)".to_owned());
+        }
+        let version = u32::from_le_bytes(cur.take(4)?.try_into().expect("four bytes"));
+        if version != DUMP_VERSION {
+            return Err(format!(
+                "schedule-cache image version {version} (this build speaks {DUMP_VERSION})"
+            ));
+        }
+        let count = cur.take_u64()?;
+        let mut loaded = 0usize;
+        for _ in 0..count {
+            let key = cur.take_u64()?;
+            let hash = cur.take_u64()?;
+            let moved_useful = cur.take_u64()?;
+            let moved_speculative = cur.take_u64()?;
+            let nanos = cur.take_u64()?;
+            let text_len = cur.take_u64()? as usize;
+            let text = String::from_utf8(cur.take(text_len)?.to_vec())
+                .map_err(|_| "schedule-cache image holds non-UTF-8 text".to_owned())?;
+            self.insert(
+                key,
+                Arc::new(CachedSchedule {
+                    text,
+                    hash,
+                    moved_useful,
+                    moved_speculative,
+                    nanos,
+                }),
+            );
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 }
+
+/// Magic prefix of a persisted cache image.
+const DUMP_MAGIC: &[u8; 4] = b"GISC";
+/// Image format version; bump on any layout change so an upgraded
+/// daemon rejects old images instead of misreading them.
+const DUMP_VERSION: u32 = 1;
 
 /// The cache key for scheduling `function` on `machine` under `config`:
 /// FNV-64 over the function's canonical bytes chained with the machine
-/// and config fingerprints. See `docs/SERVICE.md` for the stability
+/// and config fingerprints (shared with the in-process region memo via
+/// [`gis_core::fingerprint`]). See `docs/SERVICE.md` for the stability
 /// contract.
 pub fn cache_key(function: &Function, machine: &MachineDescription, config: &SchedConfig) -> u64 {
     let mut h = Fnv64::new();
@@ -398,6 +401,47 @@ mod tests {
             assert_eq!(cache_key(&f, &rs6k, &config), on_rs6k, "{config:?}");
             assert_eq!(cache_key(&f, &wide, &config), on_wide, "{config:?}");
         }
+    }
+
+    #[test]
+    fn dump_and_load_round_trip_preserves_recency() {
+        let cache = ScheduleCache::new(4);
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2));
+        cache.insert(3, entry(3));
+        assert!(cache.get(1).is_some(), "1 becomes most recent");
+        let image = cache.dump();
+
+        let restored = ScheduleCache::new(2);
+        // Capacity 2: inserting 2, 3, 1 in recency order evicts 2 — the
+        // least recently used survives last.
+        assert_eq!(restored.load(&image).expect("loads"), 3);
+        assert_eq!(restored.len(), 2);
+        assert!(restored.get(2).is_none(), "LRU overflow evicted");
+        assert_eq!(restored.get(1).expect("kept").hash, 1);
+        assert_eq!(restored.get(3).expect("kept").hash, 3);
+        let full = ScheduleCache::new(8);
+        assert_eq!(full.load(&image).expect("loads"), 3);
+        assert_eq!(full.get(2).expect("kept").text, "schedule 2");
+    }
+
+    #[test]
+    fn load_rejects_foreign_and_stale_images() {
+        let cache = ScheduleCache::new(4);
+        assert!(cache.load(b"not a cache image").is_err());
+        assert!(cache.load(b"GI").is_err(), "truncated magic");
+        let mut stale = ScheduleCache::new(1).dump();
+        stale[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = cache.load(&stale).expect_err("stale version");
+        assert!(err.contains("version 99"), "{err}");
+        let mut cut = {
+            let full = ScheduleCache::new(4);
+            full.insert(1, entry(1));
+            full.dump()
+        };
+        cut.truncate(cut.len() - 3);
+        assert!(cache.load(&cut).is_err(), "truncated entry");
+        assert!(cache.is_empty(), "rejected images leave nothing behind");
     }
 
     #[test]

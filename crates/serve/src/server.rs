@@ -79,11 +79,16 @@ pub struct ServeConfig {
     /// Longest accepted request line; longer lines are discarded and
     /// answered with an `error` response.
     pub max_line_bytes: usize,
+    /// Persist the schedule cache here: reloaded on start (a missing
+    /// file starts cold; a foreign or stale-version image is rejected
+    /// and counted under `cache.persist.rejected`), written back after
+    /// the drain completes. `None` keeps the cache in memory only.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl ServeConfig {
     /// Defaults: 0 jobs (per-CPU), 1024 cached schedules, no timeout,
-    /// 4 MiB line limit.
+    /// 4 MiB line limit, no cache persistence.
     pub fn new(listen: Listen) -> Self {
         ServeConfig {
             listen,
@@ -91,6 +96,7 @@ impl ServeConfig {
             cache_cap: 1024,
             timeout_ms: 0,
             max_line_bytes: 4 << 20,
+            cache_file: None,
         }
     }
 }
@@ -119,6 +125,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept_thread: thread::JoinHandle<()>,
     tcp_addr: Option<SocketAddr>,
+    cache_file: Option<PathBuf>,
 }
 
 impl Server {
@@ -140,7 +147,10 @@ impl Server {
     }
 
     /// Blocks until the daemon has fully drained, then returns the final
-    /// metrics (scheduler perf counters plus `cache.*` and `serve.*`).
+    /// metrics (scheduler perf counters plus `cache.*`, `cache.region.*`
+    /// and `serve.*`). When a cache file is configured, the drained
+    /// cache is written back to it first (atomically: a sibling
+    /// temporary renamed into place), so the next daemon starts warm.
     pub fn join(self) -> Metrics {
         let _ = self.accept_thread.join();
         let mut metrics = self
@@ -149,11 +159,39 @@ impl Server {
             .lock()
             .map(|m| m.clone())
             .unwrap_or_default();
+        if let Some(path) = &self.cache_file {
+            let image = self.shared.cache.dump();
+            let tmp = path.with_extension("tmp");
+            let saved = std::fs::write(&tmp, &image)
+                .and_then(|()| std::fs::rename(&tmp, path))
+                .is_ok();
+            if saved {
+                metrics.record("cache.persist.saved", self.shared.cache.len() as u64);
+            }
+        }
         for (name, value) in self.shared.cache.counters() {
+            metrics.record(name, value);
+        }
+        for (name, value) in region_memo_metrics() {
             metrics.record(name, value);
         }
         metrics
     }
+}
+
+/// The in-process region memo's counters under the `cache.region.`
+/// prefix, next to the whole-function `cache.*` counters. The memo is
+/// process-wide (it serves every worker thread), so these describe the
+/// daemon's lifetime, not one batch.
+fn region_memo_metrics() -> Vec<(&'static str, u64)> {
+    let c = gis_core::region_memo_counters();
+    vec![
+        ("cache.region.hit", c.hits),
+        ("cache.region.miss", c.misses),
+        ("cache.region.splice", c.splices),
+        ("cache.region.entries", c.entries),
+        ("cache.region.capacity", c.capacity),
+    ]
 }
 
 enum Acceptor {
@@ -189,6 +227,21 @@ pub fn start(config: ServeConfig) -> io::Result<Server> {
         timeout_ms: config.timeout_ms,
         max_line_bytes: config.max_line_bytes,
     });
+
+    // Warm start: restore the previous daemon's cache image if one was
+    // left behind. A missing file is a normal cold start; an unreadable
+    // or stale image is rejected (counted, never fatal) — the daemon
+    // will overwrite it with a current-version image on drain.
+    if let Some(path) = &config.cache_file {
+        match std::fs::read(path) {
+            Ok(image) => match shared.cache.load(&image) {
+                Ok(loaded) => record(&shared, "cache.persist.loaded", loaded as u64),
+                Err(_) => record(&shared, "cache.persist.rejected", 1),
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(_) => record(&shared, "cache.persist.rejected", 1),
+        }
+    }
 
     // Fixed worker pool shared by every connection.
     let workers = effective_jobs(config.jobs);
@@ -228,6 +281,7 @@ pub fn start(config: ServeConfig) -> io::Result<Server> {
         shared,
         accept_thread,
         tcp_addr,
+        cache_file: config.cache_file,
     })
 }
 
@@ -432,6 +486,9 @@ fn current_counters(shared: &Shared) -> Vec<(String, u64)> {
         })
         .unwrap_or_default();
     for (name, value) in shared.cache.counters() {
+        out.push((name.to_owned(), value));
+    }
+    for (name, value) in region_memo_metrics() {
         out.push((name.to_owned(), value));
     }
     out.sort();

@@ -337,6 +337,153 @@ fn bounded_cache_evicts_and_counts() {
 }
 
 #[test]
+fn cache_persists_across_restarts() {
+    let cache_file = std::env::temp_dir().join(format!(
+        "gis-serve-test-persist-{}.cache",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_file);
+    let corpus = loadgen::corpus(3, 3, 4, 2, 17);
+    let specs = tinyc_specs(&corpus);
+
+    // First daemon: cold compiles, then dumps its cache on drain.
+    let (server, listen) = start_unix("persist1", |c| c.cache_file = Some(cache_file.clone()));
+    let mut client = Client::connect(&listen).expect("connects");
+    let cold = client
+        .schedule_batch(Lang::TinyC, "rs6k", vec![], &specs)
+        .expect("cold batch");
+    assert_eq!(cold.summary.cache_misses, 3);
+    let cold_hashes = ok_hashes(&cold.funcs);
+    client.shutdown_server().expect("shutdown");
+    let metrics = server.join();
+    assert_eq!(metrics.counter("cache.persist.saved"), 3);
+    assert!(cache_file.exists(), "image written on drain");
+
+    // Second daemon: reloads the image and serves the batch warm.
+    let (server, listen) = start_unix("persist2", |c| c.cache_file = Some(cache_file.clone()));
+    let mut client = Client::connect(&listen).expect("connects");
+    let warm = client
+        .schedule_batch(Lang::TinyC, "rs6k", vec![], &specs)
+        .expect("warm batch");
+    assert_eq!(warm.summary.cache_hits, 3, "restored entries hit");
+    let warm_hashes = ok_hashes(&warm.funcs);
+    assert!(warm_hashes.iter().all(|&(cached, _)| cached));
+    assert_eq!(
+        warm_hashes.iter().map(|(_, h)| h).collect::<Vec<_>>(),
+        cold_hashes.iter().map(|(_, h)| h).collect::<Vec<_>>(),
+        "bit-identical"
+    );
+    let stats = client.stats().expect("stats");
+    let loaded = stats
+        .iter()
+        .find(|(k, _)| k == "cache.persist.loaded")
+        .map(|&(_, v)| v);
+    assert_eq!(loaded, Some(3));
+    client.shutdown_server().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_file(&cache_file);
+}
+
+#[test]
+fn stale_cache_images_are_rejected_cleanly() {
+    let cache_file =
+        std::env::temp_dir().join(format!("gis-serve-test-stale-{}.cache", std::process::id()));
+    // A version far beyond anything this build speaks.
+    let mut image = Vec::new();
+    image.extend_from_slice(b"GISC");
+    image.extend_from_slice(&999u32.to_le_bytes());
+    image.extend_from_slice(&0u64.to_le_bytes());
+    std::fs::write(&cache_file, &image).expect("writes stale image");
+
+    let (server, listen) = start_unix("stale", |c| c.cache_file = Some(cache_file.clone()));
+    let mut client = Client::connect(&listen).expect("daemon starts despite the image");
+    client.ping().expect("serves");
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("cache.persist.rejected"), 1);
+    assert_eq!(counter("cache.entries"), 0, "nothing imported");
+    client.shutdown_server().expect("shutdown");
+    server.join();
+    // The drain overwrites the stale image with a current-version one.
+    let rewritten = std::fs::read(&cache_file).expect("image rewritten");
+    assert_eq!(&rewritten[4..8], &1u32.to_le_bytes(), "current version");
+    let _ = std::fs::remove_file(&cache_file);
+}
+
+/// Editing one function of a warm batch invalidates only its changed
+/// regions: the whole-function cache misses for the edited function, but
+/// the in-process region memo re-serves its untouched loops.
+#[test]
+fn editing_one_function_warm_hits_unchanged_regions() {
+    let (server, listen) = start_unix("region-warm", |_| {});
+    let before = "int a[8];\nvoid f() {\n  int i = 0; int acc = 0;\n\
+                  \x20 while (i < 9) { acc = acc + a[i & 7] * 3; i = i + 1; }\n\
+                  \x20 int j = 0;\n\
+                  \x20 while (j < 9) { acc = acc + a[j & 7] * 5; j = j + 1; }\n\
+                  \x20 print(acc);\n}\n";
+    // Same shape, one constant changed in the second loop: the first
+    // loop's blocks keep identical ids and content, so its region keys
+    // are unchanged.
+    let after = before.replace("* 5", "* 7");
+    assert_ne!(before, after);
+    let other = "int b[4];\nvoid g() {\n  int k = 0; int s = 0;\n\
+                 \x20 while (k < 5) { s = s + b[k & 3]; k = k + 1; }\n\
+                 \x20 print(s);\n}\n";
+    let spec = |text: &str, name: &str| FuncSpec {
+        name: Some(name.to_owned()),
+        text: text.to_owned(),
+    };
+
+    let mut client = Client::connect(&listen).expect("connects");
+    let counter_of = |stats: &[(String, u64)], name: &str| {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    client
+        .schedule_batch(
+            Lang::TinyC,
+            "rs6k",
+            vec![],
+            &[spec(before, "f"), spec(other, "g")],
+        )
+        .expect("cold batch");
+    let stats = client.stats().expect("stats");
+    let hits_before = counter_of(&stats, "cache.region.hit");
+
+    let edited = client
+        .schedule_batch(
+            Lang::TinyC,
+            "rs6k",
+            vec![],
+            &[spec(&after, "f"), spec(other, "g")],
+        )
+        .expect("edited batch");
+    // The unchanged function hits the whole-function cache; the edited
+    // one misses it but warm-hits its untouched region.
+    assert_eq!(edited.summary.cache_hits, 1);
+    assert_eq!(edited.summary.cache_misses, 1);
+    let stats = client.stats().expect("stats");
+    let hits_after = counter_of(&stats, "cache.region.hit");
+    assert!(
+        hits_after > hits_before,
+        "edited function re-serves unchanged regions from the memo \
+         ({hits_before} -> {hits_after})"
+    );
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+#[test]
 fn request_shutdown_drains_without_a_client() {
     let (server, listen) = start_unix("drain", |_| {});
     let mut client = Client::connect(&listen).expect("connects");

@@ -136,9 +136,10 @@ pub struct ScheduleReport<'a> {
     pub cycles: Option<(u64, u64)>,
     /// Extra named counters folded into the metrics section — the
     /// driver passes the scheduler's perf counters (dependence edges
-    /// built, incremental vs full liveness repairs, scratch reuse),
-    /// which are not derived from trace events. Empty leaves the
-    /// section event-derived only.
+    /// built, incremental vs full liveness repairs, scratch reuse) and
+    /// the region memo's `cache.region.*` counters, none of which are
+    /// derived from trace events. Empty leaves the section
+    /// event-derived only.
     pub perf_counters: &'a [(&'a str, u64)],
 }
 
@@ -410,7 +411,11 @@ mod tests {
             events: &events,
             timeline: Some(" cycle  fixed(1)\n     0         #\n"),
             cycles: Some((22, 12)),
-            perf_counters: &[("perf.dep-edges", 41)],
+            perf_counters: &[
+                ("perf.dep-edges", 41),
+                ("cache.region.hit", 3),
+                ("cache.region.miss", 9),
+            ],
         })
     }
 
@@ -433,6 +438,9 @@ mod tests {
         assert!(html.contains("22 → 12"));
         // The driver's perf counters land in the metrics table.
         assert!(html.contains("<td>perf.dep-edges</td><td>41</td>"));
+        // ... and so do the region memo's cache counters.
+        assert!(html.contains("<td>cache.region.hit</td><td>3</td>"));
+        assert!(html.contains("<td>cache.region.miss</td><td>9</td>"));
     }
 
     #[test]

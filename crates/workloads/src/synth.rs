@@ -103,14 +103,101 @@ pub fn many_loops_source(loops: usize, stmts: usize, seed: u64) -> String {
     many_loops_source_with(&mut rng, loops, stmts)
 }
 
+/// The skewed many-loops preset the steal-vs-static benchmark measures:
+/// `(name, loops, stmts, heavy_factor, seed)`. All loops carry `stmts`
+/// template statements except the *last*, which carries
+/// `stmts * heavy_factor` — one region roughly an order of magnitude
+/// heavier than its siblings, placed where in-order unit claiming starts
+/// it last (the worst case a heaviest-first claim order fixes).
+pub const MANY_LOOPS_SKEWED_PRESET: (&str, usize, usize, usize, u64) =
+    ("many-loops-skewed", 24, 1, 10, 11);
+
+/// Builds [`MANY_LOOPS_SKEWED_PRESET`] by name (`None` for an unknown
+/// name).
+pub fn many_loops_skewed_preset(name: &str) -> Option<Workload> {
+    let (n, loops, stmts, heavy, seed) = MANY_LOOPS_SKEWED_PRESET;
+    (n == name).then(|| many_loops_skewed(loops, stmts, heavy, seed))
+}
+
+/// Like [`many_loops_scaled`], but the last loop's body carries
+/// `stmts * heavy_factor` statements instead of `stmts`: a deliberately
+/// skewed region-weight distribution for measuring work distribution
+/// policies. Deterministic in all four parameters.
+///
+/// # Panics
+///
+/// As [`many_loops_scaled`]; additionally if `heavy_factor` is zero.
+pub fn many_loops_skewed(loops: usize, stmts: usize, heavy_factor: usize, seed: u64) -> Workload {
+    let mut rng = XorShift64Star::new(seed);
+    let a: Vec<i64> = (0..ARRAY).map(|_| rng.range_i64(-500, 500)).collect();
+    let src = many_loops_source_counts(&mut rng, &skewed_counts(loops, stmts, heavy_factor));
+
+    let program = compile_program(&src)
+        .unwrap_or_else(|e| panic!("synthetic workload fails to compile: {e}"));
+    let memory = program
+        .initial_memory(&[("a", &a)])
+        .unwrap_or_else(|e| panic!("synthetic workload memory: {e}"));
+    Workload {
+        name: "MANY-LOOPS-SKEWED",
+        program,
+        memory,
+        source: src,
+    }
+}
+
+/// Generates only the tiny-C *source* of a skewed many-loops function —
+/// the input side of [`many_loops_skewed`], without running the front
+/// end. Deterministic in all four parameters.
+///
+/// # Panics
+///
+/// As [`many_loops_skewed`].
+pub fn many_loops_skewed_source(
+    loops: usize,
+    stmts: usize,
+    heavy_factor: usize,
+    seed: u64,
+) -> String {
+    let mut rng = XorShift64Star::new(seed);
+    // Burn the array draws so the source comes out byte-identical to
+    // `many_loops_skewed(loops, stmts, heavy_factor, seed).source`.
+    for _ in 0..ARRAY {
+        let _ = rng.range_i64(-500, 500);
+    }
+    many_loops_source_counts(&mut rng, &skewed_counts(loops, stmts, heavy_factor))
+}
+
+/// The per-loop statement counts of a skewed workload: `stmts`
+/// everywhere, `stmts * heavy_factor` for the last loop.
+fn skewed_counts(loops: usize, stmts: usize, heavy_factor: usize) -> Vec<usize> {
+    assert!(heavy_factor > 0, "a skew factor of zero has no heavy loop");
+    let mut counts = vec![stmts; loops];
+    if let Some(last) = counts.last_mut() {
+        *last = stmts * heavy_factor;
+    }
+    counts
+}
+
 /// Source generation over an already-seeded generator.
 ///
 /// [`many_loops_scaled`] draws the input array from the same generator
 /// *before* the source, so this must stay draw-for-draw compatible with
 /// the historical inline code: array first, then shapes.
 fn many_loops_source_with(rng: &mut XorShift64Star, loops: usize, stmts: usize) -> String {
-    assert!(loops > 0, "a workload needs at least one loop");
-    assert!(stmts > 0, "a loop body needs at least one statement");
+    many_loops_source_counts(rng, &vec![stmts; loops])
+}
+
+/// Source generation with a per-loop statement count. With a uniform
+/// count this is draw-for-draw (and byte-for-byte) the historical
+/// [`many_loops_source_with`] output — the skewed variant only changes
+/// how many statements the heavy loop draws.
+fn many_loops_source_counts(rng: &mut XorShift64Star, counts: &[usize]) -> String {
+    assert!(!counts.is_empty(), "a workload needs at least one loop");
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "a loop body needs at least one statement"
+    );
+    let max_stmts = *counts.iter().max().expect("counts is non-empty");
 
     let mut src = String::new();
     let _ = write!(src, "int a[{ARRAY}];\nvoid synth() {{\n");
@@ -124,14 +211,14 @@ fn many_loops_source_with(rng: &mut XorShift64Star, loops: usize, stmts: usize) 
     // renamed, scheduled code looks like. The slot accumulators fold
     // into `acc` between loops (outside the regions), which keeps every
     // slot observable and live across the back edge.
-    for k in 0..stmts {
+    for k in 0..max_stmts {
         let _ = writeln!(src, "  int x{k} = 0; int y{k} = 0; int acc{k} = 0;");
     }
-    let fold: String = (0..stmts).fold(String::from("acc"), |mut s, k| {
+    let fold: String = (0..max_stmts).fold(String::from("acc"), |mut s, k| {
         let _ = write!(s, " + acc{k}");
         s
     });
-    for i in 0..loops {
+    for (i, &stmts) in counts.iter().enumerate() {
         let trips = rng.range_i64(3, 7);
         let mut body = String::new();
         for k in 0..stmts {
@@ -480,6 +567,72 @@ mod tests {
             assert!(many_loops_preset(name).is_some(), "{name}");
         }
         assert!(many_loops_preset("many-loops-xxl").is_none());
+        let (skewed, ..) = MANY_LOOPS_SKEWED_PRESET;
+        assert!(many_loops_skewed_preset(skewed).is_some());
+        assert!(many_loops_skewed_preset("many-loops-m").is_none());
+    }
+
+    #[test]
+    fn skewed_source_is_pinned() {
+        // The steal-vs-static benchmark rows are only comparable across
+        // runs while the preset's input stays byte-identical; pin it.
+        let (_, loops, stmts, heavy, seed) = MANY_LOOPS_SKEWED_PRESET;
+        let w = many_loops_skewed(loops, stmts, heavy, seed);
+        assert_eq!(
+            many_loops_skewed_source(loops, stmts, heavy, seed),
+            w.source
+        );
+        assert_eq!(
+            gis_ir::hash::fnv64(w.source.as_bytes()),
+            0x3f74_f6d2_2386_cd7d,
+            "preset source changed — regenerate BENCH_sched.json"
+        );
+    }
+
+    #[test]
+    fn skewed_with_factor_one_is_the_uniform_workload() {
+        let uniform = many_loops_scaled(12, 2, 7);
+        let skewed = many_loops_skewed(12, 2, 1, 7);
+        assert_eq!(uniform.source, skewed.source, "draw-for-draw compatible");
+        assert_eq!(uniform.memory, skewed.memory);
+    }
+
+    #[test]
+    fn skewed_preset_has_one_dominant_region() {
+        use gis_cfg::{Cfg, DomTree, LoopForest, RegionKind, RegionTree};
+        let (name, ..) = MANY_LOOPS_SKEWED_PRESET;
+        let w = many_loops_skewed_preset(name).expect("preset exists");
+        let f = &w.program.function;
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let tree = RegionTree::new(&cfg, &loops);
+        let mut weights: Vec<usize> = tree
+            .schedule_order()
+            .into_iter()
+            .filter(|&r| matches!(tree.region(r).kind, RegionKind::Loop(_)))
+            .map(|r| {
+                tree.region(r)
+                    .blocks
+                    .iter()
+                    .map(|&b| f.block(b).len())
+                    .sum()
+            })
+            .collect();
+        weights.sort_unstable();
+        let heaviest = *weights.last().expect("preset has loops");
+        let runner_up = weights[weights.len() - 2];
+        assert_eq!(weights.len(), 24, "one region per loop");
+        assert!(
+            heaviest >= 6 * runner_up,
+            "skew collapsed: {heaviest} vs {runner_up}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "skew factor of zero")]
+    fn zero_heavy_factor_is_rejected() {
+        let _ = many_loops_skewed(2, 1, 0, 1);
     }
 
     #[test]

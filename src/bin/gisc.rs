@@ -11,9 +11,10 @@
 //! gisc verify <file|->
 //!     structural verification of textual IR (corpus files accepted)
 //! gisc serve --listen unix:PATH|tcp:HOST:PORT [--jobs N]
-//!     [--cache-cap N] [--timeout-ms N] [--metrics]
+//!     [--cache-cap N] [--timeout-ms N] [--cache-file PATH] [--metrics]
 //!     run the scheduling daemon until SIGTERM/ctrl-c or a client's
-//!     shutdown request; --metrics prints the registry on shutdown
+//!     shutdown request; --metrics prints the registry on shutdown;
+//!     --cache-file persists the schedule cache across restarts
 //! gisc serve-request --listen SPEC [--ping] [--workload NAME]...
 //!     [--file F]... [--tinyc|--asm] [--machine M] [--repeat N]
 //!     [--print-schedule] [--raw LINE]... [--stats] [--shutdown]
@@ -33,6 +34,10 @@
 //!   --no-unroll --no-rotate --no-rename --paper
 //!   --dup                enable duplication-based global motion (copies
 //!                        join instructions into every predecessor)
+//!   --no-memo            disable the process-wide region schedule memo
+//!                        (output is bit-identical either way)
+//!   --static-units       one task per partition unit, claimed in region
+//!                        order (disables size-aware splitting/stealing)
 //!   --branches <N>       max speculation depth (default 1)
 //!   --jobs <N>           worker threads for the global passes; 0 = one
 //!                        per CPU (default 1; output is identical for any N)
@@ -47,7 +52,8 @@
 //!   --trace              print the scheduler's decision trace (stderr)
 //!   --trace=json:<path>  also write the trace as JSON lines to <path>
 //!   --metrics            print the metrics registry, including the
-//!                        scheduler's perf counters (stderr)
+//!                        scheduler's perf counters and the region
+//!                        memo's cache.region.* counters (stderr)
 //!   --explain <inst>     print every decision about one instruction (I8 or 8)
 //!   --timeline           with --run: per-cycle unit occupancy and stalls
 //! ```
@@ -105,13 +111,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: gisc [--tinyc|--asm] [--level base|useful|speculative] \
          [--machine rs6k|scalar|issue2/4/8|wideN|vliwN] [--no-unroll] [--no-rotate] \
-         [--no-rename] [--paper] [--dup] [--branches N] [--jobs N] [--opt] [--run] [--stats] \
+         [--no-rename] [--paper] [--dup] [--no-memo] [--static-units] [--branches N] \
+         [--jobs N] [--opt] [--run] [--stats] \
          [--dot-cfg[=traced]] [--dot-cspdg[=traced]] [--report <out.html>] \
          [--trace[=json:<path>]] [--metrics] [--explain <inst>] [--timeline] <file|->\n\
          \x20      gisc fuzz [--seed N] [--iters K] [--out DIR]\n\
          \x20      gisc verify <file|->\n\
          \x20      gisc serve --listen unix:PATH|tcp:HOST:PORT [--jobs N] \
-         [--cache-cap N] [--timeout-ms N] [--metrics]\n\
+         [--cache-cap N] [--timeout-ms N] [--cache-file PATH] [--metrics]\n\
          \x20      gisc serve-request --listen SPEC [--ping] [--workload NAME] \
          [--file F] [--machine M] [--repeat N] [--stats] [--shutdown]\n\
          \x20      gisc bench-matrix [--smoke] [--out FILE] [--results FILE] [--check]"
@@ -183,6 +190,8 @@ fn parse_args() -> Options {
             "--no-rotate" => opts.config_tweaks.push(|c| c.rotate = false),
             "--no-rename" => opts.config_tweaks.push(|c| c.rename = false),
             "--dup" => opts.config_tweaks.push(|c| c.duplication = true),
+            "--no-memo" => opts.config_tweaks.push(|c| c.region_memo = false),
+            "--static-units" => opts.config_tweaks.push(|c| c.static_units = true),
             "--paper" => opts.config_tweaks.push(|c| {
                 c.rename = false;
                 c.unroll = false;
@@ -297,6 +306,25 @@ fn perf_counters(stats: &SchedStats) -> [(&'static str, u64); 6] {
     ]
 }
 
+/// The region schedule memo's process-wide counters as `(name, value)`
+/// pairs — the same `cache.region.*` names gis-serve reports, so the
+/// CLI's `--metrics` output and the HTML report's metrics section read
+/// the same as the daemon's stats response. Note that traced compiles
+/// bypass the memo (splicing would skip the events a trace consumer
+/// needs), so a single traced `gisc` run reports hit/miss/splice as
+/// zero; the counters are live in the daemon, whose compiles are
+/// untraced.
+fn memo_counters() -> [(&'static str, u64); 5] {
+    let c = gis_core::region_memo_counters();
+    [
+        ("cache.region.hit", c.hits),
+        ("cache.region.miss", c.misses),
+        ("cache.region.splice", c.splices),
+        ("cache.region.entries", c.entries),
+        ("cache.region.capacity", c.capacity),
+    ]
+}
+
 fn read_input(file: &str) -> Result<String, String> {
     if file == "-" {
         let mut s = String::new();
@@ -350,8 +378,9 @@ fn fuzz_command(mut args: impl Iterator<Item = String>) -> ExitCode {
             other => bad_arg(&format!("unknown fuzz argument '{other}'")),
         }
     }
-    // The full surface: the jobs matrix plus the duplication matrix
-    // (gate on/off × jobs {1, 4} × speculation depth {1, 2}).
+    // The full surface: the jobs matrix, the duplication matrix (gate
+    // on/off × jobs {1, 4} × speculation depth {1, 2}), the wide-machine
+    // matrix, and the region-memo matrix (memo on/off × jobs {1, 4}).
     let matrix = gis_check::full_matrix();
     eprintln!(
         "gisc fuzz: seed {seed}, {iters} iterations, matrix of {} configs",
@@ -536,13 +565,16 @@ fn listen_value(value: Option<String>) -> (gis_serve::Listen, String) {
 }
 
 /// `gisc serve --listen SPEC [--jobs N] [--cache-cap N] [--timeout-ms N]
-/// [--metrics]`: run the scheduling daemon until a signal or a client's
-/// shutdown request, then drain in-flight work and exit cleanly.
+/// [--cache-file PATH] [--metrics]`: run the scheduling daemon until a
+/// signal or a client's shutdown request, then drain in-flight work and
+/// exit cleanly. With `--cache-file` the schedule cache is reloaded on
+/// start and dumped on drain, so a restarted daemon serves warm hits.
 fn serve_command(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut listen: Option<(gis_serve::Listen, String)> = None;
     let mut jobs: usize = 0;
     let mut cache_cap: usize = 1024;
     let mut timeout_ms: u64 = 0;
+    let mut cache_file: Option<std::path::PathBuf> = None;
     let mut metrics = false;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -568,6 +600,12 @@ fn serve_command(mut args: impl Iterator<Item = String>) -> ExitCode {
                     args.next(),
                 );
             }
+            "--cache-file" => {
+                let Some(path) = args.next() else {
+                    bad_arg("--cache-file expects a file path");
+                };
+                cache_file = Some(std::path::PathBuf::from(path));
+            }
             "--metrics" => metrics = true,
             other => bad_arg(&format!("unknown serve argument '{other}'")),
         }
@@ -580,6 +618,7 @@ fn serve_command(mut args: impl Iterator<Item = String>) -> ExitCode {
     config.jobs = jobs;
     config.cache_cap = cache_cap;
     config.timeout_ms = timeout_ms;
+    config.cache_file = cache_file;
     let server = match gis_serve::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -628,19 +667,27 @@ fn serve_request_command(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--asm" => lang = gis_serve::Lang::Asm,
             "--workload" => {
                 let Some(name) = args.next() else {
-                    bad_arg("--workload expects a preset name (many-loops-s, -m or -l)");
+                    bad_arg("--workload expects a preset name (many-loops-s, -m, -l or -skewed)");
                 };
-                let preset = gis_workloads::synth::MANY_LOOPS_PRESETS
-                    .iter()
-                    .find(|&&(n, ..)| n == name);
-                let Some(&(_, loops, stmts, seed)) = preset else {
-                    bad_arg(&format!(
-                        "--workload expects a preset name (many-loops-s, -m or -l), got '{name}'"
-                    ));
+                let text = if name == gis_workloads::synth::MANY_LOOPS_SKEWED_PRESET.0 {
+                    let (_, loops, stmts, heavy, seed) =
+                        gis_workloads::synth::MANY_LOOPS_SKEWED_PRESET;
+                    gis_workloads::synth::many_loops_skewed_source(loops, stmts, heavy, seed)
+                } else {
+                    let preset = gis_workloads::synth::MANY_LOOPS_PRESETS
+                        .iter()
+                        .find(|&&(n, ..)| n == name);
+                    let Some(&(_, loops, stmts, seed)) = preset else {
+                        bad_arg(&format!(
+                            "--workload expects a preset name (many-loops-s, -m, -l or \
+                             -skewed), got '{name}'"
+                        ));
+                    };
+                    gis_workloads::synth::many_loops_source(loops, stmts, seed)
                 };
                 funcs.push(gis_serve::FuncSpec {
                     name: Some(name),
-                    text: gis_workloads::synth::many_loops_source(loops, stmts, seed),
+                    text,
                 });
             }
             "--file" => {
@@ -828,6 +875,9 @@ fn drive(opts: &Options) -> Result<(), String> {
             for (name, value) in perf_counters(&stats) {
                 metrics.record(name, value);
             }
+            for (name, value) in memo_counters() {
+                metrics.record(name, value);
+            }
         }
         eprint!("{metrics}");
     }
@@ -925,7 +975,8 @@ fn write_report(
     memory: &[(i64, i64)],
 ) -> Result<(), String> {
     let events: Vec<TraceEvent> = recorder.events().cloned().collect();
-    let perf = perf_counters(stats);
+    let mut perf: Vec<(&'static str, u64)> = perf_counters(stats).to_vec();
+    perf.extend(memo_counters());
     let timing = execute(original, memory, &ExecConfig::default())
         .ok()
         .zip(execute(function, memory, &ExecConfig::default()).ok())
